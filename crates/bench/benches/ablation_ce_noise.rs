@@ -1,0 +1,18 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpt_bench::{experiments as ex, Config};
+
+/// Motivation experiment: plan degradation under cardinality-estimation
+/// noise — the optimizer-error tolerance RPT buys.
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let rows = ex::ce_noise_tolerance(&cfg).expect("noise");
+    println!("\n[CE noise] geomean work ratio (noisy plan / clean plan)");
+    println!("{}", ex::print_noise(&rows));
+    let mut g = c.benchmark_group("ce_noise");
+    g.sample_size(10);
+    g.bench_function("sweep", |b| b.iter(|| ex::ce_noise_tolerance(&cfg).expect("run")));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpt_bench::{experiments as ex, Config};
+
+/// Ablation: Bloom filter false-positive-rate sweep.
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let rows = ex::ablation_fpr(&cfg).expect("ablation");
+    println!("\n[Ablation] FPR sweep on JOB 3a:");
+    for r in &rows {
+        println!("  fpr {:>5.3}: work {:>9}, join rows {:>7}", r.fpr, r.work, r.join_output_rows);
+    }
+    let mut g = c.benchmark_group("ablation_fpr");
+    g.sample_size(10);
+    g.bench_function("sweep", |b| b.iter(|| ex::ablation_fpr(&cfg).expect("run")));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

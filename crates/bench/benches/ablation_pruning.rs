@@ -1,0 +1,16 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpt_bench::{experiments as ex, Config};
+
+/// Ablation: §4.3 trivial PK-side semi-join pruning.
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let rows = ex::ablation_pruning(&cfg).expect("ablation");
+    println!("\n{}", ex::print_ablation(&rows, "[Ablation] trivial semi-join pruning"));
+    let mut g = c.benchmark_group("ablation_pruning");
+    g.sample_size(10);
+    g.bench_function("sweep", |b| b.iter(|| ex::ablation_pruning(&cfg).expect("run")));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpt_bench::{experiments as ex, Config};
+
+/// Figure 10: wrong hash-join build side on JOB 17e.
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let r = ex::fig10_build_side(&cfg).expect("fig10");
+    println!(
+        "\n[Figure 10] JOB 17e: correct work {} / flipped work {} (hash-build rows {} vs {})",
+        r.correct_work, r.flipped_work, r.correct_hash_build_rows, r.flipped_hash_build_rows
+    );
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("build_side_experiment", |b| {
+        b.iter(|| ex::fig10_build_side(&cfg).expect("run"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpt_bench::{experiments as ex, Config};
+
+/// Figure 11: JOB 2a case study on intermediate-result sizes.
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let r = ex::fig11_case_study(&cfg).expect("fig11");
+    println!(
+        "\n[Figure 11] JOB 2a: w/o RPT best {} worst {}; RPT best {} worst {}; output {}",
+        r.baseline.0, r.baseline.1, r.rpt.0, r.rpt.1, r.output_rows
+    );
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("case_study", |b| b.iter(|| ex::fig11_case_study(&cfg).expect("run")));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

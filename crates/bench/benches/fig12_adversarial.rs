@@ -1,0 +1,22 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpt_bench::experiments as ex;
+
+/// Figure 12: the adversarial instance (quadratic w/o RPT, empty output).
+fn bench(c: &mut Criterion) {
+    for n in [100usize, 400, 1000] {
+        let r = ex::fig12_adversarial(n).expect("fig12");
+        println!(
+            "[Figure 12] N={n}: RS-first {} / ST-first {} / RPT joins {} / out {}",
+            r.baseline_rs_first, r.baseline_st_first, r.rpt_join_outputs, r.output_rows
+        );
+    }
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("adversarial_n400", |b| {
+        b.iter(|| ex::fig12_adversarial(400).expect("run"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpt_bench::{experiments as ex, Config};
+
+/// Figure 13: random LargestRoot join trees (largest relation stays root).
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let w = rpt_workloads::tpch(cfg.sf, cfg.seed);
+    let rows = ex::fig13_random_trees(&w, 20, &cfg).expect("fig13");
+    println!("\n[Figure 13] TPC-H\n{}", ex::print_fig13(&rows));
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("random_trees_sweep", |b| {
+        b.iter(|| ex::fig13_random_trees(&w, 10, &cfg).expect("sweep"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpt_bench::{experiments as ex, Config};
+
+/// Figure 14: robustness under multi-threaded execution.
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let w = rpt_workloads::tpch(cfg.sf, cfg.seed);
+    let rows = ex::robustness_multithreaded(&w, &cfg).expect("fig14");
+    println!(
+        "\n[Figure 14] TPC-H ({} threads)\n{}",
+        cfg.threads,
+        ex::print_distribution(&rows)
+    );
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    g.bench_function("multithreaded_sweep", |b| {
+        b.iter(|| ex::robustness_multithreaded(&w, &cfg).expect("sweep"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpt_bench::{experiments as ex, Config};
+
+/// Figure 15: on-disk tables and spilling transfer-phase intermediates.
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let w = rpt_workloads::tpch(cfg.sf, cfg.seed);
+    let rows = ex::fig15_spill(&w, &cfg).expect("fig15");
+    println!("\n[Figure 15] TPC-H\n{}", ex::print_fig15(&rows));
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    g.bench_function("spill_sweep", |b| b.iter(|| ex::fig15_spill(&w, &cfg).expect("sweep")));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpt_bench::experiments as ex;
+use criterion::BenchmarkId;
+use rpt_bloom::BloomFilter;
+use rpt_common::hash::hash_i64;
+
+/// Figure 16: Bloom probe vs hash probe as the build side grows.
+/// This is the release-mode verification of the timing claim.
+fn bench(c: &mut Criterion) {
+    let rows = ex::fig16_bloom_micro(1_000_000, 20);
+    println!("\n[Figure 16]\n{}", ex::print_fig16(&rows));
+    let probe: Vec<u64> = (0..100_000i64).map(|k| hash_i64(k * 17)).collect();
+    let mut g = c.benchmark_group("fig16");
+    g.sample_size(20);
+    for log2 in [12u32, 16, 20] {
+        let n = 1usize << log2;
+        let mut bf = BloomFilter::with_default_fpr(n);
+        let mut ht = std::collections::HashSet::with_capacity(n);
+        for k in 0..n as i64 {
+            bf.insert_i64(k);
+            ht.insert(hash_i64(k));
+        }
+        g.bench_with_input(BenchmarkId::new("bloom_probe", n), &n, |b, _| {
+            b.iter(|| {
+                let mut hits = 0u64;
+                for &h in &probe {
+                    hits += bf.probe_hash(h) as u64;
+                }
+                hits
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("hash_probe", n), &n, |b, _| {
+            b.iter(|| {
+                let mut hits = 0u64;
+                for &h in &probe {
+                    hits += ht.contains(&h) as u64;
+                }
+                hits
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpt_bench::{experiments as ex, Config};
+
+/// Appendix A (Figures 17-20): per-query speedups with optimizer plans.
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let all = ex::run_table3(&cfg).expect("appendix-a");
+    for (name, rows) in &all {
+        println!("\n[Appendix A] {name}\n{}", ex::print_appendix_a(rows));
+    }
+    let w = rpt_workloads::tpcds(cfg.sf, cfg.seed);
+    let modes = [rpt_core::Mode::Baseline, rpt_core::Mode::RobustPredicateTransfer];
+    let mut g = c.benchmark_group("appendix_a");
+    g.sample_size(10);
+    g.bench_function("tpcds_speedups", |b| {
+        b.iter(|| ex::speedup_table(&w, &modes, &cfg).expect("sweep"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpt_bench::{experiments as ex, Config};
+use rpt_core::Mode;
+
+/// Appendix B/C (Figures 21-31): distributions for all four systems.
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let four = [
+        Mode::Baseline,
+        Mode::BloomJoin,
+        Mode::PredicateTransfer,
+        Mode::RobustPredicateTransfer,
+    ];
+    let all = ex::run_robustness(&four, false, &cfg).expect("appendix-bc");
+    for (name, rows) in &all {
+        println!("\n[Appendix B] {name}\n{}", ex::print_distribution(rows));
+    }
+    let w = rpt_workloads::tpcds(cfg.sf, cfg.seed);
+    let mut g = c.benchmark_group("appendix_bc");
+    g.sample_size(10);
+    g.bench_function("tpcds_four_systems", |b| {
+        b.iter(|| ex::robustness_table(&w, &four, false, &cfg).expect("sweep"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

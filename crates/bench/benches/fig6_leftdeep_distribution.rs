@@ -1,0 +1,23 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpt_bench::{experiments as ex, Config};
+use rpt_core::Mode;
+
+/// Figure 6: per-query distribution of random left-deep plans.
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let modes = [Mode::Baseline, Mode::RobustPredicateTransfer];
+    let all = ex::run_robustness(&modes, false, &cfg).expect("fig6");
+    for (name, rows) in &all {
+        println!("\n[Figure 6] {name}\n{}", ex::print_distribution(rows));
+    }
+    let w = rpt_workloads::job(cfg.sf, cfg.seed);
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("job_leftdeep_distribution", |b| {
+        b.iter(|| ex::robustness_table(&w, &modes, false, &cfg).expect("sweep"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

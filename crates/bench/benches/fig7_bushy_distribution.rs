@@ -1,0 +1,23 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpt_bench::{experiments as ex, Config};
+use rpt_core::Mode;
+
+/// Figure 7: per-query distribution of random bushy plans.
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let modes = [Mode::Baseline, Mode::RobustPredicateTransfer];
+    let all = ex::run_robustness(&modes, true, &cfg).expect("fig7");
+    for (name, rows) in &all {
+        println!("\n[Figure 7] {name}\n{}", ex::print_distribution(rows));
+    }
+    let w = rpt_workloads::job(cfg.sf, cfg.seed);
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("job_bushy_distribution", |b| {
+        b.iter(|| ex::robustness_table(&w, &modes, true, &cfg).expect("sweep"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

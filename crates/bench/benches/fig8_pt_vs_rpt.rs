@@ -1,0 +1,18 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpt_bench::{experiments as ex, Config};
+
+/// Figure 8: PT vs RPT on the Small2Large-fragile queries.
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let rows = ex::fig8_pt_vs_rpt(&cfg).expect("fig8");
+    println!("\n[Figure 8] PT vs RPT\n{}", ex::print_fig8(&rows));
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("pt_vs_rpt_sweep", |b| {
+        b.iter(|| ex::fig8_pt_vs_rpt(&cfg).expect("sweep"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

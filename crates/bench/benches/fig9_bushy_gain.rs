@@ -1,0 +1,21 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpt_bench::{experiments as ex, Config};
+
+/// Figure 9: bushy vs left-deep plan quality under RPT.
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let w = rpt_workloads::tpch(cfg.sf, cfg.seed);
+    let rows = ex::fig9_bushy_gain(&w, &cfg).expect("fig9");
+    let (best, opt) = ex::fig9_gain_summary(&rows);
+    println!("\n[Figure 9] TPC-H\n{}", ex::print_fig9(&rows));
+    println!("bushy gain: best-random {best:.3}x / optimizer {opt:.3}x");
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("tpch_bushy_gain", |b| {
+        b.iter(|| ex::fig9_bushy_gain(&w, &cfg).expect("sweep"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpt_bench::{experiments as ex, Config};
+use rpt_core::Mode;
+
+/// Table 1: robustness factors for random left-deep join orders.
+/// Prints the table once, then measures one robustness sweep.
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let modes = [Mode::Baseline, Mode::RobustPredicateTransfer];
+    let all = ex::run_robustness(&modes, false, &cfg).expect("table1");
+    println!("\n[Table 1] Robustness Factors (left-deep)\n{}", ex::print_rf_table(&all, &modes));
+    let w = rpt_workloads::tpch(cfg.sf, cfg.seed);
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("tpch_robustness_sweep", |b| {
+        b.iter(|| ex::robustness_table(&w, &modes, false, &cfg).expect("sweep"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpt_bench::{experiments as ex, Config};
+use rpt_core::Mode;
+
+/// Table 2: robustness factors for random bushy join orders.
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let modes = [Mode::Baseline, Mode::RobustPredicateTransfer];
+    let all = ex::run_robustness(&modes, true, &cfg).expect("table2");
+    println!("\n[Table 2] Robustness Factors (bushy)\n{}", ex::print_rf_table(&all, &modes));
+    let w = rpt_workloads::tpch(cfg.sf, cfg.seed);
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("tpch_bushy_sweep", |b| {
+        b.iter(|| ex::robustness_table(&w, &modes, true, &cfg).expect("sweep"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Harness configuration.
+
+/// Experiment knobs, shared by the CLI and the Criterion benches.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workload scale factor (1.0 ≈ a few hundred thousand tuples per
+    /// benchmark; the CLI default 0.2 finishes the full suite in minutes).
+    pub sf: f64,
+    /// Data-generation seed.
+    pub seed: u64,
+    /// Fraction of the paper's `N = 70m − 190` random plans per query.
+    pub plan_scale: f64,
+    /// Work budget multiplier: random orders abort once they exceed
+    /// `budget_factor ×` the optimizer-plan work (the paper's 1000×t_opt
+    /// timeout analogue).
+    pub budget_factor: u64,
+    /// Threads for the multithreaded experiment.
+    pub threads: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sf: 0.2,
+            seed: 42,
+            plan_scale: 0.1,
+            budget_factor: 1000,
+            threads: 4,
+        }
+    }
+}
+
+impl Config {
+    /// Tiny configuration for unit tests and Criterion benches.
+    pub fn tiny() -> Config {
+        Config {
+            sf: 0.02,
+            seed: 7,
+            plan_scale: 0.02,
+            budget_factor: 1000,
+            threads: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let c = Config::default();
+        assert!(c.sf > 0.0 && c.plan_scale > 0.0 && c.budget_factor > 1);
+        let t = Config::tiny();
+        assert!(t.sf < c.sf);
+    }
+}

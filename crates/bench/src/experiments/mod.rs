@@ -1,0 +1,18 @@
+//! One module per group of paper experiments.
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`robustness`] | Tables 1–2, Figures 6–7, Appendix B/C (Figs. 21–31) |
+//! | [`speedup`] | Table 3, Appendix A (Figs. 17–20) |
+//! | [`figures`] | Figures 8, 9, 10, 11, 12, 13, 14, 15 |
+//! | [`micro`] | Figure 16 (Bloom vs hash probe) + ablations |
+
+pub mod figures;
+pub mod micro;
+pub mod robustness;
+pub mod speedup;
+
+pub use figures::*;
+pub use micro::*;
+pub use robustness::*;
+pub use speedup::*;

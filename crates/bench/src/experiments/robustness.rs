@@ -1,0 +1,289 @@
+//! Tables 1–2 (robustness factors) and the per-query distributions of
+//! Figures 6–7 / Appendix B & C (Figures 21–31).
+
+use crate::config::Config;
+use crate::util::{database_for, fmt_x, render_table};
+use rpt_common::Result;
+use rpt_core::robustness::{plans_for_joins, robustness_factor, RobustnessReport};
+use rpt_core::{Database, Mode, QueryOptions};
+use rpt_workloads::Workload;
+use std::collections::BTreeMap;
+
+/// Robustness results for one query under several modes.
+pub struct RfRow {
+    pub bench: &'static str,
+    pub query: String,
+    pub cyclic: bool,
+    pub num_joins: usize,
+    /// Work of the baseline optimizer plan (the normalizer, `t_opt`).
+    pub opt_work: u64,
+    pub reports: BTreeMap<&'static str, RobustnessReport>,
+}
+
+/// Run the robustness experiment for one workload.
+///
+/// For each query: `N = plan_scale × (70m − 190)` random orders
+/// (left-deep or bushy) per mode, with a work budget of
+/// `budget_factor × opt_work` standing in for the paper's `1000 × t_opt`
+/// timeout.
+pub fn robustness_table(
+    w: &Workload,
+    modes: &[Mode],
+    bushy: bool,
+    cfg: &Config,
+) -> Result<Vec<RfRow>> {
+    let db = database_for(w);
+    let mut rows = Vec::new();
+    for qd in &w.queries {
+        if qd.num_joins < 2 {
+            continue; // trivial for join ordering, as in the paper
+        }
+        let q = db.bind_sql(&qd.sql)?;
+        let opt = db.execute(&q, &QueryOptions::new(Mode::Baseline))?;
+        let opt_work = opt.work().max(1);
+        let n = plans_for_joins(qd.num_joins, cfg.plan_scale);
+        let budget = opt_work.saturating_mul(cfg.budget_factor);
+        let mut reports = BTreeMap::new();
+        for &mode in modes {
+            let rep = robustness_factor(&db, &q, mode, n, bushy, Some(budget), cfg.seed)?;
+            reports.insert(mode.label(), rep);
+        }
+        rows.push(RfRow {
+            bench: w.name,
+            query: qd.id.clone(),
+            cyclic: qd.cyclic,
+            num_joins: qd.num_joins,
+            opt_work,
+            reports,
+        });
+    }
+    Ok(rows)
+}
+
+/// Per-mode (avg, min, max) RF over acyclic queries — the paper's Table 1/2
+/// row format.
+pub fn summarize_rf(rows: &[RfRow], mode_label: &str) -> (f64, f64, f64) {
+    let rfs: Vec<f64> = rows
+        .iter()
+        .filter(|r| !r.cyclic)
+        .filter_map(|r| r.reports.get(mode_label).map(|rep| rep.rf_work()))
+        .filter(|v| v.is_finite())
+        .collect();
+    if rfs.is_empty() {
+        return (f64::NAN, f64::NAN, f64::NAN);
+    }
+    let avg = rfs.iter().sum::<f64>() / rfs.len() as f64;
+    let min = rfs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = rfs.iter().cloned().fold(0.0f64, f64::max);
+    (avg, min, max)
+}
+
+/// Render Table 1/2 style output for a set of workload results.
+pub fn print_rf_table(all: &[(String, Vec<RfRow>)], modes: &[Mode]) -> String {
+    let mut out = String::new();
+    let mut table_rows = Vec::new();
+    for &mode in modes {
+        let mut cells = vec![mode.label().to_string()];
+        for (_, rows) in all {
+            let (avg, min, max) = summarize_rf(rows, mode.label());
+            cells.push(fmt_x(avg));
+            cells.push(fmt_x(min));
+            cells.push(fmt_x(max));
+        }
+        table_rows.push(cells);
+    }
+    let mut headers = vec!["RF"];
+    let mut owned: Vec<String> = Vec::new();
+    for (name, _) in all {
+        owned.push(format!("{name} avg"));
+        owned.push(format!("{name} min"));
+        owned.push(format!("{name} max"));
+    }
+    headers.extend(owned.iter().map(String::as_str));
+    out.push_str(&render_table(&headers, &table_rows));
+    out
+}
+
+/// Render the per-query distribution (Figures 6/7/21–31): five-number
+/// summary of work normalized by the baseline optimizer plan's work,
+/// `*` marks timeouts, cyclic queries tagged `(cyclic)`.
+pub fn print_distribution(rows: &[RfRow]) -> String {
+    let mut table = Vec::new();
+    for r in rows {
+        for (label, rep) in &r.reports {
+            let (mn, p25, med, p75, mx) = rep.work_box();
+            let norm = r.opt_work as f64;
+            table.push(vec![
+                format!(
+                    "{}{}",
+                    r.query,
+                    if r.cyclic { " (cyclic)" } else { "" }
+                ),
+                label.to_string(),
+                format!("{:.3}", mn / norm),
+                format!("{:.3}", p25 / norm),
+                format!("{:.3}", med / norm),
+                format!("{:.3}", p75 / norm),
+                format!("{:.3}", mx / norm),
+                fmt_x(rep.rf_work()),
+                if rep.timeouts > 0 {
+                    format!("*{}", rep.timeouts)
+                } else {
+                    String::new()
+                },
+            ]);
+        }
+    }
+    render_table(
+        &["query", "system", "min", "p25", "med", "p75", "max", "RF", "t/o"],
+        &table,
+    )
+}
+
+/// Full robustness run over the paper's three robustness benchmarks
+/// (TPC-H, JOB, TPC-DS), all requested modes.
+pub fn run_robustness(
+    modes: &[Mode],
+    bushy: bool,
+    cfg: &Config,
+) -> Result<Vec<(String, Vec<RfRow>)>> {
+    let workloads = [
+        rpt_workloads::tpch(cfg.sf, cfg.seed),
+        rpt_workloads::job(cfg.sf, cfg.seed),
+        rpt_workloads::tpcds(cfg.sf, cfg.seed),
+    ];
+    let mut out = Vec::new();
+    for w in &workloads {
+        out.push((w.name.to_string(), robustness_table(w, modes, bushy, cfg)?));
+    }
+    Ok(out)
+}
+
+/// Robustness with a custom database (used by Figure 14's multithreaded
+/// variant, which re-runs left-deep with `cfg.threads`).
+pub fn robustness_multithreaded(w: &Workload, cfg: &Config) -> Result<Vec<RfRow>> {
+    let db = database_for(w);
+    let mut rows = Vec::new();
+    for qd in w.acyclic_queries() {
+        if qd.num_joins < 2 {
+            continue;
+        }
+        let q = db.bind_sql(&qd.sql)?;
+        let opt = db.execute(
+            &q,
+            &QueryOptions::new(Mode::Baseline).with_threads(cfg.threads),
+        )?;
+        let opt_work = opt.work().max(1);
+        let n = plans_for_joins(qd.num_joins, cfg.plan_scale);
+        let budget = opt_work.saturating_mul(cfg.budget_factor);
+        let mut reports = BTreeMap::new();
+        for mode in [Mode::Baseline, Mode::RobustPredicateTransfer] {
+            let rep =
+                robustness_mt_inner(&db, &q, mode, n, budget, cfg.seed, cfg.threads)?;
+            reports.insert(mode.label(), rep);
+        }
+        rows.push(RfRow {
+            bench: w.name,
+            query: qd.id.clone(),
+            cyclic: qd.cyclic,
+            num_joins: qd.num_joins,
+            opt_work,
+            reports,
+        });
+    }
+    Ok(rows)
+}
+
+fn robustness_mt_inner(
+    db: &Database,
+    q: &rpt_core::JoinQuery,
+    mode: Mode,
+    n: usize,
+    budget: u64,
+    seed: u64,
+    threads: usize,
+) -> Result<RobustnessReport> {
+    use rpt_core::robustness::RunOutcome;
+    let graph = q.graph();
+    let mut outcomes = Vec::new();
+    let mut works = Vec::new();
+    let mut times = Vec::new();
+    let mut timeouts = 0;
+    for i in 0..n {
+        let order = rpt_core::JoinOrder::LeftDeep(rpt_core::random_left_deep(
+            &graph,
+            seed.wrapping_add(i as u64),
+        ));
+        let opts = QueryOptions::new(mode)
+            .with_order(order)
+            .with_threads(threads)
+            .with_budget(budget);
+        match db.execute(q, &opts) {
+            Ok(r) => {
+                works.push(r.work());
+                times.push(r.wall_time.as_secs_f64());
+                outcomes.push(RunOutcome::Ok {
+                    time_secs: r.wall_time.as_secs_f64(),
+                    work: r.work(),
+                });
+            }
+            Err(e) if e.is_budget() => {
+                timeouts += 1;
+                works.push(budget);
+                outcomes.push(RunOutcome::Timeout);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(RobustnessReport {
+        mode,
+        outcomes,
+        works,
+        times,
+        timeouts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpch_robustness_tiny() {
+        let cfg = Config::tiny();
+        let w = rpt_workloads::tpch(cfg.sf, cfg.seed);
+        let rows = robustness_table(
+            &w,
+            &[Mode::Baseline, Mode::RobustPredicateTransfer],
+            false,
+            &cfg,
+        )
+        .unwrap();
+        assert!(!rows.is_empty());
+        // Headline claim (Table 1 shape): RPT's average RF over acyclic
+        // queries is much smaller than the baseline's.
+        let (base_avg, _, base_max) = summarize_rf(&rows, "DuckDB");
+        let (rpt_avg, _, rpt_max) = summarize_rf(&rows, "RPT");
+        assert!(
+            rpt_avg < base_avg,
+            "RPT avg RF {rpt_avg} should beat baseline {base_avg}"
+        );
+        assert!(
+            rpt_max <= base_max,
+            "RPT max RF {rpt_max} vs baseline {base_max}"
+        );
+        let printed = print_rf_table(&[("TPC-H".into(), rows)], &[Mode::Baseline, Mode::RobustPredicateTransfer]);
+        assert!(printed.contains("RPT"));
+    }
+
+    #[test]
+    fn distribution_prints() {
+        let cfg = Config::tiny();
+        let w = rpt_workloads::tpch(cfg.sf, cfg.seed);
+        let rows =
+            robustness_table(&w, &[Mode::RobustPredicateTransfer], false, &cfg).unwrap();
+        let s = print_distribution(&rows);
+        assert!(s.contains("q3"));
+        assert!(s.contains("med"));
+    }
+}

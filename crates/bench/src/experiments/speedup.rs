@@ -1,0 +1,183 @@
+//! Table 3 (average speedups over the baseline with the optimizer's plan)
+//! and Appendix A (Figures 17–20: per-query execution with the optimizer's
+//! plan, normalized by the baseline).
+
+use crate::config::Config;
+use crate::util::{database_for, fmt_x, geomean, render_table};
+use rpt_common::Result;
+use rpt_core::{Mode, QueryOptions};
+use rpt_workloads::Workload;
+use std::collections::BTreeMap;
+
+/// Per-query optimizer-plan measurements for each mode.
+pub struct SpeedupRow {
+    pub bench: &'static str,
+    pub query: String,
+    pub cyclic: bool,
+    /// mode label → (weighted work, wall seconds, raw work)
+    pub runs: BTreeMap<&'static str, (f64, f64, u64)>,
+}
+
+/// Run every query of a workload with the optimizer's plan under each mode.
+pub fn speedup_table(w: &Workload, modes: &[Mode], _cfg: &Config) -> Result<Vec<SpeedupRow>> {
+    let db = database_for(w);
+    let mut rows = Vec::new();
+    for qd in &w.queries {
+        let q = db.bind_sql(&qd.sql)?;
+        let mut runs = BTreeMap::new();
+        for &mode in modes {
+            let r = db.execute(&q, &QueryOptions::new(mode))?;
+            runs.insert(
+                mode.label(),
+                (
+                    r.metrics.weighted_work(),
+                    r.wall_time.as_secs_f64(),
+                    r.work(),
+                ),
+            );
+        }
+        rows.push(SpeedupRow {
+            bench: w.name,
+            query: qd.id.clone(),
+            cyclic: qd.cyclic,
+            runs,
+        });
+    }
+    Ok(rows)
+}
+
+/// Geometric-mean speedup of `mode` over the baseline (Table 3 cells),
+/// on the work metric.
+pub fn geomean_speedup(rows: &[SpeedupRow], mode_label: &str) -> f64 {
+    let ratios: Vec<f64> = rows
+        .iter()
+        .filter_map(|r| {
+            let base = r.runs.get("DuckDB")?.0;
+            let m = r.runs.get(mode_label)?.0;
+            Some(base / m.max(1.0))
+        })
+        .collect();
+    geomean(&ratios)
+}
+
+/// Wall-time variant of the geomean speedup.
+pub fn geomean_speedup_time(rows: &[SpeedupRow], mode_label: &str) -> f64 {
+    let ratios: Vec<f64> = rows
+        .iter()
+        .filter_map(|r| {
+            let base = r.runs.get("DuckDB")?.1;
+            let m = r.runs.get(mode_label)?.1;
+            Some(base / m.max(1e-9))
+        })
+        .collect();
+    geomean(&ratios)
+}
+
+/// Run Table 3 over the four benchmarks.
+pub fn run_table3(cfg: &Config) -> Result<Vec<(String, Vec<SpeedupRow>)>> {
+    let workloads = [
+        rpt_workloads::tpch(cfg.sf, cfg.seed),
+        rpt_workloads::job(cfg.sf, cfg.seed),
+        rpt_workloads::tpcds(cfg.sf, cfg.seed),
+        rpt_workloads::dsb(cfg.sf, cfg.seed),
+    ];
+    let modes = [
+        Mode::Baseline,
+        Mode::BloomJoin,
+        Mode::PredicateTransfer,
+        Mode::RobustPredicateTransfer,
+    ];
+    let mut out = Vec::new();
+    for w in &workloads {
+        out.push((w.name.to_string(), speedup_table(w, &modes, cfg)?));
+    }
+    Ok(out)
+}
+
+/// Render Table 3.
+pub fn print_table3(all: &[(String, Vec<SpeedupRow>)]) -> String {
+    let mut headers: Vec<String> = vec!["Speedup".into()];
+    headers.extend(all.iter().map(|(n, _)| n.clone()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for label in ["BloomJoin", "PT", "RPT"] {
+        let mut cells = vec![label.to_string()];
+        for (_, data) in all {
+            cells.push(fmt_x(geomean_speedup(data, label)));
+        }
+        rows.push(cells);
+    }
+    render_table(&header_refs, &rows)
+}
+
+/// Render Appendix A (per-query normalized work, one row per query).
+pub fn print_appendix_a(rows: &[SpeedupRow]) -> String {
+    let mut table = Vec::new();
+    for r in rows {
+        let base = r.runs.get("DuckDB").map(|x| x.0).unwrap_or(1.0).max(1.0);
+        let cell = |label: &str| -> String {
+            r.runs
+                .get(label)
+                .map(|(w, _, _)| format!("{:.3}", *w / base))
+                .unwrap_or_else(|| "-".into())
+        };
+        table.push(vec![
+            format!("{}{}", r.query, if r.cyclic { " (cyclic)" } else { "" }),
+            cell("DuckDB"),
+            cell("BloomJoin"),
+            cell("PT"),
+            cell("RPT"),
+        ]);
+    }
+    render_table(&["query", "DuckDB", "BloomJoin", "PT", "RPT"], &table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpt_speeds_up_tpch() {
+        let cfg = Config::tiny();
+        let w = rpt_workloads::tpch(0.1, cfg.seed);
+        let rows = speedup_table(
+            &w,
+            &[Mode::Baseline, Mode::RobustPredicateTransfer],
+            &cfg,
+        )
+        .unwrap();
+        let s = geomean_speedup(&rows, "RPT");
+        // RPT must not be slower than baseline on the work metric overall
+        // (paper: ≈1.5× faster).
+        assert!(s > 1.0, "RPT work speedup {s} <= 1");
+    }
+
+    #[test]
+    fn all_modes_run_table3_shape() {
+        let cfg = Config::tiny();
+        let w = rpt_workloads::tpch(cfg.sf, cfg.seed);
+        let rows = speedup_table(
+            &w,
+            &[Mode::Baseline, Mode::BloomJoin, Mode::PredicateTransfer, Mode::RobustPredicateTransfer],
+            &cfg,
+        )
+        .unwrap();
+        let printed = print_table3(&[("TPC-H".into(), rows)]);
+        assert!(printed.contains("RPT"));
+        assert!(printed.contains("BloomJoin"));
+    }
+
+    #[test]
+    fn appendix_a_prints_per_query() {
+        let cfg = Config::tiny();
+        let w = rpt_workloads::tpch(cfg.sf, cfg.seed);
+        let rows = speedup_table(
+            &w,
+            &[Mode::Baseline, Mode::RobustPredicateTransfer],
+            &cfg,
+        )
+        .unwrap();
+        let s = print_appendix_a(&rows);
+        assert!(s.contains("q2"));
+    }
+}

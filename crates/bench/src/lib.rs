@@ -1,0 +1,20 @@
+//! # rpt-bench
+//!
+//! The experiment harness: one function per table/figure of the paper's
+//! evaluation (§5 + appendices), shared between the `rpt-bench` CLI and the
+//! Criterion benches. Each function returns plain-data rows; `print_*`
+//! helpers render them in the same shape the paper reports.
+//!
+//! Metrics: alongside wall time we report the deterministic *work* metric
+//! (tuples through stateful operators — scans, Bloom builds/probes, hash
+//! builds, join outputs). At laptop scale wall time of sub-millisecond
+//! queries is timer noise; work is the quantity the Yannakakis bound
+//! actually constrains, so robustness factors are computed on work and
+//! cross-checked on time.
+
+pub mod config;
+pub mod experiments;
+pub mod util;
+
+pub use config::Config;
+pub use util::database_for;

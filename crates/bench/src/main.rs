@@ -1,0 +1,288 @@
+//! `rpt-bench` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! rpt-bench <experiment> [--sf X] [--seed N] [--scale F] [--threads T]
+//!
+//! experiments:
+//!   table1        robustness factors, random left-deep (Table 1)
+//!   table2        robustness factors, random bushy (Table 2)
+//!   table3        speedups with the optimizer's plan (Table 3)
+//!   fig6          per-query left-deep distributions (Figure 6)
+//!   fig7          per-query bushy distributions (Figure 7)
+//!   fig8          PT vs RPT on fragile queries (Figure 8)
+//!   fig9          bushy vs left-deep gains (Figure 9)
+//!   fig10         wrong hash-join build side, JOB 17e (Figure 10)
+//!   fig11         JOB 2a case study (Figure 11)
+//!   fig12         adversarial quadratic instance (Figure 12)
+//!   fig13         random LargestRoot join trees (Figure 13)
+//!   fig14         multithreaded robustness (Figure 14)
+//!   fig15         on-disk + spill (Figure 15)
+//!   fig16         Bloom vs hash probe microbenchmark (Figure 16)
+//!   appendix-a    per-query speedups, 4 benchmarks (Figures 17–20)
+//!   appendix-bc   per-query distributions, 4 systems (Figures 21–31)
+//!   hybrid        RPT+WCOJ on cyclic queries (§5.1.3 extension)
+//!   noise         plan degradation under cardinality-estimation noise
+//!   ablations     backward-pass / pruning / FPR ablations
+//!   all           everything above
+//! ```
+
+use rpt_bench::experiments as ex;
+use rpt_bench::util::{fmt_x, geomean};
+use rpt_bench::Config;
+use rpt_core::Mode;
+
+fn parse_args() -> (String, Config) {
+    let mut cfg = Config::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = String::from("all");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sf" => {
+                cfg.sf = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(cfg.sf);
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(cfg.seed);
+                i += 2;
+            }
+            "--scale" => {
+                cfg.plan_scale = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(cfg.plan_scale);
+                i += 2;
+            }
+            "--threads" => {
+                cfg.threads = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(cfg.threads);
+                i += 2;
+            }
+            other => {
+                cmd = other.to_string();
+                i += 1;
+            }
+        }
+    }
+    (cmd, cfg)
+}
+
+fn main() {
+    let (cmd, cfg) = parse_args();
+    let run = |name: &str| cmd == name || cmd == "all";
+    let two = [Mode::Baseline, Mode::RobustPredicateTransfer];
+    let four = [
+        Mode::Baseline,
+        Mode::BloomJoin,
+        Mode::PredicateTransfer,
+        Mode::RobustPredicateTransfer,
+    ];
+
+    if run("table1") {
+        banner("Table 1: Robustness Factors (random left-deep)");
+        let all = ex::run_robustness(&two, false, &cfg).expect("table1");
+        println!("{}", ex::print_rf_table(&all, &two));
+    }
+    if run("table2") {
+        banner("Table 2: Robustness Factors (random bushy)");
+        let all = ex::run_robustness(&two, true, &cfg).expect("table2");
+        println!("{}", ex::print_rf_table(&all, &two));
+    }
+    if run("table3") {
+        banner("Table 3: speedups over DuckDB baseline (optimizer's plan, geomean)");
+        let all = ex::run_table3(&cfg).expect("table3");
+        println!("{}", ex::print_table3(&all));
+    }
+    if run("fig6") {
+        banner("Figure 6: distribution of random left-deep plans (work / t_opt)");
+        let all = ex::run_robustness(&two, false, &cfg).expect("fig6");
+        for (name, rows) in &all {
+            println!("--- {name} ---\n{}", ex::print_distribution(rows));
+        }
+    }
+    if run("fig7") {
+        banner("Figure 7: distribution of random bushy plans (work / t_opt)");
+        let all = ex::run_robustness(&two, true, &cfg).expect("fig7");
+        for (name, rows) in &all {
+            println!("--- {name} ---\n{}", ex::print_distribution(rows));
+        }
+    }
+    if run("fig8") {
+        banner("Figure 8: PT vs RPT on Small2Large-fragile queries");
+        let rows = ex::fig8_pt_vs_rpt(&cfg).expect("fig8");
+        println!("{}", ex::print_fig8(&rows));
+    }
+    if run("fig9") {
+        banner("Figure 9: bushy vs left-deep under RPT");
+        for w in [
+            rpt_workloads::tpch(cfg.sf, cfg.seed),
+            rpt_workloads::job(cfg.sf, cfg.seed),
+        ] {
+            let rows = ex::fig9_bushy_gain(&w, &cfg).expect("fig9");
+            let (best_gain, opt_gain) = ex::fig9_gain_summary(&rows);
+            println!("--- {} ---\n{}", w.name, ex::print_fig9(&rows));
+            println!(
+                "bushy gain over left-deep: best-random {} / optimizer {}\n",
+                fmt_x(best_gain),
+                fmt_x(opt_gain)
+            );
+        }
+    }
+    if run("fig10") {
+        banner("Figure 10: wrong hash-join build side (JOB 17e)");
+        let r = ex::fig10_build_side(&cfg).expect("fig10");
+        println!(
+            "correct build side: work {} (hash-build rows {}), {:.4}s",
+            r.correct_work, r.correct_hash_build_rows, r.correct_time
+        );
+        println!(
+            "flipped build side: work {} (hash-build rows {}), {:.4}s",
+            r.flipped_work, r.flipped_hash_build_rows, r.flipped_time
+        );
+        let rpt_ratio = (r.flipped_work.max(r.correct_work).max(1)) as f64
+            / (r.flipped_work.min(r.correct_work).max(1)) as f64;
+        let base_ratio = (r.baseline_flipped_build_rows.max(r.baseline_correct_build_rows).max(1))
+            as f64
+            / (r.baseline_flipped_build_rows.min(r.baseline_correct_build_rows).max(1)) as f64;
+        println!("cost of the wrong orientation, RPT (reduced inputs): {}", fmt_x(rpt_ratio));
+        println!(
+            "cost of the wrong orientation, baseline build rows ({} vs {}): {}\n",
+            r.baseline_correct_build_rows, r.baseline_flipped_build_rows, fmt_x(base_ratio)
+        );
+    }
+    if run("fig11") {
+        banner("Figure 11: JOB 2a case study (Σ intermediate results)");
+        let r = ex::fig11_case_study(&cfg).expect("fig11");
+        println!(
+            "w/o RPT: best {} worst {} (ratio {})",
+            r.baseline.0,
+            r.baseline.1,
+            fmt_x(r.baseline.1 as f64 / r.baseline.0.max(1) as f64)
+        );
+        println!(
+            "RPT:     best {} worst {} (ratio {})",
+            r.rpt.0,
+            r.rpt.1,
+            fmt_x(r.rpt.1 as f64 / r.rpt.0.max(1) as f64)
+        );
+        println!("output rows: {}\n", r.output_rows);
+    }
+    if run("fig12") {
+        banner("Figure 12: adversarial instance (empty output, N²/2 w/o RPT)");
+        for n in [100usize, 400, 1000] {
+            let r = ex::fig12_adversarial(n).expect("fig12");
+            println!(
+                "N = {:5}: (R⋈S)⋈T = {:8} tuples, (S⋈T)⋈R = {:8} tuples, \
+                 RPT join outputs = {:3}, output = {}",
+                r.n, r.baseline_rs_first, r.baseline_st_first, r.rpt_join_outputs, r.output_rows
+            );
+        }
+        println!();
+    }
+    if run("fig13") {
+        banner("Figure 13: 50 random LargestRoot join trees (normalized work)");
+        for w in [
+            rpt_workloads::tpch(cfg.sf, cfg.seed),
+            rpt_workloads::job(cfg.sf, cfg.seed),
+        ] {
+            let rows = ex::fig13_random_trees(&w, 50, &cfg).expect("fig13");
+            println!("--- {} ---\n{}", w.name, ex::print_fig13(&rows));
+        }
+    }
+    if run("fig14") {
+        banner(format!(
+            "Figure 14: multithreaded robustness ({} threads)",
+            cfg.threads
+        ));
+        for w in [
+            rpt_workloads::tpch(cfg.sf, cfg.seed),
+            rpt_workloads::job(cfg.sf, cfg.seed),
+        ] {
+            let rows = ex::robustness_multithreaded(&w, &cfg).expect("fig14");
+            println!("--- {} ---\n{}", w.name, ex::print_distribution(&rows));
+        }
+    }
+    if run("fig15") {
+        banner("Figure 15: on-disk and on-disk+spill (wall time, normalized)");
+        for w in [
+            rpt_workloads::tpch(cfg.sf, cfg.seed),
+            rpt_workloads::job(cfg.sf, cfg.seed),
+        ] {
+            let rows = ex::fig15_spill(&w, &cfg).expect("fig15");
+            println!("--- {} ---\n{}", w.name, ex::print_fig15(&rows));
+            let disk: Vec<f64> = rows.iter().map(|r| r.base_disk / r.rpt_disk.max(1e-9)).collect();
+            let spill: Vec<f64> =
+                rows.iter().map(|r| r.base_spill / r.rpt_spill.max(1e-9)).collect();
+            println!(
+                "RPT speedup: on-disk {} / +spill {}\n",
+                fmt_x(geomean(&disk)),
+                fmt_x(geomean(&spill))
+            );
+        }
+    }
+    if run("fig16") {
+        banner("Figure 16: Bloom probe vs hash probe microbenchmark");
+        let rows = ex::fig16_bloom_micro(2_000_000, 22);
+        println!("{}", ex::print_fig16(&rows));
+    }
+    if run("appendix-a") {
+        banner("Appendix A (Figures 17–20): per-query speedups, optimizer's plan");
+        let all = ex::run_table3(&cfg).expect("appendix-a");
+        for (name, rows) in &all {
+            println!("--- {name} ---\n{}", ex::print_appendix_a(rows));
+        }
+    }
+    if run("appendix-bc") {
+        banner("Appendix B/C (Figures 21–31): distributions for all systems");
+        for bushy in [false, true] {
+            println!(
+                "=== {} plans ===",
+                if bushy { "bushy" } else { "left-deep" }
+            );
+            let all = ex::run_robustness(&four, bushy, &cfg).expect("appendix-bc");
+            for (name, rows) in &all {
+                println!("--- {name} ---\n{}", ex::print_distribution(rows));
+            }
+        }
+    }
+    if run("hybrid") {
+        banner("Extension: RPT+WCOJ on cyclic TPC-DS queries (work)");
+        let rows = ex::hybrid_cyclic(&cfg).expect("hybrid");
+        println!("{}", ex::print_hybrid(&rows));
+        println!("The hybrid executor has no join order to get wrong; its work is a");
+        println!("single deterministic number per query.\n");
+    }
+    if run("noise") {
+        banner("Motivation: plan-quality degradation under CE noise (geomean work ratio)");
+        let rows = ex::ce_noise_tolerance(&cfg).expect("noise");
+        println!("{}", ex::print_noise(&rows));
+        println!("RPT's plans barely degrade when estimates are corrupted; the baseline's do.\n");
+    }
+    if run("ablations") {
+        banner("Ablations");
+        let rows = ex::ablation_backward_pass(&cfg).expect("ablation");
+        println!(
+            "{}",
+            ex::print_ablation(&rows, "backward-pass pruning (on vs off, work)")
+        );
+        let rows = ex::ablation_pruning(&cfg).expect("ablation");
+        println!(
+            "{}",
+            ex::print_ablation(&rows, "trivial PK-side semi-join pruning (on vs off, work)")
+        );
+        println!("Bloom FPR sweep on JOB 3a:");
+        for r in ex::ablation_fpr(&cfg).expect("ablation") {
+            println!(
+                "  fpr {:>5.3}: work {:>10}, bloom survivors {:>8}, join-phase rows {:>8}",
+                r.fpr, r.work, r.bloom_survivors, r.join_output_rows
+            );
+        }
+    }
+}
+
+fn banner(title: impl AsRef<str>) {
+    let t = title.as_ref();
+    println!("\n{}\n{}\n", t, "=".repeat(t.len()));
+}

@@ -1,0 +1,103 @@
+//! Shared helpers: database construction, formatting, statistics.
+
+use rpt_core::Database;
+use rpt_workloads::Workload;
+
+/// Build an engine instance over a generated workload.
+pub fn database_for(w: &Workload) -> Database {
+    let mut db = Database::new();
+    for t in &w.tables {
+        db.register_table(t.clone());
+    }
+    db
+}
+
+/// Geometric mean of positive values (NaN on empty input).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Format a ratio like the paper's tables ("1.5×").
+pub fn fmt_x(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else if v >= 100.0 {
+        format!("{v:.0}×")
+    } else {
+        format!("{v:.2}×")
+    }
+}
+
+/// Render a simple aligned table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpt_workloads::tpch;
+
+    #[test]
+    fn database_registers_all_tables() {
+        let w = tpch(0.01, 3);
+        let db = database_for(&w);
+        assert_eq!(db.catalog().len(), w.tables.len());
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-9);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn table_rendering() {
+        let s = render_table(
+            &["a", "bench"],
+            &[vec!["1".into(), "x".into()], vec!["22".into(), "yy".into()]],
+        );
+        assert!(s.contains("bench"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(fmt_x(1.5), "1.50×");
+        assert_eq!(fmt_x(250.0), "250×");
+        assert_eq!(fmt_x(f64::NAN), "-");
+    }
+}

@@ -1,0 +1,25 @@
+//! # rpt-common
+//!
+//! Foundational data representation shared by every crate in the RPT
+//! reproduction: scalar values, data types, schemas, typed column vectors
+//! with validity masks, the 2048-row [`chunk::DataChunk`] unit of vectorized
+//! execution, selection vectors, and the vectorized hashing routines used by
+//! hash joins, aggregation, and Bloom filters.
+//!
+//! The design mirrors the execution substrate described in §4.1 of
+//! *Debunking the Myth of Join Ordering* (SIGMOD 2025): a push-based
+//! vectorized engine processes tuples in batches ("data chunks", default
+//! batch size 2048) and marks valid entries with a *selection vector*.
+
+pub mod chunk;
+pub mod error;
+pub mod hash;
+pub mod schema;
+pub mod types;
+pub mod vector;
+
+pub use chunk::{DataChunk, SelectionVector, VECTOR_SIZE};
+pub use error::{Error, Result};
+pub use schema::{Field, Schema};
+pub use types::{DataType, ScalarValue};
+pub use vector::{ColumnData, Vector};

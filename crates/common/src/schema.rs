@@ -1,0 +1,109 @@
+//! Schemas: named, typed column lists.
+
+use crate::types::DataType;
+use crate::{Error, Result};
+
+/// A single named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub data_type: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+/// An ordered list of fields describing a table or an intermediate chunk.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    pub fields: Vec<Field>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    pub fn empty() -> Self {
+        Schema { fields: vec![] }
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column with the given name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| Error::Bind(format!("column `{name}` not found in schema")))
+    }
+
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Concatenate two schemas (used when a hash join glues probe-side and
+    /// build-side columns together).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    /// Schema restricted to the given column indices, in order.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Utf8),
+        ])
+    }
+
+    #[test]
+    fn index_lookup() {
+        let schema = s();
+        assert_eq!(schema.index_of("a").unwrap(), 0);
+        assert_eq!(schema.index_of("b").unwrap(), 1);
+        assert!(schema.index_of("c").is_err());
+    }
+
+    #[test]
+    fn join_and_project() {
+        let left = s();
+        let right = Schema::new(vec![Field::new("c", DataType::Float64)]);
+        let joined = left.join(&right);
+        assert_eq!(joined.len(), 3);
+        assert_eq!(joined.index_of("c").unwrap(), 2);
+        let proj = joined.project(&[2, 0]);
+        assert_eq!(proj.fields[0].name, "c");
+        assert_eq!(proj.fields[1].name, "a");
+    }
+
+    #[test]
+    fn empty() {
+        assert!(Schema::empty().is_empty());
+        assert_eq!(Schema::empty().len(), 0);
+    }
+}

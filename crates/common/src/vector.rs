@@ -1,0 +1,324 @@
+//! Typed column vectors with optional validity (NULL) masks.
+//!
+//! A [`Vector`] is one column of a [`crate::DataChunk`]: a contiguous typed
+//! buffer plus an optional validity mask. Vectors are always *flat* (no
+//! dictionary/constant encodings); selection is carried at the chunk level so
+//! operators can eliminate rows without copying column data.
+
+use crate::types::{DataType, ScalarValue};
+use crate::{Error, Result};
+
+/// The typed payload of a column vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    Int64(Vec<i64>),
+    Float64(Vec<f64>),
+    Utf8(Vec<String>),
+    Bool(Vec<bool>),
+}
+
+impl ColumnData {
+    pub fn new_empty(dt: DataType) -> Self {
+        match dt {
+            DataType::Int64 => ColumnData::Int64(vec![]),
+            DataType::Float64 => ColumnData::Float64(vec![]),
+            DataType::Utf8 => ColumnData::Utf8(vec![]),
+            DataType::Bool => ColumnData::Bool(vec![]),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int64(v) => v.len(),
+            ColumnData::Float64(v) => v.len(),
+            ColumnData::Utf8(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnData::Int64(_) => DataType::Int64,
+            ColumnData::Float64(_) => DataType::Float64,
+            ColumnData::Utf8(_) => DataType::Utf8,
+            ColumnData::Bool(_) => DataType::Bool,
+        }
+    }
+}
+
+/// One column of a chunk: typed values plus an optional validity mask
+/// (`true` = valid, `false` = NULL). `validity == None` means all-valid,
+/// which is the overwhelmingly common case in the paper's workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vector {
+    pub data: ColumnData,
+    pub validity: Option<Vec<bool>>,
+}
+
+impl Vector {
+    pub fn new(data: ColumnData) -> Self {
+        Vector {
+            data,
+            validity: None,
+        }
+    }
+
+    pub fn new_empty(dt: DataType) -> Self {
+        Vector::new(ColumnData::new_empty(dt))
+    }
+
+    pub fn from_i64(values: Vec<i64>) -> Self {
+        Vector::new(ColumnData::Int64(values))
+    }
+
+    pub fn from_f64(values: Vec<f64>) -> Self {
+        Vector::new(ColumnData::Float64(values))
+    }
+
+    pub fn from_utf8(values: Vec<String>) -> Self {
+        Vector::new(ColumnData::Utf8(values))
+    }
+
+    pub fn from_bool(values: Vec<bool>) -> Self {
+        Vector::new(ColumnData::Bool(values))
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn data_type(&self) -> DataType {
+        self.data.data_type()
+    }
+
+    pub fn is_valid(&self, idx: usize) -> bool {
+        self.validity.as_ref().is_none_or(|v| v[idx])
+    }
+
+    /// Read row `idx` as a scalar (positional, ignores chunk selection).
+    pub fn get(&self, idx: usize) -> ScalarValue {
+        if !self.is_valid(idx) {
+            return ScalarValue::Null;
+        }
+        match &self.data {
+            ColumnData::Int64(v) => ScalarValue::Int64(v[idx]),
+            ColumnData::Float64(v) => ScalarValue::Float64(v[idx]),
+            ColumnData::Utf8(v) => ScalarValue::Utf8(v[idx].clone()),
+            ColumnData::Bool(v) => ScalarValue::Bool(v[idx]),
+        }
+    }
+
+    /// Append a scalar (NULL extends the validity mask).
+    pub fn push(&mut self, value: &ScalarValue) -> Result<()> {
+        if value.is_null() {
+            let len = self.len();
+            let validity = self
+                .validity
+                .get_or_insert_with(|| vec![true; len]);
+            validity.push(false);
+            // Push a placeholder payload value.
+            match &mut self.data {
+                ColumnData::Int64(v) => v.push(0),
+                ColumnData::Float64(v) => v.push(0.0),
+                ColumnData::Utf8(v) => v.push(String::new()),
+                ColumnData::Bool(v) => v.push(false),
+            }
+            return Ok(());
+        }
+        match (&mut self.data, value) {
+            (ColumnData::Int64(v), ScalarValue::Int64(x)) => v.push(*x),
+            (ColumnData::Float64(v), ScalarValue::Float64(x)) => v.push(*x),
+            (ColumnData::Float64(v), ScalarValue::Int64(x)) => v.push(*x as f64),
+            (ColumnData::Utf8(v), ScalarValue::Utf8(x)) => v.push(x.clone()),
+            (ColumnData::Bool(v), ScalarValue::Bool(x)) => v.push(*x),
+            (d, v) => {
+                return Err(Error::Exec(format!(
+                    "type mismatch pushing {v:?} into {:?} column",
+                    d.data_type()
+                )))
+            }
+        }
+        if let Some(validity) = &mut self.validity {
+            validity.push(true);
+        }
+        Ok(())
+    }
+
+    /// Gather rows by index into a new flat vector (used to apply selection
+    /// vectors and to materialize hash-join matches).
+    pub fn take(&self, indices: &[u32]) -> Vector {
+        let data = match &self.data {
+            ColumnData::Int64(v) => {
+                ColumnData::Int64(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Float64(v) => {
+                ColumnData::Float64(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Utf8(v) => {
+                ColumnData::Utf8(indices.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+            ColumnData::Bool(v) => {
+                ColumnData::Bool(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+        };
+        let validity = self
+            .validity
+            .as_ref()
+            .map(|m| indices.iter().map(|&i| m[i as usize]).collect());
+        Vector { data, validity }
+    }
+
+    /// Append all rows of `other` (same type) to `self`.
+    pub fn append(&mut self, other: &Vector) -> Result<()> {
+        if self.data_type() != other.data_type() {
+            return Err(Error::Exec(format!(
+                "appending {:?} column to {:?} column",
+                other.data_type(),
+                self.data_type()
+            )));
+        }
+        // Reconcile validity masks up front.
+        if other.validity.is_some() && self.validity.is_none() {
+            self.validity = Some(vec![true; self.len()]);
+        }
+        if let Some(validity) = &mut self.validity {
+            match &other.validity {
+                Some(m) => validity.extend_from_slice(m),
+                None => validity.extend(std::iter::repeat_n(true, other.len())),
+            }
+        }
+        match (&mut self.data, &other.data) {
+            (ColumnData::Int64(a), ColumnData::Int64(b)) => a.extend_from_slice(b),
+            (ColumnData::Float64(a), ColumnData::Float64(b)) => a.extend_from_slice(b),
+            (ColumnData::Utf8(a), ColumnData::Utf8(b)) => a.extend(b.iter().cloned()),
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => a.extend_from_slice(b),
+            _ => unreachable!("type checked above"),
+        }
+        Ok(())
+    }
+
+    /// Contiguous sub-range copy (used to split tables into chunks).
+    pub fn slice(&self, offset: usize, len: usize) -> Vector {
+        let end = offset + len;
+        let data = match &self.data {
+            ColumnData::Int64(v) => ColumnData::Int64(v[offset..end].to_vec()),
+            ColumnData::Float64(v) => ColumnData::Float64(v[offset..end].to_vec()),
+            ColumnData::Utf8(v) => ColumnData::Utf8(v[offset..end].to_vec()),
+            ColumnData::Bool(v) => ColumnData::Bool(v[offset..end].to_vec()),
+        };
+        let validity = self.validity.as_ref().map(|m| m[offset..end].to_vec());
+        Vector { data, validity }
+    }
+
+    /// Typed accessors (panic on type mismatch — internal fast paths only).
+    pub fn i64_slice(&self) -> &[i64] {
+        match &self.data {
+            ColumnData::Int64(v) => v,
+            other => panic!("expected Int64 column, got {:?}", other.data_type()),
+        }
+    }
+
+    pub fn f64_slice(&self) -> &[f64] {
+        match &self.data {
+            ColumnData::Float64(v) => v,
+            other => panic!("expected Float64 column, got {:?}", other.data_type()),
+        }
+    }
+
+    pub fn utf8_slice(&self) -> &[String] {
+        match &self.data {
+            ColumnData::Utf8(v) => v,
+            other => panic!("expected Utf8 column, got {:?}", other.data_type()),
+        }
+    }
+
+    pub fn bool_slice(&self) -> &[bool] {
+        match &self.data {
+            ColumnData::Bool(v) => v,
+            other => panic!("expected Bool column, got {:?}", other.data_type()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_get() {
+        let v = Vector::from_i64(vec![1, 2, 3]);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.get(1), ScalarValue::Int64(2));
+        assert_eq!(v.data_type(), DataType::Int64);
+    }
+
+    #[test]
+    fn push_with_nulls() {
+        let mut v = Vector::new_empty(DataType::Int64);
+        v.push(&ScalarValue::Int64(5)).unwrap();
+        v.push(&ScalarValue::Null).unwrap();
+        v.push(&ScalarValue::Int64(7)).unwrap();
+        assert_eq!(v.len(), 3);
+        assert!(v.is_valid(0));
+        assert!(!v.is_valid(1));
+        assert_eq!(v.get(1), ScalarValue::Null);
+        assert_eq!(v.get(2), ScalarValue::Int64(7));
+    }
+
+    #[test]
+    fn push_type_mismatch() {
+        let mut v = Vector::new_empty(DataType::Int64);
+        assert!(v.push(&ScalarValue::Utf8("x".into())).is_err());
+    }
+
+    #[test]
+    fn int_into_float_coercion() {
+        let mut v = Vector::new_empty(DataType::Float64);
+        v.push(&ScalarValue::Int64(2)).unwrap();
+        assert_eq!(v.get(0), ScalarValue::Float64(2.0));
+    }
+
+    #[test]
+    fn take_gathers_rows() {
+        let v = Vector::from_utf8(vec!["a".into(), "b".into(), "c".into()]);
+        let t = v.take(&[2, 0]);
+        assert_eq!(t.get(0), ScalarValue::Utf8("c".into()));
+        assert_eq!(t.get(1), ScalarValue::Utf8("a".into()));
+    }
+
+    #[test]
+    fn take_preserves_validity() {
+        let mut v = Vector::new_empty(DataType::Int64);
+        v.push(&ScalarValue::Int64(1)).unwrap();
+        v.push(&ScalarValue::Null).unwrap();
+        let t = v.take(&[1, 0]);
+        assert!(!t.is_valid(0));
+        assert!(t.is_valid(1));
+    }
+
+    #[test]
+    fn append_merges_validity() {
+        let mut a = Vector::from_i64(vec![1, 2]);
+        let mut b = Vector::new_empty(DataType::Int64);
+        b.push(&ScalarValue::Null).unwrap();
+        a.append(&b).unwrap();
+        assert_eq!(a.len(), 3);
+        assert!(a.is_valid(0));
+        assert!(!a.is_valid(2));
+    }
+
+    #[test]
+    fn append_type_mismatch() {
+        let mut a = Vector::from_i64(vec![1]);
+        let b = Vector::from_bool(vec![true]);
+        assert!(a.append(&b).is_err());
+    }
+}

@@ -1,0 +1,685 @@
+//! The `Database` facade: register tables, run SQL under a chosen execution
+//! mode and join order.
+
+use crate::binder::bind;
+use crate::catalog::Catalog;
+use crate::estimator::Estimator;
+use crate::optimizer::{optimize_bushy, optimize_left_deep, JoinOrder, PlanNode};
+use crate::planner::Planner;
+use crate::query::JoinQuery;
+use rpt_common::{Error, Result, ScalarValue, Schema};
+use rpt_exec::{ExecContext, Executor};
+use rpt_sql::parse_select;
+use rpt_storage::Table;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Join execution strategy (§6.1 baselines + the paper's contribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Plain hash joins in the chosen order — the vanilla-DuckDB stand-in.
+    Baseline,
+    /// Baseline + per-join Bloom filter from build to probe side (local
+    /// sideways information passing, Bratbergsengen-style).
+    BloomJoin,
+    /// Original Predicate Transfer (CIDR 2024): Small2Large schedule.
+    PredicateTransfer,
+    /// Robust Predicate Transfer: LargestRoot schedule (Algorithm 1) with
+    /// the §4.3 pruning optimizations.
+    RobustPredicateTransfer,
+    /// Classic Yannakakis: exact hash semi-join reduction on the
+    /// LargestRoot join tree (ablation; what PT speeds up with Blooms).
+    Yannakakis,
+    /// The §5.1.3 proposal, implemented: RPT's transfer phase followed by a
+    /// **worst-case optimal** (Generic Join) join phase — the strategy for
+    /// cyclic queries where binary join plans have no robustness guarantee.
+    Hybrid,
+}
+
+impl Mode {
+    pub const ALL: [Mode; 6] = [
+        Mode::Baseline,
+        Mode::BloomJoin,
+        Mode::PredicateTransfer,
+        Mode::RobustPredicateTransfer,
+        Mode::Yannakakis,
+        Mode::Hybrid,
+    ];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mode::Baseline => "DuckDB",
+            Mode::BloomJoin => "BloomJoin",
+            Mode::PredicateTransfer => "PT",
+            Mode::RobustPredicateTransfer => "RPT",
+            Mode::Yannakakis => "Yannakakis",
+            Mode::Hybrid => "RPT+WCOJ",
+        }
+    }
+}
+
+/// Per-query execution options.
+#[derive(Debug, Clone)]
+pub struct QueryOptions {
+    pub mode: Mode,
+    /// Explicit join order; `None` lets the optimizer choose.
+    pub join_order: Option<JoinOrder>,
+    /// When the optimizer chooses: bushy (greedy) instead of left-deep DP.
+    pub bushy_optimizer: bool,
+    /// Execution threads (1 = the paper's default setting; 32 for §5.3).
+    pub threads: usize,
+    /// Work budget in tuples — the timeout analogue (§5.1's 1000×t_opt).
+    pub work_budget: Option<u64>,
+    /// Memory cap for transfer-phase materialization (the "+spill" setup).
+    pub spill_limit_bytes: Option<usize>,
+    pub spill_dir: PathBuf,
+    /// §4.3: skip trivial PK-side semi-joins.
+    pub prune_trivial: bool,
+    /// §4.3: skip the backward pass when the join order is aligned with the
+    /// join tree.
+    pub prune_backward: bool,
+    /// Bloom filter false-positive target (Arrow default 2%).
+    pub bloom_fpr: f64,
+    /// §5.2: replace LargestRoot's tie-breaking with a seeded random
+    /// spanning tree (largest relation stays root).
+    pub random_tree_seed: Option<u64>,
+    /// Cardinality-estimation noise `(seed, sigma)` for the baseline
+    /// optimizer (ablation).
+    pub ce_noise: Option<(u64, f64)>,
+    /// §3.2 supervision: for α-acyclic-but-not-γ-acyclic queries, verify the
+    /// chosen left-deep order with SafeSubjoin and repair unsafe orders by
+    /// falling back to the (always safe) Yannakakis bottom-up tree order.
+    pub enforce_safe_orders: bool,
+}
+
+impl QueryOptions {
+    pub fn new(mode: Mode) -> Self {
+        QueryOptions {
+            mode,
+            join_order: None,
+            bushy_optimizer: false,
+            threads: 1,
+            work_budget: None,
+            spill_limit_bytes: None,
+            spill_dir: std::env::temp_dir(),
+            prune_trivial: true,
+            prune_backward: true,
+            bloom_fpr: 0.02,
+            random_tree_seed: None,
+            ce_noise: None,
+            enforce_safe_orders: false,
+        }
+    }
+
+    pub fn with_order(mut self, order: JoinOrder) -> Self {
+        self.join_order = Some(order);
+        self
+    }
+
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.work_budget = Some(budget);
+        self
+    }
+
+    pub fn with_bushy_optimizer(mut self) -> Self {
+        self.bushy_optimizer = true;
+        self
+    }
+
+    pub fn with_spill(mut self, limit: usize, dir: impl Into<PathBuf>) -> Self {
+        self.spill_limit_bytes = Some(limit);
+        self.spill_dir = dir.into();
+        self
+    }
+
+    pub fn with_random_tree(mut self, seed: u64) -> Self {
+        self.random_tree_seed = Some(seed);
+        self
+    }
+
+    pub fn with_safe_orders(mut self) -> Self {
+        self.enforce_safe_orders = true;
+        self
+    }
+}
+
+/// Result of one query execution.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub schema: Schema,
+    pub rows: Vec<Vec<ScalarValue>>,
+    pub metrics: rpt_exec::context::MetricsSummary,
+    /// Per-pipeline (label, rows-into-sink) trace.
+    pub trace: Vec<(String, u64)>,
+    pub wall_time: Duration,
+    /// The join order actually executed.
+    pub join_order: JoinOrder,
+    pub mode: Mode,
+}
+
+impl QueryResult {
+    /// Deterministic robustness work metric.
+    pub fn work(&self) -> u64 {
+        self.metrics.total_work()
+    }
+
+    /// First row, first column as i64 — convenient for COUNT(*) checks.
+    pub fn scalar_i64(&self) -> Option<i64> {
+        self.rows.first().and_then(|r| r.first()).and_then(|v| v.as_i64())
+    }
+
+    /// Rows sorted lexicographically by display form (order-insensitive
+    /// comparisons across join orders).
+    pub fn sorted_rows(&self) -> Vec<Vec<ScalarValue>> {
+        let mut rows = self.rows.clone();
+        rows.sort_by_key(|r| {
+            r.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\u{1}")
+        });
+        rows
+    }
+}
+
+/// Is every subtree of a bushy plan a safe subjoin?
+fn bushy_is_safe(graph: &rpt_graph::QueryGraph, plan: &PlanNode) -> bool {
+    fn walk(graph: &rpt_graph::QueryGraph, node: &PlanNode) -> bool {
+        match node {
+            PlanNode::Leaf(_) => true,
+            PlanNode::Join { left, right, .. } => {
+                walk(graph, left)
+                    && walk(graph, right)
+                    && rpt_graph::safe_subjoin(graph, &node.relations())
+            }
+        }
+    }
+    walk(graph, plan)
+}
+
+/// An in-process analytical database with pluggable join execution modes.
+#[derive(Default, Clone)]
+pub struct Database {
+    catalog: Catalog,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database {
+            catalog: Catalog::new(),
+        }
+    }
+
+    pub fn register_table(&mut self, table: Table) {
+        self.catalog.register(table);
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Parse + bind a SQL query (reusable across many executions).
+    pub fn bind_sql(&self, sql: &str) -> Result<JoinQuery> {
+        let stmt = parse_select(sql).map_err(Error::Parse)?;
+        bind(&stmt, &self.catalog)
+    }
+
+    /// Parse, bind, optimize, plan, execute.
+    pub fn query(&self, sql: &str, opts: &QueryOptions) -> Result<QueryResult> {
+        let q = self.bind_sql(sql)?;
+        self.execute(&q, opts)
+    }
+
+    /// Choose the join order per `opts` (explicit or optimizer), applying
+    /// §3.2 SafeSubjoin supervision when requested.
+    pub fn choose_order(&self, q: &JoinQuery, opts: &QueryOptions) -> Result<JoinOrder> {
+        let order = if let Some(order) = &opts.join_order {
+            let mut rels = order.relations();
+            rels.sort_unstable();
+            let expected: Vec<usize> = (0..q.num_relations()).collect();
+            if rels != expected {
+                return Err(Error::Plan(format!(
+                    "join order must be a permutation of 0..{}, got {:?}",
+                    q.num_relations(),
+                    order.relations()
+                )));
+            }
+            order.clone()
+        } else {
+            let mut est = Estimator::new(q);
+            if let Some((seed, sigma)) = opts.ce_noise {
+                est = est.with_noise(seed, sigma);
+            }
+            if opts.bushy_optimizer {
+                JoinOrder::Bushy(optimize_bushy(q, &est)?)
+            } else {
+                JoinOrder::LeftDeep(optimize_left_deep(q, &est)?)
+            }
+        };
+        if opts.enforce_safe_orders {
+            return Ok(self.supervise_order(q, order));
+        }
+        Ok(order)
+    }
+
+    /// §3.2: γ-acyclic queries cannot pick an unsafe order, so the check is
+    /// a no-op for them. For α-acyclic-but-not-γ-acyclic queries, run
+    /// SafeSubjoin on every prefix of a left-deep order; if any prefix is
+    /// unsafe, fall back to the LargestRoot insertion order, which joins
+    /// along tree edges and is always safe (Lemma 3.7).
+    fn supervise_order(&self, q: &JoinQuery, order: JoinOrder) -> JoinOrder {
+        let graph = q.graph();
+        if !rpt_graph::is_alpha_acyclic(&graph) || rpt_graph::is_gamma_acyclic(&graph) {
+            return order; // no guarantee possible, or nothing to check
+        }
+        match &order {
+            JoinOrder::LeftDeep(seq) => {
+                if rpt_graph::safe_join_order(&graph, seq) {
+                    order
+                } else {
+                    match rpt_graph::safe_subjoin::yannakakis_order(&graph) {
+                        Some(safe) => JoinOrder::LeftDeep(safe),
+                        None => order,
+                    }
+                }
+            }
+            // Bushy safety requires checking every subtree; conservatively
+            // fall back to the safe left-deep order when any subtree's
+            // relation set is unsafe.
+            JoinOrder::Bushy(plan) => {
+                if bushy_is_safe(&graph, plan) {
+                    order
+                } else {
+                    match rpt_graph::safe_subjoin::yannakakis_order(&graph) {
+                        Some(safe) => JoinOrder::LeftDeep(safe),
+                        None => order,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Execute a bound query.
+    pub fn execute(&self, q: &JoinQuery, opts: &QueryOptions) -> Result<QueryResult> {
+        if opts.mode == Mode::Hybrid {
+            return self.execute_hybrid(q, opts);
+        }
+        let order = self.choose_order(q, opts)?;
+        let plan: PlanNode = order.plan();
+
+        let compiled = Planner::new(q, opts).compile(&plan)?;
+
+        let mut ctx = ExecContext::new().with_threads(opts.threads);
+        if let Some(b) = opts.work_budget {
+            ctx = ctx.with_budget(b);
+        }
+        if let Some(limit) = opts.spill_limit_bytes {
+            ctx = ctx.with_spill(limit, opts.spill_dir.clone());
+        }
+        let metrics = ctx.metrics.clone();
+        let mut exec = Executor::new(
+            ctx,
+            compiled.num_buffers,
+            compiled.num_filters,
+            compiled.num_tables,
+        );
+        let t0 = Instant::now();
+        exec.run(&compiled.pipelines)?;
+        let wall_time = t0.elapsed();
+
+        let chunks = exec.buffer(compiled.output_buffer)?;
+        let mut rows = Vec::new();
+        for c in chunks.iter() {
+            rows.extend(c.rows());
+        }
+        Ok(QueryResult {
+            schema: compiled.output_schema,
+            rows,
+            metrics: metrics.summary(),
+            trace: metrics.trace(),
+            wall_time,
+            join_order: order,
+            mode: opts.mode,
+        })
+    }
+
+    /// The hybrid path (§5.1.3): transfer phase → worst-case-optimal join →
+    /// residuals + aggregation. The join order is irrelevant — Generic Join
+    /// eliminates attributes, not relations.
+    fn execute_hybrid(&self, q: &JoinQuery, opts: &QueryOptions) -> Result<QueryResult> {
+        use rpt_exec::wcoj::{generic_join, WcojRelation};
+
+        let t0 = Instant::now();
+        let prelude = Planner::new(q, opts).compile_hybrid_prelude()?;
+        let mut ctx = ExecContext::new().with_threads(opts.threads);
+        if let Some(b) = opts.work_budget {
+            ctx = ctx.with_budget(b);
+        }
+        if let Some(limit) = opts.spill_limit_bytes {
+            ctx = ctx.with_spill(limit, opts.spill_dir.clone());
+        }
+        let metrics = ctx.metrics.clone();
+        let mut exec = Executor::new(
+            ctx.clone(),
+            prelude.num_buffers,
+            prelude.num_filters,
+            prelude.num_tables,
+        );
+        exec.run(&prelude.pipelines)?;
+
+        // Assemble the reduced relations for the generic join.
+        let mut relations = Vec::with_capacity(q.num_relations());
+        for (r, rel) in q.relations.iter().enumerate() {
+            let chunks = exec.buffer(prelude.rel_buffers[r])?;
+            let mut data = rpt_common::DataChunk::empty_like(&rpt_common::Schema::new(
+                rel.needed_cols
+                    .iter()
+                    .map(|&c| rel.table.schema.field(c).clone())
+                    .collect(),
+            ));
+            for c in chunks.iter() {
+                data.append(c)?;
+            }
+            let attr_cols = rel
+                .attr_cols
+                .iter()
+                .map(|(&attr, &col)| {
+                    rel.projected_index(col)
+                        .map(|pos| (attr, pos))
+                        .ok_or_else(|| Error::Plan("join key projected away".into()))
+                })
+                .collect::<Result<_>>()?;
+            relations.push(WcojRelation {
+                data,
+                attr_cols,
+                payload_cols: (0..rel.needed_cols.len()).collect(),
+            });
+        }
+        let attr_order: Vec<usize> = (0..q.num_attrs).collect();
+        let joined = generic_join(&relations, &attr_order, opts.work_budget)?;
+        metrics.add(&metrics.join_output_rows, joined.num_rows() as u64);
+        ctx.charge(joined.num_rows() as u64)?;
+
+        // Epilogue: residuals + aggregation over the joined rows.
+        let joined_table = std::sync::Arc::new(rpt_storage::Table::new(
+            "wcoj_result",
+            prelude.schema.clone(),
+            joined.flattened().columns,
+        )?);
+        let compiled = Planner::new(q, opts).compile_epilogue(joined_table, prelude.layout)?;
+        let mut exec2 = Executor::new(
+            ctx,
+            compiled.num_buffers,
+            compiled.num_filters,
+            compiled.num_tables,
+        );
+        exec2.run(&compiled.pipelines)?;
+        let wall_time = t0.elapsed();
+        let chunks = exec2.buffer(compiled.output_buffer)?;
+        let mut rows = Vec::new();
+        for c in chunks.iter() {
+            rows.extend(c.rows());
+        }
+        Ok(QueryResult {
+            schema: compiled.output_schema,
+            rows,
+            metrics: metrics.summary(),
+            trace: metrics.trace(),
+            wall_time,
+            join_order: JoinOrder::LeftDeep((0..q.num_relations()).collect()),
+            mode: opts.mode,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpt_common::{DataType, Field, Vector};
+
+    /// Tiny star schema: sales(fact) → customer, product.
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.register_table(
+            Table::new(
+                "sales",
+                Schema::new(vec![
+                    Field::new("cust_id", DataType::Int64),
+                    Field::new("prod_id", DataType::Int64),
+                    Field::new("amount", DataType::Int64),
+                ]),
+                vec![
+                    Vector::from_i64((0..300).map(|i| i % 10).collect()),
+                    Vector::from_i64((0..300).map(|i| i % 7).collect()),
+                    Vector::from_i64((0..300).collect()),
+                ],
+            )
+            .unwrap(),
+        );
+        db.register_table(
+            Table::new(
+                "customer",
+                Schema::new(vec![
+                    Field::new("id", DataType::Int64),
+                    Field::new("region", DataType::Utf8),
+                ]),
+                vec![
+                    Vector::from_i64((0..10).collect()),
+                    Vector::from_utf8(
+                        (0..10)
+                            .map(|i| if i < 3 { "east".into() } else { "west".into() })
+                            .collect(),
+                    ),
+                ],
+            )
+            .unwrap(),
+        );
+        db.register_table(
+            Table::new(
+                "product",
+                Schema::new(vec![
+                    Field::new("id", DataType::Int64),
+                    Field::new("cat", DataType::Int64),
+                ]),
+                vec![
+                    Vector::from_i64((0..7).collect()),
+                    Vector::from_i64((0..7).map(|i| i % 2).collect()),
+                ],
+            )
+            .unwrap(),
+        );
+        db
+    }
+
+    const SQL: &str = "SELECT COUNT(*) FROM sales s, customer c, product p \
+                       WHERE s.cust_id = c.id AND s.prod_id = p.id \
+                       AND c.region = 'east' AND p.cat = 0";
+
+    fn expected_count() -> i64 {
+        // cust_id in {0,1,2} (east), prod_id even (cat 0).
+        (0..300)
+            .filter(|i| i % 10 < 3 && (i % 7) % 2 == 0)
+            .count() as i64
+    }
+
+    #[test]
+    fn all_modes_agree() {
+        let db = db();
+        let want = expected_count();
+        for mode in Mode::ALL {
+            let r = db.query(SQL, &QueryOptions::new(mode)).unwrap();
+            assert_eq!(r.scalar_i64(), Some(want), "mode {mode:?}");
+            assert_eq!(r.rows.len(), 1);
+        }
+    }
+
+    #[test]
+    fn explicit_orders_agree() {
+        let db = db();
+        let want = expected_count();
+        let orders: Vec<Vec<usize>> = vec![
+            vec![0, 1, 2],
+            vec![0, 2, 1],
+            vec![1, 0, 2],
+            vec![2, 0, 1],
+        ];
+        for order in orders {
+            for mode in [Mode::Baseline, Mode::RobustPredicateTransfer] {
+                let r = db
+                    .query(
+                        SQL,
+                        &QueryOptions::new(mode)
+                            .with_order(JoinOrder::LeftDeep(order.clone())),
+                    )
+                    .unwrap();
+                assert_eq!(r.scalar_i64(), Some(want), "order {order:?} mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bushy_plan_executes() {
+        let db = db();
+        let plan = PlanNode::join(
+            PlanNode::join(PlanNode::Leaf(0), PlanNode::Leaf(1)),
+            PlanNode::Leaf(2),
+        );
+        let r = db
+            .query(
+                SQL,
+                &QueryOptions::new(Mode::RobustPredicateTransfer)
+                    .with_order(JoinOrder::Bushy(plan)),
+            )
+            .unwrap();
+        assert_eq!(r.scalar_i64(), Some(expected_count()));
+    }
+
+    #[test]
+    fn rpt_reduces_intermediates_vs_baseline() {
+        let db = db();
+        // Deliberately bad order: join the two dimensions' fact rows late.
+        let bad = JoinOrder::LeftDeep(vec![0, 1, 2]);
+        let base = db
+            .query(SQL, &QueryOptions::new(Mode::Baseline).with_order(bad.clone()))
+            .unwrap();
+        let rpt = db
+            .query(
+                SQL,
+                &QueryOptions::new(Mode::RobustPredicateTransfer).with_order(bad),
+            )
+            .unwrap();
+        assert!(
+            rpt.metrics.join_output_rows <= base.metrics.join_output_rows,
+            "RPT {} vs baseline {}",
+            rpt.metrics.join_output_rows,
+            base.metrics.join_output_rows
+        );
+    }
+
+    #[test]
+    fn invalid_order_rejected() {
+        let db = db();
+        let err = db
+            .query(
+                SQL,
+                &QueryOptions::new(Mode::Baseline)
+                    .with_order(JoinOrder::LeftDeep(vec![0, 1])),
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Plan(_)));
+    }
+
+    #[test]
+    fn group_by_query() {
+        let db = db();
+        let r = db
+            .query(
+                "SELECT c.region, COUNT(*) AS cnt, SUM(s.amount) AS amt \
+                 FROM sales s, customer c WHERE s.cust_id = c.id GROUP BY c.region",
+                &QueryOptions::new(Mode::RobustPredicateTransfer),
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.schema.fields[0].name, "c.region");
+        let total: i64 = r.rows.iter().map(|row| row[1].as_i64().unwrap()).sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn select_without_aggregate() {
+        let db = db();
+        let r = db
+            .query(
+                "SELECT c.region, s.amount FROM sales s, customer c \
+                 WHERE s.cust_id = c.id AND s.amount < 5",
+                &QueryOptions::new(Mode::Baseline),
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 5);
+        assert_eq!(r.schema.len(), 2);
+    }
+
+    #[test]
+    fn single_table_query() {
+        let db = db();
+        let r = db
+            .query(
+                "SELECT COUNT(*) FROM customer WHERE customer.region = 'east'",
+                &QueryOptions::new(Mode::RobustPredicateTransfer),
+            )
+            .unwrap();
+        assert_eq!(r.scalar_i64(), Some(3));
+    }
+
+    #[test]
+    fn work_budget_caps_execution() {
+        let db = db();
+        let err = db
+            .query(SQL, &QueryOptions::new(Mode::Baseline).with_budget(10))
+            .unwrap_err();
+        assert!(err.is_budget());
+    }
+
+    #[test]
+    fn multithreaded_matches() {
+        let db = db();
+        let a = db.query(SQL, &QueryOptions::new(Mode::RobustPredicateTransfer)).unwrap();
+        let b = db
+            .query(
+                SQL,
+                &QueryOptions::new(Mode::RobustPredicateTransfer).with_threads(4),
+            )
+            .unwrap();
+        assert_eq!(a.scalar_i64(), b.scalar_i64());
+    }
+
+    #[test]
+    fn random_tree_seed_still_correct() {
+        let db = db();
+        for seed in 0..5 {
+            let r = db
+                .query(
+                    SQL,
+                    &QueryOptions::new(Mode::RobustPredicateTransfer).with_random_tree(seed),
+                )
+                .unwrap();
+            assert_eq!(r.scalar_i64(), Some(expected_count()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn residual_or_predicate() {
+        let db = db();
+        let r = db
+            .query(
+                "SELECT COUNT(*) FROM sales s, customer c WHERE s.cust_id = c.id \
+                 AND (s.amount < 10 OR c.region = 'east')",
+                &QueryOptions::new(Mode::RobustPredicateTransfer),
+            )
+            .unwrap();
+        let want = (0..300).filter(|i| i < &10 || i % 10 < 3).count() as i64;
+        assert_eq!(r.scalar_i64(), Some(want));
+    }
+}

@@ -1,0 +1,825 @@
+//! Physical planner: compiles a [`JoinQuery`] + execution [`Mode`] + join
+//! order into the executor's pipelines.
+//!
+//! This is the counterpart of the paper's §4.3 "Robust Predicate Transfer
+//! module": it runs LargestRoot (or Small2Large for the PT baseline) to
+//! obtain a transfer schedule, inserts `CreateBF`/`ProbeBF` pairs for every
+//! semi-join in the schedule (Figure 5), applies the two pruning
+//! optimizations of §4.3, and then builds the join phase from the chosen
+//! join order over the reduced relations.
+
+use crate::engine::{Mode, QueryOptions};
+use crate::optimizer::PlanNode;
+use crate::query::JoinQuery;
+use rpt_common::{DataType, Error, Field, Result, Schema};
+use rpt_exec::{
+    AggExpr, BloomSink, Expr, OpSpec, PipelinePlan, SinkSpec, SourceSpec,
+};
+use rpt_graph::{
+    largest_root, largest_root_randomized, small2large, JoinTree, SemiJoin, TransferSchedule,
+};
+use std::sync::Arc;
+
+/// The compiled artifact: pipelines + resource counts + where the result
+/// lands.
+pub struct CompiledQuery {
+    pub pipelines: Vec<PipelinePlan>,
+    pub num_buffers: usize,
+    pub num_filters: usize,
+    pub num_tables: usize,
+    /// Buffer holding the final result.
+    pub output_buffer: usize,
+    /// Result schema (aliases + types).
+    pub output_schema: Schema,
+}
+
+/// A not-yet-terminated chunk stream with its column provenance.
+#[derive(Clone)]
+struct Stream {
+    source: SourceSpec,
+    ops: Vec<OpSpec>,
+    /// `(relation, base column)` per physical position.
+    layout: Vec<(usize, usize)>,
+    label: String,
+}
+
+impl Stream {
+    fn position_of(&self, rel: usize, col: usize) -> Option<usize> {
+        self.layout.iter().position(|&(r, c)| r == rel && c == col)
+    }
+}
+
+/// Per-relation state during the transfer phase.
+struct RelState {
+    stream: Stream,
+    /// Has any filter/semi-join touched this relation yet? Drives the §4.3
+    /// trivial-semi-join pruning.
+    reduced: bool,
+}
+
+pub struct Planner<'q> {
+    q: &'q JoinQuery,
+    opts: &'q QueryOptions,
+    pipelines: Vec<PipelinePlan>,
+    num_buffers: usize,
+    num_filters: usize,
+    num_tables: usize,
+}
+
+impl<'q> Planner<'q> {
+    pub fn new(q: &'q JoinQuery, opts: &'q QueryOptions) -> Self {
+        Planner {
+            q,
+            opts,
+            pipelines: Vec::new(),
+            num_buffers: 0,
+            num_filters: 0,
+            num_tables: 0,
+        }
+    }
+
+    fn new_buffer(&mut self) -> usize {
+        self.num_buffers += 1;
+        self.num_buffers - 1
+    }
+
+    fn new_filter(&mut self) -> usize {
+        self.num_filters += 1;
+        self.num_filters - 1
+    }
+
+    fn new_table(&mut self) -> usize {
+        self.num_tables += 1;
+        self.num_tables - 1
+    }
+
+    /// Compile the full query.
+    pub fn compile(mut self, plan: &PlanNode) -> Result<CompiledQuery> {
+        let rels = plan.relations();
+        if rels.len() != self.q.num_relations() {
+            return Err(Error::Plan(format!(
+                "join order covers {} relations, query has {}",
+                rels.len(),
+                self.q.num_relations()
+            )));
+        }
+
+        // 1. Initial per-relation streams (scan → filter → project-needed).
+        let mut states: Vec<RelState> = (0..self.q.num_relations())
+            .map(|r| self.base_stream(r))
+            .collect::<Result<_>>()?;
+
+        // 2. Transfer phase (mode-dependent).
+        match self.opts.mode {
+            Mode::Baseline | Mode::BloomJoin => {}
+            Mode::PredicateTransfer => {
+                let graph = self.q.graph();
+                let schedule = small2large(&graph).schedule;
+                self.run_transfer(&schedule, &mut states, false)?;
+            }
+            Mode::RobustPredicateTransfer => {
+                let graph = self.q.graph();
+                let tree = self.rpt_tree(&graph)?;
+                let schedule = TransferSchedule::from_tree(&graph, &tree);
+                let skip_backward = self.opts.prune_backward
+                    && plan.is_left_deep()
+                    && order_aligned_with_tree(&plan.relations(), &tree);
+                let schedule = if skip_backward {
+                    TransferSchedule {
+                        forward: schedule.forward,
+                        backward: vec![],
+                    }
+                } else {
+                    schedule
+                };
+                self.run_transfer(&schedule, &mut states, false)?;
+            }
+            Mode::Yannakakis => {
+                let graph = self.q.graph();
+                let tree = self.rpt_tree(&graph)?;
+                let schedule = TransferSchedule::from_tree(&graph, &tree);
+                self.run_transfer(&schedule, &mut states, true)?;
+            }
+            Mode::Hybrid => {
+                return Err(Error::Plan(
+                    "Hybrid mode is executed via Database::execute, not the binary-join planner"
+                        .into(),
+                ))
+            }
+        }
+
+        // 3. Join phase.
+        let mut final_stream = self.compile_join(plan, &mut states)?;
+
+        // 4. Residual predicates.
+        for rp in &self.q.residuals {
+            let layout = final_stream.layout.clone();
+            let expr = rp
+                .expr
+                .to_exec(&|r, c| layout.iter().position(|&(lr, lc)| lr == r && lc == c))?;
+            final_stream.ops.push(OpSpec::Filter(expr));
+        }
+
+        // 5. Output: aggregate or projection.
+        self.finish(final_stream)
+    }
+
+    /// LargestRoot, or its §5.2 randomized variant when requested.
+    fn rpt_tree(&self, graph: &rpt_graph::QueryGraph) -> Result<JoinTree> {
+        let tree = match self.opts.random_tree_seed {
+            Some(seed) => largest_root_randomized(graph, seed),
+            None => largest_root(graph),
+        };
+        tree.ok_or_else(|| {
+            Error::Plan("join graph is disconnected: Cartesian products are unsupported".into())
+        })
+    }
+
+    /// Base stream for one relation: table scan → pushed filter →
+    /// projection to the needed columns.
+    fn base_stream(&self, r: usize) -> Result<RelState> {
+        let rel = &self.q.relations[r];
+        let mut ops = Vec::new();
+        let mut reduced = false;
+        if let Some(f) = &rel.filter {
+            // Filter runs against the full base schema.
+            let expr = f.to_exec(&|fr, fc| if fr == r { Some(fc) } else { None })?;
+            ops.push(OpSpec::Filter(expr));
+            reduced = true;
+        }
+        // Project to needed columns.
+        ops.push(OpSpec::Project(
+            rel.needed_cols.iter().map(|&c| Expr::Column(c)).collect(),
+        ));
+        let layout: Vec<(usize, usize)> =
+            rel.needed_cols.iter().map(|&c| (r, c)).collect();
+        Ok(RelState {
+            stream: Stream {
+                source: SourceSpec::Table(rel.table.clone()),
+                ops,
+                layout,
+                label: rel.binding.clone(),
+            },
+            reduced,
+        })
+    }
+
+    /// Schema of a stream (used for spill files and result schemas).
+    fn stream_schema(&self, s: &Stream) -> Schema {
+        Schema::new(
+            s.layout
+                .iter()
+                .map(|&(r, c)| {
+                    let rel = &self.q.relations[r];
+                    Field::new(
+                        format!("{}.{}", rel.binding, rel.table.schema.field(c).name),
+                        rel.table.schema.field(c).data_type,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Materialize a stream into a buffer, optionally building Bloom
+    /// filters — this is the CreateBF operator (sink half).
+    fn materialize(
+        &mut self,
+        stream: Stream,
+        blooms: Vec<BloomSink>,
+        label: String,
+    ) -> Result<Stream> {
+        let buf = self.new_buffer();
+        let schema = self.stream_schema(&stream);
+        self.pipelines.push(PipelinePlan {
+            label,
+            source: stream.source.clone(),
+            ops: stream.ops.clone(),
+            sink: SinkSpec::Buffer {
+                buf_id: buf,
+                blooms,
+            },
+            intermediate: true,
+            sink_schema: schema,
+        });
+        Ok(Stream {
+            source: SourceSpec::Buffer(buf),
+            ops: vec![],
+            layout: stream.layout,
+            label: stream.label,
+        })
+    }
+
+    /// Run a transfer schedule, inserting CreateBF/ProbeBF (or exact hash
+    /// semi-joins for Yannakakis) per semi-join.
+    fn run_transfer(
+        &mut self,
+        schedule: &TransferSchedule,
+        states: &mut [RelState],
+        exact: bool,
+    ) -> Result<()> {
+        for (pass, steps) in [(0, &schedule.forward), (1, &schedule.backward)] {
+            for sj in steps {
+                self.transfer_step(sj, states, exact, pass == 0)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn transfer_step(
+        &mut self,
+        sj: &SemiJoin,
+        states: &mut [RelState],
+        exact: bool,
+        forward: bool,
+    ) -> Result<()> {
+        let SemiJoin {
+            target,
+            source,
+            attrs,
+        } = sj;
+        if attrs.is_empty() {
+            return Ok(());
+        }
+        // §4.3 pruning: if the source is an unfiltered, unreduced PK side of
+        // a PK–FK join, the semi-join is trivial (inclusion) — skip it.
+        if self.opts.prune_trivial
+            && !states[*source].reduced
+            && self.q.key_is_unique(*source, attrs)
+        {
+            return Ok(());
+        }
+
+        // Key columns of the source, by layout position.
+        let src_keys: Vec<usize> = attrs
+            .iter()
+            .map(|a| {
+                let col = *self.q.relations[*source]
+                    .attr_cols
+                    .get(a)
+                    .ok_or_else(|| Error::Plan(format!("relation lacks attr {a}")))?;
+                states[*source]
+                    .stream
+                    .position_of(*source, col)
+                    .ok_or_else(|| Error::Plan("join key column was projected away".into()))
+            })
+            .collect::<Result<_>>()?;
+        let tgt_keys: Vec<usize> = attrs
+            .iter()
+            .map(|a| {
+                let col = *self.q.relations[*target]
+                    .attr_cols
+                    .get(a)
+                    .ok_or_else(|| Error::Plan(format!("relation lacks attr {a}")))?;
+                states[*target]
+                    .stream
+                    .position_of(*target, col)
+                    .ok_or_else(|| Error::Plan("join key column was projected away".into()))
+            })
+            .collect::<Result<_>>()?;
+
+        let dir = if forward { "fwd" } else { "bwd" };
+        let src_name = self.q.relations[*source].binding.clone();
+        let tgt_name = self.q.relations[*target].binding.clone();
+
+        if exact {
+            // Yannakakis: materialize the source, build an exact hash table,
+            // semi-probe the target.
+            let src_stream = states[*source].stream.clone();
+            let materialized = self.materialize(
+                src_stream,
+                vec![],
+                format!("{dir} materialize {src_name}"),
+            )?;
+            states[*source].stream = materialized.clone();
+            let ht = self.new_table();
+            let schema = self.stream_schema(&materialized);
+            self.pipelines.push(PipelinePlan {
+                label: format!("{dir} semibuild {src_name}"),
+                source: materialized.source.clone(),
+                ops: vec![],
+                sink: SinkSpec::HashBuild {
+                    ht_id: ht,
+                    key_cols: src_keys,
+                    blooms: vec![],
+                },
+                intermediate: true,
+                sink_schema: schema,
+            });
+            states[*target].stream.ops.push(OpSpec::SemiProbe {
+                ht_id: ht,
+                key_cols: tgt_keys,
+            });
+        } else {
+            // Predicate Transfer: CreateBF on the source, ProbeBF on the
+            // target. The filter is sized for the *estimated post-filter*
+            // cardinality (an upper bound once earlier semi-joins have
+            // reduced the source further); undersizing only raises the
+            // false-positive rate, never correctness.
+            let filter_id = self.new_filter();
+            let expected = crate::estimator::Estimator::new(self.q)
+                .base_card(*source)
+                .ceil() as usize;
+            let src_stream = states[*source].stream.clone();
+            let materialized = self.materialize(
+                src_stream,
+                vec![BloomSink {
+                    filter_id,
+                    key_cols: src_keys,
+                    expected_keys: expected,
+                    fpr: self.opts.bloom_fpr,
+                }],
+                format!("{dir} createbf {src_name}"),
+            )?;
+            states[*source].stream = materialized;
+            states[*target].stream.ops.push(OpSpec::ProbeBloom {
+                filter_id,
+                key_cols: tgt_keys,
+            });
+        }
+        let _ = tgt_name;
+        states[*target].reduced = true;
+        Ok(())
+    }
+
+    /// Compile the join phase for a plan subtree; returns its output stream.
+    fn compile_join(&mut self, node: &PlanNode, states: &mut [RelState]) -> Result<Stream> {
+        match node {
+            PlanNode::Leaf(r) => Ok(states[*r].stream.clone()),
+            PlanNode::Join {
+                left,
+                right,
+                build_left,
+            } => {
+                let (probe_node, build_node) = if *build_left {
+                    (&**right, &**left)
+                } else {
+                    (&**left, &**right)
+                };
+                let build_stream = self.compile_join(build_node, states)?;
+                let probe_stream = self.compile_join(probe_node, states)?;
+
+                // Natural-join keys: all attribute classes shared between
+                // the two sides.
+                let build_rels = build_node.relations();
+                let probe_rels = probe_node.relations();
+                let mut attrs: Vec<usize> = Vec::new();
+                for &b in &build_rels {
+                    for &p in &probe_rels {
+                        for a in self.q.shared_attrs(b, p) {
+                            if !attrs.contains(&a) {
+                                attrs.push(a);
+                            }
+                        }
+                    }
+                }
+                if attrs.is_empty() {
+                    return Err(Error::Plan(format!(
+                        "Cartesian product between {:?} and {:?} is unsupported",
+                        probe_rels, build_rels
+                    )));
+                }
+                let find_key = |stream: &Stream, rels: &[usize], attr: usize| -> Result<usize> {
+                    for &r in rels {
+                        if let Some(&col) = self.q.relations[r].attr_cols.get(&attr) {
+                            if let Some(pos) = stream.position_of(r, col) {
+                                return Ok(pos);
+                            }
+                        }
+                    }
+                    Err(Error::Plan(format!("attr {attr} not found in stream layout")))
+                };
+                let build_keys: Vec<usize> = attrs
+                    .iter()
+                    .map(|&a| find_key(&build_stream, &build_rels, a))
+                    .collect::<Result<_>>()?;
+                let probe_keys: Vec<usize> = attrs
+                    .iter()
+                    .map(|&a| find_key(&probe_stream, &probe_rels, a))
+                    .collect::<Result<_>>()?;
+
+                // Build pipeline (sink = hash table; BloomJoin also builds a
+                // Bloom filter for SIP into the probe side).
+                let ht = self.new_table();
+                let mut blooms = Vec::new();
+                let mut probe_bf_op = None;
+                // BloomJoin only pays for a filter when the build side is
+                // actually selective (some base predicate or an earlier join
+                // reduced it) — the standard SIP heuristic; otherwise the
+                // Bloom filter eliminates nothing.
+                let build_side_filtered = build_rels
+                    .iter()
+                    .any(|&r| self.q.relations[r].filter.is_some())
+                    || build_rels.len() > 1;
+                if self.opts.mode == Mode::BloomJoin && build_side_filtered {
+                    let filter_id = self.new_filter();
+                    let expected: usize = build_rels
+                        .iter()
+                        .map(|&r| self.q.relations[r].stats.num_rows as usize)
+                        .max()
+                        .unwrap_or(1024);
+                    blooms.push(BloomSink {
+                        filter_id,
+                        key_cols: build_keys.clone(),
+                        expected_keys: expected,
+                        fpr: self.opts.bloom_fpr,
+                    });
+                    probe_bf_op = Some(OpSpec::ProbeBloom {
+                        filter_id,
+                        key_cols: probe_keys.clone(),
+                    });
+                }
+                let schema = self.stream_schema(&build_stream);
+                let build_label = format!("build {}", build_stream.label);
+                self.pipelines.push(PipelinePlan {
+                    label: build_label,
+                    source: build_stream.source.clone(),
+                    ops: build_stream.ops.clone(),
+                    sink: SinkSpec::HashBuild {
+                        ht_id: ht,
+                        key_cols: build_keys,
+                        blooms,
+                    },
+                    intermediate: true,
+                    sink_schema: schema,
+                });
+
+                // Extend the probe stream.
+                let mut out = probe_stream;
+                if let Some(op) = probe_bf_op {
+                    out.ops.push(op);
+                }
+                out.ops.push(OpSpec::JoinProbe {
+                    ht_id: ht,
+                    key_cols: probe_keys,
+                    build_output_cols: (0..build_stream.layout.len()).collect(),
+                });
+                out.layout.extend(build_stream.layout.iter().copied());
+                out.label = format!("{}⋈{}", out.label, build_stream.label);
+                Ok(out)
+            }
+        }
+    }
+
+    /// Terminate the final stream: aggregation or projection, into the
+    /// output buffer.
+    fn finish(mut self, stream: Stream) -> Result<CompiledQuery> {
+        let layout = stream.layout.clone();
+        let resolve =
+            |r: usize, c: usize| layout.iter().position(|&(lr, lc)| lr == r && lc == c);
+        let input_types: Vec<DataType> = layout
+            .iter()
+            .map(|&(r, c)| self.q.relations[r].table.schema.field(c).data_type)
+            .collect();
+
+        if !self.q.aggs.is_empty() || !self.q.group_by.is_empty() {
+            // Aggregate sink, output = [group cols..., aggs...].
+            let group_cols: Vec<usize> = self
+                .q
+                .group_by
+                .iter()
+                .map(|&(r, c)| {
+                    resolve(r, c).ok_or_else(|| {
+                        Error::Plan("GROUP BY column missing from layout".into())
+                    })
+                })
+                .collect::<Result<_>>()?;
+            let aggs: Vec<AggExpr> = self
+                .q
+                .aggs
+                .iter()
+                .map(|a| {
+                    Ok(AggExpr {
+                        func: a.func,
+                        input: a.arg.as_ref().map(|e| e.to_exec(&resolve)).transpose()?,
+                        alias: a.alias.clone(),
+                    })
+                })
+                .collect::<Result<_>>()?;
+            let mut agg_schema_fields: Vec<Field> = self
+                .q
+                .group_by
+                .iter()
+                .map(|&(r, c)| {
+                    let rel = &self.q.relations[r];
+                    Field::new(
+                        format!("{}.{}", rel.binding, rel.table.schema.field(c).name),
+                        rel.table.schema.field(c).data_type,
+                    )
+                })
+                .collect();
+            for a in &aggs {
+                agg_schema_fields.push(Field::new(
+                    a.alias.clone(),
+                    a.output_type(&input_types)?,
+                ));
+            }
+            let agg_schema = Schema::new(agg_schema_fields);
+            let agg_buf = self.new_buffer();
+            let sink_schema = self.stream_schema(&stream);
+            self.pipelines.push(PipelinePlan {
+                label: format!("aggregate {}", stream.label),
+                source: stream.source,
+                ops: stream.ops,
+                sink: SinkSpec::Aggregate {
+                    buf_id: agg_buf,
+                    group_cols,
+                    aggs,
+                    input_types,
+                    output_schema: agg_schema.clone(),
+                },
+                intermediate: false,
+                sink_schema,
+            });
+
+            // Re-project to the SELECT item order if it differs from
+            // [groups..., aggs...].
+            let ng = self.q.group_by.len();
+            let mut projection = Vec::with_capacity(self.q.output.len());
+            let mut out_fields = Vec::with_capacity(self.q.output.len());
+            for item in &self.q.output {
+                match &item.kind {
+                    crate::query::OutputKind::Agg(i) => {
+                        projection.push(ng + i);
+                        out_fields.push(agg_schema.field(ng + i).clone());
+                    }
+                    crate::query::OutputKind::Expr(e) => {
+                        // must be a group-by column
+                        let mut cols = std::collections::BTreeSet::new();
+                        e.columns(&mut cols);
+                        let (r, c) = match (cols.len(), e) {
+                            (1, crate::query::RExpr::Col { rel, col }) => (*rel, *col),
+                            _ => {
+                                return Err(Error::Plan(
+                                    "non-aggregate SELECT items must be plain GROUP BY columns"
+                                        .into(),
+                                ))
+                            }
+                        };
+                        let gpos = self
+                            .q
+                            .group_by
+                            .iter()
+                            .position(|&(gr, gc)| gr == r && gc == c)
+                            .ok_or_else(|| {
+                                Error::Plan(format!(
+                                    "SELECT column `{}` is not in GROUP BY",
+                                    item.alias
+                                ))
+                            })?;
+                        projection.push(gpos);
+                        out_fields.push(Field::new(
+                            item.alias.clone(),
+                            agg_schema.field(gpos).data_type,
+                        ));
+                    }
+                }
+            }
+            let identity = projection.iter().copied().eq(0..agg_schema.len());
+            if identity {
+                return Ok(CompiledQuery {
+                    pipelines: self.pipelines,
+                    num_buffers: self.num_buffers,
+                    num_filters: self.num_filters,
+                    num_tables: self.num_tables,
+                    output_buffer: agg_buf,
+                    output_schema: agg_schema,
+                });
+            }
+            let out_buf = self.new_buffer();
+            let out_schema = Schema::new(out_fields);
+            self.pipelines.push(PipelinePlan {
+                label: "project output".into(),
+                source: SourceSpec::Buffer(agg_buf),
+                ops: vec![OpSpec::Project(
+                    projection.into_iter().map(Expr::Column).collect(),
+                )],
+                sink: SinkSpec::Buffer {
+                    buf_id: out_buf,
+                    blooms: vec![],
+                },
+                intermediate: false,
+                sink_schema: out_schema.clone(),
+            });
+            Ok(CompiledQuery {
+                pipelines: self.pipelines,
+                num_buffers: self.num_buffers,
+                num_filters: self.num_filters,
+                num_tables: self.num_tables,
+                output_buffer: out_buf,
+                output_schema: out_schema,
+            })
+        } else {
+            // Plain projection.
+            let mut exprs = Vec::with_capacity(self.q.output.len());
+            let mut out_fields = Vec::with_capacity(self.q.output.len());
+            for item in &self.q.output {
+                match &item.kind {
+                    crate::query::OutputKind::Expr(e) => {
+                        let exec = e.to_exec(&resolve)?;
+                        let dt = exec.data_type(&input_types)?;
+                        exprs.push(exec);
+                        out_fields.push(Field::new(item.alias.clone(), dt));
+                    }
+                    crate::query::OutputKind::Agg(_) => {
+                        return Err(Error::Plan(
+                            "aggregate without aggregation context".into(),
+                        ))
+                    }
+                }
+            }
+            let out_buf = self.new_buffer();
+            let out_schema = Schema::new(out_fields);
+            let mut ops = stream.ops;
+            ops.push(OpSpec::Project(exprs));
+            self.pipelines.push(PipelinePlan {
+                label: format!("output {}", stream.label),
+                source: stream.source,
+                ops,
+                sink: SinkSpec::Buffer {
+                    buf_id: out_buf,
+                    blooms: vec![],
+                },
+                intermediate: false,
+                sink_schema: out_schema.clone(),
+            });
+            Ok(CompiledQuery {
+                pipelines: self.pipelines,
+                num_buffers: self.num_buffers,
+                num_filters: self.num_filters,
+                num_tables: self.num_tables,
+                output_buffer: out_buf,
+                output_schema: out_schema,
+            })
+        }
+    }
+}
+
+/// The transfer-phase half of the hybrid (§5.1.3) strategy: pipelines that
+/// reduce every relation with the LargestRoot schedule and materialize each
+/// relation's final state into a buffer, ready for the worst-case-optimal
+/// join phase.
+pub struct HybridPrelude {
+    pub pipelines: Vec<PipelinePlan>,
+    /// Buffer id holding each relation's reduced rows (indexed by relation).
+    pub rel_buffers: Vec<usize>,
+    pub num_buffers: usize,
+    pub num_filters: usize,
+    pub num_tables: usize,
+    /// Output column provenance after the WCOJ join: `(rel, base col)` in
+    /// relation order.
+    pub layout: Vec<(usize, usize)>,
+    /// Schema matching `layout` (binding-qualified names).
+    pub schema: Schema,
+}
+
+impl<'q> Planner<'q> {
+    /// Compile the hybrid prelude: base scans → transfer phase →
+    /// per-relation materialization.
+    pub fn compile_hybrid_prelude(mut self) -> Result<HybridPrelude> {
+        let mut states: Vec<RelState> = (0..self.q.num_relations())
+            .map(|r| self.base_stream(r))
+            .collect::<Result<_>>()?;
+        if self.q.num_relations() > 1 {
+            let graph = self.q.graph();
+            let tree = self.rpt_tree(&graph)?;
+            let schedule = TransferSchedule::from_tree(&graph, &tree);
+            self.run_transfer(&schedule, &mut states, false)?;
+        }
+        // Materialize every relation's final state.
+        let mut rel_buffers = Vec::with_capacity(states.len());
+        let mut layout = Vec::new();
+        let mut fields = Vec::new();
+        for (r, state) in states.iter().enumerate() {
+            let stream = state.stream.clone();
+            layout.extend(stream.layout.iter().copied());
+            let schema = self.stream_schema(&stream);
+            fields.extend(schema.fields.iter().cloned());
+            match (&stream.source, stream.ops.is_empty()) {
+                (SourceSpec::Buffer(id), true) => rel_buffers.push(*id),
+                _ => {
+                    let label = format!("materialize {}", self.q.relations[r].binding);
+                    let m = self.materialize(stream, vec![], label)?;
+                    match m.source {
+                        SourceSpec::Buffer(id) => rel_buffers.push(id),
+                        SourceSpec::Table(_) => unreachable!("materialize returns a buffer"),
+                    }
+                }
+            }
+        }
+        Ok(HybridPrelude {
+            pipelines: self.pipelines,
+            rel_buffers,
+            num_buffers: self.num_buffers,
+            num_filters: self.num_filters,
+            num_tables: self.num_tables,
+            layout,
+            schema: Schema::new(fields),
+        })
+    }
+
+    /// Compile the hybrid epilogue: residual predicates + aggregation /
+    /// projection over the WCOJ join result.
+    pub fn compile_epilogue(
+        self,
+        joined: Arc<rpt_storage::Table>,
+        layout: Vec<(usize, usize)>,
+    ) -> Result<CompiledQuery> {
+        let mut stream = Stream {
+            source: SourceSpec::Table(joined),
+            ops: vec![],
+            layout,
+            label: "wcoj".into(),
+        };
+        for rp in &self.q.residuals {
+            let l = stream.layout.clone();
+            let expr = rp
+                .expr
+                .to_exec(&|r, c| l.iter().position(|&(lr, lc)| lr == r && lc == c))?;
+            stream.ops.push(OpSpec::Filter(expr));
+        }
+        self.finish(stream)
+    }
+}
+
+/// Does a left-deep join order start at the tree root and only ever join
+/// tree children of already-joined relations? In that case the forward pass
+/// alone suffices (§4.3's "skip the entire backward pass" optimization):
+/// every newly joined relation is immediately intersected with its
+/// fully-reduced parent.
+pub fn order_aligned_with_tree(order: &[usize], tree: &JoinTree) -> bool {
+    if order.is_empty() || order[0] != tree.root {
+        return false;
+    }
+    let mut joined = vec![false; tree.num_relations()];
+    joined[order[0]] = true;
+    for &r in &order[1..] {
+        match tree.parent[r] {
+            Some(p) if joined[p] => joined[r] = true,
+            _ => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpt_graph::JoinTree;
+
+    #[test]
+    fn alignment_check() {
+        // Tree: 2 ← 1 ← {0, 3} (root 2)
+        let tree = JoinTree {
+            root: 2,
+            parent: vec![Some(1), Some(2), None, Some(1)],
+            insertion_order: vec![2, 1, 0, 3],
+        };
+        assert!(order_aligned_with_tree(&[2, 1, 0, 3], &tree));
+        assert!(order_aligned_with_tree(&[2, 1, 3, 0], &tree));
+        // starts off-root
+        assert!(!order_aligned_with_tree(&[1, 2, 0, 3], &tree));
+        // joins a grandchild before its parent
+        assert!(!order_aligned_with_tree(&[2, 0, 1, 3], &tree));
+        assert!(!order_aligned_with_tree(&[], &tree));
+    }
+}

@@ -1,0 +1,443 @@
+//! Hash aggregation sink state (group-by + aggregate functions).
+
+use crate::expr::{AggExpr, AggFunc};
+use rpt_common::{DataChunk, Error, Result, ScalarValue, Schema, Vector};
+use std::collections::HashMap;
+
+/// Running state of one aggregate in one group.
+#[derive(Debug, Clone)]
+pub enum AggState {
+    Count(i64),
+    SumI(i64),
+    SumF(f64),
+    Min(Option<ScalarValue>),
+    Max(Option<ScalarValue>),
+    Avg { sum: f64, count: i64 },
+}
+
+impl AggState {
+    fn new(func: AggFunc, float_sum: bool) -> AggState {
+        match func {
+            AggFunc::CountStar | AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => {
+                if float_sum {
+                    AggState::SumF(0.0)
+                } else {
+                    AggState::SumI(0)
+                }
+            }
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
+        }
+    }
+
+    fn update(&mut self, value: Option<&ScalarValue>) {
+        match self {
+            AggState::Count(c) => {
+                // COUNT(*) gets None input and counts every row; COUNT(x)
+                // gets Some and skips NULLs.
+                match value {
+                    None => *c += 1,
+                    Some(v) if !v.is_null() => *c += 1,
+                    _ => {}
+                }
+            }
+            AggState::SumI(s) => {
+                if let Some(v) = value {
+                    if let Some(x) = v.as_i64() {
+                        *s += x;
+                    }
+                }
+            }
+            AggState::SumF(s) => {
+                if let Some(v) = value {
+                    if let Some(x) = v.as_f64() {
+                        *s += x;
+                    }
+                }
+            }
+            AggState::Min(cur) => {
+                if let Some(v) = value {
+                    if !v.is_null()
+                        && cur.as_ref().is_none_or(|c| {
+                            v.partial_cmp_sql(c) == Some(std::cmp::Ordering::Less)
+                        })
+                    {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                if let Some(v) = value {
+                    if !v.is_null()
+                        && cur.as_ref().is_none_or(|c| {
+                            v.partial_cmp_sql(c) == Some(std::cmp::Ordering::Greater)
+                        })
+                    {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if let Some(v) = value {
+                    if let Some(x) = v.as_f64() {
+                        *sum += x;
+                        *count += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn merge(&mut self, other: &AggState) {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::SumI(a), AggState::SumI(b)) => *a += b,
+            (AggState::SumF(a), AggState::SumF(b)) => *a += b,
+            (AggState::Min(a), AggState::Min(b)) => {
+                if let Some(bv) = b {
+                    if a.as_ref().is_none_or(|av| {
+                        bv.partial_cmp_sql(av) == Some(std::cmp::Ordering::Less)
+                    }) {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            (AggState::Max(a), AggState::Max(b)) => {
+                if let Some(bv) = b {
+                    if a.as_ref().is_none_or(|av| {
+                        bv.partial_cmp_sql(av) == Some(std::cmp::Ordering::Greater)
+                    }) {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            (
+                AggState::Avg { sum: a, count: ac },
+                AggState::Avg { sum: b, count: bc },
+            ) => {
+                *a += b;
+                *ac += bc;
+            }
+            _ => unreachable!("merging mismatched aggregate states"),
+        }
+    }
+
+    fn finalize(&self) -> ScalarValue {
+        match self {
+            AggState::Count(c) => ScalarValue::Int64(*c),
+            AggState::SumI(s) => ScalarValue::Int64(*s),
+            AggState::SumF(s) => ScalarValue::Float64(*s),
+            AggState::Min(v) | AggState::Max(v) => {
+                v.clone().unwrap_or(ScalarValue::Null)
+            }
+            AggState::Avg { sum, count } => {
+                if *count == 0 {
+                    ScalarValue::Null
+                } else {
+                    ScalarValue::Float64(sum / *count as f64)
+                }
+            }
+        }
+    }
+}
+
+/// Encode a group key into comparable bytes (type-tagged).
+fn encode_key(values: &[ScalarValue], out: &mut Vec<u8>) {
+    out.clear();
+    for v in values {
+        match v {
+            ScalarValue::Null => out.push(0),
+            ScalarValue::Int64(x) => {
+                out.push(1);
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            ScalarValue::Float64(x) => {
+                out.push(2);
+                out.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+            ScalarValue::Utf8(s) => {
+                out.push(3);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            ScalarValue::Bool(b) => {
+                out.push(4);
+                out.push(*b as u8);
+            }
+        }
+    }
+}
+
+/// One group's key values and running aggregate states.
+type GroupEntry = (Vec<ScalarValue>, Vec<AggState>);
+
+/// Thread-local hash-aggregate state.
+pub struct AggregateState {
+    group_cols: Vec<usize>,
+    aggs: Vec<AggExpr>,
+    float_sums: Vec<bool>,
+    groups: HashMap<Vec<u8>, GroupEntry>,
+}
+
+impl AggregateState {
+    pub fn new(group_cols: Vec<usize>, aggs: Vec<AggExpr>, input_types: &[rpt_common::DataType]) -> Result<AggregateState> {
+        let float_sums = aggs
+            .iter()
+            .map(|a| {
+                Ok(match (&a.func, &a.input) {
+                    (AggFunc::Sum, Some(e)) => {
+                        e.data_type(input_types)? == rpt_common::DataType::Float64
+                    }
+                    _ => false,
+                })
+            })
+            .collect::<Result<Vec<bool>>>()?;
+        Ok(AggregateState {
+            group_cols,
+            aggs,
+            float_sums,
+            groups: HashMap::new(),
+        })
+    }
+
+    /// Consume a chunk (Sink).
+    pub fn update(&mut self, chunk: &DataChunk) -> Result<()> {
+        let n = chunk.num_rows();
+        if n == 0 {
+            return Ok(());
+        }
+        // Evaluate aggregate inputs once per chunk.
+        let inputs: Vec<Option<Vector>> = self
+            .aggs
+            .iter()
+            .map(|a| a.input.as_ref().map(|e| e.eval(chunk)).transpose())
+            .collect::<Result<_>>()?;
+        let mut key_buf = Vec::new();
+        let mut key_vals = Vec::with_capacity(self.group_cols.len());
+        for row in 0..n {
+            key_vals.clear();
+            for &g in &self.group_cols {
+                key_vals.push(chunk.value(g, row));
+            }
+            encode_key(&key_vals, &mut key_buf);
+            let entry = self.groups.entry(key_buf.clone()).or_insert_with(|| {
+                let states = self
+                    .aggs
+                    .iter()
+                    .zip(self.float_sums.iter())
+                    .map(|(a, &f)| AggState::new(a.func, f))
+                    .collect();
+                (key_vals.clone(), states)
+            });
+            for (i, state) in entry.1.iter_mut().enumerate() {
+                let v = inputs[i].as_ref().map(|vec| vec.get(row));
+                state.update(v.as_ref());
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge another thread's state (Combine).
+    pub fn merge(&mut self, other: AggregateState) {
+        for (key, (vals, states)) in other.groups {
+            match self.groups.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (a, b) in e.get_mut().1.iter_mut().zip(states.iter()) {
+                        a.merge(b);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((vals, states));
+                }
+            }
+        }
+    }
+
+    /// Produce the output chunk (Finalize). Groups are sorted by encoded key
+    /// for determinism.
+    pub fn finalize(self, output_schema: &Schema) -> Result<DataChunk> {
+        let mut entries: Vec<(Vec<u8>, GroupEntry)> =
+            self.groups.into_iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut columns: Vec<Vector> = output_schema
+            .fields
+            .iter()
+            .map(|f| Vector::new_empty(f.data_type))
+            .collect();
+        let ng = self.group_cols.len();
+        if columns.len() != ng + self.aggs.len() {
+            return Err(Error::Plan(format!(
+                "aggregate output schema has {} fields, expected {}",
+                columns.len(),
+                ng + self.aggs.len()
+            )));
+        }
+        for (_, (key_vals, states)) in &entries {
+            for (i, v) in key_vals.iter().enumerate() {
+                columns[i].push(v)?;
+            }
+            for (i, s) in states.iter().enumerate() {
+                columns[ng + i].push(&s.finalize())?;
+            }
+        }
+        // Global aggregation with zero rows still yields one row.
+        if entries.is_empty() && ng == 0 {
+            for (i, a) in self.aggs.iter().enumerate() {
+                let s = AggState::new(a.func, self.float_sums[i]);
+                columns[i].push(&s.finalize())?;
+            }
+        }
+        Ok(DataChunk::new(columns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use rpt_common::{DataType, Field};
+
+    fn chunk() -> DataChunk {
+        DataChunk::new(vec![
+            Vector::from_i64(vec![1, 1, 2, 2, 2]),
+            Vector::from_i64(vec![10, 20, 30, 40, 50]),
+            Vector::from_f64(vec![1.0, 2.0, 3.0, 4.0, 5.0]),
+        ])
+    }
+
+    fn agg(func: AggFunc, col: usize, alias: &str) -> AggExpr {
+        AggExpr {
+            func,
+            input: Some(Expr::col(col)),
+            alias: alias.into(),
+        }
+    }
+
+    #[test]
+    fn grouped_sum_count() {
+        let types = [DataType::Int64, DataType::Int64, DataType::Float64];
+        let mut st = AggregateState::new(
+            vec![0],
+            vec![agg(AggFunc::Sum, 1, "s"), AggExpr::count_star("c")],
+            &types,
+        )
+        .unwrap();
+        st.update(&chunk()).unwrap();
+        let schema = Schema::new(vec![
+            Field::new("g", DataType::Int64),
+            Field::new("s", DataType::Int64),
+            Field::new("c", DataType::Int64),
+        ]);
+        let out = st.finalize(&schema).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value(1, 0), ScalarValue::Int64(30)); // group 1: 10+20
+        assert_eq!(out.value(2, 0), ScalarValue::Int64(2));
+        assert_eq!(out.value(1, 1), ScalarValue::Int64(120)); // group 2
+        assert_eq!(out.value(2, 1), ScalarValue::Int64(3));
+    }
+
+    #[test]
+    fn global_min_max_avg() {
+        let types = [DataType::Int64, DataType::Int64, DataType::Float64];
+        let mut st = AggregateState::new(
+            vec![],
+            vec![
+                agg(AggFunc::Min, 1, "mn"),
+                agg(AggFunc::Max, 1, "mx"),
+                agg(AggFunc::Avg, 2, "av"),
+            ],
+            &types,
+        )
+        .unwrap();
+        st.update(&chunk()).unwrap();
+        let schema = Schema::new(vec![
+            Field::new("mn", DataType::Int64),
+            Field::new("mx", DataType::Int64),
+            Field::new("av", DataType::Float64),
+        ]);
+        let out = st.finalize(&schema).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, 0), ScalarValue::Int64(10));
+        assert_eq!(out.value(1, 0), ScalarValue::Int64(50));
+        assert_eq!(out.value(2, 0), ScalarValue::Float64(3.0));
+    }
+
+    #[test]
+    fn merge_combines_thread_states() {
+        let types = [DataType::Int64, DataType::Int64, DataType::Float64];
+        let mk = || {
+            AggregateState::new(vec![0], vec![AggExpr::count_star("c")], &types).unwrap()
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let mut c1 = chunk();
+        c1.set_selection(vec![0, 1]); // group 1 rows
+        let mut c2 = chunk();
+        c2.set_selection(vec![2, 3, 4]); // group 2 rows
+        a.update(&c1).unwrap();
+        b.update(&c2).unwrap();
+        a.merge(b);
+        let schema = Schema::new(vec![
+            Field::new("g", DataType::Int64),
+            Field::new("c", DataType::Int64),
+        ]);
+        let out = a.finalize(&schema).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value(1, 0), ScalarValue::Int64(2));
+        assert_eq!(out.value(1, 1), ScalarValue::Int64(3));
+    }
+
+    #[test]
+    fn global_agg_on_empty_input_yields_one_row() {
+        let types = [DataType::Int64];
+        let st = AggregateState::new(vec![], vec![AggExpr::count_star("c")], &types).unwrap();
+        let schema = Schema::new(vec![Field::new("c", DataType::Int64)]);
+        let out = st.finalize(&schema).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, 0), ScalarValue::Int64(0));
+    }
+
+    #[test]
+    fn grouped_agg_on_empty_input_yields_zero_rows() {
+        let types = [DataType::Int64, DataType::Int64, DataType::Float64];
+        let st = AggregateState::new(vec![0], vec![AggExpr::count_star("c")], &types).unwrap();
+        let schema = Schema::new(vec![
+            Field::new("g", DataType::Int64),
+            Field::new("c", DataType::Int64),
+        ]);
+        let out = st.finalize(&schema).unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
+    fn count_skips_nulls_countstar_does_not() {
+        let mut v = Vector::new_empty(DataType::Int64);
+        v.push(&ScalarValue::Int64(1)).unwrap();
+        v.push(&ScalarValue::Null).unwrap();
+        let c = DataChunk::new(vec![v]);
+        let types = [DataType::Int64];
+        let mut st = AggregateState::new(
+            vec![],
+            vec![
+                AggExpr {
+                    func: AggFunc::Count,
+                    input: Some(Expr::col(0)),
+                    alias: "cnt".into(),
+                },
+                AggExpr::count_star("star"),
+            ],
+            &types,
+        )
+        .unwrap();
+        st.update(&c).unwrap();
+        let schema = Schema::new(vec![
+            Field::new("cnt", DataType::Int64),
+            Field::new("star", DataType::Int64),
+        ]);
+        let out = st.finalize(&schema).unwrap();
+        assert_eq!(out.value(0, 0), ScalarValue::Int64(1));
+        assert_eq!(out.value(1, 0), ScalarValue::Int64(2));
+    }
+}

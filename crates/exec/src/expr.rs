@@ -1,0 +1,524 @@
+//! Vectorized expressions: filters, projections, aggregates.
+
+use rpt_common::{
+    ColumnData, DataChunk, DataType, Error, Result, ScalarValue, Vector,
+};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// A scalar expression evaluated over the *logical* rows of a chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to the chunk column at this index.
+    Column(usize),
+    Literal(ScalarValue),
+    Cmp {
+        op: CmpOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Arith {
+        op: ArithOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    And(Vec<Expr>),
+    Or(Vec<Expr>),
+    Not(Box<Expr>),
+    /// `expr IN (v1, v2, ...)`.
+    InList {
+        expr: Box<Expr>,
+        list: Vec<ScalarValue>,
+    },
+    /// Substring match — our stand-in for `LIKE '%pat%'`.
+    Contains {
+        expr: Box<Expr>,
+        pattern: String,
+    },
+    /// Prefix match — stand-in for `LIKE 'pat%'`.
+    StartsWith {
+        expr: Box<Expr>,
+        pattern: String,
+    },
+    IsNull(Box<Expr>),
+}
+
+impl Expr {
+    pub fn col(i: usize) -> Expr {
+        Expr::Column(i)
+    }
+
+    pub fn lit(v: ScalarValue) -> Expr {
+        Expr::Literal(v)
+    }
+
+    pub fn cmp(op: CmpOp, l: Expr, r: Expr) -> Expr {
+        Expr::Cmp {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    pub fn eq(l: Expr, r: Expr) -> Expr {
+        Expr::cmp(CmpOp::Eq, l, r)
+    }
+
+    pub fn and(exprs: Vec<Expr>) -> Expr {
+        match exprs.len() {
+            1 => exprs.into_iter().next().expect("len checked"),
+            _ => Expr::And(exprs),
+        }
+    }
+
+    /// Result type of this expression over `input` column types.
+    pub fn data_type(&self, input: &[DataType]) -> Result<DataType> {
+        Ok(match self {
+            Expr::Column(i) => *input.get(*i).ok_or_else(|| {
+                Error::Plan(format!("column index {i} out of bounds"))
+            })?,
+            Expr::Literal(v) => v.data_type().unwrap_or(DataType::Int64),
+            Expr::Cmp { .. }
+            | Expr::And(_)
+            | Expr::Or(_)
+            | Expr::Not(_)
+            | Expr::InList { .. }
+            | Expr::Contains { .. }
+            | Expr::StartsWith { .. }
+            | Expr::IsNull(_) => DataType::Bool,
+            Expr::Arith { op: _, left, right } => {
+                let lt = left.data_type(input)?;
+                let rt = right.data_type(input)?;
+                if lt == DataType::Float64 || rt == DataType::Float64 {
+                    DataType::Float64
+                } else {
+                    DataType::Int64
+                }
+            }
+        })
+    }
+
+    /// Evaluate over the logical rows of `chunk`, producing a flat vector of
+    /// length `chunk.num_rows()`.
+    pub fn eval(&self, chunk: &DataChunk) -> Result<Vector> {
+        let n = chunk.num_rows();
+        match self {
+            Expr::Column(i) => {
+                let col = chunk
+                    .columns
+                    .get(*i)
+                    .ok_or_else(|| Error::Exec(format!("column {i} out of bounds")))?;
+                Ok(match &chunk.selection {
+                    Some(sel) => col.take(sel),
+                    None => col.clone(),
+                })
+            }
+            Expr::Literal(v) => {
+                let mut out = Vector::new_empty(v.data_type().unwrap_or(DataType::Int64));
+                for _ in 0..n {
+                    out.push(v)?;
+                }
+                Ok(out)
+            }
+            Expr::Cmp { op, left, right } => {
+                let l = left.eval(chunk)?;
+                let r = right.eval(chunk)?;
+                eval_cmp(*op, &l, &r)
+            }
+            Expr::Arith { op, left, right } => {
+                let l = left.eval(chunk)?;
+                let r = right.eval(chunk)?;
+                eval_arith(*op, &l, &r)
+            }
+            Expr::And(parts) => {
+                let mut acc = vec![true; n];
+                for p in parts {
+                    let v = p.eval(chunk)?;
+                    let b = v.bool_slice();
+                    for i in 0..n {
+                        acc[i] = acc[i] && b[i] && v.is_valid(i);
+                    }
+                }
+                Ok(Vector::from_bool(acc))
+            }
+            Expr::Or(parts) => {
+                let mut acc = vec![false; n];
+                for p in parts {
+                    let v = p.eval(chunk)?;
+                    let b = v.bool_slice();
+                    for i in 0..n {
+                        acc[i] = acc[i] || (b[i] && v.is_valid(i));
+                    }
+                }
+                Ok(Vector::from_bool(acc))
+            }
+            Expr::Not(inner) => {
+                let v = inner.eval(chunk)?;
+                let b = v.bool_slice();
+                Ok(Vector::from_bool(
+                    (0..n).map(|i| v.is_valid(i) && !b[i]).collect(),
+                ))
+            }
+            Expr::InList { expr, list } => {
+                let v = expr.eval(chunk)?;
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    let val = v.get(i);
+                    out.push(!val.is_null() && list.iter().any(|x| x == &val));
+                }
+                Ok(Vector::from_bool(out))
+            }
+            Expr::Contains { expr, pattern } => {
+                let v = expr.eval(chunk)?;
+                let s = v.utf8_slice();
+                Ok(Vector::from_bool(
+                    (0..n)
+                        .map(|i| v.is_valid(i) && s[i].contains(pattern.as_str()))
+                        .collect(),
+                ))
+            }
+            Expr::StartsWith { expr, pattern } => {
+                let v = expr.eval(chunk)?;
+                let s = v.utf8_slice();
+                Ok(Vector::from_bool(
+                    (0..n)
+                        .map(|i| v.is_valid(i) && s[i].starts_with(pattern.as_str()))
+                        .collect(),
+                ))
+            }
+            Expr::IsNull(inner) => {
+                let v = inner.eval(chunk)?;
+                Ok(Vector::from_bool((0..n).map(|i| !v.is_valid(i)).collect()))
+            }
+        }
+    }
+
+    /// Evaluate as a predicate: logical row indices (into the chunk's
+    /// logical order) that pass.
+    pub fn eval_selection(&self, chunk: &DataChunk) -> Result<Vec<u32>> {
+        let v = self.eval(chunk)?;
+        let b = v.bool_slice();
+        Ok((0..chunk.num_rows() as u32)
+            .filter(|&i| b[i as usize] && v.is_valid(i as usize))
+            .collect())
+    }
+}
+
+fn eval_cmp(op: CmpOp, l: &Vector, r: &Vector) -> Result<Vector> {
+    use std::cmp::Ordering;
+    let n = l.len();
+    if r.len() != n {
+        return Err(Error::Exec("comparison arity mismatch".into()));
+    }
+    let test = |ord: Ordering| -> bool {
+        match op {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::NotEq => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::LtEq => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::GtEq => ord != Ordering::Less,
+        }
+    };
+    // Typed fast paths for the hot combinations.
+    let out: Vec<bool> = match (&l.data, &r.data) {
+        (ColumnData::Int64(a), ColumnData::Int64(b)) => (0..n)
+            .map(|i| l.is_valid(i) && r.is_valid(i) && test(a[i].cmp(&b[i])))
+            .collect(),
+        (ColumnData::Float64(a), ColumnData::Float64(b)) => (0..n)
+            .map(|i| {
+                l.is_valid(i)
+                    && r.is_valid(i)
+                    && a[i].partial_cmp(&b[i]).is_some_and(test)
+            })
+            .collect(),
+        (ColumnData::Utf8(a), ColumnData::Utf8(b)) => (0..n)
+            .map(|i| l.is_valid(i) && r.is_valid(i) && test(a[i].cmp(&b[i])))
+            .collect(),
+        _ => (0..n)
+            .map(|i| {
+                l.get(i)
+                    .partial_cmp_sql(&r.get(i))
+                    .is_some_and(test)
+            })
+            .collect(),
+    };
+    Ok(Vector::from_bool(out))
+}
+
+fn eval_arith(op: ArithOp, l: &Vector, r: &Vector) -> Result<Vector> {
+    let n = l.len();
+    if r.len() != n {
+        return Err(Error::Exec("arithmetic arity mismatch".into()));
+    }
+    match (&l.data, &r.data) {
+        (ColumnData::Int64(a), ColumnData::Int64(b)) => {
+            let vals: Vec<i64> = (0..n)
+                .map(|i| match op {
+                    ArithOp::Add => a[i].wrapping_add(b[i]),
+                    ArithOp::Sub => a[i].wrapping_sub(b[i]),
+                    ArithOp::Mul => a[i].wrapping_mul(b[i]),
+                    ArithOp::Div => {
+                        if b[i] == 0 {
+                            0
+                        } else {
+                            a[i] / b[i]
+                        }
+                    }
+                })
+                .collect();
+            let mut v = Vector::from_i64(vals);
+            v.validity = merge_validity(l, r, n);
+            Ok(v)
+        }
+        _ => {
+            // Promote to f64.
+            let get = |v: &Vector, i: usize| -> f64 {
+                v.get(i).as_f64().unwrap_or(f64::NAN)
+            };
+            let vals: Vec<f64> = (0..n)
+                .map(|i| {
+                    let (a, b) = (get(l, i), get(r, i));
+                    match op {
+                        ArithOp::Add => a + b,
+                        ArithOp::Sub => a - b,
+                        ArithOp::Mul => a * b,
+                        ArithOp::Div => a / b,
+                    }
+                })
+                .collect();
+            let mut v = Vector::from_f64(vals);
+            v.validity = merge_validity(l, r, n);
+            Ok(v)
+        }
+    }
+}
+
+fn merge_validity(l: &Vector, r: &Vector, n: usize) -> Option<Vec<bool>> {
+    if l.validity.is_none() && r.validity.is_none() {
+        return None;
+    }
+    Some((0..n).map(|i| l.is_valid(i) && r.is_valid(i)).collect())
+}
+
+/// Aggregate functions supported by the hash aggregate sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    CountStar,
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+/// One aggregate: a function over an input expression (`None` for
+/// `COUNT(*)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    pub func: AggFunc,
+    pub input: Option<Expr>,
+    pub alias: String,
+}
+
+impl AggExpr {
+    pub fn count_star(alias: impl Into<String>) -> AggExpr {
+        AggExpr {
+            func: AggFunc::CountStar,
+            input: None,
+            alias: alias.into(),
+        }
+    }
+
+    pub fn output_type(&self, input: &[DataType]) -> Result<DataType> {
+        Ok(match self.func {
+            AggFunc::CountStar | AggFunc::Count => DataType::Int64,
+            AggFunc::Avg => DataType::Float64,
+            AggFunc::Sum => match self
+                .input
+                .as_ref()
+                .ok_or_else(|| Error::Plan("SUM needs an argument".into()))?
+                .data_type(input)?
+            {
+                DataType::Float64 => DataType::Float64,
+                _ => DataType::Int64,
+            },
+            AggFunc::Min | AggFunc::Max => self
+                .input
+                .as_ref()
+                .ok_or_else(|| Error::Plan("MIN/MAX need an argument".into()))?
+                .data_type(input)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk() -> DataChunk {
+        DataChunk::new(vec![
+            Vector::from_i64(vec![1, 2, 3, 4]),
+            Vector::from_utf8(vec!["ab".into(), "bc".into(), "cd".into(), "bcd".into()]),
+            Vector::from_f64(vec![1.5, 2.5, 3.5, 4.5]),
+        ])
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let c = chunk();
+        let v = Expr::col(0).eval(&c).unwrap();
+        assert_eq!(v.i64_slice(), &[1, 2, 3, 4]);
+        let l = Expr::lit(ScalarValue::Int64(9)).eval(&c).unwrap();
+        assert_eq!(l.i64_slice(), &[9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn comparison_selection() {
+        let c = chunk();
+        let pred = Expr::cmp(
+            CmpOp::Gt,
+            Expr::col(0),
+            Expr::lit(ScalarValue::Int64(2)),
+        );
+        assert_eq!(pred.eval_selection(&c).unwrap(), vec![2, 3]);
+    }
+
+    #[test]
+    fn respects_chunk_selection() {
+        let mut c = chunk();
+        c.set_selection(vec![1, 3]); // values 2, 4
+        let pred = Expr::cmp(CmpOp::GtEq, Expr::col(0), Expr::lit(ScalarValue::Int64(3)));
+        // logical row 1 (value 4) passes
+        assert_eq!(pred.eval_selection(&c).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn and_or_not() {
+        let c = chunk();
+        let gt1 = Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::lit(ScalarValue::Int64(1)));
+        let lt4 = Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::lit(ScalarValue::Int64(4)));
+        let both = Expr::And(vec![gt1.clone(), lt4.clone()]);
+        assert_eq!(both.eval_selection(&c).unwrap(), vec![1, 2]);
+        let either = Expr::Or(vec![
+            Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::lit(ScalarValue::Int64(1))),
+            Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::lit(ScalarValue::Int64(4))),
+        ]);
+        assert_eq!(either.eval_selection(&c).unwrap(), vec![0, 3]);
+        let neither = Expr::Not(Box::new(either));
+        assert_eq!(neither.eval_selection(&c).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn string_predicates() {
+        let c = chunk();
+        let contains = Expr::Contains {
+            expr: Box::new(Expr::col(1)),
+            pattern: "bc".into(),
+        };
+        assert_eq!(contains.eval_selection(&c).unwrap(), vec![1, 3]);
+        let starts = Expr::StartsWith {
+            expr: Box::new(Expr::col(1)),
+            pattern: "b".into(),
+        };
+        assert_eq!(starts.eval_selection(&c).unwrap(), vec![1, 3]);
+    }
+
+    #[test]
+    fn in_list() {
+        let c = chunk();
+        let inl = Expr::InList {
+            expr: Box::new(Expr::col(0)),
+            list: vec![ScalarValue::Int64(2), ScalarValue::Int64(4)],
+        };
+        assert_eq!(inl.eval_selection(&c).unwrap(), vec![1, 3]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let c = chunk();
+        let sum = Expr::Arith {
+            op: ArithOp::Add,
+            left: Box::new(Expr::col(0)),
+            right: Box::new(Expr::col(0)),
+        };
+        assert_eq!(sum.eval(&c).unwrap().i64_slice(), &[2, 4, 6, 8]);
+        let mixed = Expr::Arith {
+            op: ArithOp::Mul,
+            left: Box::new(Expr::col(0)),
+            right: Box::new(Expr::col(2)),
+        };
+        let v = mixed.eval(&c).unwrap();
+        assert_eq!(v.f64_slice()[1], 5.0);
+        assert_eq!(
+            mixed.data_type(&[DataType::Int64, DataType::Utf8, DataType::Float64]).unwrap(),
+            DataType::Float64
+        );
+    }
+
+    #[test]
+    fn null_semantics() {
+        let mut v = Vector::new_empty(DataType::Int64);
+        v.push(&ScalarValue::Int64(1)).unwrap();
+        v.push(&ScalarValue::Null).unwrap();
+        let c = DataChunk::new(vec![v]);
+        let pred = Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::lit(ScalarValue::Int64(1)));
+        // NULL = 1 is not true → filtered out.
+        assert_eq!(pred.eval_selection(&c).unwrap(), vec![0]);
+        let isnull = Expr::IsNull(Box::new(Expr::col(0)));
+        assert_eq!(isnull.eval_selection(&c).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn division_by_zero_int() {
+        let c = DataChunk::new(vec![
+            Vector::from_i64(vec![10]),
+            Vector::from_i64(vec![0]),
+        ]);
+        let div = Expr::Arith {
+            op: ArithOp::Div,
+            left: Box::new(Expr::col(0)),
+            right: Box::new(Expr::col(1)),
+        };
+        assert_eq!(div.eval(&c).unwrap().i64_slice(), &[0]);
+    }
+
+    #[test]
+    fn agg_types() {
+        let input = [DataType::Int64, DataType::Float64];
+        let sum_i = AggExpr {
+            func: AggFunc::Sum,
+            input: Some(Expr::col(0)),
+            alias: "s".into(),
+        };
+        assert_eq!(sum_i.output_type(&input).unwrap(), DataType::Int64);
+        let avg = AggExpr {
+            func: AggFunc::Avg,
+            input: Some(Expr::col(0)),
+            alias: "a".into(),
+        };
+        assert_eq!(avg.output_type(&input).unwrap(), DataType::Float64);
+        assert_eq!(
+            AggExpr::count_star("c").output_type(&input).unwrap(),
+            DataType::Int64
+        );
+    }
+}

@@ -1,0 +1,272 @@
+//! Join hash tables (build side of hash joins and exact semi-joins).
+
+use rpt_common::hash::hash_columns;
+use rpt_common::{ColumnData, DataChunk, Result, Vector};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The keys are already avalanche-mixed by `rpt_common::hash`, so the map
+/// uses an identity hasher.
+#[derive(Default)]
+pub struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("IdentityHasher only accepts u64 keys");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type IdentityMap<V> = HashMap<u64, V, BuildHasherDefault<IdentityHasher>>;
+
+/// A materialized build side: all build rows (flattened) plus a hash → row
+/// index multimap on the key columns.
+pub struct JoinHashTable {
+    /// Flattened build-side rows (all columns).
+    pub data: DataChunk,
+    pub key_cols: Vec<usize>,
+    map: IdentityMap<Vec<u32>>,
+}
+
+/// Typed row-vs-row equality on one column (NULLs never equal).
+#[inline]
+fn values_equal(a: &Vector, ia: usize, b: &Vector, ib: usize) -> bool {
+    if !a.is_valid(ia) || !b.is_valid(ib) {
+        return false;
+    }
+    match (&a.data, &b.data) {
+        (ColumnData::Int64(x), ColumnData::Int64(y)) => x[ia] == y[ib],
+        (ColumnData::Float64(x), ColumnData::Float64(y)) => x[ia] == y[ib],
+        (ColumnData::Utf8(x), ColumnData::Utf8(y)) => x[ia] == y[ib],
+        (ColumnData::Bool(x), ColumnData::Bool(y)) => x[ia] == y[ib],
+        _ => false,
+    }
+}
+
+impl JoinHashTable {
+    /// Build from pre-flattened chunks.
+    pub fn build(chunks: &[DataChunk], key_cols: Vec<usize>) -> Result<JoinHashTable> {
+        // Concatenate.
+        let mut data = match chunks.first() {
+            Some(first) => {
+                let flat = first.flattened();
+                let mut acc = flat;
+                for c in &chunks[1..] {
+                    acc.append(c)?;
+                }
+                acc
+            }
+            None => DataChunk::default(),
+        };
+        data.flatten();
+        let n = data.num_rows();
+        let mut map: IdentityMap<Vec<u32>> = IdentityMap::default();
+        if n > 0 {
+            let keys: Vec<&Vector> = key_cols.iter().map(|&k| &data.columns[k]).collect();
+            let hashes = hash_columns(&keys, n);
+            for (row, &h) in hashes.iter().enumerate() {
+                if h == u64::MAX {
+                    continue; // NULL key: never matches
+                }
+                map.entry(h).or_default().push(row as u32);
+            }
+        }
+        Ok(JoinHashTable {
+            data,
+            key_cols,
+            map,
+        })
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.data.num_rows()
+    }
+
+    /// Hash-join probe: for each logical row of `chunk` (keyed on
+    /// `probe_keys`), emit one `(logical_probe_row, build_row)` pair per
+    /// match. Duplicates on the build side produce multiple pairs — this is
+    /// where non-robust join orders blow up.
+    pub fn probe(
+        &self,
+        chunk: &DataChunk,
+        probe_keys: &[usize],
+        probe_out: &mut Vec<u32>,
+        build_out: &mut Vec<u32>,
+    ) {
+        let n = chunk.num_rows();
+        if n == 0 || self.num_rows() == 0 {
+            return;
+        }
+        // Gather probe key columns over logical rows.
+        let gathered: Vec<Vector> = probe_keys
+            .iter()
+            .map(|&k| match &chunk.selection {
+                Some(sel) => chunk.columns[k].take(sel),
+                None => chunk.columns[k].clone(),
+            })
+            .collect();
+        let refs: Vec<&Vector> = gathered.iter().collect();
+        let hashes = hash_columns(&refs, n);
+        for (row, &h) in hashes.iter().enumerate() {
+            if h == u64::MAX {
+                continue;
+            }
+            if let Some(cands) = self.map.get(&h) {
+                for &b in cands {
+                    let ok = self.key_cols.iter().zip(gathered.iter()).all(|(&kc, pv)| {
+                        values_equal(pv, row, &self.data.columns[kc], b as usize)
+                    });
+                    if ok {
+                        probe_out.push(row as u32);
+                        build_out.push(b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exact semi-join probe: logical rows of `chunk` with ≥ 1 match
+    /// (no duplication). This is the hash-based semi-join of the classic
+    /// Yannakakis algorithm.
+    pub fn semi_probe(&self, chunk: &DataChunk, probe_keys: &[usize]) -> Vec<u32> {
+        let n = chunk.num_rows();
+        let mut out = Vec::new();
+        if n == 0 {
+            return out;
+        }
+        let gathered: Vec<Vector> = probe_keys
+            .iter()
+            .map(|&k| match &chunk.selection {
+                Some(sel) => chunk.columns[k].take(sel),
+                None => chunk.columns[k].clone(),
+            })
+            .collect();
+        let refs: Vec<&Vector> = gathered.iter().collect();
+        let hashes = hash_columns(&refs, n);
+        for (row, &h) in hashes.iter().enumerate() {
+            if h == u64::MAX {
+                continue;
+            }
+            if let Some(cands) = self.map.get(&h) {
+                let hit = cands.iter().any(|&b| {
+                    self.key_cols.iter().zip(gathered.iter()).all(|(&kc, pv)| {
+                        values_equal(pv, row, &self.data.columns[kc], b as usize)
+                    })
+                });
+                if hit {
+                    out.push(row as u32);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpt_common::ScalarValue;
+
+    fn build_chunk() -> DataChunk {
+        DataChunk::new(vec![
+            Vector::from_i64(vec![1, 2, 2, 3]),
+            Vector::from_utf8(vec!["a".into(), "b".into(), "b2".into(), "c".into()]),
+        ])
+    }
+
+    #[test]
+    fn build_and_probe() {
+        let ht = JoinHashTable::build(&[build_chunk()], vec![0]).unwrap();
+        assert_eq!(ht.num_rows(), 4);
+        let probe = DataChunk::new(vec![Vector::from_i64(vec![2, 5, 1])]);
+        let (mut p, mut b) = (vec![], vec![]);
+        ht.probe(&probe, &[0], &mut p, &mut b);
+        // key 2 matches build rows 1 and 2; key 1 matches build row 0.
+        assert_eq!(p, vec![0, 0, 2]);
+        let mut bs = b.clone();
+        bs.sort_unstable();
+        assert_eq!(bs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn probe_respects_selection() {
+        let ht = JoinHashTable::build(&[build_chunk()], vec![0]).unwrap();
+        let mut probe = DataChunk::new(vec![Vector::from_i64(vec![2, 5, 1])]);
+        probe.set_selection(vec![2]); // only the key 1 row, logical idx 0
+        let (mut p, mut b) = (vec![], vec![]);
+        ht.probe(&probe, &[0], &mut p, &mut b);
+        assert_eq!(p, vec![0]);
+        assert_eq!(b, vec![0]);
+    }
+
+    #[test]
+    fn composite_keys() {
+        let build = DataChunk::new(vec![
+            Vector::from_i64(vec![1, 1, 2]),
+            Vector::from_i64(vec![10, 20, 10]),
+        ]);
+        let ht = JoinHashTable::build(&[build], vec![0, 1]).unwrap();
+        let probe = DataChunk::new(vec![
+            Vector::from_i64(vec![1, 2, 1]),
+            Vector::from_i64(vec![10, 10, 30]),
+        ]);
+        let (mut p, mut b) = (vec![], vec![]);
+        ht.probe(&probe, &[0, 1], &mut p, &mut b);
+        assert_eq!(p, vec![0, 1]);
+        assert_eq!(b, vec![0, 2]);
+    }
+
+    #[test]
+    fn semi_probe_no_duplication() {
+        let ht = JoinHashTable::build(&[build_chunk()], vec![0]).unwrap();
+        let probe = DataChunk::new(vec![Vector::from_i64(vec![2, 5, 2])]);
+        let sel = ht.semi_probe(&probe, &[0]);
+        assert_eq!(sel, vec![0, 2]); // each matching row once
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let mut keycol = Vector::new_empty(rpt_common::DataType::Int64);
+        keycol.push(&ScalarValue::Int64(1)).unwrap();
+        keycol.push(&ScalarValue::Null).unwrap();
+        let ht = JoinHashTable::build(&[DataChunk::new(vec![keycol])], vec![0]).unwrap();
+        let mut probe_key = Vector::new_empty(rpt_common::DataType::Int64);
+        probe_key.push(&ScalarValue::Null).unwrap();
+        probe_key.push(&ScalarValue::Int64(1)).unwrap();
+        let probe = DataChunk::new(vec![probe_key]);
+        let (mut p, mut b) = (vec![], vec![]);
+        ht.probe(&probe, &[0], &mut p, &mut b);
+        assert_eq!(p, vec![1]); // only the non-null key matches
+        assert_eq!(b, vec![0]);
+        assert_eq!(ht.semi_probe(&probe, &[0]), vec![1]);
+    }
+
+    #[test]
+    fn empty_build_side() {
+        let ht = JoinHashTable::build(&[], vec![0]).unwrap();
+        assert_eq!(ht.num_rows(), 0);
+        let probe = DataChunk::new(vec![Vector::from_i64(vec![1])]);
+        let (mut p, mut b) = (vec![], vec![]);
+        ht.probe(&probe, &[0], &mut p, &mut b);
+        assert!(p.is_empty() && b.is_empty());
+    }
+
+    #[test]
+    fn multi_chunk_build() {
+        let c1 = DataChunk::new(vec![Vector::from_i64(vec![1, 2])]);
+        let c2 = DataChunk::new(vec![Vector::from_i64(vec![3])]);
+        let ht = JoinHashTable::build(&[c1, c2], vec![0]).unwrap();
+        assert_eq!(ht.num_rows(), 3);
+        let probe = DataChunk::new(vec![Vector::from_i64(vec![3])]);
+        let (mut p, mut b) = (vec![], vec![]);
+        ht.probe(&probe, &[0], &mut p, &mut b);
+        assert_eq!(b, vec![2]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # rpt-exec
+//!
+//! A push-based vectorized execution engine reproducing the DuckDB execution
+//! model the paper integrates with (§4.1, Figure 3):
+//!
+//! * queries run as a sequence of **pipelines**; each pipeline has a
+//!   *source* (`GetData`), a chain of streaming *operators* (`Execute`), and
+//!   a *sink* (`Sink`/`Combine`/`Finalize`) that is a pipeline breaker;
+//! * tuples flow in 2048-row data chunks with selection vectors;
+//! * the two new RPT operators are implemented here: **CreateBF** (a sink
+//!   that buffers chunks and builds Bloom filters, then acts as the source
+//!   of the next pipeline) and **ProbeBF** (a streaming operator that probes
+//!   a Bloom filter and refines the chunk's selection vector);
+//! * morsel-style multi-threaded execution (§5.3) with thread-local sink
+//!   state merged in `Combine`/`Finalize`;
+//! * a work-budget cancellation mechanism standing in for the paper's
+//!   `1000 × t_opt` timeout.
+//!
+//! The planner in `rpt-core` compiles logical RPT plans into
+//! [`pipeline::PipelinePlan`]s executed by [`pipeline::Executor`].
+
+pub mod aggregate;
+pub mod context;
+pub mod expr;
+pub mod hash_table;
+pub mod pipeline;
+pub mod wcoj;
+
+pub use context::{ExecContext, Metrics};
+pub use expr::{AggExpr, AggFunc, ArithOp, CmpOp, Expr};
+pub use hash_table::JoinHashTable;
+pub use pipeline::{BloomSink, Executor, OpSpec, PipelinePlan, SinkSpec, SourceSpec};
+pub use wcoj::{generic_join, WcojRelation};

@@ -1,0 +1,972 @@
+//! Pipelines and the push-based executor.
+//!
+//! A query compiles into an ordered list of [`PipelinePlan`]s, mirroring
+//! DuckDB's execution model (§4.1, Figure 3): each pipeline pulls chunks
+//! from its *source*, pushes them through streaming *operators*, and
+//! terminates at a *sink* (a pipeline breaker). The RPT integration (§4.2,
+//! §4.3, Figure 5) adds:
+//!
+//! * `SinkSpec::Buffer` with [`BloomSink`]s — the **CreateBF** operator:
+//!   buffers the incoming chunks (spilling if configured) and builds one
+//!   Bloom filter per requested key set in `Finalize`; the buffer then acts
+//!   as the source of a later pipeline;
+//! * `OpSpec::ProbeBloom` — the **ProbeBF** operator: probes a previously
+//!   built filter and refines the chunk's selection vector via the
+//!   bitmask → selection conversion.
+//!
+//! Multi-threaded execution is morsel-driven: workers claim source chunks
+//! from an atomic counter, maintain thread-local sink state (`Sink`), and
+//! the main thread merges (`Combine`) and finalizes (`Finalize`).
+
+use crate::aggregate::AggregateState;
+use crate::context::ExecContext;
+use crate::expr::{AggExpr, Expr};
+use crate::hash_table::JoinHashTable;
+use rpt_bloom::{bitmask_to_selection, BloomFilter};
+use rpt_common::hash::hash_columns;
+use rpt_common::{DataChunk, DataType, Error, Result, Schema, Vector};
+use rpt_storage::{SpillBuffer, Table};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Where a pipeline reads its chunks from.
+#[derive(Clone)]
+pub enum SourceSpec {
+    /// Scan an in-memory table.
+    Table(Arc<Table>),
+    /// Read the materialized output of an earlier pipeline (e.g. a
+    /// `CreateBF` buffer acting as a source).
+    Buffer(usize),
+}
+
+/// A streaming (non-breaking) operator.
+#[derive(Clone)]
+pub enum OpSpec {
+    /// Refine the selection with a predicate.
+    Filter(Expr),
+    /// Replace the chunk with evaluated expressions (flattens).
+    Project(Vec<Expr>),
+    /// ProbeBF: drop rows whose key misses the Bloom filter.
+    ProbeBloom { filter_id: usize, key_cols: Vec<usize> },
+    /// Hash-join probe against a built table; appends the listed build-side
+    /// columns to the chunk. One output row per match (duplicating).
+    JoinProbe {
+        ht_id: usize,
+        key_cols: Vec<usize>,
+        build_output_cols: Vec<usize>,
+    },
+    /// Exact semi-join probe (Yannakakis reducer): keep rows with ≥1 match.
+    SemiProbe { ht_id: usize, key_cols: Vec<usize> },
+}
+
+/// Request to build one Bloom filter inside a buffering sink.
+#[derive(Clone)]
+pub struct BloomSink {
+    pub filter_id: usize,
+    pub key_cols: Vec<usize>,
+    /// Sizing hint (pre-reduction cardinality of the source).
+    pub expected_keys: usize,
+    pub fpr: f64,
+}
+
+/// Pipeline-terminating operator.
+#[derive(Clone)]
+pub enum SinkSpec {
+    /// Materialize chunks into buffer `buf_id`, building the requested
+    /// Bloom filters along the way (CreateBF). With an empty `blooms` list
+    /// this is a plain collect sink.
+    Buffer {
+        buf_id: usize,
+        blooms: Vec<BloomSink>,
+    },
+    /// Build a join hash table keyed on `key_cols`. `blooms` optionally
+    /// builds Bloom filters over the same stream — this is how the BloomJoin
+    /// baseline (§6.1) attaches a filter to each hash-join build side.
+    HashBuild {
+        ht_id: usize,
+        key_cols: Vec<usize>,
+        blooms: Vec<BloomSink>,
+    },
+    /// Hash aggregation; result goes to buffer `buf_id`.
+    Aggregate {
+        buf_id: usize,
+        group_cols: Vec<usize>,
+        aggs: Vec<AggExpr>,
+        input_types: Vec<DataType>,
+        output_schema: Schema,
+    },
+}
+
+/// One pipeline: source → ops → sink.
+#[derive(Clone)]
+pub struct PipelinePlan {
+    /// Human-readable label (shows up in the metrics trace / case studies).
+    pub label: String,
+    pub source: SourceSpec,
+    pub ops: Vec<OpSpec>,
+    pub sink: SinkSpec,
+    /// Whether rows into this sink count toward `intermediate_tuples`.
+    /// (True for everything except the final output collect.)
+    pub intermediate: bool,
+    /// Schema of chunks entering the sink (needed for buffer spill files).
+    pub sink_schema: Schema,
+}
+
+/// Executor state shared across a query's pipelines.
+pub struct Executor {
+    pub ctx: ExecContext,
+    buffers: Vec<Option<Arc<Vec<DataChunk>>>>,
+    filters: Vec<Option<Arc<BloomFilter>>>,
+    tables: Vec<Option<Arc<JoinHashTable>>>,
+}
+
+impl Executor {
+    pub fn new(ctx: ExecContext, num_buffers: usize, num_filters: usize, num_tables: usize) -> Self {
+        Executor {
+            ctx,
+            buffers: vec![None; num_buffers],
+            filters: vec![None; num_filters],
+            tables: vec![None; num_tables],
+        }
+    }
+
+    /// Execute pipelines in order.
+    pub fn run(&mut self, pipelines: &[PipelinePlan]) -> Result<()> {
+        for p in pipelines {
+            self.run_pipeline(p)?;
+        }
+        Ok(())
+    }
+
+    /// Materialized chunks of a buffer.
+    pub fn buffer(&self, id: usize) -> Result<Arc<Vec<DataChunk>>> {
+        self.buffers
+            .get(id)
+            .and_then(|b| b.clone())
+            .ok_or_else(|| Error::Exec(format!("buffer {id} not materialized")))
+    }
+
+    pub fn buffer_rows(&self, id: usize) -> u64 {
+        self.buffers
+            .get(id)
+            .and_then(|b| b.as_ref())
+            .map_or(0, |chunks| chunks.iter().map(|c| c.num_rows() as u64).sum())
+    }
+
+    pub fn filter(&self, id: usize) -> Result<Arc<BloomFilter>> {
+        self.filters
+            .get(id)
+            .and_then(|f| f.clone())
+            .ok_or_else(|| Error::Exec(format!("bloom filter {id} not built")))
+    }
+
+    pub fn hash_table(&self, id: usize) -> Result<Arc<JoinHashTable>> {
+        self.tables
+            .get(id)
+            .and_then(|t| t.clone())
+            .ok_or_else(|| Error::Exec(format!("hash table {id} not built")))
+    }
+
+    fn source_chunks(&self, src: &SourceSpec) -> Result<Arc<Vec<DataChunk>>> {
+        Ok(match src {
+            SourceSpec::Table(t) => Arc::new(t.default_chunks()),
+            SourceSpec::Buffer(id) => self.buffer(*id)?,
+        })
+    }
+
+    fn run_pipeline(&mut self, p: &PipelinePlan) -> Result<()> {
+        let chunks = self.source_chunks(&p.source)?;
+        let threads = self.ctx.threads.min(chunks.len()).max(1);
+        let mut states: Vec<SinkState> = Vec::with_capacity(threads);
+
+        if threads == 1 {
+            let mut state = SinkState::new(p, &self.ctx)?;
+            for c in chunks.iter() {
+                self.ctx.charge(c.num_rows() as u64)?;
+                if let Some(out) = self.apply_ops(c.clone(), &p.ops)? {
+                    state.sink(out, &self.ctx)?;
+                }
+            }
+            states.push(state);
+        } else {
+            let next = AtomicUsize::new(0);
+            let ctx = &self.ctx;
+            let filters = &self.filters;
+            let tables = &self.tables;
+            let results: Vec<Result<SinkState>> = crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for _ in 0..threads {
+                    handles.push(scope.spawn(|_| -> Result<SinkState> {
+                        let mut state = SinkState::new(p, ctx)?;
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= chunks.len() {
+                                break;
+                            }
+                            ctx.charge(chunks[i].num_rows() as u64)?;
+                            if let Some(out) =
+                                apply_ops_inner(chunks[i].clone(), &p.ops, ctx, filters, tables)?
+                            {
+                                state.sink(out, ctx)?;
+                            }
+                        }
+                        Ok(state)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            })
+            .expect("thread scope failed");
+            for r in results {
+                states.push(r?);
+            }
+        }
+
+        // Combine + Finalize.
+        let mut iter = states.into_iter();
+        let mut merged = iter.next().expect("at least one sink state");
+        for s in iter {
+            merged.combine(s)?;
+        }
+        let rows = merged.rows();
+        if p.intermediate {
+            self.ctx
+                .metrics
+                .add(&self.ctx.metrics.intermediate_tuples, rows);
+        } else {
+            self.ctx.metrics.add(&self.ctx.metrics.output_rows, rows);
+        }
+        self.ctx.metrics.record_pipeline(&p.label, rows);
+        merged.finalize(self)?;
+        Ok(())
+    }
+
+    fn apply_ops(&self, chunk: DataChunk, ops: &[OpSpec]) -> Result<Option<DataChunk>> {
+        apply_ops_inner(chunk, ops, &self.ctx, &self.filters, &self.tables)
+    }
+}
+
+/// Gather key columns over the logical rows of a chunk.
+fn gather_keys(chunk: &DataChunk, key_cols: &[usize]) -> Vec<Vector> {
+    key_cols
+        .iter()
+        .map(|&k| match &chunk.selection {
+            Some(sel) => chunk.columns[k].take(sel),
+            None => chunk.columns[k].clone(),
+        })
+        .collect()
+}
+
+fn apply_ops_inner(
+    mut chunk: DataChunk,
+    ops: &[OpSpec],
+    ctx: &ExecContext,
+    filters: &[Option<Arc<BloomFilter>>],
+    tables: &[Option<Arc<JoinHashTable>>],
+) -> Result<Option<DataChunk>> {
+    let m = &ctx.metrics;
+    for op in ops {
+        if chunk.is_logically_empty() {
+            return Ok(None);
+        }
+        match op {
+            OpSpec::Filter(e) => {
+                let sel = e.eval_selection(&chunk)?;
+                chunk.refine_selection(&sel);
+            }
+            OpSpec::Project(exprs) => {
+                let cols: Vec<Vector> =
+                    exprs.iter().map(|e| e.eval(&chunk)).collect::<Result<_>>()?;
+                chunk = DataChunk::new(cols);
+            }
+            OpSpec::ProbeBloom { filter_id, key_cols } => {
+                let filter = filters
+                    .get(*filter_id)
+                    .and_then(|f| f.as_ref())
+                    .ok_or_else(|| {
+                        Error::Exec(format!("bloom filter {filter_id} not built"))
+                    })?;
+                let n = chunk.num_rows();
+                let t0 = Instant::now();
+                let gathered = gather_keys(&chunk, key_cols);
+                let refs: Vec<&Vector> = gathered.iter().collect();
+                let hashes = hash_columns(&refs, n);
+                let mask = filter.probe_hashes_bitmask(&hashes);
+                let mut keep = Vec::new();
+                bitmask_to_selection(&mask, n, &mut keep);
+                m.add(&m.bloom_nanos, t0.elapsed().as_nanos() as u64);
+                m.add(&m.bloom_probe_in, n as u64);
+                m.add(&m.bloom_probe_out, keep.len() as u64);
+                chunk.refine_selection(&keep);
+            }
+            OpSpec::JoinProbe {
+                ht_id,
+                key_cols,
+                build_output_cols,
+            } => {
+                let ht = tables
+                    .get(*ht_id)
+                    .and_then(|t| t.as_ref())
+                    .ok_or_else(|| Error::Exec(format!("hash table {ht_id} not built")))?;
+                m.add(&m.join_probe_in, chunk.num_rows() as u64);
+                let mut probe_rows = Vec::new();
+                let mut build_rows = Vec::new();
+                ht.probe(&chunk, key_cols, &mut probe_rows, &mut build_rows);
+                let out_n = probe_rows.len();
+                ctx.charge(out_n as u64)?;
+                m.add(&m.join_output_rows, out_n as u64);
+                // logical → physical probe indices
+                let phys: Vec<u32> = probe_rows
+                    .iter()
+                    .map(|&l| chunk.physical_index(l as usize) as u32)
+                    .collect();
+                let mut cols: Vec<Vector> =
+                    chunk.columns.iter().map(|c| c.take(&phys)).collect();
+                for &bc in build_output_cols {
+                    cols.push(ht.data.columns[bc].take(&build_rows));
+                }
+                chunk = DataChunk::new(cols);
+            }
+            OpSpec::SemiProbe { ht_id, key_cols } => {
+                let ht = tables
+                    .get(*ht_id)
+                    .and_then(|t| t.as_ref())
+                    .ok_or_else(|| Error::Exec(format!("hash table {ht_id} not built")))?;
+                let keep = ht.semi_probe(&chunk, key_cols);
+                chunk.refine_selection(&keep);
+            }
+        }
+    }
+    if chunk.is_logically_empty() {
+        Ok(None)
+    } else {
+        Ok(Some(chunk))
+    }
+}
+
+/// Insert the key hashes of a chunk into thread-local Bloom filters
+/// (the Sink step of CreateBF / the BloomJoin build side).
+fn insert_into_blooms(
+    chunk: &DataChunk,
+    blooms: &mut [(BloomSink, BloomFilter)],
+    ctx: &ExecContext,
+) {
+    if blooms.is_empty() {
+        return;
+    }
+    let m = &ctx.metrics;
+    let t0 = Instant::now();
+    for (spec, filter) in blooms.iter_mut() {
+        let gathered = gather_keys(chunk, &spec.key_cols);
+        let refs: Vec<&Vector> = gathered.iter().collect();
+        let hashes = hash_columns(&refs, chunk.num_rows());
+        for h in hashes {
+            if h != u64::MAX {
+                filter.insert_hash(h);
+            }
+        }
+    }
+    m.add(&m.bloom_nanos, t0.elapsed().as_nanos() as u64);
+    m.add(
+        &m.bloom_build_rows,
+        chunk.num_rows() as u64 * blooms.len() as u64,
+    );
+}
+
+/// Thread-local sink state (the `Sink`/`Combine`/`Finalize` triple).
+enum SinkState {
+    Buffer {
+        buf_id: usize,
+        buf: SpillBuffer,
+        blooms: Vec<(BloomSink, BloomFilter)>,
+        rows: u64,
+    },
+    HashBuild {
+        ht_id: usize,
+        key_cols: Vec<usize>,
+        blooms: Vec<(BloomSink, BloomFilter)>,
+        chunks: Vec<DataChunk>,
+        schema: Schema,
+        rows: u64,
+    },
+    Aggregate {
+        buf_id: usize,
+        state: Option<AggregateState>,
+        output_schema: Schema,
+        rows: u64,
+    },
+}
+
+impl SinkState {
+    fn new(p: &PipelinePlan, ctx: &ExecContext) -> Result<SinkState> {
+        Ok(match &p.sink {
+            SinkSpec::Buffer { buf_id, blooms } => {
+                let per_thread_limit = ctx
+                    .spill_limit_bytes
+                    .map(|l| (l / ctx.threads).max(1))
+                    .unwrap_or(usize::MAX);
+                let buf = SpillBuffer::new(
+                    p.sink_schema.clone(),
+                    per_thread_limit,
+                    ctx.spill_dir.clone(),
+                );
+                let blooms = blooms
+                    .iter()
+                    .map(|b| {
+                        (
+                            b.clone(),
+                            BloomFilter::with_capacity(b.expected_keys, b.fpr),
+                        )
+                    })
+                    .collect();
+                SinkState::Buffer {
+                    buf_id: *buf_id,
+                    buf,
+                    blooms,
+                    rows: 0,
+                }
+            }
+            SinkSpec::HashBuild {
+                ht_id,
+                key_cols,
+                blooms,
+            } => SinkState::HashBuild {
+                ht_id: *ht_id,
+                key_cols: key_cols.clone(),
+                blooms: blooms
+                    .iter()
+                    .map(|b| {
+                        (
+                            b.clone(),
+                            BloomFilter::with_capacity(b.expected_keys, b.fpr),
+                        )
+                    })
+                    .collect(),
+                chunks: Vec::new(),
+                schema: p.sink_schema.clone(),
+                rows: 0,
+            },
+            SinkSpec::Aggregate {
+                buf_id,
+                group_cols,
+                aggs,
+                input_types,
+                output_schema,
+            } => SinkState::Aggregate {
+                buf_id: *buf_id,
+                state: Some(AggregateState::new(
+                    group_cols.clone(),
+                    aggs.clone(),
+                    input_types,
+                )?),
+                output_schema: output_schema.clone(),
+                rows: 0,
+            },
+        })
+    }
+
+    fn sink(&mut self, chunk: DataChunk, ctx: &ExecContext) -> Result<()> {
+        let n = chunk.num_rows() as u64;
+        let m = &ctx.metrics;
+        match self {
+            SinkState::Buffer {
+                buf, blooms, rows, ..
+            } => {
+                insert_into_blooms(&chunk, blooms, ctx);
+                buf.push(chunk)?;
+                *rows += n;
+            }
+            SinkState::HashBuild {
+                chunks,
+                blooms,
+                rows,
+                ..
+            } => {
+                insert_into_blooms(&chunk, blooms, ctx);
+                m.add(&m.hash_build_rows, n);
+                chunks.push(chunk.flattened());
+                *rows += n;
+            }
+            SinkState::Aggregate { state, rows, .. } => {
+                state
+                    .as_mut()
+                    .expect("aggregate state consumed")
+                    .update(&chunk)?;
+                *rows += n;
+            }
+        }
+        Ok(())
+    }
+
+    fn combine(&mut self, other: SinkState) -> Result<()> {
+        match (self, other) {
+            (
+                SinkState::Buffer {
+                    buf, blooms, rows, ..
+                },
+                SinkState::Buffer {
+                    buf: obuf,
+                    blooms: oblooms,
+                    rows: orows,
+                    ..
+                },
+            ) => {
+                for c in obuf.into_chunks()? {
+                    buf.push(c)?;
+                }
+                for ((_, f), (_, of)) in blooms.iter_mut().zip(oblooms.iter()) {
+                    f.merge(of).map_err(Error::Exec)?;
+                }
+                *rows += orows;
+            }
+            (
+                SinkState::HashBuild {
+                    chunks,
+                    blooms,
+                    rows,
+                    ..
+                },
+                SinkState::HashBuild {
+                    chunks: ochunks,
+                    blooms: oblooms,
+                    rows: orows,
+                    ..
+                },
+            ) => {
+                chunks.extend(ochunks);
+                for ((_, f), (_, of)) in blooms.iter_mut().zip(oblooms.iter()) {
+                    f.merge(of).map_err(Error::Exec)?;
+                }
+                *rows += orows;
+            }
+            (
+                SinkState::Aggregate { state, rows, .. },
+                SinkState::Aggregate {
+                    state: ostate,
+                    rows: orows,
+                    ..
+                },
+            ) => {
+                state
+                    .as_mut()
+                    .expect("aggregate state consumed")
+                    .merge(ostate.expect("other aggregate state consumed"));
+                *rows += orows;
+            }
+            _ => return Err(Error::Exec("combining mismatched sink states".into())),
+        }
+        Ok(())
+    }
+
+    fn rows(&self) -> u64 {
+        match self {
+            SinkState::Buffer { rows, .. }
+            | SinkState::HashBuild { rows, .. }
+            | SinkState::Aggregate { rows, .. } => *rows,
+        }
+    }
+
+    fn finalize(self, exec: &mut Executor) -> Result<()> {
+        match self {
+            SinkState::Buffer {
+                buf_id,
+                buf,
+                blooms,
+                ..
+            } => {
+                exec.buffers[buf_id] = Some(Arc::new(buf.into_chunks()?));
+                for (spec, filter) in blooms {
+                    exec.filters[spec.filter_id] = Some(Arc::new(filter));
+                }
+            }
+            SinkState::HashBuild {
+                ht_id,
+                key_cols,
+                blooms,
+                chunks,
+                schema,
+                ..
+            } => {
+                // An empty build side must still carry its column arity so
+                // probe-side output chunks have the right shape.
+                let table = if chunks.is_empty() {
+                    JoinHashTable::build(&[DataChunk::empty_like(&schema)], key_cols)?
+                } else {
+                    JoinHashTable::build(&chunks, key_cols)?
+                };
+                exec.tables[ht_id] = Some(Arc::new(table));
+                for (spec, filter) in blooms {
+                    exec.filters[spec.filter_id] = Some(Arc::new(filter));
+                }
+            }
+            SinkState::Aggregate {
+                buf_id,
+                state,
+                output_schema,
+                ..
+            } => {
+                let out = state
+                    .expect("aggregate state consumed")
+                    .finalize(&output_schema)?;
+                exec.buffers[buf_id] = Some(Arc::new(vec![out]));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use rpt_common::{Field, ScalarValue};
+
+    fn table(name: &str, ids: Vec<i64>, vals: Vec<i64>) -> Arc<Table> {
+        Arc::new(
+            Table::new(
+                name,
+                Schema::new(vec![
+                    Field::new("id", DataType::Int64),
+                    Field::new("v", DataType::Int64),
+                ]),
+                vec![Vector::from_i64(ids), Vector::from_i64(vals)],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn collect_pipeline(
+        src: SourceSpec,
+        ops: Vec<OpSpec>,
+        buf_id: usize,
+        schema: Schema,
+    ) -> PipelinePlan {
+        PipelinePlan {
+            label: "collect".into(),
+            source: src,
+            ops,
+            sink: SinkSpec::Buffer {
+                buf_id,
+                blooms: vec![],
+            },
+            intermediate: false,
+            sink_schema: schema,
+        }
+    }
+
+    fn two_col_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("v", DataType::Int64),
+        ])
+    }
+
+    #[test]
+    fn scan_filter_collect() {
+        let t = table("t", (0..10).collect(), (0..10).map(|x| x * 2).collect());
+        let mut exec = Executor::new(ExecContext::new(), 1, 0, 0);
+        let p = collect_pipeline(
+            SourceSpec::Table(t),
+            vec![OpSpec::Filter(Expr::cmp(
+                CmpOp::Gt,
+                Expr::col(0),
+                Expr::lit(ScalarValue::Int64(6)),
+            ))],
+            0,
+            two_col_schema(),
+        );
+        exec.run(&[p]).unwrap();
+        assert_eq!(exec.buffer_rows(0), 3);
+        let chunks = exec.buffer(0).unwrap();
+        assert_eq!(chunks[0].value(0, 0), ScalarValue::Int64(7));
+    }
+
+    #[test]
+    fn hash_join_two_pipelines() {
+        let build = table("b", vec![1, 2, 3], vec![100, 200, 300]);
+        let probe = table("p", vec![2, 2, 3, 9], vec![-1, -2, -3, -4]);
+        let mut exec = Executor::new(ExecContext::new(), 1, 0, 1);
+        let p1 = PipelinePlan {
+            label: "build".into(),
+            source: SourceSpec::Table(build),
+            ops: vec![],
+            sink: SinkSpec::HashBuild {
+                ht_id: 0,
+                key_cols: vec![0],
+                blooms: vec![],
+            },
+            intermediate: true,
+            sink_schema: two_col_schema(),
+        };
+        let p2 = collect_pipeline(
+            SourceSpec::Table(probe),
+            vec![OpSpec::JoinProbe {
+                ht_id: 0,
+                key_cols: vec![0],
+                build_output_cols: vec![1],
+            }],
+            0,
+            Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("v", DataType::Int64),
+                Field::new("bv", DataType::Int64),
+            ]),
+        );
+        exec.run(&[p1, p2]).unwrap();
+        assert_eq!(exec.buffer_rows(0), 3); // 2,2,3 match
+        let s = exec.ctx.metrics.summary();
+        assert_eq!(s.join_output_rows, 3);
+        assert_eq!(s.hash_build_rows, 3);
+        assert_eq!(s.intermediate_tuples, 3);
+        assert_eq!(s.output_rows, 3);
+        // joined values present
+        let chunks = exec.buffer(0).unwrap();
+        let mut joined: Vec<(i64, i64)> = chunks
+            .iter()
+            .flat_map(|c| {
+                c.rows().into_iter().map(|r| {
+                    (r[0].as_i64().unwrap(), r[2].as_i64().unwrap())
+                })
+            })
+            .collect();
+        joined.sort_unstable();
+        assert_eq!(joined, vec![(2, 200), (2, 200), (3, 300)]);
+    }
+
+    #[test]
+    fn create_and_probe_bloom() {
+        let small = table("s", vec![5, 6], vec![0, 0]);
+        let big = table("b", (0..100).collect(), (0..100).collect());
+        let mut exec = Executor::new(ExecContext::new(), 2, 1, 0);
+        // Pipeline 1: CreateBF over `small` on id.
+        let p1 = PipelinePlan {
+            label: "createbf s".into(),
+            source: SourceSpec::Table(small),
+            ops: vec![],
+            sink: SinkSpec::Buffer {
+                buf_id: 0,
+                blooms: vec![BloomSink {
+                    filter_id: 0,
+                    key_cols: vec![0],
+                    expected_keys: 2,
+                    fpr: 0.02,
+                }],
+            },
+            intermediate: true,
+            sink_schema: two_col_schema(),
+        };
+        // Pipeline 2: scan big, ProbeBF, collect.
+        let p2 = collect_pipeline(
+            SourceSpec::Table(big),
+            vec![OpSpec::ProbeBloom {
+                filter_id: 0,
+                key_cols: vec![0],
+            }],
+            1,
+            two_col_schema(),
+        );
+        exec.run(&[p1, p2]).unwrap();
+        let survivors = exec.buffer_rows(1);
+        // No false negatives: both 5 and 6 survive; FPR 2% on 98 others →
+        // allow a little slack.
+        assert!((2..=8).contains(&survivors), "survivors = {survivors}");
+        let s = exec.ctx.metrics.summary();
+        assert_eq!(s.bloom_probe_in, 100);
+        assert_eq!(s.bloom_build_rows, 2);
+        assert!(s.bloom_nanos > 0);
+    }
+
+    #[test]
+    fn aggregate_pipeline() {
+        let t = table("t", vec![1, 1, 2, 2, 2], vec![10, 20, 30, 40, 50]);
+        let mut exec = Executor::new(ExecContext::new(), 1, 0, 0);
+        let p = PipelinePlan {
+            label: "agg".into(),
+            source: SourceSpec::Table(t),
+            ops: vec![],
+            sink: SinkSpec::Aggregate {
+                buf_id: 0,
+                group_cols: vec![0],
+                aggs: vec![AggExpr {
+                    func: crate::expr::AggFunc::Sum,
+                    input: Some(Expr::col(1)),
+                    alias: "s".into(),
+                }],
+                input_types: vec![DataType::Int64, DataType::Int64],
+                output_schema: Schema::new(vec![
+                    Field::new("id", DataType::Int64),
+                    Field::new("s", DataType::Int64),
+                ]),
+            },
+            intermediate: false,
+            sink_schema: two_col_schema(),
+        };
+        exec.run(&[p]).unwrap();
+        let chunks = exec.buffer(0).unwrap();
+        assert_eq!(chunks[0].num_rows(), 2);
+        assert_eq!(chunks[0].value(1, 0), ScalarValue::Int64(30));
+        assert_eq!(chunks[0].value(1, 1), ScalarValue::Int64(120));
+    }
+
+    #[test]
+    fn multithreaded_matches_single_threaded() {
+        let ids: Vec<i64> = (0..20_000).map(|i| i % 97).collect();
+        let vals: Vec<i64> = (0..20_000).collect();
+        let t1 = table("t", ids.clone(), vals.clone());
+        let t4 = table("t", ids, vals);
+        let run = |t: Arc<Table>, threads: usize| -> i64 {
+            let mut exec = Executor::new(
+                ExecContext::new().with_threads(threads),
+                1,
+                0,
+                0,
+            );
+            let p = PipelinePlan {
+                label: "agg".into(),
+                source: SourceSpec::Table(t),
+                ops: vec![OpSpec::Filter(Expr::cmp(
+                    CmpOp::Lt,
+                    Expr::col(0),
+                    Expr::lit(ScalarValue::Int64(50)),
+                ))],
+                sink: SinkSpec::Aggregate {
+                    buf_id: 0,
+                    group_cols: vec![],
+                    aggs: vec![AggExpr {
+                        func: crate::expr::AggFunc::Sum,
+                        input: Some(Expr::col(1)),
+                        alias: "s".into(),
+                    }],
+                    input_types: vec![DataType::Int64, DataType::Int64],
+                    output_schema: Schema::new(vec![Field::new("s", DataType::Int64)]),
+                },
+                intermediate: false,
+                sink_schema: two_col_schema(),
+            };
+            exec.run(&[p]).unwrap();
+            let chunks = exec.buffer(0).unwrap();
+            chunks[0].value(0, 0).as_i64().unwrap()
+        };
+        assert_eq!(run(t1, 1), run(t4, 4));
+    }
+
+    #[test]
+    fn budget_aborts_blowup() {
+        // Cross-product-like blowup: every probe row matches every build row.
+        let build = table("b", vec![7; 1000], (0..1000).collect());
+        let probe = table("p", vec![7; 1000], (0..1000).collect());
+        let ctx = ExecContext::new().with_budget(10_000);
+        let mut exec = Executor::new(ctx, 1, 0, 1);
+        let p1 = PipelinePlan {
+            label: "build".into(),
+            source: SourceSpec::Table(build),
+            ops: vec![],
+            sink: SinkSpec::HashBuild {
+                ht_id: 0,
+                key_cols: vec![0],
+                blooms: vec![],
+            },
+            intermediate: true,
+            sink_schema: two_col_schema(),
+        };
+        let p2 = collect_pipeline(
+            SourceSpec::Table(probe),
+            vec![OpSpec::JoinProbe {
+                ht_id: 0,
+                key_cols: vec![0],
+                build_output_cols: vec![1],
+            }],
+            0,
+            Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("v", DataType::Int64),
+                Field::new("bv", DataType::Int64),
+            ]),
+        );
+        let err = exec.run(&[p1, p2]).unwrap_err();
+        assert!(err.is_budget(), "expected budget abort, got {err}");
+    }
+
+    #[test]
+    fn semi_probe_reduces_without_duplication() {
+        let source = table("s", vec![1, 1, 2], vec![0, 0, 0]);
+        let target = table("t", vec![1, 2, 3, 1], vec![9, 9, 9, 9]);
+        let mut exec = Executor::new(ExecContext::new(), 1, 0, 1);
+        let p1 = PipelinePlan {
+            label: "build".into(),
+            source: SourceSpec::Table(source),
+            ops: vec![],
+            sink: SinkSpec::HashBuild {
+                ht_id: 0,
+                key_cols: vec![0],
+                blooms: vec![],
+            },
+            intermediate: true,
+            sink_schema: two_col_schema(),
+        };
+        let p2 = collect_pipeline(
+            SourceSpec::Table(target),
+            vec![OpSpec::SemiProbe {
+                ht_id: 0,
+                key_cols: vec![0],
+            }],
+            0,
+            two_col_schema(),
+        );
+        exec.run(&[p1, p2]).unwrap();
+        assert_eq!(exec.buffer_rows(0), 3); // rows with keys 1,2,1 (3 excluded)
+    }
+
+    #[test]
+    fn buffer_as_source_chains_pipelines() {
+        let t = table("t", (0..10).collect(), (0..10).collect());
+        let mut exec = Executor::new(ExecContext::new(), 2, 0, 0);
+        let p1 = collect_pipeline(SourceSpec::Table(t), vec![], 0, two_col_schema());
+        let p2 = collect_pipeline(
+            SourceSpec::Buffer(0),
+            vec![OpSpec::Filter(Expr::cmp(
+                CmpOp::Lt,
+                Expr::col(0),
+                Expr::lit(ScalarValue::Int64(3)),
+            ))],
+            1,
+            two_col_schema(),
+        );
+        exec.run(&[p1, p2]).unwrap();
+        assert_eq!(exec.buffer_rows(1), 3);
+    }
+
+    #[test]
+    fn spill_enabled_buffer_roundtrips() {
+        let dir = std::env::temp_dir().join("rpt_exec_spill_test");
+        let t = table("t", (0..5000).collect(), (0..5000).collect());
+        let ctx = ExecContext::new().with_spill(1024, &dir); // tiny cap
+        let mut exec = Executor::new(ctx, 1, 0, 0);
+        let p = collect_pipeline(SourceSpec::Table(t), vec![], 0, two_col_schema());
+        exec.run(&[p]).unwrap();
+        assert_eq!(exec.buffer_rows(0), 5000);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn projection_computes_expressions() {
+        let t = table("t", vec![1, 2], vec![10, 20]);
+        let mut exec = Executor::new(ExecContext::new(), 1, 0, 0);
+        let p = collect_pipeline(
+            SourceSpec::Table(t),
+            vec![OpSpec::Project(vec![Expr::Arith {
+                op: crate::expr::ArithOp::Add,
+                left: Box::new(Expr::col(0)),
+                right: Box::new(Expr::col(1)),
+            }])],
+            0,
+            Schema::new(vec![Field::new("sum", DataType::Int64)]),
+        );
+        exec.run(&[p]).unwrap();
+        let chunks = exec.buffer(0).unwrap();
+        assert_eq!(chunks[0].value(0, 1), ScalarValue::Int64(22));
+    }
+}

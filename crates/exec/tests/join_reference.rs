@@ -1,0 +1,102 @@
+//! Property test: the vectorized hash join must agree with a naive
+//! nested-loop reference implementation on random inputs, and the exact
+//! semi-join must equal "rows with ≥1 match".
+
+use proptest::prelude::*;
+use rpt_common::{DataChunk, Vector};
+use rpt_exec::JoinHashTable;
+
+fn reference_join(build: &[i64], probe: &[i64]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (p, pk) in probe.iter().enumerate() {
+        for (b, bk) in build.iter().enumerate() {
+            if pk == bk {
+                out.push((p, b));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn hash_join_matches_nested_loop(
+        build in proptest::collection::vec(-5i64..5, 0..40),
+        probe in proptest::collection::vec(-5i64..5, 0..40),
+    ) {
+        let ht = JoinHashTable::build(
+            &[DataChunk::new(vec![Vector::from_i64(build.clone())])],
+            vec![0],
+        )
+        .unwrap();
+        let probe_chunk = DataChunk::new(vec![Vector::from_i64(probe.clone())]);
+        let (mut p_out, mut b_out) = (vec![], vec![]);
+        ht.probe(&probe_chunk, &[0], &mut p_out, &mut b_out);
+        let mut got: Vec<(usize, usize)> = p_out
+            .iter()
+            .zip(b_out.iter())
+            .map(|(&p, &b)| (p as usize, b as usize))
+            .collect();
+        got.sort_unstable();
+        let mut want = reference_join(&build, &probe);
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn semi_join_matches_membership(
+        build in proptest::collection::vec(-5i64..5, 0..40),
+        probe in proptest::collection::vec(-5i64..5, 0..40),
+    ) {
+        let ht = JoinHashTable::build(
+            &[DataChunk::new(vec![Vector::from_i64(build.clone())])],
+            vec![0],
+        )
+        .unwrap();
+        let probe_chunk = DataChunk::new(vec![Vector::from_i64(probe.clone())]);
+        let got = ht.semi_probe(&probe_chunk, &[0]);
+        let want: Vec<u32> = probe
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| build.contains(k))
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn composite_key_join_matches_reference(
+        rows in proptest::collection::vec((-3i64..3, -3i64..3), 0..30),
+        probes in proptest::collection::vec((-3i64..3, -3i64..3), 0..30),
+    ) {
+        let build = DataChunk::new(vec![
+            Vector::from_i64(rows.iter().map(|r| r.0).collect()),
+            Vector::from_i64(rows.iter().map(|r| r.1).collect()),
+        ]);
+        let ht = JoinHashTable::build(&[build], vec![0, 1]).unwrap();
+        let probe_chunk = DataChunk::new(vec![
+            Vector::from_i64(probes.iter().map(|r| r.0).collect()),
+            Vector::from_i64(probes.iter().map(|r| r.1).collect()),
+        ]);
+        let (mut p_out, mut b_out) = (vec![], vec![]);
+        ht.probe(&probe_chunk, &[0, 1], &mut p_out, &mut b_out);
+        let mut got: Vec<(usize, usize)> = p_out
+            .iter()
+            .zip(b_out.iter())
+            .map(|(&p, &b)| (p as usize, b as usize))
+            .collect();
+        got.sort_unstable();
+        let mut want = Vec::new();
+        for (p, pk) in probes.iter().enumerate() {
+            for (b, bk) in rows.iter().enumerate() {
+                if pk == bk {
+                    want.push((p, b));
+                }
+            }
+        }
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,227 @@
+//! Acyclicity tests: α-acyclicity via GYO ear removal (Definition 3.1) and
+//! γ-acyclicity via Definition 3.4.
+
+use crate::graph::{AttrId, QueryGraph};
+
+/// GYO (Graham / Yu–Özsoyoğlu) ear-removal test for **α-acyclicity**.
+///
+/// Repeat until fixpoint:
+/// 1. delete attributes that occur in exactly one remaining relation;
+/// 2. delete a relation whose attribute set is contained in another
+///    remaining relation's set.
+///
+/// The query is α-acyclic iff the hypergraph reduces to at most one
+/// (possibly empty) relation — equivalently, a join tree exists.
+pub fn is_alpha_acyclic(graph: &QueryGraph) -> bool {
+    let mut sets: Vec<Option<Vec<AttrId>>> = graph
+        .relations
+        .iter()
+        .map(|r| Some(r.attrs.clone()))
+        .collect();
+    let mut remaining = sets.len();
+    loop {
+        let mut changed = false;
+
+        // Rule 1: drop attributes unique to one relation.
+        let mut count: std::collections::HashMap<AttrId, usize> = std::collections::HashMap::new();
+        for s in sets.iter().flatten() {
+            for &a in s {
+                *count.entry(a).or_insert(0) += 1;
+            }
+        }
+        for s in sets.iter_mut().flatten() {
+            let before = s.len();
+            s.retain(|a| count[a] > 1);
+            if s.len() != before {
+                changed = true;
+            }
+        }
+
+        // Rule 2: drop relations contained in another.
+        'outer: for i in 0..sets.len() {
+            let Some(si) = sets[i].clone() else { continue };
+            for j in 0..sets.len() {
+                if i == j {
+                    continue;
+                }
+                let Some(sj) = &sets[j] else { continue };
+                let contained = si.iter().all(|a| sj.contains(a));
+                if contained {
+                    sets[i] = None;
+                    remaining -= 1;
+                    changed = true;
+                    if remaining <= 1 {
+                        return true;
+                    }
+                    continue 'outer;
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    remaining <= 1
+}
+
+/// **γ-acyclicity** per Definition 3.4: the query is γ-acyclic iff it is
+/// α-acyclic and no three relations `R, S, T` with attributes `x, y, z` form
+/// a γ-cycle of size 3 — `R ⊇ {x,y}, z ∉ R`; `S ⊇ {y,z}, x ∉ S`;
+/// `T ⊇ {x,y,z}`.
+///
+/// (Fagin's full definition forbids γ-cycles of every length; the paper's
+/// Definition 3.4 reduces the check to size-3 cycles given α-acyclicity,
+/// which we follow.)
+pub fn is_gamma_acyclic(graph: &QueryGraph) -> bool {
+    if !is_alpha_acyclic(graph) {
+        return false;
+    }
+    !has_gamma_cycle_3(graph)
+}
+
+fn has_gamma_cycle_3(graph: &QueryGraph) -> bool {
+    let n = graph.num_relations();
+    let rels = &graph.relations;
+    // Enumerate candidate T (the relation containing all of x, y, z).
+    for t in 0..n {
+        let t_attrs = &rels[t].attrs;
+        if t_attrs.len() < 3 {
+            continue;
+        }
+        for r in 0..n {
+            if r == t {
+                continue;
+            }
+            for s in 0..n {
+                if s == t || s == r {
+                    continue;
+                }
+                // Find x,y,z ⊆ attrs(T): x,y ∈ R (z ∉ R); y,z ∈ S (x ∉ S).
+                for &y in t_attrs {
+                    if !rels[r].has_attr(y) || !rels[s].has_attr(y) {
+                        continue;
+                    }
+                    for &x in t_attrs {
+                        if x == y || !rels[r].has_attr(x) || rels[s].has_attr(x) {
+                            continue;
+                        }
+                        for &z in t_attrs {
+                            if z == x || z == y {
+                                continue;
+                            }
+                            if rels[s].has_attr(z) && !rels[r].has_attr(z) {
+                                return true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// The paper's quick *sufficient* (not necessary) γ-acyclicity check: no two
+/// relations are connected by more than one shared attribute (i.e., no
+/// composite-key joins). Useful as a fast path before the cubic test.
+pub fn no_composite_edges(graph: &QueryGraph) -> bool {
+    graph.edges().iter().all(|e| e.weight() == 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Relation;
+
+    #[test]
+    fn chain_is_alpha_acyclic() {
+        let g = QueryGraph::new(vec![
+            Relation::new("R", vec![0], 1),
+            Relation::new("S", vec![0, 1], 1),
+            Relation::new("T", vec![1], 1),
+        ]);
+        assert!(is_alpha_acyclic(&g));
+        assert!(is_gamma_acyclic(&g));
+        assert!(no_composite_edges(&g));
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        let g = QueryGraph::new(vec![
+            Relation::new("R", vec![0, 1], 1),
+            Relation::new("S", vec![1, 2], 1),
+            Relation::new("T", vec![0, 2], 1),
+        ]);
+        assert!(!is_alpha_acyclic(&g));
+        assert!(!is_gamma_acyclic(&g));
+    }
+
+    #[test]
+    fn star_is_acyclic() {
+        let g = QueryGraph::new(vec![
+            Relation::new("fact", vec![0, 1, 2], 1),
+            Relation::new("d1", vec![0], 1),
+            Relation::new("d2", vec![1], 1),
+            Relation::new("d3", vec![2], 1),
+        ]);
+        assert!(is_alpha_acyclic(&g));
+        assert!(is_gamma_acyclic(&g));
+    }
+
+    #[test]
+    fn section_3_2_example_is_alpha_but_not_gamma() {
+        // q = R(A,B,C) ⋈ S(A,B) ⋈ T(B,C): α-acyclic (join tree S–R–T) but
+        // not γ-acyclic — the subjoin S ⋈ T can blow up quadratically.
+        let g = QueryGraph::new(vec![
+            Relation::new("R", vec![0, 1, 2], 1),
+            Relation::new("S", vec![0, 1], 1),
+            Relation::new("T", vec![1, 2], 1),
+        ]);
+        assert!(is_alpha_acyclic(&g));
+        assert!(!is_gamma_acyclic(&g));
+        assert!(!no_composite_edges(&g)); // R–S and R–T share 2 attrs
+    }
+
+    #[test]
+    fn big_acyclic_snowflake() {
+        // fact(k1,k2), dim1(k1,k3), dim1a(k3), dim2(k2,k4), dim2a(k4)
+        let g = QueryGraph::new(vec![
+            Relation::new("fact", vec![0, 1], 1),
+            Relation::new("dim1", vec![0, 2], 1),
+            Relation::new("dim1a", vec![2], 1),
+            Relation::new("dim2", vec![1, 3], 1),
+            Relation::new("dim2a", vec![3], 1),
+        ]);
+        assert!(is_alpha_acyclic(&g));
+        assert!(is_gamma_acyclic(&g));
+    }
+
+    #[test]
+    fn cyclic_square() {
+        // 4-cycle: R(A,B), S(B,C), T(C,D), U(D,A)
+        let g = QueryGraph::new(vec![
+            Relation::new("R", vec![0, 1], 1),
+            Relation::new("S", vec![1, 2], 1),
+            Relation::new("T", vec![2, 3], 1),
+            Relation::new("U", vec![3, 0], 1),
+        ]);
+        assert!(!is_alpha_acyclic(&g));
+    }
+
+    #[test]
+    fn single_and_pair() {
+        let single = QueryGraph::new(vec![Relation::new("R", vec![0], 1)]);
+        assert!(is_alpha_acyclic(&single));
+        assert!(is_gamma_acyclic(&single));
+        let pair = QueryGraph::new(vec![
+            Relation::new("R", vec![0, 1], 1),
+            Relation::new("S", vec![0, 1], 1),
+        ]);
+        // Two relations sharing a composite key: still α- and γ-acyclic
+        // (no third relation to complete a γ-cycle).
+        assert!(is_alpha_acyclic(&pair));
+        assert!(is_gamma_acyclic(&pair));
+        assert!(!no_composite_edges(&pair));
+    }
+}

@@ -1,0 +1,278 @@
+//! Join graphs: relations as vertices, shared attributes as weighted edges.
+//!
+//! Following §3.1 of the paper, we consider natural joins: equality
+//! predicates `R.a = S.b` are modeled by assigning `a` and `b` the same
+//! attribute identifier (the binder performs that union-find). The **join
+//! graph** connects two relations iff they share at least one attribute, and
+//! the edge weight is the *number* of shared attributes — the weights that
+//! make Lemma 3.2 (join tree ⇔ maximum spanning tree) work.
+
+/// Index of a relation within a query.
+pub type RelId = usize;
+/// Identifier of a (unified) join attribute.
+pub type AttrId = usize;
+
+/// A relation (vertex of the join graph).
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// Display name (table or alias).
+    pub name: String,
+    /// Join attributes this relation contains (sorted, deduplicated).
+    pub attrs: Vec<AttrId>,
+    /// (Estimated) cardinality, used by LargestRoot / Small2Large ordering.
+    pub cardinality: u64,
+}
+
+impl Relation {
+    pub fn new(name: impl Into<String>, mut attrs: Vec<AttrId>, cardinality: u64) -> Self {
+        attrs.sort_unstable();
+        attrs.dedup();
+        Relation {
+            name: name.into(),
+            attrs,
+            cardinality,
+        }
+    }
+
+    pub fn has_attr(&self, a: AttrId) -> bool {
+        self.attrs.binary_search(&a).is_ok()
+    }
+}
+
+/// An undirected weighted edge of the join graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    pub a: RelId,
+    pub b: RelId,
+    /// Shared attributes (the weight is `shared.len()`).
+    pub shared: Vec<AttrId>,
+}
+
+impl Edge {
+    pub fn weight(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// The endpoint that is not `r`.
+    pub fn other(&self, r: RelId) -> RelId {
+        if self.a == r {
+            self.b
+        } else {
+            self.a
+        }
+    }
+
+    pub fn touches(&self, r: RelId) -> bool {
+        self.a == r || self.b == r
+    }
+}
+
+/// The join graph of a natural-join query.
+#[derive(Debug, Clone)]
+pub struct QueryGraph {
+    pub relations: Vec<Relation>,
+    edges: Vec<Edge>,
+    /// adjacency: relation -> indices into `edges`
+    adj: Vec<Vec<usize>>,
+}
+
+impl QueryGraph {
+    /// Build the join graph from the relations' attribute sets.
+    pub fn new(relations: Vec<Relation>) -> Self {
+        let n = relations.len();
+        let mut edges = Vec::new();
+        let mut adj = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let shared: Vec<AttrId> = relations[i]
+                    .attrs
+                    .iter()
+                    .filter(|a| relations[j].has_attr(**a))
+                    .copied()
+                    .collect();
+                if !shared.is_empty() {
+                    let e = edges.len();
+                    edges.push(Edge {
+                        a: i,
+                        b: j,
+                        shared,
+                    });
+                    adj[i].push(e);
+                    adj[j].push(e);
+                }
+            }
+        }
+        QueryGraph {
+            relations,
+            edges,
+            adj,
+        }
+    }
+
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    pub fn edge(&self, idx: usize) -> &Edge {
+        &self.edges[idx]
+    }
+
+    /// Indices of edges incident to `r`.
+    pub fn incident(&self, r: RelId) -> &[usize] {
+        &self.adj[r]
+    }
+
+    /// Neighbor relations of `r`.
+    pub fn neighbors(&self, r: RelId) -> Vec<RelId> {
+        self.adj[r].iter().map(|&e| self.edges[e].other(r)).collect()
+    }
+
+    /// The edge between `r` and `s`, if any.
+    pub fn edge_between(&self, r: RelId, s: RelId) -> Option<&Edge> {
+        self.adj[r]
+            .iter()
+            .map(|&e| &self.edges[e])
+            .find(|e| e.other(r) == s)
+    }
+
+    /// Index of the relation with the largest cardinality (ties: lowest id,
+    /// deterministic).
+    pub fn largest_relation(&self) -> RelId {
+        (0..self.relations.len())
+            .max_by_key(|&r| (self.relations[r].cardinality, std::cmp::Reverse(r)))
+            .expect("empty query graph")
+    }
+
+    /// Is the join graph connected? (Queries with Cartesian products are
+    /// rejected by the planner, matching the paper's setup.)
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_relations();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(r) = stack.pop() {
+            for s in self.neighbors(r) {
+                if !seen[s] {
+                    seen[s] = true;
+                    count += 1;
+                    stack.push(s);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// The subgraph induced by `rels` (relations re-indexed 0..k in the
+    /// order given). Returns the graph plus the mapping new-id → old-id.
+    pub fn induced_subgraph(&self, rels: &[RelId]) -> (QueryGraph, Vec<RelId>) {
+        let relations = rels
+            .iter()
+            .map(|&r| self.relations[r].clone())
+            .collect::<Vec<_>>();
+        (QueryGraph::new(relations), rels.to_vec())
+    }
+
+    /// All attribute ids that appear in ≥1 relation.
+    pub fn all_attrs(&self) -> Vec<AttrId> {
+        let mut attrs: Vec<AttrId> = self
+            .relations
+            .iter()
+            .flat_map(|r| r.attrs.iter().copied())
+            .collect();
+        attrs.sort_unstable();
+        attrs.dedup();
+        attrs
+    }
+
+    /// Relations containing attribute `a`.
+    pub fn relations_with_attr(&self, a: AttrId) -> Vec<RelId> {
+        (0..self.relations.len())
+            .filter(|&r| self.relations[r].has_attr(a))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 2 example: R(A,B) ⋈ S(A,C) ⋈ T(B,D).
+    pub fn rst() -> QueryGraph {
+        QueryGraph::new(vec![
+            Relation::new("R", vec![0, 1], 100), // A,B
+            Relation::new("S", vec![0, 2], 200), // A,C
+            Relation::new("T", vec![1, 3], 300), // B,D
+        ])
+    }
+
+    #[test]
+    fn builds_edges_from_shared_attrs() {
+        let g = rst();
+        assert_eq!(g.edges().len(), 2);
+        assert!(g.edge_between(0, 1).is_some());
+        assert!(g.edge_between(0, 2).is_some());
+        assert!(g.edge_between(1, 2).is_none());
+        assert_eq!(g.edge_between(0, 1).unwrap().shared, vec![0]);
+    }
+
+    #[test]
+    fn largest_relation_by_cardinality() {
+        let g = rst();
+        assert_eq!(g.largest_relation(), 2);
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = rst();
+        assert!(g.is_connected());
+        let disconnected = QueryGraph::new(vec![
+            Relation::new("R", vec![0], 1),
+            Relation::new("S", vec![1], 1),
+        ]);
+        assert!(!disconnected.is_connected());
+    }
+
+    #[test]
+    fn composite_edge_weight() {
+        let g = QueryGraph::new(vec![
+            Relation::new("R", vec![0, 1, 2], 10), // A,B,C
+            Relation::new("S", vec![0, 1], 20),    // A,B
+        ]);
+        assert_eq!(g.edge_between(0, 1).unwrap().weight(), 2);
+    }
+
+    #[test]
+    fn induced_subgraph_reindexes() {
+        let g = rst();
+        let (sub, map) = g.induced_subgraph(&[1, 2]);
+        assert_eq!(sub.num_relations(), 2);
+        assert_eq!(map, vec![1, 2]);
+        // S and T share no attribute: disconnected subgraph.
+        assert!(sub.edges().is_empty());
+    }
+
+    #[test]
+    fn attrs_and_lookup() {
+        let g = rst();
+        assert_eq!(g.all_attrs(), vec![0, 1, 2, 3]);
+        assert_eq!(g.relations_with_attr(0), vec![0, 1]);
+        assert_eq!(g.relations_with_attr(3), vec![2]);
+    }
+
+    #[test]
+    fn edge_other_and_touches() {
+        let g = rst();
+        let e = g.edge_between(0, 1).unwrap();
+        assert_eq!(e.other(0), 1);
+        assert_eq!(e.other(1), 0);
+        assert!(e.touches(0) && e.touches(1) && !e.touches(2));
+    }
+}

@@ -1,0 +1,192 @@
+//! **Algorithm 1 — LargestRoot.**
+//!
+//! Builds a maximum spanning tree of the weighted join graph with Prim's
+//! algorithm, starting from the largest relation (which therefore becomes
+//! the root), breaking weight ties by adding the *largest* remaining
+//! relation first. Placing the largest relation at the root means the fact
+//! table of a star schema is filtered by every dimension before it has to
+//! build its own (big) Bloom filter; the tie-break pushes big relations
+//! rootward for the same reason (§3.1).
+//!
+//! For α-acyclic queries the result is a join tree (Lemma 3.2) ⇒ the
+//! transfer phase performs a **full reduction**. For cyclic queries it is
+//! still a spanning tree rooted at the largest relation: no guarantee, but
+//! every predicate is transferred to every relation at least once.
+
+use crate::graph::{QueryGraph, RelId};
+use crate::mst::prim_with_policy;
+use crate::rng::SplitMix64;
+use crate::tree::JoinTree;
+
+/// Run LargestRoot on `graph`. Returns `None` when the join graph is
+/// disconnected (Cartesian products are out of scope, per the paper).
+pub fn largest_root(graph: &QueryGraph) -> Option<JoinTree> {
+    let root = graph.largest_relation();
+    prim_with_policy(graph, root, |g, cands| {
+        // Tie-break: choose the edge whose *new* relation is largest;
+        // further ties broken by lowest relation id for determinism.
+        let mut best = 0;
+        for (i, &(_, r)) in cands.iter().enumerate() {
+            let (bc, br) = (g.relations[cands[best].1].cardinality, cands[best].1);
+            let c = g.relations[r].cardinality;
+            if c > bc || (c == bc && r < br) {
+                best = i;
+            }
+        }
+        best
+    })
+}
+
+/// The §5.2 randomized variant: line 3's "largest weight, largest R" rule is
+/// replaced with a uniformly random frontier edge, but the root is still the
+/// largest relation. Used by Figure 13 to show the transfer phase is robust
+/// across join trees as long as the largest relation stays at the root.
+///
+/// Note this samples random *spanning trees*, not random MSTs; when all edge
+/// weights are 1 (the common single-attribute-join case) every spanning tree
+/// is an MST, hence still a join tree for acyclic queries.
+pub fn largest_root_randomized(graph: &QueryGraph, seed: u64) -> Option<JoinTree> {
+    let root = graph.largest_relation();
+    let n = graph.num_relations();
+    let mut rng = SplitMix64::new(seed);
+    let mut in_tree = vec![false; n];
+    let mut parent = vec![None; n];
+    let mut insertion_order = Vec::with_capacity(n);
+    in_tree[root] = true;
+    insertion_order.push(root);
+    while insertion_order.len() < n {
+        let mut frontier: Vec<(usize, RelId)> = Vec::new();
+        for (idx, e) in graph.edges().iter().enumerate() {
+            match (in_tree[e.a], in_tree[e.b]) {
+                (true, false) => frontier.push((idx, e.b)),
+                (false, true) => frontier.push((idx, e.a)),
+                _ => {}
+            }
+        }
+        if frontier.is_empty() {
+            return None;
+        }
+        let (edge_idx, new_rel) = frontier[rng.next_index(frontier.len())];
+        parent[new_rel] = Some(graph.edge(edge_idx).other(new_rel));
+        in_tree[new_rel] = true;
+        insertion_order.push(new_rel);
+    }
+    Some(JoinTree {
+        root,
+        parent,
+        insertion_order,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Relation;
+    use crate::mst::max_spanning_tree_weight;
+
+    fn job3a() -> QueryGraph {
+        QueryGraph::new(vec![
+            Relation::new("title", vec![0], 2_500_000),
+            Relation::new("movie_keyword", vec![0, 1], 4_500_000),
+            Relation::new("movie_info", vec![0], 15_000_000),
+            Relation::new("keyword", vec![1], 134_000),
+        ])
+    }
+
+    #[test]
+    fn root_is_largest() {
+        let t = largest_root(&job3a()).unwrap();
+        assert_eq!(t.root, 2); // movie_info, 15M
+        assert!(t.is_spanning());
+    }
+
+    #[test]
+    fn produces_join_tree_for_acyclic() {
+        let g = job3a();
+        let t = largest_root(&g).unwrap();
+        assert!(t.is_join_tree(&g));
+        assert_eq!(
+            t.total_weight(&g),
+            max_spanning_tree_weight(&g).unwrap()
+        );
+        // Expected shape (Figure 1b): movie_info ← movie_keyword ← {keyword, title}.
+        assert_eq!(t.parent[1], Some(2));
+        assert_eq!(t.parent[0], Some(1));
+        assert_eq!(t.parent[3], Some(1));
+    }
+
+    #[test]
+    fn tie_break_prefers_large_relations_early() {
+        // Star: fact joins d1, d2, d3 on distinct attrs; all weights 1.
+        // After the root (fact), frontier is {d1,d2,d3}; the largest must be
+        // inserted first (ends up closest to the root in insertion order).
+        let g = QueryGraph::new(vec![
+            Relation::new("fact", vec![0, 1, 2], 1_000_000),
+            Relation::new("d_small", vec![0], 10),
+            Relation::new("d_mid", vec![1], 1_000),
+            Relation::new("d_big", vec![2], 100_000),
+        ]);
+        let t = largest_root(&g).unwrap();
+        assert_eq!(t.insertion_order, vec![0, 3, 2, 1]);
+    }
+
+    #[test]
+    fn fixes_figure_2_incompleteness() {
+        // R(A,B) ⋈ S(A,C) ⋈ T(B,D), |R|<|S|<|T|: LargestRoot roots at T and
+        // chains S → R → T (S's info reaches T via R's filter).
+        use crate::schedule::TransferSchedule;
+        let g = QueryGraph::new(vec![
+            Relation::new("R", vec![0, 1], 10),
+            Relation::new("S", vec![0, 2], 20),
+            Relation::new("T", vec![1, 3], 30),
+        ]);
+        let t = largest_root(&g).unwrap();
+        assert_eq!(t.root, 2);
+        assert!(t.is_join_tree(&g));
+        let sched = TransferSchedule::from_tree(&g, &t);
+        for from in 0..3 {
+            for to in 0..3 {
+                assert!(sched.information_reaches(from, to, 3));
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_graph_still_yields_spanning_tree() {
+        // Triangle (cyclic): R(A,B), S(B,C), T(A,C).
+        let g = QueryGraph::new(vec![
+            Relation::new("R", vec![0, 1], 10),
+            Relation::new("S", vec![1, 2], 20),
+            Relation::new("T", vec![0, 2], 30),
+        ]);
+        let t = largest_root(&g).unwrap();
+        assert!(t.is_spanning());
+        assert!(!t.is_join_tree(&g)); // cyclic ⇒ no join tree exists
+        assert_eq!(t.root, 2);
+    }
+
+    #[test]
+    fn randomized_keeps_largest_root_and_spans() {
+        let g = job3a();
+        let mut shapes = std::collections::HashSet::new();
+        for seed in 0..50 {
+            let t = largest_root_randomized(&g, seed).unwrap();
+            assert_eq!(t.root, 2);
+            assert!(t.is_spanning());
+            shapes.insert(t.parent.clone());
+        }
+        // JOB 3a has exactly 2 spanning trees rooted at movie_info
+        // (title attaches under mk or under mi).
+        assert!(shapes.len() >= 2, "random trees never varied");
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let g = QueryGraph::new(vec![
+            Relation::new("R", vec![0], 5),
+            Relation::new("S", vec![1], 6),
+        ]);
+        assert!(largest_root(&g).is_none());
+        assert!(largest_root_randomized(&g, 1).is_none());
+    }
+}

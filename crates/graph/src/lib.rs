@@ -1,0 +1,42 @@
+//! # rpt-graph
+//!
+//! The combinatorial core of Robust Predicate Transfer: join graphs
+//! (hypergraphs of relations over shared attributes), acyclicity tests, join
+//! trees, and the paper's two new algorithms:
+//!
+//! * [`largest_root::largest_root`] — **Algorithm 1 (LargestRoot)**: builds a
+//!   maximum spanning tree of the weighted join graph with Prim's algorithm,
+//!   rooted at the largest relation, with largest-relation tie-breaking. By
+//!   Lemma 3.2 (Maier), for an α-acyclic query the MST *is* a join tree, so
+//!   the derived transfer schedule performs a **full** semi-join reduction.
+//! * [`safe_subjoin::safe_subjoin`] — **Algorithm 2 (SafeSubjoin)**: decides
+//!   whether a subjoin is *safe* (Definition 3.3) by testing whether the
+//!   subjoin's relations are connected in some join tree (Lemma 3.7), via an
+//!   MST extension argument.
+//!
+//! Plus the baseline [`small2large::small2large`] schedule from the original
+//! Predicate Transfer paper (CIDR 2024), the GYO ear-removal α-acyclicity
+//! test, the γ-acyclicity test of Definition 3.4, and the Yannakakis
+//! forward/backward semi-join program shared by all schedules.
+//!
+//! This crate is dependency-free and purely combinatorial; the execution
+//! engine consumes its [`schedule::TransferSchedule`]s.
+
+pub mod acyclicity;
+pub mod graph;
+pub mod largest_root;
+pub mod mst;
+pub mod rng;
+pub mod safe_subjoin;
+pub mod schedule;
+pub mod small2large;
+pub mod tree;
+
+pub use acyclicity::{is_alpha_acyclic, is_gamma_acyclic, no_composite_edges};
+pub use graph::{AttrId, Edge, QueryGraph, RelId, Relation};
+pub use largest_root::{largest_root, largest_root_randomized};
+pub use mst::{max_spanning_tree_weight, prim_mst};
+pub use safe_subjoin::{safe_subjoin, safe_join_order};
+pub use schedule::{SemiJoin, TransferSchedule};
+pub use small2large::small2large;
+pub use tree::JoinTree;

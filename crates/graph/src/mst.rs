@@ -1,0 +1,153 @@
+//! Maximum spanning trees on join graphs (Lemma 3.2 machinery).
+//!
+//! The weights are the shared-attribute counts. Lemma 3.2 ([Maier 83]): a
+//! spanning tree of an α-acyclic query's join graph is a join tree **iff**
+//! it is a maximum spanning tree. We therefore need (a) a generic Prim to
+//! construct MSTs and (b) the MST total weight, so SafeSubjoin can test
+//! "is this spanning tree maximum?" by weight comparison (all MSTs of a
+//! graph have equal total weight).
+
+use crate::graph::{QueryGraph, RelId};
+use crate::tree::JoinTree;
+
+/// Prim's algorithm for a *maximum* spanning tree, starting at `root`, with
+/// a caller-supplied tie-breaking policy over candidate edges.
+///
+/// `pick` receives the list of candidate `(edge_index, new_relation)` pairs
+/// that all achieve the current maximum weight, and returns the index (into
+/// that list) of the edge to add. LargestRoot passes "largest new relation";
+/// the randomized variant of §5.2 passes a random choice.
+///
+/// Returns `None` if the graph is disconnected (no spanning tree).
+pub fn prim_with_policy(
+    graph: &QueryGraph,
+    root: RelId,
+    mut pick: impl FnMut(&QueryGraph, &[(usize, RelId)]) -> usize,
+) -> Option<JoinTree> {
+    let n = graph.num_relations();
+    let mut in_tree = vec![false; n];
+    let mut parent = vec![None; n];
+    let mut insertion_order = Vec::with_capacity(n);
+    in_tree[root] = true;
+    insertion_order.push(root);
+
+    while insertion_order.len() < n {
+        // Gather all frontier edges achieving the maximum weight.
+        let mut best_w = 0usize;
+        let mut candidates: Vec<(usize, RelId)> = Vec::new();
+        for (idx, e) in graph.edges().iter().enumerate() {
+            let (inside, outside) = match (in_tree[e.a], in_tree[e.b]) {
+                (true, false) => (e.a, e.b),
+                (false, true) => (e.b, e.a),
+                _ => continue,
+            };
+            let _ = inside;
+            let w = e.weight();
+            if w > best_w {
+                best_w = w;
+                candidates.clear();
+            }
+            if w == best_w {
+                candidates.push((idx, outside));
+            }
+        }
+        if candidates.is_empty() {
+            return None; // disconnected
+        }
+        let choice = pick(graph, &candidates);
+        let (edge_idx, new_rel) = candidates[choice];
+        let e = graph.edge(edge_idx);
+        let tree_side = e.other(new_rel);
+        parent[new_rel] = Some(tree_side);
+        in_tree[new_rel] = true;
+        insertion_order.push(new_rel);
+    }
+
+    Some(JoinTree {
+        root,
+        parent,
+        insertion_order,
+    })
+}
+
+/// A deterministic maximum spanning tree (ties broken by smallest edge
+/// index), used for reference MST weights.
+pub fn prim_mst(graph: &QueryGraph, root: RelId) -> Option<JoinTree> {
+    prim_with_policy(graph, root, |_, _| 0)
+}
+
+/// Total weight of a maximum spanning tree of `graph`, or `None` if
+/// disconnected. All maximum spanning trees share this weight, so it serves
+/// as the "is T an MST?" oracle in SafeSubjoin (Algorithm 2, line 3).
+pub fn max_spanning_tree_weight(graph: &QueryGraph) -> Option<usize> {
+    if graph.num_relations() == 0 {
+        return Some(0);
+    }
+    prim_mst(graph, 0).map(|t| t.total_weight(graph))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Relation;
+
+    /// Triangle with one heavy edge: R(A,B,C), S(A,B), T(B,C).
+    /// Edges: R-S weight 2 {A,B}, R-T weight 2 {B,C}, S-T weight 1 {B}.
+    fn heavy_triangle() -> QueryGraph {
+        QueryGraph::new(vec![
+            Relation::new("R", vec![0, 1, 2], 100),
+            Relation::new("S", vec![0, 1], 50),
+            Relation::new("T", vec![1, 2], 60),
+        ])
+    }
+
+    #[test]
+    fn mst_prefers_heavy_edges() {
+        let g = heavy_triangle();
+        let t = prim_mst(&g, 0).unwrap();
+        // MST must use both weight-2 edges: S-R and T-R.
+        assert_eq!(t.total_weight(&g), 4);
+        assert_eq!(t.parent[1], Some(0));
+        assert_eq!(t.parent[2], Some(0));
+    }
+
+    #[test]
+    fn mst_weight_is_stable_across_roots() {
+        let g = heavy_triangle();
+        for root in 0..3 {
+            let t = prim_mst(&g, root).unwrap();
+            assert_eq!(t.total_weight(&g), 4, "root {root}");
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_has_no_mst() {
+        let g = QueryGraph::new(vec![
+            Relation::new("R", vec![0], 1),
+            Relation::new("S", vec![1], 1),
+        ]);
+        assert!(prim_mst(&g, 0).is_none());
+        assert!(max_spanning_tree_weight(&g).is_none());
+    }
+
+    #[test]
+    fn single_relation() {
+        let g = QueryGraph::new(vec![Relation::new("R", vec![0], 1)]);
+        let t = prim_mst(&g, 0).unwrap();
+        assert!(t.is_spanning());
+        assert_eq!(t.total_weight(&g), 0);
+    }
+
+    #[test]
+    fn policy_receives_only_max_weight_candidates() {
+        let g = heavy_triangle();
+        let mut seen_weights = Vec::new();
+        let _ = prim_with_policy(&g, 0, |g, cands| {
+            for (e, _) in cands {
+                seen_weights.push(g.edge(*e).weight());
+            }
+            0
+        });
+        assert!(seen_weights.iter().all(|&w| w == 2));
+    }
+}

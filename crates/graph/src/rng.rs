@@ -1,0 +1,65 @@
+//! Tiny deterministic PRNG (SplitMix64) so the randomized algorithm variants
+//! stay dependency-free and reproducible. The workload generators use the
+//! full `rand` crate; this is only for tie-breaking policies inside the
+//! graph algorithms (Figure 13's randomized LargestRoot).
+
+/// SplitMix64: tiny, fast, decent-quality, seedable.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `0..n` (n > 0).
+    pub fn next_index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn index_in_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(r.next_index(5) < 5);
+        }
+        // coverage: every bucket eventually hit
+        let mut hits = [false; 5];
+        for _ in 0..1000 {
+            hits[r.next_index(5)] = true;
+        }
+        assert!(hits.iter().all(|&h| h));
+    }
+}

@@ -1,0 +1,226 @@
+//! **Algorithm 2 — SafeSubjoin.**
+//!
+//! A subjoin `q'` of an acyclic natural join `q` is *safe* (Definition 3.3)
+//! iff its output on any fully reduced instance is a projection of the full
+//! query output — so its size never exceeds `|q(I)|`. Lemma 3.7 ([Afrati 22])
+//! characterizes safety: `q'` is safe iff its relations are connected in
+//! *some* join tree of `q`.
+//!
+//! Algorithm 2 tests this constructively: build an MST `T'` of the subjoin's
+//! induced join graph with LargestRoot, then *extend* it to a spanning tree
+//! `T` of the full graph by continuing Prim from the subjoin's relation set.
+//! `q'` is safe iff `T` ends up being a maximum spanning tree of the full
+//! graph (all MSTs have equal weight, so a weight comparison decides this).
+
+use crate::graph::{QueryGraph, RelId};
+use crate::largest_root::largest_root;
+use crate::mst::max_spanning_tree_weight;
+use crate::tree::JoinTree;
+
+/// Decide whether the subjoin over `subrels` is safe for `graph`
+/// (Algorithm 2). Subjoins containing Cartesian products (disconnected
+/// induced subgraphs) are unsafe by definition.
+///
+/// Precondition: `graph` is connected. For cyclic `graph`s the answer is
+/// meaningless (the paper only defines safety for acyclic queries); callers
+/// should check α-acyclicity first.
+pub fn safe_subjoin(graph: &QueryGraph, subrels: &[RelId]) -> bool {
+    let n = graph.num_relations();
+    if subrels.is_empty() || subrels.len() > n {
+        return false;
+    }
+    if subrels.len() == n {
+        // The full query: trivially safe (it *is* the output).
+        return true;
+    }
+    if subrels.len() == 1 {
+        // A single reduced relation is a projection of the output for
+        // α-acyclic queries (full reduction), hence safe.
+        return true;
+    }
+
+    // Line 1: T' ← LargestRoot(G_q').
+    let (sub, back_map) = graph.induced_subgraph(subrels);
+    let Some(t_prime) = largest_root(&sub) else {
+        return false; // disconnected subjoin ⇒ Cartesian product ⇒ unsafe
+    };
+
+    // Line 2: continue LargestRoot on the full graph initialized with
+    // T ← T', R' ← relations of q'.
+    let mut in_tree = vec![false; n];
+    let mut parent: Vec<Option<RelId>> = vec![None; n];
+    let mut insertion_order: Vec<RelId> = Vec::with_capacity(n);
+    for &sub_id in &t_prime.insertion_order {
+        let orig = back_map[sub_id];
+        in_tree[orig] = true;
+        insertion_order.push(orig);
+        if let Some(p_sub) = t_prime.parent[sub_id] {
+            parent[orig] = Some(back_map[p_sub]);
+        }
+    }
+    // Weight of T' edges in the full graph.
+    let mut total_weight: usize = t_prime.total_weight(&sub);
+
+    while insertion_order.len() < n {
+        // Max-weight frontier edge, tie-break largest new relation.
+        let mut best: Option<(usize, RelId, usize)> = None; // (edge, new rel, weight)
+        for (idx, e) in graph.edges().iter().enumerate() {
+            let outside = match (in_tree[e.a], in_tree[e.b]) {
+                (true, false) => e.b,
+                (false, true) => e.a,
+                _ => continue,
+            };
+            let w = e.weight();
+            let better = match best {
+                None => true,
+                Some((_, br, bw)) => {
+                    w > bw
+                        || (w == bw
+                            && (graph.relations[outside].cardinality
+                                > graph.relations[br].cardinality
+                                || (graph.relations[outside].cardinality
+                                    == graph.relations[br].cardinality
+                                    && outside < br)))
+                }
+            };
+            if better {
+                best = Some((idx, outside, w));
+            }
+        }
+        let Some((edge_idx, new_rel, w)) = best else {
+            return false; // full graph disconnected
+        };
+        parent[new_rel] = Some(graph.edge(edge_idx).other(new_rel));
+        in_tree[new_rel] = true;
+        insertion_order.push(new_rel);
+        total_weight += w;
+    }
+
+    // Line 3: T is a join tree of q iff it is a maximum spanning tree.
+    match max_spanning_tree_weight(graph) {
+        Some(mst_w) => total_weight == mst_w,
+        None => false,
+    }
+}
+
+/// Check a left-deep join order: every prefix (of length ≥ 2) must be a
+/// connected, safe subjoin. Returns the length of the first unsafe prefix,
+/// or `None` when the whole order is safe.
+pub fn first_unsafe_prefix(graph: &QueryGraph, order: &[RelId]) -> Option<usize> {
+    for k in 2..=order.len() {
+        if !safe_subjoin(graph, &order[..k]) {
+            return Some(k);
+        }
+    }
+    None
+}
+
+/// Convenience: is the entire left-deep order safe?
+pub fn safe_join_order(graph: &QueryGraph, order: &[RelId]) -> bool {
+    first_unsafe_prefix(graph, order).is_none()
+}
+
+/// Derive a join tree rooted per LargestRoot, for use as a guaranteed-safe
+/// fallback order: joining along tree edges bottom-up is always safe for
+/// α-acyclic queries (Yannakakis' original join phase).
+pub fn yannakakis_order(graph: &QueryGraph) -> Option<Vec<RelId>> {
+    let tree: JoinTree = largest_root(graph)?;
+    // Join in reverse insertion order... actually any order that keeps the
+    // joined set connected in the tree works; the simplest is the reverse
+    // of the forward order, i.e. root first, then Prim insertion order.
+    Some(tree.insertion_order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Relation;
+
+    /// §3.2's running example: q = R(A,B,C) ⋈ S(A,B) ⋈ T(B,C).
+    /// Only join tree: S – R – T. So R⋈S and R⋈T are safe; S⋈T is not.
+    fn sec32() -> QueryGraph {
+        QueryGraph::new(vec![
+            Relation::new("R", vec![0, 1, 2], 100), // A,B,C
+            Relation::new("S", vec![0, 1], 50),     // A,B
+            Relation::new("T", vec![1, 2], 60),     // B,C
+        ])
+    }
+
+    #[test]
+    fn paper_example_safety() {
+        let g = sec32();
+        assert!(safe_subjoin(&g, &[0, 1])); // R ⋈ S safe
+        assert!(safe_subjoin(&g, &[0, 2])); // R ⋈ T safe
+        assert!(!safe_subjoin(&g, &[1, 2])); // S ⋈ T unsafe!
+        assert!(safe_subjoin(&g, &[0, 1, 2])); // full query safe
+    }
+
+    #[test]
+    fn unsafe_prefix_detection() {
+        let g = sec32();
+        assert_eq!(first_unsafe_prefix(&g, &[1, 2, 0]), Some(2)); // S,T,... unsafe at 2
+        assert_eq!(first_unsafe_prefix(&g, &[1, 0, 2]), None); // S,R,T safe
+        assert!(safe_join_order(&g, &[0, 1, 2]));
+        assert!(!safe_join_order(&g, &[2, 1, 0]));
+    }
+
+    #[test]
+    fn gamma_acyclic_all_connected_subjoins_safe() {
+        // Chain R(A) – S(A,B) – T(B,C) – U(C): γ-acyclic, so every
+        // connected subjoin must be safe (Theorem 3.6).
+        let g = QueryGraph::new(vec![
+            Relation::new("R", vec![0], 10),
+            Relation::new("S", vec![0, 1], 20),
+            Relation::new("T", vec![1, 2], 30),
+            Relation::new("U", vec![2], 5),
+        ]);
+        assert!(crate::acyclicity::is_gamma_acyclic(&g));
+        let connected_subsets: Vec<Vec<RelId>> = vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![2, 3],
+            vec![0, 1, 2],
+            vec![1, 2, 3],
+            vec![0, 1, 2, 3],
+        ];
+        for s in connected_subsets {
+            assert!(safe_subjoin(&g, &s), "subjoin {s:?} must be safe");
+        }
+    }
+
+    #[test]
+    fn disconnected_subjoin_is_unsafe() {
+        let g = QueryGraph::new(vec![
+            Relation::new("R", vec![0], 10),
+            Relation::new("S", vec![0, 1], 20),
+            Relation::new("T", vec![1], 30),
+        ]);
+        // R and T share no attribute: Cartesian product ⇒ unsafe.
+        assert!(!safe_subjoin(&g, &[0, 2]));
+    }
+
+    #[test]
+    fn singletons_and_full_query_safe() {
+        let g = sec32();
+        assert!(safe_subjoin(&g, &[0]));
+        assert!(safe_subjoin(&g, &[1]));
+        assert!(safe_subjoin(&g, &[2]));
+        assert!(!safe_subjoin(&g, &[]));
+    }
+
+    #[test]
+    fn yannakakis_order_is_safe() {
+        let g = sec32();
+        let order = yannakakis_order(&g).unwrap();
+        assert!(safe_join_order(&g, &order), "order {order:?}");
+        // Also for the chain.
+        let chain = QueryGraph::new(vec![
+            Relation::new("R", vec![0], 10),
+            Relation::new("S", vec![0, 1], 20),
+            Relation::new("T", vec![1, 2], 30),
+            Relation::new("U", vec![2], 5),
+        ]);
+        let order = yannakakis_order(&chain).unwrap();
+        assert!(safe_join_order(&chain, &order), "order {order:?}");
+    }
+}

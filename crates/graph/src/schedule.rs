@@ -1,0 +1,233 @@
+//! Transfer schedules: ordered forward/backward semi-join passes.
+//!
+//! A schedule is the engine-facing output of LargestRoot / Small2Large /
+//! Yannakakis: a list of semi-joins `target ⋉ source` to perform in order.
+//! In Predicate Transfer each semi-join becomes a `CreateBF` on `source`'s
+//! join attributes followed by a `ProbeBF` on `target` (§4.3); in classic
+//! Yannakakis it is an exact hash semi-join.
+
+use crate::graph::{AttrId, QueryGraph, RelId};
+use crate::tree::JoinTree;
+
+/// One semi-join reduction step: `target ⋉ source` on `attrs`.
+///
+/// Operationally: build a filter from the *current* (already reduced) state
+/// of `source` keyed on `attrs`, and use it to eliminate non-matching tuples
+/// of `target`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemiJoin {
+    pub target: RelId,
+    pub source: RelId,
+    pub attrs: Vec<AttrId>,
+}
+
+/// The two-pass schedule of the transfer (semi-join) phase.
+#[derive(Debug, Clone, Default)]
+pub struct TransferSchedule {
+    pub forward: Vec<SemiJoin>,
+    pub backward: Vec<SemiJoin>,
+}
+
+impl TransferSchedule {
+    /// Derive the Yannakakis-style schedule from a rooted tree:
+    ///
+    /// * forward pass (leaf → root): for each non-root `X` in
+    ///   child-before-parent order, `parent(X) ⋉ X`;
+    /// * backward pass (root → leaf): for each non-root `X` in
+    ///   parent-before-child order, `X ⋉ parent(X)`.
+    ///
+    /// This reproduces the step numbering of Figure 1b exactly.
+    pub fn from_tree(graph: &QueryGraph, tree: &JoinTree) -> TransferSchedule {
+        let shared = |a: RelId, b: RelId| -> Vec<AttrId> {
+            graph
+                .edge_between(a, b)
+                .map(|e| e.shared.clone())
+                .unwrap_or_default()
+        };
+        let mut forward = Vec::new();
+        for &x in &tree.forward_order() {
+            if let Some(p) = tree.parent[x] {
+                forward.push(SemiJoin {
+                    target: p,
+                    source: x,
+                    attrs: shared(x, p),
+                });
+            }
+        }
+        let mut backward = Vec::new();
+        for &x in &tree.backward_order() {
+            if let Some(p) = tree.parent[x] {
+                backward.push(SemiJoin {
+                    target: x,
+                    source: p,
+                    attrs: shared(x, p),
+                });
+            }
+        }
+        TransferSchedule { forward, backward }
+    }
+
+    /// Derive the schedule from a DAG given as directed edges `(u → v)` plus
+    /// a topological order of the vertices (used by Small2Large):
+    ///
+    /// * forward: visiting `u` in topological order, emit `v ⋉ u` per
+    ///   outgoing edge — so `u` has been probed by all its in-edges before
+    ///   its own filter is built;
+    /// * backward: visiting `v` in reverse topological order, emit `u ⋉ v`
+    ///   per incoming edge.
+    pub fn from_dag(
+        graph: &QueryGraph,
+        topo: &[RelId],
+        dag_edges: &[(RelId, RelId)],
+    ) -> TransferSchedule {
+        let shared = |a: RelId, b: RelId| -> Vec<AttrId> {
+            graph
+                .edge_between(a, b)
+                .map(|e| e.shared.clone())
+                .unwrap_or_default()
+        };
+        let mut forward = Vec::new();
+        for &u in topo {
+            for &(s, t) in dag_edges {
+                if s == u {
+                    forward.push(SemiJoin {
+                        target: t,
+                        source: u,
+                        attrs: shared(u, t),
+                    });
+                }
+            }
+        }
+        let mut backward = Vec::new();
+        for &v in topo.iter().rev() {
+            for &(s, t) in dag_edges {
+                if t == v {
+                    backward.push(SemiJoin {
+                        target: s,
+                        source: v,
+                        attrs: shared(s, v),
+                    });
+                }
+            }
+        }
+        TransferSchedule { forward, backward }
+    }
+
+    /// Total number of semi-join steps.
+    pub fn len(&self) -> usize {
+        self.forward.len() + self.backward.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty() && self.backward.is_empty()
+    }
+
+    /// Verifies the *filter-information flow* property used in §3.1's
+    /// incompleteness argument: after running the schedule, has predicate
+    /// information from relation `from` had a chance to reach relation `to`
+    /// through a chain of semi-joins? (Small2Large fails this for the
+    /// Figure 2 example; tree schedules always pass for all pairs.)
+    pub fn information_reaches(&self, from: RelId, to: RelId, num_rels: usize) -> bool {
+        // reachable[r] = information from `from` has reached r at this point
+        let mut reachable = vec![false; num_rels];
+        reachable[from] = true;
+        for sj in self.forward.iter().chain(self.backward.iter()) {
+            if reachable[sj.source] {
+                reachable[sj.target] = true;
+            }
+        }
+        reachable[to]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Relation;
+    use crate::largest_root::largest_root;
+
+    /// Figure 1: JOB 3a join graph.
+    /// attrs: 0 = movie id (t.id = mk.movie_id = mi.movie_id),
+    ///        1 = keyword id (k.id = mk.keyword_id)
+    fn job3a() -> QueryGraph {
+        QueryGraph::new(vec![
+            Relation::new("title", vec![0], 2_500_000),
+            Relation::new("movie_keyword", vec![0, 1], 4_500_000),
+            Relation::new("movie_info", vec![0], 15_000_000),
+            Relation::new("keyword", vec![1], 134_000),
+        ])
+    }
+
+    #[test]
+    fn tree_schedule_matches_figure_1b() {
+        let g = job3a();
+        let tree = largest_root(&g).unwrap();
+        // movie_info is the largest → root.
+        assert_eq!(tree.root, 2);
+        let sched = TransferSchedule::from_tree(&g, &tree);
+        // Forward pass must end with movie_info ⋉ movie_keyword and the
+        // backward pass must begin with movie_keyword ⋉ movie_info.
+        assert_eq!(sched.forward.len(), 3);
+        assert_eq!(sched.backward.len(), 3);
+        let last_fwd = sched.forward.last().unwrap();
+        assert_eq!((last_fwd.target, last_fwd.source), (2, 1));
+        let first_bwd = sched.backward.first().unwrap();
+        assert_eq!((first_bwd.target, first_bwd.source), (1, 2));
+        // keyword and title each feed movie_keyword in the forward pass.
+        assert!(sched
+            .forward
+            .iter()
+            .any(|s| s.target == 1 && s.source == 3));
+        assert!(sched
+            .forward
+            .iter()
+            .any(|s| s.target == 1 && s.source == 0));
+    }
+
+    #[test]
+    fn tree_schedule_spreads_information_everywhere() {
+        let g = job3a();
+        let tree = largest_root(&g).unwrap();
+        let sched = TransferSchedule::from_tree(&g, &tree);
+        let n = g.num_relations();
+        for from in 0..n {
+            for to in 0..n {
+                assert!(
+                    sched.information_reaches(from, to, n),
+                    "info from {from} must reach {to}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dag_schedule_ordering() {
+        // Figure 2: R(A,B), S(A,C), T(B,D); |R|<|S|<|T|.
+        let g = QueryGraph::new(vec![
+            Relation::new("R", vec![0, 1], 10),
+            Relation::new("S", vec![0, 2], 20),
+            Relation::new("T", vec![1, 3], 30),
+        ]);
+        // Small2Large DAG: R→S, R→T.
+        let sched =
+            TransferSchedule::from_dag(&g, &[0, 1, 2], &[(0, 1), (0, 2)]);
+        assert_eq!(sched.forward.len(), 2);
+        assert_eq!(sched.backward.len(), 2);
+        // Forward: S ⋉ R then T ⋉ R.
+        assert_eq!(sched.forward[0], SemiJoin { target: 1, source: 0, attrs: vec![0] });
+        assert_eq!(sched.forward[1], SemiJoin { target: 2, source: 0, attrs: vec![1] });
+        // The incompleteness of Figure 2: S's predicate info never reaches T.
+        assert!(!sched.information_reaches(1, 2, 3));
+        assert!(!sched.information_reaches(2, 1, 3));
+        // But R's info reaches everyone.
+        assert!(sched.information_reaches(0, 1, 3));
+        assert!(sched.information_reaches(0, 2, 3));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let s = TransferSchedule::default();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

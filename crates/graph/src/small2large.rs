@@ -1,0 +1,128 @@
+//! **Small2Large** — the transfer-graph heuristic of the original Predicate
+//! Transfer paper (Yang et al., CIDR 2024), kept as the `PT` baseline.
+//!
+//! Every join-graph edge is directed from the smaller relation to the larger
+//! one, producing a DAG (ties broken by relation id so the direction is
+//! always well-defined). The forward pass follows the DAG edges; the
+//! backward pass reverses them. As §3.1 of the RPT paper shows (Figure 2),
+//! this does **not** guarantee a full reduction for acyclic queries: two
+//! larger relations that only meet at a common smaller neighbor never
+//! exchange filter information.
+
+use crate::graph::{QueryGraph, RelId};
+use crate::schedule::TransferSchedule;
+
+/// The Small2Large transfer DAG and schedule.
+#[derive(Debug, Clone)]
+pub struct Small2Large {
+    /// Directed edges (small → large).
+    pub dag_edges: Vec<(RelId, RelId)>,
+    /// Topological order (ascending cardinality, ties by id).
+    pub topo: Vec<RelId>,
+    pub schedule: TransferSchedule,
+}
+
+/// Build the Small2Large transfer schedule for `graph`.
+pub fn small2large(graph: &QueryGraph) -> Small2Large {
+    let key = |r: RelId| (graph.relations[r].cardinality, r);
+    let mut dag_edges: Vec<(RelId, RelId)> = graph
+        .edges()
+        .iter()
+        .map(|e| {
+            if key(e.a) <= key(e.b) {
+                (e.a, e.b)
+            } else {
+                (e.b, e.a)
+            }
+        })
+        .collect();
+    // Deterministic edge order.
+    dag_edges.sort_by_key(|&(s, t)| (key(s), key(t)));
+    let mut topo: Vec<RelId> = (0..graph.num_relations()).collect();
+    topo.sort_by_key(|&r| key(r));
+    let schedule = TransferSchedule::from_dag(graph, &topo, &dag_edges);
+    Small2Large {
+        dag_edges,
+        topo,
+        schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Relation;
+
+    /// Figure 2: R(A,B) ⋈ S(A,C) ⋈ T(B,D), |R| < |S| < |T|.
+    fn fig2() -> QueryGraph {
+        QueryGraph::new(vec![
+            Relation::new("R", vec![0, 1], 10),
+            Relation::new("S", vec![0, 2], 20),
+            Relation::new("T", vec![1, 3], 30),
+        ])
+    }
+
+    #[test]
+    fn edges_point_small_to_large() {
+        let s2l = small2large(&fig2());
+        assert_eq!(s2l.dag_edges, vec![(0, 1), (0, 2)]);
+        assert_eq!(s2l.topo, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reproduces_figure_2_schedule() {
+        let s2l = small2large(&fig2());
+        let f: Vec<(RelId, RelId)> = s2l
+            .schedule
+            .forward
+            .iter()
+            .map(|sj| (sj.target, sj.source))
+            .collect();
+        // Forward: S ⋉ R, T ⋉ R.
+        assert_eq!(f, vec![(1, 0), (2, 0)]);
+        let b: Vec<(RelId, RelId)> = s2l
+            .schedule
+            .backward
+            .iter()
+            .map(|sj| (sj.target, sj.source))
+            .collect();
+        // Backward: R ⋉ T, R ⋉ S (reverse topo order of targets).
+        assert_eq!(b.len(), 2);
+        assert!(b.contains(&(0, 1)) && b.contains(&(0, 2)));
+    }
+
+    #[test]
+    fn incomplete_reduction_on_figure_2() {
+        let s2l = small2large(&fig2());
+        // S's predicate information can never reach T, and vice versa —
+        // the flaw RPT fixes.
+        assert!(!s2l.schedule.information_reaches(1, 2, 3));
+        assert!(!s2l.schedule.information_reaches(2, 1, 3));
+    }
+
+    #[test]
+    fn equal_cardinalities_break_ties_by_id() {
+        let g = QueryGraph::new(vec![
+            Relation::new("A", vec![0], 100),
+            Relation::new("B", vec![0], 100),
+        ]);
+        let s2l = small2large(&g);
+        assert_eq!(s2l.dag_edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn chain_is_fully_connected_under_s2l() {
+        // On a chain with monotone sizes Small2Large happens to be complete.
+        let g = QueryGraph::new(vec![
+            Relation::new("R", vec![0], 10),
+            Relation::new("S", vec![0, 1], 20),
+            Relation::new("T", vec![1], 30),
+        ]);
+        let s2l = small2large(&g);
+        for from in 0..3 {
+            for to in 0..3 {
+                assert!(s2l.schedule.information_reaches(from, to, 3));
+            }
+        }
+    }
+}

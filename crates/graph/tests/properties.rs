@@ -1,0 +1,175 @@
+//! Property-based tests of the paper's combinatorial claims.
+//!
+//! The central one cross-validates our two independent implementations of
+//! acyclicity: **Lemma 3.2** says a connected natural-join query is
+//! α-acyclic iff its maximum spanning tree (any of them) is a join tree.
+//! We test `is_alpha_acyclic` (GYO ear removal) against
+//! `prim_mst(...).is_join_tree(...)` on random hypergraphs — two different
+//! algorithms, one mathematical fact.
+
+use proptest::prelude::*;
+use rpt_graph::{
+    is_alpha_acyclic, is_gamma_acyclic, largest_root, largest_root_randomized,
+    max_spanning_tree_weight, prim_mst, safe_subjoin, QueryGraph, Relation, TransferSchedule,
+};
+
+/// Random connected hypergraph: `n` relations over `m` attributes.
+/// Connectivity is forced by chaining relation i with i+1 through a shared
+/// attribute when needed.
+fn arb_connected_graph() -> impl Strategy<Value = QueryGraph> {
+    (2usize..7, 2usize..6).prop_flat_map(|(n, m)| {
+        proptest::collection::vec(
+            proptest::collection::btree_set(0usize..m, 1..=m.min(3)),
+            n,
+        )
+        .prop_map(move |attr_sets| {
+            let mut rels: Vec<Relation> = attr_sets
+                .into_iter()
+                .enumerate()
+                .map(|(i, attrs)| {
+                    Relation::new(
+                        format!("R{i}"),
+                        attrs.into_iter().collect(),
+                        (i as u64 + 1) * 10,
+                    )
+                })
+                .collect();
+            // Force connectivity: give consecutive relations a shared
+            // "chain" attribute beyond the random ones.
+            for i in 0..rels.len() - 1 {
+                let chain_attr = 100 + i;
+                let mut a = rels[i].attrs.clone();
+                a.push(chain_attr);
+                rels[i] = Relation::new(rels[i].name.clone(), a, rels[i].cardinality);
+                let mut b = rels[i + 1].attrs.clone();
+                b.push(chain_attr);
+                rels[i + 1] =
+                    Relation::new(rels[i + 1].name.clone(), b, rels[i + 1].cardinality);
+            }
+            QueryGraph::new(rels)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Lemma 3.2: GYO-acyclicity ⟺ the MST is a join tree.
+    #[test]
+    fn lemma_3_2_gyo_matches_mst(g in arb_connected_graph()) {
+        let gyo = is_alpha_acyclic(&g);
+        let mst_is_join_tree = prim_mst(&g, 0)
+            .map(|t| t.is_join_tree(&g))
+            .unwrap_or(false);
+        prop_assert_eq!(gyo, mst_is_join_tree,
+            "GYO={} but MST-join-tree={} on {:?}",
+            gyo, mst_is_join_tree,
+            g.relations.iter().map(|r| r.attrs.clone()).collect::<Vec<_>>());
+    }
+
+    /// LargestRoot always yields an MST rooted at the largest relation.
+    #[test]
+    fn largest_root_is_mst(g in arb_connected_graph()) {
+        let t = largest_root(&g).expect("connected");
+        prop_assert!(t.is_spanning());
+        prop_assert_eq!(t.root, g.largest_relation());
+        let w = t.total_weight(&g);
+        prop_assert_eq!(Some(w), max_spanning_tree_weight(&g));
+        // For α-acyclic graphs it must be a join tree.
+        if is_alpha_acyclic(&g) {
+            prop_assert!(t.is_join_tree(&g));
+        }
+    }
+
+    /// Tree-derived transfer schedules always propagate information from
+    /// every relation to every other relation (the fix for Figure 2).
+    #[test]
+    fn tree_schedule_is_information_complete(g in arb_connected_graph()) {
+        let t = largest_root(&g).expect("connected");
+        let sched = TransferSchedule::from_tree(&g, &t);
+        let n = g.num_relations();
+        prop_assert_eq!(sched.forward.len(), n - 1);
+        prop_assert_eq!(sched.backward.len(), n - 1);
+        for from in 0..n {
+            for to in 0..n {
+                prop_assert!(sched.information_reaches(from, to, n),
+                    "no info path {} → {}", from, to);
+            }
+        }
+    }
+
+    /// The randomized variant (§5.2) keeps the root and spans; with all
+    /// weights equal it still produces join trees on acyclic inputs.
+    #[test]
+    fn randomized_largest_root_spans(g in arb_connected_graph(), seed in 0u64..1000) {
+        let t = largest_root_randomized(&g, seed).expect("connected");
+        prop_assert!(t.is_spanning());
+        prop_assert_eq!(t.root, g.largest_relation());
+    }
+
+    /// γ-acyclic ⇒ α-acyclic (Definition 3.4 is a restriction).
+    #[test]
+    fn gamma_implies_alpha(g in arb_connected_graph()) {
+        if is_gamma_acyclic(&g) {
+            prop_assert!(is_alpha_acyclic(&g));
+        }
+    }
+
+    /// Theorem 3.6, one direction, checked structurally: on γ-acyclic
+    /// queries every connected subjoin passes SafeSubjoin.
+    #[test]
+    fn gamma_acyclic_connected_subjoins_safe(g in arb_connected_graph()) {
+        if !is_gamma_acyclic(&g) {
+            return Ok(());
+        }
+        let n = g.num_relations();
+        // Enumerate all connected subsets (n ≤ 7, so ≤ 127 subsets).
+        for mask in 1u32..(1 << n) {
+            let subset: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+            if subset.len() < 2 {
+                continue;
+            }
+            let (sub, _) = g.induced_subgraph(&subset);
+            if !sub.is_connected() {
+                continue;
+            }
+            prop_assert!(safe_subjoin(&g, &subset),
+                "connected subjoin {:?} of γ-acyclic query flagged unsafe", subset);
+        }
+    }
+
+    /// SafeSubjoin is monotone under full queries: the complete relation
+    /// set is always safe; singletons are safe.
+    #[test]
+    fn safe_subjoin_base_cases(g in arb_connected_graph()) {
+        let n = g.num_relations();
+        let all: Vec<usize> = (0..n).collect();
+        prop_assert!(safe_subjoin(&g, &all));
+        for r in 0..n {
+            prop_assert!(safe_subjoin(&g, &[r]));
+        }
+    }
+}
+
+/// Deterministic regression: the Figure 2 shape must be repaired by
+/// LargestRoot for any size assignment making R smallest.
+#[test]
+fn figure_2_repair_for_all_size_orders() {
+    for (r, s, t) in [(1u64, 2, 3), (1, 3, 2), (2, 1, 3), (3, 2, 1), (2, 3, 1), (3, 1, 2)] {
+        let g = QueryGraph::new(vec![
+            Relation::new("R", vec![0, 1], r * 100),
+            Relation::new("S", vec![0, 2], s * 100),
+            Relation::new("T", vec![1, 3], t * 100),
+        ]);
+        let tree = largest_root(&g).unwrap();
+        let sched = TransferSchedule::from_tree(&g, &tree);
+        for from in 0..3 {
+            for to in 0..3 {
+                assert!(
+                    sched.information_reaches(from, to, 3),
+                    "sizes ({r},{s},{t}): {from} cannot reach {to}"
+                );
+            }
+        }
+    }
+}

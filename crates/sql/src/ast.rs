@@ -1,0 +1,212 @@
+//! Abstract syntax tree for the SQL subset.
+
+/// A (possibly qualified) column reference, e.g. `mk.movie_id` or `name`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    pub qualifier: Option<String>,
+    pub name: String,
+}
+
+impl ColumnRef {
+    pub fn new(qualifier: Option<&str>, name: &str) -> Self {
+        ColumnRef {
+            qualifier: qualifier.map(str::to_string),
+            name: name.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// Literal values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+/// Binary operators (comparisons, boolean connectives, arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Aggregate function names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggName {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    Column(ColumnRef),
+    Literal(Literal),
+    Binary {
+        op: BinOp,
+        left: Box<AstExpr>,
+        right: Box<AstExpr>,
+    },
+    Not(Box<AstExpr>),
+    IsNull {
+        expr: Box<AstExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<AstExpr>,
+        list: Vec<Literal>,
+        negated: bool,
+    },
+    /// `expr LIKE 'pattern'` — the binder understands `%x%` (contains),
+    /// `x%` (prefix) and exact patterns.
+    Like {
+        expr: Box<AstExpr>,
+        pattern: String,
+        negated: bool,
+    },
+    Between {
+        expr: Box<AstExpr>,
+        low: Box<AstExpr>,
+        high: Box<AstExpr>,
+    },
+    /// Aggregate call. `star` is `COUNT(*)`.
+    Agg {
+        func: AggName,
+        arg: Option<Box<AstExpr>>,
+        star: bool,
+    },
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    Star,
+    Expr {
+        expr: AstExpr,
+        alias: Option<String>,
+    },
+}
+
+/// A table in the FROM list with optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table is referred to by in the query.
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<AstExpr>,
+    pub group_by: Vec<ColumnRef>,
+}
+
+impl SelectStmt {
+    /// Does the SELECT list contain any aggregate?
+    pub fn has_aggregates(&self) -> bool {
+        fn expr_has_agg(e: &AstExpr) -> bool {
+            match e {
+                AstExpr::Agg { .. } => true,
+                AstExpr::Binary { left, right, .. } => {
+                    expr_has_agg(left) || expr_has_agg(right)
+                }
+                AstExpr::Not(x) => expr_has_agg(x),
+                AstExpr::IsNull { expr, .. }
+                | AstExpr::InList { expr, .. }
+                | AstExpr::Like { expr, .. } => expr_has_agg(expr),
+                AstExpr::Between { expr, low, high } => {
+                    expr_has_agg(expr) || expr_has_agg(low) || expr_has_agg(high)
+                }
+                _ => false,
+            }
+        }
+        self.items.iter().any(|i| match i {
+            SelectItem::Expr { expr, .. } => expr_has_agg(expr),
+            SelectItem::Star => false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_display() {
+        assert_eq!(ColumnRef::new(Some("t"), "id").to_string(), "t.id");
+        assert_eq!(ColumnRef::new(None, "id").to_string(), "id");
+    }
+
+    #[test]
+    fn binding_name_prefers_alias() {
+        let t = TableRef {
+            table: "title".into(),
+            alias: Some("t".into()),
+        };
+        assert_eq!(t.binding_name(), "t");
+        let t = TableRef {
+            table: "title".into(),
+            alias: None,
+        };
+        assert_eq!(t.binding_name(), "title");
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let stmt = SelectStmt {
+            items: vec![SelectItem::Expr {
+                expr: AstExpr::Agg {
+                    func: AggName::Count,
+                    arg: None,
+                    star: true,
+                },
+                alias: None,
+            }],
+            from: vec![],
+            where_clause: None,
+            group_by: vec![],
+        };
+        assert!(stmt.has_aggregates());
+        let plain = SelectStmt {
+            items: vec![SelectItem::Star],
+            from: vec![],
+            where_clause: None,
+            group_by: vec![],
+        };
+        assert!(!plain.has_aggregates());
+    }
+}

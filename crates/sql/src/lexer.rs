@@ -1,0 +1,290 @@
+//! SQL tokenizer.
+
+use std::fmt;
+
+/// Tokens of the SQL subset. Keywords are case-insensitive and surface as
+/// `Keyword` with an upper-cased payload; everything else identifier-like is
+/// `Ident` (original case preserved).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Keyword(String),
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Semicolon,
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k}"),
+            Token::Ident(i) => write!(f, "{i}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+            Token::Semicolon => write!(f, ";"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AS", "AND", "OR", "NOT", "IN", "LIKE", "BETWEEN",
+    "IS", "NULL", "TRUE", "FALSE", "COUNT", "SUM", "MIN", "MAX", "AVG", "HAVING", "ORDER",
+    "LIMIT", "DISTINCT",
+];
+
+/// Tokenize SQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, String> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(format!("unexpected `!` at byte {i}"));
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // string literal with '' escaping
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err("unterminated string literal".into());
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || (bytes[i] == b'.'
+                            && i + 1 < bytes.len()
+                            && bytes[i + 1].is_ascii_digit()))
+                {
+                    if bytes[i] == b'.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text = &input[start..i];
+                if is_float {
+                    tokens.push(Token::Float(
+                        text.parse().map_err(|e| format!("bad float `{text}`: {e}"))?,
+                    ));
+                } else {
+                    tokens.push(Token::Int(
+                        text.parse().map_err(|e| format!("bad int `{text}`: {e}"))?,
+                    ));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    tokens.push(Token::Keyword(upper));
+                } else {
+                    tokens.push(Token::Ident(word.to_string()));
+                }
+            }
+            other => return Err(format!("unexpected character `{other}` at byte {i}")),
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_query() {
+        let t = tokenize("SELECT a.x FROM t a WHERE a.x >= 10").unwrap();
+        assert_eq!(t[0], Token::Keyword("SELECT".into()));
+        assert_eq!(t[1], Token::Ident("a".into()));
+        assert_eq!(t[2], Token::Dot);
+        assert!(t.contains(&Token::GtEq));
+        assert_eq!(*t.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let t = tokenize("WHERE name = 'O''Brien'").unwrap();
+        assert!(t.contains(&Token::Str("O'Brien".into())));
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        let t = tokenize("1 2.5 100").unwrap();
+        assert_eq!(t[0], Token::Int(1));
+        assert_eq!(t[1], Token::Float(2.5));
+        assert_eq!(t[2], Token::Int(100));
+    }
+
+    #[test]
+    fn operators() {
+        let t = tokenize("a <> b != c <= d >= e < f > g = h").unwrap();
+        let ops: Vec<&Token> = t
+            .iter()
+            .filter(|x| !matches!(x, Token::Ident(_) | Token::Eof))
+            .collect();
+        assert_eq!(
+            ops,
+            vec![
+                &Token::NotEq,
+                &Token::NotEq,
+                &Token::LtEq,
+                &Token::GtEq,
+                &Token::Lt,
+                &Token::Gt,
+                &Token::Eq
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let t = tokenize("select From wHeRe").unwrap();
+        assert_eq!(t[0], Token::Keyword("SELECT".into()));
+        assert_eq!(t[1], Token::Keyword("FROM".into()));
+        assert_eq!(t[2], Token::Keyword("WHERE".into()));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = tokenize("SELECT -- the select list\n x").unwrap();
+        assert_eq!(t[1], Token::Ident("x".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("SELECT #").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+}

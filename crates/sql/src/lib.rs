@@ -1,0 +1,17 @@
+//! # rpt-sql
+//!
+//! A hand-rolled lexer + recursive-descent parser for the SQL subset the
+//! paper's workloads need: `SELECT` lists with aggregates, comma-separated
+//! `FROM` with aliases (joins are expressed as WHERE equality predicates, as
+//! in TPC-H/JOB source queries), `WHERE` with AND/OR/NOT, comparisons,
+//! `IN`, `LIKE`, `BETWEEN`, `IS [NOT] NULL`, and `GROUP BY`.
+//!
+//! The parser produces a provider-agnostic AST; name resolution against a
+//! catalog happens in `rpt-core`'s binder.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AstExpr, BinOp, ColumnRef, Literal, SelectItem, SelectStmt, TableRef};
+pub use parser::parse_select;

@@ -1,0 +1,545 @@
+//! Recursive-descent parser.
+//!
+//! Grammar (precedence low → high): `OR` < `AND` < `NOT` < comparison /
+//! `IN` / `LIKE` / `BETWEEN` / `IS NULL` < `+ -` < `* /` < primary.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token};
+
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Parse a single SELECT statement.
+pub fn parse_select(sql: &str) -> Result<SelectStmt, String> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select()?;
+    // optional trailing semicolon
+    if p.peek() == &Token::Semicolon {
+        p.advance();
+    }
+    if p.peek() != &Token::Eof {
+        return Err(format!("unexpected trailing token `{}`", p.peek()));
+    }
+    Ok(stmt)
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek2(&self) -> &Token {
+        self.tokens.get(self.pos + 1).unwrap_or(&Token::Eof)
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), String> {
+        match self.advance() {
+            Token::Keyword(k) if k == kw => Ok(()),
+            other => Err(format!("expected {kw}, found `{other}`")),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Token::Keyword(k) if k == kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<(), String> {
+        let t = self.advance();
+        if &t == tok {
+            Ok(())
+        } else {
+            Err(format!("expected `{tok}`, found `{t}`"))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        match self.advance() {
+            Token::Ident(s) => Ok(s),
+            other => Err(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, String> {
+        self.expect_keyword("SELECT")?;
+        // we accept and ignore DISTINCT (our workloads don't rely on it)
+        self.eat_keyword("DISTINCT");
+        let mut items = vec![self.select_item()?];
+        while self.peek() == &Token::Comma {
+            self.advance();
+            items.push(self.select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let mut from = vec![self.table_ref()?];
+        while self.peek() == &Token::Comma {
+            self.advance();
+            from.push(self.table_ref()?);
+        }
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.column_ref()?);
+            while self.peek() == &Token::Comma {
+                self.advance();
+                group_by.push(self.column_ref()?);
+            }
+        }
+        Ok(SelectStmt {
+            items,
+            from,
+            where_clause,
+            group_by,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, String> {
+        if self.peek() == &Token::Star {
+            self.advance();
+            return Ok(SelectItem::Star);
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.ident()?)
+        } else if let Token::Ident(_) = self.peek() {
+            // implicit alias: `SUM(x) total`
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, String> {
+        let table = self.ident()?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.ident()?)
+        } else if let Token::Ident(_) = self.peek() {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, String> {
+        let first = self.ident()?;
+        if self.peek() == &Token::Dot {
+            self.advance();
+            let name = self.ident()?;
+            Ok(ColumnRef {
+                qualifier: Some(first),
+                name,
+            })
+        } else {
+            Ok(ColumnRef {
+                qualifier: None,
+                name: first,
+            })
+        }
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self) -> Result<AstExpr, String> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<AstExpr, String> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = AstExpr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr, String> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left = AstExpr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<AstExpr, String> {
+        if self.eat_keyword("NOT") {
+            Ok(AstExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<AstExpr, String> {
+        let left = self.additive()?;
+        // postfix predicates
+        match self.peek().clone() {
+            Token::Eq | Token::NotEq | Token::Lt | Token::LtEq | Token::Gt | Token::GtEq => {
+                let op = match self.advance() {
+                    Token::Eq => BinOp::Eq,
+                    Token::NotEq => BinOp::NotEq,
+                    Token::Lt => BinOp::Lt,
+                    Token::LtEq => BinOp::LtEq,
+                    Token::Gt => BinOp::Gt,
+                    Token::GtEq => BinOp::GtEq,
+                    _ => unreachable!(),
+                };
+                let right = self.additive()?;
+                Ok(AstExpr::Binary {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                })
+            }
+            Token::Keyword(k) if k == "IS" => {
+                self.advance();
+                let negated = self.eat_keyword("NOT");
+                self.expect_keyword("NULL")?;
+                Ok(AstExpr::IsNull {
+                    expr: Box::new(left),
+                    negated,
+                })
+            }
+            Token::Keyword(k) if k == "IN" => {
+                self.advance();
+                self.in_list(left, false)
+            }
+            Token::Keyword(k) if k == "NOT" && matches!(self.peek2(), Token::Keyword(k2) if k2 == "IN" || k2 == "LIKE") =>
+            {
+                self.advance(); // NOT
+                if self.eat_keyword("IN") {
+                    self.in_list(left, true)
+                } else {
+                    self.expect_keyword("LIKE")?;
+                    self.like(left, true)
+                }
+            }
+            Token::Keyword(k) if k == "LIKE" => {
+                self.advance();
+                self.like(left, false)
+            }
+            Token::Keyword(k) if k == "BETWEEN" => {
+                self.advance();
+                let low = self.additive()?;
+                self.expect_keyword("AND")?;
+                let high = self.additive()?;
+                Ok(AstExpr::Between {
+                    expr: Box::new(left),
+                    low: Box::new(low),
+                    high: Box::new(high),
+                })
+            }
+            _ => Ok(left),
+        }
+    }
+
+    fn in_list(&mut self, left: AstExpr, negated: bool) -> Result<AstExpr, String> {
+        self.expect(&Token::LParen)?;
+        let mut list = vec![self.literal()?];
+        while self.peek() == &Token::Comma {
+            self.advance();
+            list.push(self.literal()?);
+        }
+        self.expect(&Token::RParen)?;
+        Ok(AstExpr::InList {
+            expr: Box::new(left),
+            list,
+            negated,
+        })
+    }
+
+    fn like(&mut self, left: AstExpr, negated: bool) -> Result<AstExpr, String> {
+        match self.advance() {
+            Token::Str(pattern) => Ok(AstExpr::Like {
+                expr: Box::new(left),
+                pattern,
+                negated,
+            }),
+            other => Err(format!("LIKE expects a string pattern, found `{other}`")),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal, String> {
+        match self.advance() {
+            Token::Int(v) => Ok(Literal::Int(v)),
+            Token::Float(v) => Ok(Literal::Float(v)),
+            Token::Str(s) => Ok(Literal::Str(s)),
+            Token::Keyword(k) if k == "TRUE" => Ok(Literal::Bool(true)),
+            Token::Keyword(k) if k == "FALSE" => Ok(Literal::Bool(false)),
+            Token::Keyword(k) if k == "NULL" => Ok(Literal::Null),
+            Token::Minus => match self.advance() {
+                Token::Int(v) => Ok(Literal::Int(-v)),
+                Token::Float(v) => Ok(Literal::Float(-v)),
+                other => Err(format!("expected number after `-`, found `{other}`")),
+            },
+            other => Err(format!("expected literal, found `{other}`")),
+        }
+    }
+
+    fn additive(&mut self) -> Result<AstExpr, String> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.multiplicative()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<AstExpr, String> {
+        let mut left = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let right = self.primary()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn primary(&mut self) -> Result<AstExpr, String> {
+        match self.peek().clone() {
+            Token::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Int(_) | Token::Float(_) | Token::Str(_) | Token::Minus => {
+                Ok(AstExpr::Literal(self.literal()?))
+            }
+            Token::Keyword(k)
+                if k == "TRUE" || k == "FALSE" || k == "NULL" =>
+            {
+                Ok(AstExpr::Literal(self.literal()?))
+            }
+            Token::Keyword(k)
+                if matches!(k.as_str(), "COUNT" | "SUM" | "MIN" | "MAX" | "AVG") =>
+            {
+                self.advance();
+                let func = match k.as_str() {
+                    "COUNT" => AggName::Count,
+                    "SUM" => AggName::Sum,
+                    "MIN" => AggName::Min,
+                    "MAX" => AggName::Max,
+                    "AVG" => AggName::Avg,
+                    _ => unreachable!(),
+                };
+                self.expect(&Token::LParen)?;
+                if self.peek() == &Token::Star {
+                    self.advance();
+                    self.expect(&Token::RParen)?;
+                    return Ok(AstExpr::Agg {
+                        func,
+                        arg: None,
+                        star: true,
+                    });
+                }
+                let arg = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(AstExpr::Agg {
+                    func,
+                    arg: Some(Box::new(arg)),
+                    star: false,
+                })
+            }
+            Token::Ident(_) => Ok(AstExpr::Column(self.column_ref()?)),
+            other => Err(format!("unexpected token `{other}` in expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_select() {
+        let s = parse_select("SELECT * FROM t").unwrap();
+        assert_eq!(s.items, vec![SelectItem::Star]);
+        assert_eq!(s.from[0].table, "t");
+        assert!(s.where_clause.is_none());
+    }
+
+    #[test]
+    fn joins_in_where() {
+        let s = parse_select(
+            "SELECT t.title FROM title t, movie_keyword mk, keyword k \
+             WHERE t.id = mk.movie_id AND mk.keyword_id = k.id AND k.keyword LIKE '%sequel%'",
+        )
+        .unwrap();
+        assert_eq!(s.from.len(), 3);
+        assert_eq!(s.from[1].binding_name(), "mk");
+        let w = s.where_clause.unwrap();
+        // AND of AND: leftmost grouping
+        match w {
+            AstExpr::Binary { op: BinOp::And, .. } => {}
+            other => panic!("expected AND, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let s = parse_select(
+            "SELECT o.status, COUNT(*) AS cnt, SUM(l.price) total \
+             FROM orders o, lineitem l WHERE o.id = l.oid GROUP BY o.status",
+        )
+        .unwrap();
+        assert!(s.has_aggregates());
+        assert_eq!(s.group_by.len(), 1);
+        assert_eq!(s.group_by[0].name, "status");
+        match &s.items[1] {
+            SelectItem::Expr { expr, alias } => {
+                assert_eq!(alias.as_deref(), Some("cnt"));
+                assert!(matches!(expr, AstExpr::Agg { star: true, .. }));
+            }
+            _ => panic!(),
+        }
+        match &s.items[2] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("total")),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn precedence_or_and() {
+        let s = parse_select("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        // OR must be the root.
+        match s.where_clause.unwrap() {
+            AstExpr::Binary { op: BinOp::Or, right, .. } => {
+                assert!(matches!(*right, AstExpr::Binary { op: BinOp::And, .. }));
+            }
+            other => panic!("expected OR at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_or() {
+        let s = parse_select(
+            "SELECT * FROM t WHERE (a < 100 AND b < 200) OR (a > 500 AND b > 400)",
+        )
+        .unwrap();
+        assert!(matches!(
+            s.where_clause.unwrap(),
+            AstExpr::Binary { op: BinOp::Or, .. }
+        ));
+    }
+
+    #[test]
+    fn in_between_like_isnull() {
+        let s = parse_select(
+            "SELECT * FROM t WHERE a IN (1, 2, 3) AND b BETWEEN 5 AND 10 \
+             AND c LIKE 'x%' AND d IS NOT NULL AND e NOT IN (9) AND f NOT LIKE '%y%'",
+        )
+        .unwrap();
+        let mut found_in = 0;
+        let mut found_between = 0;
+        let mut found_like = 0;
+        let mut found_isnull = 0;
+        fn walk(
+            e: &AstExpr,
+            f: &mut impl FnMut(&AstExpr),
+        ) {
+            f(e);
+            if let AstExpr::Binary { left, right, .. } = e {
+                walk(left, f);
+                walk(right, f);
+            }
+        }
+        walk(&s.where_clause.unwrap(), &mut |e| match e {
+            AstExpr::InList { negated, .. } => {
+                found_in += 1;
+                let _ = negated;
+            }
+            AstExpr::Between { .. } => found_between += 1,
+            AstExpr::Like { .. } => found_like += 1,
+            AstExpr::IsNull { negated: true, .. } => found_isnull += 1,
+            _ => {}
+        });
+        assert_eq!((found_in, found_between, found_like, found_isnull), (2, 1, 2, 1));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let s = parse_select("SELECT a + b * c FROM t").unwrap();
+        match &s.items[0] {
+            SelectItem::Expr { expr, .. } => match expr {
+                AstExpr::Binary { op: BinOp::Add, right, .. } => {
+                    assert!(matches!(**right, AstExpr::Binary { op: BinOp::Mul, .. }));
+                }
+                other => panic!("expected +, got {other:?}"),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn negative_literals() {
+        let s = parse_select("SELECT * FROM t WHERE a > -5").unwrap();
+        match s.where_clause.unwrap() {
+            AstExpr::Binary { right, .. } => {
+                assert_eq!(*right, AstExpr::Literal(Literal::Int(-5)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_select("SELECT").is_err());
+        assert!(parse_select("SELECT * FROM").is_err());
+        assert!(parse_select("SELECT * FROM t WHERE").is_err());
+        assert!(parse_select("SELECT * FROM t extra garbage !!").is_err());
+        assert!(parse_select("SELECT * FROM t WHERE a LIKE 5").is_err());
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse_select("SELECT * FROM t;").is_ok());
+    }
+}

@@ -1,0 +1,72 @@
+//! Parser robustness properties: no panics on arbitrary input, and
+//! generated well-formed queries always parse to the expected shape.
+
+use proptest::prelude::*;
+use rpt_sql::{parse_select, SelectItem};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// The parser must never panic, whatever bytes it gets.
+    #[test]
+    fn never_panics(input in "\\PC{0,120}") {
+        let _ = parse_select(&input);
+    }
+
+    /// Well-formed comma-join queries round-trip structurally.
+    #[test]
+    fn generated_queries_parse(
+        n_tables in 1usize..5,
+        n_preds in 0usize..4,
+        with_group in proptest::bool::ANY,
+    ) {
+        let from: Vec<String> = (0..n_tables).map(|i| format!("t{i} a{i}")).collect();
+        let mut preds: Vec<String> = (0..n_preds.min(n_tables.saturating_sub(1)))
+            .map(|i| format!("a{i}.k = a{}.k", i + 1))
+            .collect();
+        preds.push("a0.v > 10".into());
+        let group = if with_group { " GROUP BY a0.g" } else { "" };
+        let sql = format!(
+            "SELECT a0.g, COUNT(*) AS c FROM {} WHERE {}{}",
+            from.join(", "),
+            preds.join(" AND "),
+            group
+        );
+        let stmt = parse_select(&sql).expect("well-formed query must parse");
+        prop_assert_eq!(stmt.from.len(), n_tables);
+        prop_assert_eq!(stmt.items.len(), 2);
+        prop_assert!(stmt.where_clause.is_some());
+        prop_assert_eq!(stmt.group_by.len(), usize::from(with_group));
+        match &stmt.items[1] {
+            SelectItem::Expr { alias, .. } => prop_assert_eq!(alias.as_deref(), Some("c")),
+            other => prop_assert!(false, "unexpected item {:?}", other),
+        }
+    }
+
+    /// Literal edge cases: big numbers, quotes, unicode in strings.
+    #[test]
+    fn string_literals_roundtrip(s in "[a-zA-Z0-9 _%]{0,30}") {
+        let sql = format!("SELECT * FROM t WHERE t.name = '{s}'");
+        let stmt = parse_select(&sql).expect("quoted literal must parse");
+        prop_assert!(stmt.where_clause.is_some());
+    }
+}
+
+#[test]
+fn pathological_inputs_error_cleanly() {
+    for bad in [
+        "",
+        "SELECT",
+        "SELECT *",
+        "SELECT * FROM",
+        "SELECT * FROM t WHERE (a = 1",
+        "SELECT * FROM t WHERE a IN ()",
+        "SELECT * FROM t GROUP",
+        "SELECT COUNT( FROM t",
+        "SELECT * FROM t WHERE a BETWEEN 1",
+        "'unterminated",
+        "SELECT * FROM t; SELECT * FROM u",
+    ] {
+        assert!(parse_select(bad).is_err(), "should reject: {bad}");
+    }
+}

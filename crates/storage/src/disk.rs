@@ -1,0 +1,351 @@
+//! Chunk-streamed on-disk columnar format (§5.4 "on-disk" experiments).
+//!
+//! Layout (all little-endian, hand-rolled to avoid serde):
+//!
+//! ```text
+//! magic "RPTC" | u32 version | schema | u64 num_chunks | chunk*
+//! schema  = u32 nfields | (u32 name_len | name bytes | u8 dtype)*
+//! chunk   = u64 nrows | column*            (selection is flattened away)
+//! column  = u8 dtype | u8 has_validity | [validity bytes] | payload
+//! payload = Int64/Float64: raw 8-byte LE values
+//!           Utf8: (u32 len | bytes)*
+//!           Bool: raw bytes
+//! ```
+//!
+//! Tables are written as a stream of independent chunks so the reader can
+//! scan chunk-at-a-time without materializing the table — which is what the
+//! "on-disk" configuration measures.
+
+use crate::table::Table;
+use rpt_common::{
+    ColumnData, DataChunk, DataType, Error, Field, Result, Schema, Vector,
+};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"RPTC";
+const VERSION: u32 = 1;
+
+fn dtype_code(dt: DataType) -> u8 {
+    match dt {
+        DataType::Int64 => 0,
+        DataType::Float64 => 1,
+        DataType::Utf8 => 2,
+        DataType::Bool => 3,
+    }
+}
+
+fn dtype_from(code: u8) -> Result<DataType> {
+    Ok(match code {
+        0 => DataType::Int64,
+        1 => DataType::Float64,
+        2 => DataType::Utf8,
+        3 => DataType::Bool,
+        other => return Err(Error::Exec(format!("bad dtype code {other}"))),
+    })
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> Result<()> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> Result<()> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Serialize one (flattened) chunk.
+pub fn write_chunk(w: &mut impl Write, chunk: &DataChunk) -> Result<()> {
+    let flat = chunk.flattened();
+    write_u64(w, flat.num_rows() as u64)?;
+    for col in &flat.columns {
+        w.write_all(&[dtype_code(col.data_type())])?;
+        match &col.validity {
+            Some(m) => {
+                w.write_all(&[1])?;
+                let bytes: Vec<u8> = m.iter().map(|&b| b as u8).collect();
+                w.write_all(&bytes)?;
+            }
+            None => w.write_all(&[0])?,
+        }
+        match &col.data {
+            ColumnData::Int64(v) => {
+                for x in v {
+                    w.write_all(&x.to_le_bytes())?;
+                }
+            }
+            ColumnData::Float64(v) => {
+                for x in v {
+                    w.write_all(&x.to_le_bytes())?;
+                }
+            }
+            ColumnData::Utf8(v) => {
+                for s in v {
+                    write_u32(w, s.len() as u32)?;
+                    w.write_all(s.as_bytes())?;
+                }
+            }
+            ColumnData::Bool(v) => {
+                let bytes: Vec<u8> = v.iter().map(|&b| b as u8).collect();
+                w.write_all(&bytes)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize one chunk given its schema.
+pub fn read_chunk(r: &mut impl Read, schema: &Schema) -> Result<DataChunk> {
+    let nrows = read_u64(r)? as usize;
+    let mut columns = Vec::with_capacity(schema.len());
+    for field in &schema.fields {
+        let mut code = [0u8; 1];
+        r.read_exact(&mut code)?;
+        let dt = dtype_from(code[0])?;
+        if dt != field.data_type {
+            return Err(Error::Exec(format!(
+                "column `{}`: stored type {dt:?} != schema {:?}",
+                field.name, field.data_type
+            )));
+        }
+        let mut has_validity = [0u8; 1];
+        r.read_exact(&mut has_validity)?;
+        let validity = if has_validity[0] == 1 {
+            let mut bytes = vec![0u8; nrows];
+            r.read_exact(&mut bytes)?;
+            Some(bytes.into_iter().map(|b| b != 0).collect())
+        } else {
+            None
+        };
+        let data = match dt {
+            DataType::Int64 => {
+                let mut v = Vec::with_capacity(nrows);
+                let mut b = [0u8; 8];
+                for _ in 0..nrows {
+                    r.read_exact(&mut b)?;
+                    v.push(i64::from_le_bytes(b));
+                }
+                ColumnData::Int64(v)
+            }
+            DataType::Float64 => {
+                let mut v = Vec::with_capacity(nrows);
+                let mut b = [0u8; 8];
+                for _ in 0..nrows {
+                    r.read_exact(&mut b)?;
+                    v.push(f64::from_le_bytes(b));
+                }
+                ColumnData::Float64(v)
+            }
+            DataType::Utf8 => {
+                let mut v = Vec::with_capacity(nrows);
+                for _ in 0..nrows {
+                    let len = read_u32(r)? as usize;
+                    let mut bytes = vec![0u8; len];
+                    r.read_exact(&mut bytes)?;
+                    v.push(String::from_utf8(bytes).map_err(|e| {
+                        Error::Exec(format!("invalid utf8 in stored column: {e}"))
+                    })?);
+                }
+                ColumnData::Utf8(v)
+            }
+            DataType::Bool => {
+                let mut bytes = vec![0u8; nrows];
+                r.read_exact(&mut bytes)?;
+                ColumnData::Bool(bytes.into_iter().map(|b| b != 0).collect())
+            }
+        };
+        columns.push(Vector { data, validity });
+    }
+    Ok(DataChunk::new(columns))
+}
+
+fn write_schema(w: &mut impl Write, schema: &Schema) -> Result<()> {
+    write_u32(w, schema.len() as u32)?;
+    for f in &schema.fields {
+        write_u32(w, f.name.len() as u32)?;
+        w.write_all(f.name.as_bytes())?;
+        w.write_all(&[dtype_code(f.data_type)])?;
+    }
+    Ok(())
+}
+
+fn read_schema(r: &mut impl Read) -> Result<Schema> {
+    let n = read_u32(r)? as usize;
+    let mut fields = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = read_u32(r)? as usize;
+        let mut bytes = vec![0u8; len];
+        r.read_exact(&mut bytes)?;
+        let name = String::from_utf8(bytes)
+            .map_err(|e| Error::Exec(format!("invalid utf8 in field name: {e}")))?;
+        let mut code = [0u8; 1];
+        r.read_exact(&mut code)?;
+        fields.push(Field::new(name, dtype_from(code[0])?));
+    }
+    Ok(Schema::new(fields))
+}
+
+/// Write a full table to `path` as a chunk stream.
+pub fn write_table(table: &Table, path: &Path, chunk_size: usize) -> Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    write_schema(&mut w, &table.schema)?;
+    let chunks = table.chunks(chunk_size);
+    write_u64(&mut w, chunks.len() as u64)?;
+    for c in &chunks {
+        write_chunk(&mut w, c)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// A disk-resident table scanned chunk-at-a-time.
+pub struct DiskTable {
+    pub name: String,
+    pub schema: Schema,
+    reader: BufReader<File>,
+    remaining_chunks: u64,
+}
+
+impl DiskTable {
+    pub fn open(name: impl Into<String>, path: &Path) -> Result<DiskTable> {
+        let file = File::open(path)?;
+        let mut reader = BufReader::new(file);
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(Error::Exec(format!("bad magic in {}", path.display())));
+        }
+        let version = read_u32(&mut reader)?;
+        if version != VERSION {
+            return Err(Error::Exec(format!("unsupported version {version}")));
+        }
+        let schema = read_schema(&mut reader)?;
+        let remaining_chunks = read_u64(&mut reader)?;
+        Ok(DiskTable {
+            name: name.into(),
+            schema,
+            reader,
+            remaining_chunks,
+        })
+    }
+
+    /// Read the next chunk, or `None` at end of stream.
+    pub fn next_chunk(&mut self) -> Result<Option<DataChunk>> {
+        if self.remaining_chunks == 0 {
+            return Ok(None);
+        }
+        self.remaining_chunks -= 1;
+        Ok(Some(read_chunk(&mut self.reader, &self.schema)?))
+    }
+
+    /// Materialize the remainder into an in-memory table.
+    pub fn load(mut self) -> Result<Table> {
+        let mut out = DataChunk::empty_like(&self.schema);
+        while let Some(c) = self.next_chunk()? {
+            out.append(&c)?;
+        }
+        Table::from_chunk(self.name.clone(), self.schema.clone(), &out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpt_common::ScalarValue;
+
+    fn fixture() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("v", DataType::Float64),
+            Field::new("s", DataType::Utf8),
+            Field::new("b", DataType::Bool),
+        ]);
+        Table::new(
+            "fix",
+            schema,
+            vec![
+                Vector::from_i64((0..100).collect()),
+                Vector::from_f64((0..100).map(|i| i as f64 / 3.0).collect()),
+                Vector::from_utf8((0..100).map(|i| format!("s{i}")).collect()),
+                Vector::from_bool((0..100).map(|i| i % 3 == 0).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        let dir = std::env::temp_dir().join("rpt_disk_test_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.rptc");
+        let t = fixture();
+        write_table(&t, &path, 16).unwrap();
+        let loaded = DiskTable::open("fix", &path).unwrap().load().unwrap();
+        assert_eq!(loaded.num_rows(), 100);
+        for c in 0..4 {
+            for r in [0usize, 17, 99] {
+                assert_eq!(loaded.column(c).get(r), t.column(c).get(r), "col {c} row {r}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chunked_streaming() {
+        let dir = std::env::temp_dir().join("rpt_disk_test_stream");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.rptc");
+        write_table(&fixture(), &path, 30).unwrap();
+        let mut dt = DiskTable::open("fix", &path).unwrap();
+        let mut sizes = Vec::new();
+        while let Some(c) = dt.next_chunk().unwrap() {
+            sizes.push(c.num_rows());
+        }
+        assert_eq!(sizes, vec![30, 30, 30, 10]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validity_survives_roundtrip() {
+        let dir = std::env::temp_dir().join("rpt_disk_test_validity");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.rptc");
+        let schema = Schema::new(vec![Field::new("x", DataType::Int64)]);
+        let mut v = Vector::new_empty(DataType::Int64);
+        v.push(&ScalarValue::Int64(1)).unwrap();
+        v.push(&ScalarValue::Null).unwrap();
+        let t = Table::new("n", schema, vec![v]).unwrap();
+        write_table(&t, &path, 10).unwrap();
+        let loaded = DiskTable::open("n", &path).unwrap().load().unwrap();
+        assert_eq!(loaded.column(0).get(1), ScalarValue::Null);
+        assert_eq!(loaded.column(0).get(0), ScalarValue::Int64(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let dir = std::env::temp_dir().join("rpt_disk_test_magic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("junk");
+        std::fs::write(&path, b"NOPEnope").unwrap();
+        assert!(DiskTable::open("x", &path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

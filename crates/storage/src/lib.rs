@@ -1,0 +1,23 @@
+//! # rpt-storage
+//!
+//! Columnar table storage for the RPT engine:
+//!
+//! * [`table::Table`] — in-memory columnar tables (the paper's main-memory
+//!   setting, §5: "tables are pre-loaded and decompressed in the buffer
+//!   pool");
+//! * [`stats::TableStats`] — per-column min/max/distinct statistics feeding
+//!   the baseline optimizer's cardinality estimates;
+//! * [`disk`] — a simple chunk-streamed on-disk columnar format for the
+//!   §5.4 "on-disk" experiments;
+//! * [`spill`] — a memory-capped chunk buffer that spills to disk, used to
+//!   reproduce the "+spill" configuration where the materialized
+//!   intermediate results of the transfer phase do not fit in memory.
+
+pub mod disk;
+pub mod spill;
+pub mod stats;
+pub mod table;
+
+pub use spill::SpillBuffer;
+pub use stats::{ColumnStats, TableStats};
+pub use table::Table;

@@ -1,0 +1,225 @@
+//! Memory-capped chunk buffers that spill to disk.
+//!
+//! The "+spill" configuration of §5.4 limits available memory to ≈50% of
+//! RPT's peak usage so that the data chunks materialized after the forward
+//! pass (inside `CreateBF` operators) overflow to disk. [`SpillBuffer`]
+//! reproduces this: chunks are kept in memory until the cap is hit, then
+//! appended to a spill file; reading them back is a sequential scan —
+//! matching the paper's observation that backward-pass re-reads are cheap
+//! because they are sequential.
+
+use crate::disk::{read_chunk, write_chunk};
+use crate::table::chunk_size_bytes;
+use rpt_common::{DataChunk, Result, Schema};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Statistics about a buffer's spill behaviour (reported by Figure 15's
+/// harness).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpillStats {
+    pub chunks_in_memory: usize,
+    pub chunks_spilled: usize,
+    pub bytes_in_memory: usize,
+    pub bytes_spilled: usize,
+}
+
+/// A buffer of data chunks with a memory cap; overflow goes to a temp file.
+pub struct SpillBuffer {
+    schema: Schema,
+    mem_limit_bytes: usize,
+    in_memory: Vec<DataChunk>,
+    mem_bytes: usize,
+    spill_path: Option<PathBuf>,
+    spill_writer: Option<BufWriter<File>>,
+    stats: SpillStats,
+    spill_dir: PathBuf,
+}
+
+impl SpillBuffer {
+    /// `mem_limit_bytes = usize::MAX` disables spilling (pure in-memory
+    /// buffering, the default configuration).
+    pub fn new(schema: Schema, mem_limit_bytes: usize, spill_dir: impl Into<PathBuf>) -> Self {
+        SpillBuffer {
+            schema,
+            mem_limit_bytes,
+            in_memory: Vec::new(),
+            mem_bytes: 0,
+            spill_path: None,
+            spill_writer: None,
+            stats: SpillStats::default(),
+            spill_dir: spill_dir.into(),
+        }
+    }
+
+    /// Unbounded in-memory buffer.
+    pub fn unbounded(schema: Schema) -> Self {
+        SpillBuffer::new(schema, usize::MAX, std::env::temp_dir())
+    }
+
+    /// Append a chunk (flattens it first so spilled bytes are exact).
+    pub fn push(&mut self, chunk: DataChunk) -> Result<()> {
+        let flat = chunk.flattened();
+        if flat.num_rows() == 0 {
+            return Ok(());
+        }
+        let sz = chunk_size_bytes(&flat);
+        if self.mem_bytes + sz > self.mem_limit_bytes {
+            self.spill_chunk(&flat, sz)?;
+        } else {
+            self.mem_bytes += sz;
+            self.stats.chunks_in_memory += 1;
+            self.stats.bytes_in_memory += sz;
+            self.in_memory.push(flat);
+        }
+        Ok(())
+    }
+
+    fn spill_chunk(&mut self, chunk: &DataChunk, sz: usize) -> Result<()> {
+        if self.spill_writer.is_none() {
+            std::fs::create_dir_all(&self.spill_dir)?;
+            let id = SPILL_COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = self
+                .spill_dir
+                .join(format!("rpt_spill_{}_{id}.bin", std::process::id()));
+            let file = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&path)?;
+            self.spill_path = Some(path);
+            self.spill_writer = Some(BufWriter::new(file));
+        }
+        let w = self.spill_writer.as_mut().expect("writer just created");
+        write_chunk(w, chunk)?;
+        self.stats.chunks_spilled += 1;
+        self.stats.bytes_spilled += sz;
+        Ok(())
+    }
+
+    pub fn stats(&self) -> SpillStats {
+        self.stats
+    }
+
+    pub fn total_chunks(&self) -> usize {
+        self.stats.chunks_in_memory + self.stats.chunks_spilled
+    }
+
+    /// Finish writing and return all chunks in insertion-group order
+    /// (spilled chunks first, then in-memory ones). The backward pass and
+    /// join phase re-scan through this.
+    pub fn into_chunks(mut self) -> Result<Vec<DataChunk>> {
+        let mut out = Vec::with_capacity(self.total_chunks());
+        if let Some(mut w) = self.spill_writer.take() {
+            w.flush()?;
+            let mut file = w
+                .into_inner()
+                .map_err(|e| rpt_common::Error::Exec(format!("spill flush failed: {e}")))?;
+            file.seek(SeekFrom::Start(0))?;
+            let mut r = BufReader::new(file);
+            for _ in 0..self.stats.chunks_spilled {
+                out.push(read_chunk(&mut r, &self.schema)?);
+            }
+        }
+        out.append(&mut self.in_memory);
+        if let Some(p) = self.spill_path.take() {
+            std::fs::remove_file(p).ok();
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for SpillBuffer {
+    fn drop(&mut self) {
+        if let Some(p) = self.spill_path.take() {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpt_common::{DataType, Field, ScalarValue, Vector};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new("x", DataType::Int64)])
+    }
+
+    fn chunk(vals: Vec<i64>) -> DataChunk {
+        DataChunk::new(vec![Vector::from_i64(vals)])
+    }
+
+    #[test]
+    fn unbounded_keeps_everything_in_memory() {
+        let mut b = SpillBuffer::unbounded(schema());
+        b.push(chunk(vec![1, 2, 3])).unwrap();
+        b.push(chunk(vec![4])).unwrap();
+        assert_eq!(b.stats().chunks_spilled, 0);
+        let chunks = b.into_chunks().unwrap();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[1].value(0, 0), ScalarValue::Int64(4));
+    }
+
+    #[test]
+    fn tiny_limit_spills_and_restores_order_content() {
+        let dir = std::env::temp_dir().join("rpt_spill_test1");
+        let mut b = SpillBuffer::new(schema(), 16, &dir); // ~2 i64s
+        b.push(chunk(vec![1, 2])).unwrap(); // fits (16 bytes)
+        b.push(chunk(vec![3, 4])).unwrap(); // spills
+        b.push(chunk(vec![5])).unwrap(); // spills
+        let st = b.stats();
+        assert_eq!(st.chunks_in_memory, 1);
+        assert_eq!(st.chunks_spilled, 2);
+        assert!(st.bytes_spilled >= 24);
+        let chunks = b.into_chunks().unwrap();
+        // Spilled first, then in-memory.
+        let all: Vec<i64> = chunks
+            .iter()
+            .flat_map(|c| c.rows().into_iter().map(|r| r[0].as_i64().unwrap()))
+            .collect();
+        assert_eq!(all.len(), 5);
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 3, 4, 5]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_chunks_skipped() {
+        let mut b = SpillBuffer::unbounded(schema());
+        b.push(chunk(vec![])).unwrap();
+        assert_eq!(b.total_chunks(), 0);
+        assert!(b.into_chunks().unwrap().is_empty());
+    }
+
+    #[test]
+    fn spill_file_removed_after_consume() {
+        let dir = std::env::temp_dir().join("rpt_spill_test2");
+        let mut b = SpillBuffer::new(schema(), 0, &dir);
+        b.push(chunk(vec![1])).unwrap();
+        let path = b.spill_path.clone().unwrap();
+        assert!(path.exists());
+        let _ = b.into_chunks().unwrap();
+        assert!(!path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn selection_flattened_before_spill() {
+        let dir = std::env::temp_dir().join("rpt_spill_test3");
+        let mut b = SpillBuffer::new(schema(), 0, &dir);
+        let mut c = chunk(vec![10, 20, 30]);
+        c.set_selection(vec![2, 0]);
+        b.push(c).unwrap();
+        let chunks = b.into_chunks().unwrap();
+        assert_eq!(chunks[0].num_rows(), 2);
+        assert_eq!(chunks[0].value(0, 0), ScalarValue::Int64(30));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

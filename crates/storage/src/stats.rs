@@ -1,0 +1,206 @@
+//! Per-column statistics feeding the baseline optimizer's cardinality
+//! estimates (uniformity + independence + inclusion assumptions, §2.1).
+
+use crate::table::Table;
+use rpt_common::{ColumnData, ScalarValue, Vector};
+use std::collections::HashSet;
+
+/// Statistics for one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    pub min: ScalarValue,
+    pub max: ScalarValue,
+    /// Exact distinct count (laptop scale permits exactness; a real system
+    /// would use HyperLogLog).
+    pub distinct: u64,
+    pub null_count: u64,
+}
+
+impl ColumnStats {
+    pub fn compute(v: &Vector) -> ColumnStats {
+        let mut null_count = 0u64;
+        let valid = |i: usize| v.is_valid(i);
+        for i in 0..v.len() {
+            if !valid(i) {
+                null_count += 1;
+            }
+        }
+        let (min, max, distinct) = match &v.data {
+            ColumnData::Int64(vals) => {
+                let mut set = HashSet::new();
+                let mut mn = i64::MAX;
+                let mut mx = i64::MIN;
+                for (i, &x) in vals.iter().enumerate() {
+                    if valid(i) {
+                        set.insert(x);
+                        mn = mn.min(x);
+                        mx = mx.max(x);
+                    }
+                }
+                if set.is_empty() {
+                    (ScalarValue::Null, ScalarValue::Null, 0)
+                } else {
+                    (
+                        ScalarValue::Int64(mn),
+                        ScalarValue::Int64(mx),
+                        set.len() as u64,
+                    )
+                }
+            }
+            ColumnData::Float64(vals) => {
+                let mut set = HashSet::new();
+                let mut mn = f64::INFINITY;
+                let mut mx = f64::NEG_INFINITY;
+                for (i, &x) in vals.iter().enumerate() {
+                    if valid(i) {
+                        set.insert(x.to_bits());
+                        mn = mn.min(x);
+                        mx = mx.max(x);
+                    }
+                }
+                if set.is_empty() {
+                    (ScalarValue::Null, ScalarValue::Null, 0)
+                } else {
+                    (
+                        ScalarValue::Float64(mn),
+                        ScalarValue::Float64(mx),
+                        set.len() as u64,
+                    )
+                }
+            }
+            ColumnData::Utf8(vals) => {
+                let mut set: HashSet<&str> = HashSet::new();
+                let mut mn: Option<&str> = None;
+                let mut mx: Option<&str> = None;
+                for (i, x) in vals.iter().enumerate() {
+                    if valid(i) {
+                        set.insert(x.as_str());
+                        if mn.is_none_or(|m| x.as_str() < m) {
+                            mn = Some(x);
+                        }
+                        if mx.is_none_or(|m| x.as_str() > m) {
+                            mx = Some(x);
+                        }
+                    }
+                }
+                match (mn, mx) {
+                    (Some(a), Some(b)) => (
+                        ScalarValue::Utf8(a.to_string()),
+                        ScalarValue::Utf8(b.to_string()),
+                        set.len() as u64,
+                    ),
+                    _ => (ScalarValue::Null, ScalarValue::Null, 0),
+                }
+            }
+            ColumnData::Bool(vals) => {
+                let mut set = HashSet::new();
+                for (i, &x) in vals.iter().enumerate() {
+                    if valid(i) {
+                        set.insert(x);
+                    }
+                }
+                let distinct = set.len() as u64;
+                if distinct == 0 {
+                    (ScalarValue::Null, ScalarValue::Null, 0)
+                } else {
+                    (
+                        ScalarValue::Bool(!set.contains(&false)),
+                        ScalarValue::Bool(set.contains(&true)),
+                        distinct,
+                    )
+                }
+            }
+        };
+        ColumnStats {
+            min,
+            max,
+            distinct,
+            null_count,
+        }
+    }
+}
+
+/// Statistics for a whole table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    pub num_rows: u64,
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    pub fn compute(table: &Table) -> TableStats {
+        TableStats {
+            num_rows: table.num_rows() as u64,
+            columns: table.columns.iter().map(ColumnStats::compute).collect(),
+        }
+    }
+
+    pub fn column(&self, idx: usize) -> &ColumnStats {
+        &self.columns[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpt_common::{DataType, Field, Schema};
+
+    #[test]
+    fn int_stats() {
+        let s = ColumnStats::compute(&Vector::from_i64(vec![5, 1, 5, 9]));
+        assert_eq!(s.min, ScalarValue::Int64(1));
+        assert_eq!(s.max, ScalarValue::Int64(9));
+        assert_eq!(s.distinct, 3);
+        assert_eq!(s.null_count, 0);
+    }
+
+    #[test]
+    fn null_handling() {
+        let mut v = Vector::new_empty(DataType::Int64);
+        v.push(&ScalarValue::Int64(2)).unwrap();
+        v.push(&ScalarValue::Null).unwrap();
+        let s = ColumnStats::compute(&v);
+        assert_eq!(s.null_count, 1);
+        assert_eq!(s.distinct, 1);
+        assert_eq!(s.min, ScalarValue::Int64(2));
+    }
+
+    #[test]
+    fn utf8_stats() {
+        let s = ColumnStats::compute(&Vector::from_utf8(vec![
+            "banana".into(),
+            "apple".into(),
+            "apple".into(),
+        ]));
+        assert_eq!(s.min, ScalarValue::Utf8("apple".into()));
+        assert_eq!(s.max, ScalarValue::Utf8("banana".into()));
+        assert_eq!(s.distinct, 2);
+    }
+
+    #[test]
+    fn empty_column() {
+        let s = ColumnStats::compute(&Vector::from_f64(vec![]));
+        assert_eq!(s.distinct, 0);
+        assert!(s.min.is_null());
+    }
+
+    #[test]
+    fn table_stats() {
+        let t = Table::new(
+            "t",
+            Schema::new(vec![
+                Field::new("a", DataType::Int64),
+                Field::new("b", DataType::Bool),
+            ]),
+            vec![
+                Vector::from_i64(vec![1, 2, 2]),
+                Vector::from_bool(vec![true, true, false]),
+            ],
+        )
+        .unwrap();
+        let ts = TableStats::compute(&t);
+        assert_eq!(ts.num_rows, 3);
+        assert_eq!(ts.column(0).distinct, 2);
+        assert_eq!(ts.column(1).distinct, 2);
+    }
+}

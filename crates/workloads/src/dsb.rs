@@ -1,0 +1,49 @@
+//! DSB: the TPC-DS schema with skewed, correlated data (Ding et al.,
+//! VLDB 2021). We reuse the TPC-DS generator with Zipf(θ = 0.8) foreign
+//! keys on the fact tables — the property that makes DSB harder for
+//! cardinality estimation (and hence for join ordering) than uniform
+//! TPC-DS. The query templates are shared with TPC-DS, which matches how
+//! the paper reports DSB results (same template numbering, Appendix
+//! Figures 20/25/26/30/31).
+
+use crate::tpcds::generate;
+use crate::workload::Workload;
+
+/// Default Zipf skew for DSB fact-table foreign keys.
+pub const DSB_THETA: f64 = 0.8;
+
+/// Generate the DSB workload.
+pub fn dsb(sf: f64, seed: u64) -> Workload {
+    generate(sf, seed, DSB_THETA, "DSB")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_item_distribution() {
+        let w = dsb(0.1, 5);
+        let ss = w.tables.iter().find(|t| t.name == "store_sales").unwrap();
+        let items = ss.column_by_name("ss_item_sk").unwrap().i64_slice();
+        let mut counts = std::collections::HashMap::new();
+        for &i in items {
+            *counts.entry(i).or_insert(0usize) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        let avg = (items.len() as f64 / counts.len() as f64).ceil() as usize;
+        assert!(
+            max > avg * 10,
+            "DSB FK not skewed enough: max {max}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn same_schema_as_tpcds() {
+        let d = dsb(0.02, 1);
+        let t = crate::tpcds(0.02, 1);
+        assert_eq!(d.tables.len(), t.tables.len());
+        assert_eq!(d.queries.len(), t.queries.len());
+        assert_eq!(d.name, "DSB");
+    }
+}

@@ -1,0 +1,167 @@
+//! Data-generation helpers: seeded RNG, Zipf sampling, token strings.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rpt_common::{DataType, Field, Schema, Vector};
+use rpt_storage::Table;
+
+/// Deterministic RNG for a (workload, table) pair.
+pub fn table_rng(seed: u64, table_tag: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_97f4_a7c1) ^ table_tag)
+}
+
+/// A Zipf(θ) sampler over `0..n` using an inverse-CDF table. θ = 0 is
+/// uniform; θ ≈ 1 is the classic heavy skew DSB uses.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0);
+        let mut weights = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            let w = 1.0 / (k as f64).powf(theta);
+            total += w;
+            weights.push(total);
+        }
+        let cdf = weights.into_iter().map(|w| w / total).collect();
+        Zipf { cdf }
+    }
+
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// A "dictionary" string with an embedded token so LIKE '%token%'
+/// predicates have controllable selectivity: every ~`1/rate` rows contain
+/// `token`.
+pub fn token_string(rng: &mut StdRng, token: &str, rate: f64, idx: usize) -> String {
+    if rng.gen_bool(rate) {
+        format!("w{:04} {} w{:04}", rng.gen_range(0..10_000), token, idx % 997)
+    } else {
+        format!("w{:04} w{:04} w{:04}", rng.gen_range(0..10_000), rng.gen_range(0..10_000), idx % 997)
+    }
+}
+
+/// Pick uniformly from a fixed vocabulary.
+pub fn pick<'a>(rng: &mut StdRng, options: &[&'a str]) -> &'a str {
+    options[rng.gen_range(0..options.len())]
+}
+
+/// Builder for a columnar table.
+pub struct TableGen {
+    name: String,
+    fields: Vec<Field>,
+    columns: Vec<Vector>,
+}
+
+impl TableGen {
+    pub fn new(name: &str) -> TableGen {
+        TableGen {
+            name: name.to_string(),
+            fields: vec![],
+            columns: vec![],
+        }
+    }
+
+    pub fn int(mut self, name: &str, values: Vec<i64>) -> Self {
+        self.fields.push(Field::new(name, DataType::Int64));
+        self.columns.push(Vector::from_i64(values));
+        self
+    }
+
+    pub fn float(mut self, name: &str, values: Vec<f64>) -> Self {
+        self.fields.push(Field::new(name, DataType::Float64));
+        self.columns.push(Vector::from_f64(values));
+        self
+    }
+
+    pub fn text(mut self, name: &str, values: Vec<String>) -> Self {
+        self.fields.push(Field::new(name, DataType::Utf8));
+        self.columns.push(Vector::from_utf8(values));
+        self
+    }
+
+    pub fn build(self) -> Table {
+        Table::new(self.name, Schema::new(self.fields), self.columns)
+            .expect("generator produced consistent columns")
+    }
+}
+
+/// Scale a base row count by `sf`, with a floor.
+pub fn scaled(base: usize, sf: f64) -> usize {
+    ((base as f64 * sf) as usize).max(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_skews() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = table_rng(1, 1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // head much heavier than tail
+        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        // uniform theta=0: roughly flat
+        let z0 = Zipf::new(10, 0.0);
+        let mut c0 = [0usize; 10];
+        for _ in 0..10_000 {
+            c0[z0.sample(&mut rng)] += 1;
+        }
+        assert!(*c0.iter().min().unwrap() > 700);
+    }
+
+    #[test]
+    fn token_rate_respected() {
+        let mut rng = table_rng(2, 2);
+        let hits = (0..5000)
+            .filter(|&i| token_string(&mut rng, "NEEDLE", 0.1, i).contains("NEEDLE"))
+            .count();
+        assert!((300..700).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn deterministic_rng() {
+        let a: Vec<u32> = {
+            let mut r = table_rng(7, 3);
+            (0..5).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = table_rng(7, 3);
+            (0..5).map(|_| r.gen()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table_gen_builds() {
+        let t = TableGen::new("x")
+            .int("a", vec![1, 2])
+            .text("b", vec!["p".into(), "q".into()])
+            .float("c", vec![0.5, 1.5])
+            .build();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.num_columns(), 3);
+    }
+
+    #[test]
+    fn scaling_floor() {
+        assert_eq!(scaled(1000, 0.5), 500);
+        assert_eq!(scaled(10, 0.0001), 4);
+    }
+}

@@ -1,0 +1,473 @@
+//! Synthetic Join Order Benchmark (JOB): an IMDB-like schema with 13
+//! tables and 18 representative templates, including the ones the paper
+//! singles out — 2a (the Figure 11 case study), 3a (the Figure 1 running
+//! example), 16b/17e (bushy build-side regressions, Figure 10), and
+//! 32a/32b (the Small2Large-fragile shapes of Figure 8).
+//!
+//! Substitution note: the real JOB has 33 templates over the 21-table IMDB
+//! snapshot with up to 17 joins; we reproduce the join-graph *shapes* on a
+//! 13-table subset (largest template here: 29, with 9 joins). The
+//! robustness phenomena (intermediate blowups under bad orders, PT's
+//! incomplete reduction on 32a/b) are topology-driven and preserved.
+
+use crate::gen::{pick, scaled, table_rng, token_string, TableGen};
+use crate::workload::{QueryDef, Workload};
+use rand::Rng;
+
+const COUNTRIES: [&str; 6] = ["[us]", "[de]", "[gb]", "[fr]", "[jp]", "[in]"];
+const INFO_VALUES: [&str; 8] = [
+    "Germany", "USA", "Japan", "Sweden", "Denmark", "top 250 rank", "budget", "votes",
+];
+
+/// Generate the JOB workload. `sf = 1.0` ≈ 360k total tuples.
+pub fn job(sf: f64, seed: u64) -> Workload {
+    let n_title = scaled(25_000, sf);
+    let n_keyword = scaled(1_500, sf);
+    let n_mk = scaled(50_000, sf);
+    let n_mi = scaled(60_000, sf);
+    let n_mc = scaled(40_000, sf);
+    let n_cn = scaled(2_500, sf);
+    let n_ci = scaled(80_000, sf);
+    let n_name = scaled(10_000, sf);
+    let n_ml = scaled(5_000, sf);
+
+    let mut tables = Vec::new();
+
+    tables.push(
+        TableGen::new("kind_type")
+            .int("id", (0..7).collect())
+            .text(
+                "kind",
+                ["movie", "tv series", "tv movie", "video movie", "tv mini series", "video game", "episode"]
+                    .iter().map(|s| s.to_string()).collect(),
+            )
+            .build(),
+    );
+
+    tables.push(
+        TableGen::new("info_type")
+            .int("id", (0..20).collect())
+            .text("info", (0..20).map(|i| format!("info-type-{i:02}")).collect())
+            .build(),
+    );
+
+    tables.push(
+        TableGen::new("company_type")
+            .int("id", (0..4).collect())
+            .text(
+                "kind",
+                ["production companies", "distributors", "special effects", "misc"]
+                    .iter().map(|s| s.to_string()).collect(),
+            )
+            .build(),
+    );
+
+    tables.push(
+        TableGen::new("role_type")
+            .int("id", (0..12).collect())
+            .text("role", (0..12).map(|i| format!("role-{i:02}")).collect())
+            .build(),
+    );
+
+    {
+        let mut rng = table_rng(seed, 10);
+        tables.push(
+            TableGen::new("title")
+                .int("id", (0..n_title as i64).collect())
+                .text(
+                    "title",
+                    (0..n_title).map(|i| token_string(&mut rng, "Champion", 0.03, i)).collect(),
+                )
+                .int("kind_id", (0..n_title).map(|_| rng.gen_range(0..7)).collect())
+                .int(
+                    "production_year",
+                    (0..n_title).map(|_| rng.gen_range(1880..2021)).collect(),
+                )
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 11);
+        tables.push(
+            TableGen::new("keyword")
+                .int("id", (0..n_keyword as i64).collect())
+                .text(
+                    "keyword",
+                    (0..n_keyword)
+                        .map(|i| {
+                            if i == 42 {
+                                "character-name-in-title".to_string()
+                            } else {
+                                token_string(&mut rng, "sequel", 0.02, i)
+                            }
+                        })
+                        .collect(),
+                )
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 12);
+        tables.push(
+            TableGen::new("movie_keyword")
+                .int(
+                    "movie_id",
+                    (0..n_mk).map(|_| rng.gen_range(0..n_title as i64)).collect(),
+                )
+                .int(
+                    "keyword_id",
+                    (0..n_mk).map(|_| rng.gen_range(0..n_keyword as i64)).collect(),
+                )
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 13);
+        tables.push(
+            TableGen::new("movie_info")
+                .int(
+                    "movie_id",
+                    (0..n_mi).map(|_| rng.gen_range(0..n_title as i64)).collect(),
+                )
+                .int("info_type_id", (0..n_mi).map(|_| rng.gen_range(0..20)).collect())
+                .text(
+                    "info",
+                    (0..n_mi).map(|_| pick(&mut rng, &INFO_VALUES).to_string()).collect(),
+                )
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 14);
+        tables.push(
+            TableGen::new("company_name")
+                .int("id", (0..n_cn as i64).collect())
+                .text(
+                    "name",
+                    (0..n_cn).map(|i| token_string(&mut rng, "Film", 0.1, i)).collect(),
+                )
+                .text(
+                    "country_code",
+                    (0..n_cn).map(|_| pick(&mut rng, &COUNTRIES).to_string()).collect(),
+                )
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 15);
+        tables.push(
+            TableGen::new("movie_companies")
+                .int(
+                    "movie_id",
+                    (0..n_mc).map(|_| rng.gen_range(0..n_title as i64)).collect(),
+                )
+                .int(
+                    "company_id",
+                    (0..n_mc).map(|_| rng.gen_range(0..n_cn as i64)).collect(),
+                )
+                .int(
+                    "company_type_id",
+                    (0..n_mc).map(|_| rng.gen_range(0..4)).collect(),
+                )
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 16);
+        tables.push(
+            TableGen::new("name")
+                .int("id", (0..n_name as i64).collect())
+                .text(
+                    "name",
+                    (0..n_name).map(|i| token_string(&mut rng, "Smith", 0.05, i)).collect(),
+                )
+                .int("gender", (0..n_name).map(|_| rng.gen_range(0..2)).collect())
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 17);
+        tables.push(
+            TableGen::new("cast_info")
+                .int(
+                    "movie_id",
+                    (0..n_ci).map(|_| rng.gen_range(0..n_title as i64)).collect(),
+                )
+                .int(
+                    "person_id",
+                    (0..n_ci).map(|_| rng.gen_range(0..n_name as i64)).collect(),
+                )
+                .int("role_id", (0..n_ci).map(|_| rng.gen_range(0..12)).collect())
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 18);
+        tables.push(
+            TableGen::new("movie_link")
+                .int(
+                    "movie_id",
+                    (0..n_ml).map(|_| rng.gen_range(0..n_title as i64)).collect(),
+                )
+                .int(
+                    "linked_movie_id",
+                    (0..n_ml).map(|_| rng.gen_range(0..n_title as i64)).collect(),
+                )
+                .int("link_type_id", (0..n_ml).map(|_| rng.gen_range(0..17)).collect())
+                .build(),
+        );
+    }
+
+    Workload {
+        name: "JOB",
+        tables,
+        queries: queries(),
+    }
+}
+
+fn queries() -> Vec<QueryDef> {
+    vec![
+        QueryDef::new(
+            "1a",
+            "SELECT COUNT(*) AS cnt FROM company_type ct, movie_companies mc, title t, \
+                  info_type it, movie_info mi \
+             WHERE ct.id = mc.company_type_id AND mc.movie_id = t.id \
+               AND t.id = mi.movie_id AND it.id = mi.info_type_id \
+               AND ct.kind = 'production companies' AND it.info = 'info-type-03' \
+               AND t.production_year BETWEEN 1950 AND 2000",
+            4,
+            false,
+        ),
+        QueryDef::new(
+            "2a",
+            "SELECT COUNT(*) AS cnt FROM company_name cn, movie_companies mc, title t, \
+                  movie_keyword mk, keyword k \
+             WHERE cn.country_code = '[de]' AND k.keyword = 'character-name-in-title' \
+               AND cn.id = mc.company_id AND mc.movie_id = t.id \
+               AND t.id = mk.movie_id AND mk.keyword_id = k.id",
+            4,
+            false,
+        ),
+        QueryDef::new(
+            "3a",
+            "SELECT COUNT(*) AS cnt FROM keyword k, movie_keyword mk, title t, movie_info mi \
+             WHERE k.keyword LIKE '%sequel%' AND mk.keyword_id = k.id \
+               AND t.id = mk.movie_id AND mi.movie_id = t.id \
+               AND mi.info = 'Germany' AND t.production_year > 1990",
+            3,
+            false,
+        ),
+        QueryDef::new(
+            "4a",
+            "SELECT COUNT(*) AS cnt FROM info_type it, movie_info mi, keyword k, \
+                  movie_keyword mk, title t \
+             WHERE it.id = mi.info_type_id AND t.id = mi.movie_id \
+               AND t.id = mk.movie_id AND mk.keyword_id = k.id \
+               AND it.info = 'info-type-05' AND k.keyword LIKE '%sequel%' \
+               AND t.production_year > 2005",
+            4,
+            false,
+        ),
+        QueryDef::new(
+            "6a",
+            "SELECT COUNT(*) AS cnt FROM cast_info ci, keyword k, movie_keyword mk, \
+                  name n, title t \
+             WHERE k.keyword = 'character-name-in-title' AND mk.keyword_id = k.id \
+               AND t.id = mk.movie_id AND ci.movie_id = t.id AND ci.person_id = n.id \
+               AND t.production_year > 1980",
+            4,
+            false,
+        ),
+        QueryDef::new(
+            "8a",
+            "SELECT COUNT(*) AS cnt FROM cast_info ci, company_name cn, \
+                  movie_companies mc, name n, title t \
+             WHERE ci.movie_id = t.id AND mc.movie_id = t.id AND mc.company_id = cn.id \
+               AND ci.person_id = n.id AND cn.country_code = '[jp]' \
+               AND ci.role_id = 5 AND n.name LIKE '%Smith%'",
+            4,
+            false,
+        ),
+        QueryDef::new(
+            "10a",
+            "SELECT COUNT(*) AS cnt FROM cast_info ci, company_name cn, \
+                  movie_companies mc, role_type rt, title t \
+             WHERE ci.movie_id = t.id AND mc.movie_id = t.id AND mc.company_id = cn.id \
+               AND ci.role_id = rt.id AND cn.country_code = '[fr]' \
+               AND rt.role = 'role-02' AND t.production_year > 2000",
+            4,
+            false,
+        ),
+        QueryDef::new(
+            "11a",
+            "SELECT COUNT(*) AS cnt FROM company_name cn, movie_companies mc, \
+                  movie_keyword mk, movie_link ml, title t, keyword k \
+             WHERE cn.id = mc.company_id AND mc.movie_id = t.id AND t.id = mk.movie_id \
+               AND mk.keyword_id = k.id AND ml.movie_id = t.id \
+               AND cn.country_code = '[gb]' AND k.keyword LIKE '%sequel%' \
+               AND t.production_year BETWEEN 1950 AND 2010",
+            5,
+            false,
+        ),
+        QueryDef::new(
+            "13a",
+            "SELECT COUNT(*) AS cnt FROM info_type it, movie_info mi, title t, \
+                  kind_type kt, company_name cn, movie_companies mc, company_type ct \
+             WHERE mi.movie_id = t.id AND it.id = mi.info_type_id AND t.kind_id = kt.id \
+               AND mc.movie_id = t.id AND cn.id = mc.company_id \
+               AND ct.id = mc.company_type_id \
+               AND cn.country_code = '[de]' AND kt.kind = 'movie' \
+               AND it.info = 'info-type-07'",
+            6,
+            false,
+        ),
+        QueryDef::new(
+            "16b",
+            "SELECT COUNT(*) AS cnt FROM keyword k, movie_keyword mk, title t, \
+                  cast_info ci, name n, company_name cn, movie_companies mc \
+             WHERE k.keyword = 'character-name-in-title' AND mk.keyword_id = k.id \
+               AND t.id = mk.movie_id AND ci.movie_id = t.id AND ci.person_id = n.id \
+               AND mc.movie_id = t.id AND mc.company_id = cn.id",
+            6,
+            false,
+        ),
+        QueryDef::new(
+            "17e",
+            "SELECT COUNT(*) AS cnt FROM cast_info ci, company_name cn, keyword k, \
+                  movie_companies mc, movie_keyword mk, name n, title t \
+             WHERE cn.country_code = '[us]' AND k.keyword = 'character-name-in-title' \
+               AND ci.movie_id = t.id AND mc.movie_id = t.id AND mk.movie_id = t.id \
+               AND mc.company_id = cn.id AND mk.keyword_id = k.id \
+               AND ci.person_id = n.id",
+            6,
+            false,
+        ),
+        QueryDef::new(
+            "29",
+            "SELECT COUNT(*) AS cnt FROM cast_info ci, name n, title t, movie_keyword mk, \
+                  keyword k, movie_info mi, info_type it, movie_companies mc, \
+                  company_name cn, kind_type kt \
+             WHERE ci.movie_id = t.id AND ci.person_id = n.id AND mk.movie_id = t.id \
+               AND mk.keyword_id = k.id AND mi.movie_id = t.id \
+               AND mi.info_type_id = it.id AND mc.movie_id = t.id \
+               AND mc.company_id = cn.id AND t.kind_id = kt.id \
+               AND k.keyword LIKE '%sequel%' AND cn.country_code = '[us]' \
+               AND kt.kind = 'movie' AND t.production_year > 1995",
+            9,
+            false,
+        ),
+        QueryDef::new(
+            "14a",
+            "SELECT COUNT(*) AS cnt FROM info_type it, keyword k, kind_type kt, \
+                  movie_info mi, movie_keyword mk, title t \
+             WHERE mi.movie_id = t.id AND it.id = mi.info_type_id \
+               AND mk.movie_id = t.id AND mk.keyword_id = k.id AND t.kind_id = kt.id \
+               AND it.info = 'info-type-04' AND kt.kind = 'movie' \
+               AND k.keyword LIKE '%sequel%' AND t.production_year > 2000",
+            5,
+            false,
+        ),
+        QueryDef::new(
+            "18a",
+            "SELECT COUNT(*) AS cnt FROM cast_info ci, info_type it, movie_info mi, \
+                  name n, title t \
+             WHERE ci.movie_id = t.id AND mi.movie_id = t.id \
+               AND it.id = mi.info_type_id AND ci.person_id = n.id \
+               AND it.info = 'info-type-10' AND n.gender = 1 AND ci.role_id = 3",
+            4,
+            false,
+        ),
+        QueryDef::new(
+            "22a",
+            "SELECT COUNT(*) AS cnt FROM company_name cn, company_type ct, \
+                  info_type it, keyword k, kind_type kt, movie_companies mc, \
+                  movie_info mi, movie_keyword mk, title t \
+             WHERE mc.movie_id = t.id AND cn.id = mc.company_id \
+               AND ct.id = mc.company_type_id AND mi.movie_id = t.id \
+               AND it.id = mi.info_type_id AND mk.movie_id = t.id \
+               AND mk.keyword_id = k.id AND t.kind_id = kt.id \
+               AND cn.country_code NOT IN ('[us]') AND k.keyword LIKE '%sequel%' \
+               AND kt.kind IN ('movie', 'episode') AND mi.info IN ('Germany', 'Sweden') \
+               AND t.production_year > 1998",
+            8,
+            false,
+        ),
+        QueryDef::new(
+            "25a",
+            "SELECT COUNT(*) AS cnt FROM cast_info ci, info_type it, keyword k, \
+                  movie_info mi, movie_keyword mk, name n, title t \
+             WHERE ci.movie_id = t.id AND mi.movie_id = t.id AND mk.movie_id = t.id \
+               AND it.id = mi.info_type_id AND mk.keyword_id = k.id \
+               AND ci.person_id = n.id AND n.gender = 0 \
+               AND k.keyword LIKE '%sequel%' AND it.info = 'info-type-01'",
+            6,
+            false,
+        ),
+        QueryDef::new(
+            "32a",
+            "SELECT COUNT(*) AS cnt FROM keyword k, movie_keyword mk, movie_link ml, \
+                  title t1, title t2 \
+             WHERE mk.keyword_id = k.id AND mk.movie_id = ml.movie_id \
+               AND t1.id = ml.movie_id AND t2.id = ml.linked_movie_id \
+               AND k.keyword = 'character-name-in-title'",
+            4,
+            false,
+        ),
+        QueryDef::new(
+            "32b",
+            "SELECT COUNT(*) AS cnt FROM keyword k, movie_keyword mk, movie_link ml, \
+                  title t1, title t2 \
+             WHERE mk.keyword_id = k.id AND mk.movie_id = ml.movie_id \
+               AND t1.id = ml.movie_id AND t2.id = ml.linked_movie_id \
+               AND k.keyword LIKE '%sequel%' AND t2.production_year > 2000",
+            4,
+            false,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_complete_for_queries() {
+        let w = job(0.02, 3);
+        assert_eq!(w.tables.len(), 13);
+        for name in [
+            "title", "keyword", "movie_keyword", "movie_info", "info_type",
+            "company_name", "movie_companies", "company_type", "cast_info",
+            "name", "movie_link", "kind_type", "role_type",
+        ] {
+            assert!(w.tables.iter().any(|t| t.name == name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn eighteen_templates_all_acyclic() {
+        let w = job(0.02, 3);
+        assert_eq!(w.queries.len(), 18);
+        assert_eq!(w.acyclic_queries().len(), 18);
+        assert!(w.query("17e").is_some());
+        assert!(w.query("32a").is_some());
+        assert_eq!(w.query("29").unwrap().num_joins, 9);
+    }
+
+    #[test]
+    fn special_keyword_exists() {
+        let w = job(0.05, 9);
+        let k = w.tables.iter().find(|t| t.name == "keyword").unwrap();
+        let kw = k.column_by_name("keyword").unwrap().utf8_slice();
+        assert!(kw.iter().any(|s| s == "character-name-in-title"));
+        let sequels = kw.iter().filter(|s| s.contains("sequel")).count();
+        assert!(sequels > 0, "no sequel keywords generated");
+    }
+}

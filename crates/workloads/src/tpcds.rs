@@ -1,0 +1,594 @@
+//! Synthetic TPC-DS subset: 13 tables, 17 representative templates
+//! covering the special cases §5.1.1 discusses:
+//!
+//! * **q13 / q48** — OR-of-conjunction predicates spanning relations that
+//!   cannot be pushed below the joins (residual predicates);
+//! * **q29** — α-acyclic but *not* γ-acyclic (a size-3 γ-cycle through the
+//!   composite keys of `store_sales` / `store_returns` / `catalog_sales`);
+//! * **q54 / q83** — hub-and-spokes shapes where Small2Large produces an
+//!   incomplete reduction (Figure 8);
+//! * **q19 / q24 / q46 / q64 / q72** — genuinely cyclic join graphs (red in the
+//!   paper's figures; RPT offers no guarantee).
+//!
+//! The same generator parameterized with Zipf skew θ produces the DSB
+//! workload (see [`dsb()`](crate::dsb::dsb)).
+
+use crate::gen::{pick, scaled, table_rng, Zipf, TableGen};
+use crate::workload::{QueryDef, Workload};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const CATEGORIES: [&str; 10] = [
+    "CAT00", "CAT01", "CAT02", "CAT03", "CAT04", "CAT05", "CAT06", "CAT07", "CAT08", "CAT09",
+];
+const STATES: [&str; 10] = ["CA", "NY", "TX", "WA", "IL", "GA", "OH", "MI", "PA", "FL"];
+
+/// Foreign-key sampler: uniform (TPC-DS) or Zipf-skewed (DSB).
+fn fk(rng: &mut StdRng, zipf: Option<&Zipf>, n: usize) -> i64 {
+    match zipf {
+        Some(z) => z.sample(rng) as i64,
+        None => rng.gen_range(0..n as i64),
+    }
+}
+
+/// Shared generator for TPC-DS (θ = 0 → uniform) and DSB (θ > 0 → skew).
+pub(crate) fn generate(sf: f64, seed: u64, theta: f64, name: &'static str) -> Workload {
+    let n_date = 2556;
+    let n_item = scaled(2_000, sf);
+    let n_customer = scaled(2_000, sf);
+    let n_addr = scaled(1_000, sf);
+    let n_cd = 500;
+    let n_hd = 100;
+    let n_store = 20;
+    let n_wh = 10;
+    let n_city = 50;
+    let n_ss = scaled(60_000, sf);
+    let n_sr = scaled(6_000, sf);
+    let n_cs = scaled(30_000, sf);
+    let n_ws = scaled(15_000, sf);
+    let n_inv = scaled(8_000, sf);
+
+    let z_item = (theta > 0.0).then(|| Zipf::new(n_item, theta));
+    let z_cust = (theta > 0.0).then(|| Zipf::new(n_customer, theta));
+    let z_date = (theta > 0.0).then(|| Zipf::new(n_date, theta * 0.5));
+
+    let mut tables = Vec::new();
+
+    {
+        let mut rng = table_rng(seed, 30);
+        tables.push(
+            TableGen::new("date_dim")
+                .int("d_date_sk", (0..n_date as i64).collect())
+                .int(
+                    "d_year",
+                    (0..n_date).map(|i| 1998 + (i / 365) as i64).collect(),
+                )
+                .int("d_moy", (0..n_date).map(|i| (1 + (i / 30) % 12) as i64).collect())
+                .int("d_dow", (0..n_date).map(|i| (i % 7) as i64).collect())
+                .float("d_noise", (0..n_date).map(|_| rng.gen()).collect())
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 31);
+        tables.push(
+            TableGen::new("item")
+                .int("i_item_sk", (0..n_item as i64).collect())
+                .text(
+                    "i_category",
+                    (0..n_item).map(|_| pick(&mut rng, &CATEGORIES).to_string()).collect(),
+                )
+                .text(
+                    "i_brand",
+                    (0..n_item).map(|_| format!("Brand{:02}", rng.gen_range(0..50))).collect(),
+                )
+                .float(
+                    "i_current_price",
+                    (0..n_item).map(|_| rng.gen_range(0.5..300.0)).collect(),
+                )
+                .int("i_manager_id", (0..n_item).map(|_| rng.gen_range(0..100)).collect())
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 32);
+        tables.push(
+            TableGen::new("customer")
+                .int("c_customer_sk", (0..n_customer as i64).collect())
+                .int(
+                    "c_current_addr_sk",
+                    (0..n_customer).map(|_| rng.gen_range(0..n_addr as i64)).collect(),
+                )
+                .int(
+                    "c_current_cdemo_sk",
+                    (0..n_customer).map(|_| rng.gen_range(0..n_cd as i64)).collect(),
+                )
+                .int(
+                    "c_birth_year",
+                    (0..n_customer).map(|_| rng.gen_range(1930..2000)).collect(),
+                )
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 33);
+        tables.push(
+            TableGen::new("customer_address")
+                .int("ca_address_sk", (0..n_addr as i64).collect())
+                .text(
+                    "ca_state",
+                    (0..n_addr).map(|_| pick(&mut rng, &STATES).to_string()).collect(),
+                )
+                .int("ca_city_id", (0..n_addr).map(|_| rng.gen_range(0..n_city as i64)).collect())
+                .float(
+                    "ca_gmt_offset",
+                    (0..n_addr).map(|_| rng.gen_range(-10.0..0.0)).collect(),
+                )
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 34);
+        tables.push(
+            TableGen::new("customer_demographics")
+                .int("cd_demo_sk", (0..n_cd as i64).collect())
+                .text(
+                    "cd_gender",
+                    (0..n_cd).map(|_| pick(&mut rng, &["M", "F"]).to_string()).collect(),
+                )
+                .text(
+                    "cd_marital_status",
+                    (0..n_cd).map(|_| pick(&mut rng, &["M", "S", "D", "W", "U"]).to_string()).collect(),
+                )
+                .text(
+                    "cd_education_status",
+                    (0..n_cd)
+                        .map(|_| {
+                            pick(&mut rng, &["Primary", "Secondary", "College", "2 yr Degree", "4 yr Degree", "Advanced"]).to_string()
+                        })
+                        .collect(),
+                )
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 35);
+        tables.push(
+            TableGen::new("household_demographics")
+                .int("hd_demo_sk", (0..n_hd as i64).collect())
+                .int("hd_dep_count", (0..n_hd).map(|_| rng.gen_range(0..10)).collect())
+                .text(
+                    "hd_buy_potential",
+                    (0..n_hd)
+                        .map(|_| pick(&mut rng, &[">10000", "5001-10000", "1001-5000", "501-1000", "0-500"]).to_string())
+                        .collect(),
+                )
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 36);
+        tables.push(
+            TableGen::new("store")
+                .int("s_store_sk", (0..n_store as i64).collect())
+                .text(
+                    "s_state",
+                    (0..n_store).map(|_| pick(&mut rng, &STATES).to_string()).collect(),
+                )
+                .int("s_city_id", (0..n_store).map(|_| rng.gen_range(0..n_city as i64)).collect())
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 37);
+        tables.push(
+            TableGen::new("warehouse")
+                .int("w_warehouse_sk", (0..n_wh as i64).collect())
+                .int("w_city_id", (0..n_wh).map(|_| rng.gen_range(0..n_city as i64)).collect())
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 38);
+        tables.push(
+            TableGen::new("store_sales")
+                .int(
+                    "ss_sold_date_sk",
+                    (0..n_ss).map(|_| fk(&mut rng, z_date.as_ref(), n_date)).collect(),
+                )
+                .int(
+                    "ss_item_sk",
+                    (0..n_ss).map(|_| fk(&mut rng, z_item.as_ref(), n_item)).collect(),
+                )
+                .int(
+                    "ss_customer_sk",
+                    (0..n_ss).map(|_| fk(&mut rng, z_cust.as_ref(), n_customer)).collect(),
+                )
+                .int(
+                    "ss_cdemo_sk",
+                    (0..n_ss).map(|_| rng.gen_range(0..n_cd as i64)).collect(),
+                )
+                .int(
+                    "ss_hdemo_sk",
+                    (0..n_ss).map(|_| rng.gen_range(0..n_hd as i64)).collect(),
+                )
+                .int(
+                    "ss_addr_sk",
+                    (0..n_ss).map(|_| rng.gen_range(0..n_addr as i64)).collect(),
+                )
+                .int(
+                    "ss_store_sk",
+                    (0..n_ss).map(|_| rng.gen_range(0..n_store as i64)).collect(),
+                )
+                .int("ss_ticket_number", (0..n_ss).map(|i| (i / 3) as i64).collect())
+                .int("ss_quantity", (0..n_ss).map(|_| rng.gen_range(1..101)).collect())
+                .float(
+                    "ss_sales_price",
+                    (0..n_ss).map(|_| rng.gen_range(0.5..200.0)).collect(),
+                )
+                .float(
+                    "ss_net_profit",
+                    (0..n_ss).map(|_| rng.gen_range(-100.0..300.0)).collect(),
+                )
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 39);
+        tables.push(
+            TableGen::new("store_returns")
+                .int(
+                    "sr_returned_date_sk",
+                    (0..n_sr).map(|_| fk(&mut rng, z_date.as_ref(), n_date)).collect(),
+                )
+                .int(
+                    "sr_item_sk",
+                    (0..n_sr).map(|_| fk(&mut rng, z_item.as_ref(), n_item)).collect(),
+                )
+                .int(
+                    "sr_customer_sk",
+                    (0..n_sr).map(|_| fk(&mut rng, z_cust.as_ref(), n_customer)).collect(),
+                )
+                .int(
+                    "sr_ticket_number",
+                    (0..n_sr).map(|_| rng.gen_range(0..(n_ss / 3).max(1) as i64)).collect(),
+                )
+                .int(
+                    "sr_return_quantity",
+                    (0..n_sr).map(|_| rng.gen_range(1..51)).collect(),
+                )
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 40);
+        tables.push(
+            TableGen::new("catalog_sales")
+                .int(
+                    "cs_sold_date_sk",
+                    (0..n_cs).map(|_| fk(&mut rng, z_date.as_ref(), n_date)).collect(),
+                )
+                .int(
+                    "cs_item_sk",
+                    (0..n_cs).map(|_| fk(&mut rng, z_item.as_ref(), n_item)).collect(),
+                )
+                .int(
+                    "cs_bill_customer_sk",
+                    (0..n_cs).map(|_| fk(&mut rng, z_cust.as_ref(), n_customer)).collect(),
+                )
+                .int("cs_quantity", (0..n_cs).map(|_| rng.gen_range(1..101)).collect())
+                .float(
+                    "cs_list_price",
+                    (0..n_cs).map(|_| rng.gen_range(1.0..300.0)).collect(),
+                )
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 41);
+        tables.push(
+            TableGen::new("web_sales")
+                .int(
+                    "ws_sold_date_sk",
+                    (0..n_ws).map(|_| fk(&mut rng, z_date.as_ref(), n_date)).collect(),
+                )
+                .int(
+                    "ws_item_sk",
+                    (0..n_ws).map(|_| fk(&mut rng, z_item.as_ref(), n_item)).collect(),
+                )
+                .int(
+                    "ws_bill_customer_sk",
+                    (0..n_ws).map(|_| fk(&mut rng, z_cust.as_ref(), n_customer)).collect(),
+                )
+                .int("ws_quantity", (0..n_ws).map(|_| rng.gen_range(1..101)).collect())
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 42);
+        tables.push(
+            TableGen::new("inventory")
+                .int(
+                    "inv_item_sk",
+                    (0..n_inv).map(|_| fk(&mut rng, z_item.as_ref(), n_item)).collect(),
+                )
+                .int(
+                    "inv_warehouse_sk",
+                    (0..n_inv).map(|_| rng.gen_range(0..n_wh as i64)).collect(),
+                )
+                .int(
+                    "inv_quantity_on_hand",
+                    (0..n_inv).map(|_| rng.gen_range(0..1000)).collect(),
+                )
+                .build(),
+        );
+    }
+
+    Workload {
+        name,
+        tables,
+        queries: queries(),
+    }
+}
+
+/// TPC-DS with uniform foreign keys.
+pub fn tpcds(sf: f64, seed: u64) -> Workload {
+    generate(sf, seed, 0.0, "TPC-DS")
+}
+
+fn queries() -> Vec<QueryDef> {
+    vec![
+        QueryDef::new(
+            "q3",
+            "SELECT d.d_year, COUNT(*) AS cnt, SUM(ss.ss_net_profit) AS profit \
+             FROM store_sales ss, date_dim d, item i \
+             WHERE ss.ss_sold_date_sk = d.d_date_sk AND ss.ss_item_sk = i.i_item_sk \
+               AND d.d_moy = 11 AND i.i_manager_id = 8 GROUP BY d.d_year",
+            2,
+            false,
+        ),
+        QueryDef::new(
+            "q7",
+            "SELECT COUNT(*) AS cnt, AVG(ss.ss_quantity) AS qty \
+             FROM store_sales ss, customer_demographics cd, date_dim d, item i \
+             WHERE ss.ss_sold_date_sk = d.d_date_sk AND ss.ss_item_sk = i.i_item_sk \
+               AND ss.ss_cdemo_sk = cd.cd_demo_sk AND cd.cd_gender = 'M' \
+               AND cd.cd_marital_status = 'S' AND d.d_year = 2000",
+            3,
+            false,
+        ),
+        QueryDef::new(
+            "q13",
+            "SELECT AVG(ss.ss_quantity) AS q, COUNT(*) AS cnt \
+             FROM store_sales ss, store s, customer_demographics cd, \
+                  household_demographics hd, customer_address ca, date_dim d \
+             WHERE ss.ss_store_sk = s.s_store_sk AND ss.ss_sold_date_sk = d.d_date_sk \
+               AND ss.ss_cdemo_sk = cd.cd_demo_sk AND ss.ss_hdemo_sk = hd.hd_demo_sk \
+               AND ss.ss_addr_sk = ca.ca_address_sk AND d.d_year = 2001 \
+               AND ((cd.cd_marital_status = 'M' AND ss.ss_sales_price BETWEEN 100 AND 150) \
+                 OR (cd.cd_marital_status = 'S' AND ss.ss_sales_price BETWEEN 50 AND 100) \
+                 OR (cd.cd_marital_status = 'W' AND ss.ss_sales_price BETWEEN 150 AND 200))",
+            5,
+            false,
+        ),
+        QueryDef::new(
+            "q19",
+            "SELECT COUNT(*) AS cnt, SUM(ss.ss_net_profit) AS profit \
+             FROM store_sales ss, item i, customer c, customer_address ca, store s \
+             WHERE ss.ss_item_sk = i.i_item_sk AND ss.ss_customer_sk = c.c_customer_sk \
+               AND c.c_current_addr_sk = ca.ca_address_sk \
+               AND ca.ca_city_id = s.s_city_id AND ss.ss_store_sk = s.s_store_sk \
+               AND i.i_manager_id = 8",
+            4,
+            true, // 4-cycle ss → c → ca → s → ss
+        ),
+        QueryDef::new(
+            "q29",
+            "SELECT COUNT(*) AS cnt, SUM(ss.ss_quantity) AS qty \
+             FROM store_sales ss, store_returns sr, catalog_sales cs, date_dim d, item i \
+             WHERE ss.ss_item_sk = sr.sr_item_sk \
+               AND ss.ss_ticket_number = sr.sr_ticket_number \
+               AND ss.ss_item_sk = cs.cs_item_sk \
+               AND ss.ss_customer_sk = cs.cs_bill_customer_sk \
+               AND ss.ss_sold_date_sk = d.d_date_sk AND ss.ss_item_sk = i.i_item_sk \
+               AND d.d_moy = 4",
+            4,
+            false, // α-acyclic but NOT γ-acyclic (γ-cycle ss/sr/cs)
+        ),
+        QueryDef::new(
+            "q42",
+            "SELECT d.d_year, i.i_category, COUNT(*) AS cnt \
+             FROM date_dim d, store_sales ss, item i \
+             WHERE ss.ss_sold_date_sk = d.d_date_sk AND ss.ss_item_sk = i.i_item_sk \
+               AND i.i_manager_id = 1 AND d.d_moy = 11 AND d.d_year = 2000 \
+             GROUP BY d.d_year, i.i_category",
+            2,
+            false,
+        ),
+        QueryDef::new(
+            "q46",
+            "SELECT COUNT(*) AS cnt \
+             FROM store_sales ss, customer c, customer_address ca, store s, \
+                  household_demographics hd \
+             WHERE ss.ss_customer_sk = c.c_customer_sk \
+               AND c.c_current_addr_sk = ca.ca_address_sk \
+               AND ca.ca_city_id = s.s_city_id AND ss.ss_store_sk = s.s_store_sk \
+               AND ss.ss_hdemo_sk = hd.hd_demo_sk AND hd.hd_dep_count = 4",
+            4,
+            true,
+        ),
+        QueryDef::new(
+            "q48",
+            "SELECT SUM(ss.ss_quantity) AS qty, COUNT(*) AS cnt \
+             FROM store_sales ss, store s, customer_demographics cd, \
+                  customer_address ca, date_dim d \
+             WHERE ss.ss_store_sk = s.s_store_sk AND ss.ss_sold_date_sk = d.d_date_sk \
+               AND ss.ss_cdemo_sk = cd.cd_demo_sk AND ss.ss_addr_sk = ca.ca_address_sk \
+               AND d.d_year = 1999 \
+               AND ((cd.cd_education_status = 'College' AND ss.ss_sales_price < 100) \
+                 OR (cd.cd_education_status = 'Advanced' AND ss.ss_sales_price > 150)) \
+               AND (ca.ca_state IN ('CA', 'TX') OR ss.ss_net_profit > 250)",
+            4,
+            false,
+        ),
+        QueryDef::new(
+            "q24",
+            "SELECT COUNT(*) AS cnt \
+             FROM store_sales ss, store_returns sr, store s, customer_address ca, \
+                  customer c \
+             WHERE ss.ss_item_sk = sr.sr_item_sk \
+               AND ss.ss_ticket_number = sr.sr_ticket_number \
+               AND ss.ss_store_sk = s.s_store_sk AND ca.ca_city_id = s.s_city_id \
+               AND c.c_current_addr_sk = ca.ca_address_sk \
+               AND ss.ss_customer_sk = c.c_customer_sk \
+               AND sr.sr_return_quantity > 10",
+            4,
+            true, // store/address/customer city cycle + composite ss↔sr edge
+        ),
+        QueryDef::new(
+            "q52",
+            "SELECT d.d_year, i.i_brand, COUNT(*) AS cnt \
+             FROM date_dim d, store_sales ss, item i \
+             WHERE ss.ss_sold_date_sk = d.d_date_sk AND ss.ss_item_sk = i.i_item_sk \
+               AND i.i_manager_id = 1 AND d.d_moy = 12 AND d.d_year = 1999 \
+             GROUP BY d.d_year, i.i_brand",
+            2,
+            false,
+        ),
+        QueryDef::new(
+            "q54",
+            "SELECT COUNT(*) AS cnt \
+             FROM customer c, store_sales ss, web_sales ws, date_dim d \
+             WHERE ss.ss_customer_sk = c.c_customer_sk \
+               AND ws.ws_bill_customer_sk = c.c_customer_sk \
+               AND ws.ws_sold_date_sk = d.d_date_sk \
+               AND d.d_year = 2000 AND d.d_moy = 5 AND ws.ws_quantity > 80",
+            3,
+            false, // hub `customer` smaller than both sales spokes: PT-fragile
+        ),
+        QueryDef::new(
+            "q55",
+            "SELECT i.i_brand, COUNT(*) AS cnt \
+             FROM date_dim d, store_sales ss, item i \
+             WHERE ss.ss_sold_date_sk = d.d_date_sk AND ss.ss_item_sk = i.i_item_sk \
+               AND i.i_manager_id = 28 AND d.d_moy = 11 GROUP BY i.i_brand",
+            2,
+            false,
+        ),
+        QueryDef::new(
+            "q64",
+            "SELECT COUNT(*) AS cnt \
+             FROM store_sales ss, store_returns sr, customer c, customer_address ca, \
+                  store s, item i \
+             WHERE ss.ss_item_sk = sr.sr_item_sk \
+               AND ss.ss_ticket_number = sr.sr_ticket_number \
+               AND ss.ss_customer_sk = c.c_customer_sk \
+               AND c.c_current_addr_sk = ca.ca_address_sk \
+               AND ca.ca_city_id = s.s_city_id AND ss.ss_store_sk = s.s_store_sk \
+               AND ss.ss_item_sk = i.i_item_sk AND i.i_current_price > 200",
+            5,
+            true,
+        ),
+        QueryDef::new(
+            "q72",
+            "SELECT COUNT(*) AS cnt \
+             FROM catalog_sales cs, inventory inv, warehouse w, customer_address ca, \
+                  customer c \
+             WHERE cs.cs_item_sk = inv.inv_item_sk \
+               AND inv.inv_warehouse_sk = w.w_warehouse_sk \
+               AND w.w_city_id = ca.ca_city_id \
+               AND ca.ca_address_sk = c.c_current_addr_sk \
+               AND c.c_customer_sk = cs.cs_bill_customer_sk \
+               AND inv.inv_quantity_on_hand < 100",
+            4,
+            true, // 5-cycle cs → inv → w → ca → c → cs
+        ),
+        QueryDef::new(
+            "q79",
+            "SELECT COUNT(*) AS cnt, SUM(ss.ss_net_profit) AS profit \
+             FROM customer c, store_sales ss, store s, household_demographics hd \
+             WHERE ss.ss_customer_sk = c.c_customer_sk \
+               AND ss.ss_store_sk = s.s_store_sk AND ss.ss_hdemo_sk = hd.hd_demo_sk \
+               AND hd.hd_dep_count = 8 AND s.s_state IN ('CA', 'TX', 'NY')",
+            3,
+            false,
+        ),
+        QueryDef::new(
+            "q83",
+            "SELECT COUNT(*) AS cnt \
+             FROM store_returns sr, item i, catalog_sales cs, date_dim d \
+             WHERE sr.sr_item_sk = i.i_item_sk AND cs.cs_item_sk = i.i_item_sk \
+               AND sr.sr_returned_date_sk = d.d_date_sk \
+               AND sr.sr_return_quantity < 3 AND d.d_year = 2000",
+            3,
+            false, // hub `item` smaller than both spokes: PT-fragile
+        ),
+        QueryDef::new(
+            "q98",
+            "SELECT i.i_category, COUNT(*) AS cnt, SUM(ss.ss_sales_price) AS revenue \
+             FROM store_sales ss, item i, date_dim d \
+             WHERE ss.ss_item_sk = i.i_item_sk AND ss.ss_sold_date_sk = d.d_date_sk \
+               AND i.i_category IN ('CAT01', 'CAT04', 'CAT07') \
+               AND d.d_year = 1999 GROUP BY i.i_category",
+            2,
+            false,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_and_queries() {
+        let w = tpcds(0.02, 5);
+        assert_eq!(w.tables.len(), 13);
+        assert_eq!(w.queries.len(), 17);
+        let cyclic: Vec<&str> = w
+            .queries
+            .iter()
+            .filter(|q| q.cyclic)
+            .map(|q| q.id.as_str())
+            .collect();
+        let mut sorted = cyclic.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec!["q19", "q24", "q46", "q64", "q72"]);
+    }
+
+    #[test]
+    fn ticket_numbers_shared_between_ss_and_sr() {
+        let w = tpcds(0.05, 5);
+        let ss = w.tables.iter().find(|t| t.name == "store_sales").unwrap();
+        let sr = w.tables.iter().find(|t| t.name == "store_returns").unwrap();
+        let ss_max = *ss.column_by_name("ss_ticket_number").unwrap().i64_slice().iter().max().unwrap();
+        let sr_max = *sr.column_by_name("sr_ticket_number").unwrap().i64_slice().iter().max().unwrap();
+        assert!(sr_max <= ss_max, "sr tickets outside ss domain");
+    }
+
+    #[test]
+    fn uniform_item_distribution() {
+        let w = tpcds(0.1, 5);
+        let ss = w.tables.iter().find(|t| t.name == "store_sales").unwrap();
+        let items = ss.column_by_name("ss_item_sk").unwrap().i64_slice();
+        let mut counts = std::collections::HashMap::new();
+        for &i in items {
+            *counts.entry(i).or_insert(0usize) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        let avg = items.len() / counts.len();
+        assert!(max < avg * 6, "uniform FK unexpectedly skewed: max {max} avg {avg}");
+    }
+}

@@ -1,0 +1,421 @@
+//! Synthetic TPC-H: same 8-table schema and PK–FK topology, laptop-scale
+//! row counts, and the join shapes of the queries the paper evaluates
+//! (every TPC-H query with ≥ 2 joins: 2, 3, 5, 7, 8, 9, 10, 11, 16, 18,
+//! 20, 21; Q5 is the cyclic one, red in Figure 6a).
+//!
+//! Dates are day numbers in `0..2556` (7 "years" of 365 days + leap-ish
+//! padding); monetary values are floats.
+
+use crate::gen::{pick, scaled, table_rng, token_string, TableGen};
+use crate::workload::{QueryDef, Workload};
+use rand::Rng;
+
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT", "5-LOW"];
+const STATUSES: [&str; 3] = ["F", "O", "P"];
+const FLAGS: [&str; 3] = ["A", "N", "R"];
+const TYPES: [&str; 6] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER", "PROMO"];
+
+/// Generate the TPC-H workload. `sf = 1.0` ≈ 60k lineitems (≈ TPC-H
+/// SF 0.01 row ratios).
+pub fn tpch(sf: f64, seed: u64) -> Workload {
+    let n_supplier = scaled(100, sf);
+    let n_customer = scaled(1500, sf);
+    let n_part = scaled(2000, sf);
+    let n_orders = scaled(15_000, sf);
+    let n_lineitem = scaled(60_000, sf);
+    let n_partsupp = n_part * 4;
+
+    let mut tables = Vec::new();
+
+    // region / nation are fixed-size dimension tables.
+    tables.push(
+        TableGen::new("region")
+            .int("r_regionkey", (0..5).collect())
+            .text(
+                "r_name",
+                ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            )
+            .build(),
+    );
+
+    {
+        let mut rng = table_rng(seed, 1);
+        tables.push(
+            TableGen::new("nation")
+                .int("n_nationkey", (0..25).collect())
+                .text("n_name", (0..25).map(|i| format!("NATION{i:02}")).collect())
+                .int("n_regionkey", (0..25).map(|_| rng.gen_range(0..5)).collect())
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 2);
+        tables.push(
+            TableGen::new("supplier")
+                .int("s_suppkey", (0..n_supplier as i64).collect())
+                .text(
+                    "s_name",
+                    (0..n_supplier).map(|i| format!("Supplier{i:05}")).collect(),
+                )
+                .int(
+                    "s_nationkey",
+                    (0..n_supplier).map(|_| rng.gen_range(0..25)).collect(),
+                )
+                .float(
+                    "s_acctbal",
+                    (0..n_supplier).map(|_| rng.gen_range(-999.0..9999.0)).collect(),
+                )
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 3);
+        tables.push(
+            TableGen::new("customer")
+                .int("c_custkey", (0..n_customer as i64).collect())
+                .text(
+                    "c_name",
+                    (0..n_customer).map(|i| format!("Customer{i:06}")).collect(),
+                )
+                .int(
+                    "c_nationkey",
+                    (0..n_customer).map(|_| rng.gen_range(0..25)).collect(),
+                )
+                .text(
+                    "c_mktsegment",
+                    (0..n_customer).map(|_| pick(&mut rng, &SEGMENTS).to_string()).collect(),
+                )
+                .float(
+                    "c_acctbal",
+                    (0..n_customer).map(|_| rng.gen_range(-999.0..9999.0)).collect(),
+                )
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 4);
+        tables.push(
+            TableGen::new("part")
+                .int("p_partkey", (0..n_part as i64).collect())
+                .text(
+                    "p_name",
+                    (0..n_part)
+                        .map(|i| token_string(&mut rng, "green", 0.08, i))
+                        .collect(),
+                )
+                .text(
+                    "p_brand",
+                    (0..n_part)
+                        .map(|_| format!("Brand#{}{}", rng.gen_range(1..6), rng.gen_range(1..6)))
+                        .collect(),
+                )
+                .text(
+                    "p_type",
+                    (0..n_part).map(|_| pick(&mut rng, &TYPES).to_string()).collect(),
+                )
+                .int("p_size", (0..n_part).map(|_| rng.gen_range(1..51)).collect())
+                .float(
+                    "p_retailprice",
+                    (0..n_part).map(|_| rng.gen_range(900.0..2100.0)).collect(),
+                )
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 5);
+        let mut pk = Vec::with_capacity(n_partsupp);
+        let mut sk = Vec::with_capacity(n_partsupp);
+        for p in 0..n_part {
+            for _ in 0..4 {
+                pk.push(p as i64);
+                sk.push(rng.gen_range(0..n_supplier as i64));
+            }
+        }
+        tables.push(
+            TableGen::new("partsupp")
+                .int("ps_partkey", pk)
+                .int("ps_suppkey", sk)
+                .int(
+                    "ps_availqty",
+                    (0..n_partsupp).map(|_| rng.gen_range(1..10_000)).collect(),
+                )
+                .float(
+                    "ps_supplycost",
+                    (0..n_partsupp).map(|_| rng.gen_range(1.0..1000.0)).collect(),
+                )
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 6);
+        tables.push(
+            TableGen::new("orders")
+                .int("o_orderkey", (0..n_orders as i64).collect())
+                .int(
+                    "o_custkey",
+                    (0..n_orders)
+                        .map(|_| rng.gen_range(0..n_customer as i64))
+                        .collect(),
+                )
+                .text(
+                    "o_orderstatus",
+                    (0..n_orders).map(|_| pick(&mut rng, &STATUSES).to_string()).collect(),
+                )
+                .float(
+                    "o_totalprice",
+                    (0..n_orders).map(|_| rng.gen_range(1000.0..400_000.0)).collect(),
+                )
+                .int(
+                    "o_orderdate",
+                    (0..n_orders).map(|_| rng.gen_range(0..2556)).collect(),
+                )
+                .text(
+                    "o_orderpriority",
+                    (0..n_orders).map(|_| pick(&mut rng, &PRIORITIES).to_string()).collect(),
+                )
+                .build(),
+        );
+    }
+
+    {
+        let mut rng = table_rng(seed, 7);
+        let mut ok = Vec::with_capacity(n_lineitem);
+        // lineitems clustered by order, ~4 per order.
+        for i in 0..n_lineitem {
+            ok.push((i % n_orders) as i64);
+        }
+        tables.push(
+            TableGen::new("lineitem")
+                .int("l_orderkey", ok)
+                .int(
+                    "l_partkey",
+                    (0..n_lineitem).map(|_| rng.gen_range(0..n_part as i64)).collect(),
+                )
+                .int(
+                    "l_suppkey",
+                    (0..n_lineitem)
+                        .map(|_| rng.gen_range(0..n_supplier as i64))
+                        .collect(),
+                )
+                .int(
+                    "l_quantity",
+                    (0..n_lineitem).map(|_| rng.gen_range(1..51)).collect(),
+                )
+                .float(
+                    "l_extendedprice",
+                    (0..n_lineitem).map(|_| rng.gen_range(900.0..100_000.0)).collect(),
+                )
+                .float(
+                    "l_discount",
+                    (0..n_lineitem).map(|_| rng.gen_range(0.0..0.11)).collect(),
+                )
+                .int(
+                    "l_shipdate",
+                    (0..n_lineitem).map(|_| rng.gen_range(0..2556)).collect(),
+                )
+                .int(
+                    "l_receiptdate",
+                    (0..n_lineitem).map(|_| rng.gen_range(0..2586)).collect(),
+                )
+                .text(
+                    "l_returnflag",
+                    (0..n_lineitem).map(|_| pick(&mut rng, &FLAGS).to_string()).collect(),
+                )
+                .build(),
+        );
+    }
+
+    Workload {
+        name: "TPC-H",
+        tables,
+        queries: queries(),
+    }
+}
+
+fn queries() -> Vec<QueryDef> {
+    vec![
+        QueryDef::new(
+            "q2",
+            "SELECT MIN(ps.ps_supplycost) AS min_cost, COUNT(*) AS cnt \
+             FROM part p, partsupp ps, supplier s, nation n, region r \
+             WHERE p.p_partkey = ps.ps_partkey AND s.s_suppkey = ps.ps_suppkey \
+               AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey \
+               AND p.p_size = 15 AND p.p_type LIKE '%BRASS%' AND r.r_name = 'EUROPE'",
+            4,
+            false,
+        ),
+        QueryDef::new(
+            "q3",
+            "SELECT COUNT(*) AS cnt, SUM(l.l_extendedprice) AS revenue \
+             FROM customer c, orders o, lineitem l \
+             WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey \
+               AND c.c_mktsegment = 'BUILDING' AND o.o_orderdate < 1200 \
+               AND l.l_shipdate > 1200",
+            2,
+            false,
+        ),
+        QueryDef::new(
+            "q5",
+            "SELECT COUNT(*) AS cnt, SUM(l.l_extendedprice) AS revenue \
+             FROM customer c, orders o, lineitem l, supplier s, nation n, region r \
+             WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey \
+               AND l.l_suppkey = s.s_suppkey AND c.c_nationkey = s.s_nationkey \
+               AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey \
+               AND r.r_name = 'ASIA' AND o.o_orderdate BETWEEN 365 AND 730",
+            5,
+            true, // the c↔s↔l↔o↔c nationkey cycle
+        ),
+        QueryDef::new(
+            "q7",
+            "SELECT COUNT(*) AS cnt, SUM(l.l_extendedprice) AS volume \
+             FROM supplier s, lineitem l, orders o, customer c, nation n1, nation n2 \
+             WHERE s.s_suppkey = l.l_suppkey AND o.o_orderkey = l.l_orderkey \
+               AND c.c_custkey = o.o_custkey AND s.s_nationkey = n1.n_nationkey \
+               AND c.c_nationkey = n2.n_nationkey \
+               AND ((n1.n_name = 'NATION03' AND n2.n_name = 'NATION07') \
+                    OR (n1.n_name = 'NATION07' AND n2.n_name = 'NATION03')) \
+               AND l.l_shipdate BETWEEN 365 AND 1095",
+            5,
+            false,
+        ),
+        QueryDef::new(
+            "q8",
+            "SELECT COUNT(*) AS cnt, SUM(l.l_extendedprice) AS volume \
+             FROM part p, supplier s, lineitem l, orders o, customer c, \
+                  nation n1, nation n2, region r \
+             WHERE p.p_partkey = l.l_partkey AND s.s_suppkey = l.l_suppkey \
+               AND l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey \
+               AND c.c_nationkey = n1.n_nationkey AND n1.n_regionkey = r.r_regionkey \
+               AND s.s_nationkey = n2.n_nationkey \
+               AND r.r_name = 'AMERICA' AND p.p_type = 'STEEL' \
+               AND o.o_orderdate BETWEEN 365 AND 1095",
+            7,
+            false,
+        ),
+        QueryDef::new(
+            "q9",
+            "SELECT COUNT(*) AS cnt, SUM(l.l_extendedprice) AS profit \
+             FROM part p, supplier s, lineitem l, partsupp ps, orders o, nation n \
+             WHERE s.s_suppkey = l.l_suppkey AND ps.ps_suppkey = l.l_suppkey \
+               AND ps.ps_partkey = l.l_partkey AND p.p_partkey = l.l_partkey \
+               AND o.o_orderkey = l.l_orderkey AND s.s_nationkey = n.n_nationkey \
+               AND p.p_name LIKE '%green%'",
+            5,
+            false, // α-acyclic (lineitem dominates), composite l↔ps edge
+        ),
+        QueryDef::new(
+            "q10",
+            "SELECT COUNT(*) AS cnt, SUM(l.l_extendedprice) AS revenue \
+             FROM customer c, orders o, lineitem l, nation n \
+             WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey \
+               AND c.c_nationkey = n.n_nationkey AND l.l_returnflag = 'R' \
+               AND o.o_orderdate BETWEEN 700 AND 790",
+            3,
+            false,
+        ),
+        QueryDef::new(
+            "q11",
+            "SELECT COUNT(*) AS cnt, SUM(ps.ps_supplycost) AS value \
+             FROM partsupp ps, supplier s, nation n \
+             WHERE ps.ps_suppkey = s.s_suppkey AND s.s_nationkey = n.n_nationkey \
+               AND n.n_name = 'NATION11'",
+            2,
+            false,
+        ),
+        QueryDef::new(
+            "q16",
+            "SELECT p.p_brand, p.p_type, COUNT(*) AS supplier_cnt \
+             FROM partsupp ps, part p, supplier s \
+             WHERE p.p_partkey = ps.ps_partkey AND s.s_suppkey = ps.ps_suppkey \
+               AND p.p_brand <> 'Brand#45' AND p.p_size IN (49, 14, 23, 45, 19, 3, 36, 9) \
+               AND s.s_acctbal > 0 \
+             GROUP BY p.p_brand, p.p_type",
+            2,
+            false,
+        ),
+        QueryDef::new(
+            "q20",
+            "SELECT COUNT(*) AS cnt FROM supplier s, nation n, partsupp ps, part p \
+             WHERE s.s_suppkey = ps.ps_suppkey AND ps.ps_partkey = p.p_partkey \
+               AND s.s_nationkey = n.n_nationkey AND n.n_name = 'NATION09' \
+               AND p.p_name LIKE '%green%' AND ps.ps_availqty > 5000",
+            3,
+            false,
+        ),
+        QueryDef::new(
+            "q18",
+            "SELECT COUNT(*) AS cnt, SUM(l.l_quantity) AS qty \
+             FROM customer c, orders o, lineitem l \
+             WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey \
+               AND o.o_totalprice > 350000",
+            2,
+            false,
+        ),
+        QueryDef::new(
+            "q21",
+            "SELECT COUNT(*) AS numwait \
+             FROM supplier s, lineitem l, orders o, nation n \
+             WHERE s.s_suppkey = l.l_suppkey AND o.o_orderkey = l.l_orderkey \
+               AND o.o_orderstatus = 'F' AND l.l_receiptdate > l.l_shipdate \
+               AND s.s_nationkey = n.n_nationkey AND n.n_name = 'NATION05'",
+            3,
+            false,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_consistent_schema() {
+        let w = tpch(0.05, 42);
+        assert_eq!(w.tables.len(), 8);
+        assert_eq!(w.name, "TPC-H");
+        let li = w.tables.iter().find(|t| t.name == "lineitem").unwrap();
+        assert_eq!(li.num_columns(), 9);
+        assert!(li.num_rows() >= 2000);
+        // FKs within PK domain
+        let orders = w.tables.iter().find(|t| t.name == "orders").unwrap();
+        let n_orders = orders.num_rows() as i64;
+        let lok = li.column_by_name("l_orderkey").unwrap().i64_slice();
+        assert!(lok.iter().all(|&k| k >= 0 && k < n_orders));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = tpch(0.02, 7);
+        let b = tpch(0.02, 7);
+        let ta = a.tables.iter().find(|t| t.name == "customer").unwrap();
+        let tb = b.tables.iter().find(|t| t.name == "customer").unwrap();
+        assert_eq!(
+            ta.column_by_name("c_nationkey").unwrap().i64_slice(),
+            tb.column_by_name("c_nationkey").unwrap().i64_slice()
+        );
+        let c = tpch(0.02, 8);
+        let tc = c.tables.iter().find(|t| t.name == "customer").unwrap();
+        assert_ne!(
+            ta.column_by_name("c_nationkey").unwrap().i64_slice(),
+            tc.column_by_name("c_nationkey").unwrap().i64_slice()
+        );
+    }
+
+    #[test]
+    fn query_set_shape() {
+        let w = tpch(0.02, 1);
+        assert_eq!(w.queries.len(), 12);
+        assert!(w.query("q5").unwrap().cyclic);
+        assert_eq!(w.acyclic_queries().len(), 11);
+        assert_eq!(w.query("q8").unwrap().num_joins, 7);
+    }
+}

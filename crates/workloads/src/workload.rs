@@ -1,0 +1,71 @@
+//! Workload containers: tables + query definitions.
+
+use rpt_storage::Table;
+
+/// One benchmark query.
+#[derive(Debug, Clone)]
+pub struct QueryDef {
+    /// Template id, e.g. `"q3"`, `"2a"`, `"q54"`.
+    pub id: String,
+    /// SQL text in the engine's dialect.
+    pub sql: String,
+    /// Number of binary joins (relations − 1).
+    pub num_joins: usize,
+    /// Whether the join graph is cyclic (red-labeled in the paper's
+    /// figures; RPT gives no guarantee for these).
+    pub cyclic: bool,
+}
+
+impl QueryDef {
+    pub fn new(id: &str, sql: &str, num_joins: usize, cyclic: bool) -> QueryDef {
+        QueryDef {
+            id: id.to_string(),
+            sql: sql.to_string(),
+            num_joins,
+            cyclic,
+        }
+    }
+}
+
+/// A benchmark: generated tables + its query set.
+pub struct Workload {
+    pub name: &'static str,
+    pub tables: Vec<Table>,
+    pub queries: Vec<QueryDef>,
+}
+
+impl Workload {
+    pub fn query(&self, id: &str) -> Option<&QueryDef> {
+        self.queries.iter().find(|q| q.id == id)
+    }
+
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(|t| t.num_rows()).sum()
+    }
+
+    /// Acyclic queries only (the set RPT's guarantee covers).
+    pub fn acyclic_queries(&self) -> Vec<&QueryDef> {
+        self.queries.iter().filter(|q| !q.cyclic).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_lookup() {
+        let w = Workload {
+            name: "t",
+            tables: vec![],
+            queries: vec![
+                QueryDef::new("a", "SELECT 1", 2, false),
+                QueryDef::new("b", "SELECT 2", 3, true),
+            ],
+        };
+        assert_eq!(w.query("a").unwrap().num_joins, 2);
+        assert!(w.query("zzz").is_none());
+        assert_eq!(w.acyclic_queries().len(), 1);
+        assert_eq!(w.total_rows(), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! The paper's headline experiment in miniature: run a JOB query under many
+//! random join orders with and without Robust Predicate Transfer and
+//! compare the Robustness Factor (max work / min work).
+//!
+//! ```sh
+//! cargo run --example robustness --release
+//! ```
+
+use rpt_core::robustness::robustness_factor;
+use rpt_core::{Database, Mode};
+use rpt_workloads::job;
+
+fn main() -> rpt_common::Result<()> {
+    let workload = job(0.2, 42);
+    let mut db = Database::new();
+    for t in &workload.tables {
+        db.register_table(t.clone());
+    }
+
+    let template = workload.query("3a").expect("JOB 3a exists");
+    println!("JOB template 3a (the paper's Figure 1 running example):");
+    println!("{}\n", template.sql);
+
+    let q = db.bind_sql(&template.sql)?;
+    println!(
+        "join graph: {} relations, α-acyclic = {}, γ-acyclic = {}\n",
+        q.num_relations(),
+        q.is_alpha_acyclic(),
+        q.is_gamma_acyclic()
+    );
+
+    let n = 30;
+    for mode in [Mode::Baseline, Mode::RobustPredicateTransfer] {
+        let report = robustness_factor(&db, &q, mode, n, false, None, 7)?;
+        let (min, p25, med, p75, max) = report.work_box();
+        println!(
+            "{:<8} over {n} random left-deep orders:",
+            mode.label()
+        );
+        println!(
+            "  work min {min:>9.0}  p25 {p25:>9.0}  median {med:>9.0}  p75 {p75:>9.0}  max {max:>9.0}"
+        );
+        println!("  robustness factor (max/min): {:.2}×\n", report.rf_work());
+    }
+    println!("RPT's RF should be ≈1 while the baseline varies by orders of magnitude —");
+    println!("join ordering stops mattering once the transfer phase fully reduces inputs.");
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Star-schema example (the LIP scenario of §6.1): one fact table filtered
+//! by several dimension tables. Shows why LargestRoot puts the largest
+//! relation at the root: every dimension filter reaches the fact table
+//! *before* it has to build its own (big) Bloom filter.
+//!
+//! ```sh
+//! cargo run --example star_schema --release
+//! ```
+
+use rpt_common::{DataType, Field, Schema, Vector};
+use rpt_core::{Database, Mode, QueryOptions};
+use rpt_graph::{largest_root, QueryGraph, Relation};
+use rpt_storage::Table;
+
+fn dim(name: &str, n: i64, selective_value: i64) -> Table {
+    Table::new(
+        name,
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("attr", DataType::Int64),
+        ]),
+        vec![
+            Vector::from_i64((0..n).collect()),
+            Vector::from_i64((0..n).map(|i| i % selective_value).collect()),
+        ],
+    )
+    .expect("consistent dimension table")
+}
+
+fn main() -> rpt_common::Result<()> {
+    let mut db = Database::new();
+    let n_fact = 200_000usize;
+    db.register_table(Table::new(
+        "fact",
+        Schema::new(vec![
+            Field::new("d1_id", DataType::Int64),
+            Field::new("d2_id", DataType::Int64),
+            Field::new("d3_id", DataType::Int64),
+            Field::new("measure", DataType::Int64),
+        ]),
+        vec![
+            Vector::from_i64((0..n_fact).map(|i| (i % 1000) as i64).collect()),
+            Vector::from_i64((0..n_fact).map(|i| (i % 300) as i64).collect()),
+            Vector::from_i64((0..n_fact).map(|i| (i % 50) as i64).collect()),
+            Vector::from_i64((0..n_fact as i64).collect()),
+        ],
+    )?);
+    db.register_table(dim("dim1", 1000, 20));
+    db.register_table(dim("dim2", 300, 10));
+    db.register_table(dim("dim3", 50, 5));
+
+    // Show the join tree LargestRoot picks for this star.
+    let graph = QueryGraph::new(vec![
+        Relation::new("fact", vec![0, 1, 2], n_fact as u64),
+        Relation::new("dim1", vec![0], 1000),
+        Relation::new("dim2", vec![1], 300),
+        Relation::new("dim3", vec![2], 50),
+    ]);
+    let tree = largest_root(&graph).expect("connected star");
+    println!("LargestRoot join tree (root = largest relation):");
+    println!("  root: {}", graph.relations[tree.root].name);
+    for (child, parent) in tree.edges() {
+        println!(
+            "  {} → {}",
+            graph.relations[child].name, graph.relations[parent].name
+        );
+    }
+    println!(
+        "  is join tree: {} (α-acyclic star)\n",
+        tree.is_join_tree(&graph)
+    );
+
+    let sql = "SELECT COUNT(*) AS cnt, SUM(f.measure) AS total \
+               FROM fact f, dim1 d1, dim2 d2, dim3 d3 \
+               WHERE f.d1_id = d1.id AND f.d2_id = d2.id AND f.d3_id = d3.id \
+                 AND d1.attr = 0 AND d2.attr = 0 AND d3.attr = 0";
+
+    for mode in [Mode::Baseline, Mode::BloomJoin, Mode::RobustPredicateTransfer] {
+        let r = db.query(sql, &QueryOptions::new(mode))?;
+        println!(
+            "{:<10} result {:?}: fact rows into joins {:>7}, work {:>8}, {:?}",
+            mode.label(),
+            r.rows[0],
+            r.metrics.join_probe_in,
+            r.work(),
+            r.wall_time,
+        );
+    }
+    println!("\nRPT probes the fact table against all three dimension filters first,");
+    println!("so the join phase only sees fact rows that survive every dimension.");
+    Ok(())
+}

@@ -1,0 +1,262 @@
+//! Cross-mode correctness on hand-built schemas: chains, stars, composite
+//! keys, self-joins, empty results, NULL join keys — all five execution
+//! modes must agree with the baseline under arbitrary join orders.
+//!
+//! Also includes a property test: random join queries over random data,
+//! executed under every mode and several random orders, always produce the
+//! baseline's result (the engine-level statement of "join ordering does not
+//! affect correctness, only cost").
+
+use proptest::prelude::*;
+use rpt_common::{DataType, Field, ScalarValue, Schema, Vector};
+use rpt_core::{random_left_deep, Database, JoinOrder, Mode, QueryOptions};
+use rpt_storage::Table;
+
+fn table(name: &str, cols: Vec<(&str, Vector)>) -> Table {
+    let schema = Schema::new(
+        cols.iter()
+            .map(|(n, v)| Field::new(*n, v.data_type()))
+            .collect(),
+    );
+    Table::new(name, schema, cols.into_iter().map(|(_, v)| v).collect()).expect("valid table")
+}
+
+fn run_all_modes(db: &Database, sql: &str) -> Vec<(Mode, Vec<Vec<ScalarValue>>)> {
+    Mode::ALL
+        .iter()
+        .map(|&m| {
+            let r = db
+                .query(sql, &QueryOptions::new(m))
+                .unwrap_or_else(|e| panic!("{m:?} failed: {e}"));
+            (m, r.sorted_rows())
+        })
+        .collect()
+}
+
+fn assert_modes_agree(db: &Database, sql: &str) {
+    let results = run_all_modes(db, sql);
+    let (m0, base) = &results[0];
+    for (m, rows) in &results[1..] {
+        assert_eq!(rows, base, "{m:?} differs from {m0:?} on {sql}");
+    }
+}
+
+#[test]
+fn chain_join_with_filters() {
+    let mut db = Database::new();
+    db.register_table(table(
+        "a",
+        vec![
+            ("k", Vector::from_i64((0..50).collect())),
+            ("v", Vector::from_i64((0..50).map(|i| i % 5).collect())),
+        ],
+    ));
+    db.register_table(table(
+        "b",
+        vec![
+            ("k", Vector::from_i64((0..200).map(|i| i % 50).collect())),
+            ("j", Vector::from_i64((0..200).map(|i| i % 20).collect())),
+        ],
+    ));
+    db.register_table(table(
+        "c",
+        vec![
+            ("j", Vector::from_i64((0..20).collect())),
+            ("tag", Vector::from_utf8((0..20).map(|i| format!("t{}", i % 3)).collect())),
+        ],
+    ));
+    assert_modes_agree(
+        &db,
+        "SELECT COUNT(*) FROM a, b, c \
+         WHERE a.k = b.k AND b.j = c.j AND a.v = 2 AND c.tag = 't1'",
+    );
+}
+
+#[test]
+fn composite_key_join() {
+    let mut db = Database::new();
+    db.register_table(table(
+        "left_t",
+        vec![
+            ("x", Vector::from_i64((0..100).map(|i| i % 10).collect())),
+            ("y", Vector::from_i64((0..100).map(|i| i % 7).collect())),
+            ("pay", Vector::from_i64((0..100).collect())),
+        ],
+    ));
+    db.register_table(table(
+        "right_t",
+        vec![
+            ("x", Vector::from_i64((0..70).map(|i| i % 10).collect())),
+            ("y", Vector::from_i64((0..70).map(|i| i % 7).collect())),
+        ],
+    ));
+    assert_modes_agree(
+        &db,
+        "SELECT COUNT(*), SUM(l.pay) FROM left_t l, right_t r \
+         WHERE l.x = r.x AND l.y = r.y",
+    );
+}
+
+#[test]
+fn self_join_via_aliases() {
+    let mut db = Database::new();
+    db.register_table(table(
+        "edges",
+        vec![
+            ("src", Vector::from_i64((0..100).map(|i| i % 10).collect())),
+            ("dst", Vector::from_i64((0..100).map(|i| (i + 3) % 10).collect())),
+        ],
+    ));
+    // 2-hop paths: edges e1 joined to edges e2 on e1.dst = e2.src.
+    assert_modes_agree(
+        &db,
+        "SELECT COUNT(*) FROM edges e1, edges e2 WHERE e1.dst = e2.src AND e1.src = 0",
+    );
+}
+
+#[test]
+fn empty_result_is_consistent() {
+    let mut db = Database::new();
+    db.register_table(table(
+        "t1",
+        vec![("k", Vector::from_i64(vec![1, 2, 3]))],
+    ));
+    db.register_table(table(
+        "t2",
+        vec![
+            ("k", Vector::from_i64(vec![10, 20])),
+            ("z", Vector::from_i64(vec![0, 0])),
+        ],
+    ));
+    // Keys never match: output empty, COUNT(*) = 0 everywhere.
+    let results = run_all_modes(&db, "SELECT COUNT(*) FROM t1, t2 WHERE t1.k = t2.k");
+    for (m, rows) in results {
+        assert_eq!(rows, vec![vec![ScalarValue::Int64(0)]], "{m:?}");
+    }
+}
+
+#[test]
+fn null_join_keys_never_match() {
+    let mut k1 = Vector::new_empty(DataType::Int64);
+    k1.push(&ScalarValue::Int64(1)).unwrap();
+    k1.push(&ScalarValue::Null).unwrap();
+    k1.push(&ScalarValue::Int64(2)).unwrap();
+    let mut k2 = Vector::new_empty(DataType::Int64);
+    k2.push(&ScalarValue::Null).unwrap();
+    k2.push(&ScalarValue::Int64(1)).unwrap();
+    let mut db = Database::new();
+    db.register_table(table("n1", vec![("k", k1)]));
+    db.register_table(table("n2", vec![("k", k2)]));
+    let results = run_all_modes(&db, "SELECT COUNT(*) FROM n1, n2 WHERE n1.k = n2.k");
+    for (m, rows) in results {
+        assert_eq!(rows, vec![vec![ScalarValue::Int64(1)]], "{m:?}");
+    }
+}
+
+#[test]
+fn alpha_not_gamma_acyclic_query_runs() {
+    // §3.2's example: R(A,B,C) ⋈ S(A,B) ⋈ T(B,C); only join tree S–R–T.
+    let mut db = Database::new();
+    let n = 40i64;
+    db.register_table(table(
+        "r3",
+        vec![
+            ("a", Vector::from_i64((0..n).collect())),
+            ("b", Vector::from_i64(vec![1; n as usize])),
+            ("c", Vector::from_i64((0..n).collect())),
+        ],
+    ));
+    db.register_table(table(
+        "s2",
+        vec![
+            ("a", Vector::from_i64((0..n).collect())),
+            ("b", Vector::from_i64(vec![1; n as usize])),
+        ],
+    ));
+    db.register_table(table(
+        "t2",
+        vec![
+            ("b", Vector::from_i64(vec![1; n as usize])),
+            ("c", Vector::from_i64((0..n).collect())),
+        ],
+    ));
+    let sql = "SELECT COUNT(*) FROM r3, s2, t2 \
+               WHERE r3.a = s2.a AND r3.b = s2.b AND r3.b = t2.b AND r3.c = t2.c";
+    let q = {
+        let q = db.bind_sql(sql).unwrap();
+        assert!(q.is_alpha_acyclic());
+        assert!(!q.is_gamma_acyclic());
+        q
+    };
+    // The unsafe order (S ⋈ T first) still yields correct results — safety
+    // is about cost, not correctness.
+    let graph = q.graph();
+    assert!(!rpt_graph::safe_subjoin(&graph, &[1, 2]));
+    assert_modes_agree(&db, sql);
+    let bad_order = QueryOptions::new(Mode::RobustPredicateTransfer)
+        .with_order(JoinOrder::LeftDeep(vec![1, 2, 0]));
+    let good_order = QueryOptions::new(Mode::RobustPredicateTransfer)
+        .with_order(JoinOrder::LeftDeep(vec![1, 0, 2]));
+    let bad = db.execute(&q, &bad_order).unwrap();
+    let good = db.execute(&q, &good_order).unwrap();
+    assert_eq!(bad.sorted_rows(), good.sorted_rows());
+    // And the unsafe order really does blow up (quadratic S⋈T).
+    assert!(
+        bad.metrics.join_output_rows > good.metrics.join_output_rows * 5,
+        "unsafe {} vs safe {}",
+        bad.metrics.join_output_rows,
+        good.metrics.join_output_rows
+    );
+}
+
+// ------------------------------------------------------------ property test
+
+/// Random 3-table instances: every mode × several random orders must match
+/// the baseline count.
+fn prop_db(keys_a: &[i64], keys_b: &[i64], keys_c: &[i64]) -> Database {
+    let mut db = Database::new();
+    db.register_table(table(
+        "pa",
+        vec![("k", Vector::from_i64(keys_a.to_vec()))],
+    ));
+    db.register_table(table(
+        "pb",
+        vec![
+            ("k", Vector::from_i64(keys_b.to_vec())),
+            ("j", Vector::from_i64(keys_b.iter().map(|k| k % 5).collect())),
+        ],
+    ));
+    db.register_table(table(
+        "pc",
+        vec![("j", Vector::from_i64(keys_c.to_vec()))],
+    ));
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_instances_all_modes_agree(
+        keys_a in proptest::collection::vec(0i64..12, 1..60),
+        keys_b in proptest::collection::vec(0i64..12, 1..60),
+        keys_c in proptest::collection::vec(0i64..5, 1..20),
+        order_seed in 0u64..50,
+    ) {
+        let db = prop_db(&keys_a, &keys_b, &keys_c);
+        let sql = "SELECT COUNT(*) FROM pa, pb, pc WHERE pa.k = pb.k AND pb.j = pc.j";
+        let q = db.bind_sql(sql).unwrap();
+        let base = db
+            .execute(&q, &QueryOptions::new(Mode::Baseline))
+            .unwrap()
+            .sorted_rows();
+        let graph = q.graph();
+        let order = JoinOrder::LeftDeep(random_left_deep(&graph, order_seed));
+        for mode in Mode::ALL {
+            let r = db
+                .execute(&q, &QueryOptions::new(mode).with_order(order.clone()))
+                .unwrap();
+            prop_assert_eq!(r.sorted_rows(), base.clone(), "mode {:?}", mode);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! The §5.4 storage paths: disk-resident tables and memory-capped
+//! (spilling) transfer-phase buffers must not change any query result.
+
+use rpt_core::{Database, Mode, QueryOptions};
+use rpt_storage::disk::{write_table, DiskTable};
+use rpt_workloads::{tpch, Workload};
+
+fn database_for(w: &Workload) -> Database {
+    let mut db = Database::new();
+    for t in &w.tables {
+        db.register_table(t.clone());
+    }
+    db
+}
+
+#[test]
+fn spill_limit_does_not_change_results() {
+    let w = tpch(0.05, 51);
+    let db = database_for(&w);
+    let dir = std::env::temp_dir().join(format!("rpt_it_spill_{}", std::process::id()));
+    for qd in w.acyclic_queries() {
+        let unbounded = db
+            .query(&qd.sql, &QueryOptions::new(Mode::RobustPredicateTransfer))
+            .unwrap_or_else(|e| panic!("{}: {e}", qd.id));
+        // A 64 KiB cap forces nearly every transfer buffer to spill.
+        let spilled = db
+            .query(
+                &qd.sql,
+                &QueryOptions::new(Mode::RobustPredicateTransfer).with_spill(64 * 1024, &dir),
+            )
+            .unwrap_or_else(|e| panic!("{} (spill): {e}", qd.id));
+        assert_eq!(
+            unbounded.sorted_rows(),
+            spilled.sorted_rows(),
+            "{}: spill changed the result",
+            qd.id
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn disk_roundtrip_preserves_query_results() {
+    let w = tpch(0.03, 52);
+    let mem_db = database_for(&w);
+    let dir = std::env::temp_dir().join(format!("rpt_it_disk_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // Write all tables, read them back, rebuild the database from disk.
+    let mut disk_db = Database::new();
+    for t in &w.tables {
+        let path = dir.join(format!("{}.rptc", t.name));
+        write_table(t, &path, 2048).unwrap();
+        let loaded = DiskTable::open(t.name.clone(), &path).unwrap().load().unwrap();
+        assert_eq!(loaded.num_rows(), t.num_rows(), "{}", t.name);
+        disk_db.register_table(loaded);
+    }
+    for qd in &w.queries {
+        let a = mem_db
+            .query(&qd.sql, &QueryOptions::new(Mode::RobustPredicateTransfer))
+            .unwrap();
+        let b = disk_db
+            .query(&qd.sql, &QueryOptions::new(Mode::RobustPredicateTransfer))
+            .unwrap();
+        assert_eq!(a.sorted_rows(), b.sorted_rows(), "{}", qd.id);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn spill_works_multithreaded() {
+    let w = tpch(0.05, 53);
+    let db = database_for(&w);
+    let dir = std::env::temp_dir().join(format!("rpt_it_spill_mt_{}", std::process::id()));
+    let qd = w.query("q3").unwrap();
+    let reference = db
+        .query(&qd.sql, &QueryOptions::new(Mode::RobustPredicateTransfer))
+        .unwrap();
+    let spilled_mt = db
+        .query(
+            &qd.sql,
+            &QueryOptions::new(Mode::RobustPredicateTransfer)
+                .with_threads(4)
+                .with_spill(32 * 1024, &dir),
+        )
+        .unwrap();
+    assert_eq!(reference.sorted_rows(), spilled_mt.sorted_rows());
+    std::fs::remove_dir_all(&dir).ok();
+}
