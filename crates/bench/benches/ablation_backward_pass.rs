@@ -5,10 +5,15 @@ use rpt_bench::{experiments as ex, Config};
 fn bench(c: &mut Criterion) {
     let cfg = Config::tiny();
     let rows = ex::ablation_backward_pass(&cfg).expect("ablation");
-    println!("\n{}", ex::print_ablation(&rows, "[Ablation] backward-pass pruning"));
+    println!(
+        "\n{}",
+        ex::print_ablation(&rows, "[Ablation] backward-pass pruning")
+    );
     let mut g = c.benchmark_group("ablation_backward");
     g.sample_size(10);
-    g.bench_function("sweep", |b| b.iter(|| ex::ablation_backward_pass(&cfg).expect("run")));
+    g.bench_function("sweep", |b| {
+        b.iter(|| ex::ablation_backward_pass(&cfg).expect("run"))
+    });
     g.finish();
 }
 

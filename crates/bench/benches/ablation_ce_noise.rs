@@ -10,7 +10,9 @@ fn bench(c: &mut Criterion) {
     println!("{}", ex::print_noise(&rows));
     let mut g = c.benchmark_group("ce_noise");
     g.sample_size(10);
-    g.bench_function("sweep", |b| b.iter(|| ex::ce_noise_tolerance(&cfg).expect("run")));
+    g.bench_function("sweep", |b| {
+        b.iter(|| ex::ce_noise_tolerance(&cfg).expect("run"))
+    });
     g.finish();
 }
 

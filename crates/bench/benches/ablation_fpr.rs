@@ -7,7 +7,10 @@ fn bench(c: &mut Criterion) {
     let rows = ex::ablation_fpr(&cfg).expect("ablation");
     println!("\n[Ablation] FPR sweep on JOB 3a:");
     for r in &rows {
-        println!("  fpr {:>5.3}: work {:>9}, join rows {:>7}", r.fpr, r.work, r.join_output_rows);
+        println!(
+            "  fpr {:>5.3}: work {:>9}, join rows {:>7}",
+            r.fpr, r.work, r.join_output_rows
+        );
     }
     let mut g = c.benchmark_group("ablation_fpr");
     g.sample_size(10);

@@ -5,10 +5,15 @@ use rpt_bench::{experiments as ex, Config};
 fn bench(c: &mut Criterion) {
     let cfg = Config::tiny();
     let rows = ex::ablation_pruning(&cfg).expect("ablation");
-    println!("\n{}", ex::print_ablation(&rows, "[Ablation] trivial semi-join pruning"));
+    println!(
+        "\n{}",
+        ex::print_ablation(&rows, "[Ablation] trivial semi-join pruning")
+    );
     let mut g = c.benchmark_group("ablation_pruning");
     g.sample_size(10);
-    g.bench_function("sweep", |b| b.iter(|| ex::ablation_pruning(&cfg).expect("run")));
+    g.bench_function("sweep", |b| {
+        b.iter(|| ex::ablation_pruning(&cfg).expect("run"))
+    });
     g.finish();
 }
 

@@ -11,7 +11,9 @@ fn bench(c: &mut Criterion) {
     );
     let mut g = c.benchmark_group("fig11");
     g.sample_size(10);
-    g.bench_function("case_study", |b| b.iter(|| ex::fig11_case_study(&cfg).expect("run")));
+    g.bench_function("case_study", |b| {
+        b.iter(|| ex::fig11_case_study(&cfg).expect("run"))
+    });
     g.finish();
 }
 

@@ -9,7 +9,9 @@ fn bench(c: &mut Criterion) {
     println!("\n[Figure 15] TPC-H\n{}", ex::print_fig15(&rows));
     let mut g = c.benchmark_group("fig15");
     g.sample_size(10);
-    g.bench_function("spill_sweep", |b| b.iter(|| ex::fig15_spill(&w, &cfg).expect("sweep")));
+    g.bench_function("spill_sweep", |b| {
+        b.iter(|| ex::fig15_spill(&w, &cfg).expect("sweep"))
+    });
     g.finish();
 }
 

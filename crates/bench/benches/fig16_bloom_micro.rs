@@ -1,6 +1,6 @@
+use criterion::BenchmarkId;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rpt_bench::experiments as ex;
-use criterion::BenchmarkId;
 use rpt_bloom::BloomFilter;
 use rpt_common::hash::hash_i64;
 

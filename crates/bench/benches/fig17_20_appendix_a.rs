@@ -9,7 +9,10 @@ fn bench(c: &mut Criterion) {
         println!("\n[Appendix A] {name}\n{}", ex::print_appendix_a(rows));
     }
     let w = rpt_workloads::tpcds(cfg.sf, cfg.seed);
-    let modes = [rpt_core::Mode::Baseline, rpt_core::Mode::RobustPredicateTransfer];
+    let modes = [
+        rpt_core::Mode::Baseline,
+        rpt_core::Mode::RobustPredicateTransfer,
+    ];
     let mut g = c.benchmark_group("appendix_a");
     g.sample_size(10);
     g.bench_function("tpcds_speedups", |b| {

@@ -8,7 +8,10 @@ fn bench(c: &mut Criterion) {
     let cfg = Config::tiny();
     let modes = [Mode::Baseline, Mode::RobustPredicateTransfer];
     let all = ex::run_robustness(&modes, false, &cfg).expect("table1");
-    println!("\n[Table 1] Robustness Factors (left-deep)\n{}", ex::print_rf_table(&all, &modes));
+    println!(
+        "\n[Table 1] Robustness Factors (left-deep)\n{}",
+        ex::print_rf_table(&all, &modes)
+    );
     let w = rpt_workloads::tpch(cfg.sf, cfg.seed);
     let mut g = c.benchmark_group("table1");
     g.sample_size(10);

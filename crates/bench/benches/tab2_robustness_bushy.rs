@@ -7,7 +7,10 @@ fn bench(c: &mut Criterion) {
     let cfg = Config::tiny();
     let modes = [Mode::Baseline, Mode::RobustPredicateTransfer];
     let all = ex::run_robustness(&modes, true, &cfg).expect("table2");
-    println!("\n[Table 2] Robustness Factors (bushy)\n{}", ex::print_rf_table(&all, &modes));
+    println!(
+        "\n[Table 2] Robustness Factors (bushy)\n{}",
+        ex::print_rf_table(&all, &modes)
+    );
     let w = rpt_workloads::tpch(cfg.sf, cfg.seed);
     let mut g = c.benchmark_group("table2");
     g.sample_size(10);

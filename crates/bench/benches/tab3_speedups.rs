@@ -1,13 +1,16 @@
 use criterion::{criterion_group, criterion_main, Criterion};
-use rpt_bench::{experiments as ex, Config};
 use rpt_bench::database_for;
+use rpt_bench::{experiments as ex, Config};
 use rpt_core::{Mode, QueryOptions};
 
 /// Table 3: end-to-end speedups with the optimizer's plan.
 fn bench(c: &mut Criterion) {
     let cfg = Config::tiny();
     let all = ex::run_table3(&cfg).expect("table3");
-    println!("\n[Table 3] Speedups over baseline\n{}", ex::print_table3(&all));
+    println!(
+        "\n[Table 3] Speedups over baseline\n{}",
+        ex::print_table3(&all)
+    );
     // Wall-clock comparison on one query in release mode.
     let w = rpt_workloads::tpch(0.2, cfg.seed);
     let db = database_for(&w);
@@ -16,10 +19,16 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table3_q3");
     g.sample_size(20);
     g.bench_function("baseline", |b| {
-        b.iter(|| db.execute(&q, &QueryOptions::new(Mode::Baseline)).expect("run"))
+        b.iter(|| {
+            db.execute(&q, &QueryOptions::new(Mode::Baseline))
+                .expect("run")
+        })
     });
     g.bench_function("rpt", |b| {
-        b.iter(|| db.execute(&q, &QueryOptions::new(Mode::RobustPredicateTransfer)).expect("run"))
+        b.iter(|| {
+            db.execute(&q, &QueryOptions::new(Mode::RobustPredicateTransfer))
+                .expect("run")
+        })
     });
     g.finish();
 }

@@ -22,12 +22,8 @@ pub struct Fig8Row {
 pub fn fig8_pt_vs_rpt(cfg: &Config) -> Result<Vec<Fig8Row>> {
     let job = rpt_workloads::job(cfg.sf, cfg.seed);
     let ds = rpt_workloads::tpcds(cfg.sf, cfg.seed);
-    let targets: Vec<(&rpt_workloads::Workload, &str)> = vec![
-        (&job, "32a"),
-        (&job, "32b"),
-        (&ds, "q54"),
-        (&ds, "q83"),
-    ];
+    let targets: Vec<(&rpt_workloads::Workload, &str)> =
+        vec![(&job, "32a"), (&job, "32b"), (&ds, "q54"), (&ds, "q83")];
     let mut out = Vec::new();
     for (w, id) in targets {
         let db = database_for(w);
@@ -43,10 +39,8 @@ pub fn fig8_pt_vs_rpt(cfg: &Config) -> Result<Vec<Fig8Row>> {
         for mode in [Mode::PredicateTransfer, Mode::RobustPredicateTransfer] {
             let mut works = Vec::new();
             for i in 0..n {
-                let order = JoinOrder::LeftDeep(random_left_deep(
-                    &graph,
-                    cfg.seed.wrapping_add(i as u64),
-                ));
+                let order =
+                    JoinOrder::LeftDeep(random_left_deep(&graph, cfg.seed.wrapping_add(i as u64)));
                 let r = db.execute(&q, &QueryOptions::new(mode).with_order(order))?;
                 works.push(r.work() as f64 / norm);
             }
@@ -75,7 +69,10 @@ pub fn print_fig8(rows: &[Fig8Row]) -> String {
             ]);
         }
     }
-    render_table(&["query", "system", "min", "p25", "med", "p75", "max"], &table)
+    render_table(
+        &["query", "system", "min", "p25", "med", "p75", "max"],
+        &table,
+    )
 }
 
 // ---------------------------------------------------------------- Figure 9
@@ -210,8 +207,7 @@ pub fn fig10_build_side(cfg: &Config) -> Result<Fig10Result> {
     )?;
     let base_flipped = db.execute(
         &q,
-        &QueryOptions::new(Mode::Baseline)
-            .with_order(JoinOrder::Bushy(plan.flip_top_build_side())),
+        &QueryOptions::new(Mode::Baseline).with_order(JoinOrder::Bushy(plan.flip_top_build_side())),
     )?;
     Ok(Fig10Result {
         correct_work: correct.work(),
@@ -235,6 +231,19 @@ pub struct Fig11Result {
     /// Same with RPT.
     pub rpt: (u64, u64),
     pub output_rows: u64,
+    /// Pipelines per RPT plan and the peak concurrent pipelines the DAG
+    /// scheduler achieved, read back from the `[scheduler]` trace entries.
+    pub scheduler_pipelines: u64,
+    pub scheduler_max_parallel: u64,
+}
+
+/// Extract one `[scheduler]` stat from a query's pipeline trace.
+fn scheduler_stat(trace: &[(String, u64)], stat: &str) -> u64 {
+    trace
+        .iter()
+        .rev()
+        .find(|(label, _)| label == &format!("[scheduler] {stat}"))
+        .map_or(0, |&(_, v)| v)
 }
 
 pub fn fig11_case_study(cfg: &Config) -> Result<Fig11Result> {
@@ -248,15 +257,15 @@ pub fn fig11_case_study(cfg: &Config) -> Result<Fig11Result> {
         baseline: (u64::MAX, 0),
         rpt: (u64::MAX, 0),
         output_rows: 0,
+        scheduler_pipelines: 0,
+        scheduler_max_parallel: 0,
     };
     for mode in [Mode::Baseline, Mode::RobustPredicateTransfer] {
         let mut best = u64::MAX;
         let mut worst = 0u64;
         for i in 0..n {
-            let order = JoinOrder::LeftDeep(random_left_deep(
-                &graph,
-                cfg.seed.wrapping_add(i as u64),
-            ));
+            let order =
+                JoinOrder::LeftDeep(random_left_deep(&graph, cfg.seed.wrapping_add(i as u64)));
             // The paper's accounting treats the reduced tables as a fixed
             // part of Σ intermediates for every order; disable the
             // backward-pass alignment pruning so all orders share the same
@@ -268,6 +277,12 @@ pub fn fig11_case_study(cfg: &Config) -> Result<Fig11Result> {
             best = best.min(inter);
             worst = worst.max(inter);
             result.output_rows = r.metrics.output_rows;
+            if mode == Mode::RobustPredicateTransfer {
+                result.scheduler_pipelines = scheduler_stat(&r.trace, "pipelines");
+                result.scheduler_max_parallel = result
+                    .scheduler_max_parallel
+                    .max(scheduler_stat(&r.trace, "max-parallel"));
+            }
         }
         match mode {
             Mode::Baseline => result.baseline = (best, worst),
@@ -484,8 +499,7 @@ pub fn fig15_spill(w: &rpt_workloads::Workload, cfg: &Config) -> Result<Vec<Fig1
             // (shared) load step would otherwise drown the signal.
             let mut db = Database::new();
             for name in &table_names {
-                let t = DiskTable::open(name.clone(), &dir.join(format!("{name}.rptc")))?
-                    .load()?;
+                let t = DiskTable::open(name.clone(), &dir.join(format!("{name}.rptc")))?.load()?;
                 db.register_table(t);
             }
             let mut opts = QueryOptions::new(mode);
@@ -531,7 +545,13 @@ pub fn print_fig15(rows: &[Fig15Row]) -> String {
         })
         .collect();
     render_table(
-        &["query", "DuckDB disk", "RPT disk", "DuckDB +spill", "RPT +spill"],
+        &[
+            "query",
+            "DuckDB disk",
+            "RPT disk",
+            "DuckDB +spill",
+            "RPT +spill",
+        ],
         &table,
     )
 }
@@ -549,8 +569,16 @@ mod tests {
         // final aggregate, i.e. |OUT| of the join).
         assert_eq!(r.output_rows, 0);
         // Both baseline orders process ≈ N²/2 join outputs.
-        assert!(r.baseline_rs_first >= quad * 9 / 10, "{}", r.baseline_rs_first);
-        assert!(r.baseline_st_first >= quad * 9 / 10, "{}", r.baseline_st_first);
+        assert!(
+            r.baseline_rs_first >= quad * 9 / 10,
+            "{}",
+            r.baseline_rs_first
+        );
+        assert!(
+            r.baseline_st_first >= quad * 9 / 10,
+            "{}",
+            r.baseline_st_first
+        );
         // RPT's join phase produces (almost) nothing: full reduction
         // empties the tables (Bloom FPs allow a tiny residue).
         assert!(
@@ -559,7 +587,12 @@ mod tests {
             r.rpt_join_outputs
         );
         // Total RPT work is linear-ish, orders below N²/2.
-        assert!(r.rpt_work < quad / 10, "rpt work {} vs {}", r.rpt_work, quad);
+        assert!(
+            r.rpt_work < quad / 10,
+            "rpt work {} vs {}",
+            r.rpt_work,
+            quad
+        );
     }
 
     #[test]
@@ -574,8 +607,17 @@ mod tests {
             let rpt_max = r.boxes.get("RPT").map(|b| b.4).unwrap_or(f64::INFINITY);
             pt_max > rpt_max * 1.5
         });
-        assert!(fragile, "PT never looked fragile: {:?}",
-            rows.iter().map(|r| (&r.query, r.boxes.get("PT").map(|b| b.4), r.boxes.get("RPT").map(|b| b.4))).collect::<Vec<_>>());
+        assert!(
+            fragile,
+            "PT never looked fragile: {:?}",
+            rows.iter()
+                .map(|r| (
+                    &r.query,
+                    r.boxes.get("PT").map(|b| b.4),
+                    r.boxes.get("RPT").map(|b| b.4)
+                ))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -165,8 +165,7 @@ pub fn ablation_backward_pass(cfg: &Config) -> Result<Vec<AblationRow>> {
             continue;
         };
         let aligned = JoinOrder::LeftDeep(tree.insertion_order.clone());
-        let mut on = QueryOptions::new(Mode::RobustPredicateTransfer)
-            .with_order(aligned.clone());
+        let mut on = QueryOptions::new(Mode::RobustPredicateTransfer).with_order(aligned.clone());
         on.prune_backward = true;
         let mut off = QueryOptions::new(Mode::RobustPredicateTransfer).with_order(aligned);
         off.prune_backward = false;
@@ -261,10 +260,8 @@ pub fn hybrid_cyclic(cfg: &Config) -> Result<Vec<HybridRow>> {
             let mut best = u64::MAX;
             let mut worst = 0u64;
             for i in 0..n {
-                let order = JoinOrder::LeftDeep(random_left_deep(
-                    &graph,
-                    cfg.seed.wrapping_add(i as u64),
-                ));
+                let order =
+                    JoinOrder::LeftDeep(random_left_deep(&graph, cfg.seed.wrapping_add(i as u64)));
                 let r = db.execute(&q, &QueryOptions::new(mode).with_order(order))?;
                 best = best.min(r.work());
                 worst = worst.max(r.work());
@@ -299,7 +296,13 @@ pub fn print_hybrid(rows: &[HybridRow]) -> String {
         })
         .collect();
     render_table(
-        &["cyclic query", "base best", "base worst", "RPT worst", "RPT+WCOJ"],
+        &[
+            "cyclic query",
+            "base best",
+            "base worst",
+            "RPT worst",
+            "RPT+WCOJ",
+        ],
         &table,
     )
 }
@@ -463,6 +466,9 @@ mod tests {
         // Higher FPR → more false positives surviving into the join phase.
         let first = rows.first().unwrap().join_output_rows;
         let last = rows.last().unwrap().join_output_rows;
-        assert!(last >= first, "fpr 0.3 joins {last} < fpr 0.001 joins {first}");
+        assert!(
+            last >= first,
+            "fpr 0.3 joins {last} < fpr 0.001 joins {first}"
+        );
     }
 }

@@ -114,11 +114,7 @@ pub fn print_distribution(rows: &[RfRow]) -> String {
             let (mn, p25, med, p75, mx) = rep.work_box();
             let norm = r.opt_work as f64;
             table.push(vec![
-                format!(
-                    "{}{}",
-                    r.query,
-                    if r.cyclic { " (cyclic)" } else { "" }
-                ),
+                format!("{}{}", r.query, if r.cyclic { " (cyclic)" } else { "" }),
                 label.to_string(),
                 format!("{:.3}", mn / norm),
                 format!("{:.3}", p25 / norm),
@@ -135,7 +131,9 @@ pub fn print_distribution(rows: &[RfRow]) -> String {
         }
     }
     render_table(
-        &["query", "system", "min", "p25", "med", "p75", "max", "RF", "t/o"],
+        &[
+            "query", "system", "min", "p25", "med", "p75", "max", "RF", "t/o",
+        ],
         &table,
     )
 }
@@ -178,8 +176,7 @@ pub fn robustness_multithreaded(w: &Workload, cfg: &Config) -> Result<Vec<RfRow>
         let budget = opt_work.saturating_mul(cfg.budget_factor);
         let mut reports = BTreeMap::new();
         for mode in [Mode::Baseline, Mode::RobustPredicateTransfer] {
-            let rep =
-                robustness_mt_inner(&db, &q, mode, n, budget, cfg.seed, cfg.threads)?;
+            let rep = robustness_mt_inner(&db, &q, mode, n, budget, cfg.seed, cfg.threads)?;
             reports.insert(mode.label(), rep);
         }
         rows.push(RfRow {
@@ -272,7 +269,10 @@ mod tests {
             rpt_max <= base_max,
             "RPT max RF {rpt_max} vs baseline {base_max}"
         );
-        let printed = print_rf_table(&[("TPC-H".into(), rows)], &[Mode::Baseline, Mode::RobustPredicateTransfer]);
+        let printed = print_rf_table(
+            &[("TPC-H".into(), rows)],
+            &[Mode::Baseline, Mode::RobustPredicateTransfer],
+        );
         assert!(printed.contains("RPT"));
     }
 
@@ -280,8 +280,7 @@ mod tests {
     fn distribution_prints() {
         let cfg = Config::tiny();
         let w = rpt_workloads::tpch(cfg.sf, cfg.seed);
-        let rows =
-            robustness_table(&w, &[Mode::RobustPredicateTransfer], false, &cfg).unwrap();
+        let rows = robustness_table(&w, &[Mode::RobustPredicateTransfer], false, &cfg).unwrap();
         let s = print_distribution(&rows);
         assert!(s.contains("q3"));
         assert!(s.contains("med"));

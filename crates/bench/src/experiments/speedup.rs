@@ -140,12 +140,8 @@ mod tests {
     fn rpt_speeds_up_tpch() {
         let cfg = Config::tiny();
         let w = rpt_workloads::tpch(0.1, cfg.seed);
-        let rows = speedup_table(
-            &w,
-            &[Mode::Baseline, Mode::RobustPredicateTransfer],
-            &cfg,
-        )
-        .unwrap();
+        let rows =
+            speedup_table(&w, &[Mode::Baseline, Mode::RobustPredicateTransfer], &cfg).unwrap();
         let s = geomean_speedup(&rows, "RPT");
         // RPT must not be slower than baseline on the work metric overall
         // (paper: ≈1.5× faster).
@@ -158,7 +154,12 @@ mod tests {
         let w = rpt_workloads::tpch(cfg.sf, cfg.seed);
         let rows = speedup_table(
             &w,
-            &[Mode::Baseline, Mode::BloomJoin, Mode::PredicateTransfer, Mode::RobustPredicateTransfer],
+            &[
+                Mode::Baseline,
+                Mode::BloomJoin,
+                Mode::PredicateTransfer,
+                Mode::RobustPredicateTransfer,
+            ],
             &cfg,
         )
         .unwrap();
@@ -171,12 +172,8 @@ mod tests {
     fn appendix_a_prints_per_query() {
         let cfg = Config::tiny();
         let w = rpt_workloads::tpch(cfg.sf, cfg.seed);
-        let rows = speedup_table(
-            &w,
-            &[Mode::Baseline, Mode::RobustPredicateTransfer],
-            &cfg,
-        )
-        .unwrap();
+        let rows =
+            speedup_table(&w, &[Mode::Baseline, Mode::RobustPredicateTransfer], &cfg).unwrap();
         let s = print_appendix_a(&rows);
         assert!(s.contains("q2"));
     }

@@ -39,11 +39,17 @@ fn parse_args() -> (String, Config) {
     while i < args.len() {
         match args[i].as_str() {
             "--sf" => {
-                cfg.sf = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(cfg.sf);
+                cfg.sf = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(cfg.sf);
                 i += 2;
             }
             "--seed" => {
-                cfg.seed = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(cfg.seed);
+                cfg.seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(cfg.seed);
                 i += 2;
             }
             "--scale" => {
@@ -143,13 +149,22 @@ fn main() {
         );
         let rpt_ratio = (r.flipped_work.max(r.correct_work).max(1)) as f64
             / (r.flipped_work.min(r.correct_work).max(1)) as f64;
-        let base_ratio = (r.baseline_flipped_build_rows.max(r.baseline_correct_build_rows).max(1))
-            as f64
-            / (r.baseline_flipped_build_rows.min(r.baseline_correct_build_rows).max(1)) as f64;
-        println!("cost of the wrong orientation, RPT (reduced inputs): {}", fmt_x(rpt_ratio));
+        let base_ratio = (r
+            .baseline_flipped_build_rows
+            .max(r.baseline_correct_build_rows)
+            .max(1)) as f64
+            / (r.baseline_flipped_build_rows
+                .min(r.baseline_correct_build_rows)
+                .max(1)) as f64;
+        println!(
+            "cost of the wrong orientation, RPT (reduced inputs): {}",
+            fmt_x(rpt_ratio)
+        );
         println!(
             "cost of the wrong orientation, baseline build rows ({} vs {}): {}\n",
-            r.baseline_correct_build_rows, r.baseline_flipped_build_rows, fmt_x(base_ratio)
+            r.baseline_correct_build_rows,
+            r.baseline_flipped_build_rows,
+            fmt_x(base_ratio)
         );
     }
     if run("fig11") {
@@ -166,6 +181,10 @@ fn main() {
             r.rpt.0,
             r.rpt.1,
             fmt_x(r.rpt.1 as f64 / r.rpt.0.max(1) as f64)
+        );
+        println!(
+            "scheduler: {} pipelines/plan, peak {} concurrent",
+            r.scheduler_pipelines, r.scheduler_max_parallel
         );
         println!("output rows: {}\n", r.output_rows);
     }
@@ -212,9 +231,14 @@ fn main() {
         ] {
             let rows = ex::fig15_spill(&w, &cfg).expect("fig15");
             println!("--- {} ---\n{}", w.name, ex::print_fig15(&rows));
-            let disk: Vec<f64> = rows.iter().map(|r| r.base_disk / r.rpt_disk.max(1e-9)).collect();
-            let spill: Vec<f64> =
-                rows.iter().map(|r| r.base_spill / r.rpt_spill.max(1e-9)).collect();
+            let disk: Vec<f64> = rows
+                .iter()
+                .map(|r| r.base_disk / r.rpt_disk.max(1e-9))
+                .collect();
+            let spill: Vec<f64> = rows
+                .iter()
+                .map(|r| r.base_spill / r.rpt_spill.max(1e-9))
+                .collect();
             println!(
                 "RPT speedup: on-disk {} / +spill {}\n",
                 fmt_x(geomean(&disk)),

@@ -1,7 +1,5 @@
 //! The blocked Bloom filter itself.
 
-
-
 /// Eight odd salt constants (from Arrow / the original split-block design):
 /// each 32-bit lane of a block derives its bit position from
 /// `(hash_low * salt[i]) >> 27`.

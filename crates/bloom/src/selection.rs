@@ -94,7 +94,10 @@ mod tests {
         let mut out = Vec::new();
         let n = bitmask_to_selection(&mask, 128, &mut out);
         assert_eq!(n, count_selected(&mask, 128));
-        assert_eq!(count_selected(&mask, 64), (0xDEAD_BEEFu64).count_ones() as usize);
+        assert_eq!(
+            count_selected(&mask, 64),
+            (0xDEAD_BEEFu64).count_ones() as usize
+        );
     }
 
     #[test]

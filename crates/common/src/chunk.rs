@@ -153,7 +153,9 @@ impl DataChunk {
     /// Extract logical row `row` as a vector of scalars (slow path: tests,
     /// result display).
     pub fn row(&self, row: usize) -> Vec<ScalarValue> {
-        (0..self.num_columns()).map(|c| self.value(c, row)).collect()
+        (0..self.num_columns())
+            .map(|c| self.value(c, row))
+            .collect()
     }
 
     /// All logical rows as scalar tuples (test/driver convenience).

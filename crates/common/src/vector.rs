@@ -120,9 +120,7 @@ impl Vector {
     pub fn push(&mut self, value: &ScalarValue) -> Result<()> {
         if value.is_null() {
             let len = self.len();
-            let validity = self
-                .validity
-                .get_or_insert_with(|| vec![true; len]);
+            let validity = self.validity.get_or_insert_with(|| vec![true; len]);
             validity.push(false);
             // Push a placeholder payload value.
             match &mut self.data {

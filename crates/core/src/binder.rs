@@ -302,10 +302,7 @@ impl ColumnResolver {
                 for (r, rel) in self.tables.iter().enumerate() {
                     if let Ok(col) = rel.schema.index_of(&c.name) {
                         if found.is_some() {
-                            return Err(Error::Bind(format!(
-                                "ambiguous column `{}`",
-                                c.name
-                            )));
+                            return Err(Error::Bind(format!("ambiguous column `{}`", c.name)));
                         }
                         found = Some((r, col));
                     }
@@ -392,7 +389,10 @@ fn lower(e: &AstExpr, resolver: &ColumnResolver) -> Result<RExpr> {
             let e1 = lower(expr, resolver)?;
             let lo = lower(low, resolver)?;
             let hi = lower(high, resolver)?;
-            RExpr::And(vec![cmp(CmpOp::GtEq, e1.clone(), lo), cmp(CmpOp::LtEq, e1, hi)])
+            RExpr::And(vec![
+                cmp(CmpOp::GtEq, e1.clone(), lo),
+                cmp(CmpOp::LtEq, e1, hi),
+            ])
         }
         AstExpr::Agg { .. } => {
             return Err(Error::Bind(
@@ -702,10 +702,9 @@ mod tests {
                 .unwrap(),
             );
         }
-        let stmt = parse_select(
-            "SELECT COUNT(*) FROM ta a, tb b, tc q WHERE a.x = b.x AND b.x = q.x",
-        )
-        .unwrap();
+        let stmt =
+            parse_select("SELECT COUNT(*) FROM ta a, tb b, tc q WHERE a.x = b.x AND b.x = q.x")
+                .unwrap();
         let q = bind(&stmt, &c).unwrap();
         assert_eq!(q.num_attrs, 1);
         // Clique: all three pairwise connected through the shared attr.

@@ -68,6 +68,11 @@ pub struct QueryOptions {
     pub bushy_optimizer: bool,
     /// Execution threads (1 = the paper's default setting; 32 for §5.3).
     pub threads: usize,
+    /// Maximum pipelines in flight under the DAG scheduler. Independent
+    /// pipelines (e.g. the per-relation CreateBF builds of the forward
+    /// transfer pass) run concurrently up to this cap; `1` forces the
+    /// classic sequential plan-order execution.
+    pub pipeline_parallelism: usize,
     /// Work budget in tuples — the timeout analogue (§5.1's 1000×t_opt).
     pub work_budget: Option<u64>,
     /// Memory cap for transfer-phase materialization (the "+spill" setup).
@@ -99,6 +104,7 @@ impl QueryOptions {
             join_order: None,
             bushy_optimizer: false,
             threads: 1,
+            pipeline_parallelism: 4,
             work_budget: None,
             spill_limit_bytes: None,
             spill_dir: std::env::temp_dir(),
@@ -118,6 +124,12 @@ impl QueryOptions {
 
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Cap (or, with `1`, disable) concurrent pipeline execution.
+    pub fn with_pipeline_parallelism(mut self, max_concurrent: usize) -> Self {
+        self.pipeline_parallelism = max_concurrent.max(1);
         self
     }
 
@@ -170,7 +182,10 @@ impl QueryResult {
 
     /// First row, first column as i64 — convenient for COUNT(*) checks.
     pub fn scalar_i64(&self) -> Option<i64> {
-        self.rows.first().and_then(|r| r.first()).and_then(|v| v.as_i64())
+        self.rows
+            .first()
+            .and_then(|r| r.first())
+            .and_then(|v| v.as_i64())
     }
 
     /// Rows sorted lexicographically by display form (order-insensitive
@@ -178,7 +193,10 @@ impl QueryResult {
     pub fn sorted_rows(&self) -> Vec<Vec<ScalarValue>> {
         let mut rows = self.rows.clone();
         rows.sort_by_key(|r| {
-            r.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\u{1}")
+            r.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\u{1}")
         });
         rows
     }
@@ -301,6 +319,34 @@ impl Database {
         }
     }
 
+    /// Build the per-query execution context from the options
+    /// (threads / work budget / spill configuration).
+    pub fn make_context(&self, opts: &QueryOptions) -> ExecContext {
+        let mut ctx = ExecContext::new().with_threads(opts.threads);
+        if let Some(b) = opts.work_budget {
+            ctx = ctx.with_budget(b);
+        }
+        if let Some(limit) = opts.spill_limit_bytes {
+            ctx = ctx.with_spill(limit, opts.spill_dir.clone());
+        }
+        ctx
+    }
+
+    /// Run a compiled [`PhysicalPlan`] through the DAG scheduler on a
+    /// fresh executor; returns the executor holding the published
+    /// resources.
+    fn run_plan(
+        &self,
+        plan: &crate::planner::PhysicalPlan,
+        ctx: ExecContext,
+        opts: &QueryOptions,
+    ) -> Result<Executor> {
+        let (nb, nf, nt) = plan.resource_counts();
+        let mut exec = Executor::new(ctx, nb, nf, nt);
+        exec.run_dag_with_deps(&plan.pipelines, &plan.deps, opts.pipeline_parallelism)?;
+        Ok(exec)
+    }
+
     /// Execute a bound query.
     pub fn execute(&self, q: &JoinQuery, opts: &QueryOptions) -> Result<QueryResult> {
         if opts.mode == Mode::Hybrid {
@@ -311,22 +357,10 @@ impl Database {
 
         let compiled = Planner::new(q, opts).compile(&plan)?;
 
-        let mut ctx = ExecContext::new().with_threads(opts.threads);
-        if let Some(b) = opts.work_budget {
-            ctx = ctx.with_budget(b);
-        }
-        if let Some(limit) = opts.spill_limit_bytes {
-            ctx = ctx.with_spill(limit, opts.spill_dir.clone());
-        }
+        let ctx = self.make_context(opts);
         let metrics = ctx.metrics.clone();
-        let mut exec = Executor::new(
-            ctx,
-            compiled.num_buffers,
-            compiled.num_filters,
-            compiled.num_tables,
-        );
         let t0 = Instant::now();
-        exec.run(&compiled.pipelines)?;
+        let exec = self.run_plan(&compiled, ctx, opts)?;
         let wall_time = t0.elapsed();
 
         let chunks = exec.buffer(compiled.output_buffer)?;
@@ -353,13 +387,7 @@ impl Database {
 
         let t0 = Instant::now();
         let prelude = Planner::new(q, opts).compile_hybrid_prelude()?;
-        let mut ctx = ExecContext::new().with_threads(opts.threads);
-        if let Some(b) = opts.work_budget {
-            ctx = ctx.with_budget(b);
-        }
-        if let Some(limit) = opts.spill_limit_bytes {
-            ctx = ctx.with_spill(limit, opts.spill_dir.clone());
-        }
+        let ctx = self.make_context(opts);
         let metrics = ctx.metrics.clone();
         let mut exec = Executor::new(
             ctx.clone(),
@@ -367,7 +395,7 @@ impl Database {
             prelude.num_filters,
             prelude.num_tables,
         );
-        exec.run(&prelude.pipelines)?;
+        exec.run_dag_with_deps(&prelude.pipelines, &prelude.deps, opts.pipeline_parallelism)?;
 
         // Assemble the reduced relations for the generic join.
         let mut relations = Vec::with_capacity(q.num_relations());
@@ -409,13 +437,7 @@ impl Database {
             joined.flattened().columns,
         )?);
         let compiled = Planner::new(q, opts).compile_epilogue(joined_table, prelude.layout)?;
-        let mut exec2 = Executor::new(
-            ctx,
-            compiled.num_buffers,
-            compiled.num_filters,
-            compiled.num_tables,
-        );
-        exec2.run(&compiled.pipelines)?;
+        let exec2 = self.run_plan(&compiled, ctx, opts)?;
         let wall_time = t0.elapsed();
         let chunks = exec2.buffer(compiled.output_buffer)?;
         let mut rows = Vec::new();
@@ -499,9 +521,7 @@ mod tests {
 
     fn expected_count() -> i64 {
         // cust_id in {0,1,2} (east), prod_id even (cat 0).
-        (0..300)
-            .filter(|i| i % 10 < 3 && (i % 7) % 2 == 0)
-            .count() as i64
+        (0..300).filter(|i| i % 10 < 3 && (i % 7) % 2 == 0).count() as i64
     }
 
     #[test]
@@ -519,19 +539,14 @@ mod tests {
     fn explicit_orders_agree() {
         let db = db();
         let want = expected_count();
-        let orders: Vec<Vec<usize>> = vec![
-            vec![0, 1, 2],
-            vec![0, 2, 1],
-            vec![1, 0, 2],
-            vec![2, 0, 1],
-        ];
+        let orders: Vec<Vec<usize>> =
+            vec![vec![0, 1, 2], vec![0, 2, 1], vec![1, 0, 2], vec![2, 0, 1]];
         for order in orders {
             for mode in [Mode::Baseline, Mode::RobustPredicateTransfer] {
                 let r = db
                     .query(
                         SQL,
-                        &QueryOptions::new(mode)
-                            .with_order(JoinOrder::LeftDeep(order.clone())),
+                        &QueryOptions::new(mode).with_order(JoinOrder::LeftDeep(order.clone())),
                     )
                     .unwrap();
                 assert_eq!(r.scalar_i64(), Some(want), "order {order:?} mode {mode:?}");
@@ -562,7 +577,10 @@ mod tests {
         // Deliberately bad order: join the two dimensions' fact rows late.
         let bad = JoinOrder::LeftDeep(vec![0, 1, 2]);
         let base = db
-            .query(SQL, &QueryOptions::new(Mode::Baseline).with_order(bad.clone()))
+            .query(
+                SQL,
+                &QueryOptions::new(Mode::Baseline).with_order(bad.clone()),
+            )
             .unwrap();
         let rpt = db
             .query(
@@ -584,8 +602,7 @@ mod tests {
         let err = db
             .query(
                 SQL,
-                &QueryOptions::new(Mode::Baseline)
-                    .with_order(JoinOrder::LeftDeep(vec![0, 1])),
+                &QueryOptions::new(Mode::Baseline).with_order(JoinOrder::LeftDeep(vec![0, 1])),
             )
             .unwrap_err();
         assert!(matches!(err, Error::Plan(_)));
@@ -645,7 +662,9 @@ mod tests {
     #[test]
     fn multithreaded_matches() {
         let db = db();
-        let a = db.query(SQL, &QueryOptions::new(Mode::RobustPredicateTransfer)).unwrap();
+        let a = db
+            .query(SQL, &QueryOptions::new(Mode::RobustPredicateTransfer))
+            .unwrap();
         let b = db
             .query(
                 SQL,

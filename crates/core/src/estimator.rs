@@ -50,10 +50,7 @@ impl<'q> Estimator<'q> {
     pub fn base_card(&self, rel: usize) -> f64 {
         let r = &self.q.relations[rel];
         let rows = r.stats.num_rows as f64;
-        let sel = r
-            .filter
-            .as_ref()
-            .map_or(1.0, |f| self.selectivity(rel, f));
+        let sel = r.filter.as_ref().map_or(1.0, |f| self.selectivity(rel, f));
         (rows * sel).max(1.0) * self.noise_factor(rel as u64)
     }
 

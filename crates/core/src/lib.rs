@@ -41,5 +41,6 @@ pub mod robustness;
 pub use catalog::Catalog;
 pub use engine::{Database, Mode, QueryOptions, QueryResult};
 pub use optimizer::{random_bushy, random_left_deep, JoinOrder, PlanNode};
+pub use planner::{PhysicalPlan, Planner};
 pub use query::JoinQuery;
 pub use robustness::{robustness_factor, RobustnessReport};

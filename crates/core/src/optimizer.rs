@@ -212,8 +212,8 @@ fn greedy_left_deep(q: &JoinQuery, est: &Estimator<'_>) -> Result<Vec<usize>> {
                 best = Some((r, c));
             }
         }
-        let (r, c) =
-            best.ok_or_else(|| Error::Plan("join graph is disconnected (Cartesian product)".into()))?;
+        let (r, c) = best
+            .ok_or_else(|| Error::Plan("join graph is disconnected (Cartesian product)".into()))?;
         order.push(r);
         card = c;
     }
@@ -238,7 +238,10 @@ pub fn optimize_bushy(q: &JoinQuery, est: &Estimator<'_>) -> Result<PlanNode> {
                     continue;
                 }
                 let connected = forest[i].1.iter().any(|&a| {
-                    forest[j].1.iter().any(|&b| !q.shared_attrs(a, b).is_empty())
+                    forest[j]
+                        .1
+                        .iter()
+                        .any(|&b| !q.shared_attrs(a, b).is_empty())
                 });
                 if !connected {
                     continue;
@@ -256,8 +259,8 @@ pub fn optimize_bushy(q: &JoinQuery, est: &Estimator<'_>) -> Result<PlanNode> {
                 }
             }
         }
-        let (i, j, c) =
-            best.ok_or_else(|| Error::Plan("join graph is disconnected (Cartesian product)".into()))?;
+        let (i, j, c) = best
+            .ok_or_else(|| Error::Plan("join graph is disconnected (Cartesian product)".into()))?;
         let (hi, lo) = if i > j { (i, j) } else { (j, i) };
         let tj = forest.swap_remove(hi);
         let ti = forest.swap_remove(lo);
@@ -287,9 +290,7 @@ pub fn random_left_deep(graph: &QueryGraph, seed: u64) -> Vec<usize> {
     in_set[start] = true;
     while order.len() < n {
         let frontier: Vec<usize> = (0..n)
-            .filter(|&r| {
-                !in_set[r] && graph.neighbors(r).iter().any(|&s| in_set[s])
-            })
+            .filter(|&r| !in_set[r] && graph.neighbors(r).iter().any(|&s| in_set[s]))
             .collect();
         if frontier.is_empty() {
             // disconnected graph: jump anywhere (Cartesian product) — the
@@ -411,7 +412,9 @@ mod tests {
         for k in 2..=4 {
             let prefix = &order[..k];
             let connected = prefix[1..].iter().all(|&r| {
-                prefix.iter().any(|&s| s != r && !q.shared_attrs(s, r).is_empty())
+                prefix
+                    .iter()
+                    .any(|&s| s != r && !q.shared_attrs(s, r).is_empty())
             });
             assert!(connected, "prefix {prefix:?} disconnected");
         }

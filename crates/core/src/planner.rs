@@ -12,18 +12,20 @@ use crate::engine::{Mode, QueryOptions};
 use crate::optimizer::PlanNode;
 use crate::query::JoinQuery;
 use rpt_common::{DataType, Error, Field, Result, Schema};
-use rpt_exec::{
-    AggExpr, BloomSink, Expr, OpSpec, PipelinePlan, SinkSpec, SourceSpec,
-};
+use rpt_exec::{AggExpr, BloomSink, Expr, NodeDeps, OpSpec, PipelinePlan, SinkSpec, SourceSpec};
 use rpt_graph::{
     largest_root, largest_root_randomized, small2large, JoinTree, SemiJoin, TransferSchedule,
 };
 use std::sync::Arc;
 
-/// The compiled artifact: pipelines + resource counts + where the result
-/// lands.
-pub struct CompiledQuery {
+/// The physical-plan IR: the compiled pipelines, plus — per pipeline —
+/// the buffers/filters/hash-tables it *reads* and *writes*. The read/write
+/// sets define the partial order the DAG scheduler executes: pipelines
+/// with disjoint dependencies run concurrently.
+pub struct PhysicalPlan {
     pub pipelines: Vec<PipelinePlan>,
+    /// `deps[i]` = read/write resource sets of `pipelines[i]`.
+    pub deps: Vec<NodeDeps>,
     pub num_buffers: usize,
     pub num_filters: usize,
     pub num_tables: usize,
@@ -31,6 +33,40 @@ pub struct CompiledQuery {
     pub output_buffer: usize,
     /// Result schema (aliases + types).
     pub output_schema: Schema,
+}
+
+impl PhysicalPlan {
+    /// Assemble the IR, recording each pipeline's resource dependencies.
+    fn assemble(
+        pipelines: Vec<PipelinePlan>,
+        num_buffers: usize,
+        num_filters: usize,
+        num_tables: usize,
+        output_buffer: usize,
+        output_schema: Schema,
+    ) -> PhysicalPlan {
+        let deps = record_deps(&pipelines);
+        PhysicalPlan {
+            pipelines,
+            deps,
+            num_buffers,
+            num_filters,
+            num_tables,
+            output_buffer,
+            output_schema,
+        }
+    }
+
+    /// `(buffers, filters, hash tables)` slot counts for the executor.
+    pub fn resource_counts(&self) -> (usize, usize, usize) {
+        (self.num_buffers, self.num_filters, self.num_tables)
+    }
+}
+
+/// Per-pipeline read/write sets, derived from one lowering of the
+/// operator layer per pipeline.
+fn record_deps(pipelines: &[PipelinePlan]) -> Vec<NodeDeps> {
+    pipelines.iter().map(PipelinePlan::node_deps).collect()
 }
 
 /// A not-yet-terminated chunk stream with its column provenance.
@@ -94,7 +130,7 @@ impl<'q> Planner<'q> {
     }
 
     /// Compile the full query.
-    pub fn compile(mut self, plan: &PlanNode) -> Result<CompiledQuery> {
+    pub fn compile(mut self, plan: &PlanNode) -> Result<PhysicalPlan> {
         let rels = plan.relations();
         if rels.len() != self.q.num_relations() {
             return Err(Error::Plan(format!(
@@ -191,8 +227,7 @@ impl<'q> Planner<'q> {
         ops.push(OpSpec::Project(
             rel.needed_cols.iter().map(|&c| Expr::Column(c)).collect(),
         ));
-        let layout: Vec<(usize, usize)> =
-            rel.needed_cols.iter().map(|&c| (r, c)).collect();
+        let layout: Vec<(usize, usize)> = rel.needed_cols.iter().map(|&c| (r, c)).collect();
         Ok(RelState {
             stream: Stream {
                 source: SourceSpec::Table(rel.table.clone()),
@@ -325,11 +360,8 @@ impl<'q> Planner<'q> {
             // Yannakakis: materialize the source, build an exact hash table,
             // semi-probe the target.
             let src_stream = states[*source].stream.clone();
-            let materialized = self.materialize(
-                src_stream,
-                vec![],
-                format!("{dir} materialize {src_name}"),
-            )?;
+            let materialized =
+                self.materialize(src_stream, vec![], format!("{dir} materialize {src_name}"))?;
             states[*source].stream = materialized.clone();
             let ht = self.new_table();
             let schema = self.stream_schema(&materialized);
@@ -426,7 +458,9 @@ impl<'q> Planner<'q> {
                             }
                         }
                     }
-                    Err(Error::Plan(format!("attr {attr} not found in stream layout")))
+                    Err(Error::Plan(format!(
+                        "attr {attr} not found in stream layout"
+                    )))
                 };
                 let build_keys: Vec<usize> = attrs
                     .iter()
@@ -502,10 +536,9 @@ impl<'q> Planner<'q> {
 
     /// Terminate the final stream: aggregation or projection, into the
     /// output buffer.
-    fn finish(mut self, stream: Stream) -> Result<CompiledQuery> {
+    fn finish(mut self, stream: Stream) -> Result<PhysicalPlan> {
         let layout = stream.layout.clone();
-        let resolve =
-            |r: usize, c: usize| layout.iter().position(|&(lr, lc)| lr == r && lc == c);
+        let resolve = |r: usize, c: usize| layout.iter().position(|&(lr, lc)| lr == r && lc == c);
         let input_types: Vec<DataType> = layout
             .iter()
             .map(|&(r, c)| self.q.relations[r].table.schema.field(c).data_type)
@@ -518,9 +551,8 @@ impl<'q> Planner<'q> {
                 .group_by
                 .iter()
                 .map(|&(r, c)| {
-                    resolve(r, c).ok_or_else(|| {
-                        Error::Plan("GROUP BY column missing from layout".into())
-                    })
+                    resolve(r, c)
+                        .ok_or_else(|| Error::Plan("GROUP BY column missing from layout".into()))
                 })
                 .collect::<Result<_>>()?;
             let aggs: Vec<AggExpr> = self
@@ -548,10 +580,7 @@ impl<'q> Planner<'q> {
                 })
                 .collect();
             for a in &aggs {
-                agg_schema_fields.push(Field::new(
-                    a.alias.clone(),
-                    a.output_type(&input_types)?,
-                ));
+                agg_schema_fields.push(Field::new(a.alias.clone(), a.output_type(&input_types)?));
             }
             let agg_schema = Schema::new(agg_schema_fields);
             let agg_buf = self.new_buffer();
@@ -616,14 +645,14 @@ impl<'q> Planner<'q> {
             }
             let identity = projection.iter().copied().eq(0..agg_schema.len());
             if identity {
-                return Ok(CompiledQuery {
-                    pipelines: self.pipelines,
-                    num_buffers: self.num_buffers,
-                    num_filters: self.num_filters,
-                    num_tables: self.num_tables,
-                    output_buffer: agg_buf,
-                    output_schema: agg_schema,
-                });
+                return Ok(PhysicalPlan::assemble(
+                    self.pipelines,
+                    self.num_buffers,
+                    self.num_filters,
+                    self.num_tables,
+                    agg_buf,
+                    agg_schema,
+                ));
             }
             let out_buf = self.new_buffer();
             let out_schema = Schema::new(out_fields);
@@ -640,14 +669,14 @@ impl<'q> Planner<'q> {
                 intermediate: false,
                 sink_schema: out_schema.clone(),
             });
-            Ok(CompiledQuery {
-                pipelines: self.pipelines,
-                num_buffers: self.num_buffers,
-                num_filters: self.num_filters,
-                num_tables: self.num_tables,
-                output_buffer: out_buf,
-                output_schema: out_schema,
-            })
+            Ok(PhysicalPlan::assemble(
+                self.pipelines,
+                self.num_buffers,
+                self.num_filters,
+                self.num_tables,
+                out_buf,
+                out_schema,
+            ))
         } else {
             // Plain projection.
             let mut exprs = Vec::with_capacity(self.q.output.len());
@@ -661,9 +690,7 @@ impl<'q> Planner<'q> {
                         out_fields.push(Field::new(item.alias.clone(), dt));
                     }
                     crate::query::OutputKind::Agg(_) => {
-                        return Err(Error::Plan(
-                            "aggregate without aggregation context".into(),
-                        ))
+                        return Err(Error::Plan("aggregate without aggregation context".into()))
                     }
                 }
             }
@@ -682,14 +709,14 @@ impl<'q> Planner<'q> {
                 intermediate: false,
                 sink_schema: out_schema.clone(),
             });
-            Ok(CompiledQuery {
-                pipelines: self.pipelines,
-                num_buffers: self.num_buffers,
-                num_filters: self.num_filters,
-                num_tables: self.num_tables,
-                output_buffer: out_buf,
-                output_schema: out_schema,
-            })
+            Ok(PhysicalPlan::assemble(
+                self.pipelines,
+                self.num_buffers,
+                self.num_filters,
+                self.num_tables,
+                out_buf,
+                out_schema,
+            ))
         }
     }
 }
@@ -700,6 +727,8 @@ impl<'q> Planner<'q> {
 /// join phase.
 pub struct HybridPrelude {
     pub pipelines: Vec<PipelinePlan>,
+    /// Per-pipeline read/write resource sets (see [`PhysicalPlan::deps`]).
+    pub deps: Vec<NodeDeps>,
     /// Buffer id holding each relation's reduced rows (indexed by relation).
     pub rel_buffers: Vec<usize>,
     pub num_buffers: usize,
@@ -746,8 +775,10 @@ impl<'q> Planner<'q> {
                 }
             }
         }
+        let deps = record_deps(&self.pipelines);
         Ok(HybridPrelude {
             pipelines: self.pipelines,
+            deps,
             rel_buffers,
             num_buffers: self.num_buffers,
             num_filters: self.num_filters,
@@ -763,7 +794,7 @@ impl<'q> Planner<'q> {
         self,
         joined: Arc<rpt_storage::Table>,
         layout: Vec<(usize, usize)>,
-    ) -> Result<CompiledQuery> {
+    ) -> Result<PhysicalPlan> {
         let mut stream = Stream {
             source: SourceSpec::Table(joined),
             ops: vec![],

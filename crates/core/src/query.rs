@@ -13,17 +13,40 @@ use std::sync::Arc;
 /// [`Expr`] once the physical column layout is known.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RExpr {
-    Col { rel: usize, col: usize },
+    Col {
+        rel: usize,
+        col: usize,
+    },
     Lit(ScalarValue),
-    Cmp { op: CmpOp, left: Box<RExpr>, right: Box<RExpr> },
-    Arith { op: ArithOp, left: Box<RExpr>, right: Box<RExpr> },
+    Cmp {
+        op: CmpOp,
+        left: Box<RExpr>,
+        right: Box<RExpr>,
+    },
+    Arith {
+        op: ArithOp,
+        left: Box<RExpr>,
+        right: Box<RExpr>,
+    },
     And(Vec<RExpr>),
     Or(Vec<RExpr>),
     Not(Box<RExpr>),
-    InList { expr: Box<RExpr>, list: Vec<ScalarValue> },
-    Contains { expr: Box<RExpr>, pattern: String },
-    StartsWith { expr: Box<RExpr>, pattern: String },
-    EndsWith { expr: Box<RExpr>, pattern: String },
+    InList {
+        expr: Box<RExpr>,
+        list: Vec<ScalarValue>,
+    },
+    Contains {
+        expr: Box<RExpr>,
+        pattern: String,
+    },
+    StartsWith {
+        expr: Box<RExpr>,
+        pattern: String,
+    },
+    EndsWith {
+        expr: Box<RExpr>,
+        pattern: String,
+    },
     IsNull(Box<RExpr>),
 }
 

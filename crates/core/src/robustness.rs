@@ -14,7 +14,10 @@ use rpt_common::Result;
 /// Outcome of one random-order run.
 #[derive(Debug, Clone)]
 pub enum RunOutcome {
-    Ok { time_secs: f64, work: u64 },
+    Ok {
+        time_secs: f64,
+        work: u64,
+    },
     /// Budget (timeout analogue) exceeded — the `*` marker in the paper's
     /// figures.
     Timeout,
@@ -213,20 +216,15 @@ mod tests {
     fn rpt_is_more_robust_than_baseline() {
         let db = db();
         let q = db.bind_sql(SQL).unwrap();
-        let base =
-            robustness_factor(&db, &q, Mode::Baseline, 8, false, None, 1).unwrap();
-        let rpt = robustness_factor(
-            &db,
-            &q,
-            Mode::RobustPredicateTransfer,
-            8,
-            false,
-            None,
-            1,
-        )
-        .unwrap();
-        assert!(base.rf_work() >= rpt.rf_work(),
-            "baseline RF {} should exceed RPT RF {}", base.rf_work(), rpt.rf_work());
+        let base = robustness_factor(&db, &q, Mode::Baseline, 8, false, None, 1).unwrap();
+        let rpt =
+            robustness_factor(&db, &q, Mode::RobustPredicateTransfer, 8, false, None, 1).unwrap();
+        assert!(
+            base.rf_work() >= rpt.rf_work(),
+            "baseline RF {} should exceed RPT RF {}",
+            base.rf_work(),
+            rpt.rf_work()
+        );
         assert_eq!(rpt.timeouts, 0);
         // All runs completed and produced consistent work counts.
         assert_eq!(rpt.works.len(), 8);
@@ -236,16 +234,8 @@ mod tests {
     fn bushy_reports_work() {
         let db = db();
         let q = db.bind_sql(SQL).unwrap();
-        let r = robustness_factor(
-            &db,
-            &q,
-            Mode::RobustPredicateTransfer,
-            5,
-            true,
-            None,
-            42,
-        )
-        .unwrap();
+        let r =
+            robustness_factor(&db, &q, Mode::RobustPredicateTransfer, 5, true, None, 42).unwrap();
         assert_eq!(r.works.len(), 5);
         assert!(r.rf_work() >= 1.0);
     }
@@ -261,8 +251,7 @@ mod tests {
 
     #[test]
     fn five_number_summary() {
-        let (mn, p25, med, p75, mx) =
-            five_numbers(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let (mn, p25, med, p75, mx) = five_numbers(&[1.0, 2.0, 3.0, 4.0, 5.0]);
         assert_eq!((mn, p25, med, p75, mx), (1.0, 2.0, 3.0, 4.0, 5.0));
         let (mn, _, med, _, mx) = five_numbers(&[2.0]);
         assert_eq!((mn, med, mx), (2.0, 2.0, 2.0));

@@ -60,9 +60,9 @@ impl AggState {
             AggState::Min(cur) => {
                 if let Some(v) = value {
                     if !v.is_null()
-                        && cur.as_ref().is_none_or(|c| {
-                            v.partial_cmp_sql(c) == Some(std::cmp::Ordering::Less)
-                        })
+                        && cur
+                            .as_ref()
+                            .is_none_or(|c| v.partial_cmp_sql(c) == Some(std::cmp::Ordering::Less))
                     {
                         *cur = Some(v.clone());
                     }
@@ -97,9 +97,9 @@ impl AggState {
             (AggState::SumF(a), AggState::SumF(b)) => *a += b,
             (AggState::Min(a), AggState::Min(b)) => {
                 if let Some(bv) = b {
-                    if a.as_ref().is_none_or(|av| {
-                        bv.partial_cmp_sql(av) == Some(std::cmp::Ordering::Less)
-                    }) {
+                    if a.as_ref()
+                        .is_none_or(|av| bv.partial_cmp_sql(av) == Some(std::cmp::Ordering::Less))
+                    {
                         *a = Some(bv.clone());
                     }
                 }
@@ -113,10 +113,7 @@ impl AggState {
                     }
                 }
             }
-            (
-                AggState::Avg { sum: a, count: ac },
-                AggState::Avg { sum: b, count: bc },
-            ) => {
+            (AggState::Avg { sum: a, count: ac }, AggState::Avg { sum: b, count: bc }) => {
                 *a += b;
                 *ac += bc;
             }
@@ -129,9 +126,7 @@ impl AggState {
             AggState::Count(c) => ScalarValue::Int64(*c),
             AggState::SumI(s) => ScalarValue::Int64(*s),
             AggState::SumF(s) => ScalarValue::Float64(*s),
-            AggState::Min(v) | AggState::Max(v) => {
-                v.clone().unwrap_or(ScalarValue::Null)
-            }
+            AggState::Min(v) | AggState::Max(v) => v.clone().unwrap_or(ScalarValue::Null),
             AggState::Avg { sum, count } => {
                 if *count == 0 {
                     ScalarValue::Null
@@ -182,7 +177,11 @@ pub struct AggregateState {
 }
 
 impl AggregateState {
-    pub fn new(group_cols: Vec<usize>, aggs: Vec<AggExpr>, input_types: &[rpt_common::DataType]) -> Result<AggregateState> {
+    pub fn new(
+        group_cols: Vec<usize>,
+        aggs: Vec<AggExpr>,
+        input_types: &[rpt_common::DataType],
+    ) -> Result<AggregateState> {
         let float_sums = aggs
             .iter()
             .map(|a| {
@@ -258,8 +257,7 @@ impl AggregateState {
     /// Produce the output chunk (Finalize). Groups are sorted by encoded key
     /// for determinism.
     pub fn finalize(self, output_schema: &Schema) -> Result<DataChunk> {
-        let mut entries: Vec<(Vec<u8>, GroupEntry)> =
-            self.groups.into_iter().collect();
+        let mut entries: Vec<(Vec<u8>, GroupEntry)> = self.groups.into_iter().collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         let mut columns: Vec<Vector> = output_schema
             .fields
@@ -367,9 +365,7 @@ mod tests {
     #[test]
     fn merge_combines_thread_states() {
         let types = [DataType::Int64, DataType::Int64, DataType::Float64];
-        let mk = || {
-            AggregateState::new(vec![0], vec![AggExpr::count_star("c")], &types).unwrap()
-        };
+        let mk = || AggregateState::new(vec![0], vec![AggExpr::count_star("c")], &types).unwrap();
         let mut a = mk();
         let mut b = mk();
         let mut c1 = chunk();

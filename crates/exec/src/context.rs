@@ -1,10 +1,10 @@
 //! Execution context: work budget (timeout analogue), thread count, spill
 //! configuration, and metrics.
 
-use parking_lot::Mutex;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 use rpt_common::{Error, Result};
 
@@ -57,11 +57,36 @@ impl Metrics {
     }
 
     pub fn record_pipeline(&self, label: &str, rows: u64) {
-        self.pipeline_trace.lock().push((label.to_string(), rows));
+        self.pipeline_trace
+            .lock()
+            .expect("pipeline trace lock poisoned")
+            .push((label.to_string(), rows));
     }
 
     pub fn trace(&self) -> Vec<(String, u64)> {
-        self.pipeline_trace.lock().clone()
+        self.pipeline_trace
+            .lock()
+            .expect("pipeline trace lock poisoned")
+            .clone()
+    }
+
+    /// Append the DAG scheduler's observations to the pipeline trace so
+    /// case studies report extracted parallelism alongside per-pipeline
+    /// rows.
+    pub fn record_scheduler(&self, stats: &crate::scheduler::SchedulerStats) {
+        let mut trace = self
+            .pipeline_trace
+            .lock()
+            .expect("pipeline trace lock poisoned");
+        trace.push(("[scheduler] pipelines".to_string(), stats.pipelines as u64));
+        trace.push((
+            "[scheduler] initially-ready".to_string(),
+            stats.initially_ready as u64,
+        ));
+        trace.push((
+            "[scheduler] max-parallel".to_string(),
+            stats.max_parallel as u64,
+        ));
     }
 
     /// Snapshot of the headline numbers.

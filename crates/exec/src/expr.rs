@@ -1,8 +1,6 @@
 //! Vectorized expressions: filters, projections, aggregates.
 
-use rpt_common::{
-    ColumnData, DataChunk, DataType, Error, Result, ScalarValue, Vector,
-};
+use rpt_common::{ColumnData, DataChunk, DataType, Error, Result, ScalarValue, Vector};
 
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,9 +90,9 @@ impl Expr {
     /// Result type of this expression over `input` column types.
     pub fn data_type(&self, input: &[DataType]) -> Result<DataType> {
         Ok(match self {
-            Expr::Column(i) => *input.get(*i).ok_or_else(|| {
-                Error::Plan(format!("column index {i} out of bounds"))
-            })?,
+            Expr::Column(i) => *input
+                .get(*i)
+                .ok_or_else(|| Error::Plan(format!("column index {i} out of bounds")))?,
             Expr::Literal(v) => v.data_type().unwrap_or(DataType::Int64),
             Expr::Cmp { .. }
             | Expr::And(_)
@@ -244,21 +242,13 @@ fn eval_cmp(op: CmpOp, l: &Vector, r: &Vector) -> Result<Vector> {
             .map(|i| l.is_valid(i) && r.is_valid(i) && test(a[i].cmp(&b[i])))
             .collect(),
         (ColumnData::Float64(a), ColumnData::Float64(b)) => (0..n)
-            .map(|i| {
-                l.is_valid(i)
-                    && r.is_valid(i)
-                    && a[i].partial_cmp(&b[i]).is_some_and(test)
-            })
+            .map(|i| l.is_valid(i) && r.is_valid(i) && a[i].partial_cmp(&b[i]).is_some_and(test))
             .collect(),
         (ColumnData::Utf8(a), ColumnData::Utf8(b)) => (0..n)
             .map(|i| l.is_valid(i) && r.is_valid(i) && test(a[i].cmp(&b[i])))
             .collect(),
         _ => (0..n)
-            .map(|i| {
-                l.get(i)
-                    .partial_cmp_sql(&r.get(i))
-                    .is_some_and(test)
-            })
+            .map(|i| l.get(i).partial_cmp_sql(&r.get(i)).is_some_and(test))
             .collect(),
     };
     Ok(Vector::from_bool(out))
@@ -291,9 +281,7 @@ fn eval_arith(op: ArithOp, l: &Vector, r: &Vector) -> Result<Vector> {
         }
         _ => {
             // Promote to f64.
-            let get = |v: &Vector, i: usize| -> f64 {
-                v.get(i).as_f64().unwrap_or(f64::NAN)
-            };
+            let get = |v: &Vector, i: usize| -> f64 { v.get(i).as_f64().unwrap_or(f64::NAN) };
             let vals: Vec<f64> = (0..n)
                 .map(|i| {
                     let (a, b) = (get(l, i), get(r, i));
@@ -394,11 +382,7 @@ mod tests {
     #[test]
     fn comparison_selection() {
         let c = chunk();
-        let pred = Expr::cmp(
-            CmpOp::Gt,
-            Expr::col(0),
-            Expr::lit(ScalarValue::Int64(2)),
-        );
+        let pred = Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::lit(ScalarValue::Int64(2)));
         assert_eq!(pred.eval_selection(&c).unwrap(), vec![2, 3]);
     }
 
@@ -469,7 +453,9 @@ mod tests {
         let v = mixed.eval(&c).unwrap();
         assert_eq!(v.f64_slice()[1], 5.0);
         assert_eq!(
-            mixed.data_type(&[DataType::Int64, DataType::Utf8, DataType::Float64]).unwrap(),
+            mixed
+                .data_type(&[DataType::Int64, DataType::Utf8, DataType::Float64])
+                .unwrap(),
             DataType::Float64
         );
     }
@@ -489,10 +475,7 @@ mod tests {
 
     #[test]
     fn division_by_zero_int() {
-        let c = DataChunk::new(vec![
-            Vector::from_i64(vec![10]),
-            Vector::from_i64(vec![0]),
-        ]);
+        let c = DataChunk::new(vec![Vector::from_i64(vec![10]), Vector::from_i64(vec![0])]);
         let div = Expr::Arith {
             op: ArithOp::Div,
             left: Box::new(Expr::col(0)),

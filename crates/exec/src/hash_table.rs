@@ -120,9 +120,10 @@ impl JoinHashTable {
             }
             if let Some(cands) = self.map.get(&h) {
                 for &b in cands {
-                    let ok = self.key_cols.iter().zip(gathered.iter()).all(|(&kc, pv)| {
-                        values_equal(pv, row, &self.data.columns[kc], b as usize)
-                    });
+                    let ok =
+                        self.key_cols.iter().zip(gathered.iter()).all(|(&kc, pv)| {
+                            values_equal(pv, row, &self.data.columns[kc], b as usize)
+                        });
                     if ok {
                         probe_out.push(row as u32);
                         build_out.push(b);
@@ -156,9 +157,10 @@ impl JoinHashTable {
             }
             if let Some(cands) = self.map.get(&h) {
                 let hit = cands.iter().any(|&b| {
-                    self.key_cols.iter().zip(gathered.iter()).all(|(&kc, pv)| {
-                        values_equal(pv, row, &self.data.columns[kc], b as usize)
-                    })
+                    self.key_cols
+                        .iter()
+                        .zip(gathered.iter())
+                        .all(|(&kc, pv)| values_equal(pv, row, &self.data.columns[kc], b as usize))
                 });
                 if hit {
                     out.push(row as u32);

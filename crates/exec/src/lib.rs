@@ -17,17 +17,27 @@
 //!   `1000 × t_opt` timeout.
 //!
 //! The planner in `rpt-core` compiles logical RPT plans into
-//! [`pipeline::PipelinePlan`]s executed by [`pipeline::Executor`].
+//! [`pipeline::PipelinePlan`]s. Those specs *lower* onto the physical
+//! operator traits in [`operators`] (`Source`/`Operator`/`Sink`), and the
+//! DAG [`scheduler`] executes pipelines concurrently whenever their
+//! buffer/filter/hash-table dependencies allow, via
+//! [`pipeline::Executor::run_dag`].
 
 pub mod aggregate;
 pub mod context;
 pub mod expr;
 pub mod hash_table;
+pub mod operators;
 pub mod pipeline;
+pub mod scheduler;
 pub mod wcoj;
 
 pub use context::{ExecContext, Metrics};
 pub use expr::{AggExpr, AggFunc, ArithOp, CmpOp, Expr};
 pub use hash_table::JoinHashTable;
-pub use pipeline::{BloomSink, Executor, OpSpec, PipelinePlan, SinkSpec, SourceSpec};
+pub use operators::{Operator, ResourceId, Resources, Sink, SinkFactory, Source};
+pub use pipeline::{
+    BloomSink, Executor, OpSpec, PhysicalPipeline, PipelinePlan, SinkSpec, SourceSpec,
+};
+pub use scheduler::{run_dag, NodeDeps, SchedulerStats};
 pub use wcoj::{generic_join, WcojRelation};

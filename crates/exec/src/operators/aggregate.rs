@@ -1,0 +1,89 @@
+//! Hash-aggregation sink; the merged result is published as a one-chunk
+//! buffer.
+
+use super::{downcast_sink, ResourceId, Resources, Sink, SinkFactory};
+use crate::aggregate::AggregateState;
+use crate::context::ExecContext;
+use crate::expr::AggExpr;
+use rpt_common::{DataChunk, DataType, Result, Schema};
+use std::any::Any;
+
+pub struct AggregateSink {
+    buf_id: usize,
+    state: AggregateState,
+    output_schema: Schema,
+    rows: u64,
+}
+
+impl Sink for AggregateSink {
+    fn sink(&mut self, chunk: DataChunk, _ctx: &ExecContext) -> Result<()> {
+        self.rows += chunk.num_rows() as u64;
+        self.state.update(&chunk)
+    }
+
+    fn combine(&mut self, other: Box<dyn Sink>) -> Result<()> {
+        let other = downcast_sink::<AggregateSink>(other)?;
+        self.rows += other.rows;
+        self.state.merge(other.state);
+        Ok(())
+    }
+
+    fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    fn finalize(self: Box<Self>, res: &Resources) -> Result<()> {
+        let this = *self;
+        let out = this.state.finalize(&this.output_schema)?;
+        res.publish_buffer(this.buf_id, vec![out])
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+pub struct AggregateFactory {
+    buf_id: usize,
+    group_cols: Vec<usize>,
+    aggs: Vec<AggExpr>,
+    input_types: Vec<DataType>,
+    output_schema: Schema,
+}
+
+impl AggregateFactory {
+    pub fn new(
+        buf_id: usize,
+        group_cols: Vec<usize>,
+        aggs: Vec<AggExpr>,
+        input_types: Vec<DataType>,
+        output_schema: Schema,
+    ) -> AggregateFactory {
+        AggregateFactory {
+            buf_id,
+            group_cols,
+            aggs,
+            input_types,
+            output_schema,
+        }
+    }
+}
+
+impl SinkFactory for AggregateFactory {
+    fn make(&self, _ctx: &ExecContext) -> Result<Box<dyn Sink>> {
+        Ok(Box::new(AggregateSink {
+            buf_id: self.buf_id,
+            state: AggregateState::new(
+                self.group_cols.clone(),
+                self.aggs.clone(),
+                &self.input_types,
+            )?,
+            output_schema: self.output_schema.clone(),
+            rows: 0,
+        }))
+    }
+
+    fn writes(&self) -> Vec<ResourceId> {
+        vec![ResourceId::Buffer(self.buf_id)]
+    }
+}

@@ -1,0 +1,90 @@
+//! Buffer sink: materialize chunks (spilling past the memory cap) and
+//! optionally build Bloom filters along the way — the CreateBF operator.
+//! With no Bloom requests this is a plain collect sink.
+
+use super::create_bf::{combine_blooms, insert_into_blooms, BloomBuild, BloomSink};
+use super::{downcast_sink, ResourceId, Resources, Sink, SinkFactory};
+use crate::context::ExecContext;
+use rpt_common::{DataChunk, Result, Schema};
+use rpt_storage::SpillBuffer;
+use std::any::Any;
+
+pub struct BufferSink {
+    buf_id: usize,
+    buf: SpillBuffer,
+    blooms: Vec<BloomBuild>,
+    rows: u64,
+}
+
+impl Sink for BufferSink {
+    fn sink(&mut self, chunk: DataChunk, ctx: &ExecContext) -> Result<()> {
+        self.rows += chunk.num_rows() as u64;
+        insert_into_blooms(&chunk, &mut self.blooms, ctx);
+        self.buf.push(chunk)
+    }
+
+    fn combine(&mut self, other: Box<dyn Sink>) -> Result<()> {
+        let other = downcast_sink::<BufferSink>(other)?;
+        for c in other.buf.into_chunks()? {
+            self.buf.push(c)?;
+        }
+        combine_blooms(&mut self.blooms, &other.blooms)?;
+        self.rows += other.rows;
+        Ok(())
+    }
+
+    fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    fn finalize(self: Box<Self>, res: &Resources) -> Result<()> {
+        res.publish_buffer(self.buf_id, self.buf.into_chunks()?)?;
+        for b in self.blooms {
+            b.publish(res)?;
+        }
+        Ok(())
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Builds one [`BufferSink`] per worker, splitting the spill cap across
+/// the configured thread count.
+pub struct BufferSinkFactory {
+    buf_id: usize,
+    schema: Schema,
+    blooms: Vec<BloomSink>,
+}
+
+impl BufferSinkFactory {
+    pub fn new(buf_id: usize, schema: Schema, blooms: Vec<BloomSink>) -> BufferSinkFactory {
+        BufferSinkFactory {
+            buf_id,
+            schema,
+            blooms,
+        }
+    }
+}
+
+impl SinkFactory for BufferSinkFactory {
+    fn make(&self, ctx: &ExecContext) -> Result<Box<dyn Sink>> {
+        let per_thread_limit = ctx
+            .spill_limit_bytes
+            .map(|l| (l / ctx.threads).max(1))
+            .unwrap_or(usize::MAX);
+        Ok(Box::new(BufferSink {
+            buf_id: self.buf_id,
+            buf: SpillBuffer::new(self.schema.clone(), per_thread_limit, ctx.spill_dir.clone()),
+            blooms: BloomBuild::from_specs(&self.blooms),
+            rows: 0,
+        }))
+    }
+
+    fn writes(&self) -> Vec<ResourceId> {
+        let mut w = vec![ResourceId::Buffer(self.buf_id)];
+        w.extend(self.blooms.iter().map(|b| ResourceId::Filter(b.filter_id)));
+        w
+    }
+}

@@ -1,0 +1,88 @@
+//! CreateBF (§4.2): the Bloom-building half shared by the sinks.
+//!
+//! A [`BloomSink`] is the *request* ("build filter `filter_id` over these
+//! key columns, sized for this many keys"); a [`BloomBuild`] is one
+//! worker's in-progress filter. Buffer sinks (the canonical CreateBF) and
+//! hash-build sinks (the BloomJoin baseline's build side) both embed a list
+//! of `BloomBuild`s, merge them in `Combine`, and publish in `Finalize`.
+
+use super::{key_hashes, Resources};
+use crate::context::ExecContext;
+use rpt_bloom::BloomFilter;
+use rpt_common::{DataChunk, Error, Result};
+use std::time::Instant;
+
+/// Request to build one Bloom filter inside a buffering sink.
+#[derive(Clone)]
+pub struct BloomSink {
+    pub filter_id: usize,
+    pub key_cols: Vec<usize>,
+    /// Sizing hint (pre-reduction cardinality of the source).
+    pub expected_keys: usize,
+    pub fpr: f64,
+}
+
+/// One worker's partial Bloom filter for a [`BloomSink`] request.
+pub struct BloomBuild {
+    spec: BloomSink,
+    filter: BloomFilter,
+}
+
+impl BloomBuild {
+    pub fn new(spec: &BloomSink) -> BloomBuild {
+        BloomBuild {
+            filter: BloomFilter::with_capacity(spec.expected_keys, spec.fpr),
+            spec: spec.clone(),
+        }
+    }
+
+    /// Instantiate one build per request.
+    pub fn from_specs(specs: &[BloomSink]) -> Vec<BloomBuild> {
+        specs.iter().map(BloomBuild::new).collect()
+    }
+
+    pub fn filter_id(&self) -> usize {
+        self.spec.filter_id
+    }
+
+    /// Merge another worker's partial filter (same request).
+    pub fn merge(&mut self, other: &BloomBuild) -> Result<()> {
+        self.filter.merge(&other.filter).map_err(Error::Exec)
+    }
+
+    /// Publish the finished filter.
+    pub fn publish(self, res: &Resources) -> Result<()> {
+        res.publish_filter(self.spec.filter_id, self.filter)
+    }
+}
+
+/// Insert the key hashes of a chunk into the worker's partial filters
+/// (the `Sink` step of CreateBF / the BloomJoin build side).
+pub fn insert_into_blooms(chunk: &DataChunk, blooms: &mut [BloomBuild], ctx: &ExecContext) {
+    if blooms.is_empty() {
+        return;
+    }
+    let m = &ctx.metrics;
+    let t0 = Instant::now();
+    for build in blooms.iter_mut() {
+        let hashes = key_hashes(chunk, &build.spec.key_cols);
+        for h in hashes {
+            if h != u64::MAX {
+                build.filter.insert_hash(h);
+            }
+        }
+    }
+    m.add(&m.bloom_nanos, t0.elapsed().as_nanos() as u64);
+    m.add(
+        &m.bloom_build_rows,
+        chunk.num_rows() as u64 * blooms.len() as u64,
+    );
+}
+
+/// Merge two parallel lists of partial filters pairwise.
+pub fn combine_blooms(mine: &mut [BloomBuild], other: &[BloomBuild]) -> Result<()> {
+    for (a, b) in mine.iter_mut().zip(other.iter()) {
+        a.merge(b)?;
+    }
+    Ok(())
+}

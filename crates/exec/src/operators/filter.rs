@@ -1,0 +1,29 @@
+//! Predicate filter: refines the chunk's selection vector.
+
+use super::{Operator, Resources};
+use crate::context::ExecContext;
+use crate::expr::Expr;
+use rpt_common::{DataChunk, Result};
+
+pub struct Filter {
+    pred: Expr,
+}
+
+impl Filter {
+    pub fn new(pred: Expr) -> Filter {
+        Filter { pred }
+    }
+}
+
+impl Operator for Filter {
+    fn execute(
+        &self,
+        mut chunk: DataChunk,
+        _ctx: &ExecContext,
+        _res: &Resources,
+    ) -> Result<Option<DataChunk>> {
+        let sel = self.pred.eval_selection(&chunk)?;
+        chunk.refine_selection(&sel);
+        Ok(Some(chunk))
+    }
+}

@@ -1,0 +1,103 @@
+//! Hash-join build sink, optionally building Bloom filters over the same
+//! stream — how the BloomJoin baseline (§6.1) attaches a filter to each
+//! hash-join build side.
+
+use super::create_bf::{combine_blooms, insert_into_blooms, BloomBuild, BloomSink};
+use super::{downcast_sink, ResourceId, Resources, Sink, SinkFactory};
+use crate::context::ExecContext;
+use crate::hash_table::JoinHashTable;
+use rpt_common::{DataChunk, Result, Schema};
+use std::any::Any;
+
+pub struct HashBuildSink {
+    ht_id: usize,
+    key_cols: Vec<usize>,
+    blooms: Vec<BloomBuild>,
+    chunks: Vec<DataChunk>,
+    schema: Schema,
+    rows: u64,
+}
+
+impl Sink for HashBuildSink {
+    fn sink(&mut self, chunk: DataChunk, ctx: &ExecContext) -> Result<()> {
+        let n = chunk.num_rows() as u64;
+        insert_into_blooms(&chunk, &mut self.blooms, ctx);
+        ctx.metrics.add(&ctx.metrics.hash_build_rows, n);
+        self.chunks.push(chunk.flattened());
+        self.rows += n;
+        Ok(())
+    }
+
+    fn combine(&mut self, other: Box<dyn Sink>) -> Result<()> {
+        let other = downcast_sink::<HashBuildSink>(other)?;
+        self.chunks.extend(other.chunks);
+        combine_blooms(&mut self.blooms, &other.blooms)?;
+        self.rows += other.rows;
+        Ok(())
+    }
+
+    fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    fn finalize(self: Box<Self>, res: &Resources) -> Result<()> {
+        // An empty build side must still carry its column arity so
+        // probe-side output chunks have the right shape.
+        let table = if self.chunks.is_empty() {
+            JoinHashTable::build(&[DataChunk::empty_like(&self.schema)], self.key_cols)?
+        } else {
+            JoinHashTable::build(&self.chunks, self.key_cols)?
+        };
+        res.publish_table(self.ht_id, table)?;
+        for b in self.blooms {
+            b.publish(res)?;
+        }
+        Ok(())
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+pub struct HashBuildFactory {
+    ht_id: usize,
+    key_cols: Vec<usize>,
+    schema: Schema,
+    blooms: Vec<BloomSink>,
+}
+
+impl HashBuildFactory {
+    pub fn new(
+        ht_id: usize,
+        key_cols: Vec<usize>,
+        schema: Schema,
+        blooms: Vec<BloomSink>,
+    ) -> HashBuildFactory {
+        HashBuildFactory {
+            ht_id,
+            key_cols,
+            schema,
+            blooms,
+        }
+    }
+}
+
+impl SinkFactory for HashBuildFactory {
+    fn make(&self, _ctx: &ExecContext) -> Result<Box<dyn Sink>> {
+        Ok(Box::new(HashBuildSink {
+            ht_id: self.ht_id,
+            key_cols: self.key_cols.clone(),
+            blooms: BloomBuild::from_specs(&self.blooms),
+            chunks: Vec::new(),
+            schema: self.schema.clone(),
+            rows: 0,
+        }))
+    }
+
+    fn writes(&self) -> Vec<ResourceId> {
+        let mut w = vec![ResourceId::HashTable(self.ht_id)];
+        w.extend(self.blooms.iter().map(|b| ResourceId::Filter(b.filter_id)));
+        w
+    }
+}

@@ -1,0 +1,213 @@
+//! The physical operator layer: `Source` / `Operator` / `Sink` traits and
+//! one implementation per physical operator.
+//!
+//! This is the trait-object IR the executor actually runs. The enum specs
+//! in [`crate::pipeline`] (`SourceSpec`/`OpSpec`/`SinkSpec`) survive as a
+//! thin, declarative compat layer that *lowers* onto these traits; new
+//! operators can be added by implementing a trait without touching the
+//! enums or the executor loop.
+//!
+//! Execution model (unchanged from §4.1 of the paper's DuckDB substrate):
+//! a pipeline pulls morsels from its [`Source`], pushes them through a
+//! chain of streaming [`Operator`]s, and terminates at a [`Sink`] — one
+//! sink instance per worker thread, merged via `combine` and published via
+//! `finalize`. Cross-pipeline state (materialized buffers, Bloom filters,
+//! join hash tables) lives in [`Resources`]: write-once slots that double
+//! as the *dependency* vocabulary ([`ResourceId`]) the DAG scheduler uses
+//! to decide which pipelines may run concurrently.
+
+pub mod aggregate;
+pub mod buffer;
+pub mod create_bf;
+pub mod filter;
+pub mod hash_build;
+pub mod join_probe;
+pub mod probe_bloom;
+pub mod project;
+pub mod scan;
+pub mod semi_probe;
+
+pub use aggregate::AggregateSink;
+pub use buffer::BufferSink;
+pub use create_bf::{BloomBuild, BloomSink};
+pub use filter::Filter;
+pub use hash_build::HashBuildSink;
+pub use join_probe::JoinProbe;
+pub use probe_bloom::ProbeBloom;
+pub use project::Project;
+pub use scan::{BufferScan, TableScan};
+pub use semi_probe::SemiProbe;
+
+use crate::context::ExecContext;
+use crate::hash_table::JoinHashTable;
+use rpt_bloom::BloomFilter;
+use rpt_common::{DataChunk, Error, Result, Vector};
+use std::any::Any;
+use std::sync::{Arc, OnceLock};
+
+/// Identifier of a cross-pipeline resource: what a pipeline reads or
+/// writes. The planner's `PhysicalPlan` records these per pipeline and the
+/// scheduler derives the execution DAG from them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ResourceId {
+    /// A materialized chunk buffer (`CreateBF` output, collect sinks, …).
+    Buffer(usize),
+    /// A Bloom filter built by a CreateBF / BloomJoin build sink.
+    Filter(usize),
+    /// A join hash table.
+    HashTable(usize),
+}
+
+/// Write-once shared state produced and consumed by pipelines.
+///
+/// Every slot is an [`OnceLock`]: producers publish exactly once in their
+/// sink's `finalize`, consumers resolve at probe time. The scheduler
+/// guarantees producers complete before consumers start, so a failed
+/// lookup is a planning bug and surfaces as `Error::Exec`.
+pub struct Resources {
+    buffers: Vec<OnceLock<Arc<Vec<DataChunk>>>>,
+    filters: Vec<OnceLock<Arc<BloomFilter>>>,
+    tables: Vec<OnceLock<Arc<JoinHashTable>>>,
+}
+
+impl Resources {
+    pub fn new(num_buffers: usize, num_filters: usize, num_tables: usize) -> Resources {
+        Resources {
+            buffers: (0..num_buffers).map(|_| OnceLock::new()).collect(),
+            filters: (0..num_filters).map(|_| OnceLock::new()).collect(),
+            tables: (0..num_tables).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    pub fn buffer(&self, id: usize) -> Result<Arc<Vec<DataChunk>>> {
+        self.buffers
+            .get(id)
+            .and_then(|b| b.get().cloned())
+            .ok_or_else(|| Error::Exec(format!("buffer {id} not materialized")))
+    }
+
+    pub fn buffer_rows(&self, id: usize) -> u64 {
+        self.buffers
+            .get(id)
+            .and_then(|b| b.get())
+            .map_or(0, |chunks| chunks.iter().map(|c| c.num_rows() as u64).sum())
+    }
+
+    pub fn filter(&self, id: usize) -> Result<Arc<BloomFilter>> {
+        self.filters
+            .get(id)
+            .and_then(|f| f.get().cloned())
+            .ok_or_else(|| Error::Exec(format!("bloom filter {id} not built")))
+    }
+
+    pub fn hash_table(&self, id: usize) -> Result<Arc<JoinHashTable>> {
+        self.tables
+            .get(id)
+            .and_then(|t| t.get().cloned())
+            .ok_or_else(|| Error::Exec(format!("hash table {id} not built")))
+    }
+
+    pub fn publish_buffer(&self, id: usize, chunks: Vec<DataChunk>) -> Result<()> {
+        self.buffers
+            .get(id)
+            .ok_or_else(|| Error::Exec(format!("buffer slot {id} out of range")))?
+            .set(Arc::new(chunks))
+            .map_err(|_| Error::Exec(format!("buffer {id} published twice")))
+    }
+
+    pub fn publish_filter(&self, id: usize, filter: BloomFilter) -> Result<()> {
+        self.filters
+            .get(id)
+            .ok_or_else(|| Error::Exec(format!("filter slot {id} out of range")))?
+            .set(Arc::new(filter))
+            .map_err(|_| Error::Exec(format!("bloom filter {id} published twice")))
+    }
+
+    pub fn publish_table(&self, id: usize, table: JoinHashTable) -> Result<()> {
+        self.tables
+            .get(id)
+            .ok_or_else(|| Error::Exec(format!("hash table slot {id} out of range")))?
+            .set(Arc::new(table))
+            .map_err(|_| Error::Exec(format!("hash table {id} published twice")))
+    }
+}
+
+/// Where a pipeline's morsels come from (`GetData`).
+pub trait Source: Send + Sync {
+    /// The materialized chunks workers will claim morsel-style.
+    fn chunks(&self, res: &Resources) -> Result<Arc<Vec<DataChunk>>>;
+
+    /// Resources this source depends on.
+    fn reads(&self) -> Vec<ResourceId> {
+        Vec::new()
+    }
+}
+
+/// A streaming (non-breaking) operator (`Execute`).
+pub trait Operator: Send + Sync {
+    /// Push one chunk through; `None` means it was filtered to nothing.
+    fn execute(
+        &self,
+        chunk: DataChunk,
+        ctx: &ExecContext,
+        res: &Resources,
+    ) -> Result<Option<DataChunk>>;
+
+    /// Resources this operator probes.
+    fn reads(&self) -> Vec<ResourceId> {
+        Vec::new()
+    }
+}
+
+/// Per-thread sink state (`Sink` / `Combine` / `Finalize`).
+pub trait Sink: Send + Any {
+    /// Consume one chunk on a worker thread.
+    fn sink(&mut self, chunk: DataChunk, ctx: &ExecContext) -> Result<()>;
+
+    /// Merge another worker's state (same concrete type) into this one.
+    fn combine(&mut self, other: Box<dyn Sink>) -> Result<()>;
+
+    /// Rows that have entered this sink (for the intermediate-tuple metric).
+    fn rows(&self) -> u64;
+
+    /// Publish the merged result into the shared [`Resources`].
+    fn finalize(self: Box<Self>, res: &Resources) -> Result<()>;
+
+    /// Downcast support for [`Sink::combine`].
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// Builds one [`Sink`] per worker thread and declares what the pipeline
+/// publishes.
+pub trait SinkFactory: Send + Sync {
+    fn make(&self, ctx: &ExecContext) -> Result<Box<dyn Sink>>;
+
+    /// Resources the sink publishes in `finalize`.
+    fn writes(&self) -> Vec<ResourceId>;
+}
+
+/// Downcast `other` to `S` for a `combine`, with a uniform error.
+pub(crate) fn downcast_sink<S: Sink>(other: Box<dyn Sink>) -> Result<Box<S>> {
+    other
+        .into_any()
+        .downcast::<S>()
+        .map_err(|_| Error::Exec("combining mismatched sink states".into()))
+}
+
+/// Gather key columns over the logical rows of a chunk.
+pub(crate) fn gather_keys(chunk: &DataChunk, key_cols: &[usize]) -> Vec<Vector> {
+    key_cols
+        .iter()
+        .map(|&k| match &chunk.selection {
+            Some(sel) => chunk.columns[k].take(sel),
+            None => chunk.columns[k].clone(),
+        })
+        .collect()
+}
+
+/// Vectorized key hashes over the logical rows of a chunk.
+pub(crate) fn key_hashes(chunk: &DataChunk, key_cols: &[usize]) -> Vec<u64> {
+    let gathered = gather_keys(chunk, key_cols);
+    let refs: Vec<&Vector> = gathered.iter().collect();
+    rpt_common::hash::hash_columns(&refs, chunk.num_rows())
+}

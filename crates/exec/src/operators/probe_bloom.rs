@@ -1,0 +1,49 @@
+//! ProbeBF (§4.2): drop rows whose key hash misses a Bloom filter built by
+//! an earlier CreateBF pipeline, via the bitmask → selection conversion.
+
+use super::{key_hashes, Operator, ResourceId, Resources};
+use crate::context::ExecContext;
+use rpt_bloom::bitmask_to_selection;
+use rpt_common::{DataChunk, Result};
+use std::time::Instant;
+
+pub struct ProbeBloom {
+    filter_id: usize,
+    key_cols: Vec<usize>,
+}
+
+impl ProbeBloom {
+    pub fn new(filter_id: usize, key_cols: Vec<usize>) -> ProbeBloom {
+        ProbeBloom {
+            filter_id,
+            key_cols,
+        }
+    }
+}
+
+impl Operator for ProbeBloom {
+    fn execute(
+        &self,
+        mut chunk: DataChunk,
+        ctx: &ExecContext,
+        res: &Resources,
+    ) -> Result<Option<DataChunk>> {
+        let filter = res.filter(self.filter_id)?;
+        let m = &ctx.metrics;
+        let n = chunk.num_rows();
+        let t0 = Instant::now();
+        let hashes = key_hashes(&chunk, &self.key_cols);
+        let mask = filter.probe_hashes_bitmask(&hashes);
+        let mut keep = Vec::new();
+        bitmask_to_selection(&mask, n, &mut keep);
+        m.add(&m.bloom_nanos, t0.elapsed().as_nanos() as u64);
+        m.add(&m.bloom_probe_in, n as u64);
+        m.add(&m.bloom_probe_out, keep.len() as u64);
+        chunk.refine_selection(&keep);
+        Ok(Some(chunk))
+    }
+
+    fn reads(&self) -> Vec<ResourceId> {
+        vec![ResourceId::Filter(self.filter_id)]
+    }
+}

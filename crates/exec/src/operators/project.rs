@@ -1,0 +1,32 @@
+//! Projection: replaces the chunk with evaluated expressions (flattens).
+
+use super::{Operator, Resources};
+use crate::context::ExecContext;
+use crate::expr::Expr;
+use rpt_common::{DataChunk, Result, Vector};
+
+pub struct Project {
+    exprs: Vec<Expr>,
+}
+
+impl Project {
+    pub fn new(exprs: Vec<Expr>) -> Project {
+        Project { exprs }
+    }
+}
+
+impl Operator for Project {
+    fn execute(
+        &self,
+        chunk: DataChunk,
+        _ctx: &ExecContext,
+        _res: &Resources,
+    ) -> Result<Option<DataChunk>> {
+        let cols: Vec<Vector> = self
+            .exprs
+            .iter()
+            .map(|e| e.eval(&chunk))
+            .collect::<Result<_>>()?;
+        Ok(Some(DataChunk::new(cols)))
+    }
+}

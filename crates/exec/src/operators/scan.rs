@@ -1,0 +1,45 @@
+//! Scan sources: in-memory table scans and buffer re-scans.
+
+use super::{ResourceId, Resources, Source};
+use rpt_common::{DataChunk, Result};
+use rpt_storage::Table;
+use std::sync::Arc;
+
+/// Scan an in-memory columnar table, chunked into default-size morsels.
+pub struct TableScan {
+    table: Arc<Table>,
+}
+
+impl TableScan {
+    pub fn new(table: Arc<Table>) -> TableScan {
+        TableScan { table }
+    }
+}
+
+impl Source for TableScan {
+    fn chunks(&self, _res: &Resources) -> Result<Arc<Vec<DataChunk>>> {
+        Ok(Arc::new(self.table.default_chunks()))
+    }
+}
+
+/// Re-scan the materialized output of an earlier pipeline (e.g. a CreateBF
+/// buffer acting as the source of the backward pass or the join phase).
+pub struct BufferScan {
+    buf_id: usize,
+}
+
+impl BufferScan {
+    pub fn new(buf_id: usize) -> BufferScan {
+        BufferScan { buf_id }
+    }
+}
+
+impl Source for BufferScan {
+    fn chunks(&self, res: &Resources) -> Result<Arc<Vec<DataChunk>>> {
+        res.buffer(self.buf_id)
+    }
+
+    fn reads(&self) -> Vec<ResourceId> {
+        vec![ResourceId::Buffer(self.buf_id)]
+    }
+}

@@ -1,34 +1,36 @@
-//! Pipelines and the push-based executor.
+//! Pipeline specs, lowering, and the push-based pipeline driver.
 //!
-//! A query compiles into an ordered list of [`PipelinePlan`]s, mirroring
-//! DuckDB's execution model (§4.1, Figure 3): each pipeline pulls chunks
-//! from its *source*, pushes them through streaming *operators*, and
-//! terminates at a *sink* (a pipeline breaker). The RPT integration (§4.2,
-//! §4.3, Figure 5) adds:
+//! A query compiles into [`PipelinePlan`]s, mirroring DuckDB's execution
+//! model (§4.1, Figure 3): each pipeline pulls chunks from its *source*,
+//! pushes them through streaming *operators*, and terminates at a *sink*
+//! (a pipeline breaker). The RPT integration (§4.2, §4.3, Figure 5) adds
+//! the CreateBF sink and the ProbeBF streaming operator.
 //!
-//! * `SinkSpec::Buffer` with [`BloomSink`]s — the **CreateBF** operator:
-//!   buffers the incoming chunks (spilling if configured) and builds one
-//!   Bloom filter per requested key set in `Finalize`; the buffer then acts
-//!   as the source of a later pipeline;
-//! * `OpSpec::ProbeBloom` — the **ProbeBF** operator: probes a previously
-//!   built filter and refines the chunk's selection vector via the
-//!   bitmask → selection conversion.
-//!
-//! Multi-threaded execution is morsel-driven: workers claim source chunks
-//! from an atomic counter, maintain thread-local sink state (`Sink`), and
-//! the main thread merges (`Combine`) and finalizes (`Finalize`).
+//! The enums here ([`SourceSpec`], [`OpSpec`], [`SinkSpec`]) are a thin
+//! declarative layer: [`PipelinePlan::lower`] turns a spec into a
+//! [`PhysicalPipeline`] of trait objects from [`crate::operators`], which
+//! is what [`run_physical`] executes. Multi-threaded execution is
+//! morsel-driven: workers claim source chunks from an atomic counter,
+//! maintain thread-local sink state (`Sink`), and the driver merges
+//! (`Combine`) and publishes (`Finalize`). Pipelines themselves are
+//! ordered by the DAG scheduler in [`crate::scheduler`] based on the
+//! resources they read and write.
 
-use crate::aggregate::AggregateState;
 use crate::context::ExecContext;
 use crate::expr::{AggExpr, Expr};
 use crate::hash_table::JoinHashTable;
-use rpt_bloom::{bitmask_to_selection, BloomFilter};
-use rpt_common::hash::hash_columns;
-use rpt_common::{DataChunk, DataType, Error, Result, Schema, Vector};
-use rpt_storage::{SpillBuffer, Table};
+use crate::operators::{
+    aggregate::AggregateFactory, buffer::BufferSinkFactory, hash_build::HashBuildFactory,
+    BufferScan, Filter, JoinProbe, Operator, ProbeBloom, Project, ResourceId, Resources, SemiProbe,
+    SinkFactory, Source, TableScan,
+};
+use rpt_bloom::BloomFilter;
+use rpt_common::{DataChunk, DataType, Result, Schema};
+use rpt_storage::Table;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+
+pub use crate::operators::create_bf::BloomSink;
 
 /// Where a pipeline reads its chunks from.
 #[derive(Clone)]
@@ -40,6 +42,16 @@ pub enum SourceSpec {
     Buffer(usize),
 }
 
+impl SourceSpec {
+    /// Lower onto the operator trait layer.
+    pub fn lower(&self) -> Box<dyn Source> {
+        match self {
+            SourceSpec::Table(t) => Box::new(TableScan::new(t.clone())),
+            SourceSpec::Buffer(id) => Box::new(BufferScan::new(*id)),
+        }
+    }
+}
+
 /// A streaming (non-breaking) operator.
 #[derive(Clone)]
 pub enum OpSpec {
@@ -48,7 +60,10 @@ pub enum OpSpec {
     /// Replace the chunk with evaluated expressions (flattens).
     Project(Vec<Expr>),
     /// ProbeBF: drop rows whose key misses the Bloom filter.
-    ProbeBloom { filter_id: usize, key_cols: Vec<usize> },
+    ProbeBloom {
+        filter_id: usize,
+        key_cols: Vec<usize>,
+    },
     /// Hash-join probe against a built table; appends the listed build-side
     /// columns to the chunk. One output row per match (duplicating).
     JoinProbe {
@@ -60,14 +75,30 @@ pub enum OpSpec {
     SemiProbe { ht_id: usize, key_cols: Vec<usize> },
 }
 
-/// Request to build one Bloom filter inside a buffering sink.
-#[derive(Clone)]
-pub struct BloomSink {
-    pub filter_id: usize,
-    pub key_cols: Vec<usize>,
-    /// Sizing hint (pre-reduction cardinality of the source).
-    pub expected_keys: usize,
-    pub fpr: f64,
+impl OpSpec {
+    /// Lower onto the operator trait layer.
+    pub fn lower(&self) -> Box<dyn Operator> {
+        match self {
+            OpSpec::Filter(e) => Box::new(Filter::new(e.clone())),
+            OpSpec::Project(exprs) => Box::new(Project::new(exprs.clone())),
+            OpSpec::ProbeBloom {
+                filter_id,
+                key_cols,
+            } => Box::new(ProbeBloom::new(*filter_id, key_cols.clone())),
+            OpSpec::JoinProbe {
+                ht_id,
+                key_cols,
+                build_output_cols,
+            } => Box::new(JoinProbe::new(
+                *ht_id,
+                key_cols.clone(),
+                build_output_cols.clone(),
+            )),
+            OpSpec::SemiProbe { ht_id, key_cols } => {
+                Box::new(SemiProbe::new(*ht_id, key_cols.clone()))
+            }
+        }
+    }
 }
 
 /// Pipeline-terminating operator.
@@ -98,6 +129,43 @@ pub enum SinkSpec {
     },
 }
 
+impl SinkSpec {
+    /// Lower onto the operator trait layer; `sink_schema` is the schema of
+    /// chunks entering the sink (needed for spill files and empty builds).
+    pub fn lower(&self, sink_schema: &Schema) -> Box<dyn SinkFactory> {
+        match self {
+            SinkSpec::Buffer { buf_id, blooms } => Box::new(BufferSinkFactory::new(
+                *buf_id,
+                sink_schema.clone(),
+                blooms.clone(),
+            )),
+            SinkSpec::HashBuild {
+                ht_id,
+                key_cols,
+                blooms,
+            } => Box::new(HashBuildFactory::new(
+                *ht_id,
+                key_cols.clone(),
+                sink_schema.clone(),
+                blooms.clone(),
+            )),
+            SinkSpec::Aggregate {
+                buf_id,
+                group_cols,
+                aggs,
+                input_types,
+                output_schema,
+            } => Box::new(AggregateFactory::new(
+                *buf_id,
+                group_cols.clone(),
+                aggs.clone(),
+                input_types.clone(),
+                output_schema.clone(),
+            )),
+        }
+    }
+}
+
 /// One pipeline: source → ops → sink.
 #[derive(Clone)]
 pub struct PipelinePlan {
@@ -113,231 +181,72 @@ pub struct PipelinePlan {
     pub sink_schema: Schema,
 }
 
-/// Executor state shared across a query's pipelines.
-pub struct Executor {
-    pub ctx: ExecContext,
-    buffers: Vec<Option<Arc<Vec<DataChunk>>>>,
-    filters: Vec<Option<Arc<BloomFilter>>>,
-    tables: Vec<Option<Arc<JoinHashTable>>>,
-}
-
-impl Executor {
-    pub fn new(ctx: ExecContext, num_buffers: usize, num_filters: usize, num_tables: usize) -> Self {
-        Executor {
-            ctx,
-            buffers: vec![None; num_buffers],
-            filters: vec![None; num_filters],
-            tables: vec![None; num_tables],
+impl PipelinePlan {
+    /// Lower the spec onto the operator trait layer.
+    pub fn lower(&self) -> PhysicalPipeline {
+        PhysicalPipeline {
+            label: self.label.clone(),
+            source: self.source.lower(),
+            ops: self.ops.iter().map(OpSpec::lower).collect(),
+            sink: self.sink.lower(&self.sink_schema),
+            intermediate: self.intermediate,
         }
     }
 
-    /// Execute pipelines in order.
-    pub fn run(&mut self, pipelines: &[PipelinePlan]) -> Result<()> {
-        for p in pipelines {
-            self.run_pipeline(p)?;
+    /// Read/write resource sets, derived from one lowering of the
+    /// operator layer. Use this (not separate `reads`/`writes` calls) so
+    /// the spec is lowered only once per dependency query.
+    pub fn node_deps(&self) -> crate::scheduler::NodeDeps {
+        let phys = self.lower();
+        crate::scheduler::NodeDeps {
+            reads: phys.reads(),
+            writes: phys.writes(),
         }
-        Ok(())
-    }
-
-    /// Materialized chunks of a buffer.
-    pub fn buffer(&self, id: usize) -> Result<Arc<Vec<DataChunk>>> {
-        self.buffers
-            .get(id)
-            .and_then(|b| b.clone())
-            .ok_or_else(|| Error::Exec(format!("buffer {id} not materialized")))
-    }
-
-    pub fn buffer_rows(&self, id: usize) -> u64 {
-        self.buffers
-            .get(id)
-            .and_then(|b| b.as_ref())
-            .map_or(0, |chunks| chunks.iter().map(|c| c.num_rows() as u64).sum())
-    }
-
-    pub fn filter(&self, id: usize) -> Result<Arc<BloomFilter>> {
-        self.filters
-            .get(id)
-            .and_then(|f| f.clone())
-            .ok_or_else(|| Error::Exec(format!("bloom filter {id} not built")))
-    }
-
-    pub fn hash_table(&self, id: usize) -> Result<Arc<JoinHashTable>> {
-        self.tables
-            .get(id)
-            .and_then(|t| t.clone())
-            .ok_or_else(|| Error::Exec(format!("hash table {id} not built")))
-    }
-
-    fn source_chunks(&self, src: &SourceSpec) -> Result<Arc<Vec<DataChunk>>> {
-        Ok(match src {
-            SourceSpec::Table(t) => Arc::new(t.default_chunks()),
-            SourceSpec::Buffer(id) => self.buffer(*id)?,
-        })
-    }
-
-    fn run_pipeline(&mut self, p: &PipelinePlan) -> Result<()> {
-        let chunks = self.source_chunks(&p.source)?;
-        let threads = self.ctx.threads.min(chunks.len()).max(1);
-        let mut states: Vec<SinkState> = Vec::with_capacity(threads);
-
-        if threads == 1 {
-            let mut state = SinkState::new(p, &self.ctx)?;
-            for c in chunks.iter() {
-                self.ctx.charge(c.num_rows() as u64)?;
-                if let Some(out) = self.apply_ops(c.clone(), &p.ops)? {
-                    state.sink(out, &self.ctx)?;
-                }
-            }
-            states.push(state);
-        } else {
-            let next = AtomicUsize::new(0);
-            let ctx = &self.ctx;
-            let filters = &self.filters;
-            let tables = &self.tables;
-            let results: Vec<Result<SinkState>> = crossbeam::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(threads);
-                for _ in 0..threads {
-                    handles.push(scope.spawn(|_| -> Result<SinkState> {
-                        let mut state = SinkState::new(p, ctx)?;
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= chunks.len() {
-                                break;
-                            }
-                            ctx.charge(chunks[i].num_rows() as u64)?;
-                            if let Some(out) =
-                                apply_ops_inner(chunks[i].clone(), &p.ops, ctx, filters, tables)?
-                            {
-                                state.sink(out, ctx)?;
-                            }
-                        }
-                        Ok(state)
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            })
-            .expect("thread scope failed");
-            for r in results {
-                states.push(r?);
-            }
-        }
-
-        // Combine + Finalize.
-        let mut iter = states.into_iter();
-        let mut merged = iter.next().expect("at least one sink state");
-        for s in iter {
-            merged.combine(s)?;
-        }
-        let rows = merged.rows();
-        if p.intermediate {
-            self.ctx
-                .metrics
-                .add(&self.ctx.metrics.intermediate_tuples, rows);
-        } else {
-            self.ctx.metrics.add(&self.ctx.metrics.output_rows, rows);
-        }
-        self.ctx.metrics.record_pipeline(&p.label, rows);
-        merged.finalize(self)?;
-        Ok(())
-    }
-
-    fn apply_ops(&self, chunk: DataChunk, ops: &[OpSpec]) -> Result<Option<DataChunk>> {
-        apply_ops_inner(chunk, ops, &self.ctx, &self.filters, &self.tables)
     }
 }
 
-/// Gather key columns over the logical rows of a chunk.
-fn gather_keys(chunk: &DataChunk, key_cols: &[usize]) -> Vec<Vector> {
-    key_cols
-        .iter()
-        .map(|&k| match &chunk.selection {
-            Some(sel) => chunk.columns[k].take(sel),
-            None => chunk.columns[k].clone(),
-        })
-        .collect()
+/// A lowered pipeline: trait objects ready for the driver.
+pub struct PhysicalPipeline {
+    pub label: String,
+    pub source: Box<dyn Source>,
+    pub ops: Vec<Box<dyn Operator>>,
+    pub sink: Box<dyn SinkFactory>,
+    pub intermediate: bool,
 }
 
-fn apply_ops_inner(
+impl PhysicalPipeline {
+    /// Resources read by the source and the streaming operators.
+    pub fn reads(&self) -> Vec<ResourceId> {
+        let mut r = self.source.reads();
+        for op in &self.ops {
+            r.extend(op.reads());
+        }
+        r.sort_unstable();
+        r.dedup();
+        r
+    }
+
+    /// Resources published by the sink.
+    pub fn writes(&self) -> Vec<ResourceId> {
+        self.sink.writes()
+    }
+}
+
+/// Push one chunk through a pipeline's operator chain. `None` = the chunk
+/// was filtered to nothing (short-circuits the remaining operators).
+fn push_through(
+    ops: &[Box<dyn Operator>],
     mut chunk: DataChunk,
-    ops: &[OpSpec],
     ctx: &ExecContext,
-    filters: &[Option<Arc<BloomFilter>>],
-    tables: &[Option<Arc<JoinHashTable>>],
+    res: &Resources,
 ) -> Result<Option<DataChunk>> {
-    let m = &ctx.metrics;
     for op in ops {
         if chunk.is_logically_empty() {
             return Ok(None);
         }
-        match op {
-            OpSpec::Filter(e) => {
-                let sel = e.eval_selection(&chunk)?;
-                chunk.refine_selection(&sel);
-            }
-            OpSpec::Project(exprs) => {
-                let cols: Vec<Vector> =
-                    exprs.iter().map(|e| e.eval(&chunk)).collect::<Result<_>>()?;
-                chunk = DataChunk::new(cols);
-            }
-            OpSpec::ProbeBloom { filter_id, key_cols } => {
-                let filter = filters
-                    .get(*filter_id)
-                    .and_then(|f| f.as_ref())
-                    .ok_or_else(|| {
-                        Error::Exec(format!("bloom filter {filter_id} not built"))
-                    })?;
-                let n = chunk.num_rows();
-                let t0 = Instant::now();
-                let gathered = gather_keys(&chunk, key_cols);
-                let refs: Vec<&Vector> = gathered.iter().collect();
-                let hashes = hash_columns(&refs, n);
-                let mask = filter.probe_hashes_bitmask(&hashes);
-                let mut keep = Vec::new();
-                bitmask_to_selection(&mask, n, &mut keep);
-                m.add(&m.bloom_nanos, t0.elapsed().as_nanos() as u64);
-                m.add(&m.bloom_probe_in, n as u64);
-                m.add(&m.bloom_probe_out, keep.len() as u64);
-                chunk.refine_selection(&keep);
-            }
-            OpSpec::JoinProbe {
-                ht_id,
-                key_cols,
-                build_output_cols,
-            } => {
-                let ht = tables
-                    .get(*ht_id)
-                    .and_then(|t| t.as_ref())
-                    .ok_or_else(|| Error::Exec(format!("hash table {ht_id} not built")))?;
-                m.add(&m.join_probe_in, chunk.num_rows() as u64);
-                let mut probe_rows = Vec::new();
-                let mut build_rows = Vec::new();
-                ht.probe(&chunk, key_cols, &mut probe_rows, &mut build_rows);
-                let out_n = probe_rows.len();
-                ctx.charge(out_n as u64)?;
-                m.add(&m.join_output_rows, out_n as u64);
-                // logical → physical probe indices
-                let phys: Vec<u32> = probe_rows
-                    .iter()
-                    .map(|&l| chunk.physical_index(l as usize) as u32)
-                    .collect();
-                let mut cols: Vec<Vector> =
-                    chunk.columns.iter().map(|c| c.take(&phys)).collect();
-                for &bc in build_output_cols {
-                    cols.push(ht.data.columns[bc].take(&build_rows));
-                }
-                chunk = DataChunk::new(cols);
-            }
-            OpSpec::SemiProbe { ht_id, key_cols } => {
-                let ht = tables
-                    .get(*ht_id)
-                    .and_then(|t| t.as_ref())
-                    .ok_or_else(|| Error::Exec(format!("hash table {ht_id} not built")))?;
-                let keep = ht.semi_probe(&chunk, key_cols);
-                chunk.refine_selection(&keep);
-            }
+        match op.execute(chunk, ctx, res)? {
+            Some(out) => chunk = out,
+            None => return Ok(None),
         }
     }
     if chunk.is_logically_empty() {
@@ -347,282 +256,157 @@ fn apply_ops_inner(
     }
 }
 
-/// Insert the key hashes of a chunk into thread-local Bloom filters
-/// (the Sink step of CreateBF / the BloomJoin build side).
-fn insert_into_blooms(
-    chunk: &DataChunk,
-    blooms: &mut [(BloomSink, BloomFilter)],
-    ctx: &ExecContext,
-) {
-    if blooms.is_empty() {
-        return;
+/// Execute one lowered pipeline: morsel-parallel Sink, then Combine and
+/// Finalize, recording the pipeline's row metrics.
+pub fn run_physical(p: &PhysicalPipeline, ctx: &ExecContext, res: &Resources) -> Result<()> {
+    let chunks = p.source.chunks(res)?;
+    let threads = ctx.threads.min(chunks.len()).max(1);
+
+    let mut states: Vec<Box<dyn crate::operators::Sink>> = Vec::with_capacity(threads);
+    if threads == 1 {
+        let mut state = p.sink.make(ctx)?;
+        for c in chunks.iter() {
+            ctx.charge(c.num_rows() as u64)?;
+            if let Some(out) = push_through(&p.ops, c.clone(), ctx, res)? {
+                state.sink(out, ctx)?;
+            }
+        }
+        states.push(state);
+    } else {
+        let next = AtomicUsize::new(0);
+        let results: Vec<Result<Box<dyn crate::operators::Sink>>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                handles.push(scope.spawn(|| {
+                    let mut state = p.sink.make(ctx)?;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= chunks.len() {
+                            break;
+                        }
+                        ctx.charge(chunks[i].num_rows() as u64)?;
+                        if let Some(out) = push_through(&p.ops, chunks[i].clone(), ctx, res)? {
+                            state.sink(out, ctx)?;
+                        }
+                    }
+                    Ok(state)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        for r in results {
+            states.push(r?);
+        }
     }
+
+    // Combine + Finalize.
+    let mut iter = states.into_iter();
+    let mut merged = iter.next().expect("at least one sink state");
+    for s in iter {
+        merged.combine(s)?;
+    }
+    let rows = merged.rows();
     let m = &ctx.metrics;
-    let t0 = Instant::now();
-    for (spec, filter) in blooms.iter_mut() {
-        let gathered = gather_keys(chunk, &spec.key_cols);
-        let refs: Vec<&Vector> = gathered.iter().collect();
-        let hashes = hash_columns(&refs, chunk.num_rows());
-        for h in hashes {
-            if h != u64::MAX {
-                filter.insert_hash(h);
-            }
+    if p.intermediate {
+        m.add(&m.intermediate_tuples, rows);
+    } else {
+        m.add(&m.output_rows, rows);
+    }
+    m.record_pipeline(&p.label, rows);
+    merged.finalize(res)
+}
+
+/// Executor state shared across a query's pipelines: the execution context
+/// plus the write-once resource slots.
+pub struct Executor {
+    pub ctx: ExecContext,
+    res: Arc<Resources>,
+}
+
+impl Executor {
+    pub fn new(
+        ctx: ExecContext,
+        num_buffers: usize,
+        num_filters: usize,
+        num_tables: usize,
+    ) -> Self {
+        Executor {
+            ctx,
+            res: Arc::new(Resources::new(num_buffers, num_filters, num_tables)),
         }
     }
-    m.add(&m.bloom_nanos, t0.elapsed().as_nanos() as u64);
-    m.add(
-        &m.bloom_build_rows,
-        chunk.num_rows() as u64 * blooms.len() as u64,
-    );
-}
 
-/// Thread-local sink state (the `Sink`/`Combine`/`Finalize` triple).
-enum SinkState {
-    Buffer {
-        buf_id: usize,
-        buf: SpillBuffer,
-        blooms: Vec<(BloomSink, BloomFilter)>,
-        rows: u64,
-    },
-    HashBuild {
-        ht_id: usize,
-        key_cols: Vec<usize>,
-        blooms: Vec<(BloomSink, BloomFilter)>,
-        chunks: Vec<DataChunk>,
-        schema: Schema,
-        rows: u64,
-    },
-    Aggregate {
-        buf_id: usize,
-        state: Option<AggregateState>,
-        output_schema: Schema,
-        rows: u64,
-    },
-}
-
-impl SinkState {
-    fn new(p: &PipelinePlan, ctx: &ExecContext) -> Result<SinkState> {
-        Ok(match &p.sink {
-            SinkSpec::Buffer { buf_id, blooms } => {
-                let per_thread_limit = ctx
-                    .spill_limit_bytes
-                    .map(|l| (l / ctx.threads).max(1))
-                    .unwrap_or(usize::MAX);
-                let buf = SpillBuffer::new(
-                    p.sink_schema.clone(),
-                    per_thread_limit,
-                    ctx.spill_dir.clone(),
-                );
-                let blooms = blooms
-                    .iter()
-                    .map(|b| {
-                        (
-                            b.clone(),
-                            BloomFilter::with_capacity(b.expected_keys, b.fpr),
-                        )
-                    })
-                    .collect();
-                SinkState::Buffer {
-                    buf_id: *buf_id,
-                    buf,
-                    blooms,
-                    rows: 0,
-                }
-            }
-            SinkSpec::HashBuild {
-                ht_id,
-                key_cols,
-                blooms,
-            } => SinkState::HashBuild {
-                ht_id: *ht_id,
-                key_cols: key_cols.clone(),
-                blooms: blooms
-                    .iter()
-                    .map(|b| {
-                        (
-                            b.clone(),
-                            BloomFilter::with_capacity(b.expected_keys, b.fpr),
-                        )
-                    })
-                    .collect(),
-                chunks: Vec::new(),
-                schema: p.sink_schema.clone(),
-                rows: 0,
-            },
-            SinkSpec::Aggregate {
-                buf_id,
-                group_cols,
-                aggs,
-                input_types,
-                output_schema,
-            } => SinkState::Aggregate {
-                buf_id: *buf_id,
-                state: Some(AggregateState::new(
-                    group_cols.clone(),
-                    aggs.clone(),
-                    input_types,
-                )?),
-                output_schema: output_schema.clone(),
-                rows: 0,
-            },
-        })
+    /// The shared resource slots.
+    pub fn resources(&self) -> &Resources {
+        &self.res
     }
 
-    fn sink(&mut self, chunk: DataChunk, ctx: &ExecContext) -> Result<()> {
-        let n = chunk.num_rows() as u64;
-        let m = &ctx.metrics;
-        match self {
-            SinkState::Buffer {
-                buf, blooms, rows, ..
-            } => {
-                insert_into_blooms(&chunk, blooms, ctx);
-                buf.push(chunk)?;
-                *rows += n;
-            }
-            SinkState::HashBuild {
-                chunks,
-                blooms,
-                rows,
-                ..
-            } => {
-                insert_into_blooms(&chunk, blooms, ctx);
-                m.add(&m.hash_build_rows, n);
-                chunks.push(chunk.flattened());
-                *rows += n;
-            }
-            SinkState::Aggregate { state, rows, .. } => {
-                state
-                    .as_mut()
-                    .expect("aggregate state consumed")
-                    .update(&chunk)?;
-                *rows += n;
-            }
+    /// Execute pipelines sequentially, in the given order.
+    pub fn run(&mut self, pipelines: &[PipelinePlan]) -> Result<()> {
+        for p in pipelines {
+            let phys = p.lower();
+            run_physical(&phys, &self.ctx, &self.res)?;
         }
         Ok(())
     }
 
-    fn combine(&mut self, other: SinkState) -> Result<()> {
-        match (self, other) {
-            (
-                SinkState::Buffer {
-                    buf, blooms, rows, ..
-                },
-                SinkState::Buffer {
-                    buf: obuf,
-                    blooms: oblooms,
-                    rows: orows,
-                    ..
-                },
-            ) => {
-                for c in obuf.into_chunks()? {
-                    buf.push(c)?;
-                }
-                for ((_, f), (_, of)) in blooms.iter_mut().zip(oblooms.iter()) {
-                    f.merge(of).map_err(Error::Exec)?;
-                }
-                *rows += orows;
-            }
-            (
-                SinkState::HashBuild {
-                    chunks,
-                    blooms,
-                    rows,
-                    ..
-                },
-                SinkState::HashBuild {
-                    chunks: ochunks,
-                    blooms: oblooms,
-                    rows: orows,
-                    ..
-                },
-            ) => {
-                chunks.extend(ochunks);
-                for ((_, f), (_, of)) in blooms.iter_mut().zip(oblooms.iter()) {
-                    f.merge(of).map_err(Error::Exec)?;
-                }
-                *rows += orows;
-            }
-            (
-                SinkState::Aggregate { state, rows, .. },
-                SinkState::Aggregate {
-                    state: ostate,
-                    rows: orows,
-                    ..
-                },
-            ) => {
-                state
-                    .as_mut()
-                    .expect("aggregate state consumed")
-                    .merge(ostate.expect("other aggregate state consumed"));
-                *rows += orows;
-            }
-            _ => return Err(Error::Exec("combining mismatched sink states".into())),
-        }
-        Ok(())
+    /// Execute pipelines as a dependency DAG: pipelines whose read sets
+    /// don't overlap other pipelines' write sets run concurrently, up to
+    /// `max_concurrent` at a time. Derives the read/write sets from the
+    /// pipelines and delegates to [`Executor::run_dag_with_deps`] — there
+    /// is exactly one execution path. See [`crate::scheduler`].
+    pub fn run_dag(
+        &mut self,
+        pipelines: &[PipelinePlan],
+        max_concurrent: usize,
+    ) -> Result<crate::scheduler::SchedulerStats> {
+        let deps: Vec<crate::scheduler::NodeDeps> =
+            pipelines.iter().map(PipelinePlan::node_deps).collect();
+        self.run_dag_with_deps(pipelines, &deps, max_concurrent)
     }
 
-    fn rows(&self) -> u64 {
-        match self {
-            SinkState::Buffer { rows, .. }
-            | SinkState::HashBuild { rows, .. }
-            | SinkState::Aggregate { rows, .. } => *rows,
-        }
+    /// [`Executor::run_dag`] with caller-supplied read/write sets (the
+    /// planner's `PhysicalPlan` records them at compile time).
+    pub fn run_dag_with_deps(
+        &mut self,
+        pipelines: &[PipelinePlan],
+        deps: &[crate::scheduler::NodeDeps],
+        max_concurrent: usize,
+    ) -> Result<crate::scheduler::SchedulerStats> {
+        crate::scheduler::run_pipelines_dag_with_deps(
+            pipelines,
+            deps,
+            &self.ctx,
+            &self.res,
+            max_concurrent,
+        )
     }
 
-    fn finalize(self, exec: &mut Executor) -> Result<()> {
-        match self {
-            SinkState::Buffer {
-                buf_id,
-                buf,
-                blooms,
-                ..
-            } => {
-                exec.buffers[buf_id] = Some(Arc::new(buf.into_chunks()?));
-                for (spec, filter) in blooms {
-                    exec.filters[spec.filter_id] = Some(Arc::new(filter));
-                }
-            }
-            SinkState::HashBuild {
-                ht_id,
-                key_cols,
-                blooms,
-                chunks,
-                schema,
-                ..
-            } => {
-                // An empty build side must still carry its column arity so
-                // probe-side output chunks have the right shape.
-                let table = if chunks.is_empty() {
-                    JoinHashTable::build(&[DataChunk::empty_like(&schema)], key_cols)?
-                } else {
-                    JoinHashTable::build(&chunks, key_cols)?
-                };
-                exec.tables[ht_id] = Some(Arc::new(table));
-                for (spec, filter) in blooms {
-                    exec.filters[spec.filter_id] = Some(Arc::new(filter));
-                }
-            }
-            SinkState::Aggregate {
-                buf_id,
-                state,
-                output_schema,
-                ..
-            } => {
-                let out = state
-                    .expect("aggregate state consumed")
-                    .finalize(&output_schema)?;
-                exec.buffers[buf_id] = Some(Arc::new(vec![out]));
-            }
-        }
-        Ok(())
+    /// Materialized chunks of a buffer.
+    pub fn buffer(&self, id: usize) -> Result<Arc<Vec<DataChunk>>> {
+        self.res.buffer(id)
+    }
+
+    pub fn buffer_rows(&self, id: usize) -> u64 {
+        self.res.buffer_rows(id)
+    }
+
+    pub fn filter(&self, id: usize) -> Result<Arc<BloomFilter>> {
+        self.res.filter(id)
+    }
+
+    pub fn hash_table(&self, id: usize) -> Result<Arc<JoinHashTable>> {
+        self.res.hash_table(id)
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::expr::CmpOp;
-    use rpt_common::{Field, ScalarValue};
+    use rpt_common::{Field, ScalarValue, Vector};
 
     fn table(name: &str, ids: Vec<i64>, vals: Vec<i64>) -> Arc<Table> {
         Arc::new(
@@ -727,9 +511,9 @@ mod tests {
         let mut joined: Vec<(i64, i64)> = chunks
             .iter()
             .flat_map(|c| {
-                c.rows().into_iter().map(|r| {
-                    (r[0].as_i64().unwrap(), r[2].as_i64().unwrap())
-                })
+                c.rows()
+                    .into_iter()
+                    .map(|r| (r[0].as_i64().unwrap(), r[2].as_i64().unwrap()))
             })
             .collect();
         joined.sort_unstable();
@@ -818,12 +602,7 @@ mod tests {
         let t1 = table("t", ids.clone(), vals.clone());
         let t4 = table("t", ids, vals);
         let run = |t: Arc<Table>, threads: usize| -> i64 {
-            let mut exec = Executor::new(
-                ExecContext::new().with_threads(threads),
-                1,
-                0,
-                0,
-            );
+            let mut exec = Executor::new(ExecContext::new().with_threads(threads), 1, 0, 0);
             let p = PipelinePlan {
                 label: "agg".into(),
                 source: SourceSpec::Table(t),

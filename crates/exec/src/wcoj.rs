@@ -77,11 +77,7 @@ impl PreparedRelation {
             }
             std::cmp::Ordering::Equal
         });
-        Ok(PreparedRelation {
-            keys,
-            attrs,
-            order,
-        })
+        Ok(PreparedRelation { keys, attrs, order })
     }
 
     /// Key value at sorted position `pos`, key level `depth`.
@@ -181,7 +177,9 @@ fn generic_join_rec(
     if level == attr_order.len() {
         // All attributes bound: emit the Cartesian product of the
         // relations' residual ranges (these rows agree on all join keys).
-        emit_ranges(prepared, flats, relations, ranges, out_cols, emitted, budget)?;
+        emit_ranges(
+            prepared, flats, relations, ranges, out_cols, emitted, budget,
+        )?;
         return Ok(());
     }
     let attr = attr_order[level];
@@ -196,8 +194,16 @@ fn generic_join_rec(
         // No relation carries this attribute (shouldn't happen for derived
         // orders) — skip the level.
         return generic_join_rec(
-            prepared, flats, relations, attr_order, level + 1, ranges, depths, out_cols,
-            emitted, budget,
+            prepared,
+            flats,
+            relations,
+            attr_order,
+            level + 1,
+            ranges,
+            depths,
+            out_cols,
+            emitted,
+            budget,
         );
     }
 
@@ -230,8 +236,16 @@ fn generic_join_rec(
         if ok {
             ranges[driver] = (vlo, vhi);
             generic_join_rec(
-                prepared, flats, relations, attr_order, level + 1, ranges, depths, out_cols,
-                emitted, budget,
+                prepared,
+                flats,
+                relations,
+                attr_order,
+                level + 1,
+                ranges,
+                depths,
+                out_cols,
+                emitted,
+                budget,
             )?;
         }
         *ranges = saved_ranges;
@@ -297,7 +311,11 @@ mod tests {
     use super::*;
     use rpt_common::ScalarValue;
 
-    fn rel(cols: Vec<Vec<i64>>, attr_cols: Vec<(usize, usize)>, payload: Vec<usize>) -> WcojRelation {
+    fn rel(
+        cols: Vec<Vec<i64>>,
+        attr_cols: Vec<(usize, usize)>,
+        payload: Vec<usize>,
+    ) -> WcojRelation {
         WcojRelation {
             data: DataChunk::new(cols.into_iter().map(Vector::from_i64).collect()),
             attr_cols,
@@ -316,8 +334,16 @@ mod tests {
         let col0: Vec<i64> = edges.iter().map(|e| e.0).collect();
         let col1: Vec<i64> = edges.iter().map(|e| e.1).collect();
         // attrs: a=0, b=1, c=2
-        let r = rel(vec![col0.clone(), col1.clone()], vec![(0, 0), (1, 1)], vec![0, 1]);
-        let s = rel(vec![col0.clone(), col1.clone()], vec![(1, 0), (2, 1)], vec![]);
+        let r = rel(
+            vec![col0.clone(), col1.clone()],
+            vec![(0, 0), (1, 1)],
+            vec![0, 1],
+        );
+        let s = rel(
+            vec![col0.clone(), col1.clone()],
+            vec![(1, 0), (2, 1)],
+            vec![],
+        );
         let t = rel(vec![col0, col1], vec![(0, 0), (2, 1)], vec![]);
         let out = generic_join(&[r, s, t], &[0, 1, 2], None).unwrap();
         // Triangles i<j<k in K4: C(4,3) = 4.
@@ -326,7 +352,11 @@ mod tests {
 
     #[test]
     fn two_way_join_matches_hash_join() {
-        let r = rel(vec![vec![1, 2, 2, 3], vec![10, 20, 21, 30]], vec![(0, 0)], vec![1]);
+        let r = rel(
+            vec![vec![1, 2, 2, 3], vec![10, 20, 21, 30]],
+            vec![(0, 0)],
+            vec![1],
+        );
         let s = rel(vec![vec![2, 2, 3, 9]], vec![(0, 0)], vec![0]);
         let out = generic_join(&[r, s], &[0], None).unwrap();
         // key 2: 2 R-rows × 2 S-rows = 4; key 3: 1×1 = 1 → 5 rows.
@@ -377,10 +407,13 @@ mod tests {
         let t = rel(vec![vec![1], vec![3]], vec![(0, 0), (2, 1)], vec![]);
         let out = generic_join(&[r, s, t], &[0, 1, 2], None).unwrap();
         assert_eq!(out.num_rows(), 1);
-        assert_eq!(out.row(0), vec![
-            ScalarValue::Int64(1),
-            ScalarValue::Int64(2),
-            ScalarValue::Int64(3),
-        ]);
+        assert_eq!(
+            out.row(0),
+            vec![
+                ScalarValue::Int64(1),
+                ScalarValue::Int64(2),
+                ScalarValue::Int64(3),
+            ]
+        );
     }
 }

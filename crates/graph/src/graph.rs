@@ -92,11 +92,7 @@ impl QueryGraph {
                     .collect();
                 if !shared.is_empty() {
                     let e = edges.len();
-                    edges.push(Edge {
-                        a: i,
-                        b: j,
-                        shared,
-                    });
+                    edges.push(Edge { a: i, b: j, shared });
                     adj[i].push(e);
                     adj[j].push(e);
                 }
@@ -128,7 +124,10 @@ impl QueryGraph {
 
     /// Neighbor relations of `r`.
     pub fn neighbors(&self, r: RelId) -> Vec<RelId> {
-        self.adj[r].iter().map(|&e| self.edges[e].other(r)).collect()
+        self.adj[r]
+            .iter()
+            .map(|&e| self.edges[e].other(r))
+            .collect()
     }
 
     /// The edge between `r` and `s`, if any.

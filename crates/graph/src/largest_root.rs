@@ -105,10 +105,7 @@ mod tests {
         let g = job3a();
         let t = largest_root(&g).unwrap();
         assert!(t.is_join_tree(&g));
-        assert_eq!(
-            t.total_weight(&g),
-            max_spanning_tree_weight(&g).unwrap()
-        );
+        assert_eq!(t.total_weight(&g), max_spanning_tree_weight(&g).unwrap());
         // Expected shape (Figure 1b): movie_info ← movie_keyword ← {keyword, title}.
         assert_eq!(t.parent[1], Some(2));
         assert_eq!(t.parent[0], Some(1));

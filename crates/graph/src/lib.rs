@@ -36,7 +36,7 @@ pub use acyclicity::{is_alpha_acyclic, is_gamma_acyclic, no_composite_edges};
 pub use graph::{AttrId, Edge, QueryGraph, RelId, Relation};
 pub use largest_root::{largest_root, largest_root_randomized};
 pub use mst::{max_spanning_tree_weight, prim_mst};
-pub use safe_subjoin::{safe_subjoin, safe_join_order};
+pub use safe_subjoin::{safe_join_order, safe_subjoin};
 pub use schedule::{SemiJoin, TransferSchedule};
 pub use small2large::small2large;
 pub use tree::JoinTree;

@@ -174,14 +174,8 @@ mod tests {
         let first_bwd = sched.backward.first().unwrap();
         assert_eq!((first_bwd.target, first_bwd.source), (1, 2));
         // keyword and title each feed movie_keyword in the forward pass.
-        assert!(sched
-            .forward
-            .iter()
-            .any(|s| s.target == 1 && s.source == 3));
-        assert!(sched
-            .forward
-            .iter()
-            .any(|s| s.target == 1 && s.source == 0));
+        assert!(sched.forward.iter().any(|s| s.target == 1 && s.source == 3));
+        assert!(sched.forward.iter().any(|s| s.target == 1 && s.source == 0));
     }
 
     #[test]
@@ -209,13 +203,26 @@ mod tests {
             Relation::new("T", vec![1, 3], 30),
         ]);
         // Small2Large DAG: R→S, R→T.
-        let sched =
-            TransferSchedule::from_dag(&g, &[0, 1, 2], &[(0, 1), (0, 2)]);
+        let sched = TransferSchedule::from_dag(&g, &[0, 1, 2], &[(0, 1), (0, 2)]);
         assert_eq!(sched.forward.len(), 2);
         assert_eq!(sched.backward.len(), 2);
         // Forward: S ⋉ R then T ⋉ R.
-        assert_eq!(sched.forward[0], SemiJoin { target: 1, source: 0, attrs: vec![0] });
-        assert_eq!(sched.forward[1], SemiJoin { target: 2, source: 0, attrs: vec![1] });
+        assert_eq!(
+            sched.forward[0],
+            SemiJoin {
+                target: 1,
+                source: 0,
+                attrs: vec![0]
+            }
+        );
+        assert_eq!(
+            sched.forward[1],
+            SemiJoin {
+                target: 2,
+                source: 0,
+                attrs: vec![1]
+            }
+        );
         // The incompleteness of Figure 2: S's predicate info never reaches T.
         assert!(!sched.information_reaches(1, 2, 3));
         assert!(!sched.information_reaches(2, 1, 3));

@@ -18,36 +18,33 @@ use rpt_graph::{
 /// attribute when needed.
 fn arb_connected_graph() -> impl Strategy<Value = QueryGraph> {
     (2usize..7, 2usize..6).prop_flat_map(|(n, m)| {
-        proptest::collection::vec(
-            proptest::collection::btree_set(0usize..m, 1..=m.min(3)),
-            n,
-        )
-        .prop_map(move |attr_sets| {
-            let mut rels: Vec<Relation> = attr_sets
-                .into_iter()
-                .enumerate()
-                .map(|(i, attrs)| {
-                    Relation::new(
-                        format!("R{i}"),
-                        attrs.into_iter().collect(),
-                        (i as u64 + 1) * 10,
-                    )
-                })
-                .collect();
-            // Force connectivity: give consecutive relations a shared
-            // "chain" attribute beyond the random ones.
-            for i in 0..rels.len() - 1 {
-                let chain_attr = 100 + i;
-                let mut a = rels[i].attrs.clone();
-                a.push(chain_attr);
-                rels[i] = Relation::new(rels[i].name.clone(), a, rels[i].cardinality);
-                let mut b = rels[i + 1].attrs.clone();
-                b.push(chain_attr);
-                rels[i + 1] =
-                    Relation::new(rels[i + 1].name.clone(), b, rels[i + 1].cardinality);
-            }
-            QueryGraph::new(rels)
-        })
+        proptest::collection::vec(proptest::collection::btree_set(0usize..m, 1..=m.min(3)), n)
+            .prop_map(move |attr_sets| {
+                let mut rels: Vec<Relation> = attr_sets
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, attrs)| {
+                        Relation::new(
+                            format!("R{i}"),
+                            attrs.into_iter().collect(),
+                            (i as u64 + 1) * 10,
+                        )
+                    })
+                    .collect();
+                // Force connectivity: give consecutive relations a shared
+                // "chain" attribute beyond the random ones.
+                for i in 0..rels.len() - 1 {
+                    let chain_attr = 100 + i;
+                    let mut a = rels[i].attrs.clone();
+                    a.push(chain_attr);
+                    rels[i] = Relation::new(rels[i].name.clone(), a, rels[i].cardinality);
+                    let mut b = rels[i + 1].attrs.clone();
+                    b.push(chain_attr);
+                    rels[i + 1] =
+                        Relation::new(rels[i + 1].name.clone(), b, rels[i + 1].cardinality);
+                }
+                QueryGraph::new(rels)
+            })
     })
 }
 
@@ -155,7 +152,14 @@ proptest! {
 /// LargestRoot for any size assignment making R smallest.
 #[test]
 fn figure_2_repair_for_all_size_orders() {
-    for (r, s, t) in [(1u64, 2, 3), (1, 3, 2), (2, 1, 3), (3, 2, 1), (2, 3, 1), (3, 1, 2)] {
+    for (r, s, t) in [
+        (1u64, 2, 3),
+        (1, 3, 2),
+        (2, 1, 3),
+        (3, 2, 1),
+        (2, 3, 1),
+        (3, 1, 2),
+    ] {
         let g = QueryGraph::new(vec![
             Relation::new("R", vec![0, 1], r * 100),
             Relation::new("S", vec![0, 2], s * 100),

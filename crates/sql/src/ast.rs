@@ -141,9 +141,7 @@ impl SelectStmt {
         fn expr_has_agg(e: &AstExpr) -> bool {
             match e {
                 AstExpr::Agg { .. } => true,
-                AstExpr::Binary { left, right, .. } => {
-                    expr_has_agg(left) || expr_has_agg(right)
-                }
+                AstExpr::Binary { left, right, .. } => expr_has_agg(left) || expr_has_agg(right),
                 AstExpr::Not(x) => expr_has_agg(x),
                 AstExpr::IsNull { expr, .. }
                 | AstExpr::InList { expr, .. }

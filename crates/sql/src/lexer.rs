@@ -60,8 +60,8 @@ impl fmt::Display for Token {
 
 const KEYWORDS: &[&str] = &[
     "SELECT", "FROM", "WHERE", "GROUP", "BY", "AS", "AND", "OR", "NOT", "IN", "LIKE", "BETWEEN",
-    "IS", "NULL", "TRUE", "FALSE", "COUNT", "SUM", "MIN", "MAX", "AVG", "HAVING", "ORDER",
-    "LIMIT", "DISTINCT",
+    "IS", "NULL", "TRUE", "FALSE", "COUNT", "SUM", "MIN", "MAX", "AVG", "HAVING", "ORDER", "LIMIT",
+    "DISTINCT",
 ];
 
 /// Tokenize SQL text.
@@ -188,7 +188,8 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, String> {
                 let text = &input[start..i];
                 if is_float {
                     tokens.push(Token::Float(
-                        text.parse().map_err(|e| format!("bad float `{text}`: {e}"))?,
+                        text.parse()
+                            .map_err(|e| format!("bad float `{text}`: {e}"))?,
                     ));
                 } else {
                     tokens.push(Token::Int(

@@ -232,7 +232,9 @@ impl Parser {
                 self.advance();
                 self.in_list(left, false)
             }
-            Token::Keyword(k) if k == "NOT" && matches!(self.peek2(), Token::Keyword(k2) if k2 == "IN" || k2 == "LIKE") =>
+            Token::Keyword(k)
+                if k == "NOT"
+                    && matches!(self.peek2(), Token::Keyword(k2) if k2 == "IN" || k2 == "LIKE") =>
             {
                 self.advance(); // NOT
                 if self.eat_keyword("IN") {
@@ -353,14 +355,10 @@ impl Parser {
             Token::Int(_) | Token::Float(_) | Token::Str(_) | Token::Minus => {
                 Ok(AstExpr::Literal(self.literal()?))
             }
-            Token::Keyword(k)
-                if k == "TRUE" || k == "FALSE" || k == "NULL" =>
-            {
+            Token::Keyword(k) if k == "TRUE" || k == "FALSE" || k == "NULL" => {
                 Ok(AstExpr::Literal(self.literal()?))
             }
-            Token::Keyword(k)
-                if matches!(k.as_str(), "COUNT" | "SUM" | "MIN" | "MAX" | "AVG") =>
-            {
+            Token::Keyword(k) if matches!(k.as_str(), "COUNT" | "SUM" | "MIN" | "MAX" | "AVG") => {
                 self.advance();
                 let func = match k.as_str() {
                     "COUNT" => AggName::Count,
@@ -451,7 +449,11 @@ mod tests {
         let s = parse_select("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
         // OR must be the root.
         match s.where_clause.unwrap() {
-            AstExpr::Binary { op: BinOp::Or, right, .. } => {
+            AstExpr::Binary {
+                op: BinOp::Or,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, AstExpr::Binary { op: BinOp::And, .. }));
             }
             other => panic!("expected OR at root, got {other:?}"),
@@ -460,10 +462,9 @@ mod tests {
 
     #[test]
     fn parenthesized_or() {
-        let s = parse_select(
-            "SELECT * FROM t WHERE (a < 100 AND b < 200) OR (a > 500 AND b > 400)",
-        )
-        .unwrap();
+        let s =
+            parse_select("SELECT * FROM t WHERE (a < 100 AND b < 200) OR (a > 500 AND b > 400)")
+                .unwrap();
         assert!(matches!(
             s.where_clause.unwrap(),
             AstExpr::Binary { op: BinOp::Or, .. }
@@ -481,10 +482,7 @@ mod tests {
         let mut found_between = 0;
         let mut found_like = 0;
         let mut found_isnull = 0;
-        fn walk(
-            e: &AstExpr,
-            f: &mut impl FnMut(&AstExpr),
-        ) {
+        fn walk(e: &AstExpr, f: &mut impl FnMut(&AstExpr)) {
             f(e);
             if let AstExpr::Binary { left, right, .. } = e {
                 walk(left, f);
@@ -501,7 +499,10 @@ mod tests {
             AstExpr::IsNull { negated: true, .. } => found_isnull += 1,
             _ => {}
         });
-        assert_eq!((found_in, found_between, found_like, found_isnull), (2, 1, 2, 1));
+        assert_eq!(
+            (found_in, found_between, found_like, found_isnull),
+            (2, 1, 2, 1)
+        );
     }
 
     #[test]
@@ -509,7 +510,11 @@ mod tests {
         let s = parse_select("SELECT a + b * c FROM t").unwrap();
         match &s.items[0] {
             SelectItem::Expr { expr, .. } => match expr {
-                AstExpr::Binary { op: BinOp::Add, right, .. } => {
+                AstExpr::Binary {
+                    op: BinOp::Add,
+                    right,
+                    ..
+                } => {
                     assert!(matches!(**right, AstExpr::Binary { op: BinOp::Mul, .. }));
                 }
                 other => panic!("expected +, got {other:?}"),

@@ -17,9 +17,7 @@
 //! "on-disk" configuration measures.
 
 use crate::table::Table;
-use rpt_common::{
-    ColumnData, DataChunk, DataType, Error, Field, Result, Schema, Vector,
-};
+use rpt_common::{ColumnData, DataChunk, DataType, Error, Field, Result, Schema, Vector};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -131,43 +129,44 @@ pub fn read_chunk(r: &mut impl Read, schema: &Schema) -> Result<DataChunk> {
         } else {
             None
         };
-        let data = match dt {
-            DataType::Int64 => {
-                let mut v = Vec::with_capacity(nrows);
-                let mut b = [0u8; 8];
-                for _ in 0..nrows {
-                    r.read_exact(&mut b)?;
-                    v.push(i64::from_le_bytes(b));
+        let data =
+            match dt {
+                DataType::Int64 => {
+                    let mut v = Vec::with_capacity(nrows);
+                    let mut b = [0u8; 8];
+                    for _ in 0..nrows {
+                        r.read_exact(&mut b)?;
+                        v.push(i64::from_le_bytes(b));
+                    }
+                    ColumnData::Int64(v)
                 }
-                ColumnData::Int64(v)
-            }
-            DataType::Float64 => {
-                let mut v = Vec::with_capacity(nrows);
-                let mut b = [0u8; 8];
-                for _ in 0..nrows {
-                    r.read_exact(&mut b)?;
-                    v.push(f64::from_le_bytes(b));
+                DataType::Float64 => {
+                    let mut v = Vec::with_capacity(nrows);
+                    let mut b = [0u8; 8];
+                    for _ in 0..nrows {
+                        r.read_exact(&mut b)?;
+                        v.push(f64::from_le_bytes(b));
+                    }
+                    ColumnData::Float64(v)
                 }
-                ColumnData::Float64(v)
-            }
-            DataType::Utf8 => {
-                let mut v = Vec::with_capacity(nrows);
-                for _ in 0..nrows {
-                    let len = read_u32(r)? as usize;
-                    let mut bytes = vec![0u8; len];
+                DataType::Utf8 => {
+                    let mut v = Vec::with_capacity(nrows);
+                    for _ in 0..nrows {
+                        let len = read_u32(r)? as usize;
+                        let mut bytes = vec![0u8; len];
+                        r.read_exact(&mut bytes)?;
+                        v.push(String::from_utf8(bytes).map_err(|e| {
+                            Error::Exec(format!("invalid utf8 in stored column: {e}"))
+                        })?);
+                    }
+                    ColumnData::Utf8(v)
+                }
+                DataType::Bool => {
+                    let mut bytes = vec![0u8; nrows];
                     r.read_exact(&mut bytes)?;
-                    v.push(String::from_utf8(bytes).map_err(|e| {
-                        Error::Exec(format!("invalid utf8 in stored column: {e}"))
-                    })?);
+                    ColumnData::Bool(bytes.into_iter().map(|b| b != 0).collect())
                 }
-                ColumnData::Utf8(v)
-            }
-            DataType::Bool => {
-                let mut bytes = vec![0u8; nrows];
-                r.read_exact(&mut bytes)?;
-                ColumnData::Bool(bytes.into_iter().map(|b| b != 0).collect())
-            }
-        };
+            };
         columns.push(Vector { data, validity });
     }
     Ok(DataChunk::new(columns))
@@ -301,7 +300,11 @@ mod tests {
         assert_eq!(loaded.num_rows(), 100);
         for c in 0..4 {
             for r in [0usize, 17, 99] {
-                assert_eq!(loaded.column(c).get(r), t.column(c).get(r), "col {c} row {r}");
+                assert_eq!(
+                    loaded.column(c).get(r),
+                    t.column(c).get(r),
+                    "col {c} row {r}"
+                );
             }
         }
         std::fs::remove_dir_all(&dir).ok();

@@ -142,6 +142,16 @@ impl Drop for SpillBuffer {
     }
 }
 
+// Sink state crosses worker threads (each worker owns one buffer) and the
+// DAG scheduler moves whole sinks between the worker that filled them and
+// the worker that finalizes the pipeline — SpillBuffer must stay `Send`
+// and `Sync`. Compile-time proof so a future field (e.g. an `Rc` cache)
+// cannot silently break the executor.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SpillBuffer>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

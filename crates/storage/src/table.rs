@@ -101,12 +101,7 @@ impl Table {
     pub fn chunks(&self, chunk_size: usize) -> Vec<DataChunk> {
         chunk_ranges(self.num_rows, chunk_size)
             .map(|(start, len)| {
-                DataChunk::new(
-                    self.columns
-                        .iter()
-                        .map(|c| c.slice(start, len))
-                        .collect(),
-                )
+                DataChunk::new(self.columns.iter().map(|c| c.slice(start, len)).collect())
             })
             .collect()
     }
@@ -222,7 +217,10 @@ mod tests {
     #[test]
     fn column_by_name() {
         let t = small();
-        assert_eq!(t.column_by_name("id").unwrap().get(3), ScalarValue::Int64(3));
+        assert_eq!(
+            t.column_by_name("id").unwrap().get(3),
+            ScalarValue::Int64(3)
+        );
         assert!(t.column_by_name("nope").is_err());
     }
 

@@ -47,9 +47,19 @@ impl Zipf {
 /// `token`.
 pub fn token_string(rng: &mut StdRng, token: &str, rate: f64, idx: usize) -> String {
     if rng.gen_bool(rate) {
-        format!("w{:04} {} w{:04}", rng.gen_range(0..10_000), token, idx % 997)
+        format!(
+            "w{:04} {} w{:04}",
+            rng.gen_range(0..10_000),
+            token,
+            idx % 997
+        )
     } else {
-        format!("w{:04} w{:04} w{:04}", rng.gen_range(0..10_000), rng.gen_range(0..10_000), idx % 997)
+        format!(
+            "w{:04} w{:04} w{:04}",
+            rng.gen_range(0..10_000),
+            rng.gen_range(0..10_000),
+            idx % 997
+        )
     }
 }
 
@@ -116,7 +126,12 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         // head much heavier than tail
-        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[50]
+        );
         // uniform theta=0: roughly flat
         let z0 = Zipf::new(10, 0.0);
         let mut c0 = [0usize; 10];

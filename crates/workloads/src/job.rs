@@ -16,7 +16,14 @@ use rand::Rng;
 
 const COUNTRIES: [&str; 6] = ["[us]", "[de]", "[gb]", "[fr]", "[jp]", "[in]"];
 const INFO_VALUES: [&str; 8] = [
-    "Germany", "USA", "Japan", "Sweden", "Denmark", "top 250 rank", "budget", "votes",
+    "Germany",
+    "USA",
+    "Japan",
+    "Sweden",
+    "Denmark",
+    "top 250 rank",
+    "budget",
+    "votes",
 ];
 
 /// Generate the JOB workload. `sf = 1.0` ≈ 360k total tuples.
@@ -38,8 +45,18 @@ pub fn job(sf: f64, seed: u64) -> Workload {
             .int("id", (0..7).collect())
             .text(
                 "kind",
-                ["movie", "tv series", "tv movie", "video movie", "tv mini series", "video game", "episode"]
-                    .iter().map(|s| s.to_string()).collect(),
+                [
+                    "movie",
+                    "tv series",
+                    "tv movie",
+                    "video movie",
+                    "tv mini series",
+                    "video game",
+                    "episode",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             )
             .build(),
     );
@@ -47,7 +64,10 @@ pub fn job(sf: f64, seed: u64) -> Workload {
     tables.push(
         TableGen::new("info_type")
             .int("id", (0..20).collect())
-            .text("info", (0..20).map(|i| format!("info-type-{i:02}")).collect())
+            .text(
+                "info",
+                (0..20).map(|i| format!("info-type-{i:02}")).collect(),
+            )
             .build(),
     );
 
@@ -56,8 +76,15 @@ pub fn job(sf: f64, seed: u64) -> Workload {
             .int("id", (0..4).collect())
             .text(
                 "kind",
-                ["production companies", "distributors", "special effects", "misc"]
-                    .iter().map(|s| s.to_string()).collect(),
+                [
+                    "production companies",
+                    "distributors",
+                    "special effects",
+                    "misc",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             )
             .build(),
     );
@@ -76,9 +103,14 @@ pub fn job(sf: f64, seed: u64) -> Workload {
                 .int("id", (0..n_title as i64).collect())
                 .text(
                     "title",
-                    (0..n_title).map(|i| token_string(&mut rng, "Champion", 0.03, i)).collect(),
+                    (0..n_title)
+                        .map(|i| token_string(&mut rng, "Champion", 0.03, i))
+                        .collect(),
                 )
-                .int("kind_id", (0..n_title).map(|_| rng.gen_range(0..7)).collect())
+                .int(
+                    "kind_id",
+                    (0..n_title).map(|_| rng.gen_range(0..7)).collect(),
+                )
                 .int(
                     "production_year",
                     (0..n_title).map(|_| rng.gen_range(1880..2021)).collect(),
@@ -114,11 +146,15 @@ pub fn job(sf: f64, seed: u64) -> Workload {
             TableGen::new("movie_keyword")
                 .int(
                     "movie_id",
-                    (0..n_mk).map(|_| rng.gen_range(0..n_title as i64)).collect(),
+                    (0..n_mk)
+                        .map(|_| rng.gen_range(0..n_title as i64))
+                        .collect(),
                 )
                 .int(
                     "keyword_id",
-                    (0..n_mk).map(|_| rng.gen_range(0..n_keyword as i64)).collect(),
+                    (0..n_mk)
+                        .map(|_| rng.gen_range(0..n_keyword as i64))
+                        .collect(),
                 )
                 .build(),
         );
@@ -130,12 +166,19 @@ pub fn job(sf: f64, seed: u64) -> Workload {
             TableGen::new("movie_info")
                 .int(
                     "movie_id",
-                    (0..n_mi).map(|_| rng.gen_range(0..n_title as i64)).collect(),
+                    (0..n_mi)
+                        .map(|_| rng.gen_range(0..n_title as i64))
+                        .collect(),
                 )
-                .int("info_type_id", (0..n_mi).map(|_| rng.gen_range(0..20)).collect())
+                .int(
+                    "info_type_id",
+                    (0..n_mi).map(|_| rng.gen_range(0..20)).collect(),
+                )
                 .text(
                     "info",
-                    (0..n_mi).map(|_| pick(&mut rng, &INFO_VALUES).to_string()).collect(),
+                    (0..n_mi)
+                        .map(|_| pick(&mut rng, &INFO_VALUES).to_string())
+                        .collect(),
                 )
                 .build(),
         );
@@ -148,11 +191,15 @@ pub fn job(sf: f64, seed: u64) -> Workload {
                 .int("id", (0..n_cn as i64).collect())
                 .text(
                     "name",
-                    (0..n_cn).map(|i| token_string(&mut rng, "Film", 0.1, i)).collect(),
+                    (0..n_cn)
+                        .map(|i| token_string(&mut rng, "Film", 0.1, i))
+                        .collect(),
                 )
                 .text(
                     "country_code",
-                    (0..n_cn).map(|_| pick(&mut rng, &COUNTRIES).to_string()).collect(),
+                    (0..n_cn)
+                        .map(|_| pick(&mut rng, &COUNTRIES).to_string())
+                        .collect(),
                 )
                 .build(),
         );
@@ -164,7 +211,9 @@ pub fn job(sf: f64, seed: u64) -> Workload {
             TableGen::new("movie_companies")
                 .int(
                     "movie_id",
-                    (0..n_mc).map(|_| rng.gen_range(0..n_title as i64)).collect(),
+                    (0..n_mc)
+                        .map(|_| rng.gen_range(0..n_title as i64))
+                        .collect(),
                 )
                 .int(
                     "company_id",
@@ -185,7 +234,9 @@ pub fn job(sf: f64, seed: u64) -> Workload {
                 .int("id", (0..n_name as i64).collect())
                 .text(
                     "name",
-                    (0..n_name).map(|i| token_string(&mut rng, "Smith", 0.05, i)).collect(),
+                    (0..n_name)
+                        .map(|i| token_string(&mut rng, "Smith", 0.05, i))
+                        .collect(),
                 )
                 .int("gender", (0..n_name).map(|_| rng.gen_range(0..2)).collect())
                 .build(),
@@ -198,7 +249,9 @@ pub fn job(sf: f64, seed: u64) -> Workload {
             TableGen::new("cast_info")
                 .int(
                     "movie_id",
-                    (0..n_ci).map(|_| rng.gen_range(0..n_title as i64)).collect(),
+                    (0..n_ci)
+                        .map(|_| rng.gen_range(0..n_title as i64))
+                        .collect(),
                 )
                 .int(
                     "person_id",
@@ -215,13 +268,20 @@ pub fn job(sf: f64, seed: u64) -> Workload {
             TableGen::new("movie_link")
                 .int(
                     "movie_id",
-                    (0..n_ml).map(|_| rng.gen_range(0..n_title as i64)).collect(),
+                    (0..n_ml)
+                        .map(|_| rng.gen_range(0..n_title as i64))
+                        .collect(),
                 )
                 .int(
                     "linked_movie_id",
-                    (0..n_ml).map(|_| rng.gen_range(0..n_title as i64)).collect(),
+                    (0..n_ml)
+                        .map(|_| rng.gen_range(0..n_title as i64))
+                        .collect(),
                 )
-                .int("link_type_id", (0..n_ml).map(|_| rng.gen_range(0..17)).collect())
+                .int(
+                    "link_type_id",
+                    (0..n_ml).map(|_| rng.gen_range(0..17)).collect(),
+                )
                 .build(),
         );
     }
@@ -443,9 +503,19 @@ mod tests {
         let w = job(0.02, 3);
         assert_eq!(w.tables.len(), 13);
         for name in [
-            "title", "keyword", "movie_keyword", "movie_info", "info_type",
-            "company_name", "movie_companies", "company_type", "cast_info",
-            "name", "movie_link", "kind_type", "role_type",
+            "title",
+            "keyword",
+            "movie_keyword",
+            "movie_info",
+            "info_type",
+            "company_name",
+            "movie_companies",
+            "company_type",
+            "cast_info",
+            "name",
+            "movie_link",
+            "kind_type",
+            "role_type",
         ] {
             assert!(w.tables.iter().any(|t| t.name == name), "missing {name}");
         }
@@ -463,7 +533,9 @@ mod tests {
 
     #[test]
     fn special_keyword_exists() {
-        let w = job(0.05, 9);
+        // sf 0.2 keeps the expected number of 2%-rate "sequel" keywords
+        // high enough (~6) that the test is robust to the RNG stream.
+        let w = job(0.2, 9);
         let k = w.tables.iter().find(|t| t.name == "keyword").unwrap();
         let kw = k.column_by_name("keyword").unwrap().utf8_slice();
         assert!(kw.iter().any(|s| s == "character-name-in-title"));

@@ -13,7 +13,7 @@
 //! The same generator parameterized with Zipf skew θ produces the DSB
 //! workload (see [`dsb()`](crate::dsb::dsb)).
 
-use crate::gen::{pick, scaled, table_rng, Zipf, TableGen};
+use crate::gen::{pick, scaled, table_rng, TableGen, Zipf};
 use crate::workload::{QueryDef, Workload};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -63,7 +63,10 @@ pub(crate) fn generate(sf: f64, seed: u64, theta: f64, name: &'static str) -> Wo
                     "d_year",
                     (0..n_date).map(|i| 1998 + (i / 365) as i64).collect(),
                 )
-                .int("d_moy", (0..n_date).map(|i| (1 + (i / 30) % 12) as i64).collect())
+                .int(
+                    "d_moy",
+                    (0..n_date).map(|i| (1 + (i / 30) % 12) as i64).collect(),
+                )
                 .int("d_dow", (0..n_date).map(|i| (i % 7) as i64).collect())
                 .float("d_noise", (0..n_date).map(|_| rng.gen()).collect())
                 .build(),
@@ -77,17 +80,24 @@ pub(crate) fn generate(sf: f64, seed: u64, theta: f64, name: &'static str) -> Wo
                 .int("i_item_sk", (0..n_item as i64).collect())
                 .text(
                     "i_category",
-                    (0..n_item).map(|_| pick(&mut rng, &CATEGORIES).to_string()).collect(),
+                    (0..n_item)
+                        .map(|_| pick(&mut rng, &CATEGORIES).to_string())
+                        .collect(),
                 )
                 .text(
                     "i_brand",
-                    (0..n_item).map(|_| format!("Brand{:02}", rng.gen_range(0..50))).collect(),
+                    (0..n_item)
+                        .map(|_| format!("Brand{:02}", rng.gen_range(0..50)))
+                        .collect(),
                 )
                 .float(
                     "i_current_price",
                     (0..n_item).map(|_| rng.gen_range(0.5..300.0)).collect(),
                 )
-                .int("i_manager_id", (0..n_item).map(|_| rng.gen_range(0..100)).collect())
+                .int(
+                    "i_manager_id",
+                    (0..n_item).map(|_| rng.gen_range(0..100)).collect(),
+                )
                 .build(),
         );
     }
@@ -99,11 +109,15 @@ pub(crate) fn generate(sf: f64, seed: u64, theta: f64, name: &'static str) -> Wo
                 .int("c_customer_sk", (0..n_customer as i64).collect())
                 .int(
                     "c_current_addr_sk",
-                    (0..n_customer).map(|_| rng.gen_range(0..n_addr as i64)).collect(),
+                    (0..n_customer)
+                        .map(|_| rng.gen_range(0..n_addr as i64))
+                        .collect(),
                 )
                 .int(
                     "c_current_cdemo_sk",
-                    (0..n_customer).map(|_| rng.gen_range(0..n_cd as i64)).collect(),
+                    (0..n_customer)
+                        .map(|_| rng.gen_range(0..n_cd as i64))
+                        .collect(),
                 )
                 .int(
                     "c_birth_year",
@@ -120,9 +134,16 @@ pub(crate) fn generate(sf: f64, seed: u64, theta: f64, name: &'static str) -> Wo
                 .int("ca_address_sk", (0..n_addr as i64).collect())
                 .text(
                     "ca_state",
-                    (0..n_addr).map(|_| pick(&mut rng, &STATES).to_string()).collect(),
+                    (0..n_addr)
+                        .map(|_| pick(&mut rng, &STATES).to_string())
+                        .collect(),
                 )
-                .int("ca_city_id", (0..n_addr).map(|_| rng.gen_range(0..n_city as i64)).collect())
+                .int(
+                    "ca_city_id",
+                    (0..n_addr)
+                        .map(|_| rng.gen_range(0..n_city as i64))
+                        .collect(),
+                )
                 .float(
                     "ca_gmt_offset",
                     (0..n_addr).map(|_| rng.gen_range(-10.0..0.0)).collect(),
@@ -138,17 +159,32 @@ pub(crate) fn generate(sf: f64, seed: u64, theta: f64, name: &'static str) -> Wo
                 .int("cd_demo_sk", (0..n_cd as i64).collect())
                 .text(
                     "cd_gender",
-                    (0..n_cd).map(|_| pick(&mut rng, &["M", "F"]).to_string()).collect(),
+                    (0..n_cd)
+                        .map(|_| pick(&mut rng, &["M", "F"]).to_string())
+                        .collect(),
                 )
                 .text(
                     "cd_marital_status",
-                    (0..n_cd).map(|_| pick(&mut rng, &["M", "S", "D", "W", "U"]).to_string()).collect(),
+                    (0..n_cd)
+                        .map(|_| pick(&mut rng, &["M", "S", "D", "W", "U"]).to_string())
+                        .collect(),
                 )
                 .text(
                     "cd_education_status",
                     (0..n_cd)
                         .map(|_| {
-                            pick(&mut rng, &["Primary", "Secondary", "College", "2 yr Degree", "4 yr Degree", "Advanced"]).to_string()
+                            pick(
+                                &mut rng,
+                                &[
+                                    "Primary",
+                                    "Secondary",
+                                    "College",
+                                    "2 yr Degree",
+                                    "4 yr Degree",
+                                    "Advanced",
+                                ],
+                            )
+                            .to_string()
                         })
                         .collect(),
                 )
@@ -161,11 +197,20 @@ pub(crate) fn generate(sf: f64, seed: u64, theta: f64, name: &'static str) -> Wo
         tables.push(
             TableGen::new("household_demographics")
                 .int("hd_demo_sk", (0..n_hd as i64).collect())
-                .int("hd_dep_count", (0..n_hd).map(|_| rng.gen_range(0..10)).collect())
+                .int(
+                    "hd_dep_count",
+                    (0..n_hd).map(|_| rng.gen_range(0..10)).collect(),
+                )
                 .text(
                     "hd_buy_potential",
                     (0..n_hd)
-                        .map(|_| pick(&mut rng, &[">10000", "5001-10000", "1001-5000", "501-1000", "0-500"]).to_string())
+                        .map(|_| {
+                            pick(
+                                &mut rng,
+                                &[">10000", "5001-10000", "1001-5000", "501-1000", "0-500"],
+                            )
+                            .to_string()
+                        })
                         .collect(),
                 )
                 .build(),
@@ -179,9 +224,16 @@ pub(crate) fn generate(sf: f64, seed: u64, theta: f64, name: &'static str) -> Wo
                 .int("s_store_sk", (0..n_store as i64).collect())
                 .text(
                     "s_state",
-                    (0..n_store).map(|_| pick(&mut rng, &STATES).to_string()).collect(),
+                    (0..n_store)
+                        .map(|_| pick(&mut rng, &STATES).to_string())
+                        .collect(),
                 )
-                .int("s_city_id", (0..n_store).map(|_| rng.gen_range(0..n_city as i64)).collect())
+                .int(
+                    "s_city_id",
+                    (0..n_store)
+                        .map(|_| rng.gen_range(0..n_city as i64))
+                        .collect(),
+                )
                 .build(),
         );
     }
@@ -191,7 +243,10 @@ pub(crate) fn generate(sf: f64, seed: u64, theta: f64, name: &'static str) -> Wo
         tables.push(
             TableGen::new("warehouse")
                 .int("w_warehouse_sk", (0..n_wh as i64).collect())
-                .int("w_city_id", (0..n_wh).map(|_| rng.gen_range(0..n_city as i64)).collect())
+                .int(
+                    "w_city_id",
+                    (0..n_wh).map(|_| rng.gen_range(0..n_city as i64)).collect(),
+                )
                 .build(),
         );
     }
@@ -202,15 +257,21 @@ pub(crate) fn generate(sf: f64, seed: u64, theta: f64, name: &'static str) -> Wo
             TableGen::new("store_sales")
                 .int(
                     "ss_sold_date_sk",
-                    (0..n_ss).map(|_| fk(&mut rng, z_date.as_ref(), n_date)).collect(),
+                    (0..n_ss)
+                        .map(|_| fk(&mut rng, z_date.as_ref(), n_date))
+                        .collect(),
                 )
                 .int(
                     "ss_item_sk",
-                    (0..n_ss).map(|_| fk(&mut rng, z_item.as_ref(), n_item)).collect(),
+                    (0..n_ss)
+                        .map(|_| fk(&mut rng, z_item.as_ref(), n_item))
+                        .collect(),
                 )
                 .int(
                     "ss_customer_sk",
-                    (0..n_ss).map(|_| fk(&mut rng, z_cust.as_ref(), n_customer)).collect(),
+                    (0..n_ss)
+                        .map(|_| fk(&mut rng, z_cust.as_ref(), n_customer))
+                        .collect(),
                 )
                 .int(
                     "ss_cdemo_sk",
@@ -226,10 +287,18 @@ pub(crate) fn generate(sf: f64, seed: u64, theta: f64, name: &'static str) -> Wo
                 )
                 .int(
                     "ss_store_sk",
-                    (0..n_ss).map(|_| rng.gen_range(0..n_store as i64)).collect(),
+                    (0..n_ss)
+                        .map(|_| rng.gen_range(0..n_store as i64))
+                        .collect(),
                 )
-                .int("ss_ticket_number", (0..n_ss).map(|i| (i / 3) as i64).collect())
-                .int("ss_quantity", (0..n_ss).map(|_| rng.gen_range(1..101)).collect())
+                .int(
+                    "ss_ticket_number",
+                    (0..n_ss).map(|i| (i / 3) as i64).collect(),
+                )
+                .int(
+                    "ss_quantity",
+                    (0..n_ss).map(|_| rng.gen_range(1..101)).collect(),
+                )
                 .float(
                     "ss_sales_price",
                     (0..n_ss).map(|_| rng.gen_range(0.5..200.0)).collect(),
@@ -248,19 +317,27 @@ pub(crate) fn generate(sf: f64, seed: u64, theta: f64, name: &'static str) -> Wo
             TableGen::new("store_returns")
                 .int(
                     "sr_returned_date_sk",
-                    (0..n_sr).map(|_| fk(&mut rng, z_date.as_ref(), n_date)).collect(),
+                    (0..n_sr)
+                        .map(|_| fk(&mut rng, z_date.as_ref(), n_date))
+                        .collect(),
                 )
                 .int(
                     "sr_item_sk",
-                    (0..n_sr).map(|_| fk(&mut rng, z_item.as_ref(), n_item)).collect(),
+                    (0..n_sr)
+                        .map(|_| fk(&mut rng, z_item.as_ref(), n_item))
+                        .collect(),
                 )
                 .int(
                     "sr_customer_sk",
-                    (0..n_sr).map(|_| fk(&mut rng, z_cust.as_ref(), n_customer)).collect(),
+                    (0..n_sr)
+                        .map(|_| fk(&mut rng, z_cust.as_ref(), n_customer))
+                        .collect(),
                 )
                 .int(
                     "sr_ticket_number",
-                    (0..n_sr).map(|_| rng.gen_range(0..(n_ss / 3).max(1) as i64)).collect(),
+                    (0..n_sr)
+                        .map(|_| rng.gen_range(0..(n_ss / 3).max(1) as i64))
+                        .collect(),
                 )
                 .int(
                     "sr_return_quantity",
@@ -276,17 +353,26 @@ pub(crate) fn generate(sf: f64, seed: u64, theta: f64, name: &'static str) -> Wo
             TableGen::new("catalog_sales")
                 .int(
                     "cs_sold_date_sk",
-                    (0..n_cs).map(|_| fk(&mut rng, z_date.as_ref(), n_date)).collect(),
+                    (0..n_cs)
+                        .map(|_| fk(&mut rng, z_date.as_ref(), n_date))
+                        .collect(),
                 )
                 .int(
                     "cs_item_sk",
-                    (0..n_cs).map(|_| fk(&mut rng, z_item.as_ref(), n_item)).collect(),
+                    (0..n_cs)
+                        .map(|_| fk(&mut rng, z_item.as_ref(), n_item))
+                        .collect(),
                 )
                 .int(
                     "cs_bill_customer_sk",
-                    (0..n_cs).map(|_| fk(&mut rng, z_cust.as_ref(), n_customer)).collect(),
+                    (0..n_cs)
+                        .map(|_| fk(&mut rng, z_cust.as_ref(), n_customer))
+                        .collect(),
                 )
-                .int("cs_quantity", (0..n_cs).map(|_| rng.gen_range(1..101)).collect())
+                .int(
+                    "cs_quantity",
+                    (0..n_cs).map(|_| rng.gen_range(1..101)).collect(),
+                )
                 .float(
                     "cs_list_price",
                     (0..n_cs).map(|_| rng.gen_range(1.0..300.0)).collect(),
@@ -301,17 +387,26 @@ pub(crate) fn generate(sf: f64, seed: u64, theta: f64, name: &'static str) -> Wo
             TableGen::new("web_sales")
                 .int(
                     "ws_sold_date_sk",
-                    (0..n_ws).map(|_| fk(&mut rng, z_date.as_ref(), n_date)).collect(),
+                    (0..n_ws)
+                        .map(|_| fk(&mut rng, z_date.as_ref(), n_date))
+                        .collect(),
                 )
                 .int(
                     "ws_item_sk",
-                    (0..n_ws).map(|_| fk(&mut rng, z_item.as_ref(), n_item)).collect(),
+                    (0..n_ws)
+                        .map(|_| fk(&mut rng, z_item.as_ref(), n_item))
+                        .collect(),
                 )
                 .int(
                     "ws_bill_customer_sk",
-                    (0..n_ws).map(|_| fk(&mut rng, z_cust.as_ref(), n_customer)).collect(),
+                    (0..n_ws)
+                        .map(|_| fk(&mut rng, z_cust.as_ref(), n_customer))
+                        .collect(),
                 )
-                .int("ws_quantity", (0..n_ws).map(|_| rng.gen_range(1..101)).collect())
+                .int(
+                    "ws_quantity",
+                    (0..n_ws).map(|_| rng.gen_range(1..101)).collect(),
+                )
                 .build(),
         );
     }
@@ -322,7 +417,9 @@ pub(crate) fn generate(sf: f64, seed: u64, theta: f64, name: &'static str) -> Wo
             TableGen::new("inventory")
                 .int(
                     "inv_item_sk",
-                    (0..n_inv).map(|_| fk(&mut rng, z_item.as_ref(), n_item)).collect(),
+                    (0..n_inv)
+                        .map(|_| fk(&mut rng, z_item.as_ref(), n_item))
+                        .collect(),
                 )
                 .int(
                     "inv_warehouse_sk",
@@ -573,8 +670,20 @@ mod tests {
         let w = tpcds(0.05, 5);
         let ss = w.tables.iter().find(|t| t.name == "store_sales").unwrap();
         let sr = w.tables.iter().find(|t| t.name == "store_returns").unwrap();
-        let ss_max = *ss.column_by_name("ss_ticket_number").unwrap().i64_slice().iter().max().unwrap();
-        let sr_max = *sr.column_by_name("sr_ticket_number").unwrap().i64_slice().iter().max().unwrap();
+        let ss_max = *ss
+            .column_by_name("ss_ticket_number")
+            .unwrap()
+            .i64_slice()
+            .iter()
+            .max()
+            .unwrap();
+        let sr_max = *sr
+            .column_by_name("sr_ticket_number")
+            .unwrap()
+            .i64_slice()
+            .iter()
+            .max()
+            .unwrap();
         assert!(sr_max <= ss_max, "sr tickets outside ss domain");
     }
 
@@ -589,6 +698,9 @@ mod tests {
         }
         let max = *counts.values().max().unwrap();
         let avg = items.len() / counts.len();
-        assert!(max < avg * 6, "uniform FK unexpectedly skewed: max {max} avg {avg}");
+        assert!(
+            max < avg * 6,
+            "uniform FK unexpectedly skewed: max {max} avg {avg}"
+        );
     }
 }

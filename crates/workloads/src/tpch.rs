@@ -10,7 +10,13 @@ use crate::gen::{pick, scaled, table_rng, token_string, TableGen};
 use crate::workload::{QueryDef, Workload};
 use rand::Rng;
 
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT", "5-LOW"];
 const STATUSES: [&str; 3] = ["F", "O", "P"];
 const FLAGS: [&str; 3] = ["A", "N", "R"];
@@ -48,7 +54,10 @@ pub fn tpch(sf: f64, seed: u64) -> Workload {
             TableGen::new("nation")
                 .int("n_nationkey", (0..25).collect())
                 .text("n_name", (0..25).map(|i| format!("NATION{i:02}")).collect())
-                .int("n_regionkey", (0..25).map(|_| rng.gen_range(0..5)).collect())
+                .int(
+                    "n_regionkey",
+                    (0..25).map(|_| rng.gen_range(0..5)).collect(),
+                )
                 .build(),
         );
     }
@@ -68,7 +77,9 @@ pub fn tpch(sf: f64, seed: u64) -> Workload {
                 )
                 .float(
                     "s_acctbal",
-                    (0..n_supplier).map(|_| rng.gen_range(-999.0..9999.0)).collect(),
+                    (0..n_supplier)
+                        .map(|_| rng.gen_range(-999.0..9999.0))
+                        .collect(),
                 )
                 .build(),
         );
@@ -89,11 +100,15 @@ pub fn tpch(sf: f64, seed: u64) -> Workload {
                 )
                 .text(
                     "c_mktsegment",
-                    (0..n_customer).map(|_| pick(&mut rng, &SEGMENTS).to_string()).collect(),
+                    (0..n_customer)
+                        .map(|_| pick(&mut rng, &SEGMENTS).to_string())
+                        .collect(),
                 )
                 .float(
                     "c_acctbal",
-                    (0..n_customer).map(|_| rng.gen_range(-999.0..9999.0)).collect(),
+                    (0..n_customer)
+                        .map(|_| rng.gen_range(-999.0..9999.0))
+                        .collect(),
                 )
                 .build(),
         );
@@ -118,9 +133,14 @@ pub fn tpch(sf: f64, seed: u64) -> Workload {
                 )
                 .text(
                     "p_type",
-                    (0..n_part).map(|_| pick(&mut rng, &TYPES).to_string()).collect(),
+                    (0..n_part)
+                        .map(|_| pick(&mut rng, &TYPES).to_string())
+                        .collect(),
                 )
-                .int("p_size", (0..n_part).map(|_| rng.gen_range(1..51)).collect())
+                .int(
+                    "p_size",
+                    (0..n_part).map(|_| rng.gen_range(1..51)).collect(),
+                )
                 .float(
                     "p_retailprice",
                     (0..n_part).map(|_| rng.gen_range(900.0..2100.0)).collect(),
@@ -149,7 +169,9 @@ pub fn tpch(sf: f64, seed: u64) -> Workload {
                 )
                 .float(
                     "ps_supplycost",
-                    (0..n_partsupp).map(|_| rng.gen_range(1.0..1000.0)).collect(),
+                    (0..n_partsupp)
+                        .map(|_| rng.gen_range(1.0..1000.0))
+                        .collect(),
                 )
                 .build(),
         );
@@ -168,11 +190,15 @@ pub fn tpch(sf: f64, seed: u64) -> Workload {
                 )
                 .text(
                     "o_orderstatus",
-                    (0..n_orders).map(|_| pick(&mut rng, &STATUSES).to_string()).collect(),
+                    (0..n_orders)
+                        .map(|_| pick(&mut rng, &STATUSES).to_string())
+                        .collect(),
                 )
                 .float(
                     "o_totalprice",
-                    (0..n_orders).map(|_| rng.gen_range(1000.0..400_000.0)).collect(),
+                    (0..n_orders)
+                        .map(|_| rng.gen_range(1000.0..400_000.0))
+                        .collect(),
                 )
                 .int(
                     "o_orderdate",
@@ -180,7 +206,9 @@ pub fn tpch(sf: f64, seed: u64) -> Workload {
                 )
                 .text(
                     "o_orderpriority",
-                    (0..n_orders).map(|_| pick(&mut rng, &PRIORITIES).to_string()).collect(),
+                    (0..n_orders)
+                        .map(|_| pick(&mut rng, &PRIORITIES).to_string())
+                        .collect(),
                 )
                 .build(),
         );
@@ -198,7 +226,9 @@ pub fn tpch(sf: f64, seed: u64) -> Workload {
                 .int("l_orderkey", ok)
                 .int(
                     "l_partkey",
-                    (0..n_lineitem).map(|_| rng.gen_range(0..n_part as i64)).collect(),
+                    (0..n_lineitem)
+                        .map(|_| rng.gen_range(0..n_part as i64))
+                        .collect(),
                 )
                 .int(
                     "l_suppkey",
@@ -212,7 +242,9 @@ pub fn tpch(sf: f64, seed: u64) -> Workload {
                 )
                 .float(
                     "l_extendedprice",
-                    (0..n_lineitem).map(|_| rng.gen_range(900.0..100_000.0)).collect(),
+                    (0..n_lineitem)
+                        .map(|_| rng.gen_range(900.0..100_000.0))
+                        .collect(),
                 )
                 .float(
                     "l_discount",
@@ -228,7 +260,9 @@ pub fn tpch(sf: f64, seed: u64) -> Workload {
                 )
                 .text(
                     "l_returnflag",
-                    (0..n_lineitem).map(|_| pick(&mut rng, &FLAGS).to_string()).collect(),
+                    (0..n_lineitem)
+                        .map(|_| pick(&mut rng, &FLAGS).to_string())
+                        .collect(),
                 )
                 .build(),
         );

@@ -39,7 +39,13 @@ fn main() -> rpt_common::Result<()> {
             Vector::from_i64((0..500).collect()),
             Vector::from_utf8(
                 (0..500)
-                    .map(|i| if i % 100 == 0 { "IS".into() } else { "DE".into() })
+                    .map(|i| {
+                        if i % 100 == 0 {
+                            "IS".into()
+                        } else {
+                            "DE".into()
+                        }
+                    })
                     .collect(),
             ),
         ],

@@ -33,10 +33,7 @@ fn main() -> rpt_common::Result<()> {
     for mode in [Mode::Baseline, Mode::RobustPredicateTransfer] {
         let report = robustness_factor(&db, &q, mode, n, false, None, 7)?;
         let (min, p25, med, p75, max) = report.work_box();
-        println!(
-            "{:<8} over {n} random left-deep orders:",
-            mode.label()
-        );
+        println!("{:<8} over {n} random left-deep orders:", mode.label());
         println!(
             "  work min {min:>9.0}  p25 {p25:>9.0}  median {med:>9.0}  p75 {p75:>9.0}  max {max:>9.0}"
         );

@@ -75,7 +75,11 @@ fn main() -> rpt_common::Result<()> {
                WHERE f.d1_id = d1.id AND f.d2_id = d2.id AND f.d3_id = d3.id \
                  AND d1.attr = 0 AND d2.attr = 0 AND d3.attr = 0";
 
-    for mode in [Mode::Baseline, Mode::BloomJoin, Mode::RobustPredicateTransfer] {
+    for mode in [
+        Mode::Baseline,
+        Mode::BloomJoin,
+        Mode::RobustPredicateTransfer,
+    ] {
         let r = db.query(sql, &QueryOptions::new(mode))?;
         println!(
             "{:<10} result {:?}: fact rows into joins {:>7}, work {:>8}, {:?}",

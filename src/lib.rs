@@ -1,0 +1,5 @@
+//! Workspace facade: re-exports the public engine API so the repo-level
+//! integration tests and examples have a single import root. The real code
+//! lives in the `crates/` members; see `ARCHITECTURE.md` for the layering.
+
+pub use rpt_core::*;

@@ -41,8 +41,10 @@ fn assert_modes_agree(db: &Database, sql: &str) {
     }
 }
 
-#[test]
-fn chain_join_with_filters() {
+const CHAIN_SQL: &str = "SELECT COUNT(*) FROM a, b, c \
+                         WHERE a.k = b.k AND b.j = c.j AND a.v = 2 AND c.tag = 't1'";
+
+fn chain_db() -> Database {
     let mut db = Database::new();
     db.register_table(table(
         "a",
@@ -62,18 +64,24 @@ fn chain_join_with_filters() {
         "c",
         vec![
             ("j", Vector::from_i64((0..20).collect())),
-            ("tag", Vector::from_utf8((0..20).map(|i| format!("t{}", i % 3)).collect())),
+            (
+                "tag",
+                Vector::from_utf8((0..20).map(|i| format!("t{}", i % 3)).collect()),
+            ),
         ],
     ));
-    assert_modes_agree(
-        &db,
-        "SELECT COUNT(*) FROM a, b, c \
-         WHERE a.k = b.k AND b.j = c.j AND a.v = 2 AND c.tag = 't1'",
-    );
+    db
 }
 
 #[test]
-fn composite_key_join() {
+fn chain_join_with_filters() {
+    assert_modes_agree(&chain_db(), CHAIN_SQL);
+}
+
+const COMPOSITE_SQL: &str = "SELECT COUNT(*), SUM(l.pay) FROM left_t l, right_t r \
+                             WHERE l.x = r.x AND l.y = r.y";
+
+fn composite_db() -> Database {
     let mut db = Database::new();
     db.register_table(table(
         "left_t",
@@ -90,37 +98,43 @@ fn composite_key_join() {
             ("y", Vector::from_i64((0..70).map(|i| i % 7).collect())),
         ],
     ));
-    assert_modes_agree(
-        &db,
-        "SELECT COUNT(*), SUM(l.pay) FROM left_t l, right_t r \
-         WHERE l.x = r.x AND l.y = r.y",
-    );
+    db
 }
 
 #[test]
-fn self_join_via_aliases() {
+fn composite_key_join() {
+    assert_modes_agree(&composite_db(), COMPOSITE_SQL);
+}
+
+// 2-hop paths: edges e1 joined to edges e2 on e1.dst = e2.src.
+const SELF_JOIN_SQL: &str =
+    "SELECT COUNT(*) FROM edges e1, edges e2 WHERE e1.dst = e2.src AND e1.src = 0";
+
+fn edges_db() -> Database {
     let mut db = Database::new();
     db.register_table(table(
         "edges",
         vec![
             ("src", Vector::from_i64((0..100).map(|i| i % 10).collect())),
-            ("dst", Vector::from_i64((0..100).map(|i| (i + 3) % 10).collect())),
+            (
+                "dst",
+                Vector::from_i64((0..100).map(|i| (i + 3) % 10).collect()),
+            ),
         ],
     ));
-    // 2-hop paths: edges e1 joined to edges e2 on e1.dst = e2.src.
-    assert_modes_agree(
-        &db,
-        "SELECT COUNT(*) FROM edges e1, edges e2 WHERE e1.dst = e2.src AND e1.src = 0",
-    );
+    db
 }
 
 #[test]
-fn empty_result_is_consistent() {
+fn self_join_via_aliases() {
+    assert_modes_agree(&edges_db(), SELF_JOIN_SQL);
+}
+
+const EMPTY_SQL: &str = "SELECT COUNT(*) FROM t1, t2 WHERE t1.k = t2.k";
+
+fn empty_db() -> Database {
     let mut db = Database::new();
-    db.register_table(table(
-        "t1",
-        vec![("k", Vector::from_i64(vec![1, 2, 3]))],
-    ));
+    db.register_table(table("t1", vec![("k", Vector::from_i64(vec![1, 2, 3]))]));
     db.register_table(table(
         "t2",
         vec![
@@ -128,15 +142,22 @@ fn empty_result_is_consistent() {
             ("z", Vector::from_i64(vec![0, 0])),
         ],
     ));
+    db
+}
+
+#[test]
+fn empty_result_is_consistent() {
+    let db = empty_db();
     // Keys never match: output empty, COUNT(*) = 0 everywhere.
-    let results = run_all_modes(&db, "SELECT COUNT(*) FROM t1, t2 WHERE t1.k = t2.k");
+    let results = run_all_modes(&db, EMPTY_SQL);
     for (m, rows) in results {
         assert_eq!(rows, vec![vec![ScalarValue::Int64(0)]], "{m:?}");
     }
 }
 
-#[test]
-fn null_join_keys_never_match() {
+const NULL_KEYS_SQL: &str = "SELECT COUNT(*) FROM n1, n2 WHERE n1.k = n2.k";
+
+fn null_keys_db() -> Database {
     let mut k1 = Vector::new_empty(DataType::Int64);
     k1.push(&ScalarValue::Int64(1)).unwrap();
     k1.push(&ScalarValue::Null).unwrap();
@@ -147,15 +168,23 @@ fn null_join_keys_never_match() {
     let mut db = Database::new();
     db.register_table(table("n1", vec![("k", k1)]));
     db.register_table(table("n2", vec![("k", k2)]));
-    let results = run_all_modes(&db, "SELECT COUNT(*) FROM n1, n2 WHERE n1.k = n2.k");
+    db
+}
+
+#[test]
+fn null_join_keys_never_match() {
+    let db = null_keys_db();
+    let results = run_all_modes(&db, NULL_KEYS_SQL);
     for (m, rows) in results {
         assert_eq!(rows, vec![vec![ScalarValue::Int64(1)]], "{m:?}");
     }
 }
 
-#[test]
-fn alpha_not_gamma_acyclic_query_runs() {
-    // §3.2's example: R(A,B,C) ⋈ S(A,B) ⋈ T(B,C); only join tree S–R–T.
+// §3.2's example: R(A,B,C) ⋈ S(A,B) ⋈ T(B,C); only join tree S–R–T.
+const ALPHA_NOT_GAMMA_SQL: &str = "SELECT COUNT(*) FROM r3, s2, t2 \
+     WHERE r3.a = s2.a AND r3.b = s2.b AND r3.b = t2.b AND r3.c = t2.c";
+
+fn alpha_not_gamma_db() -> Database {
     let mut db = Database::new();
     let n = 40i64;
     db.register_table(table(
@@ -180,8 +209,13 @@ fn alpha_not_gamma_acyclic_query_runs() {
             ("c", Vector::from_i64((0..n).collect())),
         ],
     ));
-    let sql = "SELECT COUNT(*) FROM r3, s2, t2 \
-               WHERE r3.a = s2.a AND r3.b = s2.b AND r3.b = t2.b AND r3.c = t2.c";
+    db
+}
+
+#[test]
+fn alpha_not_gamma_acyclic_query_runs() {
+    let db = alpha_not_gamma_db();
+    let sql = ALPHA_NOT_GAMMA_SQL;
     let q = {
         let q = db.bind_sql(sql).unwrap();
         assert!(q.is_alpha_acyclic());
@@ -215,21 +249,18 @@ fn alpha_not_gamma_acyclic_query_runs() {
 /// the baseline count.
 fn prop_db(keys_a: &[i64], keys_b: &[i64], keys_c: &[i64]) -> Database {
     let mut db = Database::new();
-    db.register_table(table(
-        "pa",
-        vec![("k", Vector::from_i64(keys_a.to_vec()))],
-    ));
+    db.register_table(table("pa", vec![("k", Vector::from_i64(keys_a.to_vec()))]));
     db.register_table(table(
         "pb",
         vec![
             ("k", Vector::from_i64(keys_b.to_vec())),
-            ("j", Vector::from_i64(keys_b.iter().map(|k| k % 5).collect())),
+            (
+                "j",
+                Vector::from_i64(keys_b.iter().map(|k| k % 5).collect()),
+            ),
         ],
     ));
-    db.register_table(table(
-        "pc",
-        vec![("j", Vector::from_i64(keys_c.to_vec()))],
-    ));
+    db.register_table(table("pc", vec![("j", Vector::from_i64(keys_c.to_vec()))]));
     db
 }
 
@@ -259,4 +290,74 @@ proptest! {
             prop_assert_eq!(r.sorted_rows(), base.clone(), "mode {:?}", mode);
         }
     }
+}
+
+// ------------------------------------------------- scheduler parity test
+
+/// Every (database, query) pair exercised in this file.
+fn scheduler_parity_cases() -> Vec<(Database, String)> {
+    vec![
+        (chain_db(), CHAIN_SQL.to_string()),
+        (composite_db(), COMPOSITE_SQL.to_string()),
+        (edges_db(), SELF_JOIN_SQL.to_string()),
+        (empty_db(), EMPTY_SQL.to_string()),
+        (null_keys_db(), NULL_KEYS_SQL.to_string()),
+        (alpha_not_gamma_db(), ALPHA_NOT_GAMMA_SQL.to_string()),
+        (
+            prop_db(&[1, 2, 2, 3, 9], &[2, 2, 3, 4, 5, 5], &[0, 1, 2]),
+            "SELECT COUNT(*) FROM pa, pb, pc WHERE pa.k = pb.k AND pb.j = pc.j".to_string(),
+        ),
+    ]
+}
+
+/// Result parity: every query in this file returns identical rows through
+/// the sequential scheduler (`pipeline_parallelism = 1`, which dispatches
+/// in stable topological = plan order) and the concurrent DAG scheduler,
+/// under every execution mode.
+#[test]
+fn sequential_and_concurrent_schedulers_agree() {
+    for (db, sql) in scheduler_parity_cases() {
+        for mode in Mode::ALL {
+            let seq = db
+                .query(&sql, &QueryOptions::new(mode).with_pipeline_parallelism(1))
+                .unwrap_or_else(|e| panic!("seq {mode:?} failed on {sql}: {e}"));
+            let conc = db
+                .query(&sql, &QueryOptions::new(mode).with_pipeline_parallelism(8))
+                .unwrap_or_else(|e| panic!("conc {mode:?} failed on {sql}: {e}"));
+            assert_eq!(
+                seq.sorted_rows(),
+                conc.sorted_rows(),
+                "{mode:?} parity failure on {sql}"
+            );
+            // The DAG scheduler ran and reported stats for both runs.
+            for r in [&seq, &conc] {
+                assert!(
+                    r.trace.iter().any(|(l, _)| l == "[scheduler] pipelines"),
+                    "scheduler stats missing from trace: {:?}",
+                    r.trace
+                );
+            }
+        }
+    }
+}
+
+/// The transfer phase of a star query has independent per-relation
+/// CreateBF builds; the DAG scheduler must surface that parallelism
+/// (initially-ready > 1) while still producing the sequential result.
+#[test]
+fn transfer_pass_exposes_parallelism() {
+    let db = chain_db();
+    let opts = QueryOptions::new(Mode::RobustPredicateTransfer).with_pipeline_parallelism(8);
+    let r = db.query(CHAIN_SQL, &opts).unwrap();
+    let ready = r
+        .trace
+        .iter()
+        .find(|(l, _)| l == "[scheduler] initially-ready")
+        .map(|&(_, v)| v)
+        .unwrap();
+    assert!(
+        ready > 1,
+        "expected >1 initially-ready pipelines, trace: {:?}",
+        r.trace
+    );
 }

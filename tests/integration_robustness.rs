@@ -25,8 +25,8 @@ fn rpt_rf_is_bounded_on_acyclic_queries() {
     let db = database_for(&w);
     for qd in w.acyclic_queries().iter().take(6) {
         let q = db.bind_sql(&qd.sql).unwrap();
-        let rep = robustness_factor(&db, &q, Mode::RobustPredicateTransfer, 8, false, None, 5)
-            .unwrap();
+        let rep =
+            robustness_factor(&db, &q, Mode::RobustPredicateTransfer, 8, false, None, 5).unwrap();
         let rf = rep.rf_work();
         // The paper's worst acyclic left-deep RF is 1.6; Bloom false
         // positives and join-phase build-side choices give us a little
@@ -47,10 +47,9 @@ fn baseline_rf_exceeds_rpt_rf_overall() {
             continue;
         }
         let q = db.bind_sql(&qd.sql).unwrap();
-        let base =
-            robustness_factor(&db, &q, Mode::Baseline, 6, false, None, 9).unwrap();
-        let rpt = robustness_factor(&db, &q, Mode::RobustPredicateTransfer, 6, false, None, 9)
-            .unwrap();
+        let base = robustness_factor(&db, &q, Mode::Baseline, 6, false, None, 9).unwrap();
+        let rpt =
+            robustness_factor(&db, &q, Mode::RobustPredicateTransfer, 6, false, None, 9).unwrap();
         base_rfs.push(base.rf_work());
         rpt_rfs.push(rpt.rf_work());
     }
@@ -98,7 +97,9 @@ fn bloom_reduction_is_superset_of_exact_reduction() {
     for id in ["3a", "2a", "6a"] {
         let qd = w.query(id).unwrap();
         let q = db.bind_sql(&qd.sql).unwrap();
-        let exact = db.execute(&q, &QueryOptions::new(Mode::Yannakakis)).unwrap();
+        let exact = db
+            .execute(&q, &QueryOptions::new(Mode::Yannakakis))
+            .unwrap();
         let bloom = db
             .execute(&q, &QueryOptions::new(Mode::RobustPredicateTransfer))
             .unwrap();
@@ -275,7 +276,10 @@ fn safe_order_supervision_repairs_unsafe_orders() {
         .with_safe_orders();
     let supervised = db.execute(&q, &supervised_opts).unwrap();
     let executed = supervised.join_order.relations();
-    assert_ne!(executed, unsafe_order, "supervision did not repair the order");
+    assert_ne!(
+        executed, unsafe_order,
+        "supervision did not repair the order"
+    );
     assert!(rpt_graph::safe_join_order(&graph, &executed));
     assert_eq!(raw.sorted_rows(), supervised.sorted_rows());
 }

@@ -50,7 +50,10 @@ fn disk_roundtrip_preserves_query_results() {
     for t in &w.tables {
         let path = dir.join(format!("{}.rptc", t.name));
         write_table(t, &path, 2048).unwrap();
-        let loaded = DiskTable::open(t.name.clone(), &path).unwrap().load().unwrap();
+        let loaded = DiskTable::open(t.name.clone(), &path)
+            .unwrap()
+            .load()
+            .unwrap();
         assert_eq!(loaded.num_rows(), t.num_rows(), "{}", t.name);
         disk_db.register_table(loaded);
     }

@@ -64,12 +64,18 @@ fn q(db: &Database, sql: &str) -> Vec<Vec<ScalarValue>> {
 #[test]
 fn projection_and_aliases() {
     let db = db();
-    let rows = q(&db, "SELECT e.name AS who, e.salary FROM emp e WHERE e.id = 3");
+    let rows = q(
+        &db,
+        "SELECT e.name AS who, e.salary FROM emp e WHERE e.id = 3",
+    );
     assert_eq!(rows.len(), 1);
     assert_eq!(rows[0][0], ScalarValue::Utf8("Bob3".into()));
     assert_eq!(rows[0][1], ScalarValue::Float64(1300.0));
     let r = db
-        .query("SELECT e.name AS who FROM emp e WHERE e.id = 0", &QueryOptions::new(Mode::Baseline))
+        .query(
+            "SELECT e.name AS who FROM emp e WHERE e.id = 0",
+            &QueryOptions::new(Mode::Baseline),
+        )
         .unwrap();
     assert_eq!(r.schema.fields[0].name, "who");
 }
@@ -77,7 +83,10 @@ fn projection_and_aliases() {
 #[test]
 fn aggregates_global_and_grouped() {
     let db = db();
-    let rows = q(&db, "SELECT COUNT(*), SUM(emp.salary), MIN(emp.id), MAX(emp.id), AVG(emp.salary) FROM emp");
+    let rows = q(
+        &db,
+        "SELECT COUNT(*), SUM(emp.salary), MIN(emp.id), MAX(emp.id), AVG(emp.salary) FROM emp",
+    );
     assert_eq!(rows[0][0], ScalarValue::Int64(12));
     assert_eq!(rows[0][2], ScalarValue::Int64(0));
     assert_eq!(rows[0][3], ScalarValue::Int64(11));
@@ -102,7 +111,10 @@ fn where_features() {
     );
     // BETWEEN
     assert_eq!(
-        q(&db, "SELECT COUNT(*) FROM emp WHERE emp.salary BETWEEN 1200 AND 1400")[0][0],
+        q(
+            &db,
+            "SELECT COUNT(*) FROM emp WHERE emp.salary BETWEEN 1200 AND 1400"
+        )[0][0],
         ScalarValue::Int64(3)
     );
     // LIKE prefix + contains
@@ -116,8 +128,10 @@ fn where_features() {
     );
     // NOT / <> / OR precedence
     assert_eq!(
-        q(&db, "SELECT COUNT(*) FROM emp WHERE NOT emp.id = 0 AND (emp.id < 2 OR emp.id > 10)")
-            [0][0],
+        q(
+            &db,
+            "SELECT COUNT(*) FROM emp WHERE NOT emp.id = 0 AND (emp.id < 2 OR emp.id > 10)"
+        )[0][0],
         ScalarValue::Int64(2) // 1 and 11
     );
     // boolean literal comparison
@@ -175,12 +189,14 @@ fn error_paths_are_reported() {
     assert!(db.query("SELECT FROM emp", &opts).is_err()); // parse
     assert!(db.query("SELECT * FROM missing", &opts).is_err()); // bind: table
     assert!(db.query("SELECT nope FROM emp", &opts).is_err()); // bind: column
-    // Cartesian product rejected at planning.
+                                                               // Cartesian product rejected at planning.
     let err = db
         .query("SELECT COUNT(*) FROM emp e, dept d", &opts)
         .unwrap_err();
-    assert!(err.to_string().contains("Cartesian") || err.to_string().contains("disconnected"),
-        "unexpected error: {err}");
+    assert!(
+        err.to_string().contains("Cartesian") || err.to_string().contains("disconnected"),
+        "unexpected error: {err}"
+    );
 }
 
 #[test]

@@ -111,7 +111,10 @@ fn random_orders_preserve_results() {
                         .with_order(rpt_core::JoinOrder::LeftDeep(order.clone())),
                 )
                 .unwrap();
-            assert!(rows_equalish(&r.sorted_rows(), &base), "seed {seed} mode {mode:?}");
+            assert!(
+                rows_equalish(&r.sorted_rows(), &base),
+                "seed {seed} mode {mode:?}"
+            );
         }
         let bushy = rpt_core::random_bushy(&graph, seed);
         let r = db
@@ -151,7 +154,10 @@ fn tpcds_q29_is_alpha_but_not_gamma_acyclic() {
             break;
         }
     }
-    assert!(found_unsafe, "α-not-γ query must have an unsafe connected subjoin");
+    assert!(
+        found_unsafe,
+        "α-not-γ query must have an unsafe connected subjoin"
+    );
     // And the guaranteed-safe Yannakakis order passes the check end to end.
     let order = rpt_graph::safe_subjoin::yannakakis_order(&graph).unwrap();
     assert!(rpt_graph::safe_join_order(&graph, &order));
@@ -206,6 +212,8 @@ fn baseline_has_no_bloom_work_and_pt_variants_do() {
     assert!(rpt.metrics.bloom_probe_in > 0);
     assert!(rpt.metrics.bloom_nanos > 0);
     // Yannakakis uses exact semi-joins, no blooms.
-    let yan = db.execute(&q, &QueryOptions::new(Mode::Yannakakis)).unwrap();
+    let yan = db
+        .execute(&q, &QueryOptions::new(Mode::Yannakakis))
+        .unwrap();
     assert_eq!(yan.metrics.bloom_build_rows, 0);
 }
