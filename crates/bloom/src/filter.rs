@@ -147,9 +147,63 @@ impl BloomFilter {
         Ok(())
     }
 
+    /// OR several same-geometry filters into `self`, splitting the word
+    /// array into up to `threads` disjoint ranges merged by scoped worker
+    /// threads. Bitwise OR is commutative and associative, so the resulting
+    /// bit pattern is identical to a serial [`BloomFilter::merge`] fold in
+    /// any order — this is what makes the per-partition CreateBF merge
+    /// order-independent.
+    pub fn merge_parallel(
+        &mut self,
+        others: &[&BloomFilter],
+        threads: usize,
+    ) -> Result<(), String> {
+        for o in others {
+            if self.num_blocks != o.num_blocks {
+                return Err(format!(
+                    "cannot merge Bloom filters with different block counts ({} vs {})",
+                    self.num_blocks, o.num_blocks
+                ));
+            }
+        }
+        if others.is_empty() {
+            return Ok(());
+        }
+        let n = self.words.len();
+        let range_len = n.div_ceil(threads.clamp(1, n.max(1)));
+        if threads <= 1 || self.words.chunks(range_len).count() <= 1 {
+            for o in others {
+                for (a, b) in self.words.iter_mut().zip(o.words.iter()) {
+                    *a |= *b;
+                }
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for (i, dst) in self.words.chunks_mut(range_len).enumerate() {
+                    let start = i * range_len;
+                    scope.spawn(move || {
+                        for o in others {
+                            let src = &o.words[start..start + dst.len()];
+                            for (a, &b) in dst.iter_mut().zip(src.iter()) {
+                                *a |= b;
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        self.inserted += others.iter().map(|o| o.inserted).sum::<u64>();
+        Ok(())
+    }
+
     /// Number of keys inserted so far.
     pub fn num_inserted(&self) -> u64 {
         self.inserted
+    }
+
+    /// Raw filter words (bit-pattern comparisons in tests and diagnostics).
+    pub fn words(&self) -> &[u32] {
+        &self.words
     }
 
     /// Size of the bit array in bytes.
@@ -246,6 +300,50 @@ mod tests {
         assert!(a.probe_i64(1));
         assert!(a.probe_i64(2));
         assert_eq!(a.num_inserted(), 2);
+    }
+
+    /// Regression test for the per-partition CreateBF merge: OR-merging the
+    /// same partial filters in any order — serially in forward or reverse
+    /// order, or via the range-parallel merge — must yield bit-identical
+    /// filters.
+    #[test]
+    fn merge_order_independent_bit_patterns() {
+        let template = BloomFilter::with_capacity(4_000, 0.02);
+        let partials: Vec<BloomFilter> = (0..4)
+            .map(|w| {
+                let mut f = template.empty_clone();
+                for k in 0..1_000i64 {
+                    f.insert_i64(k * 4 + w);
+                }
+                f
+            })
+            .collect();
+
+        let mut forward = template.empty_clone();
+        for p in &partials {
+            forward.merge(p).unwrap();
+        }
+        let mut reverse = template.empty_clone();
+        for p in partials.iter().rev() {
+            reverse.merge(p).unwrap();
+        }
+        let mut parallel = template.empty_clone();
+        let refs: Vec<&BloomFilter> = partials.iter().collect();
+        parallel.merge_parallel(&refs, 4).unwrap();
+
+        assert_eq!(forward.words(), reverse.words());
+        assert_eq!(forward.words(), parallel.words());
+        assert_eq!(forward.num_inserted(), parallel.num_inserted());
+        for k in 0..4_000i64 {
+            assert!(parallel.probe_i64(k), "false negative for {k}");
+        }
+    }
+
+    #[test]
+    fn merge_parallel_rejects_mismatched_geometry() {
+        let mut a = BloomFilter::with_capacity(10, 0.02);
+        let b = BloomFilter::with_capacity(1_000_000, 0.02);
+        assert!(a.merge_parallel(&[&b], 4).is_err());
     }
 
     #[test]

@@ -14,12 +14,14 @@
 pub mod chunk;
 pub mod error;
 pub mod hash;
+pub mod partition;
 pub mod schema;
 pub mod types;
 pub mod vector;
 
 pub use chunk::{DataChunk, SelectionVector, VECTOR_SIZE};
 pub use error::{Error, Result};
+pub use partition::{normalize_partition_count, partition_count_from_env, Partitioner};
 pub use schema::{Field, Schema};
 pub use types::{DataType, ScalarValue};
 pub use vector::{ColumnData, Vector};

@@ -73,6 +73,12 @@ pub struct QueryOptions {
     /// transfer pass) run concurrently up to this cap; `1` forces the
     /// classic sequential plan-order execution.
     pub pipeline_parallelism: usize,
+    /// Hash partitions per materializing sink (normalized to a power of
+    /// two). With more than one partition, `BufferSink`/`HashBuildSink`
+    /// write radix-partitioned runs merged per-partition in parallel
+    /// instead of through the serial `Combine` path. Defaults to
+    /// `RPT_PARTITION_COUNT` when set, else 1.
+    pub partition_count: usize,
     /// Work budget in tuples — the timeout analogue (§5.1's 1000×t_opt).
     pub work_budget: Option<u64>,
     /// Memory cap for transfer-phase materialization (the "+spill" setup).
@@ -105,6 +111,7 @@ impl QueryOptions {
             bushy_optimizer: false,
             threads: 1,
             pipeline_parallelism: 4,
+            partition_count: rpt_common::partition_count_from_env(),
             work_budget: None,
             spill_limit_bytes: None,
             spill_dir: std::env::temp_dir(),
@@ -130,6 +137,13 @@ impl QueryOptions {
     /// Cap (or, with `1`, disable) concurrent pipeline execution.
     pub fn with_pipeline_parallelism(mut self, max_concurrent: usize) -> Self {
         self.pipeline_parallelism = max_concurrent.max(1);
+        self
+    }
+
+    /// Set the sink partition count (normalized to a power of two; `1`
+    /// restores the unpartitioned sinks with a serial merge).
+    pub fn with_partition_count(mut self, partitions: usize) -> Self {
+        self.partition_count = rpt_common::normalize_partition_count(partitions);
         self
     }
 
@@ -322,7 +336,9 @@ impl Database {
     /// Build the per-query execution context from the options
     /// (threads / work budget / spill configuration).
     pub fn make_context(&self, opts: &QueryOptions) -> ExecContext {
-        let mut ctx = ExecContext::new().with_threads(opts.threads);
+        let mut ctx = ExecContext::new()
+            .with_threads(opts.threads)
+            .with_partitions(opts.partition_count);
         if let Some(b) = opts.work_budget {
             ctx = ctx.with_budget(b);
         }
@@ -334,7 +350,8 @@ impl Database {
 
     /// Run a compiled [`PhysicalPlan`] through the DAG scheduler on a
     /// fresh executor; returns the executor holding the published
-    /// resources.
+    /// resources. The plan's recorded `partition_count` is authoritative
+    /// for the executor's per-partition resource slots.
     fn run_plan(
         &self,
         plan: &crate::planner::PhysicalPlan,
@@ -342,6 +359,7 @@ impl Database {
         opts: &QueryOptions,
     ) -> Result<Executor> {
         let (nb, nf, nt) = plan.resource_counts();
+        let ctx = ctx.with_partitions(plan.partition_count);
         let mut exec = Executor::new(ctx, nb, nf, nt);
         exec.run_dag_with_deps(&plan.pipelines, &plan.deps, opts.pipeline_parallelism)?;
         Ok(exec)
@@ -387,7 +405,9 @@ impl Database {
 
         let t0 = Instant::now();
         let prelude = Planner::new(q, opts).compile_hybrid_prelude()?;
-        let ctx = self.make_context(opts);
+        let ctx = self
+            .make_context(opts)
+            .with_partitions(prelude.partition_count);
         let metrics = ctx.metrics.clone();
         let mut exec = Executor::new(
             ctx.clone(),

@@ -29,6 +29,10 @@ pub struct PhysicalPlan {
     pub num_buffers: usize,
     pub num_filters: usize,
     pub num_tables: usize,
+    /// Hash partitions per materializing sink (power of two; 1 =
+    /// unpartitioned). The executor sizes its per-partition resource slots
+    /// from this.
+    pub partition_count: usize,
     /// Buffer holding the final result.
     pub output_buffer: usize,
     /// Result schema (aliases + types).
@@ -42,6 +46,7 @@ impl PhysicalPlan {
         num_buffers: usize,
         num_filters: usize,
         num_tables: usize,
+        partition_count: usize,
         output_buffer: usize,
         output_schema: Schema,
     ) -> PhysicalPlan {
@@ -52,6 +57,7 @@ impl PhysicalPlan {
             num_buffers,
             num_filters,
             num_tables,
+            partition_count: rpt_common::normalize_partition_count(partition_count),
             output_buffer,
             output_schema,
         }
@@ -650,6 +656,7 @@ impl<'q> Planner<'q> {
                     self.num_buffers,
                     self.num_filters,
                     self.num_tables,
+                    self.opts.partition_count,
                     agg_buf,
                     agg_schema,
                 ));
@@ -674,6 +681,7 @@ impl<'q> Planner<'q> {
                 self.num_buffers,
                 self.num_filters,
                 self.num_tables,
+                self.opts.partition_count,
                 out_buf,
                 out_schema,
             ))
@@ -714,6 +722,7 @@ impl<'q> Planner<'q> {
                 self.num_buffers,
                 self.num_filters,
                 self.num_tables,
+                self.opts.partition_count,
                 out_buf,
                 out_schema,
             ))
@@ -734,6 +743,9 @@ pub struct HybridPrelude {
     pub num_buffers: usize,
     pub num_filters: usize,
     pub num_tables: usize,
+    /// Hash partitions per materializing sink (see
+    /// [`PhysicalPlan::partition_count`]).
+    pub partition_count: usize,
     /// Output column provenance after the WCOJ join: `(rel, base col)` in
     /// relation order.
     pub layout: Vec<(usize, usize)>,
@@ -783,6 +795,7 @@ impl<'q> Planner<'q> {
             num_buffers: self.num_buffers,
             num_filters: self.num_filters,
             num_tables: self.num_tables,
+            partition_count: rpt_common::normalize_partition_count(self.opts.partition_count),
             layout,
             schema: Schema::new(fields),
         })

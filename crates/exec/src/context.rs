@@ -39,6 +39,12 @@ pub struct Metrics {
     pub output_rows: AtomicU64,
     /// Nanoseconds spent in Bloom filter build + probe (the §5.5 breakdown).
     pub bloom_nanos: AtomicU64,
+    /// Per-partition sink-merge tasks executed (partitioned Combine path).
+    pub merge_tasks: AtomicU64,
+    /// Rows handled by the largest single merge task — with
+    /// `partition_count > 1` this must stay below the row count of every
+    /// non-trivial sink (no merge task covers a full result).
+    pub merge_max_task_rows: AtomicU64,
     /// Per-pipeline (label, rows-into-sink) trace, for case studies.
     pub pipeline_trace: Mutex<Vec<(String, u64)>>,
 }
@@ -52,6 +58,11 @@ impl Metrics {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Raise `counter` to at least `n` (running-maximum counters).
+    pub fn max_update(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_max(n, Ordering::Relaxed);
+    }
+
     pub fn get(&self, counter: &AtomicU64) -> u64 {
         counter.load(Ordering::Relaxed)
     }
@@ -61,6 +72,20 @@ impl Metrics {
             .lock()
             .expect("pipeline trace lock poisoned")
             .push((label.to_string(), rows));
+    }
+
+    /// Record one partitioned sink merge: how many per-partition tasks ran
+    /// and the largest task's row count. Also feeds the cumulative
+    /// `merge_tasks` / `merge_max_task_rows` counters.
+    pub fn record_merge(&self, label: &str, tasks: u64, max_task_rows: u64) {
+        self.add(&self.merge_tasks, tasks);
+        self.max_update(&self.merge_max_task_rows, max_task_rows);
+        let mut trace = self
+            .pipeline_trace
+            .lock()
+            .expect("pipeline trace lock poisoned");
+        trace.push((format!("[merge] {label} tasks"), tasks));
+        trace.push((format!("[merge] {label} max-task-rows"), max_task_rows));
     }
 
     pub fn trace(&self) -> Vec<(String, u64)> {
@@ -87,6 +112,14 @@ impl Metrics {
             "[scheduler] max-parallel".to_string(),
             stats.max_parallel as u64,
         ));
+        trace.push((
+            "[scheduler] merge-tasks".to_string(),
+            self.get(&self.merge_tasks),
+        ));
+        trace.push((
+            "[scheduler] max-merge-task-rows".to_string(),
+            self.get(&self.merge_max_task_rows),
+        ));
     }
 
     /// Snapshot of the headline numbers.
@@ -102,6 +135,8 @@ impl Metrics {
             intermediate_tuples: self.intermediate_tuples.load(Ordering::Relaxed),
             output_rows: self.output_rows.load(Ordering::Relaxed),
             bloom_nanos: self.bloom_nanos.load(Ordering::Relaxed),
+            merge_tasks: self.merge_tasks.load(Ordering::Relaxed),
+            merge_max_task_rows: self.merge_max_task_rows.load(Ordering::Relaxed),
         }
     }
 }
@@ -119,6 +154,8 @@ pub struct MetricsSummary {
     pub intermediate_tuples: u64,
     pub output_rows: u64,
     pub bloom_nanos: u64,
+    pub merge_tasks: u64,
+    pub merge_max_task_rows: u64,
 }
 
 impl MetricsSummary {
@@ -162,6 +199,10 @@ pub struct ExecContext {
     pub spill_limit_bytes: Option<usize>,
     /// Directory for spill files.
     pub spill_dir: PathBuf,
+    /// Hash partitions per materializing sink (power of two; 1 = the
+    /// classic unpartitioned sinks with a serial Combine merge). Defaults
+    /// to `RPT_PARTITION_COUNT` when set.
+    pub partition_count: usize,
 }
 
 impl Default for ExecContext {
@@ -179,6 +220,7 @@ impl ExecContext {
             threads: 1,
             spill_limit_bytes: None,
             spill_dir: std::env::temp_dir(),
+            partition_count: rpt_common::partition_count_from_env(),
         }
     }
 
@@ -195,6 +237,12 @@ impl ExecContext {
     pub fn with_spill(mut self, limit_bytes: usize, dir: impl Into<PathBuf>) -> Self {
         self.spill_limit_bytes = Some(limit_bytes);
         self.spill_dir = dir.into();
+        self
+    }
+
+    /// Set the sink partition count (normalized to a power of two).
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        self.partition_count = rpt_common::normalize_partition_count(partitions);
         self
     }
 

@@ -1,7 +1,11 @@
-//! Join hash tables (build side of hash joins and exact semi-joins).
+//! Join hash tables (build side of hash joins and exact semi-joins), and
+//! their hash-partitioned aggregate: a [`PartitionedHashTable`] holds one
+//! [`JoinHashTable`] per radix partition so builds can run per-partition in
+//! parallel, and routes every probe row to the single partition whose table
+//! can contain its matches (build and probe share the [`Partitioner`]).
 
 use rpt_common::hash::hash_columns;
-use rpt_common::{ColumnData, DataChunk, Result, Vector};
+use rpt_common::{ColumnData, DataChunk, Partitioner, Result, Vector};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -50,6 +54,17 @@ fn values_equal(a: &Vector, ia: usize, b: &Vector, ib: usize) -> bool {
     }
 }
 
+/// Gather probe key columns over the logical rows of a chunk.
+fn gather_probe_keys(chunk: &DataChunk, probe_keys: &[usize]) -> Vec<Vector> {
+    probe_keys
+        .iter()
+        .map(|&k| match &chunk.selection {
+            Some(sel) => chunk.columns[k].take(sel),
+            None => chunk.columns[k].clone(),
+        })
+        .collect()
+}
+
 impl JoinHashTable {
     /// Build from pre-flattened chunks.
     pub fn build(chunks: &[DataChunk], key_cols: Vec<usize>) -> Result<JoinHashTable> {
@@ -89,6 +104,38 @@ impl JoinHashTable {
         self.data.num_rows()
     }
 
+    /// Emit every build row matching logical probe row `row` (whose gathered
+    /// key vectors and row hash are precomputed).
+    #[inline]
+    fn matches_into(&self, gathered: &[Vector], row: usize, hash: u64, out: &mut impl FnMut(u32)) {
+        if let Some(cands) = self.map.get(&hash) {
+            for &b in cands {
+                let ok = self
+                    .key_cols
+                    .iter()
+                    .zip(gathered.iter())
+                    .all(|(&kc, pv)| values_equal(pv, row, &self.data.columns[kc], b as usize));
+                if ok {
+                    out(b);
+                }
+            }
+        }
+    }
+
+    /// Does logical probe row `row` have at least one match?
+    #[inline]
+    fn has_match(&self, gathered: &[Vector], row: usize, hash: u64) -> bool {
+        match self.map.get(&hash) {
+            Some(cands) => cands.iter().any(|&b| {
+                self.key_cols
+                    .iter()
+                    .zip(gathered.iter())
+                    .all(|(&kc, pv)| values_equal(pv, row, &self.data.columns[kc], b as usize))
+            }),
+            None => false,
+        }
+    }
+
     /// Hash-join probe: for each logical row of `chunk` (keyed on
     /// `probe_keys`), emit one `(logical_probe_row, build_row)` pair per
     /// match. Duplicates on the build side produce multiple pairs — this is
@@ -104,32 +151,17 @@ impl JoinHashTable {
         if n == 0 || self.num_rows() == 0 {
             return;
         }
-        // Gather probe key columns over logical rows.
-        let gathered: Vec<Vector> = probe_keys
-            .iter()
-            .map(|&k| match &chunk.selection {
-                Some(sel) => chunk.columns[k].take(sel),
-                None => chunk.columns[k].clone(),
-            })
-            .collect();
+        let gathered = gather_probe_keys(chunk, probe_keys);
         let refs: Vec<&Vector> = gathered.iter().collect();
         let hashes = hash_columns(&refs, n);
         for (row, &h) in hashes.iter().enumerate() {
             if h == u64::MAX {
                 continue;
             }
-            if let Some(cands) = self.map.get(&h) {
-                for &b in cands {
-                    let ok =
-                        self.key_cols.iter().zip(gathered.iter()).all(|(&kc, pv)| {
-                            values_equal(pv, row, &self.data.columns[kc], b as usize)
-                        });
-                    if ok {
-                        probe_out.push(row as u32);
-                        build_out.push(b);
-                    }
-                }
-            }
+            self.matches_into(&gathered, row, h, &mut |b| {
+                probe_out.push(row as u32);
+                build_out.push(b);
+            });
         }
     }
 
@@ -142,32 +174,160 @@ impl JoinHashTable {
         if n == 0 {
             return out;
         }
-        let gathered: Vec<Vector> = probe_keys
-            .iter()
-            .map(|&k| match &chunk.selection {
-                Some(sel) => chunk.columns[k].take(sel),
-                None => chunk.columns[k].clone(),
-            })
-            .collect();
+        let gathered = gather_probe_keys(chunk, probe_keys);
         let refs: Vec<&Vector> = gathered.iter().collect();
         let hashes = hash_columns(&refs, n);
         for (row, &h) in hashes.iter().enumerate() {
             if h == u64::MAX {
                 continue;
             }
-            if let Some(cands) = self.map.get(&h) {
-                let hit = cands.iter().any(|&b| {
-                    self.key_cols
-                        .iter()
-                        .zip(gathered.iter())
-                        .all(|(&kc, pv)| values_equal(pv, row, &self.data.columns[kc], b as usize))
-                });
-                if hit {
-                    out.push(row as u32);
-                }
+            if self.has_match(&gathered, row, h) {
+                out.push(row as u32);
             }
         }
         out
+    }
+}
+
+/// A match emitted by a partitioned probe: `(partition, build row within
+/// that partition's table)`.
+pub type BuildRef = (u32, u32);
+
+/// One [`JoinHashTable`] per radix partition, with probes routed by the
+/// same key hash the build side partitioned on. With one partition this
+/// degenerates to a plain wrapped table (and keeps the fast paths).
+pub struct PartitionedHashTable {
+    parts: Vec<JoinHashTable>,
+    partitioner: Partitioner,
+}
+
+impl PartitionedHashTable {
+    /// Wrap an unpartitioned table (partition count 1).
+    pub fn single(table: JoinHashTable) -> PartitionedHashTable {
+        PartitionedHashTable {
+            parts: vec![table],
+            partitioner: Partitioner::new(1),
+        }
+    }
+
+    /// Assemble from per-partition tables (the length must be the
+    /// partition count the build side routed with: a power of two).
+    pub fn from_parts(parts: Vec<JoinHashTable>) -> PartitionedHashTable {
+        assert!(
+            parts.len().is_power_of_two(),
+            "partition count must be a power of two, got {}",
+            parts.len()
+        );
+        let partitioner = Partitioner::new(parts.len());
+        PartitionedHashTable { parts, partitioner }
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    pub fn partition(&self, part: usize) -> &JoinHashTable {
+        &self.parts[part]
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.parts.iter().map(JoinHashTable::num_rows).sum()
+    }
+
+    /// Hash-join probe (see [`JoinHashTable::probe`]): each probe row is
+    /// routed to exactly one partition — the one its key hash maps to —
+    /// so matches and multiplicities are identical to an unpartitioned
+    /// probe over the union of the partitions.
+    pub fn probe(
+        &self,
+        chunk: &DataChunk,
+        probe_keys: &[usize],
+        probe_out: &mut Vec<u32>,
+        build_out: &mut Vec<BuildRef>,
+    ) {
+        let n = chunk.num_rows();
+        if n == 0 || self.num_rows() == 0 {
+            return;
+        }
+        // With one partition `of_hash` is constant 0, so this is exactly
+        // the unpartitioned probe loop — no temporaries, no extra branch.
+        let gathered = gather_probe_keys(chunk, probe_keys);
+        let refs: Vec<&Vector> = gathered.iter().collect();
+        let hashes = hash_columns(&refs, n);
+        for (row, &h) in hashes.iter().enumerate() {
+            if h == u64::MAX {
+                continue;
+            }
+            let part = self.partitioner.of_hash(h) as u32;
+            self.parts[part as usize].matches_into(&gathered, row, h, &mut |b| {
+                probe_out.push(row as u32);
+                build_out.push((part, b));
+            });
+        }
+    }
+
+    /// Exact semi-join probe (see [`JoinHashTable::semi_probe`]).
+    pub fn semi_probe(&self, chunk: &DataChunk, probe_keys: &[usize]) -> Vec<u32> {
+        if self.parts.len() == 1 {
+            return self.parts[0].semi_probe(chunk, probe_keys);
+        }
+        let n = chunk.num_rows();
+        let mut out = Vec::new();
+        if n == 0 {
+            return out;
+        }
+        let gathered = gather_probe_keys(chunk, probe_keys);
+        let refs: Vec<&Vector> = gathered.iter().collect();
+        let hashes = hash_columns(&refs, n);
+        for (row, &h) in hashes.iter().enumerate() {
+            if h == u64::MAX {
+                continue;
+            }
+            if self.parts[self.partitioner.of_hash(h)].has_match(&gathered, row, h) {
+                out.push(row as u32);
+            }
+        }
+        out
+    }
+
+    /// Gather build-side column `col` for the given probe matches (the
+    /// probe-side analogue of `Vector::take` across partitions). Stays
+    /// vectorized: one bulk `take` per partition plus one permutation
+    /// `take` to restore match order — no per-row scalar dispatch.
+    pub fn gather(&self, col: usize, matches: &[BuildRef]) -> Vector {
+        if self.parts.len() == 1 {
+            let rows: Vec<u32> = matches.iter().map(|&(_, b)| b).collect();
+            return self.parts[0].data.columns[col].take(&rows);
+        }
+        // Bucket the match indices per partition.
+        let mut per_part: Vec<Vec<u32>> = vec![Vec::new(); self.parts.len()];
+        for &(part, b) in matches {
+            per_part[part as usize].push(b);
+        }
+        // Concatenate the per-partition bulk takes (partition-major)…
+        let mut offsets = vec![0u32; self.parts.len()];
+        let mut acc = 0u32;
+        let mut concat = Vector::new_empty(self.parts[0].data.columns[col].data_type());
+        for (p, idx) in per_part.iter().enumerate() {
+            offsets[p] = acc;
+            acc += idx.len() as u32;
+            if !idx.is_empty() {
+                concat
+                    .append(&self.parts[p].data.columns[col].take(idx))
+                    .expect("partition column types agree");
+            }
+        }
+        // …then permute back into match order.
+        let mut next = offsets;
+        let perm: Vec<u32> = matches
+            .iter()
+            .map(|&(part, _)| {
+                let pos = next[part as usize];
+                next[part as usize] += 1;
+                pos
+            })
+            .collect();
+        concat.take(&perm)
     }
 }
 
@@ -258,6 +418,59 @@ mod tests {
         let (mut p, mut b) = (vec![], vec![]);
         ht.probe(&probe, &[0], &mut p, &mut b);
         assert!(p.is_empty() && b.is_empty());
+    }
+
+    /// Partition build chunks by key hash, rebuild per-partition tables,
+    /// and verify probes and semi-probes match the unpartitioned table.
+    #[test]
+    fn partitioned_probe_matches_unpartitioned() {
+        use rpt_common::hash::hash_columns;
+
+        let keys: Vec<i64> = (0..500).map(|i| i % 37).collect();
+        let vals: Vec<i64> = (0..500).collect();
+        let build = DataChunk::new(vec![Vector::from_i64(keys), Vector::from_i64(vals)]);
+        let flat = JoinHashTable::build(std::slice::from_ref(&build), vec![0]).unwrap();
+
+        let partitioner = Partitioner::new(8);
+        let hashes = hash_columns(&[&build.columns[0]], build.num_rows());
+        let split = partitioner.split_chunk(&build, &hashes);
+        let parts: Vec<JoinHashTable> = split
+            .into_iter()
+            .map(|c| JoinHashTable::build(&c.into_iter().collect::<Vec<_>>(), vec![0]).unwrap())
+            .collect();
+        let pht = PartitionedHashTable::from_parts(parts);
+        assert_eq!(pht.num_rows(), flat.num_rows());
+
+        let probe = DataChunk::new(vec![Vector::from_i64((0..60).collect())]);
+        let (mut fp, mut fb) = (vec![], vec![]);
+        flat.probe(&probe, &[0], &mut fp, &mut fb);
+        let (mut pp, mut pb) = (vec![], vec![]);
+        pht.probe(&probe, &[0], &mut pp, &mut pb);
+
+        // Same matches as multisets of (probe key, build value).
+        let key = |p: u32| probe.value(0, p as usize).as_i64().unwrap();
+        let mut flat_pairs: Vec<(i64, i64)> = fp
+            .iter()
+            .zip(fb.iter())
+            .map(|(&p, &b)| {
+                (
+                    key(p),
+                    flat.data.columns[1].get(b as usize).as_i64().unwrap(),
+                )
+            })
+            .collect();
+        let gathered = pht.gather(1, &pb);
+        let mut part_pairs: Vec<(i64, i64)> = pp
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (key(p), gathered.get(i).as_i64().unwrap()))
+            .collect();
+        flat_pairs.sort_unstable();
+        part_pairs.sort_unstable();
+        assert_eq!(flat_pairs, part_pairs);
+
+        // Semi-probe selections are identical (order included).
+        assert_eq!(flat.semi_probe(&probe, &[0]), pht.semi_probe(&probe, &[0]));
     }
 
     #[test]

@@ -34,8 +34,8 @@ pub mod wcoj;
 
 pub use context::{ExecContext, Metrics};
 pub use expr::{AggExpr, AggFunc, ArithOp, CmpOp, Expr};
-pub use hash_table::JoinHashTable;
-pub use operators::{Operator, ResourceId, Resources, Sink, SinkFactory, Source};
+pub use hash_table::{BuildRef, JoinHashTable, PartitionedHashTable};
+pub use operators::{ChunkList, Operator, ResourceId, Resources, Sink, SinkFactory, Source};
 pub use pipeline::{
     BloomSink, Executor, OpSpec, PhysicalPipeline, PipelinePlan, SinkSpec, SourceSpec,
 };

@@ -1,32 +1,112 @@
 //! Buffer sink: materialize chunks (spilling past the memory cap) and
 //! optionally build Bloom filters along the way — the CreateBF operator.
 //! With no Bloom requests this is a plain collect sink.
+//!
+//! With `partition_count > 1` every worker writes *hash-partitioned* runs
+//! (radix on the Bloom request's key columns; keyless collect sinks split
+//! their first chunk across partitions, then route whole chunks
+//! round-robin, copy-free), and the driver merges the partitions in
+//! parallel — each merge task concatenates one partition's runs from every
+//! worker and seals that partition's buffer slot, so no merge task ever
+//! scans the full result.
 
-use super::create_bf::{combine_blooms, insert_into_blooms, BloomBuild, BloomSink};
-use super::{downcast_sink, ResourceId, Resources, Sink, SinkFactory};
+use super::create_bf::{
+    combine_blooms, insert_into_blooms, merge_publish_blooms, BloomBuild, BloomSink,
+};
+use super::{
+    downcast_sink, for_each_partition, PartitionSlots, ResourceId, Resources, Sink, SinkFactory,
+};
 use crate::context::ExecContext;
-use rpt_common::{DataChunk, Result, Schema};
-use rpt_storage::SpillBuffer;
+use rpt_common::{DataChunk, Partitioner, Result, Schema};
+use rpt_storage::{SpillBuffer, SpillStats};
 use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 pub struct BufferSink {
     buf_id: usize,
-    buf: SpillBuffer,
+    /// One spill buffer per partition (a single entry when unpartitioned).
+    parts: Vec<SpillBuffer>,
+    partitioner: Partitioner,
+    /// Key columns the rows are radix-routed on; `None` (no key available)
+    /// falls back to chunk-granular round-robin routing.
+    partition_keys: Option<Vec<usize>>,
+    next_round_robin: usize,
+    /// Has the keyless path already split its first chunk across
+    /// partitions?
+    keyless_seeded: bool,
     blooms: Vec<BloomBuild>,
     rows: u64,
+}
+
+impl BufferSink {
+    /// Per-partition spill statistics (partition order).
+    pub fn spill_stats(&self) -> Vec<SpillStats> {
+        self.parts.iter().map(SpillBuffer::stats).collect()
+    }
 }
 
 impl Sink for BufferSink {
     fn sink(&mut self, chunk: DataChunk, ctx: &ExecContext) -> Result<()> {
         self.rows += chunk.num_rows() as u64;
         insert_into_blooms(&chunk, &mut self.blooms, ctx);
-        self.buf.push(chunk)
+        if self.partitioner.is_single() {
+            return self.parts[0].push(chunk);
+        }
+        match &self.partition_keys {
+            Some(keys) => {
+                let hashes = super::key_hashes(&chunk, keys);
+                for (p, sub) in self
+                    .partitioner
+                    .split_chunk(&chunk, &hashes)
+                    .into_iter()
+                    .enumerate()
+                {
+                    if let Some(sub) = sub {
+                        self.parts[p].push(sub)?;
+                    }
+                }
+                Ok(())
+            }
+            None => {
+                // Keyless collect sink: no hash to route on. Only the first
+                // chunk is split into contiguous row ranges (bounded copy:
+                // it guarantees ≥2 partitions are non-empty, so no merge
+                // task can cover the full result even for single-chunk
+                // outputs); every later chunk is routed whole, copy-free,
+                // to a rotating partition.
+                let count = self.parts.len();
+                if self.keyless_seeded {
+                    let p = self.next_round_robin;
+                    self.next_round_robin = (p + 1) % count;
+                    return self.parts[p].push(chunk);
+                }
+                self.keyless_seeded = true;
+                let n = chunk.num_rows();
+                let per = n.div_ceil(count).max(1);
+                let mut start = 0;
+                let mut p = 0;
+                while start < n {
+                    let end = (start + per).min(n);
+                    let idx: Vec<u32> = (start..end)
+                        .map(|l| chunk.physical_index(l) as u32)
+                        .collect();
+                    let sub = DataChunk::new(chunk.columns.iter().map(|c| c.take(&idx)).collect());
+                    self.parts[p % count].push(sub)?;
+                    p += 1;
+                    start = end;
+                }
+                self.next_round_robin = p % count;
+                Ok(())
+            }
+        }
     }
 
     fn combine(&mut self, other: Box<dyn Sink>) -> Result<()> {
         let other = downcast_sink::<BufferSink>(other)?;
-        for c in other.buf.into_chunks()? {
-            self.buf.push(c)?;
+        for (mine, theirs) in self.parts.iter_mut().zip(other.parts) {
+            for c in theirs.into_chunks()? {
+                mine.push(c)?;
+            }
         }
         combine_blooms(&mut self.blooms, &other.blooms)?;
         self.rows += other.rows;
@@ -38,7 +118,14 @@ impl Sink for BufferSink {
     }
 
     fn finalize(self: Box<Self>, res: &Resources) -> Result<()> {
-        res.publish_buffer(self.buf_id, self.buf.into_chunks()?)?;
+        if self.parts.len() == 1 {
+            let mut parts = self.parts;
+            res.publish_buffer(self.buf_id, parts.remove(0).into_chunks()?)?;
+        } else {
+            for (p, buf) in self.parts.into_iter().enumerate() {
+                res.publish_buffer_partition(self.buf_id, p, buf.into_chunks()?)?;
+            }
+        }
         for b in self.blooms {
             b.publish(res)?;
         }
@@ -51,7 +138,7 @@ impl Sink for BufferSink {
 }
 
 /// Builds one [`BufferSink`] per worker, splitting the spill cap across
-/// the configured thread count.
+/// the configured thread count (and, within a worker, across partitions).
 pub struct BufferSinkFactory {
     buf_id: usize,
     schema: Schema,
@@ -70,13 +157,21 @@ impl BufferSinkFactory {
 
 impl SinkFactory for BufferSinkFactory {
     fn make(&self, ctx: &ExecContext) -> Result<Box<dyn Sink>> {
-        let per_thread_limit = ctx
+        let partitioner = Partitioner::new(ctx.partition_count);
+        let per_buffer_limit = ctx
             .spill_limit_bytes
-            .map(|l| (l / ctx.threads).max(1))
+            .map(|l| (l / ctx.threads / partitioner.count()).max(1))
             .unwrap_or(usize::MAX);
+        let parts = (0..partitioner.count())
+            .map(|_| SpillBuffer::new(self.schema.clone(), per_buffer_limit, ctx.spill_dir.clone()))
+            .collect();
         Ok(Box::new(BufferSink {
             buf_id: self.buf_id,
-            buf: SpillBuffer::new(self.schema.clone(), per_thread_limit, ctx.spill_dir.clone()),
+            parts,
+            partitioner,
+            partition_keys: self.blooms.first().map(|b| b.key_cols.clone()),
+            next_round_robin: 0,
+            keyless_seeded: false,
             blooms: BloomBuild::from_specs(&self.blooms),
             rows: 0,
         }))
@@ -86,5 +181,54 @@ impl SinkFactory for BufferSinkFactory {
         let mut w = vec![ResourceId::Buffer(self.buf_id)];
         w.extend(self.blooms.iter().map(|b| ResourceId::Filter(b.filter_id)));
         w
+    }
+
+    fn partitioned_merge(&self, ctx: &ExecContext) -> bool {
+        ctx.partition_count > 1
+    }
+
+    fn merge_partitioned(
+        &self,
+        label: &str,
+        states: Vec<Box<dyn Sink>>,
+        ctx: &ExecContext,
+        res: &Resources,
+    ) -> Result<()> {
+        let mut workers = Vec::with_capacity(states.len());
+        for s in states {
+            workers.push(*downcast_sink::<BufferSink>(s)?);
+        }
+        // The states' own layout is authoritative (the factory normalized
+        // `ctx.partition_count` when it built them).
+        let partitions = match workers.first() {
+            Some(w) => w.parts.len(),
+            None => return Ok(()),
+        };
+        let blooms: Vec<Vec<BloomBuild>> = workers
+            .iter_mut()
+            .map(|w| std::mem::take(&mut w.blooms))
+            .collect();
+        let slots =
+            PartitionSlots::transpose(workers.into_iter().map(|w| w.parts).collect(), partitions);
+        let max_task_rows = AtomicU64::new(0);
+        for_each_partition(partitions, ctx.threads, |p| {
+            let mut chunks = Vec::new();
+            let mut rows = 0u64;
+            for buf in slots.take(p) {
+                for c in buf.into_chunks()? {
+                    rows += c.num_rows() as u64;
+                    chunks.push(c);
+                }
+            }
+            max_task_rows.fetch_max(rows, Ordering::Relaxed);
+            res.publish_buffer_partition(self.buf_id, p, chunks)
+        })?;
+        merge_publish_blooms(blooms, ctx.threads, res)?;
+        ctx.metrics.record_merge(
+            label,
+            partitions as u64,
+            max_task_rows.load(Ordering::Relaxed),
+        );
+        Ok(())
     }
 }

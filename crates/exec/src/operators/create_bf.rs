@@ -86,3 +86,31 @@ pub fn combine_blooms(mine: &mut [BloomBuild], other: &[BloomBuild]) -> Result<(
     }
     Ok(())
 }
+
+/// Merge every worker's partial filters and publish the results — the
+/// Finalize half of a *partitioned* CreateBF. Filters are OR-merged in
+/// disjoint word ranges on up to `threads` scoped threads
+/// ([`BloomFilter::merge_parallel`]); since OR is commutative and
+/// associative the published bit pattern is identical regardless of worker
+/// or range order.
+pub fn merge_publish_blooms(
+    mut per_worker: Vec<Vec<BloomBuild>>,
+    threads: usize,
+    res: &Resources,
+) -> Result<()> {
+    if per_worker.is_empty() {
+        return Ok(());
+    }
+    let mut merged = per_worker.remove(0);
+    for (i, build) in merged.iter_mut().enumerate() {
+        let others: Vec<&BloomFilter> = per_worker.iter().map(|w| &w[i].filter).collect();
+        build
+            .filter
+            .merge_parallel(&others, threads)
+            .map_err(Error::Exec)?;
+    }
+    for build in merged {
+        build.publish(res)?;
+    }
+    Ok(())
+}

@@ -1,21 +1,49 @@
 //! Hash-join build sink, optionally building Bloom filters over the same
 //! stream — how the BloomJoin baseline (§6.1) attaches a filter to each
 //! hash-join build side.
+//!
+//! With `partition_count > 1` every worker radix-partitions its build rows
+//! by key hash, and the driver's merge builds one [`JoinHashTable`] per
+//! partition in parallel, publishing them as a [`PartitionedHashTable`]
+//! that probes route into by the same hash — the build is never
+//! re-serialized over the full build side.
 
-use super::create_bf::{combine_blooms, insert_into_blooms, BloomBuild, BloomSink};
-use super::{downcast_sink, ResourceId, Resources, Sink, SinkFactory};
+use super::create_bf::{
+    combine_blooms, insert_into_blooms, merge_publish_blooms, BloomBuild, BloomSink,
+};
+use super::{
+    downcast_sink, for_each_partition, PartitionSlots, ResourceId, Resources, Sink, SinkFactory,
+};
 use crate::context::ExecContext;
-use crate::hash_table::JoinHashTable;
-use rpt_common::{DataChunk, Result, Schema};
+use crate::hash_table::{JoinHashTable, PartitionedHashTable};
+use rpt_common::{DataChunk, Partitioner, Result, Schema};
 use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 pub struct HashBuildSink {
     ht_id: usize,
     key_cols: Vec<usize>,
     blooms: Vec<BloomBuild>,
-    chunks: Vec<DataChunk>,
+    /// Per-partition runs (a single entry when unpartitioned).
+    parts: Vec<Vec<DataChunk>>,
+    partitioner: Partitioner,
     schema: Schema,
     rows: u64,
+}
+
+/// Build one partition's table; an empty partition still carries the
+/// column arity so probe-side output chunks have the right shape.
+fn build_partition(
+    chunks: &[DataChunk],
+    key_cols: Vec<usize>,
+    schema: &Schema,
+) -> Result<JoinHashTable> {
+    if chunks.is_empty() {
+        JoinHashTable::build(&[DataChunk::empty_like(schema)], key_cols)
+    } else {
+        JoinHashTable::build(chunks, key_cols)
+    }
 }
 
 impl Sink for HashBuildSink {
@@ -23,14 +51,30 @@ impl Sink for HashBuildSink {
         let n = chunk.num_rows() as u64;
         insert_into_blooms(&chunk, &mut self.blooms, ctx);
         ctx.metrics.add(&ctx.metrics.hash_build_rows, n);
-        self.chunks.push(chunk.flattened());
+        if self.partitioner.is_single() {
+            self.parts[0].push(chunk.flattened());
+        } else {
+            let hashes = super::key_hashes(&chunk, &self.key_cols);
+            for (p, sub) in self
+                .partitioner
+                .split_chunk(&chunk, &hashes)
+                .into_iter()
+                .enumerate()
+            {
+                if let Some(sub) = sub {
+                    self.parts[p].push(sub);
+                }
+            }
+        }
         self.rows += n;
         Ok(())
     }
 
     fn combine(&mut self, other: Box<dyn Sink>) -> Result<()> {
         let other = downcast_sink::<HashBuildSink>(other)?;
-        self.chunks.extend(other.chunks);
+        for (mine, theirs) in self.parts.iter_mut().zip(other.parts) {
+            mine.extend(theirs);
+        }
         combine_blooms(&mut self.blooms, &other.blooms)?;
         self.rows += other.rows;
         Ok(())
@@ -41,12 +85,19 @@ impl Sink for HashBuildSink {
     }
 
     fn finalize(self: Box<Self>, res: &Resources) -> Result<()> {
-        // An empty build side must still carry its column arity so
-        // probe-side output chunks have the right shape.
-        let table = if self.chunks.is_empty() {
-            JoinHashTable::build(&[DataChunk::empty_like(&self.schema)], self.key_cols)?
+        let table = if self.parts.len() == 1 {
+            PartitionedHashTable::single(build_partition(
+                &self.parts[0],
+                self.key_cols.clone(),
+                &self.schema,
+            )?)
         } else {
-            JoinHashTable::build(&self.chunks, self.key_cols)?
+            let parts = self
+                .parts
+                .iter()
+                .map(|chunks| build_partition(chunks, self.key_cols.clone(), &self.schema))
+                .collect::<Result<Vec<_>>>()?;
+            PartitionedHashTable::from_parts(parts)
         };
         res.publish_table(self.ht_id, table)?;
         for b in self.blooms {
@@ -84,12 +135,14 @@ impl HashBuildFactory {
 }
 
 impl SinkFactory for HashBuildFactory {
-    fn make(&self, _ctx: &ExecContext) -> Result<Box<dyn Sink>> {
+    fn make(&self, ctx: &ExecContext) -> Result<Box<dyn Sink>> {
+        let partitioner = Partitioner::new(ctx.partition_count);
         Ok(Box::new(HashBuildSink {
             ht_id: self.ht_id,
             key_cols: self.key_cols.clone(),
             blooms: BloomBuild::from_specs(&self.blooms),
-            chunks: Vec::new(),
+            parts: (0..partitioner.count()).map(|_| Vec::new()).collect(),
+            partitioner,
             schema: self.schema.clone(),
             rows: 0,
         }))
@@ -99,5 +152,58 @@ impl SinkFactory for HashBuildFactory {
         let mut w = vec![ResourceId::HashTable(self.ht_id)];
         w.extend(self.blooms.iter().map(|b| ResourceId::Filter(b.filter_id)));
         w
+    }
+
+    fn partitioned_merge(&self, ctx: &ExecContext) -> bool {
+        ctx.partition_count > 1
+    }
+
+    fn merge_partitioned(
+        &self,
+        label: &str,
+        states: Vec<Box<dyn Sink>>,
+        ctx: &ExecContext,
+        res: &Resources,
+    ) -> Result<()> {
+        let mut workers = Vec::with_capacity(states.len());
+        for s in states {
+            workers.push(*downcast_sink::<HashBuildSink>(s)?);
+        }
+        // The states' own layout is authoritative (the factory normalized
+        // `ctx.partition_count` when it built them).
+        let partitions = match workers.first() {
+            Some(w) => w.parts.len(),
+            None => return Ok(()),
+        };
+        let blooms: Vec<Vec<BloomBuild>> = workers
+            .iter_mut()
+            .map(|w| std::mem::take(&mut w.blooms))
+            .collect();
+        let slots =
+            PartitionSlots::transpose(workers.into_iter().map(|w| w.parts).collect(), partitions);
+        let tables: Vec<OnceLock<JoinHashTable>> =
+            (0..partitions).map(|_| OnceLock::new()).collect();
+        let max_task_rows = AtomicU64::new(0);
+        for_each_partition(partitions, ctx.threads, |p| {
+            let chunks: Vec<DataChunk> = slots.take(p).into_iter().flatten().collect();
+            let rows: u64 = chunks.iter().map(|c| c.num_rows() as u64).sum();
+            max_task_rows.fetch_max(rows, Ordering::Relaxed);
+            let table = build_partition(&chunks, self.key_cols.clone(), &self.schema)?;
+            tables[p]
+                .set(table)
+                .map_err(|_| rpt_common::Error::Exec("partition table built twice".into()))
+        })?;
+        let parts: Vec<JoinHashTable> = tables
+            .into_iter()
+            .map(|t| t.into_inner().expect("every partition table built"))
+            .collect();
+        res.publish_table(self.ht_id, PartitionedHashTable::from_parts(parts))?;
+        merge_publish_blooms(blooms, ctx.threads, res)?;
+        ctx.metrics.record_merge(
+            label,
+            partitions as u64,
+            max_task_rows.load(Ordering::Relaxed),
+        );
+        Ok(())
     }
 }

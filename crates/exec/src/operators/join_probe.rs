@@ -31,8 +31,8 @@ impl Operator for JoinProbe {
         let m = &ctx.metrics;
         m.add(&m.join_probe_in, chunk.num_rows() as u64);
         let mut probe_rows = Vec::new();
-        let mut build_rows = Vec::new();
-        ht.probe(&chunk, &self.key_cols, &mut probe_rows, &mut build_rows);
+        let mut build_refs = Vec::new();
+        ht.probe(&chunk, &self.key_cols, &mut probe_rows, &mut build_refs);
         let out_n = probe_rows.len();
         ctx.charge(out_n as u64)?;
         m.add(&m.join_output_rows, out_n as u64);
@@ -43,7 +43,7 @@ impl Operator for JoinProbe {
             .collect();
         let mut cols: Vec<Vector> = chunk.columns.iter().map(|c| c.take(&phys)).collect();
         for &bc in &self.build_output_cols {
-            cols.push(ht.data.columns[bc].take(&build_rows));
+            cols.push(ht.gather(bc, &build_refs));
         }
         Ok(Some(DataChunk::new(cols)))
     }

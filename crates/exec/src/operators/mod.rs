@@ -39,11 +39,12 @@ pub use scan::{BufferScan, TableScan};
 pub use semi_probe::SemiProbe;
 
 use crate::context::ExecContext;
-use crate::hash_table::JoinHashTable;
+use crate::hash_table::PartitionedHashTable;
 use rpt_bloom::BloomFilter;
 use rpt_common::{DataChunk, Error, Result, Vector};
 use std::any::Any;
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Identifier of a cross-pipeline resource: what a pipeline reads or
 /// writes. The planner's `PhysicalPlan` records these per pipeline and the
@@ -58,39 +59,121 @@ pub enum ResourceId {
     HashTable(usize),
 }
 
+/// Chunks are stored and handed to consumers behind per-chunk `Arc`s so
+/// assembling a partitioned buffer's whole view (and morsel claiming in
+/// general) clones pointers, never column payloads.
+pub type ChunkList = Vec<Arc<DataChunk>>;
+
+/// One buffer resource, stored as per-partition write-once slots so the
+/// parallel merge tasks of a partitioned sink can seal their partition as
+/// soon as it is merged, without waiting on the other partitions.
+struct BufferSlot {
+    parts: Vec<OnceLock<Arc<ChunkList>>>,
+    /// Lazily concatenated whole-buffer view (partition order), built the
+    /// first time a consumer asks for the full buffer.
+    assembled: OnceLock<Arc<ChunkList>>,
+}
+
+impl BufferSlot {
+    fn new(partitions: usize) -> BufferSlot {
+        BufferSlot {
+            parts: (0..partitions).map(|_| OnceLock::new()).collect(),
+            assembled: OnceLock::new(),
+        }
+    }
+}
+
 /// Write-once shared state produced and consumed by pipelines.
 ///
 /// Every slot is an [`OnceLock`]: producers publish exactly once in their
-/// sink's `finalize`, consumers resolve at probe time. The scheduler
+/// sink's `finalize` (partitioned sinks publish each buffer partition from
+/// its own merge task), consumers resolve at probe time. The scheduler
 /// guarantees producers complete before consumers start, so a failed
 /// lookup is a planning bug and surfaces as `Error::Exec`.
 pub struct Resources {
-    buffers: Vec<OnceLock<Arc<Vec<DataChunk>>>>,
+    partitions: usize,
+    buffers: Vec<BufferSlot>,
     filters: Vec<OnceLock<Arc<BloomFilter>>>,
-    tables: Vec<OnceLock<Arc<JoinHashTable>>>,
+    tables: Vec<OnceLock<Arc<PartitionedHashTable>>>,
 }
 
 impl Resources {
+    /// Unpartitioned resource slots (partition count 1).
     pub fn new(num_buffers: usize, num_filters: usize, num_tables: usize) -> Resources {
+        Resources::with_partitions(num_buffers, num_filters, num_tables, 1)
+    }
+
+    /// Resource slots with `partitions` per-partition buffer slots each
+    /// (normalized to a power of two).
+    pub fn with_partitions(
+        num_buffers: usize,
+        num_filters: usize,
+        num_tables: usize,
+        partitions: usize,
+    ) -> Resources {
+        let partitions = rpt_common::normalize_partition_count(partitions);
         Resources {
-            buffers: (0..num_buffers).map(|_| OnceLock::new()).collect(),
+            partitions,
+            buffers: (0..num_buffers)
+                .map(|_| BufferSlot::new(partitions))
+                .collect(),
             filters: (0..num_filters).map(|_| OnceLock::new()).collect(),
             tables: (0..num_tables).map(|_| OnceLock::new()).collect(),
         }
     }
 
-    pub fn buffer(&self, id: usize) -> Result<Arc<Vec<DataChunk>>> {
+    /// The per-buffer partition count.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// The whole buffer: its partitions concatenated in partition order
+    /// (chunk `Arc`s cloned, payloads shared with the partition slots).
+    pub fn buffer(&self, id: usize) -> Result<Arc<ChunkList>> {
+        let slot = self
+            .buffers
+            .get(id)
+            .ok_or_else(|| Error::Exec(format!("buffer slot {id} out of range")))?;
+        if slot.parts.len() == 1 {
+            return slot.parts[0]
+                .get()
+                .cloned()
+                .ok_or_else(|| Error::Exec(format!("buffer {id} not materialized")));
+        }
+        if let Some(all) = slot.assembled.get() {
+            return Ok(all.clone());
+        }
+        let mut all = Vec::new();
+        for (p, part) in slot.parts.iter().enumerate() {
+            let chunks = part.get().ok_or_else(|| {
+                Error::Exec(format!("buffer {id} partition {p} not materialized"))
+            })?;
+            all.extend(chunks.iter().cloned());
+        }
+        // A racing consumer may have assembled concurrently; both built the
+        // same value, so losing the `set` race is fine.
+        let _ = slot.assembled.set(Arc::new(all));
+        Ok(slot.assembled.get().expect("assembled just set").clone())
+    }
+
+    /// One sealed partition of a buffer.
+    pub fn buffer_partition(&self, id: usize, part: usize) -> Result<Arc<ChunkList>> {
         self.buffers
             .get(id)
-            .and_then(|b| b.get().cloned())
-            .ok_or_else(|| Error::Exec(format!("buffer {id} not materialized")))
+            .and_then(|b| b.parts.get(part))
+            .and_then(|p| p.get().cloned())
+            .ok_or_else(|| Error::Exec(format!("buffer {id} partition {part} not materialized")))
     }
 
     pub fn buffer_rows(&self, id: usize) -> u64 {
-        self.buffers
-            .get(id)
-            .and_then(|b| b.get())
-            .map_or(0, |chunks| chunks.iter().map(|c| c.num_rows() as u64).sum())
+        self.buffers.get(id).map_or(0, |slot| {
+            slot.parts
+                .iter()
+                .filter_map(|p| p.get())
+                .flat_map(|chunks| chunks.iter())
+                .map(|c| c.num_rows() as u64)
+                .sum()
+        })
     }
 
     pub fn filter(&self, id: usize) -> Result<Arc<BloomFilter>> {
@@ -100,19 +183,46 @@ impl Resources {
             .ok_or_else(|| Error::Exec(format!("bloom filter {id} not built")))
     }
 
-    pub fn hash_table(&self, id: usize) -> Result<Arc<JoinHashTable>> {
+    pub fn hash_table(&self, id: usize) -> Result<Arc<PartitionedHashTable>> {
         self.tables
             .get(id)
             .and_then(|t| t.get().cloned())
             .ok_or_else(|| Error::Exec(format!("hash table {id} not built")))
     }
 
+    /// Publish a whole buffer at once (unpartitioned sinks; with more than
+    /// one partition slot the chunks land in partition 0 and the remaining
+    /// partitions are sealed empty).
     pub fn publish_buffer(&self, id: usize, chunks: Vec<DataChunk>) -> Result<()> {
+        let slot = self
+            .buffers
+            .get(id)
+            .ok_or_else(|| Error::Exec(format!("buffer slot {id} out of range")))?;
+        slot.parts[0]
+            .set(Arc::new(chunks.into_iter().map(Arc::new).collect()))
+            .map_err(|_| Error::Exec(format!("buffer {id} published twice")))?;
+        for part in &slot.parts[1..] {
+            part.set(Arc::new(Vec::new()))
+                .map_err(|_| Error::Exec(format!("buffer {id} published twice")))?;
+        }
+        Ok(())
+    }
+
+    /// Seal one partition of a buffer (called by parallel merge tasks).
+    pub fn publish_buffer_partition(
+        &self,
+        id: usize,
+        part: usize,
+        chunks: Vec<DataChunk>,
+    ) -> Result<()> {
         self.buffers
             .get(id)
             .ok_or_else(|| Error::Exec(format!("buffer slot {id} out of range")))?
-            .set(Arc::new(chunks))
-            .map_err(|_| Error::Exec(format!("buffer {id} published twice")))
+            .parts
+            .get(part)
+            .ok_or_else(|| Error::Exec(format!("buffer {id} partition {part} out of range")))?
+            .set(Arc::new(chunks.into_iter().map(Arc::new).collect()))
+            .map_err(|_| Error::Exec(format!("buffer {id} partition {part} published twice")))
     }
 
     pub fn publish_filter(&self, id: usize, filter: BloomFilter) -> Result<()> {
@@ -123,7 +233,7 @@ impl Resources {
             .map_err(|_| Error::Exec(format!("bloom filter {id} published twice")))
     }
 
-    pub fn publish_table(&self, id: usize, table: JoinHashTable) -> Result<()> {
+    pub fn publish_table(&self, id: usize, table: PartitionedHashTable) -> Result<()> {
         self.tables
             .get(id)
             .ok_or_else(|| Error::Exec(format!("hash table slot {id} out of range")))?
@@ -135,7 +245,7 @@ impl Resources {
 /// Where a pipeline's morsels come from (`GetData`).
 pub trait Source: Send + Sync {
     /// The materialized chunks workers will claim morsel-style.
-    fn chunks(&self, res: &Resources) -> Result<Arc<Vec<DataChunk>>>;
+    fn chunks(&self, res: &Resources) -> Result<Arc<ChunkList>>;
 
     /// Resources this source depends on.
     fn reads(&self) -> Vec<ResourceId> {
@@ -184,6 +294,95 @@ pub trait SinkFactory: Send + Sync {
 
     /// Resources the sink publishes in `finalize`.
     fn writes(&self) -> Vec<ResourceId>;
+
+    /// Does this sink write hash-partitioned runs that the driver should
+    /// merge per-partition in parallel via
+    /// [`SinkFactory::merge_partitioned`]? When `false` the driver uses the
+    /// serial `Combine` + `Finalize` path.
+    fn partitioned_merge(&self, _ctx: &ExecContext) -> bool {
+        false
+    }
+
+    /// Merge the workers' partitioned sink states and publish the results:
+    /// one merge task per partition, run on up to `ctx.threads` scoped
+    /// threads, each sealing its partition's resources independently —
+    /// no task ever touches the full result. `label` names the pipeline in
+    /// the merge-stats trace.
+    fn merge_partitioned(
+        &self,
+        _label: &str,
+        _states: Vec<Box<dyn Sink>>,
+        _ctx: &ExecContext,
+        _res: &Resources,
+    ) -> Result<()> {
+        Err(Error::Exec(
+            "sink does not implement a partitioned merge".into(),
+        ))
+    }
+}
+
+/// Run `f(partition)` for every partition on up to `threads` scoped worker
+/// threads (partitions are claimed morsel-style). Returns the first error.
+pub(crate) fn for_each_partition<F>(partitions: usize, threads: usize, f: F) -> Result<()>
+where
+    F: Fn(usize) -> Result<()> + Sync,
+{
+    let threads = threads.clamp(1, partitions.max(1));
+    if threads == 1 {
+        for p in 0..partitions {
+            f(p)?;
+        }
+        return Ok(());
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<Result<()>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(scope.spawn(|| loop {
+                let p = next.fetch_add(1, Ordering::Relaxed);
+                if p >= partitions {
+                    return Ok(());
+                }
+                f(p)?;
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("merge worker panicked"))
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+/// Per-partition payloads handed to the parallel merge tasks: slot `p`
+/// holds every worker's partition-`p` state, taken exactly once by the
+/// task that merges partition `p`.
+pub(crate) struct PartitionSlots<T>(Vec<Mutex<Option<Vec<T>>>>);
+
+impl<T> PartitionSlots<T> {
+    /// Transpose worker-major state (`per_worker[w][p]`) into
+    /// partition-major slots.
+    pub(crate) fn transpose(per_worker: Vec<Vec<T>>, partitions: usize) -> PartitionSlots<T> {
+        let mut per_part: Vec<Vec<T>> = (0..partitions)
+            .map(|_| Vec::with_capacity(per_worker.len()))
+            .collect();
+        for worker in per_worker {
+            debug_assert_eq!(worker.len(), partitions);
+            for (p, state) in worker.into_iter().enumerate() {
+                per_part[p].push(state);
+            }
+        }
+        PartitionSlots(per_part.into_iter().map(|v| Mutex::new(Some(v))).collect())
+    }
+
+    /// Take partition `p`'s payloads (panics if taken twice).
+    pub(crate) fn take(&self, p: usize) -> Vec<T> {
+        self.0[p]
+            .lock()
+            .expect("partition slot lock poisoned")
+            .take()
+            .expect("partition payload taken twice")
+    }
 }
 
 /// Downcast `other` to `S` for a `combine`, with a uniform error.

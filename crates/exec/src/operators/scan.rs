@@ -1,7 +1,7 @@
 //! Scan sources: in-memory table scans and buffer re-scans.
 
-use super::{ResourceId, Resources, Source};
-use rpt_common::{DataChunk, Result};
+use super::{ChunkList, ResourceId, Resources, Source};
+use rpt_common::Result;
 use rpt_storage::Table;
 use std::sync::Arc;
 
@@ -17,8 +17,14 @@ impl TableScan {
 }
 
 impl Source for TableScan {
-    fn chunks(&self, _res: &Resources) -> Result<Arc<Vec<DataChunk>>> {
-        Ok(Arc::new(self.table.default_chunks()))
+    fn chunks(&self, _res: &Resources) -> Result<Arc<ChunkList>> {
+        Ok(Arc::new(
+            self.table
+                .default_chunks()
+                .into_iter()
+                .map(Arc::new)
+                .collect(),
+        ))
     }
 }
 
@@ -35,7 +41,7 @@ impl BufferScan {
 }
 
 impl Source for BufferScan {
-    fn chunks(&self, res: &Resources) -> Result<Arc<Vec<DataChunk>>> {
+    fn chunks(&self, res: &Resources) -> Result<Arc<ChunkList>> {
         res.buffer(self.buf_id)
     }
 

@@ -18,7 +18,7 @@
 
 use crate::context::ExecContext;
 use crate::expr::{AggExpr, Expr};
-use crate::hash_table::JoinHashTable;
+use crate::hash_table::PartitionedHashTable;
 use crate::operators::{
     aggregate::AggregateFactory, buffer::BufferSinkFactory, hash_build::HashBuildFactory,
     BufferScan, Filter, JoinProbe, Operator, ProbeBloom, Project, ResourceId, Resources, SemiProbe,
@@ -267,7 +267,7 @@ pub fn run_physical(p: &PhysicalPipeline, ctx: &ExecContext, res: &Resources) ->
         let mut state = p.sink.make(ctx)?;
         for c in chunks.iter() {
             ctx.charge(c.num_rows() as u64)?;
-            if let Some(out) = push_through(&p.ops, c.clone(), ctx, res)? {
+            if let Some(out) = push_through(&p.ops, c.as_ref().clone(), ctx, res)? {
                 state.sink(out, ctx)?;
             }
         }
@@ -285,7 +285,9 @@ pub fn run_physical(p: &PhysicalPipeline, ctx: &ExecContext, res: &Resources) ->
                             break;
                         }
                         ctx.charge(chunks[i].num_rows() as u64)?;
-                        if let Some(out) = push_through(&p.ops, chunks[i].clone(), ctx, res)? {
+                        if let Some(out) =
+                            push_through(&p.ops, chunks[i].as_ref().clone(), ctx, res)?
+                        {
                             state.sink(out, ctx)?;
                         }
                     }
@@ -303,12 +305,7 @@ pub fn run_physical(p: &PhysicalPipeline, ctx: &ExecContext, res: &Resources) ->
     }
 
     // Combine + Finalize.
-    let mut iter = states.into_iter();
-    let mut merged = iter.next().expect("at least one sink state");
-    for s in iter {
-        merged.combine(s)?;
-    }
-    let rows = merged.rows();
+    let rows: u64 = states.iter().map(|s| s.rows()).sum();
     let m = &ctx.metrics;
     if p.intermediate {
         m.add(&m.intermediate_tuples, rows);
@@ -316,7 +313,18 @@ pub fn run_physical(p: &PhysicalPipeline, ctx: &ExecContext, res: &Resources) ->
         m.add(&m.output_rows, rows);
     }
     m.record_pipeline(&p.label, rows);
-    merged.finalize(res)
+    if p.sink.partitioned_merge(ctx) {
+        // Partitioned sinks: merge per-partition in parallel; no merge
+        // task sees the full result.
+        p.sink.merge_partitioned(&p.label, states, ctx, res)
+    } else {
+        let mut iter = states.into_iter();
+        let mut merged = iter.next().expect("at least one sink state");
+        for s in iter {
+            merged.combine(s)?;
+        }
+        merged.finalize(res)
+    }
 }
 
 /// Executor state shared across a query's pipelines: the execution context
@@ -333,10 +341,13 @@ impl Executor {
         num_filters: usize,
         num_tables: usize,
     ) -> Self {
-        Executor {
-            ctx,
-            res: Arc::new(Resources::new(num_buffers, num_filters, num_tables)),
-        }
+        let res = Arc::new(Resources::with_partitions(
+            num_buffers,
+            num_filters,
+            num_tables,
+            ctx.partition_count,
+        ));
+        Executor { ctx, res }
     }
 
     /// The shared resource slots.
@@ -385,9 +396,18 @@ impl Executor {
         )
     }
 
-    /// Materialized chunks of a buffer.
-    pub fn buffer(&self, id: usize) -> Result<Arc<Vec<DataChunk>>> {
+    /// Materialized chunks of a buffer (all partitions, partition order).
+    pub fn buffer(&self, id: usize) -> Result<Arc<crate::operators::ChunkList>> {
         self.res.buffer(id)
+    }
+
+    /// Chunks of one sealed buffer partition.
+    pub fn buffer_partition(
+        &self,
+        id: usize,
+        part: usize,
+    ) -> Result<Arc<crate::operators::ChunkList>> {
+        self.res.buffer_partition(id, part)
     }
 
     pub fn buffer_rows(&self, id: usize) -> u64 {
@@ -398,7 +418,7 @@ impl Executor {
         self.res.filter(id)
     }
 
-    pub fn hash_table(&self, id: usize) -> Result<Arc<JoinHashTable>> {
+    pub fn hash_table(&self, id: usize) -> Result<Arc<PartitionedHashTable>> {
         self.res.hash_table(id)
     }
 }
@@ -632,6 +652,70 @@ mod tests {
         assert_eq!(run(t1, 1), run(t4, 4));
     }
 
+    /// The partitioned sinks (hash build + collect buffer) produce the same
+    /// join result as the unpartitioned path, and every buffer partition
+    /// seals independently with only its own rows.
+    #[test]
+    fn partitioned_pipelines_match_unpartitioned() {
+        let run = |partitions: usize, threads: usize| {
+            let build = table("b", (0..100).collect(), (0..100).map(|x| x * 10).collect());
+            let probe = table("p", (0..300).map(|i| i % 120).collect(), (0..300).collect());
+            let ctx = ExecContext::new()
+                .with_threads(threads)
+                .with_partitions(partitions);
+            let mut exec = Executor::new(ctx, 1, 0, 1);
+            let p1 = PipelinePlan {
+                label: "build".into(),
+                source: SourceSpec::Table(build),
+                ops: vec![],
+                sink: SinkSpec::HashBuild {
+                    ht_id: 0,
+                    key_cols: vec![0],
+                    blooms: vec![],
+                },
+                intermediate: true,
+                sink_schema: two_col_schema(),
+            };
+            let p2 = collect_pipeline(
+                SourceSpec::Table(probe),
+                vec![OpSpec::JoinProbe {
+                    ht_id: 0,
+                    key_cols: vec![0],
+                    build_output_cols: vec![1],
+                }],
+                0,
+                Schema::new(vec![
+                    Field::new("id", DataType::Int64),
+                    Field::new("v", DataType::Int64),
+                    Field::new("bv", DataType::Int64),
+                ]),
+            );
+            exec.run(&[p1, p2]).unwrap();
+            let mut rows: Vec<Vec<ScalarValue>> = exec
+                .buffer(0)
+                .unwrap()
+                .iter()
+                .flat_map(|c| c.rows())
+                .collect();
+            rows.sort_by_key(|r| (r[0].as_i64(), r[1].as_i64(), r[2].as_i64()));
+            (rows, exec)
+        };
+        let (base, _) = run(1, 1);
+        for (partitions, threads) in [(2, 1), (8, 1), (8, 4)] {
+            let (rows, exec) = run(partitions, threads);
+            assert_eq!(rows, base, "partitions={partitions} threads={threads}");
+            // The hash table really is partitioned, with all rows present.
+            let ht = exec.hash_table(0).unwrap();
+            assert_eq!(ht.num_partitions(), partitions);
+            assert_eq!(ht.num_rows(), 100);
+            // Every partitioned merge recorded tasks; none saw all 250
+            // joined rows.
+            let s = exec.ctx.metrics.summary();
+            assert!(s.merge_tasks >= 2 * partitions as u64, "{s:?}");
+            assert!(s.merge_max_task_rows < 250, "{s:?}");
+        }
+    }
+
     #[test]
     fn budget_aborts_blowup() {
         // Cross-product-like blowup: every probe row matches every build row.
@@ -745,7 +829,14 @@ mod tests {
             Schema::new(vec![Field::new("sum", DataType::Int64)]),
         );
         exec.run(&[p]).unwrap();
-        let chunks = exec.buffer(0).unwrap();
-        assert_eq!(chunks[0].value(0, 1), ScalarValue::Int64(22));
+        // Chunk layout depends on the partition count; compare row sets.
+        let mut sums: Vec<i64> = exec
+            .buffer(0)
+            .unwrap()
+            .iter()
+            .flat_map(|c| c.rows().into_iter().map(|r| r[0].as_i64().unwrap()))
+            .collect();
+        sums.sort_unstable();
+        assert_eq!(sums, vec![11, 22]);
     }
 }

@@ -1,0 +1,194 @@
+//! Property tests for the hash-partitioned sinks: random chunk streams ×
+//! random partition counts × random worker counts must produce exactly the
+//! unpartitioned baseline's contents (as multisets), route every row to the
+//! partition its key hashes to, and build bit-identical Bloom filters.
+
+use proptest::prelude::*;
+use rpt_common::hash::hash_i64;
+use rpt_common::{DataChunk, DataType, Field, Partitioner, Schema, Vector};
+use rpt_exec::operators::buffer::BufferSinkFactory;
+use rpt_exec::operators::hash_build::HashBuildFactory;
+use rpt_exec::{BloomSink, ExecContext, Resources, SinkFactory};
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("v", DataType::Int64),
+    ])
+}
+
+/// `(key, row id)` chunks of `chunk_size`, dealt round-robin to `workers`.
+fn worker_chunks(keys: &[i64], chunk_size: usize, workers: usize) -> Vec<Vec<DataChunk>> {
+    let mut per_worker: Vec<Vec<DataChunk>> = vec![Vec::new(); workers];
+    for (i, ck) in keys.chunks(chunk_size.max(1)).enumerate() {
+        let vals: Vec<i64> = (0..ck.len()).map(|j| (i * chunk_size + j) as i64).collect();
+        per_worker[i % workers].push(DataChunk::new(vec![
+            Vector::from_i64(ck.to_vec()),
+            Vector::from_i64(vals),
+        ]));
+    }
+    per_worker
+}
+
+/// Drive a sink the way the pipeline driver does: one state per worker,
+/// then the partitioned parallel merge (or serial Combine + Finalize).
+fn run_sink(
+    factory: &dyn SinkFactory,
+    ctx: &ExecContext,
+    res: &Resources,
+    per_worker: Vec<Vec<DataChunk>>,
+) {
+    let mut states = Vec::new();
+    for chunks in per_worker {
+        let mut s = factory.make(ctx).unwrap();
+        for c in chunks {
+            s.sink(c, ctx).unwrap();
+        }
+        states.push(s);
+    }
+    if factory.partitioned_merge(ctx) {
+        factory.merge_partitioned("test", states, ctx, res).unwrap();
+    } else {
+        let mut it = states.into_iter();
+        let mut merged = it.next().expect("at least one worker");
+        for s in it {
+            merged.combine(s).unwrap();
+        }
+        merged.finalize(res).unwrap();
+    }
+}
+
+/// Sorted multiset of `(key, val)` rows across chunks.
+fn row_multiset<'a>(chunks: impl Iterator<Item = &'a DataChunk>) -> Vec<(i64, i64)> {
+    let mut rows: Vec<(i64, i64)> = chunks
+        .flat_map(|c| {
+            c.rows()
+                .into_iter()
+                .map(|r| (r[0].as_i64().unwrap(), r[1].as_i64().unwrap()))
+        })
+        .collect();
+    rows.sort_unstable();
+    rows
+}
+
+fn bloom_spec() -> BloomSink {
+    BloomSink {
+        filter_id: 0,
+        key_cols: vec![0],
+        expected_keys: 256,
+        fpr: 0.02,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Partitioned `BufferSink` (CreateBF): contents equal the
+    /// unpartitioned baseline as a multiset, every row lands in the
+    /// partition its key hashes to, and the published Bloom filter is
+    /// bit-identical to the baseline's.
+    #[test]
+    fn partitioned_buffer_sink_matches_baseline(
+        keys in proptest::collection::vec(-40i64..40, 1..150),
+        chunk_size in 1usize..50,
+        pc_exp in 1u32..4,
+        workers in 1usize..4,
+    ) {
+        let partitions = 1usize << pc_exp;
+        let factory = BufferSinkFactory::new(0, schema(), vec![bloom_spec()]);
+
+        let base_ctx = ExecContext::new().with_partitions(1);
+        let base_res = Resources::with_partitions(1, 1, 0, 1);
+        run_sink(&factory, &base_ctx, &base_res, worker_chunks(&keys, chunk_size, 1));
+
+        let ctx = ExecContext::new().with_threads(workers).with_partitions(partitions);
+        let res = Resources::with_partitions(1, 1, 0, partitions);
+        run_sink(&factory, &ctx, &res, worker_chunks(&keys, chunk_size, workers));
+
+        // Multiset parity of the whole buffer.
+        let base = row_multiset(base_res.buffer(0).unwrap().iter().map(|c| c.as_ref()));
+        let part = row_multiset(res.buffer(0).unwrap().iter().map(|c| c.as_ref()));
+        prop_assert_eq!(&base, &part);
+        prop_assert_eq!(base.len(), keys.len());
+
+        // Radix routing: every row sits in the partition its key hashes to.
+        let partitioner = Partitioner::new(partitions);
+        for p in 0..partitions {
+            for chunk in res.buffer_partition(0, p).unwrap().iter() {
+                for row in chunk.rows() {
+                    let key = row[0].as_i64().unwrap();
+                    prop_assert_eq!(partitioner.of_hash(hash_i64(key)), p,
+                        "key {} in wrong partition {}", key, p);
+                }
+            }
+        }
+
+        // The CreateBF filter is bit-identical regardless of partitioning.
+        let base_filter = base_res.filter(0).unwrap();
+        let part_filter = res.filter(0).unwrap();
+        prop_assert_eq!(base_filter.words(), part_filter.words());
+        prop_assert_eq!(base_filter.num_inserted(), part_filter.num_inserted());
+    }
+
+    /// Partitioned `HashBuildSink`: the published table holds the same rows
+    /// (each inside the partition its key hashes to), and both hash-join
+    /// probes and semi-join probes agree with the unpartitioned baseline.
+    #[test]
+    fn partitioned_hash_build_matches_baseline(
+        keys in proptest::collection::vec(-40i64..40, 1..150),
+        probes in proptest::collection::vec(-60i64..60, 1..100),
+        chunk_size in 1usize..50,
+        pc_exp in 1u32..4,
+        workers in 1usize..4,
+    ) {
+        let partitions = 1usize << pc_exp;
+        let factory = HashBuildFactory::new(0, vec![0], schema(), vec![]);
+
+        let base_ctx = ExecContext::new().with_partitions(1);
+        let base_res = Resources::with_partitions(0, 0, 1, 1);
+        run_sink(&factory, &base_ctx, &base_res, worker_chunks(&keys, chunk_size, 1));
+
+        let ctx = ExecContext::new().with_threads(workers).with_partitions(partitions);
+        let res = Resources::with_partitions(0, 0, 1, partitions);
+        run_sink(&factory, &ctx, &res, worker_chunks(&keys, chunk_size, workers));
+
+        let base_ht = base_res.hash_table(0).unwrap();
+        let ht = res.hash_table(0).unwrap();
+        prop_assert_eq!(ht.num_partitions(), partitions);
+        prop_assert_eq!(ht.num_rows(), keys.len());
+
+        // Build rows as multisets + per-partition routing.
+        let partitioner = Partitioner::new(partitions);
+        let mut part_rows = Vec::new();
+        for p in 0..partitions {
+            let data = &ht.partition(p).data;
+            for row in data.rows() {
+                let key = row[0].as_i64().unwrap();
+                prop_assert_eq!(partitioner.of_hash(hash_i64(key)), p,
+                    "build key {} in wrong partition {}", key, p);
+                part_rows.push((key, row[1].as_i64().unwrap()));
+            }
+        }
+        part_rows.sort_unstable();
+        prop_assert_eq!(part_rows, row_multiset(std::iter::once(&base_ht.partition(0).data)));
+
+        // Probe parity: same (probe key, build value) match multiset.
+        let probe = DataChunk::new(vec![Vector::from_i64(probes.clone())]);
+        let matches = |t: &rpt_exec::PartitionedHashTable| {
+            let (mut pr, mut br) = (vec![], vec![]);
+            t.probe(&probe, &[0], &mut pr, &mut br);
+            let vals = t.gather(1, &br);
+            let mut out: Vec<(i64, i64)> = pr
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (probes[p as usize], vals.get(i).as_i64().unwrap()))
+                .collect();
+            out.sort_unstable();
+            out
+        };
+        prop_assert_eq!(matches(&base_ht), matches(&ht));
+
+        // Semi-probe parity (selection order included).
+        prop_assert_eq!(base_ht.semi_probe(&probe, &[0]), ht.semi_probe(&probe, &[0]));
+    }
+}

@@ -18,6 +18,6 @@ pub mod spill;
 pub mod stats;
 pub mod table;
 
-pub use spill::SpillBuffer;
+pub use spill::{SpillBuffer, SpillStats};
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;

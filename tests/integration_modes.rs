@@ -341,6 +341,111 @@ fn sequential_and_concurrent_schedulers_agree() {
     }
 }
 
+/// Parity matrix: every query in this file, under every mode, must produce
+/// identical sorted results at every `partition_count ∈ {1, 2, 8}` ×
+/// `pipeline_parallelism ∈ {1, 4}` point — the partitioned sinks and the
+/// concurrent scheduler may only change *how* results are materialized,
+/// never *what* they contain.
+#[test]
+fn partition_parallelism_parity_matrix() {
+    for (db, sql) in scheduler_parity_cases() {
+        for mode in Mode::ALL {
+            let mut baseline: Option<Vec<Vec<ScalarValue>>> = None;
+            for partition_count in [1usize, 2, 8] {
+                for pipeline_parallelism in [1usize, 4] {
+                    let r = db
+                        .query(
+                            &sql,
+                            &QueryOptions::new(mode)
+                                .with_partition_count(partition_count)
+                                .with_pipeline_parallelism(pipeline_parallelism),
+                        )
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "{mode:?} pc={partition_count} pp={pipeline_parallelism} \
+                                 failed on {sql}: {e}"
+                            )
+                        });
+                    let rows = r.sorted_rows();
+                    match &baseline {
+                        None => baseline = Some(rows),
+                        Some(b) => assert_eq!(
+                            &rows, b,
+                            "{mode:?} pc={partition_count} pp={pipeline_parallelism} \
+                             differs on {sql}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The acceptance check for partitioned sinks: with `partition_count > 1`
+/// no sink merge runs on a single thread over the full result. Every
+/// partitioned sink must report one merge task per partition, and for
+/// pipelines with enough rows to spread, the largest merge task must stay
+/// strictly below the pipeline's total.
+#[test]
+fn partitioned_merges_never_cover_the_full_result() {
+    let db = chain_db();
+    let partitions = 8u64;
+    let r = db
+        .query(
+            CHAIN_SQL,
+            &QueryOptions::new(Mode::RobustPredicateTransfer)
+                .with_partition_count(partitions as usize)
+                .with_threads(2)
+                .with_pipeline_parallelism(4),
+        )
+        .unwrap();
+    // Scheduler-level stats: merges happened and none spanned a full
+    // pipeline result (the largest pipeline feeds 200 rows into its sink).
+    let stat = |name: &str| {
+        r.trace
+            .iter()
+            .find(|(l, _)| l == name)
+            .unwrap_or_else(|| panic!("{name} missing from trace {:?}", r.trace))
+            .1
+    };
+    assert!(stat("[scheduler] merge-tasks") >= partitions);
+    assert_eq!(r.metrics.merge_tasks, stat("[scheduler] merge-tasks"));
+
+    // Per-pipeline: every partitioned merge ran `partitions` tasks, and no
+    // merge task covered a pipeline's full row count (checked where the
+    // hash spread is statistically certain: ≥ 8 rows into the sink).
+    let pipeline_rows: Vec<(&str, u64)> = r
+        .trace
+        .iter()
+        .filter(|(l, _)| !l.starts_with('['))
+        .map(|(l, n)| (l.as_str(), *n))
+        .collect();
+    let mut checked = 0;
+    for (label, rows) in pipeline_rows {
+        let tasks = r
+            .trace
+            .iter()
+            .find(|(l, _)| l == &format!("[merge] {label} tasks"))
+            .map(|&(_, n)| n);
+        let max_task = r
+            .trace
+            .iter()
+            .find(|(l, _)| l == &format!("[merge] {label} max-task-rows"))
+            .map(|&(_, n)| n);
+        if let (Some(tasks), Some(max_task)) = (tasks, max_task) {
+            assert_eq!(tasks, partitions, "{label}");
+            if rows >= 8 {
+                assert!(
+                    max_task < rows,
+                    "{label}: merge task covered {max_task} of {rows} rows"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 2, "expected ≥2 spread-checked sink merges");
+}
+
 /// The transfer phase of a star query has independent per-relation
 /// CreateBF builds; the DAG scheduler must surface that parallelism
 /// (initially-ready > 1) while still producing the sequential result.

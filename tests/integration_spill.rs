@@ -1,7 +1,13 @@
 //! The §5.4 storage paths: disk-resident tables and memory-capped
-//! (spilling) transfer-phase buffers must not change any query result.
+//! (spilling) transfer-phase buffers must not change any query result —
+//! including when the buffers are hash-partitioned and only some
+//! partitions overflow their share of the cap.
 
+use rpt_common::hash::hash_i64;
+use rpt_common::{DataChunk, DataType, Field, Partitioner, ScalarValue, Schema, Vector};
 use rpt_core::{Database, Mode, QueryOptions};
+use rpt_exec::operators::buffer::{BufferSink, BufferSinkFactory};
+use rpt_exec::{BloomSink, ExecContext, JoinHashTable, Resources, Sink, SinkFactory};
 use rpt_storage::disk::{write_table, DiskTable};
 use rpt_workloads::{tpch, Workload};
 
@@ -65,6 +71,151 @@ fn disk_roundtrip_preserves_query_results() {
             .query(&qd.sql, &QueryOptions::new(Mode::RobustPredicateTransfer))
             .unwrap();
         assert_eq!(a.sorted_rows(), b.sorted_rows(), "{}", qd.id);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Partitioned sinks under a spill cap must not change any query result:
+/// the cap is split across partitions, so some partitions spill while
+/// others stay resident, and the restored buffers feed the join phase.
+#[test]
+fn partitioned_spill_does_not_change_results() {
+    let w = tpch(0.05, 54);
+    let db = database_for(&w);
+    let dir = std::env::temp_dir().join(format!("rpt_it_pspill_{}", std::process::id()));
+    for qd in w.acyclic_queries() {
+        let reference = db
+            .query(&qd.sql, &QueryOptions::new(Mode::RobustPredicateTransfer))
+            .unwrap_or_else(|e| panic!("{}: {e}", qd.id));
+        let partitioned_spill = db
+            .query(
+                &qd.sql,
+                &QueryOptions::new(Mode::RobustPredicateTransfer)
+                    .with_partition_count(4)
+                    .with_spill(64 * 1024, &dir),
+            )
+            .unwrap_or_else(|e| panic!("{} (partitioned spill): {e}", qd.id));
+        // Partitioning reorders the chunks feeding float aggregates, so
+        // float sums may differ in the last ulp; everything else must be
+        // exactly equal.
+        assert_rows_approx_eq(
+            &reference.sorted_rows(),
+            &partitioned_spill.sorted_rows(),
+            &qd.id,
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Exact equality except for Float64 values, which are compared with a
+/// relative epsilon (chunk reordering changes float summation order).
+fn assert_rows_approx_eq(a: &[Vec<ScalarValue>], b: &[Vec<ScalarValue>], id: &str) {
+    assert_eq!(a.len(), b.len(), "{id}: row count differs");
+    for (ra, rb) in a.iter().zip(b) {
+        assert_eq!(ra.len(), rb.len(), "{id}: arity differs");
+        for (x, y) in ra.iter().zip(rb) {
+            match (x, y) {
+                (ScalarValue::Float64(u), ScalarValue::Float64(v)) => {
+                    let tol = 1e-9 * u.abs().max(v.abs()).max(1.0);
+                    assert!((u - v).abs() <= tol, "{id}: {u} vs {v}");
+                }
+                _ => assert_eq!(x, y, "{id}: {x:?} vs {y:?}"),
+            }
+        }
+    }
+}
+
+/// Drive a partitioned `BufferSink` directly with skewed data so exactly
+/// one partition overflows its share of the cap: that partition spills,
+/// the others stay resident, and the restored buffer probes correctly.
+#[test]
+fn spilling_one_partition_keeps_others_resident() {
+    let dir = std::env::temp_dir().join(format!("rpt_it_pspill_skew_{}", std::process::id()));
+    let partitions = 4usize;
+    let hot_key = 42i64;
+    let hot_partition = Partitioner::new(partitions).of_hash(hash_i64(hot_key));
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("v", DataType::Int64),
+    ]);
+
+    // 64 KiB cap / 1 thread / 4 partitions = 16 KiB per partition buffer.
+    // The hot partition receives 4000 × 16-byte rows (~62 KiB) and must
+    // spill; the 60 spread rows stay resident everywhere else.
+    let ctx = ExecContext::new()
+        .with_partitions(partitions)
+        .with_spill(64 * 1024, &dir);
+    let factory = BufferSinkFactory::new(
+        0,
+        schema,
+        vec![BloomSink {
+            filter_id: 0,
+            key_cols: vec![0],
+            expected_keys: 4096,
+            fpr: 0.02,
+        }],
+    );
+    let mut sink = factory.make(&ctx).unwrap();
+    for chunk_idx in 0..8 {
+        let keys = vec![hot_key; 500];
+        let vals: Vec<i64> = (0..500).map(|j| chunk_idx * 500 + j).collect();
+        sink.sink(
+            DataChunk::new(vec![Vector::from_i64(keys), Vector::from_i64(vals)]),
+            &ctx,
+        )
+        .unwrap();
+    }
+    let spread_keys: Vec<i64> = (100..160).collect();
+    let spread_vals: Vec<i64> = (4000..4060).collect();
+    sink.sink(
+        DataChunk::new(vec![
+            Vector::from_i64(spread_keys.clone()),
+            Vector::from_i64(spread_vals),
+        ]),
+        &ctx,
+    )
+    .unwrap();
+
+    let sink = sink
+        .into_any()
+        .downcast::<BufferSink>()
+        .expect("buffer sink state");
+    for (p, stats) in sink.spill_stats().into_iter().enumerate() {
+        if p == hot_partition {
+            assert!(stats.chunks_spilled > 0, "hot partition never spilled");
+        } else {
+            assert_eq!(stats.chunks_spilled, 0, "partition {p} spilled");
+        }
+    }
+
+    // Restore: finalize publishes every partition (spilled chunks are read
+    // back), and the rebuilt buffer probes like the original rows.
+    let res = Resources::with_partitions(1, 1, 0, partitions);
+    sink.finalize(&res).unwrap();
+    let chunks = res.buffer(0).unwrap();
+    let total: usize = chunks.iter().map(|c| c.num_rows()).sum();
+    assert_eq!(total, 4060);
+    let hot_rows: usize = res
+        .buffer_partition(0, hot_partition)
+        .unwrap()
+        .iter()
+        .map(|c| c.num_rows())
+        .sum();
+    assert!(hot_rows >= 4000, "hot partition restored {hot_rows} rows");
+
+    let restored: Vec<DataChunk> = chunks.iter().map(|c| c.as_ref().clone()).collect();
+    let ht = JoinHashTable::build(&restored, vec![0]).unwrap();
+    let probe = DataChunk::new(vec![Vector::from_i64(vec![hot_key, 130, 999])]);
+    let (mut pr, mut br) = (vec![], vec![]);
+    ht.probe(&probe, &[0], &mut pr, &mut br);
+    assert_eq!(pr.iter().filter(|&&p| p == 0).count(), 4000);
+    assert_eq!(pr.iter().filter(|&&p| p == 1).count(), 1);
+    assert_eq!(pr.iter().filter(|&&p| p == 2).count(), 0);
+    // The CreateBF filter built over the same stream has no false negatives.
+    let filter = res.filter(0).unwrap();
+    assert!(filter.probe_i64(hot_key));
+    for &k in &spread_keys {
+        assert!(filter.probe_i64(k));
     }
     std::fs::remove_dir_all(&dir).ok();
 }
