@@ -8,7 +8,7 @@ use crate::optimizer::{optimize_bushy, optimize_left_deep, JoinOrder, PlanNode};
 use crate::planner::Planner;
 use crate::query::JoinQuery;
 use rpt_common::{Error, Result, ScalarValue, Schema};
-use rpt_exec::{ExecContext, Executor};
+use rpt_exec::{ExecContext, Executor, SchedulerKind};
 use rpt_sql::parse_select;
 use rpt_storage::Table;
 use std::path::PathBuf;
@@ -66,12 +66,27 @@ pub struct QueryOptions {
     pub join_order: Option<JoinOrder>,
     /// When the optimizer chooses: bushy (greedy) instead of left-deep DP.
     pub bushy_optimizer: bool,
-    /// Execution threads (1 = the paper's default setting; 32 for §5.3).
+    /// Which scheduler executes the pipeline DAG. `Global` (the default;
+    /// overridable via `RPT_SCHEDULER`) runs every morsel and merge task of
+    /// the query on **one** worker pool with partition-granular readiness;
+    /// `Scoped` keeps the legacy two-level model for parity testing.
+    pub scheduler: SchedulerKind,
+    /// Global worker-pool size; `None` (default) sizes the pool to
+    /// `available_parallelism()`. Only read by the global scheduler.
+    pub workers: Option<usize>,
+    /// Morsel threads *within* one pipeline (1 = the paper's default
+    /// single-threaded setting; 32 for §5.3). Under the global scheduler
+    /// this caps the morsel fan-out per source partition, and `1`
+    /// additionally pins each pipeline to a deterministic ordered chunk
+    /// order; the pool size itself comes from `workers`.
     pub threads: usize,
-    /// Maximum pipelines in flight under the DAG scheduler. Independent
-    /// pipelines (e.g. the per-relation CreateBF builds of the forward
-    /// transfer pass) run concurrently up to this cap; `1` forces the
-    /// classic sequential plan-order execution.
+    /// **Deprecated for the global scheduler** (ignored there): maximum
+    /// pipelines in flight under the *scoped* scheduler, where each running
+    /// pipeline spawns its own `threads`-wide morsel scope — i.e. thread
+    /// counts multiply as `pipeline_parallelism × threads`. The global
+    /// scheduler replaces that layering with the single `workers`-sized
+    /// pool. Kept as an override for the scoped parity path; `1` forces the
+    /// classic sequential plan-order execution there.
     pub pipeline_parallelism: usize,
     /// Hash partitions per materializing sink (normalized to a power of
     /// two). With more than one partition, `BufferSink`/`HashBuildSink`
@@ -109,6 +124,8 @@ impl QueryOptions {
             mode,
             join_order: None,
             bushy_optimizer: false,
+            scheduler: SchedulerKind::from_env(),
+            workers: None,
             threads: 1,
             pipeline_parallelism: 4,
             partition_count: rpt_common::partition_count_from_env(),
@@ -134,7 +151,22 @@ impl QueryOptions {
         self
     }
 
-    /// Cap (or, with `1`, disable) concurrent pipeline execution.
+    /// Select the DAG scheduler (Global by default; Scoped for parity).
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Size the global worker pool explicitly (default:
+    /// `available_parallelism()`).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Cap (or, with `1`, disable) concurrent pipeline execution under the
+    /// **scoped** scheduler. The global scheduler ignores this — its
+    /// `workers` pool is the only concurrency cap.
     pub fn with_pipeline_parallelism(mut self, max_concurrent: usize) -> Self {
         self.pipeline_parallelism = max_concurrent.max(1);
         self
@@ -334,11 +366,20 @@ impl Database {
     }
 
     /// Build the per-query execution context from the options
-    /// (threads / work budget / spill configuration).
+    /// (scheduler / threads / work budget / spill configuration).
+    ///
+    /// The global worker pool defaults to `available_parallelism()`, but an
+    /// explicit `threads` override above 1 raises the floor so §5.3-style
+    /// thread sweeps behave the same on small machines.
     pub fn make_context(&self, opts: &QueryOptions) -> ExecContext {
+        let workers = opts
+            .workers
+            .unwrap_or_else(|| rpt_exec::default_worker_count().max(opts.threads));
         let mut ctx = ExecContext::new()
             .with_threads(opts.threads)
-            .with_partitions(opts.partition_count);
+            .with_partitions(opts.partition_count)
+            .with_scheduler(opts.scheduler)
+            .with_workers(workers);
         if let Some(b) = opts.work_budget {
             ctx = ctx.with_budget(b);
         }

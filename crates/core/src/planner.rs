@@ -24,7 +24,12 @@ use std::sync::Arc;
 /// with disjoint dependencies run concurrently.
 pub struct PhysicalPlan {
     pub pipelines: Vec<PipelinePlan>,
-    /// `deps[i]` = read/write resource sets of `pipelines[i]`.
+    /// `deps[i]` = read/write resource sets of `pipelines[i]`, recorded at
+    /// **partition granularity**: buffer dependencies are expanded to one
+    /// `ResourceId::BufferPart` grain per hash partition, so the global
+    /// scheduler can start a consumer's partition-`p` tasks as soon as the
+    /// producer seals partition `p`. The scoped scheduler treats grains
+    /// opaquely and derives the same pipeline-level DAG.
     pub deps: Vec<NodeDeps>,
     pub num_buffers: usize,
     pub num_filters: usize,
@@ -50,14 +55,15 @@ impl PhysicalPlan {
         output_buffer: usize,
         output_schema: Schema,
     ) -> PhysicalPlan {
-        let deps = record_deps(&pipelines);
+        let partition_count = rpt_common::normalize_partition_count(partition_count);
+        let deps = record_deps(&pipelines, partition_count);
         PhysicalPlan {
             pipelines,
             deps,
             num_buffers,
             num_filters,
             num_tables,
-            partition_count: rpt_common::normalize_partition_count(partition_count),
+            partition_count,
             output_buffer,
             output_schema,
         }
@@ -70,9 +76,13 @@ impl PhysicalPlan {
 }
 
 /// Per-pipeline read/write sets, derived from one lowering of the
-/// operator layer per pipeline.
-fn record_deps(pipelines: &[PipelinePlan]) -> Vec<NodeDeps> {
-    pipelines.iter().map(PipelinePlan::node_deps).collect()
+/// operator layer per pipeline and recorded partition-granularly (see
+/// [`PhysicalPlan::deps`]).
+fn record_deps(pipelines: &[PipelinePlan], partition_count: usize) -> Vec<NodeDeps> {
+    pipelines
+        .iter()
+        .map(|p| p.node_deps().expand_partitions(partition_count))
+        .collect()
 }
 
 /// A not-yet-terminated chunk stream with its column provenance.
@@ -787,7 +797,8 @@ impl<'q> Planner<'q> {
                 }
             }
         }
-        let deps = record_deps(&self.pipelines);
+        let partition_count = rpt_common::normalize_partition_count(self.opts.partition_count);
+        let deps = record_deps(&self.pipelines, partition_count);
         Ok(HybridPrelude {
             pipelines: self.pipelines,
             deps,
@@ -795,7 +806,7 @@ impl<'q> Planner<'q> {
             num_buffers: self.num_buffers,
             num_filters: self.num_filters,
             num_tables: self.num_tables,
-            partition_count: rpt_common::normalize_partition_count(self.opts.partition_count),
+            partition_count,
             layout,
             schema: Schema::new(fields),
         })

@@ -8,6 +8,52 @@ use std::sync::Mutex;
 
 use rpt_common::{Error, Result};
 
+/// Which pipeline scheduler executes a query's DAG.
+///
+/// `Global` is the default: one worker pool sized to the machine runs
+/// *every* task of the query — source-morsel claims, per-partition sink
+/// merges, finalizes — with readiness tracked per buffer *partition*, so a
+/// consumer pipeline starts on partition `p` the moment its producer seals
+/// `p`. `Scoped` is the legacy two-level model (a DAG worker pool that
+/// spawns a fresh morsel thread-scope per running pipeline); it is kept for
+/// parity testing and can be forced with `RPT_SCHEDULER=scoped`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// One global morsel-driven worker pool with a unified task queue.
+    Global,
+    /// Legacy: DAG worker pool × per-pipeline morsel thread scopes.
+    Scoped,
+}
+
+impl SchedulerKind {
+    /// Process default: `RPT_SCHEDULER` (`global` / `scoped`), else Global.
+    pub fn from_env() -> SchedulerKind {
+        match std::env::var("RPT_SCHEDULER") {
+            Ok(v) if v.eq_ignore_ascii_case("scoped") || v.eq_ignore_ascii_case("legacy") => {
+                SchedulerKind::Scoped
+            }
+            _ => SchedulerKind::Global,
+        }
+    }
+}
+
+/// Worker utilization as a percentage: busy nanoseconds over wall
+/// nanoseconds × pool size, clamped to `[0, 100]`; 0 when unknown.
+pub fn utilization_pct(busy_nanos: u64, wall_nanos: u64, workers: u64) -> u64 {
+    busy_nanos
+        .saturating_mul(100)
+        .checked_div(wall_nanos.saturating_mul(workers))
+        .unwrap_or(0)
+        .min(100)
+}
+
+/// Number of hardware threads, the default global worker-pool size.
+pub fn default_worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Counters collected during execution. All counters are cumulative across
 /// the pipelines of one query execution.
 ///
@@ -45,6 +91,21 @@ pub struct Metrics {
     /// `partition_count > 1` this must stay below the row count of every
     /// non-trivial sink (no merge task covers a full result).
     pub merge_max_task_rows: AtomicU64,
+    /// Tasks executed by the global scheduler (morsels + merges + setup).
+    pub sched_tasks: AtomicU64,
+    /// Downstream partition tasks that started while their producer
+    /// pipeline had not yet sealed all partitions — the partition-overlap
+    /// win the global scheduler exists for.
+    pub sched_overlap_tasks: AtomicU64,
+    /// Deepest the global task queue ever got.
+    pub sched_max_queue_depth: AtomicU64,
+    /// Nanoseconds workers spent executing tasks (Σ over workers).
+    pub sched_busy_nanos: AtomicU64,
+    /// Wall nanoseconds the global scheduler ran; utilization is
+    /// `busy / (wall × workers)`.
+    pub sched_wall_nanos: AtomicU64,
+    /// Worker-pool size of the last global run.
+    pub sched_workers: AtomicU64,
     /// Per-pipeline (label, rows-into-sink) trace, for case studies.
     pub pipeline_trace: Mutex<Vec<(String, u64)>>,
 }
@@ -86,6 +147,16 @@ impl Metrics {
             .expect("pipeline trace lock poisoned");
         trace.push((format!("[merge] {label} tasks"), tasks));
         trace.push((format!("[merge] {label} max-task-rows"), max_task_rows));
+    }
+
+    /// Append one arbitrary `(label, value)` entry to the pipeline trace —
+    /// used by the global scheduler for its summary and (when
+    /// `ExecContext::sched_trace` is on) per-task lifecycle entries.
+    pub fn trace_entry(&self, label: impl Into<String>, value: u64) {
+        self.pipeline_trace
+            .lock()
+            .expect("pipeline trace lock poisoned")
+            .push((label.into(), value));
     }
 
     pub fn trace(&self) -> Vec<(String, u64)> {
@@ -137,6 +208,12 @@ impl Metrics {
             bloom_nanos: self.bloom_nanos.load(Ordering::Relaxed),
             merge_tasks: self.merge_tasks.load(Ordering::Relaxed),
             merge_max_task_rows: self.merge_max_task_rows.load(Ordering::Relaxed),
+            sched_tasks: self.sched_tasks.load(Ordering::Relaxed),
+            sched_overlap_tasks: self.sched_overlap_tasks.load(Ordering::Relaxed),
+            sched_max_queue_depth: self.sched_max_queue_depth.load(Ordering::Relaxed),
+            sched_busy_nanos: self.sched_busy_nanos.load(Ordering::Relaxed),
+            sched_wall_nanos: self.sched_wall_nanos.load(Ordering::Relaxed),
+            sched_workers: self.sched_workers.load(Ordering::Relaxed),
         }
     }
 }
@@ -156,9 +233,24 @@ pub struct MetricsSummary {
     pub bloom_nanos: u64,
     pub merge_tasks: u64,
     pub merge_max_task_rows: u64,
+    pub sched_tasks: u64,
+    pub sched_overlap_tasks: u64,
+    pub sched_max_queue_depth: u64,
+    pub sched_busy_nanos: u64,
+    pub sched_wall_nanos: u64,
+    pub sched_workers: u64,
 }
 
 impl MetricsSummary {
+    /// Worker utilization of the last global-scheduler run, in percent
+    /// (busy nanos over wall nanos × pool size); 0 when unavailable.
+    pub fn scheduler_utilization_pct(&self) -> u64 {
+        utilization_pct(
+            self.sched_busy_nanos,
+            self.sched_wall_nanos,
+            self.sched_workers,
+        )
+    }
     /// The robustness work metric: tuples processed through stateful
     /// operators. Deterministic, hardware-independent.
     pub fn total_work(&self) -> u64 {
@@ -203,6 +295,17 @@ pub struct ExecContext {
     /// classic unpartitioned sinks with a serial Combine merge). Defaults
     /// to `RPT_PARTITION_COUNT` when set.
     pub partition_count: usize,
+    /// Which scheduler executes DAG runs (defaults from `RPT_SCHEDULER`).
+    pub scheduler: SchedulerKind,
+    /// Global worker-pool size (defaults to `available_parallelism()`).
+    /// Only the global scheduler reads this; the scoped scheduler keeps
+    /// the legacy `pipeline_parallelism × threads` layering.
+    pub workers: usize,
+    /// Emit per-task `[scheduler]` lifecycle trace entries
+    /// (enqueue/start/finish with pipeline+partition ids). Defaults from
+    /// `RPT_SCHED_TRACE=1`; meant for debugging hangs, so it is off unless
+    /// asked for.
+    pub sched_trace: bool,
 }
 
 impl Default for ExecContext {
@@ -221,7 +324,28 @@ impl ExecContext {
             spill_limit_bytes: None,
             spill_dir: std::env::temp_dir(),
             partition_count: rpt_common::partition_count_from_env(),
+            scheduler: SchedulerKind::from_env(),
+            workers: default_worker_count(),
+            sched_trace: std::env::var("RPT_SCHED_TRACE").is_ok_and(|v| v == "1"),
         }
+    }
+
+    /// Select the DAG scheduler.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Size the global worker pool.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Enable per-task scheduler lifecycle tracing.
+    pub fn with_sched_trace(mut self) -> Self {
+        self.sched_trace = true;
+        self
     }
 
     pub fn with_budget(mut self, budget: u64) -> Self {

@@ -1,0 +1,763 @@
+//! The global morsel-driven scheduler: one worker pool, one task queue,
+//! partition-granular readiness.
+//!
+//! The scoped scheduler ([`crate::scheduler`]) layers two thread pools —
+//! `pipeline_parallelism` DAG workers, each spawning its own morsel scope —
+//! so thread counts multiply and a downstream pipeline cannot start until
+//! its entire input buffer is published. This module replaces both levels:
+//! every pipeline decomposes into *tasks* (source-morsel claims, one merge
+//! task per sink partition, a finalize) and a single pool of
+//! [`ExecContext::workers`] threads drains them all from one queue.
+//!
+//! Readiness is tracked by an **event-count dependency graph** over
+//! partition-granular grains ([`ResourceId::BufferPart`]): a pipeline's
+//! streaming-operator reads (Bloom filters, hash tables) gate the pipeline
+//! as a whole, while its source-buffer reads gate *per partition* — the
+//! consumer's morsel tasks for partition `p` are enqueued the moment the
+//! producer's merge task seals `p`, so producer merge and consumer probe
+//! overlap instead of barriering (`sched_overlap_tasks` counts these).
+//!
+//! Determinism: with `ctx.threads == 1` (the paper's default) each
+//! pipeline runs as an *ordered chain* — one morsel task at a time,
+//! partitions in index order — which consumes chunks in exactly the order
+//! the scoped single-threaded driver does, so results (including float
+//! aggregation order) are bit-identical across schedulers. With
+//! `ctx.threads > 1` morsels fan out and only multiset/ulp-level
+//! determinism is guaranteed, as in the scoped scheduler.
+
+use crate::context::ExecContext;
+use crate::operators::{PartitionMerger, ResourceId, Resources, Sink};
+use crate::pipeline::{
+    combine_finalize, push_through, record_pipeline_rows, PhysicalPipeline, PipelinePlan,
+};
+use crate::scheduler::{build_dag, check_acyclic, NodeDeps, SchedulerStats};
+use rpt_common::{Error, Result};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// What the global scheduler observed while running a query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GlobalStats {
+    /// Number of pipelines executed.
+    pub pipelines: usize,
+    /// Pipelines with at least one runnable task at the start.
+    pub initially_ready: usize,
+    /// Peak number of workers executing tasks simultaneously.
+    pub max_parallel: usize,
+    /// Tasks executed (opens + morsels + merge setup + merges + finishes).
+    pub tasks: u64,
+    /// Morsel tasks among them.
+    pub morsel_tasks: u64,
+    /// Per-partition merge tasks among them.
+    pub merge_tasks: u64,
+    /// Consumer partition tasks that started while their producer pipeline
+    /// had not yet sealed all partitions — the partition-overlap win.
+    pub overlap_tasks: u64,
+    /// Deepest the task queue ever got.
+    pub max_queue_depth: usize,
+    /// Σ nanoseconds workers spent inside tasks.
+    pub busy_nanos: u64,
+    /// Wall nanoseconds of the whole run.
+    pub wall_nanos: u64,
+    /// Worker-pool size used.
+    pub workers: usize,
+}
+
+/// One schedulable unit on the global queue.
+#[derive(Debug, Clone, Copy)]
+enum Task {
+    /// Resolve one source partition group's chunk list, then fan out its
+    /// morsel tasks.
+    Open { pipe: usize, group: usize },
+    /// Claim chunks of one group morsel-style into a thread-local sink.
+    Morsel { pipe: usize, group: usize },
+    /// Collect worker states; build the partition merger or run the serial
+    /// Combine + Finalize.
+    MergeSetup { pipe: usize },
+    /// Merge and seal one sink partition (fires that partition's grains).
+    Merge { pipe: usize, part: usize },
+    /// Publish whole-resource results after all partition merges.
+    Finish { pipe: usize },
+}
+
+/// Who a grain event wakes.
+#[derive(Debug, Clone, Copy)]
+enum Waiter {
+    /// Decrement the pipeline's base wait (streaming-operator reads).
+    Base(usize),
+    /// Decrement one source partition group's wait.
+    Group { pipe: usize, group: usize },
+}
+
+/// Static, per-pipeline scheduling facts derived from the lowered pipeline
+/// and its (partition-granular) dependency record.
+struct PipeInfo {
+    /// Source partition groups (== resource partitions for buffer sources).
+    groups: usize,
+    /// Pipelines writing the source buffer (for the overlap counter).
+    source_producers: Vec<usize>,
+    /// Buffers this pipeline's sink writes (partition grains fired per
+    /// merge task).
+    buffers_written: Vec<usize>,
+    /// Non-buffer grains (filters, hash tables) fired at completion.
+    other_write_grains: Vec<ResourceId>,
+    /// Does the sink merge per-partition?
+    partitioned: bool,
+}
+
+/// Mutable per-pipeline progress, guarded by the scheduler mutex.
+struct PipeState {
+    /// Unfired producer events gating the pipeline as a whole.
+    base_wait: usize,
+    open: bool,
+    /// Unfired producer events per source partition group.
+    group_wait: Vec<usize>,
+    started: Vec<bool>,
+    /// In-flight open/morsel tasks per group.
+    group_tasks: Vec<usize>,
+    groups_done: usize,
+    /// Total in-flight open/morsel tasks.
+    in_flight: usize,
+    /// Ordered-chain cursor (`ctx.threads == 1`): next partition to run.
+    ordered_next: usize,
+    merge_left: usize,
+    merge_setup: bool,
+    completed: bool,
+}
+
+/// Lock-free-ish runtime data tasks touch outside the scheduler mutex.
+struct PipeRuntime {
+    groups: Vec<OnceLock<GroupRun>>,
+    /// Reusable thread-local sink states; doubles as the collection point
+    /// for `MergeSetup`.
+    idle_states: Mutex<Vec<Box<dyn Sink>>>,
+    merger: OnceLock<Arc<Box<dyn PartitionMerger>>>,
+}
+
+struct GroupRun {
+    chunks: Arc<crate::operators::ChunkList>,
+    next: AtomicUsize,
+}
+
+/// Everything guarded by the single scheduler mutex.
+struct Sched {
+    queue: VecDeque<Task>,
+    pipes: Vec<PipeState>,
+    completed: usize,
+    busy: usize,
+    max_parallel: usize,
+    max_queue_depth: usize,
+    tasks: u64,
+    morsel_tasks: u64,
+    merge_tasks: u64,
+    overlap_tasks: u64,
+    /// This run's Σ task nanoseconds (the metrics counter is cumulative
+    /// across runs on a shared context).
+    busy_nanos: u64,
+    error: Option<Error>,
+    /// Monotonic sequence for lifecycle trace entries.
+    seq: u64,
+}
+
+/// Result of executing one task outside the lock.
+enum Done {
+    Opened { chunks: usize },
+    Sunk,
+    SetupPartitioned { parts: usize },
+    SetupSerial,
+    MergedPart,
+    Finished,
+}
+
+struct Engine<'a> {
+    phys: &'a [PhysicalPipeline],
+    info: Vec<PipeInfo>,
+    runtimes: Vec<PipeRuntime>,
+    grains: HashMap<ResourceId, usize>,
+    waiters: Vec<Vec<Waiter>>,
+    partitions: usize,
+    /// Ordered-chain mode: `ctx.threads == 1`.
+    ordered: bool,
+    /// Morsel fan-out per group in concurrent mode.
+    fan: usize,
+    ctx: &'a ExecContext,
+    res: &'a Resources,
+    state: Mutex<Sched>,
+    cvar: Condvar,
+}
+
+impl Engine<'_> {
+    fn trace(&self, s: &mut Sched, what: &str, task: &Task) {
+        if !self.ctx.sched_trace {
+            return;
+        }
+        s.seq += 1;
+        let label = match task {
+            Task::Open { pipe, group } => format!("[scheduler] {what} open p{pipe}/part{group}"),
+            Task::Morsel { pipe, group } => {
+                format!("[scheduler] {what} morsel p{pipe}/part{group}")
+            }
+            Task::MergeSetup { pipe } => format!("[scheduler] {what} merge-setup p{pipe}"),
+            Task::Merge { pipe, part } => format!("[scheduler] {what} merge p{pipe}/part{part}"),
+            Task::Finish { pipe } => format!("[scheduler] {what} finish p{pipe}"),
+        };
+        self.ctx.metrics.trace_entry(label, s.seq);
+    }
+
+    fn enqueue(&self, s: &mut Sched, task: Task) {
+        self.trace(s, "enqueue", &task);
+        s.queue.push_back(task);
+        s.max_queue_depth = s.max_queue_depth.max(s.queue.len());
+    }
+
+    /// Start every group that is sealed, unstarted, and admissible under
+    /// the pipeline's ordering discipline.
+    fn try_start_groups(&self, s: &mut Sched, pipe: usize) {
+        if !s.pipes[pipe].open || s.pipes[pipe].merge_setup {
+            return;
+        }
+        let groups = self.info[pipe].groups;
+        loop {
+            let st = &mut s.pipes[pipe];
+            let g = if self.ordered {
+                // One group at a time, strictly in partition order — this
+                // is what makes threads == 1 runs bit-deterministic.
+                if st.in_flight > 0 || st.ordered_next >= groups {
+                    return;
+                }
+                let g = st.ordered_next;
+                if st.group_wait[g] > 0 || st.started[g] {
+                    return;
+                }
+                g
+            } else {
+                match (0..groups).find(|&g| st.group_wait[g] == 0 && !st.started[g]) {
+                    Some(g) => g,
+                    None => return,
+                }
+            };
+            st.started[g] = true;
+            st.in_flight += 1;
+            st.group_tasks[g] += 1;
+            // Partition overlap: this group starts while a producer still
+            // has *other* partitions unsealed (`merge_left` counts merge
+            // tasks not yet applied; it is decremented before the seal
+            // event fires, so 0 means every partition is already sealed).
+            if self.info[pipe]
+                .source_producers
+                .iter()
+                .any(|&pr| s.pipes[pr].merge_left > 0)
+            {
+                s.overlap_tasks += 1;
+            }
+            self.enqueue(s, Task::Open { pipe, group: g });
+            if self.ordered {
+                return; // in_flight is now 1; nothing else admissible
+            }
+        }
+    }
+
+    /// One producer event on `grain`: wake base and group waiters.
+    fn fire(&self, s: &mut Sched, grain: ResourceId) {
+        let Some(&gi) = self.grains.get(&grain) else {
+            return;
+        };
+        // Waiter lists are static (owned by the engine, not the mutex),
+        // so they can be iterated while pipe state is mutated.
+        for &w in &self.waiters[gi] {
+            match w {
+                Waiter::Base(c) => {
+                    let st = &mut s.pipes[c];
+                    debug_assert!(st.base_wait > 0, "base wait underflow");
+                    st.base_wait -= 1;
+                    if st.base_wait == 0 {
+                        st.open = true;
+                        self.try_start_groups(s, c);
+                    }
+                }
+                Waiter::Group { pipe, group } => {
+                    let st = &mut s.pipes[pipe];
+                    debug_assert!(st.group_wait[group] > 0, "group wait underflow");
+                    st.group_wait[group] -= 1;
+                    if st.group_wait[group] == 0 {
+                        self.try_start_groups(s, pipe);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mark `pipe` complete and fire its completion grains. `fire_buffers`
+    /// is set for serial finalizes, whose buffer partitions seal all at
+    /// once; partitioned sinks fired them from their merge tasks already.
+    fn complete(&self, s: &mut Sched, pipe: usize, fire_buffers: bool) {
+        s.pipes[pipe].completed = true;
+        s.completed += 1;
+        if fire_buffers {
+            for &b in &self.info[pipe].buffers_written {
+                for p in 0..self.partitions {
+                    self.fire(s, ResourceId::BufferPart(b, p));
+                }
+            }
+        }
+        for &g in &self.info[pipe].other_write_grains {
+            self.fire(s, g);
+        }
+    }
+
+    /// Execute one task outside the lock.
+    fn exec(&self, task: Task) -> Result<Done> {
+        match task {
+            Task::Open { pipe, group } => {
+                let p = &self.phys[pipe];
+                let chunks = match p.source.partitioned_input() {
+                    Some(_) => p.source.partition_chunks(self.res, group)?,
+                    None => p.source.chunks(self.res)?,
+                };
+                let n = chunks.len();
+                self.runtimes[pipe].groups[group]
+                    .set(GroupRun {
+                        chunks,
+                        next: AtomicUsize::new(0),
+                    })
+                    .map_err(|_| Error::Exec("pipeline group opened twice".into()))?;
+                Ok(Done::Opened { chunks: n })
+            }
+            Task::Morsel { pipe, group } => {
+                let p = &self.phys[pipe];
+                let run = self.runtimes[pipe].groups[group]
+                    .get()
+                    .expect("morsel task before group open");
+                let mut state = {
+                    let mut idle = self.runtimes[pipe]
+                        .idle_states
+                        .lock()
+                        .expect("idle state lock poisoned");
+                    match idle.pop() {
+                        Some(st) => st,
+                        None => p.sink.make(self.ctx)?,
+                    }
+                };
+                loop {
+                    let i = run.next.fetch_add(1, Ordering::Relaxed);
+                    if i >= run.chunks.len() {
+                        break;
+                    }
+                    self.ctx.charge(run.chunks[i].num_rows() as u64)?;
+                    if let Some(out) =
+                        push_through(&p.ops, run.chunks[i].as_ref().clone(), self.ctx, self.res)?
+                    {
+                        state.sink(out, self.ctx)?;
+                    }
+                }
+                self.runtimes[pipe]
+                    .idle_states
+                    .lock()
+                    .expect("idle state lock poisoned")
+                    .push(state);
+                Ok(Done::Sunk)
+            }
+            Task::MergeSetup { pipe } => {
+                let p = &self.phys[pipe];
+                let states = std::mem::take(
+                    &mut *self.runtimes[pipe]
+                        .idle_states
+                        .lock()
+                        .expect("idle state lock poisoned"),
+                );
+                record_pipeline_rows(p, &states, self.ctx);
+                if self.info[pipe].partitioned {
+                    let merger = Arc::new(p.sink.make_merger(states, self.ctx)?);
+                    let parts = merger.partitions();
+                    self.runtimes[pipe]
+                        .merger
+                        .set(merger)
+                        .map_err(|_| Error::Exec("pipeline merger set twice".into()))?;
+                    Ok(Done::SetupPartitioned { parts })
+                } else {
+                    combine_finalize(states, self.res)?;
+                    Ok(Done::SetupSerial)
+                }
+            }
+            Task::Merge { pipe, part } => {
+                self.runtimes[pipe]
+                    .merger
+                    .get()
+                    .expect("merge task before setup")
+                    .merge_partition(part, self.ctx, self.res)?;
+                Ok(Done::MergedPart)
+            }
+            Task::Finish { pipe } => {
+                let merger = self.runtimes[pipe]
+                    .merger
+                    .get()
+                    .expect("finish task before setup");
+                merger.finish(self.ctx, self.res)?;
+                self.ctx.metrics.record_merge(
+                    &self.phys[pipe].label,
+                    merger.partitions() as u64,
+                    merger.max_task_rows(),
+                );
+                Ok(Done::Finished)
+            }
+        }
+    }
+
+    /// Apply a finished task's effects under the lock.
+    fn apply(&self, s: &mut Sched, task: Task, done: Done) {
+        self.trace(s, "finish", &task);
+        match (task, done) {
+            (Task::Open { pipe, group }, Done::Opened { chunks }) => {
+                let fan = if self.ordered {
+                    1
+                } else {
+                    self.fan.min(chunks).max(1)
+                };
+                // The open task accounted for one in-flight unit; morsel
+                // tasks replace it.
+                s.pipes[pipe].in_flight += fan - 1;
+                s.pipes[pipe].group_tasks[group] += fan - 1;
+                s.morsel_tasks += fan as u64;
+                for _ in 0..fan {
+                    self.enqueue(s, Task::Morsel { pipe, group });
+                }
+            }
+            (Task::Morsel { pipe, group }, Done::Sunk) => {
+                let st = &mut s.pipes[pipe];
+                st.in_flight -= 1;
+                st.group_tasks[group] -= 1;
+                if st.group_tasks[group] == 0 {
+                    st.groups_done += 1;
+                    if self.ordered {
+                        st.ordered_next = st.ordered_next.max(group + 1);
+                    }
+                }
+                if st.groups_done == self.info[pipe].groups {
+                    st.merge_setup = true;
+                    self.enqueue(s, Task::MergeSetup { pipe });
+                } else {
+                    self.try_start_groups(s, pipe);
+                }
+            }
+            (Task::MergeSetup { pipe }, Done::SetupPartitioned { parts }) => {
+                s.pipes[pipe].merge_left = parts;
+                s.merge_tasks += parts as u64;
+                for part in 0..parts {
+                    self.enqueue(s, Task::Merge { pipe, part });
+                }
+            }
+            (Task::MergeSetup { pipe }, Done::SetupSerial) => {
+                self.complete(s, pipe, true);
+            }
+            (Task::Merge { pipe, part }, Done::MergedPart) => {
+                // Count this partition as sealed *before* firing its seal
+                // events: consumers started by the fire read `merge_left`
+                // as the number of still-unsealed partitions (the overlap
+                // counter's definition).
+                s.pipes[pipe].merge_left -= 1;
+                for &b in &self.info[pipe].buffers_written {
+                    if part < self.partitions {
+                        self.fire(s, ResourceId::BufferPart(b, part));
+                    }
+                }
+                if s.pipes[pipe].merge_left == 0 {
+                    self.enqueue(s, Task::Finish { pipe });
+                }
+            }
+            (Task::Finish { pipe }, Done::Finished) => {
+                self.complete(s, pipe, false);
+            }
+            _ => unreachable!("task/result mismatch"),
+        }
+    }
+
+    fn worker(&self, n: usize) {
+        loop {
+            let task = {
+                let mut s = self.state.lock().expect("scheduler state poisoned");
+                loop {
+                    if s.error.is_some() || s.completed == n {
+                        drop(s);
+                        self.cvar.notify_all();
+                        return;
+                    }
+                    if let Some(task) = s.queue.pop_front() {
+                        s.busy += 1;
+                        s.max_parallel = s.max_parallel.max(s.busy);
+                        s.tasks += 1;
+                        self.trace(&mut s, "start", &task);
+                        break task;
+                    }
+                    s = self.cvar.wait(s).expect("scheduler state poisoned");
+                }
+            };
+
+            let t0 = Instant::now();
+            // Contain panics from operator/sink/merger code: an unwinding
+            // worker that never reports back would strand its peers in
+            // `cvar.wait` forever; as an error it wakes and drains them.
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.exec(task)))
+                    .unwrap_or_else(|_| Err(Error::Exec("scheduler task panicked".into())));
+            let busy = t0.elapsed().as_nanos() as u64;
+
+            let mut s = self.state.lock().expect("scheduler state poisoned");
+            s.busy -= 1;
+            s.busy_nanos += busy;
+            self.ctx
+                .metrics
+                .add(&self.ctx.metrics.sched_busy_nanos, busy);
+            match outcome {
+                Ok(done) => self.apply(&mut s, task, done),
+                Err(e) => {
+                    if s.error.is_none() {
+                        s.error = Some(e);
+                    }
+                }
+            }
+            drop(s);
+            self.cvar.notify_all();
+        }
+    }
+}
+
+/// Run lowered pipelines on the global worker pool. `deps` may be recorded
+/// at either granularity — whole-buffer ids are expanded to partition
+/// grains internally. Returns the observed stats or the first task error
+/// (`Error::Plan` for cyclic dependencies, detected up front).
+pub fn run_physical_global(
+    phys: &[PhysicalPipeline],
+    deps: &[NodeDeps],
+    ctx: &ExecContext,
+    res: &Resources,
+    workers: usize,
+) -> Result<GlobalStats> {
+    let n = phys.len();
+    debug_assert_eq!(n, deps.len());
+    if n == 0 {
+        return Ok(GlobalStats::default());
+    }
+    let partitions = res.partitions();
+    let norm: Vec<NodeDeps> = deps
+        .iter()
+        .map(|d| d.expand_partitions(partitions))
+        .collect();
+    check_acyclic(&build_dag(&norm))?;
+
+    // Writer sets per grain.
+    let mut writers: HashMap<ResourceId, Vec<usize>> = HashMap::new();
+    for (i, d) in norm.iter().enumerate() {
+        for &w in &d.writes {
+            writers.entry(w).or_default().push(i);
+        }
+    }
+
+    // Grain table + waiter lists + per-pipe static info and initial waits.
+    let mut grains: HashMap<ResourceId, usize> = HashMap::new();
+    let mut waiters: Vec<Vec<Waiter>> = Vec::new();
+    let mut grain_idx = |g: ResourceId, waiters: &mut Vec<Vec<Waiter>>| -> usize {
+        *grains.entry(g).or_insert_with(|| {
+            waiters.push(Vec::new());
+            waiters.len() - 1
+        })
+    };
+    let mut info = Vec::with_capacity(n);
+    let mut pipes = Vec::with_capacity(n);
+    let mut runtimes = Vec::with_capacity(n);
+    for (c, p) in phys.iter().enumerate() {
+        let source_buf = p.source.partitioned_input();
+        let groups = if source_buf.is_some() { partitions } else { 1 };
+        let mut base_wait = 0usize;
+        let mut group_wait = vec![0usize; groups];
+        let mut source_producers: Vec<usize> = Vec::new();
+        for &r in &norm[c].reads {
+            let producing: Vec<usize> = writers
+                .get(&r)
+                .map(|ps| ps.iter().copied().filter(|&pr| pr != c).collect())
+                .unwrap_or_default();
+            match (r, source_buf) {
+                (ResourceId::BufferPart(b, g), Some(src)) if b == src => {
+                    // One wait unit per producer event; each producer fires
+                    // the grain exactly once, and every fire walks the
+                    // waiter list, so a single waiter entry suffices.
+                    group_wait[g] += producing.len();
+                    if !producing.is_empty() {
+                        let gi = grain_idx(r, &mut waiters);
+                        waiters[gi].push(Waiter::Group { pipe: c, group: g });
+                    }
+                    for pr in producing {
+                        if !source_producers.contains(&pr) {
+                            source_producers.push(pr);
+                        }
+                    }
+                }
+                _ => {
+                    base_wait += producing.len();
+                    if !producing.is_empty() {
+                        let gi = grain_idx(r, &mut waiters);
+                        waiters[gi].push(Waiter::Base(c));
+                    }
+                }
+            }
+        }
+        let mut buffers_written: Vec<usize> = Vec::new();
+        let mut other_write_grains: Vec<ResourceId> = Vec::new();
+        for &w in &norm[c].writes {
+            match w {
+                ResourceId::Buffer(b) | ResourceId::BufferPart(b, _) => {
+                    if !buffers_written.contains(&b) {
+                        buffers_written.push(b);
+                    }
+                }
+                other => {
+                    if !other_write_grains.contains(&other) {
+                        other_write_grains.push(other);
+                    }
+                }
+            }
+        }
+        info.push(PipeInfo {
+            groups,
+            source_producers,
+            buffers_written,
+            other_write_grains,
+            partitioned: p.sink.partitioned_merge(ctx),
+        });
+        pipes.push(PipeState {
+            base_wait,
+            open: base_wait == 0,
+            group_wait,
+            started: vec![false; groups],
+            group_tasks: vec![0; groups],
+            groups_done: 0,
+            in_flight: 0,
+            ordered_next: 0,
+            merge_left: 0,
+            merge_setup: false,
+            completed: false,
+        });
+        runtimes.push(PipeRuntime {
+            groups: (0..groups).map(|_| OnceLock::new()).collect(),
+            idle_states: Mutex::new(Vec::new()),
+            merger: OnceLock::new(),
+        });
+    }
+
+    let workers = workers.max(1);
+    let engine = Engine {
+        phys,
+        info,
+        runtimes,
+        grains,
+        waiters,
+        partitions,
+        ordered: ctx.threads <= 1,
+        fan: ctx.threads.max(1),
+        ctx,
+        res,
+        state: Mutex::new(Sched {
+            queue: VecDeque::new(),
+            pipes,
+            completed: 0,
+            busy: 0,
+            max_parallel: 0,
+            max_queue_depth: 0,
+            tasks: 0,
+            morsel_tasks: 0,
+            merge_tasks: 0,
+            overlap_tasks: 0,
+            busy_nanos: 0,
+            error: None,
+            seq: 0,
+        }),
+        cvar: Condvar::new(),
+    };
+
+    // Seed the queue with every immediately runnable group.
+    let initially_ready = {
+        let mut s = engine.state.lock().expect("scheduler state poisoned");
+        for pipe in 0..n {
+            engine.try_start_groups(&mut s, pipe);
+        }
+        (0..n)
+            .filter(|&pipe| s.pipes[pipe].started.iter().any(|&b| b))
+            .count()
+    };
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| engine.worker(n));
+        }
+    });
+    let wall = t0.elapsed().as_nanos() as u64;
+
+    let mut s = engine.state.into_inner().expect("scheduler state poisoned");
+    if let Some(e) = s.error.take() {
+        return Err(e);
+    }
+    debug_assert_eq!(s.completed, n);
+    Ok(GlobalStats {
+        pipelines: n,
+        initially_ready,
+        max_parallel: s.max_parallel,
+        tasks: s.tasks,
+        morsel_tasks: s.morsel_tasks,
+        merge_tasks: s.merge_tasks,
+        overlap_tasks: s.overlap_tasks,
+        max_queue_depth: s.max_queue_depth,
+        busy_nanos: s.busy_nanos,
+        wall_nanos: wall,
+        workers,
+    })
+}
+
+/// Lower a pipeline list and run it on the global pool, recording stats
+/// into the metrics trace (`[scheduler] …` entries, same vocabulary as the
+/// scoped scheduler plus the global-only counters).
+pub fn run_pipelines_global(
+    pipelines: &[PipelinePlan],
+    deps: &[NodeDeps],
+    ctx: &ExecContext,
+    res: &Resources,
+    workers: usize,
+) -> Result<SchedulerStats> {
+    debug_assert_eq!(pipelines.len(), deps.len());
+    let phys: Vec<PhysicalPipeline> = pipelines.iter().map(PipelinePlan::lower).collect();
+    let g = run_physical_global(&phys, deps, ctx, res, workers)?;
+    record_global_stats(ctx, &g);
+    Ok(SchedulerStats {
+        pipelines: g.pipelines,
+        initially_ready: g.initially_ready,
+        max_parallel: g.max_parallel,
+    })
+}
+
+/// Record a finished global run: the classic `[scheduler]` trace entries
+/// plus the global-only counters (tasks, queue depth, overlap,
+/// utilization) and their `Metrics` counterparts.
+pub fn record_global_stats(ctx: &ExecContext, g: &GlobalStats) {
+    let m = &ctx.metrics;
+    m.add(&m.sched_tasks, g.tasks);
+    m.add(&m.sched_overlap_tasks, g.overlap_tasks);
+    m.max_update(&m.sched_max_queue_depth, g.max_queue_depth as u64);
+    m.add(&m.sched_wall_nanos, g.wall_nanos);
+    m.max_update(&m.sched_workers, g.workers as u64);
+    m.record_scheduler(&SchedulerStats {
+        pipelines: g.pipelines,
+        initially_ready: g.initially_ready,
+        max_parallel: g.max_parallel,
+    });
+    m.trace_entry("[scheduler] workers", g.workers as u64);
+    m.trace_entry("[scheduler] tasks", g.tasks);
+    m.trace_entry("[scheduler] morsel-tasks", g.morsel_tasks);
+    m.trace_entry("[scheduler] merge-task-count", g.merge_tasks);
+    m.trace_entry("[scheduler] overlap-tasks", g.overlap_tasks);
+    m.trace_entry("[scheduler] max-queue-depth", g.max_queue_depth as u64);
+    m.trace_entry(
+        "[scheduler] utilization-pct",
+        crate::context::utilization_pct(g.busy_nanos, g.wall_nanos, g.workers as u64),
+    );
+}

@@ -26,16 +26,21 @@
 pub mod aggregate;
 pub mod context;
 pub mod expr;
+pub mod global;
 pub mod hash_table;
 pub mod operators;
 pub mod pipeline;
 pub mod scheduler;
 pub mod wcoj;
 
-pub use context::{ExecContext, Metrics};
+pub use context::{default_worker_count, ExecContext, Metrics, SchedulerKind};
 pub use expr::{AggExpr, AggFunc, ArithOp, CmpOp, Expr};
+pub use global::{run_physical_global, GlobalStats};
 pub use hash_table::{BuildRef, JoinHashTable, PartitionedHashTable};
-pub use operators::{ChunkList, Operator, ResourceId, Resources, Sink, SinkFactory, Source};
+pub use operators::{
+    expand_partition_grains, ChunkList, Operator, PartitionMerger, ResourceId, Resources, Sink,
+    SinkFactory, Source,
+};
 pub use pipeline::{
     BloomSink, Executor, OpSpec, PhysicalPipeline, PipelinePlan, SinkSpec, SourceSpec,
 };

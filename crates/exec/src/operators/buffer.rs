@@ -14,13 +14,14 @@ use super::create_bf::{
     combine_blooms, insert_into_blooms, merge_publish_blooms, BloomBuild, BloomSink,
 };
 use super::{
-    downcast_sink, for_each_partition, PartitionSlots, ResourceId, Resources, Sink, SinkFactory,
+    downcast_sink, PartitionMerger, PartitionSlots, ResourceId, Resources, Sink, SinkFactory,
 };
 use crate::context::ExecContext;
-use rpt_common::{DataChunk, Partitioner, Result, Schema};
+use rpt_common::{DataChunk, Error, Partitioner, Result, Schema};
 use rpt_storage::{SpillBuffer, SpillStats};
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 pub struct BufferSink {
     buf_id: usize,
@@ -187,48 +188,77 @@ impl SinkFactory for BufferSinkFactory {
         ctx.partition_count > 1
     }
 
-    fn merge_partitioned(
+    fn make_merger(
         &self,
-        label: &str,
         states: Vec<Box<dyn Sink>>,
-        ctx: &ExecContext,
-        res: &Resources,
-    ) -> Result<()> {
+        _ctx: &ExecContext,
+    ) -> Result<Box<dyn PartitionMerger>> {
         let mut workers = Vec::with_capacity(states.len());
         for s in states {
             workers.push(*downcast_sink::<BufferSink>(s)?);
         }
         // The states' own layout is authoritative (the factory normalized
         // `ctx.partition_count` when it built them).
-        let partitions = match workers.first() {
-            Some(w) => w.parts.len(),
-            None => return Ok(()),
-        };
+        let partitions = workers
+            .first()
+            .map(|w| w.parts.len())
+            .ok_or_else(|| Error::Exec("partitioned merge without sink states".into()))?;
         let blooms: Vec<Vec<BloomBuild>> = workers
             .iter_mut()
             .map(|w| std::mem::take(&mut w.blooms))
             .collect();
         let slots =
             PartitionSlots::transpose(workers.into_iter().map(|w| w.parts).collect(), partitions);
-        let max_task_rows = AtomicU64::new(0);
-        for_each_partition(partitions, ctx.threads, |p| {
-            let mut chunks = Vec::new();
-            let mut rows = 0u64;
-            for buf in slots.take(p) {
-                for c in buf.into_chunks()? {
-                    rows += c.num_rows() as u64;
-                    chunks.push(c);
-                }
+        Ok(Box::new(BufferMerger {
+            buf_id: self.buf_id,
+            partitions,
+            slots,
+            blooms: Mutex::new(Some(blooms)),
+            max_task_rows: AtomicU64::new(0),
+        }))
+    }
+}
+
+/// Merge plan of a partitioned [`BufferSink`]: task `p` concatenates every
+/// worker's partition-`p` run and seals that buffer partition; `finish`
+/// OR-merges and publishes the Bloom filters.
+struct BufferMerger {
+    buf_id: usize,
+    partitions: usize,
+    slots: PartitionSlots<SpillBuffer>,
+    blooms: Mutex<Option<Vec<Vec<BloomBuild>>>>,
+    max_task_rows: AtomicU64,
+}
+
+impl PartitionMerger for BufferMerger {
+    fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    fn merge_partition(&self, part: usize, _ctx: &ExecContext, res: &Resources) -> Result<()> {
+        let mut chunks = Vec::new();
+        let mut rows = 0u64;
+        for buf in self.slots.take(part) {
+            for c in buf.into_chunks()? {
+                rows += c.num_rows() as u64;
+                chunks.push(c);
             }
-            max_task_rows.fetch_max(rows, Ordering::Relaxed);
-            res.publish_buffer_partition(self.buf_id, p, chunks)
-        })?;
-        merge_publish_blooms(blooms, ctx.threads, res)?;
-        ctx.metrics.record_merge(
-            label,
-            partitions as u64,
-            max_task_rows.load(Ordering::Relaxed),
-        );
-        Ok(())
+        }
+        self.max_task_rows.fetch_max(rows, Ordering::Relaxed);
+        res.publish_buffer_partition(self.buf_id, part, chunks)
+    }
+
+    fn finish(&self, ctx: &ExecContext, res: &Resources) -> Result<()> {
+        let blooms = self
+            .blooms
+            .lock()
+            .expect("bloom slot lock poisoned")
+            .take()
+            .ok_or_else(|| Error::Exec("buffer merge finished twice".into()))?;
+        merge_publish_blooms(blooms, ctx.threads, res)
+    }
+
+    fn max_task_rows(&self) -> u64 {
+        self.max_task_rows.load(Ordering::Relaxed)
     }
 }

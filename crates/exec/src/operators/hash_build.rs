@@ -12,14 +12,14 @@ use super::create_bf::{
     combine_blooms, insert_into_blooms, merge_publish_blooms, BloomBuild, BloomSink,
 };
 use super::{
-    downcast_sink, for_each_partition, PartitionSlots, ResourceId, Resources, Sink, SinkFactory,
+    downcast_sink, PartitionMerger, PartitionSlots, ResourceId, Resources, Sink, SinkFactory,
 };
 use crate::context::ExecContext;
 use crate::hash_table::{JoinHashTable, PartitionedHashTable};
-use rpt_common::{DataChunk, Partitioner, Result, Schema};
+use rpt_common::{DataChunk, Error, Partitioner, Result, Schema};
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::Mutex;
 
 pub struct HashBuildSink {
     ht_id: usize,
@@ -158,52 +158,92 @@ impl SinkFactory for HashBuildFactory {
         ctx.partition_count > 1
     }
 
-    fn merge_partitioned(
+    fn make_merger(
         &self,
-        label: &str,
         states: Vec<Box<dyn Sink>>,
-        ctx: &ExecContext,
-        res: &Resources,
-    ) -> Result<()> {
+        _ctx: &ExecContext,
+    ) -> Result<Box<dyn PartitionMerger>> {
         let mut workers = Vec::with_capacity(states.len());
         for s in states {
             workers.push(*downcast_sink::<HashBuildSink>(s)?);
         }
         // The states' own layout is authoritative (the factory normalized
         // `ctx.partition_count` when it built them).
-        let partitions = match workers.first() {
-            Some(w) => w.parts.len(),
-            None => return Ok(()),
-        };
+        let partitions = workers
+            .first()
+            .map(|w| w.parts.len())
+            .ok_or_else(|| Error::Exec("partitioned merge without sink states".into()))?;
         let blooms: Vec<Vec<BloomBuild>> = workers
             .iter_mut()
             .map(|w| std::mem::take(&mut w.blooms))
             .collect();
         let slots =
             PartitionSlots::transpose(workers.into_iter().map(|w| w.parts).collect(), partitions);
-        let tables: Vec<OnceLock<JoinHashTable>> =
-            (0..partitions).map(|_| OnceLock::new()).collect();
-        let max_task_rows = AtomicU64::new(0);
-        for_each_partition(partitions, ctx.threads, |p| {
-            let chunks: Vec<DataChunk> = slots.take(p).into_iter().flatten().collect();
-            let rows: u64 = chunks.iter().map(|c| c.num_rows() as u64).sum();
-            max_task_rows.fetch_max(rows, Ordering::Relaxed);
-            let table = build_partition(&chunks, self.key_cols.clone(), &self.schema)?;
-            tables[p]
-                .set(table)
-                .map_err(|_| rpt_common::Error::Exec("partition table built twice".into()))
-        })?;
-        let parts: Vec<JoinHashTable> = tables
-            .into_iter()
-            .map(|t| t.into_inner().expect("every partition table built"))
-            .collect();
-        res.publish_table(self.ht_id, PartitionedHashTable::from_parts(parts))?;
-        merge_publish_blooms(blooms, ctx.threads, res)?;
-        ctx.metrics.record_merge(
-            label,
-            partitions as u64,
-            max_task_rows.load(Ordering::Relaxed),
-        );
+        Ok(Box::new(HashBuildMerger {
+            ht_id: self.ht_id,
+            key_cols: self.key_cols.clone(),
+            schema: self.schema.clone(),
+            partitions,
+            slots,
+            tables: (0..partitions).map(|_| Mutex::new(None)).collect(),
+            blooms: Mutex::new(Some(blooms)),
+            max_task_rows: AtomicU64::new(0),
+        }))
+    }
+}
+
+/// Merge plan of a partitioned [`HashBuildSink`]: task `p` builds one
+/// partition's [`JoinHashTable`]; `finish` assembles the
+/// [`PartitionedHashTable`], publishes it, and merges the Bloom filters.
+/// (The table is only probe-able once complete, so — unlike buffer
+/// partitions — nothing is consumable until `finish`.)
+struct HashBuildMerger {
+    ht_id: usize,
+    key_cols: Vec<usize>,
+    schema: Schema,
+    partitions: usize,
+    slots: PartitionSlots<Vec<DataChunk>>,
+    tables: Vec<Mutex<Option<JoinHashTable>>>,
+    blooms: Mutex<Option<Vec<Vec<BloomBuild>>>>,
+    max_task_rows: AtomicU64,
+}
+
+impl PartitionMerger for HashBuildMerger {
+    fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    fn merge_partition(&self, part: usize, _ctx: &ExecContext, _res: &Resources) -> Result<()> {
+        let chunks: Vec<DataChunk> = self.slots.take(part).into_iter().flatten().collect();
+        let rows: u64 = chunks.iter().map(|c| c.num_rows() as u64).sum();
+        self.max_task_rows.fetch_max(rows, Ordering::Relaxed);
+        let table = build_partition(&chunks, self.key_cols.clone(), &self.schema)?;
+        *self.tables[part].lock().expect("table slot lock poisoned") = Some(table);
         Ok(())
+    }
+
+    fn finish(&self, ctx: &ExecContext, res: &Resources) -> Result<()> {
+        let parts: Vec<JoinHashTable> = self
+            .tables
+            .iter()
+            .map(|t| {
+                t.lock()
+                    .expect("table slot lock poisoned")
+                    .take()
+                    .ok_or_else(|| Error::Exec("partition table missing at finish".into()))
+            })
+            .collect::<Result<_>>()?;
+        res.publish_table(self.ht_id, PartitionedHashTable::from_parts(parts))?;
+        let blooms = self
+            .blooms
+            .lock()
+            .expect("bloom slot lock poisoned")
+            .take()
+            .ok_or_else(|| Error::Exec("hash-build merge finished twice".into()))?;
+        merge_publish_blooms(blooms, ctx.threads, res)
+    }
+
+    fn max_task_rows(&self) -> u64 {
+        self.max_task_rows.load(Ordering::Relaxed)
     }
 }

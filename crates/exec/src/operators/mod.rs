@@ -43,20 +43,49 @@ use crate::hash_table::PartitionedHashTable;
 use rpt_bloom::BloomFilter;
 use rpt_common::{DataChunk, Error, Result, Vector};
 use std::any::Any;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Identifier of a cross-pipeline resource: what a pipeline reads or
 /// writes. The planner's `PhysicalPlan` records these per pipeline and the
 /// scheduler derives the execution DAG from them.
+///
+/// Buffers exist at two granularities. `Buffer(id)` names the whole
+/// buffer; `BufferPart(id, p)` names one hash partition of it — the grain
+/// the *global* scheduler tracks, so a consumer's tasks for partition `p`
+/// become runnable the moment the producer's merge task seals `p`, while
+/// the producer is still merging its other partitions.
+/// [`expand_partition_grains`] rewrites whole-buffer ids into their
+/// partition grains; the planner records the expanded form in the
+/// `PhysicalPlan` IR.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ResourceId {
     /// A materialized chunk buffer (`CreateBF` output, collect sinks, …).
     Buffer(usize),
+    /// One sealed hash partition of a buffer (partition-granular grain).
+    BufferPart(usize, usize),
     /// A Bloom filter built by a CreateBF / BloomJoin build sink.
     Filter(usize),
     /// A join hash table.
     HashTable(usize),
+}
+
+/// Rewrite whole-buffer resource ids into per-partition grains:
+/// `Buffer(b)` becomes `BufferPart(b, 0..partitions)`; everything else
+/// (and already-granular ids) passes through. Idempotent, sorted, deduped.
+pub fn expand_partition_grains(ids: &[ResourceId], partitions: usize) -> Vec<ResourceId> {
+    let partitions = partitions.max(1);
+    let mut out = Vec::with_capacity(ids.len());
+    for &id in ids {
+        match id {
+            ResourceId::Buffer(b) => {
+                out.extend((0..partitions).map(|p| ResourceId::BufferPart(b, p)))
+            }
+            other => out.push(other),
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
 }
 
 /// Chunks are stored and handed to consumers behind per-chunk `Arc`s so
@@ -251,6 +280,22 @@ pub trait Source: Send + Sync {
     fn reads(&self) -> Vec<ResourceId> {
         Vec::new()
     }
+
+    /// The buffer this source can read partition-by-partition, if any.
+    /// Sources reporting `Some(buf)` let the global scheduler start the
+    /// pipeline's morsels for partition `p` as soon as the producer seals
+    /// `p` (a partition-scoped morsel stream via [`Source::partition_chunks`]),
+    /// instead of waiting for the whole buffer.
+    fn partitioned_input(&self) -> Option<usize> {
+        None
+    }
+
+    /// Morsels of one input partition; only called for sources reporting
+    /// [`Source::partitioned_input`], with `part` already sealed.
+    fn partition_chunks(&self, res: &Resources, part: usize) -> Result<Arc<ChunkList>> {
+        let _ = part;
+        self.chunks(res)
+    }
 }
 
 /// A streaming (non-breaking) operator (`Execute`).
@@ -296,62 +341,71 @@ pub trait SinkFactory: Send + Sync {
     fn writes(&self) -> Vec<ResourceId>;
 
     /// Does this sink write hash-partitioned runs that the driver should
-    /// merge per-partition in parallel via
-    /// [`SinkFactory::merge_partitioned`]? When `false` the driver uses the
-    /// serial `Combine` + `Finalize` path.
+    /// merge per-partition in parallel via a [`PartitionMerger`]? When
+    /// `false` the driver uses the serial `Combine` + `Finalize` path.
     fn partitioned_merge(&self, _ctx: &ExecContext) -> bool {
         false
     }
 
-    /// Merge the workers' partitioned sink states and publish the results:
-    /// one merge task per partition, run on up to `ctx.threads` scoped
-    /// threads, each sealing its partition's resources independently —
-    /// no task ever touches the full result. `label` names the pipeline in
-    /// the merge-stats trace.
-    fn merge_partitioned(
+    /// Turn the workers' partitioned sink states into a merge plan whose
+    /// per-partition tasks the *caller* schedules — on the global worker
+    /// pool, or on the same scoped workers that ran the morsels. No fresh
+    /// thread scope is spawned for the merge.
+    fn make_merger(
         &self,
-        _label: &str,
         _states: Vec<Box<dyn Sink>>,
         _ctx: &ExecContext,
-        _res: &Resources,
-    ) -> Result<()> {
+    ) -> Result<Box<dyn PartitionMerger>> {
         Err(Error::Exec(
             "sink does not implement a partitioned merge".into(),
         ))
     }
+
+    /// Standalone partitioned merge: build the merger, run every partition
+    /// task on the calling thread, finish, and record merge stats. The
+    /// pipeline drivers schedule the merger's tasks on their own workers
+    /// instead; this entry point serves direct sink harnesses (tests,
+    /// benchmarks).
+    fn merge_partitioned(
+        &self,
+        label: &str,
+        states: Vec<Box<dyn Sink>>,
+        ctx: &ExecContext,
+        res: &Resources,
+    ) -> Result<()> {
+        let merger = self.make_merger(states, ctx)?;
+        for p in 0..merger.partitions() {
+            merger.merge_partition(p, ctx, res)?;
+        }
+        merger.finish(ctx, res)?;
+        ctx.metrics
+            .record_merge(label, merger.partitions() as u64, merger.max_task_rows());
+        Ok(())
+    }
 }
 
-/// Run `f(partition)` for every partition on up to `threads` scoped worker
-/// threads (partitions are claimed morsel-style). Returns the first error.
-pub(crate) fn for_each_partition<F>(partitions: usize, threads: usize, f: F) -> Result<()>
-where
-    F: Fn(usize) -> Result<()> + Sync,
-{
-    let threads = threads.clamp(1, partitions.max(1));
-    if threads == 1 {
-        for p in 0..partitions {
-            f(p)?;
-        }
-        return Ok(());
-    }
-    let next = AtomicUsize::new(0);
-    let results: Vec<Result<()>> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            handles.push(scope.spawn(|| loop {
-                let p = next.fetch_add(1, Ordering::Relaxed);
-                if p >= partitions {
-                    return Ok(());
-                }
-                f(p)?;
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("merge worker panicked"))
-            .collect()
-    });
-    results.into_iter().collect()
+/// A partitioned sink's merge plan: one independent task per partition plus
+/// a final publication step, created once every worker's [`Sink`] state has
+/// been collected.
+///
+/// Contract: `merge_partition(p)` is called exactly once per partition, in
+/// any order, from any thread — each call seals partition `p`'s resources
+/// (e.g. via [`Resources::publish_buffer_partition`]) without touching any
+/// other partition, which is what lets consumers start on `p` immediately.
+/// `finish` runs after *all* partition tasks and publishes the
+/// whole-resource results (Bloom filters, the assembled hash table).
+pub trait PartitionMerger: Send + Sync {
+    /// Number of partition merge tasks.
+    fn partitions(&self) -> usize;
+
+    /// Merge and seal one partition.
+    fn merge_partition(&self, part: usize, ctx: &ExecContext, res: &Resources) -> Result<()>;
+
+    /// Publish everything that needs all partitions merged first.
+    fn finish(&self, ctx: &ExecContext, res: &Resources) -> Result<()>;
+
+    /// Rows handled by the largest partition task so far.
+    fn max_task_rows(&self) -> u64;
 }
 
 /// Per-partition payloads handed to the parallel merge tasks: slot `p`

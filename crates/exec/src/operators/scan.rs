@@ -48,4 +48,15 @@ impl Source for BufferScan {
     fn reads(&self) -> Vec<ResourceId> {
         vec![ResourceId::Buffer(self.buf_id)]
     }
+
+    /// Buffer partitions seal independently, so the global scheduler can
+    /// stream this source partition-by-partition while the producer is
+    /// still merging the others.
+    fn partitioned_input(&self) -> Option<usize> {
+        Some(self.buf_id)
+    }
+
+    fn partition_chunks(&self, res: &Resources, part: usize) -> Result<Arc<ChunkList>> {
+        res.buffer_partition(self.buf_id, part)
+    }
 }

@@ -27,8 +27,8 @@ use crate::operators::{
 use rpt_bloom::BloomFilter;
 use rpt_common::{DataChunk, DataType, Result, Schema};
 use rpt_storage::Table;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 pub use crate::operators::create_bf::BloomSink;
 
@@ -234,7 +234,7 @@ impl PhysicalPipeline {
 
 /// Push one chunk through a pipeline's operator chain. `None` = the chunk
 /// was filtered to nothing (short-circuits the remaining operators).
-fn push_through(
+pub(crate) fn push_through(
     ops: &[Box<dyn Operator>],
     mut chunk: DataChunk,
     ctx: &ExecContext,
@@ -256,55 +256,12 @@ fn push_through(
     }
 }
 
-/// Execute one lowered pipeline: morsel-parallel Sink, then Combine and
-/// Finalize, recording the pipeline's row metrics.
-pub fn run_physical(p: &PhysicalPipeline, ctx: &ExecContext, res: &Resources) -> Result<()> {
-    let chunks = p.source.chunks(res)?;
-    let threads = ctx.threads.min(chunks.len()).max(1);
-
-    let mut states: Vec<Box<dyn crate::operators::Sink>> = Vec::with_capacity(threads);
-    if threads == 1 {
-        let mut state = p.sink.make(ctx)?;
-        for c in chunks.iter() {
-            ctx.charge(c.num_rows() as u64)?;
-            if let Some(out) = push_through(&p.ops, c.as_ref().clone(), ctx, res)? {
-                state.sink(out, ctx)?;
-            }
-        }
-        states.push(state);
-    } else {
-        let next = AtomicUsize::new(0);
-        let results: Vec<Result<Box<dyn crate::operators::Sink>>> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for _ in 0..threads {
-                handles.push(scope.spawn(|| {
-                    let mut state = p.sink.make(ctx)?;
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= chunks.len() {
-                            break;
-                        }
-                        ctx.charge(chunks[i].num_rows() as u64)?;
-                        if let Some(out) =
-                            push_through(&p.ops, chunks[i].as_ref().clone(), ctx, res)?
-                        {
-                            state.sink(out, ctx)?;
-                        }
-                    }
-                    Ok(state)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
-        for r in results {
-            states.push(r?);
-        }
-    }
-
-    // Combine + Finalize.
+/// Record the pipeline's row metrics once every worker state is collected.
+pub(crate) fn record_pipeline_rows(
+    p: &PhysicalPipeline,
+    states: &[Box<dyn crate::operators::Sink>],
+    ctx: &ExecContext,
+) -> u64 {
     let rows: u64 = states.iter().map(|s| s.rows()).sum();
     let m = &ctx.metrics;
     if p.intermediate {
@@ -313,18 +270,222 @@ pub fn run_physical(p: &PhysicalPipeline, ctx: &ExecContext, res: &Resources) ->
         m.add(&m.output_rows, rows);
     }
     m.record_pipeline(&p.label, rows);
-    if p.sink.partitioned_merge(ctx) {
-        // Partitioned sinks: merge per-partition in parallel; no merge
-        // task sees the full result.
-        p.sink.merge_partitioned(&p.label, states, ctx, res)
-    } else {
-        let mut iter = states.into_iter();
-        let mut merged = iter.next().expect("at least one sink state");
-        for s in iter {
-            merged.combine(s)?;
-        }
-        merged.finalize(res)
+    rows
+}
+
+/// Serial `Combine` + `Finalize` of the collected worker states
+/// (unpartitioned sinks).
+pub(crate) fn combine_finalize(
+    states: Vec<Box<dyn crate::operators::Sink>>,
+    res: &Resources,
+) -> Result<()> {
+    let mut iter = states.into_iter();
+    let mut merged = iter.next().expect("at least one sink state");
+    for s in iter {
+        merged.combine(s)?;
     }
+    merged.finalize(res)
+}
+
+/// What the morsel workers hand over to the merge phase. The *last* morsel
+/// worker to finish prepares this; every worker then claims partition
+/// merge tasks from it — the same scoped threads run both phases, no fresh
+/// thread scope is spawned for the merge.
+enum MergePhase {
+    /// Serial sink (or error): nothing left for the workers to do.
+    Done,
+    /// Partitioned sink: claim partitions from `next_part`.
+    Merge(Arc<Box<dyn crate::operators::PartitionMerger>>),
+}
+
+struct PipelineShared {
+    states: Mutex<Vec<Box<dyn crate::operators::Sink>>>,
+    /// Morsel workers still running; the one that drops this to zero
+    /// prepares the merge phase.
+    remaining: AtomicUsize,
+    phase: Mutex<Option<MergePhase>>,
+    phase_ready: Condvar,
+    next_part: AtomicUsize,
+    failed: AtomicBool,
+    error: Mutex<Option<rpt_common::Error>>,
+}
+
+impl PipelineShared {
+    fn fail(&self, e: rpt_common::Error) {
+        self.failed.store(true, Ordering::Release);
+        let mut slot = self.error.lock().expect("pipeline error lock poisoned");
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+}
+
+/// Execute one lowered pipeline: morsel-parallel Sink, then the merge —
+/// per-partition tasks claimed by the *same* workers for partitioned
+/// sinks, serial Combine + Finalize otherwise.
+pub fn run_physical(p: &PhysicalPipeline, ctx: &ExecContext, res: &Resources) -> Result<()> {
+    let chunks = p.source.chunks(res)?;
+    // The same workers later claim the per-partition merge tasks, so a
+    // partitioned sink sizes the scope for whichever phase is wider — a
+    // one-chunk source must not serialize an 8-partition merge.
+    let threads = if p.sink.partitioned_merge(ctx) {
+        ctx.threads
+            .min(chunks.len().max(ctx.partition_count))
+            .max(1)
+    } else {
+        ctx.threads.min(chunks.len()).max(1)
+    };
+
+    if threads == 1 {
+        let mut state = p.sink.make(ctx)?;
+        for c in chunks.iter() {
+            ctx.charge(c.num_rows() as u64)?;
+            if let Some(out) = push_through(&p.ops, c.as_ref().clone(), ctx, res)? {
+                state.sink(out, ctx)?;
+            }
+        }
+        let states = vec![state];
+        record_pipeline_rows(p, &states, ctx);
+        if p.sink.partitioned_merge(ctx) {
+            return p.sink.merge_partitioned(&p.label, states, ctx, res);
+        }
+        return combine_finalize(states, res);
+    }
+
+    let next = AtomicUsize::new(0);
+    let shared = PipelineShared {
+        states: Mutex::new(Vec::with_capacity(threads)),
+        remaining: AtomicUsize::new(threads),
+        phase: Mutex::new(None),
+        phase_ready: Condvar::new(),
+        next_part: AtomicUsize::new(0),
+        failed: AtomicBool::new(false),
+        error: Mutex::new(None),
+    };
+    let merger_out: OnceLock<Arc<Box<dyn crate::operators::PartitionMerger>>> = OnceLock::new();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                // Phase 1: claim morsels into a thread-local sink state.
+                // Panics are contained (→ `fail`) so the barrier below is
+                // always reached and peers never block forever.
+                let morsels =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Result<()> {
+                        let mut state = p.sink.make(ctx)?;
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= chunks.len() || shared.failed.load(Ordering::Acquire) {
+                                break;
+                            }
+                            ctx.charge(chunks[i].num_rows() as u64)?;
+                            if let Some(out) =
+                                push_through(&p.ops, chunks[i].as_ref().clone(), ctx, res)?
+                            {
+                                state.sink(out, ctx)?;
+                            }
+                        }
+                        shared
+                            .states
+                            .lock()
+                            .expect("pipeline states lock poisoned")
+                            .push(state);
+                        Ok(())
+                    }))
+                    .unwrap_or_else(|_| {
+                        Err(rpt_common::Error::Exec("pipeline worker panicked".into()))
+                    });
+                if let Err(e) = morsels {
+                    shared.fail(e);
+                }
+
+                // Barrier: the last worker decides the merge phase (again
+                // panic-contained — an undecided phase would strand peers).
+                if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let decided = if shared.failed.load(Ordering::Acquire) {
+                        MergePhase::Done
+                    } else {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let states = std::mem::take(
+                                &mut *shared.states.lock().expect("pipeline states lock poisoned"),
+                            );
+                            record_pipeline_rows(p, &states, ctx);
+                            if p.sink.partitioned_merge(ctx) {
+                                match p.sink.make_merger(states, ctx) {
+                                    Ok(m) => {
+                                        let m = Arc::new(m);
+                                        let _ = merger_out.set(m.clone());
+                                        MergePhase::Merge(m)
+                                    }
+                                    Err(e) => {
+                                        shared.fail(e);
+                                        MergePhase::Done
+                                    }
+                                }
+                            } else {
+                                if let Err(e) = combine_finalize(states, res) {
+                                    shared.fail(e);
+                                }
+                                MergePhase::Done
+                            }
+                        }))
+                        .unwrap_or_else(|_| {
+                            shared.fail(rpt_common::Error::Exec(
+                                "pipeline merge setup panicked".into(),
+                            ));
+                            MergePhase::Done
+                        })
+                    };
+                    *shared.phase.lock().expect("pipeline phase lock poisoned") = Some(decided);
+                    shared.phase_ready.notify_all();
+                }
+
+                // Phase 2: every worker claims partition merge tasks.
+                let merger = {
+                    let mut phase = shared.phase.lock().expect("pipeline phase lock poisoned");
+                    while phase.is_none() {
+                        phase = shared
+                            .phase_ready
+                            .wait(phase)
+                            .expect("pipeline phase lock poisoned");
+                    }
+                    match phase.as_ref().expect("phase just checked") {
+                        MergePhase::Done => return,
+                        MergePhase::Merge(m) => m.clone(),
+                    }
+                };
+                loop {
+                    let q = shared.next_part.fetch_add(1, Ordering::Relaxed);
+                    if q >= merger.partitions() || shared.failed.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let merged = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        merger.merge_partition(q, ctx, res)
+                    }))
+                    .unwrap_or_else(|_| Err(rpt_common::Error::Exec("merge task panicked".into())));
+                    if let Err(e) = merged {
+                        shared.fail(e);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = shared
+        .error
+        .lock()
+        .expect("pipeline error lock poisoned")
+        .take()
+    {
+        return Err(e);
+    }
+    if let Some(merger) = merger_out.get() {
+        merger.finish(ctx, res)?;
+        ctx.metrics
+            .record_merge(&p.label, merger.partitions() as u64, merger.max_task_rows());
+    }
+    Ok(())
 }
 
 /// Executor state shared across a query's pipelines: the execution context
@@ -365,10 +526,10 @@ impl Executor {
     }
 
     /// Execute pipelines as a dependency DAG: pipelines whose read sets
-    /// don't overlap other pipelines' write sets run concurrently, up to
-    /// `max_concurrent` at a time. Derives the read/write sets from the
-    /// pipelines and delegates to [`Executor::run_dag_with_deps`] — there
-    /// is exactly one execution path. See [`crate::scheduler`].
+    /// don't overlap other pipelines' write sets run concurrently. Derives
+    /// the read/write sets from the pipelines and delegates to
+    /// [`Executor::run_dag_with_deps`] — there is exactly one execution
+    /// path per [`crate::context::SchedulerKind`].
     pub fn run_dag(
         &mut self,
         pipelines: &[PipelinePlan],
@@ -381,19 +542,38 @@ impl Executor {
 
     /// [`Executor::run_dag`] with caller-supplied read/write sets (the
     /// planner's `PhysicalPlan` records them at compile time).
+    ///
+    /// Dispatches on `ctx.scheduler`: the default [`SchedulerKind::Global`]
+    /// runs every pipeline's morsel and merge tasks on one worker pool of
+    /// `ctx.workers` threads with partition-granular readiness
+    /// (`max_concurrent` is ignored — the pool *is* the concurrency cap);
+    /// [`SchedulerKind::Scoped`] keeps the legacy two-level model where up
+    /// to `max_concurrent` pipelines each spawn their own morsel scope.
+    ///
+    /// [`SchedulerKind::Global`]: crate::context::SchedulerKind::Global
+    /// [`SchedulerKind::Scoped`]: crate::context::SchedulerKind::Scoped
     pub fn run_dag_with_deps(
         &mut self,
         pipelines: &[PipelinePlan],
         deps: &[crate::scheduler::NodeDeps],
         max_concurrent: usize,
     ) -> Result<crate::scheduler::SchedulerStats> {
-        crate::scheduler::run_pipelines_dag_with_deps(
-            pipelines,
-            deps,
-            &self.ctx,
-            &self.res,
-            max_concurrent,
-        )
+        match self.ctx.scheduler {
+            crate::context::SchedulerKind::Global => crate::global::run_pipelines_global(
+                pipelines,
+                deps,
+                &self.ctx,
+                &self.res,
+                self.ctx.workers,
+            ),
+            crate::context::SchedulerKind::Scoped => crate::scheduler::run_pipelines_dag_with_deps(
+                pipelines,
+                deps,
+                &self.ctx,
+                &self.res,
+                max_concurrent,
+            ),
+        }
     }
 
     /// Materialized chunks of a buffer (all partitions, partition order).

@@ -31,6 +31,22 @@ pub struct NodeDeps {
     pub writes: Vec<ResourceId>,
 }
 
+impl NodeDeps {
+    /// Partition-granular form: whole-buffer ids become one
+    /// `ResourceId::BufferPart` grain per hash partition (idempotent; see
+    /// [`crate::operators::expand_partition_grains`]). The planner records
+    /// this form in the `PhysicalPlan` IR so the global scheduler can gate
+    /// a consumer's partition-`p` tasks on the producer sealing `p` alone;
+    /// the scoped scheduler treats grains opaquely and derives the same
+    /// pipeline-level edges either way.
+    pub fn expand_partitions(&self, partitions: usize) -> NodeDeps {
+        NodeDeps {
+            reads: crate::operators::expand_partition_grains(&self.reads, partitions),
+            writes: crate::operators::expand_partition_grains(&self.writes, partitions),
+        }
+    }
+}
+
 /// What the scheduler observed while running a DAG; recorded into the
 /// metrics trace so case studies can see the extracted parallelism.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,15 +61,15 @@ pub struct SchedulerStats {
 
 /// The dependency DAG in adjacency form: `edges[p]` lists the nodes that
 /// must wait for `p`; `indegree[c]` counts how many nodes `c` waits for.
-struct Dag {
-    edges: Vec<Vec<usize>>,
-    indegree: Vec<usize>,
+pub(crate) struct Dag {
+    pub(crate) edges: Vec<Vec<usize>>,
+    pub(crate) indegree: Vec<usize>,
 }
 
 /// Build the DAG: node `c` depends on node `p` (p < runs-before > c) when
 /// `p` writes a resource `c` reads, or — defensively, the planner never
 /// emits this — when both write the same resource (ordered by index).
-fn build_dag(deps: &[NodeDeps]) -> Dag {
+pub(crate) fn build_dag(deps: &[NodeDeps]) -> Dag {
     let n = deps.len();
     let mut writer: HashMap<ResourceId, Vec<usize>> = HashMap::new();
     for (i, d) in deps.iter().enumerate() {
@@ -88,7 +104,7 @@ fn build_dag(deps: &[NodeDeps]) -> Dag {
 }
 
 /// Kahn's algorithm; `Error::Plan` if the dependencies contain a cycle.
-fn check_acyclic(dag: &Dag) -> Result<()> {
+pub(crate) fn check_acyclic(dag: &Dag) -> Result<()> {
     let n = dag.indegree.len();
     let mut indegree = dag.indegree.clone();
     let mut stack: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();

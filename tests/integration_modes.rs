@@ -9,7 +9,7 @@
 
 use proptest::prelude::*;
 use rpt_common::{DataType, Field, ScalarValue, Schema, Vector};
-use rpt_core::{random_left_deep, Database, JoinOrder, Mode, QueryOptions};
+use rpt_core::{random_left_deep, Database, JoinOrder, Mode, QueryOptions, SchedulerKind};
 use rpt_storage::Table;
 
 fn table(name: &str, cols: Vec<(&str, Vector)>) -> Table {
@@ -444,6 +444,61 @@ fn partitioned_merges_never_cover_the_full_result() {
         }
     }
     assert!(checked >= 2, "expected ≥2 spread-checked sink merges");
+}
+
+/// Global-vs-Scoped scheduler parity: every query in this file, under
+/// every mode, returns identical rows through the global worker pool and
+/// the legacy scoped scheduler, across the `partition_count × worker-count`
+/// matrix. With the default `threads == 1` both schedulers consume chunks
+/// in the same order, so equality is exact (floats included).
+#[test]
+fn global_and_scoped_schedulers_agree() {
+    for (db, sql) in scheduler_parity_cases() {
+        for mode in Mode::ALL {
+            let scoped = db
+                .query(
+                    &sql,
+                    &QueryOptions::new(mode).with_scheduler(SchedulerKind::Scoped),
+                )
+                .unwrap_or_else(|e| panic!("scoped {mode:?} failed on {sql}: {e}"));
+            for partition_count in [1usize, 2, 8] {
+                for workers in [1usize, 2, 8] {
+                    let global = db
+                        .query(
+                            &sql,
+                            &QueryOptions::new(mode)
+                                .with_scheduler(SchedulerKind::Global)
+                                .with_partition_count(partition_count)
+                                .with_workers(workers),
+                        )
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "global {mode:?} pc={partition_count} w={workers} \
+                                 failed on {sql}: {e}"
+                            )
+                        });
+                    assert_eq!(
+                        global.sorted_rows(),
+                        scoped.sorted_rows(),
+                        "{mode:?} pc={partition_count} w={workers} differs on {sql}"
+                    );
+                    // Deterministic work totals under any scheduling.
+                    assert_eq!(
+                        global.metrics.intermediate_tuples, scoped.metrics.intermediate_tuples,
+                        "{mode:?} pc={partition_count} w={workers} totals differ on {sql}"
+                    );
+                    // The global scheduler reported its task accounting.
+                    for stat in ["[scheduler] pipelines", "[scheduler] tasks"] {
+                        assert!(
+                            global.trace.iter().any(|(l, _)| l == stat),
+                            "{stat} missing from global trace: {:?}",
+                            global.trace
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// The transfer phase of a star query has independent per-relation

@@ -237,6 +237,8 @@ fn spill_works_multithreaded() {
                 .with_spill(32 * 1024, &dir),
         )
         .unwrap();
-    assert_eq!(reference.sorted_rows(), spilled_mt.sorted_rows());
+    // Multi-threaded morsel claiming reorders the chunks feeding q3's float
+    // SUM, so compare with the same ulp tolerance as the partitioned runs.
+    assert_rows_approx_eq(&reference.sorted_rows(), &spilled_mt.sorted_rows(), "q3-mt");
     std::fs::remove_dir_all(&dir).ok();
 }
