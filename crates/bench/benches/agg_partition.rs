@@ -1,0 +1,88 @@
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpt_core::{Database, Mode, QueryOptions};
+use rpt_workloads::Workload;
+
+/// Partitioned vs serial GROUP BY merges over the TPC-H tables.
+///
+/// With `partition_count == 1` every worker's group table funnels through
+/// the serial `Sink::combine` merge; with `partition_count == 8` workers
+/// radix-route rows by group-key hash and the merge runs one task per
+/// partition on the worker pool. Alongside wall time, a one-shot report
+/// prints the merge accounting (tasks, largest task's group count) —
+/// meaningful even on a single-core runner where the wall-clock win needs
+/// real parallel hardware.
+fn bench(c: &mut Criterion) {
+    let cfg = rpt_bench::Config::tiny();
+    let w: Workload = rpt_workloads::tpch(cfg.sf, cfg.seed);
+    let mut db = Database::new();
+    for t in &w.tables {
+        db.register_table(t.clone());
+    }
+
+    // A many-group aggregation (one group per order) and a few-group one
+    // (priorities) over a join — the two shapes GROUP BY merges take.
+    let queries: Vec<(&str, String)> = vec![
+        (
+            "orders_many_groups",
+            "SELECT l.l_orderkey, COUNT(*) AS c, SUM(l.l_quantity) AS q \
+             FROM lineitem l GROUP BY l.l_orderkey"
+                .to_string(),
+        ),
+        (
+            "join_priority_groups",
+            "SELECT o.o_orderpriority, COUNT(*) AS c, SUM(l.l_quantity) AS q \
+             FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey \
+             GROUP BY o.o_orderpriority"
+                .to_string(),
+        ),
+    ];
+
+    let opts = |partitions: usize| {
+        QueryOptions::new(Mode::RobustPredicateTransfer)
+            .with_partition_count(partitions)
+            .with_threads(cfg.threads)
+            .with_workers(4)
+    };
+
+    // One-shot merge accounting: partitioned GROUP BY merges run one task
+    // per partition and no task covers the full group set.
+    for (id, sql) in &queries {
+        let serial = db
+            .query(sql, &opts(1))
+            .unwrap_or_else(|e| panic!("{id}: {e}"));
+        let part = db
+            .query(sql, &opts(8))
+            .unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert_eq!(serial.sorted_rows(), part.sorted_rows(), "{id} parity");
+        let agg = |r: &rpt_core::QueryResult, suffix: &str| {
+            r.trace
+                .iter()
+                .find(|(l, _)| l.starts_with("[merge] aggregate") && l.ends_with(suffix))
+                .map(|&(_, n)| n)
+                .unwrap_or(0)
+        };
+        println!(
+            "[agg_partition] {id}: groups={} agg-merge-tasks={} agg-max-task-groups={}",
+            part.rows.len(),
+            agg(&part, "tasks"),
+            agg(&part, "max-task-rows"),
+        );
+    }
+
+    let mut g = c.benchmark_group("agg_partition");
+    g.sample_size(10);
+    for (name, partitions) in [("serial", 1usize), ("partitioned", 8)] {
+        let opts = opts(partitions);
+        g.bench_with_input(BenchmarkId::new("tpch_groupby", name), &opts, |b, opts| {
+            b.iter(|| {
+                for (_, sql) in &queries {
+                    black_box(db.query(sql, opts).expect("query"));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -685,6 +685,47 @@ mod tests {
         assert_eq!(total, 300);
     }
 
+    /// GROUP BY through the partitioned aggregate sink: identical groups
+    /// at every partition count, with per-partition merge tasks none of
+    /// which covers the full group set.
+    #[test]
+    fn group_by_partitioned_matches_serial() {
+        let db = db();
+        let sql = "SELECT COUNT(*) AS cnt, SUM(s.amount) AS amt, s.cust_id \
+                   FROM sales s, customer c WHERE s.cust_id = c.id GROUP BY s.cust_id";
+        let base = db
+            .query(
+                sql,
+                &QueryOptions::new(Mode::RobustPredicateTransfer).with_partition_count(1),
+            )
+            .unwrap();
+        assert_eq!(base.rows.len(), 10); // one group per cust_id
+        for partition_count in [2usize, 8] {
+            let r = db
+                .query(
+                    sql,
+                    &QueryOptions::new(Mode::RobustPredicateTransfer)
+                        .with_partition_count(partition_count),
+                )
+                .unwrap();
+            assert_eq!(r.sorted_rows(), base.sorted_rows(), "pc={partition_count}");
+            let agg_tasks = r
+                .trace
+                .iter()
+                .find(|(l, _)| l.starts_with("[merge] aggregate") && l.ends_with("tasks"))
+                .expect("aggregate merge trace entry")
+                .1;
+            assert_eq!(agg_tasks, partition_count as u64);
+            let agg_max = r
+                .trace
+                .iter()
+                .find(|(l, _)| l.starts_with("[merge] aggregate") && l.ends_with("max-task-rows"))
+                .expect("aggregate merge max entry")
+                .1;
+            assert!(agg_max < 10, "merge task covered {agg_max} of 10 groups");
+        }
+    }
+
     #[test]
     fn select_without_aggregate() {
         let db = db();

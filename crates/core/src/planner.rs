@@ -28,7 +28,10 @@ pub struct PhysicalPlan {
     /// **partition granularity**: buffer dependencies are expanded to one
     /// `ResourceId::BufferPart` grain per hash partition, so the global
     /// scheduler can start a consumer's partition-`p` tasks as soon as the
-    /// producer seals partition `p`. The scoped scheduler treats grains
+    /// producer seals partition `p`. This covers aggregate output buffers
+    /// too: a GROUP BY sink's merge seals one partition of its result per
+    /// merge task, so e.g. the final re-projection pipeline starts on the
+    /// first sealed group partition. The scoped scheduler treats grains
     /// opaquely and derives the same pipeline-level DAG.
     pub deps: Vec<NodeDeps>,
     pub num_buffers: usize,
@@ -860,6 +863,58 @@ pub fn order_aligned_with_tree(order: &[usize], tree: &JoinTree) -> bool {
 mod tests {
     use super::*;
     use rpt_graph::JoinTree;
+
+    /// The aggregate pipeline's output buffer is recorded at partition
+    /// grain in the `PhysicalPlan` IR, and its consumer (the reprojection
+    /// pipeline) reads the same grains — what lets the global scheduler
+    /// overlap GROUP BY merges with downstream consumption.
+    #[test]
+    fn aggregate_buffer_deps_are_partition_granular() {
+        use crate::engine::{Database, Mode, QueryOptions};
+        use rpt_common::{DataType, Field, Vector};
+        use rpt_exec::ResourceId;
+        use rpt_storage::Table;
+
+        let mut db = Database::new();
+        db.register_table(
+            Table::new(
+                "t",
+                rpt_common::Schema::new(vec![
+                    Field::new("g", DataType::Int64),
+                    Field::new("v", DataType::Int64),
+                ]),
+                vec![
+                    Vector::from_i64((0..100).map(|i| i % 7).collect()),
+                    Vector::from_i64((0..100).collect()),
+                ],
+            )
+            .unwrap(),
+        );
+        // SELECT order forces a reprojection pipeline after the aggregate.
+        let sql = "SELECT COUNT(*) AS c, t.g FROM t GROUP BY t.g";
+        let q = db.bind_sql(sql).unwrap();
+        let opts = QueryOptions::new(Mode::Baseline).with_partition_count(4);
+        let order = db.choose_order(&q, &opts).unwrap();
+        let plan = Planner::new(&q, &opts).compile(&order.plan()).unwrap();
+
+        assert_eq!(plan.partition_count, 4);
+        assert_eq!(plan.pipelines.len(), 2, "aggregate + reprojection");
+        let agg_buf = plan.output_buffer - 1; // aggregate buffer precedes output
+        let agg_grains: Vec<ResourceId> =
+            (0..4).map(|p| ResourceId::BufferPart(agg_buf, p)).collect();
+        for g in &agg_grains {
+            assert!(
+                plan.deps[0].writes.contains(g),
+                "aggregate writes missing grain {g:?}: {:?}",
+                plan.deps[0].writes
+            );
+            assert!(
+                plan.deps[1].reads.contains(g),
+                "reprojection reads missing grain {g:?}: {:?}",
+                plan.deps[1].reads
+            );
+        }
+    }
 
     #[test]
     fn alignment_check() {

@@ -1,8 +1,16 @@
 //! Hash aggregation sink state (group-by + aggregate functions).
+//!
+//! [`AggregateState`] is one thread's (or one hash partition's) group
+//! table. The table is keyed by the *vectorized* group-key hash — the same
+//! per-row hash the partitioned [`crate::operators::AggregateSink`]
+//! radix-routes on, computed once per chunk — with encoded-key collision
+//! chains, so the hot loop never re-hashes per row and the encoded key
+//! bytes are cloned only when a group is first seen (a per-row
+//! `key_buf.clone()` used to dominate the allocation profile).
 
 use crate::expr::{AggExpr, AggFunc};
+use crate::hash_table::IdentityMap;
 use rpt_common::{DataChunk, Error, Result, ScalarValue, Schema, Vector};
-use std::collections::HashMap;
 
 /// Running state of one aggregate in one group.
 #[derive(Debug, Clone)]
@@ -13,6 +21,14 @@ pub enum AggState {
     Min(Option<ScalarValue>),
     Max(Option<ScalarValue>),
     Avg { sum: f64, count: i64 },
+}
+
+/// `a + b` with `i64` overflow surfaced as [`Error::Exec`] instead of a
+/// debug panic / silent release wrap (`what` names the aggregate).
+#[inline]
+fn checked_i64_add(a: i64, b: i64, what: &str) -> Result<i64> {
+    a.checked_add(b)
+        .ok_or_else(|| Error::Exec(format!("{what} overflowed i64 (adding {b} to {a})")))
 }
 
 impl AggState {
@@ -32,21 +48,21 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, value: Option<&ScalarValue>) {
+    fn update(&mut self, value: Option<&ScalarValue>) -> Result<()> {
         match self {
             AggState::Count(c) => {
                 // COUNT(*) gets None input and counts every row; COUNT(x)
                 // gets Some and skips NULLs.
                 match value {
-                    None => *c += 1,
-                    Some(v) if !v.is_null() => *c += 1,
+                    None => *c = checked_i64_add(*c, 1, "COUNT")?,
+                    Some(v) if !v.is_null() => *c = checked_i64_add(*c, 1, "COUNT")?,
                     _ => {}
                 }
             }
             AggState::SumI(s) => {
                 if let Some(v) = value {
                     if let Some(x) = v.as_i64() {
-                        *s += x;
+                        *s = checked_i64_add(*s, x, "SUM")?;
                     }
                 }
             }
@@ -83,17 +99,18 @@ impl AggState {
                 if let Some(v) = value {
                     if let Some(x) = v.as_f64() {
                         *sum += x;
-                        *count += 1;
+                        *count = checked_i64_add(*count, 1, "AVG count")?;
                     }
                 }
             }
         }
+        Ok(())
     }
 
-    fn merge(&mut self, other: &AggState) {
+    fn merge(&mut self, other: &AggState) -> Result<()> {
         match (self, other) {
-            (AggState::Count(a), AggState::Count(b)) => *a += b,
-            (AggState::SumI(a), AggState::SumI(b)) => *a += b,
+            (AggState::Count(a), AggState::Count(b)) => *a = checked_i64_add(*a, *b, "COUNT")?,
+            (AggState::SumI(a), AggState::SumI(b)) => *a = checked_i64_add(*a, *b, "SUM")?,
             (AggState::SumF(a), AggState::SumF(b)) => *a += b,
             (AggState::Min(a), AggState::Min(b)) => {
                 if let Some(bv) = b {
@@ -115,10 +132,11 @@ impl AggState {
             }
             (AggState::Avg { sum: a, count: ac }, AggState::Avg { sum: b, count: bc }) => {
                 *a += b;
-                *ac += bc;
+                *ac = checked_i64_add(*ac, *bc, "AVG count")?;
             }
             _ => unreachable!("merging mismatched aggregate states"),
         }
+        Ok(())
     }
 
     fn finalize(&self) -> ScalarValue {
@@ -165,15 +183,31 @@ fn encode_key(values: &[ScalarValue], out: &mut Vec<u8>) {
     }
 }
 
-/// One group's key values and running aggregate states.
-type GroupEntry = (Vec<ScalarValue>, Vec<AggState>);
+/// One group: its encoded key, decoded key values, running aggregate
+/// states, and the next entry in this hash bucket's collision chain.
+struct Group {
+    hash: u64,
+    key: Vec<u8>,
+    vals: Vec<ScalarValue>,
+    states: Vec<AggState>,
+    next: Option<usize>,
+}
 
-/// Thread-local hash-aggregate state.
+/// Thread-local (or per-partition) hash-aggregate state.
+///
+/// The group table is chained: `heads` maps a group-key hash to the first
+/// entry of its collision chain in `groups`. Lookups compare the encoded
+/// key bytes only within one chain, and the key is cloned into the table
+/// only when a *new* group is inserted (clone-on-miss — `key_allocs`
+/// tracks exactly how many key buffers were ever allocated, which tests
+/// pin to the distinct-group count).
 pub struct AggregateState {
     group_cols: Vec<usize>,
     aggs: Vec<AggExpr>,
     float_sums: Vec<bool>,
-    groups: HashMap<Vec<u8>, GroupEntry>,
+    heads: IdentityMap<usize>,
+    groups: Vec<Group>,
+    key_allocs: u64,
 }
 
 impl AggregateState {
@@ -197,68 +231,147 @@ impl AggregateState {
             group_cols,
             aggs,
             float_sums,
-            groups: HashMap::new(),
+            heads: IdentityMap::default(),
+            groups: Vec::new(),
+            key_allocs: 0,
         })
     }
 
-    /// Consume a chunk (Sink).
+    /// Number of distinct groups seen so far.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// How many encoded group keys were cloned into the table — exactly
+    /// one per distinct group (the allocation-sensitivity probe: the old
+    /// implementation cloned the key buffer once per *input row*).
+    pub fn key_allocs(&self) -> u64 {
+        self.key_allocs
+    }
+
+    /// Evaluate the aggregate input expressions once for a whole chunk.
+    pub fn eval_inputs(&self, chunk: &DataChunk) -> Result<Vec<Option<Vector>>> {
+        self.aggs
+            .iter()
+            .map(|a| a.input.as_ref().map(|e| e.eval(chunk)).transpose())
+            .collect()
+    }
+
+    /// Vectorized group-key hashes over the chunk's logical rows — the
+    /// same hash the partitioned sink radix-routes on.
+    pub fn group_hashes(&self, chunk: &DataChunk) -> Vec<u64> {
+        if self.group_cols.is_empty() {
+            vec![0; chunk.num_rows()]
+        } else {
+            crate::operators::key_hashes(chunk, &self.group_cols)
+        }
+    }
+
+    /// Consume a chunk (Sink): evaluate inputs + hashes once, then fold
+    /// every logical row in.
     pub fn update(&mut self, chunk: &DataChunk) -> Result<()> {
         let n = chunk.num_rows();
         if n == 0 {
             return Ok(());
         }
-        // Evaluate aggregate inputs once per chunk.
-        let inputs: Vec<Option<Vector>> = self
-            .aggs
-            .iter()
-            .map(|a| a.input.as_ref().map(|e| e.eval(chunk)).transpose())
-            .collect::<Result<_>>()?;
+        let inputs = self.eval_inputs(chunk)?;
+        let hashes = self.group_hashes(chunk);
+        self.update_rows(chunk, &inputs, 0..n, &hashes)
+    }
+
+    /// Walk the collision chain of `hash` for an entry with exactly these
+    /// encoded key bytes — the one probe both the build path
+    /// ([`Self::update_rows`]) and the merge path ([`Self::merge`]) use.
+    fn find_group(&self, hash: u64, key: &[u8]) -> Option<usize> {
+        let mut at = self.heads.get(&hash).copied();
+        while let Some(i) = at {
+            if self.groups[i].key == key {
+                return Some(i);
+            }
+            at = self.groups[i].next;
+        }
+        None
+    }
+
+    /// Fold the given logical rows into the group table. `inputs` are the
+    /// chunk-wide aggregate input vectors (from [`Self::eval_inputs`]) and
+    /// `hashes` the chunk-wide group-key hashes, both indexed by logical
+    /// row — the partitioned sink computes them once per chunk and calls
+    /// this once per partition with that partition's row subset.
+    pub fn update_rows(
+        &mut self,
+        chunk: &DataChunk,
+        inputs: &[Option<Vector>],
+        rows: impl IntoIterator<Item = usize>,
+        hashes: &[u64],
+    ) -> Result<()> {
         let mut key_buf = Vec::new();
-        let mut key_vals = Vec::with_capacity(self.group_cols.len());
-        for row in 0..n {
+        let mut key_vals: Vec<ScalarValue> = Vec::with_capacity(self.group_cols.len());
+        for row in rows {
             key_vals.clear();
             for &g in &self.group_cols {
                 key_vals.push(chunk.value(g, row));
             }
             encode_key(&key_vals, &mut key_buf);
-            let entry = self.groups.entry(key_buf.clone()).or_insert_with(|| {
-                let states = self
-                    .aggs
-                    .iter()
-                    .zip(self.float_sums.iter())
-                    .map(|(a, &f)| AggState::new(a.func, f))
-                    .collect();
-                (key_vals.clone(), states)
-            });
-            for (i, state) in entry.1.iter_mut().enumerate() {
+            let hash = hashes[row];
+            // Probe the chain for this hash; clone the key only on a miss.
+            let idx = match self.find_group(hash, &key_buf) {
+                Some(i) => i,
+                None => {
+                    let states = self
+                        .aggs
+                        .iter()
+                        .zip(self.float_sums.iter())
+                        .map(|(a, &f)| AggState::new(a.func, f))
+                        .collect();
+                    let idx = self.groups.len();
+                    self.key_allocs += 1;
+                    self.groups.push(Group {
+                        hash,
+                        key: key_buf.clone(),
+                        vals: key_vals.clone(),
+                        states,
+                        next: self.heads.insert(hash, idx),
+                    });
+                    idx
+                }
+            };
+            for (i, state) in self.groups[idx].states.iter_mut().enumerate() {
                 let v = inputs[i].as_ref().map(|vec| vec.get(row));
-                state.update(v.as_ref());
+                state.update(v.as_ref())?;
             }
         }
         Ok(())
     }
 
-    /// Merge another thread's state (Combine).
-    pub fn merge(&mut self, other: AggregateState) {
-        for (key, (vals, states)) in other.groups {
-            match self.groups.entry(key) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    for (a, b) in e.get_mut().1.iter_mut().zip(states.iter()) {
-                        a.merge(b);
+    /// Merge another thread's state for the same partition (Combine).
+    /// Moved-in groups reuse the other state's key/value allocations.
+    pub fn merge(&mut self, other: AggregateState) -> Result<()> {
+        for group in other.groups {
+            match self.find_group(group.hash, &group.key) {
+                Some(i) => {
+                    for (a, b) in self.groups[i].states.iter_mut().zip(group.states.iter()) {
+                        a.merge(b)?;
                     }
                 }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert((vals, states));
+                None => {
+                    let idx = self.groups.len();
+                    self.groups.push(Group {
+                        next: self.heads.insert(group.hash, idx),
+                        ..group
+                    });
                 }
             }
         }
+        Ok(())
     }
 
-    /// Produce the output chunk (Finalize). Groups are sorted by encoded key
-    /// for determinism.
+    /// Produce the output chunk (Finalize). Groups are sorted by encoded
+    /// key for determinism (within one partition; partitions are published
+    /// in partition-index order).
     pub fn finalize(self, output_schema: &Schema) -> Result<DataChunk> {
-        let mut entries: Vec<(Vec<u8>, GroupEntry)> = self.groups.into_iter().collect();
-        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut entries: Vec<Group> = self.groups;
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
         let mut columns: Vec<Vector> = output_schema
             .fields
             .iter()
@@ -272,11 +385,11 @@ impl AggregateState {
                 ng + self.aggs.len()
             )));
         }
-        for (_, (key_vals, states)) in &entries {
-            for (i, v) in key_vals.iter().enumerate() {
+        for group in &entries {
+            for (i, v) in group.vals.iter().enumerate() {
                 columns[i].push(v)?;
             }
-            for (i, s) in states.iter().enumerate() {
+            for (i, s) in group.states.iter().enumerate() {
                 columns[ng + i].push(&s.finalize())?;
             }
         }
@@ -374,7 +487,7 @@ mod tests {
         c2.set_selection(vec![2, 3, 4]); // group 2 rows
         a.update(&c1).unwrap();
         b.update(&c2).unwrap();
-        a.merge(b);
+        a.merge(b).unwrap();
         let schema = Schema::new(vec![
             Field::new("g", DataType::Int64),
             Field::new("c", DataType::Int64),
@@ -435,5 +548,65 @@ mod tests {
         let out = st.finalize(&schema).unwrap();
         assert_eq!(out.value(0, 0), ScalarValue::Int64(1));
         assert_eq!(out.value(1, 0), ScalarValue::Int64(2));
+    }
+
+    /// Allocation sensitivity: the encoded group key is cloned into the
+    /// table exactly once per *distinct group*, never per input row (the
+    /// old `groups.entry(key_buf.clone())` cloned on every row).
+    #[test]
+    fn key_cloned_only_on_first_sight_of_a_group() {
+        let types = [DataType::Int64, DataType::Int64, DataType::Float64];
+        let mut st = AggregateState::new(vec![0], vec![AggExpr::count_star("c")], &types).unwrap();
+        for _ in 0..100 {
+            st.update(&chunk()).unwrap(); // 5 rows, 2 distinct groups
+        }
+        assert_eq!(st.num_groups(), 2);
+        assert_eq!(st.key_allocs(), 2, "500 rows must allocate only 2 keys");
+    }
+
+    /// `i64` SUM overflow surfaces as `Error::Exec` instead of panicking in
+    /// debug or silently wrapping in release.
+    #[test]
+    fn sum_overflow_is_an_exec_error() {
+        let types = [DataType::Int64];
+        let mut st = AggregateState::new(vec![], vec![agg(AggFunc::Sum, 0, "s")], &types).unwrap();
+        st.update(&DataChunk::new(vec![Vector::from_i64(vec![i64::MAX])]))
+            .unwrap();
+        let err = st
+            .update(&DataChunk::new(vec![Vector::from_i64(vec![1])]))
+            .unwrap_err();
+        assert!(matches!(err, Error::Exec(_)), "got {err}");
+        assert!(err.to_string().contains("SUM"), "got {err}");
+    }
+
+    /// Overflow across a thread-state merge is caught too.
+    #[test]
+    fn sum_overflow_in_merge_is_an_exec_error() {
+        let types = [DataType::Int64];
+        let mk = || AggregateState::new(vec![], vec![agg(AggFunc::Sum, 0, "s")], &types).unwrap();
+        let mut a = mk();
+        let mut b = mk();
+        a.update(&DataChunk::new(vec![Vector::from_i64(vec![i64::MAX])]))
+            .unwrap();
+        b.update(&DataChunk::new(vec![Vector::from_i64(vec![i64::MAX])]))
+            .unwrap();
+        let err = a.merge(b).unwrap_err();
+        assert!(matches!(err, Error::Exec(_)), "got {err}");
+    }
+
+    /// Values *below* the overflow threshold still sum exactly.
+    #[test]
+    fn sum_near_i64_max_is_exact() {
+        let types = [DataType::Int64];
+        let mut st = AggregateState::new(vec![], vec![agg(AggFunc::Sum, 0, "s")], &types).unwrap();
+        st.update(&DataChunk::new(vec![Vector::from_i64(vec![
+            i64::MAX - 10,
+            7,
+            3,
+        ])]))
+        .unwrap();
+        let schema = Schema::new(vec![Field::new("s", DataType::Int64)]);
+        let out = st.finalize(&schema).unwrap();
+        assert_eq!(out.value(0, 0), ScalarValue::Int64(i64::MAX));
     }
 }

@@ -16,6 +16,9 @@
 //! consumer's morsel tasks for partition `p` are enqueued the moment the
 //! producer's merge task seals `p`, so producer merge and consumer probe
 //! overlap instead of barriering (`sched_overlap_tasks` counts these).
+//! This is sink-agnostic: buffer, hash-build, and aggregate (GROUP BY)
+//! merges all run as `Merge { pipe, part }` tasks, and an aggregate's
+//! sealed group partitions feed consumers exactly like collect buffers.
 //!
 //! Determinism: with `ctx.threads == 1` (the paper's default) each
 //! pipeline runs as an *ordered chain* — one morsel task at a time,

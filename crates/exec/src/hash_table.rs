@@ -28,7 +28,10 @@ impl Hasher for IdentityHasher {
     }
 }
 
-type IdentityMap<V> = HashMap<u64, V, BuildHasherDefault<IdentityHasher>>;
+/// `u64 → V` map keyed by an already-mixed hash (shared with the
+/// aggregation group table, whose group-key hashes are pre-avalanched the
+/// same way).
+pub type IdentityMap<V> = HashMap<u64, V, BuildHasherDefault<IdentityHasher>>;
 
 /// A materialized build side: all build rows (flattened) plus a hash → row
 /// index multimap on the key columns.

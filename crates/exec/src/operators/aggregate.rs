@@ -1,30 +1,80 @@
-//! Hash-aggregation sink; the merged result is published as a one-chunk
-//! buffer.
+//! Hash-aggregation sink; the merged result is published as a buffer.
+//!
+//! With `partition_count > 1` and at least one group column, every worker
+//! keeps one [`AggregateState`] *per hash partition* and radix-routes each
+//! input row by its group-key hash (computed once per chunk, vectorized,
+//! and reused as the group table's hash — see
+//! [`crate::aggregate::AggregateState`]). The driver's merge then runs
+//! one task per partition ([`AggregateMerger`]): task `p` merges every
+//! worker's partition-`p` state, finalizes it, and seals that buffer
+//! partition — GROUP BY merges never re-serialize over the full group set,
+//! and a downstream consumer of the aggregate buffer becomes runnable the
+//! moment its partition seals.
+//!
+//! Global (no-group) aggregates stay single-partition: their "merge" is a
+//! constant-size fold, and the zero-row → one-row output contract needs a
+//! single finalize point.
 
-use super::{downcast_sink, ResourceId, Resources, Sink, SinkFactory};
+use super::{
+    downcast_sink, PartitionMerger, PartitionSlots, ResourceId, Resources, Sink, SinkFactory,
+};
 use crate::aggregate::AggregateState;
 use crate::context::ExecContext;
 use crate::expr::AggExpr;
-use rpt_common::{DataChunk, DataType, Result, Schema};
+use rpt_common::{DataChunk, DataType, Error, Partitioner, Result, Schema};
 use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 pub struct AggregateSink {
     buf_id: usize,
-    state: AggregateState,
+    /// One group table per hash partition (a single entry when
+    /// unpartitioned or group-less).
+    parts: Vec<AggregateState>,
+    partitioner: Partitioner,
     output_schema: Schema,
     rows: u64,
 }
 
+impl AggregateSink {
+    /// Number of distinct groups across this worker's partitions.
+    pub fn num_groups(&self) -> usize {
+        self.parts.iter().map(AggregateState::num_groups).sum()
+    }
+}
+
 impl Sink for AggregateSink {
     fn sink(&mut self, chunk: DataChunk, _ctx: &ExecContext) -> Result<()> {
-        self.rows += chunk.num_rows() as u64;
-        self.state.update(&chunk)
+        let n = chunk.num_rows();
+        if n == 0 {
+            return Ok(());
+        }
+        self.rows += n as u64;
+        // Aggregate inputs and group-key hashes are evaluated once per
+        // chunk; the hash doubles as the radix routing key and the group
+        // table's bucket hash.
+        let inputs = self.parts[0].eval_inputs(&chunk)?;
+        let hashes = self.parts[0].group_hashes(&chunk);
+        if self.partitioner.is_single() {
+            return self.parts[0].update_rows(&chunk, &inputs, 0..n, &hashes);
+        }
+        let mut rows_by_part: Vec<Vec<usize>> = vec![Vec::new(); self.partitioner.count()];
+        for (row, &h) in hashes.iter().enumerate() {
+            rows_by_part[self.partitioner.of_hash(h)].push(row);
+        }
+        for (p, rows) in rows_by_part.into_iter().enumerate() {
+            if !rows.is_empty() {
+                self.parts[p].update_rows(&chunk, &inputs, rows, &hashes)?;
+            }
+        }
+        Ok(())
     }
 
     fn combine(&mut self, other: Box<dyn Sink>) -> Result<()> {
         let other = downcast_sink::<AggregateSink>(other)?;
         self.rows += other.rows;
-        self.state.merge(other.state);
+        for (mine, theirs) in self.parts.iter_mut().zip(other.parts) {
+            mine.merge(theirs)?;
+        }
         Ok(())
     }
 
@@ -34,8 +84,23 @@ impl Sink for AggregateSink {
 
     fn finalize(self: Box<Self>, res: &Resources) -> Result<()> {
         let this = *self;
-        let out = this.state.finalize(&this.output_schema)?;
-        res.publish_buffer(this.buf_id, vec![out])
+        if this.parts.len() == 1 {
+            let mut parts = this.parts;
+            let out = parts.remove(0).finalize(&this.output_schema)?;
+            return res.publish_buffer(this.buf_id, vec![out]);
+        }
+        // Serial finalize of a partitioned sink (direct harness use; the
+        // pipeline drivers go through the merger instead).
+        for (p, state) in this.parts.into_iter().enumerate() {
+            let out = state.finalize(&this.output_schema)?;
+            let chunks = if out.num_rows() == 0 {
+                vec![]
+            } else {
+                vec![out]
+            };
+            res.publish_buffer_partition(this.buf_id, p, chunks)?;
+        }
+        Ok(())
     }
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
@@ -67,17 +132,30 @@ impl AggregateFactory {
             output_schema,
         }
     }
+
+    fn state(&self) -> Result<AggregateState> {
+        AggregateState::new(
+            self.group_cols.clone(),
+            self.aggs.clone(),
+            &self.input_types,
+        )
+    }
 }
 
 impl SinkFactory for AggregateFactory {
-    fn make(&self, _ctx: &ExecContext) -> Result<Box<dyn Sink>> {
+    fn make(&self, ctx: &ExecContext) -> Result<Box<dyn Sink>> {
+        let partitioner = if self.group_cols.is_empty() {
+            Partitioner::new(1)
+        } else {
+            Partitioner::new(ctx.partition_count)
+        };
+        let parts = (0..partitioner.count())
+            .map(|_| self.state())
+            .collect::<Result<Vec<_>>>()?;
         Ok(Box::new(AggregateSink {
             buf_id: self.buf_id,
-            state: AggregateState::new(
-                self.group_cols.clone(),
-                self.aggs.clone(),
-                &self.input_types,
-            )?,
+            parts,
+            partitioner,
             output_schema: self.output_schema.clone(),
             rows: 0,
         }))
@@ -85,5 +163,85 @@ impl SinkFactory for AggregateFactory {
 
     fn writes(&self) -> Vec<ResourceId> {
         vec![ResourceId::Buffer(self.buf_id)]
+    }
+
+    fn partitioned_merge(&self, ctx: &ExecContext) -> bool {
+        !self.group_cols.is_empty() && ctx.partition_count > 1
+    }
+
+    fn make_merger(
+        &self,
+        states: Vec<Box<dyn Sink>>,
+        _ctx: &ExecContext,
+    ) -> Result<Box<dyn PartitionMerger>> {
+        let mut workers = Vec::with_capacity(states.len());
+        for s in states {
+            workers.push(*downcast_sink::<AggregateSink>(s)?);
+        }
+        // The states' own layout is authoritative (the factory normalized
+        // `ctx.partition_count` when it built them).
+        let partitions = workers
+            .first()
+            .map(|w| w.parts.len())
+            .ok_or_else(|| Error::Exec("partitioned merge without sink states".into()))?;
+        let slots =
+            PartitionSlots::transpose(workers.into_iter().map(|w| w.parts).collect(), partitions);
+        Ok(Box::new(AggregateMerger {
+            buf_id: self.buf_id,
+            output_schema: self.output_schema.clone(),
+            partitions,
+            slots,
+            max_task_rows: AtomicU64::new(0),
+        }))
+    }
+}
+
+/// Merge plan of a partitioned [`AggregateSink`]: task `p` merges every
+/// worker's partition-`p` group table, finalizes it (groups sorted by
+/// encoded key within the partition), and seals buffer partition `p` —
+/// making any consumer of that partition runnable immediately. `finish`
+/// has nothing left to publish.
+struct AggregateMerger {
+    buf_id: usize,
+    output_schema: Schema,
+    partitions: usize,
+    slots: PartitionSlots<AggregateState>,
+    max_task_rows: AtomicU64,
+}
+
+impl PartitionMerger for AggregateMerger {
+    fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    fn merge_partition(&self, part: usize, _ctx: &ExecContext, res: &Resources) -> Result<()> {
+        let mut states = self.slots.take(part).into_iter();
+        let mut merged = states
+            .next()
+            .ok_or_else(|| Error::Exec("aggregate merge without worker states".into()))?;
+        for s in states {
+            merged.merge(s)?;
+        }
+        // Report the *merged* (distinct) group count this task sealed:
+        // directly comparable with the result's total group count, so the
+        // no-full-result merge assertion holds regardless of how many
+        // worker states repeated the same groups.
+        self.max_task_rows
+            .fetch_max(merged.num_groups() as u64, Ordering::Relaxed);
+        let out = merged.finalize(&self.output_schema)?;
+        let chunks = if out.num_rows() == 0 {
+            vec![]
+        } else {
+            vec![out]
+        };
+        res.publish_buffer_partition(self.buf_id, part, chunks)
+    }
+
+    fn finish(&self, _ctx: &ExecContext, _res: &Resources) -> Result<()> {
+        Ok(())
+    }
+
+    fn max_task_rows(&self) -> u64 {
+        self.max_task_rows.load(Ordering::Relaxed)
     }
 }

@@ -27,7 +27,7 @@ pub mod project;
 pub mod scan;
 pub mod semi_probe;
 
-pub use aggregate::AggregateSink;
+pub use aggregate::{AggregateFactory, AggregateSink};
 pub use buffer::BufferSink;
 pub use create_bf::{BloomBuild, BloomSink};
 pub use filter::Filter;
@@ -333,7 +333,9 @@ pub trait Sink: Send + Any {
 }
 
 /// Builds one [`Sink`] per worker thread and declares what the pipeline
-/// publishes.
+/// publishes. All three materializing sinks (buffer/CreateBF, hash build,
+/// aggregate) opt into the partitioned merge path when
+/// `ctx.partition_count > 1`.
 pub trait SinkFactory: Send + Sync {
     fn make(&self, ctx: &ExecContext) -> Result<Box<dyn Sink>>;
 

@@ -789,10 +789,106 @@ mod tests {
             sink_schema: two_col_schema(),
         };
         exec.run(&[p]).unwrap();
-        let chunks = exec.buffer(0).unwrap();
-        assert_eq!(chunks[0].num_rows(), 2);
-        assert_eq!(chunks[0].value(1, 0), ScalarValue::Int64(30));
-        assert_eq!(chunks[0].value(1, 1), ScalarValue::Int64(120));
+        // Chunk layout depends on the partition count; compare row sets.
+        let mut rows: Vec<(i64, i64)> = exec
+            .buffer(0)
+            .unwrap()
+            .iter()
+            .flat_map(|c| {
+                c.rows()
+                    .into_iter()
+                    .map(|r| (r[0].as_i64().unwrap(), r[1].as_i64().unwrap()))
+            })
+            .collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![(1, 30), (2, 120)]);
+    }
+
+    /// The partitioned aggregate sink produces the same groups as the
+    /// unpartitioned path, each group sealed in the partition its key
+    /// hashes to, and no merge task covers the full group set.
+    #[test]
+    fn partitioned_aggregate_matches_unpartitioned() {
+        let run = |partitions: usize, threads: usize| {
+            let t = table(
+                "t",
+                (0..5000).map(|i| i % 97).collect(),
+                (0..5000).collect(),
+            );
+            let ctx = ExecContext::new()
+                .with_threads(threads)
+                .with_partitions(partitions);
+            let mut exec = Executor::new(ctx, 1, 0, 0);
+            let p = PipelinePlan {
+                label: "agg".into(),
+                source: SourceSpec::Table(t),
+                ops: vec![],
+                sink: SinkSpec::Aggregate {
+                    buf_id: 0,
+                    group_cols: vec![0],
+                    aggs: vec![
+                        AggExpr {
+                            func: crate::expr::AggFunc::Sum,
+                            input: Some(Expr::col(1)),
+                            alias: "s".into(),
+                        },
+                        AggExpr::count_star("c"),
+                    ],
+                    input_types: vec![DataType::Int64, DataType::Int64],
+                    output_schema: Schema::new(vec![
+                        Field::new("id", DataType::Int64),
+                        Field::new("s", DataType::Int64),
+                        Field::new("c", DataType::Int64),
+                    ]),
+                },
+                intermediate: false,
+                sink_schema: two_col_schema(),
+            };
+            exec.run(&[p]).unwrap();
+            let mut rows: Vec<(i64, i64, i64)> = exec
+                .buffer(0)
+                .unwrap()
+                .iter()
+                .flat_map(|c| {
+                    c.rows().into_iter().map(|r| {
+                        (
+                            r[0].as_i64().unwrap(),
+                            r[1].as_i64().unwrap(),
+                            r[2].as_i64().unwrap(),
+                        )
+                    })
+                })
+                .collect();
+            rows.sort_unstable();
+            (rows, exec)
+        };
+        let (base, _) = run(1, 1);
+        assert_eq!(base.len(), 97);
+        for (partitions, threads) in [(2, 1), (8, 1), (8, 4)] {
+            let (rows, exec) = run(partitions, threads);
+            assert_eq!(rows, base, "partitions={partitions} threads={threads}");
+            // Groups sit in the partition their key hashes to.
+            let partitioner = rpt_common::Partitioner::new(partitions);
+            for p in 0..partitions {
+                for chunk in exec.buffer_partition(0, p).unwrap().iter() {
+                    for row in chunk.rows() {
+                        let key = row[0].as_i64().unwrap();
+                        assert_eq!(
+                            partitioner.of_hash(rpt_common::hash::hash_i64(key)),
+                            p,
+                            "group {key} in wrong partition"
+                        );
+                    }
+                }
+            }
+            // One merge task per partition; none saw all 97 groups.
+            let s = exec.ctx.metrics.summary();
+            assert_eq!(s.merge_tasks, partitions as u64);
+            assert!(
+                s.merge_max_task_rows < 97,
+                "a merge task covered the full group set: {s:?}"
+            );
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use rpt_common::{DataChunk, DataType, Error, Field, Result, ScalarValue, Schema, Vector};
 use rpt_exec::operators::buffer::BufferSinkFactory;
-use rpt_exec::operators::BufferScan;
+use rpt_exec::operators::{AggregateFactory, BufferScan};
 use rpt_exec::pipeline::run_physical;
 use rpt_exec::{
     run_physical_global, ExecContext, Executor, NodeDeps, OpSpec, Operator, PartitionMerger,
@@ -342,6 +342,158 @@ fn consumer_partition_task_overlaps_producer_merge() {
     // Both synthetic partitions flowed through the consumer.
     let rows: usize = res.buffer(1).unwrap().iter().map(|c| c.num_rows()).sum();
     assert_eq!(rows, 20);
+}
+
+// ------------------------------------- aggregate rendezvous (real merger)
+
+/// Delegates to the *real* [`AggregateFactory`] but wraps its merger so
+/// the partition-1 merge blocks until the consumer signals — the
+/// aggregate-path twin of [`RendezvousMerger`], proving a consumer of an
+/// aggregate buffer runs while the producer is still merging groups.
+struct GatedAggFactory {
+    inner: AggregateFactory,
+    gate: Gate,
+}
+
+struct GatedMerger {
+    inner: Box<dyn PartitionMerger>,
+    gate: Gate,
+}
+
+impl SinkFactory for GatedAggFactory {
+    fn make(&self, ctx: &ExecContext) -> Result<Box<dyn Sink>> {
+        self.inner.make(ctx)
+    }
+
+    fn writes(&self) -> Vec<ResourceId> {
+        self.inner.writes()
+    }
+
+    fn partitioned_merge(&self, ctx: &ExecContext) -> bool {
+        self.inner.partitioned_merge(ctx)
+    }
+
+    fn make_merger(
+        &self,
+        states: Vec<Box<dyn Sink>>,
+        ctx: &ExecContext,
+    ) -> Result<Box<dyn PartitionMerger>> {
+        Ok(Box::new(GatedMerger {
+            inner: self.inner.make_merger(states, ctx)?,
+            gate: self.gate.clone(),
+        }))
+    }
+}
+
+impl PartitionMerger for GatedMerger {
+    fn partitions(&self) -> usize {
+        self.inner.partitions()
+    }
+
+    fn merge_partition(&self, part: usize, ctx: &ExecContext, res: &Resources) -> Result<()> {
+        if part == 1 {
+            let (lock, cv) = &*self.gate;
+            let mut started = lock.lock().unwrap();
+            let deadline = Duration::from_secs(10);
+            while !*started {
+                let (guard, timeout) = cv.wait_timeout(started, deadline).unwrap();
+                started = guard;
+                if timeout.timed_out() {
+                    return Err(Error::Exec(
+                        "aggregate rendezvous timed out: consumer never started on the \
+                         sealed partition while the aggregate merge was still running"
+                            .into(),
+                    ));
+                }
+            }
+        }
+        self.inner.merge_partition(part, ctx, res)
+    }
+
+    fn finish(&self, ctx: &ExecContext, res: &Resources) -> Result<()> {
+        self.inner.finish(ctx, res)
+    }
+
+    fn max_task_rows(&self) -> u64 {
+        self.inner.max_task_rows()
+    }
+}
+
+/// A downstream consumer of an *aggregate* buffer becomes runnable the
+/// moment its partition seals: with the partition-1 group merge gated on
+/// the consumer having started, the run can only complete via overlap —
+/// and `overlap_tasks` records it.
+#[test]
+fn aggregate_consumer_overlaps_group_merge() {
+    use rpt_common::hash::hash_i64;
+    use rpt_common::Partitioner;
+    use rpt_exec::AggExpr;
+
+    // Keys for both of the two hash partitions, so each partition seals a
+    // non-empty group chunk.
+    let partitioner = Partitioner::new(2);
+    let mut keys: Vec<i64> = Vec::new();
+    for part in 0..2 {
+        keys.extend(
+            (0..1000)
+                .filter(|&k| partitioner.of_hash(hash_i64(k)) == part)
+                .take(5),
+        );
+    }
+    let n = keys.len();
+    assert!(n >= 10, "need keys in both partitions");
+
+    let gate: Gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let ctx = ExecContext::new().with_partitions(2);
+    let res = Resources::with_partitions(2, 0, 0, 2);
+    let out_schema = Schema::new(vec![
+        Field::new("id", DataType::Int64),
+        Field::new("c", DataType::Int64),
+    ]);
+
+    let producer = PhysicalPipeline {
+        label: "aggregate".into(),
+        source: SourceSpec::Table(table("src", keys.clone(), vec![0; n])).lower(),
+        ops: vec![],
+        sink: Box::new(GatedAggFactory {
+            inner: AggregateFactory::new(
+                0,
+                vec![0],
+                vec![AggExpr::count_star("c")],
+                vec![DataType::Int64, DataType::Int64],
+                out_schema.clone(),
+            ),
+            gate: gate.clone(),
+        }),
+        intermediate: true,
+    };
+    let consumer = PhysicalPipeline {
+        label: "consume-groups".into(),
+        source: Box::new(BufferScan::new(0)),
+        ops: vec![Box::new(SignalStarted { gate: gate.clone() })],
+        sink: Box::new(BufferSinkFactory::new(1, out_schema, vec![])),
+        intermediate: false,
+    };
+    let deps = vec![
+        NodeDeps {
+            reads: vec![],
+            writes: vec![ResourceId::Buffer(0)],
+        },
+        NodeDeps {
+            reads: vec![ResourceId::Buffer(0)],
+            writes: vec![ResourceId::Buffer(1)],
+        },
+    ];
+    let stats = run_physical_global(&[producer, consumer], &deps, &ctx, &res, 2).unwrap();
+
+    // No timeout: the consumer ran on partition 0's groups strictly inside
+    // the producer's merge window, and the scheduler counted the overlap.
+    assert!(stats.overlap_tasks >= 1, "no overlap counted: {stats:?}");
+    // Every group flowed through: one output row per distinct key.
+    let rows: usize = res.buffer(1).unwrap().iter().map(|c| c.num_rows()).sum();
+    assert_eq!(rows, n, "expected one group per distinct key");
+    // AggExpr goes through the real merger: no merge task saw all groups.
+    assert!(stats.merge_tasks >= 2);
 }
 
 // ------------------------------------------------------------- parity

@@ -8,7 +8,8 @@ use rpt_common::hash::hash_i64;
 use rpt_common::{DataChunk, DataType, Field, Partitioner, Schema, Vector};
 use rpt_exec::operators::buffer::BufferSinkFactory;
 use rpt_exec::operators::hash_build::HashBuildFactory;
-use rpt_exec::{BloomSink, ExecContext, Resources, SinkFactory};
+use rpt_exec::operators::AggregateFactory;
+use rpt_exec::{AggExpr, AggFunc, BloomSink, ExecContext, Expr, Resources, SinkFactory};
 
 fn schema() -> Schema {
     Schema::new(vec![
@@ -128,6 +129,92 @@ proptest! {
         let part_filter = res.filter(0).unwrap();
         prop_assert_eq!(base_filter.words(), part_filter.words());
         prop_assert_eq!(base_filter.num_inserted(), part_filter.num_inserted());
+    }
+
+    /// Partitioned `AggregateSink`: the merged GROUP BY result equals the
+    /// single-partition path's as a multiset of `(key, SUM, COUNT)` groups,
+    /// every group is sealed in the partition its key hashes to, and no
+    /// merge task covers the full group set once groups spread.
+    #[test]
+    fn partitioned_aggregate_sink_matches_baseline(
+        keys in proptest::collection::vec(-40i64..40, 1..150),
+        chunk_size in 1usize..50,
+        pc_exp in 1u32..4,
+        workers in 1usize..4,
+    ) {
+        let partitions = 1usize << pc_exp;
+        let out_schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("s", DataType::Int64),
+            Field::new("c", DataType::Int64),
+        ]);
+        let factory = AggregateFactory::new(
+            0,
+            vec![0],
+            vec![
+                AggExpr {
+                    func: AggFunc::Sum,
+                    input: Some(Expr::col(1)),
+                    alias: "s".into(),
+                },
+                AggExpr::count_star("c"),
+            ],
+            vec![DataType::Int64, DataType::Int64],
+            out_schema,
+        );
+
+        let base_ctx = ExecContext::new().with_partitions(1);
+        let base_res = Resources::with_partitions(1, 0, 0, 1);
+        run_sink(&factory, &base_ctx, &base_res, worker_chunks(&keys, chunk_size, 1));
+
+        let ctx = ExecContext::new().with_threads(workers).with_partitions(partitions);
+        let res = Resources::with_partitions(1, 0, 0, partitions);
+        run_sink(&factory, &ctx, &res, worker_chunks(&keys, chunk_size, workers));
+
+        let groups = |chunks: &[std::sync::Arc<DataChunk>]| {
+            let mut rows: Vec<(i64, i64, i64)> = chunks
+                .iter()
+                .flat_map(|c| {
+                    c.rows().into_iter().map(|r| {
+                        (
+                            r[0].as_i64().unwrap(),
+                            r[1].as_i64().unwrap(),
+                            r[2].as_i64().unwrap(),
+                        )
+                    })
+                })
+                .collect();
+            rows.sort_unstable();
+            rows
+        };
+        let base = groups(&base_res.buffer(0).unwrap());
+        let part = groups(&res.buffer(0).unwrap());
+        prop_assert_eq!(&base, &part);
+        let distinct: std::collections::HashSet<i64> = keys.iter().copied().collect();
+        prop_assert_eq!(base.len(), distinct.len());
+        prop_assert_eq!(base.iter().map(|&(_, _, c)| c).sum::<i64>(), keys.len() as i64);
+
+        // Each group was merged and sealed in the partition its key
+        // hashes to — the same radix the other partitioned sinks use.
+        let partitioner = Partitioner::new(partitions);
+        for p in 0..partitions {
+            for chunk in res.buffer_partition(0, p).unwrap().iter() {
+                for row in chunk.rows() {
+                    let key = row[0].as_i64().unwrap();
+                    prop_assert_eq!(partitioner.of_hash(hash_i64(key)), p,
+                        "group {} in wrong partition {}", key, p);
+                }
+            }
+        }
+
+        // Merge accounting: one task per partition, and no task saw every
+        // group (only checkable when the hash spread is certain).
+        let m = ctx.metrics.summary();
+        prop_assert_eq!(m.merge_tasks, partitions as u64);
+        if distinct.len() >= 16 {
+            prop_assert!(m.merge_max_task_rows < distinct.len() as u64,
+                "a merge task covered all {} groups", distinct.len());
+        }
     }
 
     /// Partitioned `HashBuildSink`: the published table holds the same rows

@@ -136,6 +136,10 @@ impl SpillBuffer {
 
 impl Drop for SpillBuffer {
     fn drop(&mut self) {
+        // Close the writer's file handle *before* unlinking: removing an
+        // open file is a silent no-op failure on Windows and leaks the
+        // spill file (`remove_file(...).ok()` swallows the error).
+        drop(self.spill_writer.take());
         if let Some(p) = self.spill_path.take() {
             std::fs::remove_file(p).ok();
         }
@@ -217,6 +221,35 @@ mod tests {
         assert!(path.exists());
         let _ = b.into_chunks().unwrap();
         assert!(!path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// An early-error drop (the buffer is abandoned without consuming it,
+    /// e.g. a failing pipeline) must close the still-open writer handle
+    /// and unlink the spill file — no `rpt_spill_*` file may leak.
+    #[test]
+    fn dropped_buffer_leaks_no_spill_file() {
+        let dir = std::env::temp_dir().join("rpt_spill_test_drop");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = {
+            let mut b = SpillBuffer::new(schema(), 0, &dir);
+            b.push(chunk(vec![1, 2, 3])).unwrap();
+            b.push(chunk(vec![4])).unwrap();
+            let path = b.spill_path.clone().unwrap();
+            assert!(path.exists());
+            assert!(b.spill_writer.is_some(), "writer still open at drop time");
+            path
+            // `b` dropped here without `into_chunks`.
+        };
+        assert!(!path.exists(), "spill file leaked after drop");
+        let leaked: Vec<_> = std::fs::read_dir(&dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter(|e| e.file_name().to_string_lossy().starts_with("rpt_spill_"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        assert!(leaked.is_empty(), "leaked spill files: {leaked:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -294,6 +294,12 @@ proptest! {
 
 // ------------------------------------------------- scheduler parity test
 
+/// GROUP BY over the chain schema: 20 groups, SUM + COUNT aggregates, and
+/// a SELECT order that forces a reprojection pipeline *consuming* the
+/// aggregate buffer (the partitioned aggregate sink's downstream case).
+const GROUP_BY_SQL: &str = "SELECT COUNT(*) AS cnt, SUM(b.k) AS s, b.j \
+                            FROM b, c WHERE b.j = c.j GROUP BY b.j";
+
 /// Every (database, query) pair exercised in this file.
 fn scheduler_parity_cases() -> Vec<(Database, String)> {
     vec![
@@ -307,6 +313,7 @@ fn scheduler_parity_cases() -> Vec<(Database, String)> {
             prop_db(&[1, 2, 2, 3, 9], &[2, 2, 3, 4, 5, 5], &[0, 1, 2]),
             "SELECT COUNT(*) FROM pa, pb, pc WHERE pa.k = pb.k AND pb.j = pc.j".to_string(),
         ),
+        (chain_db(), GROUP_BY_SQL.to_string()),
     ]
 }
 
@@ -495,6 +502,78 @@ fn global_and_scoped_schedulers_agree() {
                             global.trace
                         );
                     }
+                }
+            }
+        }
+    }
+}
+
+/// GROUP BY matrix (the aggregate-sink acceptance check): a grouped
+/// aggregation returns identical groups through the global and scoped
+/// schedulers at every `partition_count {1,2,8} × workers {1,2,8}` point,
+/// and with `partition_count > 1` its merge runs as per-partition tasks,
+/// none of which covers the full group set.
+#[test]
+fn groupby_partition_worker_matrix_global_vs_scoped() {
+    let db = chain_db();
+    let baseline = db
+        .query(
+            GROUP_BY_SQL,
+            &QueryOptions::new(Mode::RobustPredicateTransfer)
+                .with_scheduler(SchedulerKind::Scoped)
+                .with_partition_count(1),
+        )
+        .unwrap();
+    let groups = baseline.rows.len() as u64;
+    assert_eq!(groups, 20, "20 distinct b.j groups");
+    for kind in [SchedulerKind::Global, SchedulerKind::Scoped] {
+        for partition_count in [1usize, 2, 8] {
+            for workers in [1usize, 2, 8] {
+                let r = db
+                    .query(
+                        GROUP_BY_SQL,
+                        &QueryOptions::new(Mode::RobustPredicateTransfer)
+                            .with_scheduler(kind)
+                            .with_partition_count(partition_count)
+                            .with_workers(workers),
+                    )
+                    .unwrap_or_else(|e| {
+                        panic!("{kind:?} pc={partition_count} w={workers} failed: {e}")
+                    });
+                assert_eq!(
+                    r.sorted_rows(),
+                    baseline.sorted_rows(),
+                    "{kind:?} pc={partition_count} w={workers} differs"
+                );
+                if partition_count > 1 {
+                    // The GROUP BY merge ran one task per partition and no
+                    // task saw all 20 groups.
+                    let agg_tasks = r
+                        .trace
+                        .iter()
+                        .find(|(l, _)| l.starts_with("[merge] aggregate") && l.ends_with("tasks"))
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "{kind:?} pc={partition_count} w={workers}: no aggregate \
+                                 merge tasks in trace {:?}",
+                                r.trace
+                            )
+                        })
+                        .1;
+                    assert_eq!(agg_tasks, partition_count as u64);
+                    let agg_max = r
+                        .trace
+                        .iter()
+                        .find(|(l, _)| {
+                            l.starts_with("[merge] aggregate") && l.ends_with("max-task-rows")
+                        })
+                        .expect("aggregate merge max-task-rows entry")
+                        .1;
+                    assert!(
+                        agg_max < groups,
+                        "{kind:?} pc={partition_count} w={workers}: an aggregate merge \
+                         task covered {agg_max} of {groups} groups"
+                    );
                 }
             }
         }
