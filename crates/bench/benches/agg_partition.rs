@@ -2,7 +2,8 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use rpt_core::{Database, Mode, QueryOptions};
 use rpt_workloads::Workload;
 
-/// Partitioned vs serial GROUP BY merges over the TPC-H tables.
+/// Partitioned vs serial GROUP BY merges — and fixed-key fast-path vs
+/// generic group tables — over the TPC-H tables.
 ///
 /// With `partition_count == 1` every worker's group table funnels through
 /// the serial `Sink::combine` merge; with `partition_count == 8` workers
@@ -11,6 +12,12 @@ use rpt_workloads::Workload;
 /// prints the merge accounting (tasks, largest task's group count) —
 /// meaningful even on a single-core runner where the wall-clock win needs
 /// real parallel hardware.
+///
+/// The `fast`/`generic` legs pin the type-specialized aggregation win on
+/// the all-`Int64` GROUP BY: packed `u64`/`u128` keys + open addressing vs
+/// encoded-key collision chains (`RPT_AGG_FAST=off` parity path). The
+/// `examples/agg_bench.rs` harness records the same comparison into
+/// `BENCH_agg.json`.
 fn bench(c: &mut Criterion) {
     let cfg = rpt_bench::Config::tiny();
     let w: Workload = rpt_workloads::tpch(cfg.sf, cfg.seed);
@@ -69,6 +76,27 @@ fn bench(c: &mut Criterion) {
         );
     }
 
+    // One-shot path accounting: the all-Int64 GROUP BY engages the fast
+    // path automatically, the forced-generic run does not, and the two are
+    // row-identical.
+    {
+        let (id, sql) = &queries[0];
+        let fast = db.query(sql, &opts(8).with_agg_fast(true)).expect("fast");
+        let gen = db
+            .query(sql, &opts(8).with_agg_fast(false))
+            .expect("generic");
+        assert_eq!(fast.sorted_rows(), gen.sorted_rows(), "{id} path parity");
+        assert!(
+            fast.metrics.agg_fast_path_chunks > 0,
+            "{id}: fast path idle"
+        );
+        assert_eq!(gen.metrics.agg_fast_path_chunks, 0);
+        println!(
+            "[agg_partition] {id}: fast-path-chunks={} generic-chunks={}",
+            fast.metrics.agg_fast_path_chunks, gen.metrics.agg_generic_chunks,
+        );
+    }
+
     let mut g = c.benchmark_group("agg_partition");
     g.sample_size(10);
     for (name, partitions) in [("serial", 1usize), ("partitioned", 8)] {
@@ -80,6 +108,17 @@ fn bench(c: &mut Criterion) {
                 }
             })
         });
+    }
+    // Fast vs generic group tables on the all-Int64 many-groups query
+    // (the shape the fixed-key fast path exists for).
+    for (name, fast) in [("fast", true), ("generic", false)] {
+        let opts = opts(8).with_agg_fast(fast);
+        let sql = &queries[0].1;
+        g.bench_with_input(
+            BenchmarkId::new("int64_groupby_path", name),
+            &opts,
+            |b, opts| b.iter(|| black_box(db.query(sql, opts).expect("query"))),
+        );
     }
     g.finish();
 }

@@ -88,6 +88,42 @@ pub fn hash_columns(columns: &[&Vector], num_rows: usize) -> Vec<u64> {
     hashes
 }
 
+/// Row hashes over the *selected* rows of the key columns, without
+/// materializing a gathered copy first: `out[i]` hashes physical row
+/// `sel[i]` (or `i` when `sel` is `None`). Produces exactly the values
+/// [`hash_columns`] yields on a [`Vector::take`]-gathered copy — including
+/// the NULL sentinel semantics: an invalid key column overwrites the
+/// accumulated hash with `u64::MAX` at that column's position (discarding
+/// earlier columns), and later *valid* columns combine on top of the
+/// sentinel, so only a NULL in the final key column leaves the row hash at
+/// `u64::MAX` itself.
+pub fn hash_columns_sel(columns: &[&Vector], sel: Option<&[u32]>, num_rows: usize) -> Vec<u64> {
+    let mut out = vec![0u64; num_rows];
+    let row_at = |i: usize| sel.map_or(i, |s| s[i] as usize);
+    for (k, col) in columns.iter().enumerate() {
+        macro_rules! go {
+            ($vals:expr, $hash:expr) => {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    let row = row_at(i);
+                    if col.is_valid(row) {
+                        let h = $hash(&$vals[row]);
+                        *slot = if k == 0 { h } else { combine(*slot, h) };
+                    } else {
+                        *slot = u64::MAX;
+                    }
+                }
+            };
+        }
+        match &col.data {
+            ColumnData::Int64(vals) => go!(vals, |v: &i64| hash_i64(*v)),
+            ColumnData::Float64(vals) => go!(vals, |v: &f64| hash_i64(v.to_bits() as i64)),
+            ColumnData::Utf8(vals) => go!(vals, |v: &String| hash_bytes(v.as_bytes())),
+            ColumnData::Bool(vals) => go!(vals, |v: &bool| hash_i64(*v as i64)),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +182,42 @@ mod tests {
         hash_vector(&v, &mut out, false);
         assert_eq!(out[1], u64::MAX);
         assert_ne!(out[0], u64::MAX);
+    }
+
+    /// The gather-free selection-aware hash must equal hashing a
+    /// `take`-gathered copy — including composite keys and the NULL
+    /// sentinel in either column position.
+    #[test]
+    fn hash_columns_sel_matches_gathered() {
+        use crate::types::{DataType, ScalarValue};
+        let mut a = Vector::new_empty(DataType::Int64);
+        for v in [
+            ScalarValue::Int64(5),
+            ScalarValue::Null,
+            ScalarValue::Int64(-7),
+            ScalarValue::Int64(0),
+        ] {
+            a.push(&v).unwrap();
+        }
+        let mut b = Vector::new_empty(DataType::Utf8);
+        for v in [
+            ScalarValue::Utf8("x".into()),
+            ScalarValue::Utf8("y".into()),
+            ScalarValue::Null,
+            ScalarValue::Utf8("".into()),
+        ] {
+            b.push(&v).unwrap();
+        }
+        for sel in [None, Some(vec![3u32, 1, 1, 0, 2])] {
+            let n = sel.as_ref().map_or(a.len(), Vec::len);
+            let direct = hash_columns_sel(&[&a, &b], sel.as_deref(), n);
+            let (ga, gb) = match &sel {
+                Some(s) => (a.take(s), b.take(s)),
+                None => (a.clone(), b.clone()),
+            };
+            let gathered = hash_columns(&[&ga, &gb], n);
+            assert_eq!(direct, gathered, "sel {sel:?}");
+        }
     }
 
     #[test]

@@ -16,6 +16,22 @@ pub enum DataType {
     Bool,
 }
 
+impl DataType {
+    /// Width in bits of this type's fixed-width group-key encoding, or
+    /// `None` when the type has no fixed-width encoding (`Utf8`) or packing
+    /// it would be lossy (`Float64` keys keep the encoded-byte path so
+    /// `-0.0`/`NaN` semantics stay byte-defined). A packed key spends one
+    /// extra bit per column on the NULL flag; see
+    /// `Vector::pack_fixed_key`.
+    pub fn fixed_key_bits(self) -> Option<u32> {
+        match self {
+            DataType::Int64 => Some(64),
+            DataType::Bool => Some(1),
+            DataType::Float64 | DataType::Utf8 => None,
+        }
+    }
+}
+
 impl fmt::Display for DataType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

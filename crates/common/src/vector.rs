@@ -216,6 +216,60 @@ impl Vector {
         Vector { data, validity }
     }
 
+    /// Fold this column into per-row packed fixed-width group keys.
+    ///
+    /// For every output row `i` (reading physical row `sel[i]` when a
+    /// selection is given), shifts `acc[i]` left by `width + 1` bits and ORs
+    /// in a NULL flag bit followed by the row's value bits — so packing the
+    /// key columns in order builds one integer per row that is equal iff
+    /// the rows' key tuples are equal (NULL rows contribute canonical zero
+    /// value bits). `width` must be [`DataType::fixed_key_bits`] for this
+    /// column's type and the caller guarantees the accumulated key fits in
+    /// 128 bits; panics on non-fixed-width columns (internal fast path,
+    /// like [`Vector::i64_slice`]).
+    pub fn pack_fixed_key(&self, sel: Option<&[u32]>, width: u32, acc: &mut [u128]) {
+        debug_assert_eq!(Some(width), self.data_type().fixed_key_bits());
+        let value = |row: usize| -> u128 {
+            match &self.data {
+                ColumnData::Int64(v) => v[row] as u64 as u128,
+                ColumnData::Bool(v) => v[row] as u128,
+                other => panic!(
+                    "expected fixed-width key column, got {:?}",
+                    other.data_type()
+                ),
+            }
+        };
+        let shift = width + 1;
+        match (sel, &self.validity) {
+            (None, None) => {
+                for (i, a) in acc.iter_mut().enumerate() {
+                    *a = (*a << shift) | value(i);
+                }
+            }
+            (None, Some(validity)) => {
+                for (i, a) in acc.iter_mut().enumerate() {
+                    *a = (*a << shift)
+                        | if validity[i] {
+                            value(i)
+                        } else {
+                            1u128 << width
+                        };
+                }
+            }
+            (Some(sel), _) => {
+                for (i, a) in acc.iter_mut().enumerate() {
+                    let row = sel[i] as usize;
+                    *a = (*a << shift)
+                        | if self.is_valid(row) {
+                            value(row)
+                        } else {
+                            1u128 << width
+                        };
+                }
+            }
+        }
+    }
+
     /// Typed accessors (panic on type mismatch — internal fast paths only).
     pub fn i64_slice(&self) -> &[i64] {
         match &self.data {

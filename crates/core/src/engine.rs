@@ -116,6 +116,11 @@ pub struct QueryOptions {
     /// chosen left-deep order with SafeSubjoin and repair unsafe orders by
     /// falling back to the (always safe) Yannakakis bottom-up tree order.
     pub enforce_safe_orders: bool,
+    /// Let aggregate sinks use the fixed-width packed-key group tables
+    /// when the group key is eligible (all `Int64`/`Bool` columns).
+    /// Defaults to `RPT_AGG_FAST` (`off` disables — the CI parity leg);
+    /// the generic encoded-key path is always the fallback.
+    pub agg_fast: bool,
 }
 
 impl QueryOptions {
@@ -138,7 +143,15 @@ impl QueryOptions {
             random_tree_seed: None,
             ce_noise: None,
             enforce_safe_orders: false,
+            agg_fast: rpt_exec::agg_fast_from_env(),
         }
+    }
+
+    /// Enable or disable the fixed-width aggregation fast path (the
+    /// eligibility rule still applies; `false` forces the generic tables).
+    pub fn with_agg_fast(mut self, agg_fast: bool) -> Self {
+        self.agg_fast = agg_fast;
+        self
     }
 
     pub fn with_order(mut self, order: JoinOrder) -> Self {
@@ -379,7 +392,8 @@ impl Database {
             .with_threads(opts.threads)
             .with_partitions(opts.partition_count)
             .with_scheduler(opts.scheduler)
-            .with_workers(workers);
+            .with_workers(workers)
+            .with_agg_fast(opts.agg_fast);
         if let Some(b) = opts.work_budget {
             ctx = ctx.with_budget(b);
         }

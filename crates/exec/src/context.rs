@@ -37,6 +37,15 @@ impl SchedulerKind {
     }
 }
 
+/// Process default for the fixed-width aggregation fast path: enabled
+/// unless `RPT_AGG_FAST` is set to `off`/`0`/`false` (the generic
+/// encoded-key group table then handles every aggregate — the CI parity
+/// leg).
+pub fn agg_fast_from_env() -> bool {
+    !std::env::var("RPT_AGG_FAST")
+        .is_ok_and(|v| v.eq_ignore_ascii_case("off") || v == "0" || v.eq_ignore_ascii_case("false"))
+}
+
 /// Worker utilization as a percentage: busy nanoseconds over wall
 /// nanoseconds × pool size, clamped to `[0, 100]`; 0 when unknown.
 pub fn utilization_pct(busy_nanos: u64, wall_nanos: u64, workers: u64) -> u64 {
@@ -106,6 +115,11 @@ pub struct Metrics {
     pub sched_wall_nanos: AtomicU64,
     /// Worker-pool size of the last global run.
     pub sched_workers: AtomicU64,
+    /// Chunks consumed by aggregate sinks on the fixed-width packed-key
+    /// fast path (type-specialized group tables).
+    pub agg_fast_path_chunks: AtomicU64,
+    /// Chunks consumed by aggregate sinks on the generic encoded-key path.
+    pub agg_generic_chunks: AtomicU64,
     /// Per-pipeline (label, rows-into-sink) trace, for case studies.
     pub pipeline_trace: Mutex<Vec<(String, u64)>>,
 }
@@ -191,6 +205,14 @@ impl Metrics {
             "[scheduler] max-merge-task-rows".to_string(),
             self.get(&self.merge_max_task_rows),
         ));
+        trace.push((
+            "[agg] fast-path-chunks".to_string(),
+            self.get(&self.agg_fast_path_chunks),
+        ));
+        trace.push((
+            "[agg] generic-chunks".to_string(),
+            self.get(&self.agg_generic_chunks),
+        ));
     }
 
     /// Snapshot of the headline numbers.
@@ -214,6 +236,8 @@ impl Metrics {
             sched_busy_nanos: self.sched_busy_nanos.load(Ordering::Relaxed),
             sched_wall_nanos: self.sched_wall_nanos.load(Ordering::Relaxed),
             sched_workers: self.sched_workers.load(Ordering::Relaxed),
+            agg_fast_path_chunks: self.agg_fast_path_chunks.load(Ordering::Relaxed),
+            agg_generic_chunks: self.agg_generic_chunks.load(Ordering::Relaxed),
         }
     }
 }
@@ -239,6 +263,8 @@ pub struct MetricsSummary {
     pub sched_busy_nanos: u64,
     pub sched_wall_nanos: u64,
     pub sched_workers: u64,
+    pub agg_fast_path_chunks: u64,
+    pub agg_generic_chunks: u64,
 }
 
 impl MetricsSummary {
@@ -306,6 +332,10 @@ pub struct ExecContext {
     /// `RPT_SCHED_TRACE=1`; meant for debugging hangs, so it is off unless
     /// asked for.
     pub sched_trace: bool,
+    /// Allow aggregate sinks to take the fixed-width packed-key fast path
+    /// when the group key is eligible (defaults from `RPT_AGG_FAST`; `off`
+    /// forces the generic encoded-key tables everywhere).
+    pub agg_fast: bool,
 }
 
 impl Default for ExecContext {
@@ -327,7 +357,14 @@ impl ExecContext {
             scheduler: SchedulerKind::from_env(),
             workers: default_worker_count(),
             sched_trace: std::env::var("RPT_SCHED_TRACE").is_ok_and(|v| v == "1"),
+            agg_fast: agg_fast_from_env(),
         }
+    }
+
+    /// Enable or disable the fixed-width aggregation fast path.
+    pub fn with_agg_fast(mut self, agg_fast: bool) -> Self {
+        self.agg_fast = agg_fast;
+        self
     }
 
     /// Select the DAG scheduler.

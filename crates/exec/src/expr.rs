@@ -13,6 +13,20 @@ pub enum CmpOp {
     GtEq,
 }
 
+impl CmpOp {
+    /// The comparison with swapped operands: `a OP b` ⇔ `b OP.flip() a`.
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::NotEq => CmpOp::NotEq,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::LtEq => CmpOp::GtEq,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::GtEq => CmpOp::LtEq,
+        }
+    }
+}
+
 /// Arithmetic operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ArithOp {
@@ -212,12 +226,79 @@ impl Expr {
     /// Evaluate as a predicate: logical row indices (into the chunk's
     /// logical order) that pass.
     pub fn eval_selection(&self, chunk: &DataChunk) -> Result<Vec<u32>> {
+        // `col CMP literal` on an Int64 column emits the selection straight
+        // from the typed payload — no intermediate bool Vector.
+        if let Expr::Cmp { op, left, right } = self {
+            let fast = match (&**left, &**right) {
+                (Expr::Column(c), Expr::Literal(ScalarValue::Int64(x))) => Some((*c, *op, *x)),
+                (Expr::Literal(ScalarValue::Int64(x)), Expr::Column(c)) => {
+                    Some((*c, op.flip(), *x))
+                }
+                _ => None,
+            };
+            if let Some((col, op, lit)) = fast {
+                if let Some(sel) = cmp_i64_literal_selection(chunk, col, op, lit)? {
+                    return Ok(sel);
+                }
+            }
+        }
         let v = self.eval(chunk)?;
         let b = v.bool_slice();
         Ok((0..chunk.num_rows() as u32)
             .filter(|&i| b[i as usize] && v.is_valid(i as usize))
             .collect())
     }
+}
+
+/// Selection fast path for `Int64 column CMP i64 literal`: compare the
+/// typed payload directly and push passing logical row indices. Returns
+/// `Ok(None)` when the column is not `Int64` (the caller falls back to the
+/// generic bool-vector evaluation). NULL rows never pass, matching SQL
+/// three-valued comparison.
+fn cmp_i64_literal_selection(
+    chunk: &DataChunk,
+    col: usize,
+    op: CmpOp,
+    lit: i64,
+) -> Result<Option<Vec<u32>>> {
+    let c = chunk
+        .columns
+        .get(col)
+        .ok_or_else(|| Error::Exec(format!("column {col} out of bounds")))?;
+    let ColumnData::Int64(vals) = &c.data else {
+        return Ok(None);
+    };
+    let test = |v: i64| -> bool {
+        match op {
+            CmpOp::Eq => v == lit,
+            CmpOp::NotEq => v != lit,
+            CmpOp::Lt => v < lit,
+            CmpOp::LtEq => v <= lit,
+            CmpOp::Gt => v > lit,
+            CmpOp::GtEq => v >= lit,
+        }
+    };
+    let n = chunk.num_rows();
+    let mut out = Vec::new();
+    match (&chunk.selection, &c.validity) {
+        // The hot case: flat chunk, no NULLs — one branch per row.
+        (None, None) => {
+            for (i, &v) in vals[..n].iter().enumerate() {
+                if test(v) {
+                    out.push(i as u32);
+                }
+            }
+        }
+        _ => {
+            for i in 0..n {
+                let p = chunk.physical_index(i);
+                if c.is_valid(p) && test(vals[p]) {
+                    out.push(i as u32);
+                }
+            }
+        }
+    }
+    Ok(Some(out))
 }
 
 fn eval_cmp(op: CmpOp, l: &Vector, r: &Vector) -> Result<Vector> {
@@ -458,6 +539,59 @@ mod tests {
                 .unwrap(),
             DataType::Float64
         );
+    }
+
+    /// The `col CMP Int64-literal` selection fast path agrees with the
+    /// generic bool-vector evaluation in every orientation, under chunk
+    /// selections, and with NULLs.
+    #[test]
+    fn constant_comparison_fast_path_matches_generic() {
+        let mut v = Vector::new_empty(DataType::Int64);
+        for x in [
+            ScalarValue::Int64(5),
+            ScalarValue::Null,
+            ScalarValue::Int64(-3),
+            ScalarValue::Int64(9),
+            ScalarValue::Int64(2),
+        ] {
+            v.push(&x).unwrap();
+        }
+        let mut c = DataChunk::new(vec![v]);
+        let ops = [
+            CmpOp::Eq,
+            CmpOp::NotEq,
+            CmpOp::Lt,
+            CmpOp::LtEq,
+            CmpOp::Gt,
+            CmpOp::GtEq,
+        ];
+        for with_sel in [false, true] {
+            if with_sel {
+                c.set_selection(vec![4, 1, 0, 2]);
+            }
+            for op in ops {
+                for lit in [-3i64, 2, 6] {
+                    // Generic reference: wrap the comparison so the fast
+                    // path cannot trigger (Not(Not(cmp)) evaluates the
+                    // bool-vector way).
+                    let direct = Expr::cmp(op, Expr::col(0), Expr::lit(ScalarValue::Int64(lit)));
+                    let generic = Expr::Not(Box::new(Expr::Not(Box::new(direct.clone()))));
+                    assert_eq!(
+                        direct.eval_selection(&c).unwrap(),
+                        generic.eval_selection(&c).unwrap(),
+                        "op {op:?} lit {lit} sel {with_sel}"
+                    );
+                    // Literal-on-the-left flips the operator.
+                    let flipped = Expr::cmp(op, Expr::lit(ScalarValue::Int64(lit)), Expr::col(0));
+                    let flipped_generic = Expr::Not(Box::new(Expr::Not(Box::new(flipped.clone()))));
+                    assert_eq!(
+                        flipped.eval_selection(&c).unwrap(),
+                        flipped_generic.eval_selection(&c).unwrap(),
+                        "flipped op {op:?} lit {lit} sel {with_sel}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

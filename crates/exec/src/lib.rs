@@ -33,7 +33,8 @@ pub mod pipeline;
 pub mod scheduler;
 pub mod wcoj;
 
-pub use context::{default_worker_count, ExecContext, Metrics, SchedulerKind};
+pub use aggregate::{AggState, AggUpdateStats, AggregateState, ChunkKeys, KeyLayout};
+pub use context::{agg_fast_from_env, default_worker_count, ExecContext, Metrics, SchedulerKind};
 pub use expr::{AggExpr, AggFunc, ArithOp, CmpOp, Expr};
 pub use global::{run_physical_global, GlobalStats};
 pub use hash_table::{BuildRef, JoinHashTable, PartitionedHashTable};

@@ -33,6 +33,9 @@ pub struct AggregateSink {
     partitioner: Partitioner,
     output_schema: Schema,
     rows: u64,
+    /// Reusable identity row-index buffer for the single-partition path
+    /// (no per-chunk `Vec` allocation).
+    ident: Vec<u32>,
 }
 
 impl AggregateSink {
@@ -43,27 +46,37 @@ impl AggregateSink {
 }
 
 impl Sink for AggregateSink {
-    fn sink(&mut self, chunk: DataChunk, _ctx: &ExecContext) -> Result<()> {
+    fn sink(&mut self, chunk: DataChunk, ctx: &ExecContext) -> Result<()> {
         let n = chunk.num_rows();
         if n == 0 {
             return Ok(());
         }
         self.rows += n as u64;
-        // Aggregate inputs and group-key hashes are evaluated once per
-        // chunk; the hash doubles as the radix routing key and the group
-        // table's bucket hash.
+        // Aggregate inputs and group-key material are evaluated once per
+        // chunk: the vectorized hash doubles as the radix routing key and
+        // the group table's bucket hash, and on the fast path the packed
+        // fixed-width keys ride along in the same pass.
         let inputs = self.parts[0].eval_inputs(&chunk)?;
-        let hashes = self.parts[0].group_hashes(&chunk);
-        if self.partitioner.is_single() {
-            return self.parts[0].update_rows(&chunk, &inputs, 0..n, &hashes);
+        let keys = self.parts[0].prepare_keys(&chunk);
+        let m = &ctx.metrics;
+        if self.parts[0].is_fast() {
+            m.add(&m.agg_fast_path_chunks, 1);
+        } else {
+            m.add(&m.agg_generic_chunks, 1);
         }
-        let mut rows_by_part: Vec<Vec<usize>> = vec![Vec::new(); self.partitioner.count()];
-        for (row, &h) in hashes.iter().enumerate() {
-            rows_by_part[self.partitioner.of_hash(h)].push(row);
+        if self.partitioner.is_single() {
+            self.ident.clear();
+            self.ident.extend(0..n as u32);
+            let (part, ident) = (&mut self.parts[0], &self.ident);
+            return part.update_rows(&chunk, &inputs, ident, &keys);
+        }
+        let mut rows_by_part: Vec<Vec<u32>> = vec![Vec::new(); self.partitioner.count()];
+        for (row, &h) in keys.hashes.iter().enumerate() {
+            rows_by_part[self.partitioner.of_hash(h)].push(row as u32);
         }
         for (p, rows) in rows_by_part.into_iter().enumerate() {
             if !rows.is_empty() {
-                self.parts[p].update_rows(&chunk, &inputs, rows, &hashes)?;
+                self.parts[p].update_rows(&chunk, &inputs, &rows, &keys)?;
             }
         }
         Ok(())
@@ -133,11 +146,17 @@ impl AggregateFactory {
         }
     }
 
-    fn state(&self) -> Result<AggregateState> {
-        AggregateState::new(
+    /// One per-partition group table. The table implementation is chosen
+    /// here, at sink construction: the fixed-key fast path when the
+    /// context allows it (`ctx.agg_fast`, default on, `RPT_AGG_FAST=off`
+    /// to disable) *and* every group column is fixed-width — else the
+    /// generic encoded-key table.
+    fn state(&self, ctx: &ExecContext) -> Result<AggregateState> {
+        AggregateState::with_fast_path(
             self.group_cols.clone(),
             self.aggs.clone(),
             &self.input_types,
+            ctx.agg_fast,
         )
     }
 }
@@ -150,7 +169,7 @@ impl SinkFactory for AggregateFactory {
             Partitioner::new(ctx.partition_count)
         };
         let parts = (0..partitioner.count())
-            .map(|_| self.state())
+            .map(|_| self.state(ctx))
             .collect::<Result<Vec<_>>>()?;
         Ok(Box::new(AggregateSink {
             buf_id: self.buf_id,
@@ -158,6 +177,7 @@ impl SinkFactory for AggregateFactory {
             partitioner,
             output_schema: self.output_schema.clone(),
             rows: 0,
+            ident: Vec::new(),
         }))
     }
 

@@ -449,20 +449,9 @@ pub(crate) fn downcast_sink<S: Sink>(other: Box<dyn Sink>) -> Result<Box<S>> {
         .map_err(|_| Error::Exec("combining mismatched sink states".into()))
 }
 
-/// Gather key columns over the logical rows of a chunk.
-pub(crate) fn gather_keys(chunk: &DataChunk, key_cols: &[usize]) -> Vec<Vector> {
-    key_cols
-        .iter()
-        .map(|&k| match &chunk.selection {
-            Some(sel) => chunk.columns[k].take(sel),
-            None => chunk.columns[k].clone(),
-        })
-        .collect()
-}
-
-/// Vectorized key hashes over the logical rows of a chunk.
+/// Vectorized key hashes over the logical rows of a chunk, computed
+/// straight from the typed payloads (no gathered copy of the key columns).
 pub(crate) fn key_hashes(chunk: &DataChunk, key_cols: &[usize]) -> Vec<u64> {
-    let gathered = gather_keys(chunk, key_cols);
-    let refs: Vec<&Vector> = gathered.iter().collect();
-    rpt_common::hash::hash_columns(&refs, chunk.num_rows())
+    let refs: Vec<&Vector> = key_cols.iter().map(|&k| &chunk.columns[k]).collect();
+    rpt_common::hash::hash_columns_sel(&refs, chunk.selection.as_deref(), chunk.num_rows())
 }

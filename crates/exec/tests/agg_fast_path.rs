@@ -1,0 +1,223 @@
+//! Property tests for the type-specialized aggregation fast path: the
+//! fixed-key (packed `u64`/`u128`) group tables must be *byte-identical* to
+//! the generic encoded-key tables over random `Int64`/`Bool` keys with
+//! NULLs, at every partition count × worker count, including the `i64`
+//! extremes — and the metrics must show which path ran.
+
+use proptest::prelude::*;
+use rpt_common::{DataChunk, DataType, Field, ScalarValue, Schema, Vector};
+use rpt_exec::operators::AggregateFactory;
+use rpt_exec::{AggExpr, AggFunc, ExecContext, Expr, Resources, SinkFactory};
+
+fn out_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("b", DataType::Bool),
+        Field::new("c", DataType::Int64),
+        Field::new("s", DataType::Int64),
+        Field::new("mn", DataType::Int64),
+        Field::new("mx", DataType::Int64),
+        Field::new("av", DataType::Float64),
+    ])
+}
+
+fn factory() -> AggregateFactory {
+    AggregateFactory::new(
+        0,
+        vec![0, 1],
+        vec![
+            AggExpr::count_star("c"),
+            AggExpr {
+                func: AggFunc::Sum,
+                input: Some(Expr::col(2)),
+                alias: "s".into(),
+            },
+            AggExpr {
+                func: AggFunc::Min,
+                input: Some(Expr::col(2)),
+                alias: "mn".into(),
+            },
+            AggExpr {
+                func: AggFunc::Max,
+                input: Some(Expr::col(2)),
+                alias: "mx".into(),
+            },
+            AggExpr {
+                func: AggFunc::Avg,
+                input: Some(Expr::col(2)),
+                alias: "av".into(),
+            },
+        ],
+        vec![DataType::Int64, DataType::Bool, DataType::Int64],
+        out_schema(),
+    )
+}
+
+/// `(key, bool-flag, value)` chunks with NULLs derived from the key stream
+/// (`k % 9 == 0` → NULL key, `k % 7 == 0` → NULL flag, `k % 5 == 0` → NULL
+/// value), dealt round-robin to `workers`.
+fn worker_chunks(keys: &[i64], chunk_size: usize, workers: usize) -> Vec<Vec<DataChunk>> {
+    let mut per_worker: Vec<Vec<DataChunk>> = vec![Vec::new(); workers];
+    for (i, ck) in keys.chunks(chunk_size.max(1)).enumerate() {
+        let mut kv = Vector::new_empty(DataType::Int64);
+        let mut bv = Vector::new_empty(DataType::Bool);
+        let mut vv = Vector::new_empty(DataType::Int64);
+        for (j, &k) in ck.iter().enumerate() {
+            kv.push(&if k % 9 == 0 {
+                ScalarValue::Null
+            } else {
+                ScalarValue::Int64(k)
+            })
+            .unwrap();
+            bv.push(&if k % 7 == 0 {
+                ScalarValue::Null
+            } else {
+                ScalarValue::Bool(k % 2 == 0)
+            })
+            .unwrap();
+            vv.push(&if k % 5 == 0 {
+                ScalarValue::Null
+            } else {
+                ScalarValue::Int64((i * chunk_size + j) as i64 - 20)
+            })
+            .unwrap();
+        }
+        per_worker[i % workers].push(DataChunk::new(vec![kv, bv, vv]));
+    }
+    per_worker
+}
+
+/// Drive the sink the way the pipeline driver does (one state per worker,
+/// then the partitioned merge or serial Combine+Finalize) and return every
+/// published row in partition order.
+fn run(
+    fast: bool,
+    partitions: usize,
+    per_worker: Vec<Vec<DataChunk>>,
+) -> (Vec<Vec<ScalarValue>>, ExecContext) {
+    let factory = factory();
+    let ctx = ExecContext::new()
+        .with_partitions(partitions)
+        .with_agg_fast(fast);
+    let res = Resources::with_partitions(1, 0, 0, partitions);
+    let mut states = Vec::new();
+    for chunks in per_worker {
+        let mut s = factory.make(&ctx).unwrap();
+        for c in chunks {
+            s.sink(c, &ctx).unwrap();
+        }
+        states.push(s);
+    }
+    if factory.partitioned_merge(&ctx) {
+        factory
+            .merge_partitioned("test", states, &ctx, &res)
+            .unwrap();
+    } else {
+        let mut it = states.into_iter();
+        let mut merged = it.next().expect("at least one worker");
+        for s in it {
+            merged.combine(s).unwrap();
+        }
+        merged.finalize(&res).unwrap();
+    }
+    let rows: Vec<Vec<ScalarValue>> = res
+        .buffer(0)
+        .unwrap()
+        .iter()
+        .flat_map(|c| c.rows())
+        .collect();
+    (rows, ctx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The fast path must be *byte-identical* to the generic path: same
+    /// rows in the same order (identical routing hashes → identical
+    /// partition contents → identical encoded-key sort), across random
+    /// partition counts and worker counts, with NULLs in keys and values.
+    #[test]
+    fn fast_path_is_byte_identical_to_generic(
+        keys in proptest::collection::vec(-40i64..40, 1..150),
+        chunk_size in 1usize..50,
+        pc_exp in 0u32..4,
+        workers in 1usize..4,
+    ) {
+        let partitions = 1usize << pc_exp;
+        let (generic, gctx) = run(false, partitions, worker_chunks(&keys, chunk_size, workers));
+        let (fast, fctx) = run(true, partitions, worker_chunks(&keys, chunk_size, workers));
+        prop_assert_eq!(&generic, &fast, "fast vs generic rows differ");
+        prop_assert!(!generic.is_empty());
+
+        // The metrics record which table implementation consumed chunks.
+        let (g, f) = (gctx.metrics.summary(), fctx.metrics.summary());
+        prop_assert!(g.agg_generic_chunks > 0 && g.agg_fast_path_chunks == 0,
+            "generic run counted fast={} generic={}", g.agg_fast_path_chunks, g.agg_generic_chunks);
+        prop_assert!(f.agg_fast_path_chunks > 0 && f.agg_generic_chunks == 0,
+            "fast run counted fast={} generic={}", f.agg_fast_path_chunks, f.agg_generic_chunks);
+    }
+}
+
+/// The `i64` extremes pack, group, and finalize identically on both paths
+/// (MIN/MAX/−1/0 exercise every bit of the 64-bit value field).
+#[test]
+fn extreme_keys_are_byte_identical() {
+    let keys = vec![
+        i64::MAX,
+        i64::MIN,
+        -1,
+        0,
+        1,
+        i64::MAX,
+        i64::MIN,
+        i64::MAX - 1,
+        i64::MIN + 1,
+        0,
+    ];
+    for partitions in [1usize, 2, 8] {
+        for workers in [1usize, 2] {
+            let (generic, _) = run(false, partitions, worker_chunks(&keys, 3, workers));
+            let (fast, _) = run(true, partitions, worker_chunks(&keys, 3, workers));
+            assert_eq!(generic, fast, "pc={partitions} w={workers}");
+        }
+    }
+}
+
+/// SUM overflow at `i64::MAX` is an `Error::Exec` through the sink on the
+/// fast path too (checked adds survive the columnar accumulators).
+#[test]
+fn fast_path_sink_surfaces_sum_overflow() {
+    for fast in [false, true] {
+        let factory = AggregateFactory::new(
+            0,
+            vec![0],
+            vec![AggExpr {
+                func: AggFunc::Sum,
+                input: Some(Expr::col(1)),
+                alias: "s".into(),
+            }],
+            vec![DataType::Int64, DataType::Int64],
+            Schema::new(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("s", DataType::Int64),
+            ]),
+        );
+        let ctx = ExecContext::new().with_agg_fast(fast);
+        let mut sink = factory.make(&ctx).unwrap();
+        sink.sink(
+            DataChunk::new(vec![
+                Vector::from_i64(vec![3, 3]),
+                Vector::from_i64(vec![i64::MAX, 0]),
+            ]),
+            &ctx,
+        )
+        .unwrap();
+        let err = sink
+            .sink(
+                DataChunk::new(vec![Vector::from_i64(vec![3]), Vector::from_i64(vec![1])]),
+                &ctx,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("SUM"), "fast={fast}: {err}");
+    }
+}

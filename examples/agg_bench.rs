@@ -1,0 +1,98 @@
+//! Aggregation fast-path trajectory harness: times the all-`Int64` GROUP
+//! BY shapes with the fixed-key group tables (`fast`) against the generic
+//! encoded-key tables (`generic`) and writes the comparison to
+//! `BENCH_agg.json` — the checked-in single-core benchmark artifact the
+//! roadmap tracks across PRs.
+//!
+//! Run from the repo root (release, or the numbers are meaningless):
+//!
+//! ```text
+//! cargo run --release --example agg_bench
+//! ```
+
+use rpt::{Database, Mode, QueryOptions};
+use std::time::Instant;
+
+/// Median-of-runs wall time for one query, in microseconds.
+fn time_us(db: &Database, sql: &str, opts: &QueryOptions, runs: usize) -> u64 {
+    let mut samples: Vec<u64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(db.query(sql, opts).expect("query"));
+            t0.elapsed().as_micros() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let w = rpt_workloads::tpch(0.2, 7);
+    let mut db = Database::new();
+    for t in &w.tables {
+        db.register_table(t.clone());
+    }
+
+    // The two GROUP BY shapes: many groups (one per order) and few groups
+    // over a join — both on Int64 keys, so both are fast-path eligible.
+    let queries: Vec<(&str, String)> = vec![
+        (
+            "orders_many_groups",
+            "SELECT l.l_orderkey, COUNT(*) AS c, SUM(l.l_quantity) AS q \
+             FROM lineitem l GROUP BY l.l_orderkey"
+                .to_string(),
+        ),
+        (
+            "join_key_groups",
+            "SELECT o.o_custkey, COUNT(*) AS c, SUM(l.l_quantity) AS q \
+             FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey \
+             GROUP BY o.o_custkey"
+                .to_string(),
+        ),
+    ];
+    let opts = |fast: bool| {
+        QueryOptions::new(Mode::RobustPredicateTransfer)
+            .with_partition_count(1)
+            .with_agg_fast(fast)
+    };
+
+    let runs = 15;
+    let mut entries = Vec::new();
+    for (id, sql) in &queries {
+        // Parity + path engagement before timing anything.
+        let f = db.query(sql, &opts(true)).expect("fast");
+        let g = db.query(sql, &opts(false)).expect("generic");
+        assert_eq!(f.rows, g.rows, "{id}: paths disagree");
+        assert!(f.metrics.agg_fast_path_chunks > 0, "{id}: fast path idle");
+        assert_eq!(
+            g.metrics.agg_fast_path_chunks, 0,
+            "{id}: generic leg leaked"
+        );
+
+        // Warm up, then interleave the legs so drift hits both equally.
+        time_us(&db, sql, &opts(true), 3);
+        let fast_us = time_us(&db, sql, &opts(true), runs);
+        let generic_us = time_us(&db, sql, &opts(false), runs);
+        let speedup = generic_us as f64 / fast_us.max(1) as f64;
+        println!(
+            "[agg_bench] {id}: groups={} fast={fast_us}us generic={generic_us}us \
+             speedup={speedup:.2}x",
+            f.rows.len()
+        );
+        entries.push(format!(
+            "    {{\n      \"query\": \"{id}\",\n      \"groups\": {},\n      \
+             \"fast_us\": {fast_us},\n      \"generic_us\": {generic_us},\n      \
+             \"speedup\": {speedup:.3}\n    }}",
+            f.rows.len()
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"agg_fast_path\",\n  \"workload\": \"tpch sf=0.2 seed=7\",\n  \
+         \"config\": \"threads=1 partition_count=1, median of {runs} runs\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_agg.json", &json).expect("write BENCH_agg.json");
+    println!("[agg_bench] wrote BENCH_agg.json");
+}

@@ -529,53 +529,153 @@ fn groupby_partition_worker_matrix_global_vs_scoped() {
     for kind in [SchedulerKind::Global, SchedulerKind::Scoped] {
         for partition_count in [1usize, 2, 8] {
             for workers in [1usize, 2, 8] {
-                let r = db
+                for agg_fast in [true, false] {
+                    let r = db
                     .query(
                         GROUP_BY_SQL,
                         &QueryOptions::new(Mode::RobustPredicateTransfer)
                             .with_scheduler(kind)
                             .with_partition_count(partition_count)
-                            .with_workers(workers),
+                            .with_workers(workers)
+                            .with_agg_fast(agg_fast),
                     )
                     .unwrap_or_else(|e| {
-                        panic!("{kind:?} pc={partition_count} w={workers} failed: {e}")
+                        panic!("{kind:?} pc={partition_count} w={workers} fast={agg_fast} failed: {e}")
                     });
-                assert_eq!(
-                    r.sorted_rows(),
-                    baseline.sorted_rows(),
-                    "{kind:?} pc={partition_count} w={workers} differs"
-                );
-                if partition_count > 1 {
-                    // The GROUP BY merge ran one task per partition and no
-                    // task saw all 20 groups.
-                    let agg_tasks = r
-                        .trace
-                        .iter()
-                        .find(|(l, _)| l.starts_with("[merge] aggregate") && l.ends_with("tasks"))
-                        .unwrap_or_else(|| {
-                            panic!(
-                                "{kind:?} pc={partition_count} w={workers}: no aggregate \
-                                 merge tasks in trace {:?}",
-                                r.trace
-                            )
-                        })
-                        .1;
-                    assert_eq!(agg_tasks, partition_count as u64);
-                    let agg_max = r
-                        .trace
-                        .iter()
-                        .find(|(l, _)| {
-                            l.starts_with("[merge] aggregate") && l.ends_with("max-task-rows")
-                        })
-                        .expect("aggregate merge max-task-rows entry")
-                        .1;
-                    assert!(
-                        agg_max < groups,
-                        "{kind:?} pc={partition_count} w={workers}: an aggregate merge \
-                         task covered {agg_max} of {groups} groups"
+                    assert_eq!(
+                        r.sorted_rows(),
+                        baseline.sorted_rows(),
+                        "{kind:?} pc={partition_count} w={workers} fast={agg_fast} differs"
                     );
+                    // The GROUP BY key is a single Int64, so the requested
+                    // group-table path is the one that actually consumed chunks.
+                    if agg_fast {
+                        assert!(
+                            r.metrics.agg_fast_path_chunks > 0 && r.metrics.agg_generic_chunks == 0,
+                            "{kind:?} pc={partition_count} w={workers}: expected fast path, \
+                         fast={} generic={}",
+                            r.metrics.agg_fast_path_chunks,
+                            r.metrics.agg_generic_chunks
+                        );
+                    } else {
+                        assert!(
+                            r.metrics.agg_generic_chunks > 0 && r.metrics.agg_fast_path_chunks == 0,
+                            "{kind:?} pc={partition_count} w={workers}: expected generic path, \
+                         fast={} generic={}",
+                            r.metrics.agg_fast_path_chunks,
+                            r.metrics.agg_generic_chunks
+                        );
+                    }
+                    if partition_count > 1 {
+                        // The GROUP BY merge ran one task per partition and no
+                        // task saw all 20 groups.
+                        let agg_tasks = r
+                            .trace
+                            .iter()
+                            .find(|(l, _)| {
+                                l.starts_with("[merge] aggregate") && l.ends_with("tasks")
+                            })
+                            .unwrap_or_else(|| {
+                                panic!(
+                                    "{kind:?} pc={partition_count} w={workers}: no aggregate \
+                                 merge tasks in trace {:?}",
+                                    r.trace
+                                )
+                            })
+                            .1;
+                        assert_eq!(agg_tasks, partition_count as u64);
+                        let agg_max = r
+                            .trace
+                            .iter()
+                            .find(|(l, _)| {
+                                l.starts_with("[merge] aggregate") && l.ends_with("max-task-rows")
+                            })
+                            .expect("aggregate merge max-task-rows entry")
+                            .1;
+                        assert!(
+                            agg_max < groups,
+                            "{kind:?} pc={partition_count} w={workers}: an aggregate merge \
+                         task covered {agg_max} of {groups} groups"
+                        );
+                    }
                 }
             }
+        }
+    }
+}
+
+/// The fast-path acceptance check: on an all-`Int64` GROUP BY the fixed-key
+/// tables engage automatically (`agg_fast_path_chunks > 0`), and with
+/// `threads == 1` the output rows are *byte-identical* — same rows, same
+/// order, exact values — between the fast and generic paths at every
+/// partition count.
+#[test]
+fn agg_fast_path_engages_and_is_byte_identical() {
+    let db = chain_db();
+    for partition_count in [1usize, 8] {
+        let opts = |fast: bool| {
+            QueryOptions::new(Mode::RobustPredicateTransfer)
+                .with_partition_count(partition_count)
+                .with_agg_fast(fast)
+        };
+        let fast = db.query(GROUP_BY_SQL, &opts(true)).unwrap();
+        let generic = db.query(GROUP_BY_SQL, &opts(false)).unwrap();
+        assert!(
+            fast.metrics.agg_fast_path_chunks > 0,
+            "pc={partition_count}: fast path did not engage"
+        );
+        assert_eq!(fast.metrics.agg_generic_chunks, 0, "pc={partition_count}");
+        assert!(
+            generic.metrics.agg_generic_chunks > 0,
+            "pc={partition_count}"
+        );
+        assert_eq!(
+            generic.metrics.agg_fast_path_chunks, 0,
+            "pc={partition_count}"
+        );
+        // Unsorted, exact comparison: identical routing hashes → identical
+        // partition contents → identical encoded-key order and values.
+        assert_eq!(
+            fast.rows, generic.rows,
+            "pc={partition_count}: paths are not byte-identical"
+        );
+        // The metrics land in the trace for case studies.
+        assert!(
+            fast.trace
+                .iter()
+                .any(|(l, v)| l == "[agg] fast-path-chunks" && *v > 0),
+            "trace missing fast-path chunks: {:?}",
+            fast.trace
+        );
+    }
+}
+
+/// A `Utf8` GROUP BY key is ineligible for packing: the sink must fall
+/// back to the generic tables even with the fast path enabled — and still
+/// agree with itself across partition counts.
+#[test]
+fn utf8_group_key_falls_back_to_generic() {
+    let db = chain_db();
+    let sql = "SELECT c.tag, COUNT(*) AS n FROM b, c WHERE b.j = c.j GROUP BY c.tag";
+    let mut baseline: Option<Vec<Vec<ScalarValue>>> = None;
+    for partition_count in [1usize, 8] {
+        let r = db
+            .query(
+                sql,
+                &QueryOptions::new(Mode::RobustPredicateTransfer)
+                    .with_partition_count(partition_count)
+                    .with_agg_fast(true),
+            )
+            .unwrap();
+        assert_eq!(
+            r.metrics.agg_fast_path_chunks, 0,
+            "pc={partition_count}: Utf8 key must not take the fast path"
+        );
+        assert!(r.metrics.agg_generic_chunks > 0, "pc={partition_count}");
+        assert_eq!(r.rows.len(), 3, "three distinct tags");
+        match &baseline {
+            None => baseline = Some(r.sorted_rows()),
+            Some(b) => assert_eq!(&r.sorted_rows(), b, "pc={partition_count}"),
         }
     }
 }
