@@ -30,6 +30,12 @@ pub struct BloomFilter {
     block_shift: u32,
     num_blocks: u64,
     inserted: u64,
+    /// Inclusive `[min, max]` over the *raw* `Int64` key values inserted,
+    /// tracked only when the builder observes them (single-column `Int64`
+    /// keys). Scans compare it against block zone maps: a storage block
+    /// whose key range is disjoint from this range cannot contain a true
+    /// semi-join match, so it can be skipped before decode.
+    key_range: Option<(i64, i64)>,
 }
 
 impl BloomFilter {
@@ -50,6 +56,7 @@ impl BloomFilter {
             block_shift: if num_blocks == 1 { 64 } else { block_shift },
             num_blocks,
             inserted: 0,
+            key_range: None,
         }
     }
 
@@ -144,6 +151,9 @@ impl BloomFilter {
             *a |= *b;
         }
         self.inserted += other.inserted;
+        if let Some((lo, hi)) = other.key_range {
+            self.observe_key_range(lo, hi);
+        }
         Ok(())
     }
 
@@ -193,12 +203,31 @@ impl BloomFilter {
             });
         }
         self.inserted += others.iter().map(|o| o.inserted).sum::<u64>();
+        for o in others {
+            if let Some((lo, hi)) = o.key_range {
+                self.observe_key_range(lo, hi);
+            }
+        }
         Ok(())
     }
 
     /// Number of keys inserted so far.
     pub fn num_inserted(&self) -> u64 {
         self.inserted
+    }
+
+    /// Widen the tracked key range to cover `[min, max]`.
+    pub fn observe_key_range(&mut self, min: i64, max: i64) {
+        self.key_range = Some(match self.key_range {
+            Some((lo, hi)) => (lo.min(min), hi.max(max)),
+            None => (min, max),
+        });
+    }
+
+    /// The inclusive `[min, max]` over inserted raw `Int64` keys, when the
+    /// builder tracked it.
+    pub fn key_range(&self) -> Option<(i64, i64)> {
+        self.key_range
     }
 
     /// Raw filter words (bit-pattern comparisons in tests and diagnostics).
@@ -229,6 +258,7 @@ impl BloomFilter {
             block_shift: self.block_shift,
             num_blocks: self.num_blocks,
             inserted: 0,
+            key_range: None,
         }
     }
 }
@@ -351,6 +381,23 @@ mod tests {
         let mut a = BloomFilter::with_capacity(10, 0.02);
         let b = BloomFilter::with_capacity(1_000_000, 0.02);
         assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn key_range_tracks_and_merges() {
+        let mut a = BloomFilter::with_capacity(100, 0.02);
+        assert_eq!(a.key_range(), None);
+        a.observe_key_range(5, 9);
+        a.observe_key_range(-3, 4);
+        assert_eq!(a.key_range(), Some((-3, 9)));
+        let mut b = a.empty_clone();
+        assert_eq!(b.key_range(), None);
+        b.observe_key_range(100, 200);
+        a.merge(&b).unwrap();
+        assert_eq!(a.key_range(), Some((-3, 200)));
+        let mut c = BloomFilter::with_capacity(100, 0.02);
+        c.merge_parallel(&[&a, &b], 2).unwrap();
+        assert_eq!(c.key_range(), Some((-3, 200)));
     }
 
     #[test]

@@ -62,11 +62,17 @@ pub fn hash_vector(vector: &Vector, out: &mut [u64], combine_mode: bool) {
             }
         };
     }
-    match &vector.data {
-        ColumnData::Int64(vals) => go!(vals, |v: &i64| hash_i64(*v)),
-        ColumnData::Float64(vals) => go!(vals, |v: &f64| hash_i64(v.to_bits() as i64)),
-        ColumnData::Utf8(vals) => go!(vals, |v: &String| hash_bytes(v.as_bytes())),
-        ColumnData::Bool(vals) => go!(vals, |v: &bool| hash_i64(*v as i64)),
+    // Dictionary-backed Utf8 hashes the *decoded* strings so routing and
+    // Bloom probes agree with flat string vectors bit-for-bit.
+    if let (Some(d), ColumnData::Int64(codes)) = (&vector.dict, &vector.data) {
+        go!(codes, |v: &i64| hash_bytes(d.value(*v as usize).as_bytes()));
+    } else {
+        match &vector.data {
+            ColumnData::Int64(vals) => go!(vals, |v: &i64| hash_i64(*v)),
+            ColumnData::Float64(vals) => go!(vals, |v: &f64| hash_i64(v.to_bits() as i64)),
+            ColumnData::Utf8(vals) => go!(vals, |v: &String| hash_bytes(v.as_bytes())),
+            ColumnData::Bool(vals) => go!(vals, |v: &bool| hash_i64(*v as i64)),
+        }
     }
     // NULL keys hash to a fixed sentinel so they never match anything in
     // joins (the join operators additionally filter NULL keys out).
@@ -114,11 +120,15 @@ pub fn hash_columns_sel(columns: &[&Vector], sel: Option<&[u32]>, num_rows: usiz
                 }
             };
         }
-        match &col.data {
-            ColumnData::Int64(vals) => go!(vals, |v: &i64| hash_i64(*v)),
-            ColumnData::Float64(vals) => go!(vals, |v: &f64| hash_i64(v.to_bits() as i64)),
-            ColumnData::Utf8(vals) => go!(vals, |v: &String| hash_bytes(v.as_bytes())),
-            ColumnData::Bool(vals) => go!(vals, |v: &bool| hash_i64(*v as i64)),
+        if let (Some(d), ColumnData::Int64(codes)) = (&col.dict, &col.data) {
+            go!(codes, |v: &i64| hash_bytes(d.value(*v as usize).as_bytes()));
+        } else {
+            match &col.data {
+                ColumnData::Int64(vals) => go!(vals, |v: &i64| hash_i64(*v)),
+                ColumnData::Float64(vals) => go!(vals, |v: &f64| hash_i64(v.to_bits() as i64)),
+                ColumnData::Utf8(vals) => go!(vals, |v: &String| hash_bytes(v.as_bytes())),
+                ColumnData::Bool(vals) => go!(vals, |v: &bool| hash_i64(*v as i64)),
+            }
         }
     }
     out
@@ -217,6 +227,29 @@ mod tests {
             };
             let gathered = hash_columns(&[&ga, &gb], n);
             assert_eq!(direct, gathered, "sel {sel:?}");
+        }
+    }
+
+    /// Dictionary-backed Utf8 vectors must hash identically to their
+    /// decoded flat form — partition routing and Bloom probes depend on it.
+    #[test]
+    fn dict_vector_hashes_like_flat_strings() {
+        use crate::dict::Utf8Dict;
+        let d = Utf8Dict::from_values(vec!["a", "bb", "ccc"]);
+        let dv = Vector::from_dict_codes(vec![2, 0, 0, 1], Some(vec![true, true, false, true]), d);
+        let flat = dv.decode_dict();
+        let mut h_dict = vec![0u64; 4];
+        let mut h_flat = vec![0u64; 4];
+        hash_vector(&dv, &mut h_dict, false);
+        hash_vector(&flat, &mut h_flat, false);
+        assert_eq!(h_dict, h_flat);
+        for sel in [None, Some(vec![3u32, 0, 0])] {
+            let n = sel.as_ref().map_or(4, Vec::len);
+            assert_eq!(
+                hash_columns_sel(&[&dv], sel.as_deref(), n),
+                hash_columns_sel(&[&flat], sel.as_deref(), n),
+                "sel {sel:?}"
+            );
         }
     }
 

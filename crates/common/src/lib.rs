@@ -12,6 +12,7 @@
 //! batch size 2048) and marks valid entries with a *selection vector*.
 
 pub mod chunk;
+pub mod dict;
 pub mod error;
 pub mod hash;
 pub mod partition;
@@ -20,6 +21,7 @@ pub mod types;
 pub mod vector;
 
 pub use chunk::{DataChunk, SelectionVector, VECTOR_SIZE};
+pub use dict::{Utf8Dict, DICT_KEY_BITS};
 pub use error::{Error, Result};
 pub use partition::{normalize_partition_count, partition_count_from_env, Partitioner};
 pub use schema::{Field, Schema};

@@ -1,12 +1,21 @@
 //! Typed column vectors with optional validity (NULL) masks.
 //!
 //! A [`Vector`] is one column of a [`crate::DataChunk`]: a contiguous typed
-//! buffer plus an optional validity mask. Vectors are always *flat* (no
-//! dictionary/constant encodings); selection is carried at the chunk level so
-//! operators can eliminate rows without copying column data.
+//! buffer plus an optional validity mask. Selection is carried at the chunk
+//! level so operators can eliminate rows without copying column data.
+//!
+//! Vectors are flat except for one encoding: a **dictionary-backed `Utf8`
+//! view**. When [`Vector::dict`] is set, the payload is `ColumnData::Int64`
+//! of dictionary codes while the *logical* type stays `Utf8` — `data_type`,
+//! `get`, and the hashing routines all speak strings, but fixed-width
+//! consumers (packed group keys) can read the codes directly. Gathers
+//! (`take`/`slice`) preserve the encoding; mutating paths decode to flat
+//! strings first.
 
+use crate::dict::{Utf8Dict, DICT_KEY_BITS};
 use crate::types::{DataType, ScalarValue};
 use crate::{Error, Result};
+use std::sync::Arc;
 
 /// The typed payload of a column vector.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +66,9 @@ impl ColumnData {
 pub struct Vector {
     pub data: ColumnData,
     pub validity: Option<Vec<bool>>,
+    /// When set, `data` holds `Int64` dictionary codes and the vector's
+    /// logical type is `Utf8` (see the module docs).
+    pub dict: Option<Arc<Utf8Dict>>,
 }
 
 impl Vector {
@@ -64,6 +76,7 @@ impl Vector {
         Vector {
             data,
             validity: None,
+            dict: None,
         }
     }
 
@@ -87,6 +100,21 @@ impl Vector {
         Vector::new(ColumnData::Bool(values))
     }
 
+    /// Build a dictionary-backed `Utf8` vector from codes into `dict`.
+    /// Code payloads at NULL positions are placeholders and must still be
+    /// in-range for the dictionary (use 0).
+    pub fn from_dict_codes(
+        codes: Vec<i64>,
+        validity: Option<Vec<bool>>,
+        dict: Arc<Utf8Dict>,
+    ) -> Self {
+        Vector {
+            data: ColumnData::Int64(codes),
+            validity,
+            dict: Some(dict),
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.data.len()
     }
@@ -95,8 +123,64 @@ impl Vector {
         self.data.is_empty()
     }
 
+    /// The *logical* type: `Utf8` for dictionary-backed vectors even though
+    /// the payload is `Int64` codes.
     pub fn data_type(&self) -> DataType {
-        self.data.data_type()
+        if self.dict.is_some() {
+            DataType::Utf8
+        } else {
+            self.data.data_type()
+        }
+    }
+
+    pub fn is_dict(&self) -> bool {
+        self.dict.is_some()
+    }
+
+    /// Bit width of this vector when packed into a fixed-width group key:
+    /// [`DataType::fixed_key_bits`] for flat vectors, [`DICT_KEY_BITS`] for
+    /// dictionary-backed `Utf8`.
+    pub fn fixed_width(&self) -> Option<u32> {
+        if self.dict.is_some() {
+            Some(DICT_KEY_BITS)
+        } else {
+            self.data_type().fixed_key_bits()
+        }
+    }
+
+    /// Read the string at physical row `idx` from a `Utf8` vector, resolving
+    /// dictionary codes. Panics on non-`Utf8` vectors; callers check
+    /// validity separately.
+    pub fn utf8_at(&self, idx: usize) -> &str {
+        match (&self.dict, &self.data) {
+            (Some(d), ColumnData::Int64(codes)) => d.value(codes[idx] as usize),
+            (None, ColumnData::Utf8(v)) => &v[idx],
+            _ => panic!("expected Utf8 column, got {:?}", self.data.data_type()),
+        }
+    }
+
+    /// A flat (dictionary-free) copy; clones cheaply when already flat.
+    pub fn decode_dict(&self) -> Vector {
+        match (&self.dict, &self.data) {
+            (Some(d), ColumnData::Int64(codes)) => Vector {
+                data: ColumnData::Utf8(
+                    codes
+                        .iter()
+                        .map(|&c| d.value(c as usize).to_string())
+                        .collect(),
+                ),
+                validity: self.validity.clone(),
+                dict: None,
+            },
+            _ => self.clone(),
+        }
+    }
+
+    /// Decode dictionary codes to flat strings in place (no-op when flat).
+    pub fn decode_dict_in_place(&mut self) {
+        if self.dict.is_some() {
+            *self = self.decode_dict();
+        }
     }
 
     pub fn is_valid(&self, idx: usize) -> bool {
@@ -108,6 +192,9 @@ impl Vector {
         if !self.is_valid(idx) {
             return ScalarValue::Null;
         }
+        if let (Some(d), ColumnData::Int64(codes)) = (&self.dict, &self.data) {
+            return ScalarValue::Utf8(d.value(codes[idx] as usize).to_string());
+        }
         match &self.data {
             ColumnData::Int64(v) => ScalarValue::Int64(v[idx]),
             ColumnData::Float64(v) => ScalarValue::Float64(v[idx]),
@@ -116,8 +203,10 @@ impl Vector {
         }
     }
 
-    /// Append a scalar (NULL extends the validity mask).
+    /// Append a scalar (NULL extends the validity mask). Dictionary-backed
+    /// vectors decode to flat strings first — `push` is a slow build path.
     pub fn push(&mut self, value: &ScalarValue) -> Result<()> {
+        self.decode_dict_in_place();
         if value.is_null() {
             let len = self.len();
             let validity = self.validity.get_or_insert_with(|| vec![true; len]);
@@ -171,10 +260,16 @@ impl Vector {
             .validity
             .as_ref()
             .map(|m| indices.iter().map(|&i| m[i as usize]).collect());
-        Vector { data, validity }
+        Vector {
+            data,
+            validity,
+            dict: self.dict.clone(),
+        }
     }
 
-    /// Append all rows of `other` (same type) to `self`.
+    /// Append all rows of `other` (same type) to `self`. Appending across
+    /// different encodings (dictionary vs flat, or two distinct
+    /// dictionaries) decodes both sides to flat strings.
     pub fn append(&mut self, other: &Vector) -> Result<()> {
         if self.data_type() != other.data_type() {
             return Err(Error::Exec(format!(
@@ -182,6 +277,15 @@ impl Vector {
                 other.data_type(),
                 self.data_type()
             )));
+        }
+        let same_dict = match (&self.dict, &other.dict) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        };
+        if !same_dict {
+            self.decode_dict_in_place();
+            return self.append(&other.decode_dict());
         }
         // Reconcile validity masks up front.
         if other.validity.is_some() && self.validity.is_none() {
@@ -213,7 +317,11 @@ impl Vector {
             ColumnData::Bool(v) => ColumnData::Bool(v[offset..end].to_vec()),
         };
         let validity = self.validity.as_ref().map(|m| m[offset..end].to_vec());
-        Vector { data, validity }
+        Vector {
+            data,
+            validity,
+            dict: self.dict.clone(),
+        }
     }
 
     /// Fold this column into per-row packed fixed-width group keys.
@@ -223,12 +331,13 @@ impl Vector {
     /// in a NULL flag bit followed by the row's value bits — so packing the
     /// key columns in order builds one integer per row that is equal iff
     /// the rows' key tuples are equal (NULL rows contribute canonical zero
-    /// value bits). `width` must be [`DataType::fixed_key_bits`] for this
-    /// column's type and the caller guarantees the accumulated key fits in
-    /// 128 bits; panics on non-fixed-width columns (internal fast path,
-    /// like [`Vector::i64_slice`]).
+    /// value bits). `width` must be [`Vector::fixed_width`] for this column
+    /// ([`DataType::fixed_key_bits`] for flat vectors, [`DICT_KEY_BITS`]
+    /// for dictionary codes) and the caller guarantees the accumulated key
+    /// fits in 128 bits; panics on non-fixed-width columns (internal fast
+    /// path, like [`Vector::i64_slice`]).
     pub fn pack_fixed_key(&self, sel: Option<&[u32]>, width: u32, acc: &mut [u128]) {
-        debug_assert_eq!(Some(width), self.data_type().fixed_key_bits());
+        debug_assert_eq!(Some(width), self.fixed_width());
         let value = |row: usize| -> u128 {
             match &self.data {
                 ColumnData::Int64(v) => v[row] as u64 as u128,
@@ -372,5 +481,77 @@ mod tests {
         let mut a = Vector::from_i64(vec![1]);
         let b = Vector::from_bool(vec![true]);
         assert!(a.append(&b).is_err());
+    }
+
+    fn dict_vec() -> Vector {
+        let d = Utf8Dict::from_values(vec!["east", "north", "west"]);
+        Vector::from_dict_codes(vec![2, 0, 0, 1], Some(vec![true, true, false, true]), d)
+    }
+
+    #[test]
+    fn dict_vector_is_logically_utf8() {
+        let v = dict_vec();
+        assert_eq!(v.data_type(), DataType::Utf8);
+        assert!(v.is_dict());
+        assert_eq!(v.fixed_width(), Some(DICT_KEY_BITS));
+        assert_eq!(v.get(0), ScalarValue::Utf8("west".into()));
+        assert_eq!(v.get(2), ScalarValue::Null);
+        assert_eq!(v.utf8_at(3), "north");
+    }
+
+    #[test]
+    fn dict_take_and_slice_preserve_encoding() {
+        let v = dict_vec();
+        let t = v.take(&[3, 0]);
+        assert!(t.is_dict());
+        assert_eq!(t.get(0), ScalarValue::Utf8("north".into()));
+        let s = v.slice(1, 2);
+        assert!(s.is_dict());
+        assert_eq!(s.get(0), ScalarValue::Utf8("east".into()));
+        assert_eq!(s.get(1), ScalarValue::Null);
+    }
+
+    #[test]
+    fn dict_decode_matches_gets() {
+        let v = dict_vec();
+        let flat = v.decode_dict();
+        assert!(!flat.is_dict());
+        for i in 0..v.len() {
+            assert_eq!(v.get(i), flat.get(i));
+        }
+    }
+
+    #[test]
+    fn dict_append_mixed_encodings_decodes() {
+        // dict + flat
+        let mut a = dict_vec();
+        let b = Vector::from_utf8(vec!["zz".into()]);
+        a.append(&b).unwrap();
+        assert!(!a.is_dict());
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.get(4), ScalarValue::Utf8("zz".into()));
+        // same-dict append stays encoded
+        let mut c = dict_vec();
+        let d = c.clone();
+        c.append(&d).unwrap();
+        assert!(c.is_dict());
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.get(4), ScalarValue::Utf8("west".into()));
+        // push decodes
+        let mut e = dict_vec();
+        e.push(&ScalarValue::Utf8("q".into())).unwrap();
+        assert!(!e.is_dict());
+        assert_eq!(e.get(1), ScalarValue::Utf8("east".into()));
+    }
+
+    #[test]
+    fn dict_pack_fixed_key_uses_codes() {
+        let v = dict_vec();
+        let mut acc = vec![0u128; 4];
+        v.pack_fixed_key(None, DICT_KEY_BITS, &mut acc);
+        assert_eq!(acc[0], 2);
+        assert_eq!(acc[1], 0);
+        assert_eq!(acc[2], 1u128 << DICT_KEY_BITS); // NULL flag bit
+        assert_eq!(acc[3], 1);
     }
 }

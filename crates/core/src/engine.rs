@@ -121,6 +121,11 @@ pub struct QueryOptions {
     /// Defaults to `RPT_AGG_FAST` (`off` disables — the CI parity leg);
     /// the generic encoded-key path is always the fallback.
     pub agg_fast: bool,
+    /// Scan base tables through the block-based encoded layout (zone-map
+    /// block pruning + dictionary-coded `Utf8` columns) instead of the raw
+    /// vector layout. Defaults to `RPT_STORAGE_ENCODING` (`off` disables —
+    /// the CI parity leg); results are identical either way.
+    pub storage_encoding: bool,
 }
 
 impl QueryOptions {
@@ -144,7 +149,15 @@ impl QueryOptions {
             ce_noise: None,
             enforce_safe_orders: false,
             agg_fast: rpt_exec::agg_fast_from_env(),
+            storage_encoding: rpt_exec::storage_encoding_from_env(),
         }
+    }
+
+    /// Enable or disable the block-encoded storage scan path (zone-map
+    /// pruning + dictionary-coded strings; `false` scans the raw layout).
+    pub fn with_storage_encoding(mut self, storage_encoding: bool) -> Self {
+        self.storage_encoding = storage_encoding;
+        self
     }
 
     /// Enable or disable the fixed-width aggregation fast path (the
@@ -393,7 +406,8 @@ impl Database {
             .with_partitions(opts.partition_count)
             .with_scheduler(opts.scheduler)
             .with_workers(workers)
-            .with_agg_fast(opts.agg_fast);
+            .with_agg_fast(opts.agg_fast)
+            .with_storage_encoding(opts.storage_encoding);
         if let Some(b) = opts.work_budget {
             ctx = ctx.with_budget(b);
         }

@@ -12,7 +12,10 @@ use crate::engine::{Mode, QueryOptions};
 use crate::optimizer::PlanNode;
 use crate::query::JoinQuery;
 use rpt_common::{DataType, Error, Field, Result, Schema};
-use rpt_exec::{AggExpr, BloomSink, Expr, NodeDeps, OpSpec, PipelinePlan, SinkSpec, SourceSpec};
+use rpt_exec::{
+    prunable_conjuncts, AggExpr, BloomSink, Expr, NodeDeps, OpSpec, PipelinePlan, ScanPrune,
+    SinkSpec, SourceSpec,
+};
 use rpt_graph::{
     largest_root, largest_root_randomized, small2large, JoinTree, SemiJoin, TransferSchedule,
 };
@@ -232,13 +235,24 @@ impl<'q> Planner<'q> {
 
     /// Base stream for one relation: table scan → pushed filter →
     /// projection to the needed columns.
+    ///
+    /// Base scans are emitted as [`SourceSpec::Scan`] so the storage layer
+    /// can prune whole blocks with zone maps before decoding: any
+    /// `Int64 col CMP literal` conjuncts of the pushed-down filter are
+    /// mirrored into the scan's prune spec (the filter runs against the
+    /// full base schema, so its column indices *are* base-table columns),
+    /// and later transfer steps may add Bloom key ranges (see
+    /// [`Planner::transfer_step`]). Pruning is conservative — the filter
+    /// and probe operators still run on every surviving block.
     fn base_stream(&self, r: usize) -> Result<RelState> {
         let rel = &self.q.relations[r];
         let mut ops = Vec::new();
         let mut reduced = false;
+        let mut prune = ScanPrune::default();
         if let Some(f) = &rel.filter {
             // Filter runs against the full base schema.
             let expr = f.to_exec(&|fr, fc| if fr == r { Some(fc) } else { None })?;
+            prune.predicates = prunable_conjuncts(&expr);
             ops.push(OpSpec::Filter(expr));
             reduced = true;
         }
@@ -249,7 +263,10 @@ impl<'q> Planner<'q> {
         let layout: Vec<(usize, usize)> = rel.needed_cols.iter().map(|&c| (r, c)).collect();
         Ok(RelState {
             stream: Stream {
-                source: SourceSpec::Table(rel.table.clone()),
+                source: SourceSpec::Scan {
+                    table: rel.table.clone(),
+                    prune,
+                },
                 ops,
                 layout,
                 label: rel.binding.clone(),
@@ -422,10 +439,28 @@ impl<'q> Planner<'q> {
                 format!("{dir} createbf {src_name}"),
             )?;
             states[*source].stream = materialized;
+            let single_key = (tgt_keys.len() == 1).then(|| tgt_keys[0]);
             states[*target].stream.ops.push(OpSpec::ProbeBloom {
                 filter_id,
                 key_cols: tgt_keys,
             });
+            // Zone-map push-down of the transferred predicate: when the
+            // target is still a base scan and the (single) probe key is an
+            // `Int64` base column, record the `(filter, column)` pair so
+            // the scan can skip blocks whose key range is disjoint from
+            // the Bloom filter's observed build-key range. The ProbeBF op
+            // above remains in the pipeline — pruning only removes blocks
+            // it would have fully rejected anyway.
+            if let Some(pos) = single_key {
+                let (kr, kc) = states[*target].stream.layout[pos];
+                debug_assert_eq!(kr, *target);
+                let key_type = self.q.relations[kr].table.schema.field(kc).data_type;
+                if key_type == DataType::Int64 {
+                    if let SourceSpec::Scan { prune, .. } = &mut states[*target].stream.source {
+                        prune.bloom.push((filter_id, kc));
+                    }
+                }
+            }
         }
         let _ = tgt_name;
         states[*target].reduced = true;
@@ -602,6 +637,22 @@ impl<'q> Planner<'q> {
                 agg_schema_fields.push(Field::new(a.alias.clone(), a.output_type(&input_types)?));
             }
             let agg_schema = Schema::new(agg_schema_fields);
+            // Dictionary-coded `Utf8` group keys: when the storage layer
+            // runs in encoded mode, attach the base table's dictionary for
+            // every string group column so the aggregate can pack 32-bit
+            // codes into the fixed-width fast-path key instead of falling
+            // back to the generic encoded-key table. Attached per *input
+            // column* (the sink indexes by group column position).
+            let mut key_dicts: Vec<Option<Arc<rpt_common::Utf8Dict>>> = vec![None; layout.len()];
+            if self.opts.storage_encoding {
+                for &g in &group_cols {
+                    let (r, c) = layout[g];
+                    let rel = &self.q.relations[r];
+                    if rel.table.schema.field(c).data_type == DataType::Utf8 {
+                        key_dicts[g] = rel.table.dict(c);
+                    }
+                }
+            }
             let agg_buf = self.new_buffer();
             let sink_schema = self.stream_schema(&stream);
             self.pipelines.push(PipelinePlan {
@@ -614,6 +665,7 @@ impl<'q> Planner<'q> {
                     aggs,
                     input_types,
                     output_schema: agg_schema.clone(),
+                    key_dicts,
                 },
                 intermediate: false,
                 sink_schema,
@@ -795,7 +847,7 @@ impl<'q> Planner<'q> {
                     let m = self.materialize(stream, vec![], label)?;
                     match m.source {
                         SourceSpec::Buffer(id) => rel_buffers.push(id),
-                        SourceSpec::Table(_) => unreachable!("materialize returns a buffer"),
+                        _ => unreachable!("materialize returns a buffer"),
                     }
                 }
             }

@@ -24,9 +24,13 @@
 
 use crate::expr::{AggExpr, AggFunc};
 use crate::hash_table::IdentityMap;
-use rpt_common::{ColumnData, DataChunk, DataType, Error, Result, ScalarValue, Schema, Vector};
+use rpt_common::{
+    ColumnData, DataChunk, DataType, Error, Result, ScalarValue, Schema, Utf8Dict, Vector,
+    DICT_KEY_BITS,
+};
 use std::any::Any;
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 /// Running state of one aggregate in one group.
 #[derive(Debug, Clone)]
@@ -383,37 +387,55 @@ fn encode_key(values: &[ScalarValue], out: &mut Vec<u8>) {
 /// Bit layout of a packed fixed-width group key: per column (in group-col
 /// order) one NULL bit followed by the column's value bits, packed
 /// left-to-right into a single integer. Eligibility rule: every group
-/// column has a fixed-width encoding ([`DataType::fixed_key_bits`]) and the
-/// widths plus NULL bits fit in 128 bits — so `GROUP BY one Int64` (65
-/// bits) and `Int64 + Bool` (67) take the fast path while two `Int64`s
-/// (130) or any `Utf8`/`Float64` key fall back to the generic table.
+/// column has a fixed-width encoding ([`DataType::fixed_key_bits`], or
+/// [`DICT_KEY_BITS`]-wide dictionary codes for a `Utf8` column with a
+/// planner-attached dictionary) and the widths plus NULL bits fit in 128
+/// bits — so `GROUP BY one Int64` (65 bits), `Int64 + Bool` (67), and a
+/// dictionary-coded string column (33) take the fast path while two
+/// `Int64`s (130) or a dictionary-less `Utf8`/`Float64` key fall back to
+/// the generic table.
 #[derive(Debug, Clone)]
 pub struct KeyLayout {
     widths: Vec<u32>,
     types: Vec<DataType>,
+    /// Per group column: the table dictionary its codes are packed
+    /// against (`Utf8` columns only).
+    dicts: Vec<Option<Arc<Utf8Dict>>>,
     total_bits: u32,
 }
 
 impl KeyLayout {
     /// The layout for these group columns, or `None` when the key is not
-    /// fixed-width packable (→ generic table).
-    pub fn try_new(group_cols: &[usize], input_types: &[DataType]) -> Option<KeyLayout> {
+    /// fixed-width packable (→ generic table). `key_dicts` is indexed by
+    /// *input column* and carries the table dictionary of each
+    /// dictionary-coded `Utf8` column (planner-attached).
+    pub fn try_new(
+        group_cols: &[usize],
+        input_types: &[DataType],
+        key_dicts: &[Option<Arc<Utf8Dict>>],
+    ) -> Option<KeyLayout> {
         if group_cols.is_empty() {
             return None;
         }
         let mut widths = Vec::with_capacity(group_cols.len());
         let mut types = Vec::with_capacity(group_cols.len());
+        let mut dicts = Vec::with_capacity(group_cols.len());
         let mut total = 0u32;
         for &g in group_cols {
             let dt = *input_types.get(g)?;
-            let w = dt.fixed_key_bits()?;
+            let (w, dict) = match key_dicts.get(g).and_then(Clone::clone) {
+                Some(d) if dt == DataType::Utf8 => (DICT_KEY_BITS, Some(d)),
+                _ => (dt.fixed_key_bits()?, None),
+            };
             widths.push(w);
             types.push(dt);
+            dicts.push(dict);
             total += w + 1;
         }
         (total <= 128).then_some(KeyLayout {
             widths,
             types,
+            dicts,
             total_bits: total,
         })
     }
@@ -428,21 +450,33 @@ impl KeyLayout {
     }
 
     /// Pack every logical row's key columns into one integer per row,
-    /// straight from the typed payloads.
+    /// straight from the typed payloads. Dictionary group columns pack
+    /// their codes: when the chunk vector carries the layout's dictionary
+    /// (the scan served it), the `Int64` code payload packs directly; a
+    /// flat string vector (or one on a different dictionary) falls back to
+    /// a per-row code lookup.
     fn pack(&self, chunk: &DataChunk, group_cols: &[usize]) -> Vec<u128> {
         let mut acc = vec![0u128; chunk.num_rows()];
         let sel = chunk.selection.as_deref();
         for (i, &g) in group_cols.iter().enumerate() {
-            chunk.columns[g].pack_fixed_key(sel, self.widths[i], &mut acc);
+            let v = &chunk.columns[g];
+            match &self.dicts[i] {
+                None => v.pack_fixed_key(sel, self.widths[i], &mut acc),
+                Some(d) if v.dict.as_ref().is_some_and(|vd| Arc::ptr_eq(vd, d)) => {
+                    v.pack_fixed_key(sel, self.widths[i], &mut acc)
+                }
+                Some(d) => pack_dict_lookup(v, d, sel, self.widths[i], &mut acc),
+            }
         }
         acc
     }
 
     /// Unpack a key back into scalars (finalize only — never on the per-row
-    /// path).
+    /// path). Dictionary codes decode back to their strings.
     fn decode(&self, mut key: u128, out: &mut Vec<ScalarValue>) {
         out.clear();
-        for (&w, &dt) in self.widths.iter().zip(self.types.iter()).rev() {
+        for i in (0..self.widths.len()).rev() {
+            let (w, dt) = (self.widths[i], self.types[i]);
             let null = (key >> w) & 1 == 1;
             let val = key & ((1u128 << w) - 1);
             key >>= w + 1;
@@ -452,11 +486,38 @@ impl KeyLayout {
                 match dt {
                     DataType::Int64 => ScalarValue::Int64(val as u64 as i64),
                     DataType::Bool => ScalarValue::Bool(val != 0),
+                    DataType::Utf8 => {
+                        let d = self.dicts[i]
+                            .as_ref()
+                            .expect("dictionary-less Utf8 in packed key layout");
+                        ScalarValue::Utf8(d.value(val as usize).to_string())
+                    }
                     _ => unreachable!("non-fixed-width type in packed key layout"),
                 }
             });
         }
         out.reverse();
+    }
+}
+
+/// [`Vector::pack_fixed_key`]'s protocol for a string column whose codes
+/// must come from a per-row dictionary lookup (the vector is flat, or
+/// dictionary-backed on a *different* dictionary). A value missing from
+/// the layout dictionary is a planner invariant violation: the dictionary
+/// covers the base column's full value set and group keys are a subset of
+/// it.
+fn pack_dict_lookup(v: &Vector, d: &Utf8Dict, sel: Option<&[u32]>, width: u32, acc: &mut [u128]) {
+    let shift = width + 1;
+    for (i, a) in acc.iter_mut().enumerate() {
+        let row = sel.map_or(i, |s| s[i] as usize);
+        *a = (*a << shift)
+            | if v.is_valid(row) {
+                d.code_of(v.utf8_at(row))
+                    .expect("group value missing from the column dictionary")
+                    as u128
+            } else {
+                1u128 << width
+            };
     }
 }
 
@@ -967,12 +1028,27 @@ impl AggregateState {
 
     /// A state that takes the fixed-width fast path when `fast` is set and
     /// the group key is eligible ([`KeyLayout::try_new`]); otherwise the
-    /// generic table.
+    /// generic table. No key dictionaries: string group keys always fall
+    /// back to the generic table here.
     pub fn with_fast_path(
         group_cols: Vec<usize>,
         aggs: Vec<AggExpr>,
         input_types: &[rpt_common::DataType],
         fast: bool,
+    ) -> Result<AggregateState> {
+        AggregateState::with_fast_path_dicts(group_cols, aggs, input_types, fast, &[])
+    }
+
+    /// [`AggregateState::with_fast_path`] plus per-input-column table
+    /// dictionaries: a dictionary-coded `Utf8` group column packs its
+    /// [`DICT_KEY_BITS`]-wide codes into the fixed key, extending fast-path
+    /// eligibility to string group keys.
+    pub fn with_fast_path_dicts(
+        group_cols: Vec<usize>,
+        aggs: Vec<AggExpr>,
+        input_types: &[rpt_common::DataType],
+        fast: bool,
+        key_dicts: &[Option<Arc<Utf8Dict>>],
     ) -> Result<AggregateState> {
         let float_sums = aggs
             .iter()
@@ -986,7 +1062,7 @@ impl AggregateState {
             })
             .collect::<Result<Vec<bool>>>()?;
         let layout = if fast {
-            KeyLayout::try_new(&group_cols, input_types)
+            KeyLayout::try_new(&group_cols, input_types, key_dicts)
         } else {
             None
         };
@@ -1039,10 +1115,22 @@ impl AggregateState {
     }
 
     /// Evaluate the aggregate input expressions once for a whole chunk.
+    /// Dictionary-backed string inputs are decoded to flat strings here —
+    /// once per chunk — so [`AggState::update_vector`]'s typed payload
+    /// loops never mistake code payloads for integer values.
     pub fn eval_inputs(&self, chunk: &DataChunk) -> Result<Vec<Option<Vector>>> {
         self.aggs
             .iter()
-            .map(|a| a.input.as_ref().map(|e| e.eval(chunk)).transpose())
+            .map(|a| {
+                a.input
+                    .as_ref()
+                    .map(|e| {
+                        let mut v = e.eval(chunk)?;
+                        v.decode_dict_in_place();
+                        Ok(v)
+                    })
+                    .transpose()
+            })
             .collect()
     }
 
@@ -1382,7 +1470,7 @@ mod tests {
     /// `i64` extremes, and distinct tuples pack to distinct keys.
     #[test]
     fn key_layout_pack_decode_roundtrip() {
-        let layout = KeyLayout::try_new(&[0, 1], &[DataType::Int64, DataType::Bool]).unwrap();
+        let layout = KeyLayout::try_new(&[0, 1], &[DataType::Int64, DataType::Bool], &[]).unwrap();
         assert_eq!(layout.total_bits(), 67);
         let mut k = Vector::new_empty(DataType::Int64);
         for v in [

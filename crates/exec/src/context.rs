@@ -46,6 +46,15 @@ pub fn agg_fast_from_env() -> bool {
         .is_ok_and(|v| v.eq_ignore_ascii_case("off") || v == "0" || v.eq_ignore_ascii_case("false"))
 }
 
+/// Process default for the block-encoded storage read path (zone-map scan
+/// pruning + dictionary-backed string vectors): enabled unless
+/// `RPT_STORAGE_ENCODING` is set to `off`/`0`/`false` (scans then serve the
+/// raw flat layout — the CI parity leg).
+pub fn storage_encoding_from_env() -> bool {
+    !std::env::var("RPT_STORAGE_ENCODING")
+        .is_ok_and(|v| v.eq_ignore_ascii_case("off") || v == "0" || v.eq_ignore_ascii_case("false"))
+}
+
 /// Worker utilization as a percentage: busy nanoseconds over wall
 /// nanoseconds × pool size, clamped to `[0, 100]`; 0 when unknown.
 pub fn utilization_pct(busy_nanos: u64, wall_nanos: u64, workers: u64) -> u64 {
@@ -120,6 +129,10 @@ pub struct Metrics {
     pub agg_fast_path_chunks: AtomicU64,
     /// Chunks consumed by aggregate sinks on the generic encoded-key path.
     pub agg_generic_chunks: AtomicU64,
+    /// Storage blocks skipped by zone-map pruning before decode.
+    pub blocks_pruned: AtomicU64,
+    /// Storage blocks decoded and scanned.
+    pub blocks_scanned: AtomicU64,
     /// Per-pipeline (label, rows-into-sink) trace, for case studies.
     pub pipeline_trace: Mutex<Vec<(String, u64)>>,
 }
@@ -213,6 +226,14 @@ impl Metrics {
             "[agg] generic-chunks".to_string(),
             self.get(&self.agg_generic_chunks),
         ));
+        trace.push((
+            "[storage] blocks-pruned".to_string(),
+            self.get(&self.blocks_pruned),
+        ));
+        trace.push((
+            "[storage] blocks-scanned".to_string(),
+            self.get(&self.blocks_scanned),
+        ));
     }
 
     /// Snapshot of the headline numbers.
@@ -238,6 +259,8 @@ impl Metrics {
             sched_workers: self.sched_workers.load(Ordering::Relaxed),
             agg_fast_path_chunks: self.agg_fast_path_chunks.load(Ordering::Relaxed),
             agg_generic_chunks: self.agg_generic_chunks.load(Ordering::Relaxed),
+            blocks_pruned: self.blocks_pruned.load(Ordering::Relaxed),
+            blocks_scanned: self.blocks_scanned.load(Ordering::Relaxed),
         }
     }
 }
@@ -265,6 +288,8 @@ pub struct MetricsSummary {
     pub sched_workers: u64,
     pub agg_fast_path_chunks: u64,
     pub agg_generic_chunks: u64,
+    pub blocks_pruned: u64,
+    pub blocks_scanned: u64,
 }
 
 impl MetricsSummary {
@@ -336,6 +361,10 @@ pub struct ExecContext {
     /// when the group key is eligible (defaults from `RPT_AGG_FAST`; `off`
     /// forces the generic encoded-key tables everywhere).
     pub agg_fast: bool,
+    /// Serve table scans from the block-encoded layout (zone-map pruning,
+    /// dictionary-backed string vectors). Defaults from
+    /// `RPT_STORAGE_ENCODING`; `off` scans the raw flat layout.
+    pub storage_encoding: bool,
 }
 
 impl Default for ExecContext {
@@ -358,12 +387,19 @@ impl ExecContext {
             workers: default_worker_count(),
             sched_trace: std::env::var("RPT_SCHED_TRACE").is_ok_and(|v| v == "1"),
             agg_fast: agg_fast_from_env(),
+            storage_encoding: storage_encoding_from_env(),
         }
     }
 
     /// Enable or disable the fixed-width aggregation fast path.
     pub fn with_agg_fast(mut self, agg_fast: bool) -> Self {
         self.agg_fast = agg_fast;
+        self
+    }
+
+    /// Enable or disable the block-encoded storage read path.
+    pub fn with_storage_encoding(mut self, on: bool) -> Self {
+        self.storage_encoding = on;
         self
     }
 

@@ -199,7 +199,8 @@ impl Expr {
                 Ok(Vector::from_bool(out))
             }
             Expr::Contains { expr, pattern } => {
-                let v = expr.eval(chunk)?;
+                let mut v = expr.eval(chunk)?;
+                v.decode_dict_in_place();
                 let s = v.utf8_slice();
                 Ok(Vector::from_bool(
                     (0..n)
@@ -208,7 +209,8 @@ impl Expr {
                 ))
             }
             Expr::StartsWith { expr, pattern } => {
-                let v = expr.eval(chunk)?;
+                let mut v = expr.eval(chunk)?;
+                v.decode_dict_in_place();
                 let s = v.utf8_slice();
                 Ok(Vector::from_bool(
                     (0..n)
@@ -250,6 +252,31 @@ impl Expr {
     }
 }
 
+/// The `Int64 column CMP i64-literal` conjuncts of a predicate, normalized
+/// to `(column, op, literal)` with the column on the left. These are the
+/// conjuncts a scan can check against per-block zone maps: any block whose
+/// `[min, max]` proves the conjunct false for every row can be skipped
+/// without changing the filter's output (NULL rows never pass a comparison
+/// either way). Walks `And` trees; `Or`/`Not` subtrees contribute nothing.
+pub fn prunable_conjuncts(expr: &Expr) -> Vec<(usize, CmpOp, i64)> {
+    fn walk(e: &Expr, out: &mut Vec<(usize, CmpOp, i64)>) {
+        match e {
+            Expr::And(parts) => parts.iter().for_each(|p| walk(p, out)),
+            Expr::Cmp { op, left, right } => match (&**left, &**right) {
+                (Expr::Column(c), Expr::Literal(ScalarValue::Int64(x))) => out.push((*c, *op, *x)),
+                (Expr::Literal(ScalarValue::Int64(x)), Expr::Column(c)) => {
+                    out.push((*c, op.flip(), *x))
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    walk(expr, &mut out);
+    out
+}
+
 /// Selection fast path for `Int64 column CMP i64 literal`: compare the
 /// typed payload directly and push passing logical row indices. Returns
 /// `Ok(None)` when the column is not `Int64` (the caller falls back to the
@@ -265,6 +292,11 @@ fn cmp_i64_literal_selection(
         .columns
         .get(col)
         .ok_or_else(|| Error::Exec(format!("column {col} out of bounds")))?;
+    if c.is_dict() {
+        // Dictionary-backed Utf8: the Int64 payload holds codes, not
+        // values — fall back to the generic evaluation.
+        return Ok(None);
+    }
     let ColumnData::Int64(vals) = &c.data else {
         return Ok(None);
     };

@@ -316,8 +316,8 @@ impl Engine<'_> {
             Task::Open { pipe, group } => {
                 let p = &self.phys[pipe];
                 let chunks = match p.source.partitioned_input() {
-                    Some(_) => p.source.partition_chunks(self.res, group)?,
-                    None => p.source.chunks(self.res)?,
+                    Some(_) => p.source.partition_chunks(self.ctx, self.res, group)?,
+                    None => p.source.chunks(self.ctx, self.res)?,
                 };
                 let n = chunks.len();
                 self.runtimes[pipe].groups[group]

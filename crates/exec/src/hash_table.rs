@@ -5,9 +5,10 @@
 //! can contain its matches (build and probe share the [`Partitioner`]).
 
 use rpt_common::hash::hash_columns;
-use rpt_common::{ColumnData, DataChunk, Partitioner, Result, Vector};
+use rpt_common::{ColumnData, DataChunk, DataType, Partitioner, Result, Vector};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
 /// The keys are already avalanche-mixed by `rpt_common::hash`, so the map
 /// uses an identity hasher.
@@ -47,6 +48,19 @@ pub struct JoinHashTable {
 fn values_equal(a: &Vector, ia: usize, b: &Vector, ib: usize) -> bool {
     if !a.is_valid(ia) || !b.is_valid(ib) {
         return false;
+    }
+    // Dictionary-backed string vectors: a same-dictionary pair compares
+    // codes directly (the Int64 payload arm below); any other mix with a
+    // dictionary side resolves both strings.
+    match (&a.dict, &b.dict) {
+        (None, None) => {}
+        (Some(x), Some(y)) if Arc::ptr_eq(x, y) => {}
+        _ => {
+            if a.data_type() != DataType::Utf8 || b.data_type() != DataType::Utf8 {
+                return false;
+            }
+            return a.utf8_at(ia) == b.utf8_at(ib);
+        }
     }
     match (&a.data, &b.data) {
         (ColumnData::Int64(x), ColumnData::Int64(y)) => x[ia] == y[ib],

@@ -34,13 +34,16 @@ pub mod scheduler;
 pub mod wcoj;
 
 pub use aggregate::{AggState, AggUpdateStats, AggregateState, ChunkKeys, KeyLayout};
-pub use context::{agg_fast_from_env, default_worker_count, ExecContext, Metrics, SchedulerKind};
-pub use expr::{AggExpr, AggFunc, ArithOp, CmpOp, Expr};
+pub use context::{
+    agg_fast_from_env, default_worker_count, storage_encoding_from_env, ExecContext, Metrics,
+    SchedulerKind,
+};
+pub use expr::{prunable_conjuncts, AggExpr, AggFunc, ArithOp, CmpOp, Expr};
 pub use global::{run_physical_global, GlobalStats};
 pub use hash_table::{BuildRef, JoinHashTable, PartitionedHashTable};
 pub use operators::{
-    expand_partition_grains, ChunkList, Operator, PartitionMerger, ResourceId, Resources, Sink,
-    SinkFactory, Source,
+    expand_partition_grains, ChunkList, Operator, PartitionMerger, ResourceId, Resources,
+    ScanPrune, Sink, SinkFactory, Source,
 };
 pub use pipeline::{
     BloomSink, Executor, OpSpec, PhysicalPipeline, PipelinePlan, SinkSpec, SourceSpec,

@@ -21,9 +21,10 @@ use super::{
 use crate::aggregate::AggregateState;
 use crate::context::ExecContext;
 use crate::expr::AggExpr;
-use rpt_common::{DataChunk, DataType, Error, Partitioner, Result, Schema};
+use rpt_common::{DataChunk, DataType, Error, Partitioner, Result, Schema, Utf8Dict};
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 pub struct AggregateSink {
     buf_id: usize,
@@ -127,6 +128,9 @@ pub struct AggregateFactory {
     aggs: Vec<AggExpr>,
     input_types: Vec<DataType>,
     output_schema: Schema,
+    /// Per input column: the table dictionary of a dictionary-coded `Utf8`
+    /// column (extends fast-path eligibility to string group keys).
+    key_dicts: Vec<Option<Arc<Utf8Dict>>>,
 }
 
 impl AggregateFactory {
@@ -136,6 +140,7 @@ impl AggregateFactory {
         aggs: Vec<AggExpr>,
         input_types: Vec<DataType>,
         output_schema: Schema,
+        key_dicts: Vec<Option<Arc<Utf8Dict>>>,
     ) -> AggregateFactory {
         AggregateFactory {
             buf_id,
@@ -143,20 +148,23 @@ impl AggregateFactory {
             aggs,
             input_types,
             output_schema,
+            key_dicts,
         }
     }
 
     /// One per-partition group table. The table implementation is chosen
     /// here, at sink construction: the fixed-key fast path when the
     /// context allows it (`ctx.agg_fast`, default on, `RPT_AGG_FAST=off`
-    /// to disable) *and* every group column is fixed-width — else the
-    /// generic encoded-key table.
+    /// to disable) *and* every group column is fixed-width — `Int64`,
+    /// `Bool`, or a `Utf8` column with a planner-attached dictionary
+    /// packing its codes — else the generic encoded-key table.
     fn state(&self, ctx: &ExecContext) -> Result<AggregateState> {
-        AggregateState::with_fast_path(
+        AggregateState::with_fast_path_dicts(
             self.group_cols.clone(),
             self.aggs.clone(),
             &self.input_types,
             ctx.agg_fast,
+            &self.key_dicts,
         )
     }
 }

@@ -9,7 +9,7 @@
 use super::{key_hashes, Resources};
 use crate::context::ExecContext;
 use rpt_bloom::BloomFilter;
-use rpt_common::{DataChunk, Error, Result};
+use rpt_common::{ColumnData, DataChunk, Error, Result};
 use std::time::Instant;
 
 /// Request to build one Bloom filter inside a buffering sink.
@@ -71,12 +71,41 @@ pub fn insert_into_blooms(chunk: &DataChunk, blooms: &mut [BloomBuild], ctx: &Ex
                 build.filter.insert_hash(h);
             }
         }
+        observe_i64_key_range(chunk, build);
     }
     m.add(&m.bloom_nanos, t0.elapsed().as_nanos() as u64);
     m.add(
         &m.bloom_build_rows,
         chunk.num_rows() as u64 * blooms.len() as u64,
     );
+}
+
+/// Track the raw value range of single-column flat `Int64` keys on the
+/// partial filter, so scans can prune storage blocks whose zone maps are
+/// disjoint from the transferred filter's key range. Dictionary-backed
+/// vectors are skipped: their `Int64` payload holds codes, not values.
+fn observe_i64_key_range(chunk: &DataChunk, build: &mut BloomBuild) {
+    let [col] = build.spec.key_cols[..] else {
+        return;
+    };
+    let v = &chunk.columns[col];
+    if v.is_dict() {
+        return;
+    }
+    let ColumnData::Int64(vals) = &v.data else {
+        return;
+    };
+    let mut bounds: Option<(i64, i64)> = None;
+    for i in 0..chunk.num_rows() {
+        let p = chunk.physical_index(i);
+        if v.is_valid(p) {
+            let x = vals[p];
+            bounds = Some(bounds.map_or((x, x), |(a, b)| (a.min(x), b.max(x))));
+        }
+    }
+    if let Some((lo, hi)) = bounds {
+        build.filter.observe_key_range(lo, hi);
+    }
 }
 
 /// Merge two parallel lists of partial filters pairwise.

@@ -35,7 +35,7 @@ pub use hash_build::HashBuildSink;
 pub use join_probe::JoinProbe;
 pub use probe_bloom::ProbeBloom;
 pub use project::Project;
-pub use scan::{BufferScan, TableScan};
+pub use scan::{BufferScan, ScanPrune, TableScan};
 pub use semi_probe::SemiProbe;
 
 use crate::context::ExecContext;
@@ -273,8 +273,10 @@ impl Resources {
 
 /// Where a pipeline's morsels come from (`GetData`).
 pub trait Source: Send + Sync {
-    /// The materialized chunks workers will claim morsel-style.
-    fn chunks(&self, res: &Resources) -> Result<Arc<ChunkList>>;
+    /// The materialized chunks workers will claim morsel-style. `ctx`
+    /// carries read-path configuration (e.g. `storage_encoding`) and the
+    /// metrics sink for scan-side counters.
+    fn chunks(&self, ctx: &ExecContext, res: &Resources) -> Result<Arc<ChunkList>>;
 
     /// Resources this source depends on.
     fn reads(&self) -> Vec<ResourceId> {
@@ -292,9 +294,14 @@ pub trait Source: Send + Sync {
 
     /// Morsels of one input partition; only called for sources reporting
     /// [`Source::partitioned_input`], with `part` already sealed.
-    fn partition_chunks(&self, res: &Resources, part: usize) -> Result<Arc<ChunkList>> {
+    fn partition_chunks(
+        &self,
+        ctx: &ExecContext,
+        res: &Resources,
+        part: usize,
+    ) -> Result<Arc<ChunkList>> {
         let _ = part;
-        self.chunks(res)
+        self.chunks(ctx, res)
     }
 }
 

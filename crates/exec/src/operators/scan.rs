@@ -1,30 +1,153 @@
-//! Scan sources: in-memory table scans and buffer re-scans.
+//! Scan sources: in-memory table scans (with zone-map block pruning) and
+//! buffer re-scans.
 
 use super::{ChunkList, ResourceId, Resources, Source};
+use crate::context::ExecContext;
+use crate::expr::CmpOp;
 use rpt_common::Result;
-use rpt_storage::Table;
+use rpt_storage::{BlockTable, Table, ZoneMap};
 use std::sync::Arc;
 
+/// Planner-recorded pruning opportunities for one table scan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScanPrune {
+    /// `Int64 col CMP literal` conjuncts of the scan's pushed-down filter
+    /// (base-table column indices). Any block whose zone map proves the
+    /// conjunct can never hold is skipped — the full filter still runs on
+    /// surviving blocks, so pruning only removes rows the filter would
+    /// drop anyway.
+    pub predicates: Vec<(usize, CmpOp, i64)>,
+    /// `(filter_id, col)` pairs: transferred Bloom filters probed on base
+    /// column `col` downstream of this scan. When the published filter
+    /// tracked a raw key range, blocks of all-valid rows disjoint from it
+    /// cannot contain a true semi-join match and are skipped.
+    pub bloom: Vec<(usize, usize)>,
+}
+
+impl ScanPrune {
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty() && self.bloom.is_empty()
+    }
+}
+
 /// Scan an in-memory columnar table, chunked into default-size morsels.
+///
+/// With `ctx.storage_encoding` on, chunks are decoded from the table's
+/// block-encoded form — one block per chunk — skipping (never decoding)
+/// blocks the [`ScanPrune`] spec rules out via zone maps, and serving
+/// dictionary-coded `Utf8` columns as dictionary-backed vectors. With it
+/// off, the raw flat layout is sliced as before (parity path).
 pub struct TableScan {
     table: Arc<Table>,
+    prune: ScanPrune,
 }
 
 impl TableScan {
     pub fn new(table: Arc<Table>) -> TableScan {
-        TableScan { table }
+        TableScan {
+            table,
+            prune: ScanPrune::default(),
+        }
+    }
+
+    pub fn with_prune(table: Arc<Table>, prune: ScanPrune) -> TableScan {
+        TableScan { table, prune }
+    }
+
+    /// Can any row of a block with zone map `zone` satisfy `col CMP lit`?
+    /// NULL rows never satisfy a SQL comparison, so all-NULL blocks prune
+    /// under any literal conjunct.
+    fn literal_may_match(zone: &ZoneMap, op: CmpOp, lit: i64) -> bool {
+        if zone.all_null() {
+            return false;
+        }
+        let Some((mn, mx)) = zone.i64_bounds() else {
+            return true; // non-Int64 zone: never prune
+        };
+        match op {
+            CmpOp::Eq => lit >= mn && lit <= mx,
+            CmpOp::NotEq => !(mn == mx && mn == lit),
+            CmpOp::Lt => mn < lit,
+            CmpOp::LtEq => mn <= lit,
+            CmpOp::Gt => mx > lit,
+            CmpOp::GtEq => mx >= lit,
+        }
+    }
+
+    fn block_pruned(&self, enc: &BlockTable, b: usize, bloom_ranges: &[(usize, i64, i64)]) -> bool {
+        for &(col, op, lit) in &self.prune.predicates {
+            if !Self::literal_may_match(enc.zone(col, b), op, lit) {
+                return true;
+            }
+        }
+        for &(col, lo, hi) in bloom_ranges {
+            let zone = enc.zone(col, b);
+            // Only all-valid blocks are eligible: a NULL-keyed row's fate
+            // is decided downstream (the Bloom probe may keep it), so
+            // blocks containing NULLs are never range-pruned.
+            if zone.null_count == 0 {
+                if let Some((mn, mx)) = zone.i64_bounds() {
+                    if mx < lo || mn > hi {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
     }
 }
 
 impl Source for TableScan {
-    fn chunks(&self, _res: &Resources) -> Result<Arc<ChunkList>> {
-        Ok(Arc::new(
-            self.table
-                .default_chunks()
-                .into_iter()
-                .map(Arc::new)
-                .collect(),
-        ))
+    fn chunks(&self, ctx: &ExecContext, res: &Resources) -> Result<Arc<ChunkList>> {
+        if !ctx.storage_encoding {
+            return Ok(Arc::new(
+                self.table
+                    .default_chunks()
+                    .into_iter()
+                    .map(Arc::new)
+                    .collect(),
+            ));
+        }
+        let enc = self.table.encoded();
+        // Resolve transferred key ranges once per scan; filters named here
+        // are in `reads()`, so they are published before the scan opens.
+        let mut bloom_ranges = Vec::with_capacity(self.prune.bloom.len());
+        for &(filter_id, col) in &self.prune.bloom {
+            if let Some((lo, hi)) = res.filter(filter_id)?.key_range() {
+                bloom_ranges.push((col, lo, hi));
+            }
+        }
+        let mut out: ChunkList = Vec::new();
+        let mut pruned = 0u64;
+        for b in 0..enc.num_blocks() {
+            if self.block_pruned(&enc, b, &bloom_ranges) {
+                pruned += 1;
+            } else {
+                out.push(Arc::new(enc.decode_block(b)));
+            }
+        }
+        let m = &ctx.metrics;
+        m.add(&m.blocks_pruned, pruned);
+        m.add(&m.blocks_scanned, out.len() as u64);
+        if pruned > 0 {
+            m.trace_entry(
+                format!("[storage] scan {} blocks-pruned", self.table.name),
+                pruned,
+            );
+        }
+        Ok(Arc::new(out))
+    }
+
+    fn reads(&self) -> Vec<ResourceId> {
+        let mut ids: Vec<ResourceId> = self
+            .prune
+            .bloom
+            .iter()
+            .map(|&(filter_id, _)| ResourceId::Filter(filter_id))
+            .collect();
+        ids.sort();
+        ids.dedup();
+        ids
     }
 }
 
@@ -41,7 +164,7 @@ impl BufferScan {
 }
 
 impl Source for BufferScan {
-    fn chunks(&self, res: &Resources) -> Result<Arc<ChunkList>> {
+    fn chunks(&self, _ctx: &ExecContext, res: &Resources) -> Result<Arc<ChunkList>> {
         res.buffer(self.buf_id)
     }
 
@@ -56,7 +179,12 @@ impl Source for BufferScan {
         Some(self.buf_id)
     }
 
-    fn partition_chunks(&self, res: &Resources, part: usize) -> Result<Arc<ChunkList>> {
+    fn partition_chunks(
+        &self,
+        _ctx: &ExecContext,
+        res: &Resources,
+        part: usize,
+    ) -> Result<Arc<ChunkList>> {
         res.buffer_partition(self.buf_id, part)
     }
 }

@@ -21,8 +21,8 @@ use crate::expr::{AggExpr, Expr};
 use crate::hash_table::PartitionedHashTable;
 use crate::operators::{
     aggregate::AggregateFactory, buffer::BufferSinkFactory, hash_build::HashBuildFactory,
-    BufferScan, Filter, JoinProbe, Operator, ProbeBloom, Project, ResourceId, Resources, SemiProbe,
-    SinkFactory, Source, TableScan,
+    BufferScan, Filter, JoinProbe, Operator, ProbeBloom, Project, ResourceId, Resources, ScanPrune,
+    SemiProbe, SinkFactory, Source, TableScan,
 };
 use rpt_bloom::BloomFilter;
 use rpt_common::{DataChunk, DataType, Result, Schema};
@@ -37,6 +37,11 @@ pub use crate::operators::create_bf::BloomSink;
 pub enum SourceSpec {
     /// Scan an in-memory table.
     Table(Arc<Table>),
+    /// Scan an in-memory table with planner-recorded block-pruning
+    /// opportunities: zone-map-checkable literal conjuncts of the pushed
+    /// filter plus transferred Bloom filters whose key range can rule out
+    /// whole blocks ([`ScanPrune`]).
+    Scan { table: Arc<Table>, prune: ScanPrune },
     /// Read the materialized output of an earlier pipeline (e.g. a
     /// `CreateBF` buffer acting as a source).
     Buffer(usize),
@@ -47,6 +52,9 @@ impl SourceSpec {
     pub fn lower(&self) -> Box<dyn Source> {
         match self {
             SourceSpec::Table(t) => Box::new(TableScan::new(t.clone())),
+            SourceSpec::Scan { table, prune } => {
+                Box::new(TableScan::with_prune(table.clone(), prune.clone()))
+            }
             SourceSpec::Buffer(id) => Box::new(BufferScan::new(*id)),
         }
     }
@@ -126,6 +134,10 @@ pub enum SinkSpec {
         aggs: Vec<AggExpr>,
         input_types: Vec<DataType>,
         output_schema: Schema,
+        /// Per *input column*: the table dictionary of a dictionary-coded
+        /// `Utf8` column (planner-attached), which lets a string group key
+        /// pack its codes into the fixed-width fast path. Empty = none.
+        key_dicts: Vec<Option<Arc<rpt_common::Utf8Dict>>>,
     },
 }
 
@@ -155,12 +167,14 @@ impl SinkSpec {
                 aggs,
                 input_types,
                 output_schema,
+                key_dicts,
             } => Box::new(AggregateFactory::new(
                 *buf_id,
                 group_cols.clone(),
                 aggs.clone(),
                 input_types.clone(),
                 output_schema.clone(),
+                key_dicts.clone(),
             )),
         }
     }
@@ -324,7 +338,7 @@ impl PipelineShared {
 /// per-partition tasks claimed by the *same* workers for partitioned
 /// sinks, serial Combine + Finalize otherwise.
 pub fn run_physical(p: &PhysicalPipeline, ctx: &ExecContext, res: &Resources) -> Result<()> {
-    let chunks = p.source.chunks(res)?;
+    let chunks = p.source.chunks(ctx, res)?;
     // The same workers later claim the per-partition merge tasks, so a
     // partitioned sink sizes the scope for whichever phase is wider — a
     // one-chunk source must not serialize an 8-partition merge.
@@ -784,6 +798,7 @@ mod tests {
                     Field::new("id", DataType::Int64),
                     Field::new("s", DataType::Int64),
                 ]),
+                key_dicts: vec![],
             },
             intermediate: false,
             sink_schema: two_col_schema(),
@@ -840,6 +855,7 @@ mod tests {
                         Field::new("s", DataType::Int64),
                         Field::new("c", DataType::Int64),
                     ]),
+                    key_dicts: vec![],
                 },
                 intermediate: false,
                 sink_schema: two_col_schema(),
@@ -917,6 +933,7 @@ mod tests {
                     }],
                     input_types: vec![DataType::Int64, DataType::Int64],
                     output_schema: Schema::new(vec![Field::new("s", DataType::Int64)]),
+                    key_dicts: vec![],
                 },
                 intermediate: false,
                 sink_schema: two_col_schema(),

@@ -50,6 +50,7 @@ fn factory() -> AggregateFactory {
         ],
         vec![DataType::Int64, DataType::Bool, DataType::Int64],
         out_schema(),
+        vec![],
     )
 }
 
@@ -201,6 +202,7 @@ fn fast_path_sink_surfaces_sum_overflow() {
                 Field::new("k", DataType::Int64),
                 Field::new("s", DataType::Int64),
             ]),
+            vec![],
         );
         let ctx = ExecContext::new().with_agg_fast(fast);
         let mut sink = factory.make(&ctx).unwrap();

@@ -462,6 +462,7 @@ fn aggregate_consumer_overlaps_group_merge() {
                 vec![AggExpr::count_star("c")],
                 vec![DataType::Int64, DataType::Int64],
                 out_schema.clone(),
+                vec![],
             ),
             gate: gate.clone(),
         }),

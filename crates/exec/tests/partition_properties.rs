@@ -161,6 +161,7 @@ proptest! {
             ],
             vec![DataType::Int64, DataType::Int64],
             out_schema,
+            vec![],
         );
 
         let base_ctx = ExecContext::new().with_partitions(1);

@@ -66,9 +66,13 @@ fn read_u64(r: &mut impl Read) -> Result<u64> {
     Ok(u64::from_le_bytes(b))
 }
 
-/// Serialize one (flattened) chunk.
+/// Serialize one (flattened) chunk. Dictionary-backed columns are decoded
+/// to flat strings — the on-disk format stores logical values only.
 pub fn write_chunk(w: &mut impl Write, chunk: &DataChunk) -> Result<()> {
-    let flat = chunk.flattened();
+    let mut flat = chunk.flattened();
+    for col in &mut flat.columns {
+        col.decode_dict_in_place();
+    }
     write_u64(w, flat.num_rows() as u64)?;
     for col in &flat.columns {
         w.write_all(&[dtype_code(col.data_type())])?;
@@ -167,7 +171,11 @@ pub fn read_chunk(r: &mut impl Read, schema: &Schema) -> Result<DataChunk> {
                     ColumnData::Bool(bytes.into_iter().map(|b| b != 0).collect())
                 }
             };
-        columns.push(Vector { data, validity });
+        columns.push(Vector {
+            data,
+            validity,
+            dict: None,
+        });
     }
     Ok(DataChunk::new(columns))
 }

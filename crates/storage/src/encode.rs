@@ -1,0 +1,329 @@
+//! Block codecs for the block-based columnar store.
+//!
+//! Each block of [`crate::block::BlockColumn`] stores its payload in one of
+//! these encodings:
+//!
+//! * `Int64` — run-length ([`EncodedBlock::RleI64`]) when the block is
+//!   run-heavy, otherwise frame-of-reference delta bit-packing
+//!   ([`EncodedBlock::ForI64`]): `value = base + delta` with deltas packed
+//!   `width` bits each. NULL slots encode delta 0 so they never widen the
+//!   packed width; the validity mask restores them on decode.
+//! * `Utf8` — `u32` codes into the column's shared sorted dictionary when
+//!   the column has at most [`DICT_MAX_DISTINCT`] distinct values, raw
+//!   strings otherwise.
+//! * `Float64` / `Bool` — raw (verbatim) payloads.
+//!
+//! The `Raw*` variants double as the parity layout: every codec decodes back
+//! to the exact logical values of the source column.
+
+use rpt_common::{Utf8Dict, Vector};
+use std::sync::Arc;
+
+/// Dictionary-encode a `Utf8` column only when it has at most this many
+/// distinct values (codes must fit the 32-bit fixed-key width with room to
+/// spare, and wide dictionaries stop paying for themselves).
+pub const DICT_MAX_DISTINCT: usize = 65_536;
+
+/// Prefer run-length encoding when the block has at most `len / RLE_RUN_DIV`
+/// runs (i.e. average run length ≥ 4).
+const RLE_RUN_DIV: usize = 4;
+
+/// One block's encoded payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EncodedBlock {
+    RawI64(Vec<i64>),
+    RawF64(Vec<f64>),
+    RawUtf8(Vec<String>),
+    RawBool(Vec<bool>),
+    /// Run-length encoded `Int64`: `values[i]` repeats `lengths[i]` times.
+    RleI64 {
+        values: Vec<i64>,
+        lengths: Vec<u32>,
+    },
+    /// Frame-of-reference delta bit-packing over `len` rows.
+    ForI64 {
+        len: u32,
+        base: i64,
+        width: u8,
+        words: Vec<u64>,
+    },
+    /// `u32` codes into the owning column's shared dictionary.
+    DictUtf8(Vec<u32>),
+}
+
+impl EncodedBlock {
+    /// Approximate encoded payload size in bytes (bench/trace reporting).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            EncodedBlock::RawI64(v) => v.len() * 8,
+            EncodedBlock::RawF64(v) => v.len() * 8,
+            EncodedBlock::RawUtf8(v) => {
+                v.iter().map(String::len).sum::<usize>() + v.len() * std::mem::size_of::<String>()
+            }
+            EncodedBlock::RawBool(v) => v.len(),
+            EncodedBlock::RleI64 { values, .. } => values.len() * 12,
+            EncodedBlock::ForI64 { words, .. } => 16 + words.len() * 8,
+            EncodedBlock::DictUtf8(codes) => codes.len() * 4,
+        }
+    }
+}
+
+/// Encode one `Int64` block. `values[i]` at invalid positions is treated as
+/// an arbitrary placeholder: it is replaced by the block minimum so it costs
+/// zero delta bits and never perturbs run detection.
+pub fn encode_i64(values: &[i64], validity: Option<&[bool]>) -> EncodedBlock {
+    let valid = |i: usize| validity.is_none_or(|m| m[i]);
+    let mut mn = i64::MAX;
+    let mut any_valid = false;
+    for (i, &x) in values.iter().enumerate() {
+        if valid(i) {
+            mn = mn.min(x);
+            any_valid = true;
+        }
+    }
+    if !any_valid {
+        // All-NULL block: zero-width FOR, nothing stored.
+        return EncodedBlock::ForI64 {
+            len: values.len() as u32,
+            base: 0,
+            width: 0,
+            words: vec![],
+        };
+    }
+    // Effective sequence with NULL placeholders pinned to the minimum.
+    let eff = |i: usize| if valid(i) { values[i] } else { mn };
+
+    let mut runs = 1usize;
+    let mut max_delta = 0u64;
+    let mut prev = eff(0);
+    max_delta = max_delta.max((prev as i128 - mn as i128) as u64);
+    for i in 1..values.len() {
+        let x = eff(i);
+        if x != prev {
+            runs += 1;
+            prev = x;
+        }
+        let d = (x as i128 - mn as i128) as u128;
+        if d > u64::MAX as u128 {
+            // Span overflows 64 bits of delta — store verbatim.
+            return EncodedBlock::RawI64(values.to_vec());
+        }
+        max_delta = max_delta.max(d as u64);
+    }
+    if runs <= values.len() / RLE_RUN_DIV {
+        let mut rvals = Vec::with_capacity(runs);
+        let mut lens = Vec::with_capacity(runs);
+        let mut cur = eff(0);
+        let mut n = 1u32;
+        for i in 1..values.len() {
+            let x = eff(i);
+            if x == cur {
+                n += 1;
+            } else {
+                rvals.push(cur);
+                lens.push(n);
+                cur = x;
+                n = 1;
+            }
+        }
+        rvals.push(cur);
+        lens.push(n);
+        return EncodedBlock::RleI64 {
+            values: rvals,
+            lengths: lens,
+        };
+    }
+    let width = 64 - max_delta.leading_zeros() as u8;
+    if width >= 64 {
+        return EncodedBlock::RawI64(values.to_vec());
+    }
+    let deltas: Vec<u64> = (0..values.len())
+        .map(|i| (eff(i) as i128 - mn as i128) as u64)
+        .collect();
+    EncodedBlock::ForI64 {
+        len: values.len() as u32,
+        base: mn,
+        width,
+        words: pack_bits(&deltas, width),
+    }
+}
+
+/// Decode an `Int64`-typed block back to its value payload.
+pub fn decode_i64(block: &EncodedBlock) -> Vec<i64> {
+    match block {
+        EncodedBlock::RawI64(v) => v.clone(),
+        EncodedBlock::RleI64 { values, lengths } => {
+            let total: usize = lengths.iter().map(|&l| l as usize).sum();
+            let mut out = Vec::with_capacity(total);
+            for (&v, &l) in values.iter().zip(lengths.iter()) {
+                out.extend(std::iter::repeat_n(v, l as usize));
+            }
+            out
+        }
+        EncodedBlock::ForI64 {
+            len,
+            base,
+            width,
+            words,
+        } => unpack_bits(words, *width, *len as usize)
+            .into_iter()
+            .map(|d| base.wrapping_add(d as i64))
+            .collect(),
+        other => panic!("decode_i64 on non-Int64 block {other:?}"),
+    }
+}
+
+/// Pack `width`-bit values little-endian across `u64` words.
+fn pack_bits(deltas: &[u64], width: u8) -> Vec<u64> {
+    if width == 0 {
+        return vec![];
+    }
+    let w = width as usize;
+    let mut words = vec![0u64; (deltas.len() * w).div_ceil(64)];
+    let mut bit = 0usize;
+    for &d in deltas {
+        let word = bit / 64;
+        let off = bit % 64;
+        words[word] |= d << off;
+        if off + w > 64 {
+            words[word + 1] |= d >> (64 - off);
+        }
+        bit += w;
+    }
+    words
+}
+
+/// Inverse of [`pack_bits`].
+fn unpack_bits(words: &[u64], width: u8, len: usize) -> Vec<u64> {
+    if width == 0 {
+        return vec![0u64; len];
+    }
+    let w = width as usize;
+    let mask = (1u64 << w) - 1; // width < 64 guaranteed by encode_i64
+    let mut out = Vec::with_capacity(len);
+    let mut bit = 0usize;
+    for _ in 0..len {
+        let word = bit / 64;
+        let off = bit % 64;
+        let mut v = words[word] >> off;
+        if off + w > 64 {
+            v |= words[word + 1] << (64 - off);
+        }
+        out.push(v & mask);
+        bit += w;
+    }
+    out
+}
+
+/// Build the shared sorted dictionary for a `Utf8` column, or `None` when
+/// the column exceeds [`DICT_MAX_DISTINCT`] distinct valid values.
+pub fn build_utf8_dict(v: &Vector) -> Option<Arc<Utf8Dict>> {
+    let vals = match &v.data {
+        rpt_common::ColumnData::Utf8(vals) => vals,
+        _ => return None,
+    };
+    let mut distinct: Vec<&str> = (0..vals.len())
+        .filter(|&i| v.is_valid(i))
+        .map(|i| vals[i].as_str())
+        .collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    if distinct.len() > DICT_MAX_DISTINCT {
+        return None;
+    }
+    Some(Utf8Dict::from_values(distinct))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_roundtrip_small_span() {
+        let vals: Vec<i64> = (0..100).map(|i| 1_000_000 + (i * 7) % 13).collect();
+        let enc = encode_i64(&vals, None);
+        assert!(matches!(enc, EncodedBlock::ForI64 { width, .. } if width <= 4));
+        assert_eq!(decode_i64(&enc), vals);
+    }
+
+    #[test]
+    fn rle_picked_for_runs() {
+        let vals: Vec<i64> = (0..96).map(|i| (i / 24) as i64).collect();
+        let enc = encode_i64(&vals, None);
+        assert!(matches!(enc, EncodedBlock::RleI64 { .. }), "{enc:?}");
+        assert_eq!(decode_i64(&enc), vals);
+    }
+
+    #[test]
+    fn nulls_cost_no_width() {
+        // Placeholder payloads at NULL slots are pinned to the minimum, so a
+        // wild placeholder must not widen the packing.
+        let vals = vec![10, i64::MAX, 12, 11, 13, 12, 11, 10];
+        let validity = vec![true, false, true, true, true, true, true, true];
+        let enc = encode_i64(&vals, Some(&validity));
+        match &enc {
+            EncodedBlock::ForI64 { base, width, .. } => {
+                assert_eq!(*base, 10);
+                assert!(*width <= 2, "width {width}");
+            }
+            other => panic!("expected FOR, got {other:?}"),
+        }
+        let dec = decode_i64(&enc);
+        for (i, (&orig, &d)) in vals.iter().zip(dec.iter()).enumerate() {
+            if validity[i] {
+                assert_eq!(orig, d, "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_null_block_is_empty() {
+        let vals = vec![7, 8, 9];
+        let validity = vec![false, false, false];
+        let enc = encode_i64(&vals, Some(&validity));
+        assert!(matches!(
+            enc,
+            EncodedBlock::ForI64 {
+                width: 0,
+                ref words,
+                ..
+            } if words.is_empty()
+        ));
+        assert_eq!(decode_i64(&enc), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn extreme_span_falls_back_to_raw() {
+        let vals = vec![i64::MIN, i64::MAX, 0, 1, 2, 3, 4, 5];
+        let enc = encode_i64(&vals, None);
+        assert!(matches!(enc, EncodedBlock::RawI64(_)));
+        assert_eq!(decode_i64(&enc), vals);
+    }
+
+    #[test]
+    fn negative_values_roundtrip() {
+        let vals: Vec<i64> = (0..64).map(|i| -500 + i * 3).collect();
+        let enc = encode_i64(&vals, None);
+        assert_eq!(decode_i64(&enc), vals);
+    }
+
+    #[test]
+    fn wide_bitpack_crosses_word_boundaries() {
+        // width that does not divide 64 exercises the straddling path.
+        let vals: Vec<i64> = (0..200).map(|i| (i * 997) % 8191).collect();
+        let enc = encode_i64(&vals, None);
+        assert!(
+            matches!(enc, EncodedBlock::ForI64 { width: 13, .. }),
+            "{enc:?}"
+        );
+        assert_eq!(decode_i64(&enc), vals);
+    }
+
+    #[test]
+    fn dict_respects_distinct_cap() {
+        let v = Vector::from_utf8((0..10).map(|i| format!("v{}", i % 3)).collect());
+        let d = build_utf8_dict(&v).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.value(0), "v0");
+    }
+}

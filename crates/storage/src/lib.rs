@@ -7,17 +7,26 @@
 //!   pool");
 //! * [`stats::TableStats`] — per-column min/max/distinct statistics feeding
 //!   the baseline optimizer's cardinality estimates;
+//! * [`block`] — the block-based columnar layout: per-column sequences of
+//!   `VECTOR_SIZE`-row encoded blocks, each carrying a zone map
+//!   (min/max/null-count) consulted by scans for block skipping;
+//! * [`encode`] — block codecs: RLE / frame-of-reference bit-packed
+//!   `Int64`, dictionary-coded `Utf8`, raw fallbacks;
 //! * [`disk`] — a simple chunk-streamed on-disk columnar format for the
 //!   §5.4 "on-disk" experiments;
 //! * [`spill`] — a memory-capped chunk buffer that spills to disk, used to
 //!   reproduce the "+spill" configuration where the materialized
 //!   intermediate results of the transfer phase do not fit in memory.
 
+pub mod block;
 pub mod disk;
+pub mod encode;
 pub mod spill;
 pub mod stats;
 pub mod table;
 
+pub use block::{Block, BlockColumn, BlockTable, ZoneMap};
+pub use encode::EncodedBlock;
 pub use spill::{SpillBuffer, SpillStats};
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;

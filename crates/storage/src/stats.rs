@@ -18,13 +18,10 @@ pub struct ColumnStats {
 
 impl ColumnStats {
     pub fn compute(v: &Vector) -> ColumnStats {
+        // Single pass per variant: NULLs are counted in the same loop that
+        // folds min/max/distinct over the valid values.
         let mut null_count = 0u64;
         let valid = |i: usize| v.is_valid(i);
-        for i in 0..v.len() {
-            if !valid(i) {
-                null_count += 1;
-            }
-        }
         let (min, max, distinct) = match &v.data {
             ColumnData::Int64(vals) => {
                 let mut set = HashSet::new();
@@ -35,6 +32,8 @@ impl ColumnStats {
                         set.insert(x);
                         mn = mn.min(x);
                         mx = mx.max(x);
+                    } else {
+                        null_count += 1;
                     }
                 }
                 if set.is_empty() {
@@ -56,6 +55,8 @@ impl ColumnStats {
                         set.insert(x.to_bits());
                         mn = mn.min(x);
                         mx = mx.max(x);
+                    } else {
+                        null_count += 1;
                     }
                 }
                 if set.is_empty() {
@@ -81,6 +82,8 @@ impl ColumnStats {
                         if mx.is_none_or(|m| x.as_str() > m) {
                             mx = Some(x);
                         }
+                    } else {
+                        null_count += 1;
                     }
                 }
                 match (mn, mx) {
@@ -97,6 +100,8 @@ impl ColumnStats {
                 for (i, &x) in vals.iter().enumerate() {
                     if valid(i) {
                         set.insert(x);
+                    } else {
+                        null_count += 1;
                     }
                 }
                 let distinct = set.len() as u64;

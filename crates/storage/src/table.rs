@@ -1,7 +1,9 @@
 //! In-memory columnar tables.
 
+use crate::block::BlockTable;
 use rpt_common::chunk::{chunk_ranges, DataChunk, VECTOR_SIZE};
-use rpt_common::{Error, Result, ScalarValue, Schema, Vector};
+use rpt_common::{Error, Result, ScalarValue, Schema, Utf8Dict, Vector};
+use std::sync::{Arc, OnceLock};
 
 /// An immutable, fully materialized columnar table.
 #[derive(Debug, Clone)]
@@ -10,6 +12,10 @@ pub struct Table {
     pub schema: Schema,
     pub columns: Vec<Vector>,
     num_rows: usize,
+    /// Lazily built block-encoded form (zone maps + codecs), shared by all
+    /// scans of this table. Built at `VECTOR_SIZE` block granularity so one
+    /// block is one scan chunk.
+    encoded: OnceLock<Arc<BlockTable>>,
 }
 
 impl Table {
@@ -45,6 +51,7 @@ impl Table {
             schema,
             columns,
             num_rows,
+            encoded: OnceLock::new(),
         })
     }
 
@@ -116,19 +123,36 @@ impl Table {
         DataChunk::new(self.columns.clone())
     }
 
+    /// The block-encoded form of this table (built on first use, cached).
+    pub fn encoded(&self) -> Arc<BlockTable> {
+        self.encoded
+            .get_or_init(|| Arc::new(BlockTable::build(self, VECTOR_SIZE)))
+            .clone()
+    }
+
+    /// The shared dictionary for column `col`, when the encoded form
+    /// dictionary-codes it (builds the encoding on first use).
+    pub fn dict(&self, col: usize) -> Option<Arc<Utf8Dict>> {
+        self.encoded().columns[col].dict.clone()
+    }
+
     /// Approximate in-memory footprint in bytes.
     pub fn size_bytes(&self) -> usize {
         self.columns.iter().map(vector_size_bytes).sum()
     }
 }
 
-/// Approximate heap size of a vector.
+/// Approximate heap size of a vector: payload element storage plus, for
+/// `Utf8`, the string byte length *and* the per-element `String` header
+/// (pointer/length/capacity words) held inside the `Vec<String>`.
 pub fn vector_size_bytes(v: &Vector) -> usize {
     use rpt_common::ColumnData::*;
     let payload = match &v.data {
-        Int64(x) => x.len() * 8,
-        Float64(x) => x.len() * 8,
-        Utf8(x) => x.iter().map(|s| s.len() + 24).sum(),
+        Int64(x) => x.len() * std::mem::size_of::<i64>(),
+        Float64(x) => x.len() * std::mem::size_of::<f64>(),
+        Utf8(x) => {
+            x.iter().map(String::len).sum::<usize>() + x.len() * std::mem::size_of::<String>()
+        }
         Bool(x) => x.len(),
     };
     payload + v.validity.as_ref().map_or(0, |m| m.len())
@@ -228,6 +252,22 @@ mod tests {
     fn size_accounting() {
         let t = small();
         assert!(t.size_bytes() >= 80); // 10 i64s alone
+    }
+
+    /// Pins the `Utf8` accounting rule: string byte length plus one
+    /// `String` header (24 bytes on 64-bit) per element, plus the validity
+    /// mask when present.
+    #[test]
+    fn utf8_size_accounting_rule() {
+        let v = Vector::from_utf8(vec!["ab".into(), "".into(), "cdef".into()]);
+        let header = std::mem::size_of::<String>();
+        let lens = 2 + 4; // "ab" + "" + "cdef"
+        assert_eq!(vector_size_bytes(&v), lens + 3 * header);
+        // A validity mask adds one byte per row.
+        let mut with_null = Vector::new_empty(DataType::Utf8);
+        with_null.push(&ScalarValue::Utf8("xyz".into())).unwrap();
+        with_null.push(&ScalarValue::Null).unwrap();
+        assert_eq!(vector_size_bytes(&with_null), 3 + 2 * header + 2);
     }
 
     #[test]

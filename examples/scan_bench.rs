@@ -1,0 +1,127 @@
+//! Block-storage trajectory harness: times the encoded scan path (zone-map
+//! block pruning + dictionary-coded strings) against the raw vector layout
+//! and writes the comparison to `BENCH_scan.json` — the checked-in
+//! single-core benchmark artifact the roadmap tracks across PRs.
+//!
+//! Three shapes, one per pruning/encoding mechanism:
+//!
+//! * `range_scan` — a selective `Int64 col < literal` filter over
+//!   lineitem's (mostly) clustered order key: literal zone-map pruning;
+//! * `bloom_transfer_join` — an RPT join whose transferred Bloom filter
+//!   carries the build side's key range: transferred-predicate pruning on
+//!   a fact scan with *no* base filter;
+//! * `dict_group_by` — a string GROUP BY whose dictionary codes pack into
+//!   the fixed-width aggregate fast path.
+//!
+//! Run from the repo root (release, or the numbers are meaningless):
+//!
+//! ```text
+//! cargo run --release --example scan_bench
+//! ```
+
+use rpt::{Database, Mode, QueryOptions};
+use std::time::Instant;
+
+/// Median-of-runs wall time for one query, in microseconds.
+fn time_us(db: &Database, sql: &str, opts: &QueryOptions, runs: usize) -> u64 {
+    let mut samples: Vec<u64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(db.query(sql, opts).expect("query"));
+            t0.elapsed().as_micros() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    // sf=2.0: 120k lineitems / 30k orders — enough blocks (~59 / ~15) for
+    // pruning ratios to mean something.
+    let w = rpt_workloads::tpch(2.0, 7);
+    let mut db = Database::new();
+    for t in &w.tables {
+        db.register_table(t.clone());
+    }
+
+    let queries: Vec<(&str, Mode, String)> = vec![
+        (
+            "range_scan",
+            Mode::Baseline,
+            "SELECT COUNT(*) AS c, SUM(l.l_quantity) AS q \
+             FROM lineitem l WHERE l.l_orderkey < 2000"
+                .to_string(),
+        ),
+        (
+            "bloom_transfer_join",
+            Mode::RobustPredicateTransfer,
+            "SELECT COUNT(*) AS c FROM orders o, lineitem l \
+             WHERE o.o_orderkey = l.l_orderkey AND o.o_orderkey < 600"
+                .to_string(),
+        ),
+        (
+            "dict_group_by",
+            Mode::Baseline,
+            "SELECT l.l_returnflag, COUNT(*) AS c, SUM(l.l_quantity) AS q \
+             FROM lineitem l GROUP BY l.l_returnflag"
+                .to_string(),
+        ),
+    ];
+    let opts = |mode: Mode, encoded: bool| {
+        QueryOptions::new(mode)
+            .with_partition_count(1)
+            .with_storage_encoding(encoded)
+    };
+
+    let runs = 15;
+    let mut entries = Vec::new();
+    for (id, mode, sql) in &queries {
+        // Parity + mechanism engagement before timing anything.
+        let enc = db.query(sql, &opts(*mode, true)).expect("encoded");
+        let raw = db.query(sql, &opts(*mode, false)).expect("raw");
+        assert_eq!(
+            enc.sorted_rows(),
+            raw.sorted_rows(),
+            "{id}: layouts disagree"
+        );
+        assert_eq!(
+            raw.metrics.blocks_scanned, 0,
+            "{id}: raw leg decoded blocks"
+        );
+        match *id {
+            "dict_group_by" => assert!(
+                enc.metrics.agg_fast_path_chunks > 0,
+                "{id}: dictionary fast path idle"
+            ),
+            _ => assert!(enc.metrics.blocks_pruned > 0, "{id}: no blocks pruned"),
+        }
+
+        // Warm up (also populates the encoded block cache), then time the
+        // legs back to back so drift hits both equally.
+        time_us(&db, sql, &opts(*mode, true), 3);
+        let encoded_us = time_us(&db, sql, &opts(*mode, true), runs);
+        let raw_us = time_us(&db, sql, &opts(*mode, false), runs);
+        let speedup = raw_us as f64 / encoded_us.max(1) as f64;
+        println!(
+            "[scan_bench] {id}: pruned={}/{} encoded={encoded_us}us raw={raw_us}us \
+             speedup={speedup:.2}x",
+            enc.metrics.blocks_pruned,
+            enc.metrics.blocks_pruned + enc.metrics.blocks_scanned,
+        );
+        entries.push(format!(
+            "    {{\n      \"query\": \"{id}\",\n      \"blocks_pruned\": {},\n      \
+             \"blocks_scanned\": {},\n      \"encoded_us\": {encoded_us},\n      \
+             \"raw_us\": {raw_us},\n      \"speedup\": {speedup:.3}\n    }}",
+            enc.metrics.blocks_pruned, enc.metrics.blocks_scanned
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"block_storage_scan\",\n  \"workload\": \"tpch sf=2.0 seed=7\",\n  \
+         \"config\": \"threads=1 partition_count=1, median of {runs} runs\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_scan.json", &json).expect("write BENCH_scan.json");
+    println!("[scan_bench] wrote BENCH_scan.json");
+}

@@ -650,32 +650,48 @@ fn agg_fast_path_engages_and_is_byte_identical() {
     }
 }
 
-/// A `Utf8` GROUP BY key is ineligible for packing: the sink must fall
-/// back to the generic tables even with the fast path enabled — and still
-/// agree with itself across partition counts.
+/// A `Utf8` GROUP BY key packs into the fixed-width fast path when the
+/// block storage layer dictionary-encodes the column (32-bit codes), and
+/// falls back to the generic tables when encoded storage is off — with
+/// identical results either way, across partition counts.
 #[test]
-fn utf8_group_key_falls_back_to_generic() {
+fn utf8_group_key_fast_path_follows_storage_encoding() {
     let db = chain_db();
     let sql = "SELECT c.tag, COUNT(*) AS n FROM b, c WHERE b.j = c.j GROUP BY c.tag";
     let mut baseline: Option<Vec<Vec<ScalarValue>>> = None;
     for partition_count in [1usize, 8] {
-        let r = db
-            .query(
-                sql,
-                &QueryOptions::new(Mode::RobustPredicateTransfer)
-                    .with_partition_count(partition_count)
-                    .with_agg_fast(true),
-            )
-            .unwrap();
-        assert_eq!(
-            r.metrics.agg_fast_path_chunks, 0,
-            "pc={partition_count}: Utf8 key must not take the fast path"
-        );
-        assert!(r.metrics.agg_generic_chunks > 0, "pc={partition_count}");
-        assert_eq!(r.rows.len(), 3, "three distinct tags");
-        match &baseline {
-            None => baseline = Some(r.sorted_rows()),
-            Some(b) => assert_eq!(&r.sorted_rows(), b, "pc={partition_count}"),
+        for encoded in [true, false] {
+            let r = db
+                .query(
+                    sql,
+                    &QueryOptions::new(Mode::RobustPredicateTransfer)
+                        .with_partition_count(partition_count)
+                        .with_agg_fast(true)
+                        .with_storage_encoding(encoded),
+                )
+                .unwrap();
+            if encoded {
+                assert!(
+                    r.metrics.agg_fast_path_chunks > 0,
+                    "pc={partition_count}: dictionary-coded Utf8 key must take the fast path"
+                );
+                assert_eq!(r.metrics.agg_generic_chunks, 0, "pc={partition_count}");
+            } else {
+                assert_eq!(
+                    r.metrics.agg_fast_path_chunks, 0,
+                    "pc={partition_count}: raw-layout Utf8 key must not take the fast path"
+                );
+                assert!(r.metrics.agg_generic_chunks > 0, "pc={partition_count}");
+            }
+            assert_eq!(r.rows.len(), 3, "three distinct tags");
+            match &baseline {
+                None => baseline = Some(r.sorted_rows()),
+                Some(b) => assert_eq!(
+                    &r.sorted_rows(),
+                    b,
+                    "pc={partition_count} encoded={encoded}"
+                ),
+            }
         }
     }
 }
