@@ -9,11 +9,13 @@
 
 use crate::catalog::Catalog;
 use crate::query::{
-    BoundAgg, BoundRelation, JoinQuery, OutputItem, OutputKind, RExpr, ResidualPred,
+    BoundAgg, BoundOrderKey, BoundRelation, JoinQuery, OutputItem, OutputKind, RExpr, ResidualPred,
 };
 use rpt_common::{Error, Result, ScalarValue};
 use rpt_exec::{AggFunc, ArithOp, CmpOp};
-use rpt_sql::ast::{AggName, AstExpr, BinOp, ColumnRef, Literal, SelectItem, SelectStmt};
+use rpt_sql::ast::{
+    AggName, AstExpr, BinOp, ColumnRef, Literal, OrderByTarget, SelectItem, SelectStmt,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Bind a parsed statement.
@@ -186,7 +188,67 @@ pub fn bind(stmt: &SelectStmt, catalog: &Catalog) -> Result<JoinQuery> {
         group_by.push(resolver.resolve(g)?);
     }
 
-    // 6. Needed columns per relation.
+    // 6. ORDER BY keys resolve against the *output* row: by alias (or the
+    // display form of a column item), by 1-based ordinal, or — failing
+    // both — as a base column that some output expression projects. The
+    // dialect default pins NULL placement: NULLS LAST ascending, NULLS
+    // FIRST descending (so NULLs always sort as the "largest" value).
+    let mut order_by = Vec::with_capacity(stmt.order_by.len());
+    for item in &stmt.order_by {
+        let output_pos = match &item.target {
+            OrderByTarget::Ordinal(n) => {
+                if *n < 1 || *n > output.len() {
+                    return Err(Error::Bind(format!(
+                        "ORDER BY ordinal {n} out of range (SELECT list has {} items)",
+                        output.len()
+                    )));
+                }
+                *n - 1
+            }
+            OrderByTarget::Column(c) => {
+                let display = c.to_string();
+                let by_alias: Vec<usize> = output
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, o)| o.alias == display)
+                    .map(|(i, _)| i)
+                    .collect();
+                match by_alias.len() {
+                    1 => by_alias[0],
+                    n if n > 1 => {
+                        return Err(Error::Bind(format!("ambiguous ORDER BY key `{display}`")))
+                    }
+                    _ => {
+                        // Fall back to resolving as a base column projected
+                        // by some output expression.
+                        let (rel, col) = resolver.resolve(c).map_err(|_| {
+                            Error::Bind(format!(
+                                "ORDER BY key `{display}` is not in the SELECT list"
+                            ))
+                        })?;
+                        output
+                            .iter()
+                            .position(|o| {
+                                matches!(&o.kind, OutputKind::Expr(RExpr::Col { rel: r, col: c })
+                                    if *r == rel && *c == col)
+                            })
+                            .ok_or_else(|| {
+                                Error::Bind(format!(
+                                    "ORDER BY key `{display}` is not in the SELECT list"
+                                ))
+                            })?
+                    }
+                }
+            }
+        };
+        order_by.push(BoundOrderKey {
+            output_pos,
+            desc: item.desc,
+            nulls_first: item.nulls_first.unwrap_or(item.desc),
+        });
+    }
+
+    // 7. Needed columns per relation.
     let mut needed: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); rels.len()];
     for (r, rel) in rels.iter().enumerate() {
         for &c in rel.attr_cols.values() {
@@ -233,6 +295,9 @@ pub fn bind(stmt: &SelectStmt, catalog: &Catalog) -> Result<JoinQuery> {
         group_by,
         aggs,
         output,
+        order_by,
+        limit: stmt.limit.map(|n| n as usize),
+        offset: stmt.offset.map(|n| n as usize),
     })
 }
 
@@ -710,6 +775,46 @@ mod tests {
         // Clique: all three pairwise connected through the shared attr.
         let g = q.graph();
         assert_eq!(g.edges().len(), 3);
+    }
+
+    #[test]
+    fn order_by_binding() {
+        // By alias, by ordinal, by projected base column.
+        let q = bind_sql(
+            "SELECT o.status, COUNT(*) AS cnt FROM orders o \
+             GROUP BY o.status ORDER BY cnt DESC, 1 ASC, o.status",
+        )
+        .unwrap();
+        assert_eq!(
+            q.order_by,
+            vec![
+                BoundOrderKey {
+                    output_pos: 1,
+                    desc: true,
+                    nulls_first: true, // DESC default
+                },
+                BoundOrderKey {
+                    output_pos: 0,
+                    desc: false,
+                    nulls_first: false, // ASC default
+                },
+                BoundOrderKey {
+                    output_pos: 0,
+                    desc: false,
+                    nulls_first: false,
+                },
+            ]
+        );
+        // Explicit NULLS placement overrides the default.
+        let q = bind_sql("SELECT id FROM customer ORDER BY id DESC NULLS LAST LIMIT 2 OFFSET 1")
+            .unwrap();
+        assert!(!q.order_by[0].nulls_first);
+        assert_eq!(q.limit, Some(2));
+        assert_eq!(q.offset, Some(1));
+        // Errors: ordinal out of range, key not projected.
+        assert!(bind_sql("SELECT id FROM customer ORDER BY 2").is_err());
+        assert!(bind_sql("SELECT id FROM customer ORDER BY name").is_err());
+        assert!(bind_sql("SELECT id FROM customer ORDER BY nope").is_err());
     }
 
     #[test]

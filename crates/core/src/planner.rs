@@ -14,7 +14,7 @@ use crate::query::JoinQuery;
 use rpt_common::{DataType, Error, Field, Result, Schema};
 use rpt_exec::{
     prunable_conjuncts, AggExpr, BloomSink, Expr, NodeDeps, OpSpec, PipelinePlan, ScanPrune,
-    SinkSpec, SourceSpec,
+    SinkSpec, SortKey, SourceSpec,
 };
 use rpt_graph::{
     largest_root, largest_root_randomized, small2large, JoinTree, SemiJoin, TransferSchedule,
@@ -588,8 +588,45 @@ impl<'q> Planner<'q> {
         }
     }
 
-    /// Terminate the final stream: aggregation or projection, into the
-    /// output buffer.
+    /// Append the terminal sort / TopK pipeline when the query orders or
+    /// limits its output; otherwise `out_buf` stays the output buffer.
+    /// ORDER BY keys are bound to output positions, so the sort reads the
+    /// projected buffer as-is. `LIMIT` without `ORDER BY` still runs the
+    /// sort sink (keys empty ⇒ the total-order tie-break alone), which
+    /// pins a deterministic row choice across schedulers and partitions.
+    fn finish_order_by(&mut self, out_buf: usize, out_schema: &Schema) -> usize {
+        if self.q.order_by.is_empty() && self.q.limit.is_none() && self.q.offset.is_none() {
+            return out_buf;
+        }
+        let keys: Vec<SortKey> = self
+            .q
+            .order_by
+            .iter()
+            .map(|k| SortKey {
+                col: k.output_pos,
+                desc: k.desc,
+                nulls_first: k.nulls_first,
+            })
+            .collect();
+        let sort_buf = self.new_buffer();
+        self.pipelines.push(PipelinePlan {
+            label: "sort output".into(),
+            source: SourceSpec::Buffer(out_buf),
+            ops: vec![],
+            sink: SinkSpec::Sort {
+                buf_id: sort_buf,
+                keys,
+                limit: self.q.limit,
+                offset: self.q.offset.unwrap_or(0),
+            },
+            intermediate: false,
+            sink_schema: out_schema.clone(),
+        });
+        sort_buf
+    }
+
+    /// Terminate the final stream: aggregation or projection (then the
+    /// optional sort / TopK), into the output buffer.
     fn finish(mut self, stream: Stream) -> Result<PhysicalPlan> {
         let layout = stream.layout.clone();
         let resolve = |r: usize, c: usize| layout.iter().position(|&(lr, lc)| lr == r && lc == c);
@@ -716,13 +753,14 @@ impl<'q> Planner<'q> {
             }
             let identity = projection.iter().copied().eq(0..agg_schema.len());
             if identity {
+                let final_buf = self.finish_order_by(agg_buf, &agg_schema);
                 return Ok(PhysicalPlan::assemble(
                     self.pipelines,
                     self.num_buffers,
                     self.num_filters,
                     self.num_tables,
                     self.opts.partition_count,
-                    agg_buf,
+                    final_buf,
                     agg_schema,
                 ));
             }
@@ -741,13 +779,14 @@ impl<'q> Planner<'q> {
                 intermediate: false,
                 sink_schema: out_schema.clone(),
             });
+            let final_buf = self.finish_order_by(out_buf, &out_schema);
             Ok(PhysicalPlan::assemble(
                 self.pipelines,
                 self.num_buffers,
                 self.num_filters,
                 self.num_tables,
                 self.opts.partition_count,
-                out_buf,
+                final_buf,
                 out_schema,
             ))
         } else {
@@ -782,13 +821,14 @@ impl<'q> Planner<'q> {
                 intermediate: false,
                 sink_schema: out_schema.clone(),
             });
+            let final_buf = self.finish_order_by(out_buf, &out_schema);
             Ok(PhysicalPlan::assemble(
                 self.pipelines,
                 self.num_buffers,
                 self.num_filters,
                 self.num_tables,
                 self.opts.partition_count,
-                out_buf,
+                final_buf,
                 out_schema,
             ))
         }

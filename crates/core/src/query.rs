@@ -201,6 +201,18 @@ pub struct OutputItem {
     pub kind: OutputKind,
 }
 
+/// One bound ORDER BY key: a position in the query's output row plus its
+/// direction and resolved NULL placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundOrderKey {
+    /// Index into `JoinQuery::output` (the final projected row).
+    pub output_pos: usize,
+    pub desc: bool,
+    /// Resolved placement: the binder applies the dialect default
+    /// (NULLS LAST for ASC, NULLS FIRST for DESC) when unspecified.
+    pub nulls_first: bool,
+}
+
 /// A fully bound join query: the unit the optimizer and planner work on.
 #[derive(Clone)]
 pub struct JoinQuery {
@@ -211,6 +223,10 @@ pub struct JoinQuery {
     pub group_by: Vec<(usize, usize)>,
     pub aggs: Vec<BoundAgg>,
     pub output: Vec<OutputItem>,
+    /// ORDER BY keys over the output row; empty = unordered.
+    pub order_by: Vec<BoundOrderKey>,
+    pub limit: Option<usize>,
+    pub offset: Option<usize>,
 }
 
 impl JoinQuery {
@@ -309,6 +325,9 @@ mod tests {
             group_by: vec![],
             aggs: vec![],
             output: vec![],
+            order_by: vec![],
+            limit: None,
+            offset: None,
         }
     }
 

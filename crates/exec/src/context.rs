@@ -133,6 +133,13 @@ pub struct Metrics {
     pub blocks_pruned: AtomicU64,
     /// Storage blocks decoded and scanned.
     pub blocks_scanned: AtomicU64,
+    /// Rows discarded by sort sinks' TopK bound (never fully sorted).
+    pub sort_rows_pruned: AtomicU64,
+    /// Per-partition sort-run merge tasks executed.
+    pub sort_merge_tasks: AtomicU64,
+    /// Rows in the largest per-partition sorted run a sort sink kept —
+    /// with a TopK bound this must stay at `limit + offset` or below.
+    pub sort_max_run_rows: AtomicU64,
     /// Per-pipeline (label, rows-into-sink) trace, for case studies.
     pub pipeline_trace: Mutex<Vec<(String, u64)>>,
 }
@@ -234,6 +241,18 @@ impl Metrics {
             "[storage] blocks-scanned".to_string(),
             self.get(&self.blocks_scanned),
         ));
+        trace.push((
+            "[sort] rows-pruned".to_string(),
+            self.get(&self.sort_rows_pruned),
+        ));
+        trace.push((
+            "[sort] merge-task-count".to_string(),
+            self.get(&self.sort_merge_tasks),
+        ));
+        trace.push((
+            "[sort] max-run-rows".to_string(),
+            self.get(&self.sort_max_run_rows),
+        ));
     }
 
     /// Snapshot of the headline numbers.
@@ -261,6 +280,9 @@ impl Metrics {
             agg_generic_chunks: self.agg_generic_chunks.load(Ordering::Relaxed),
             blocks_pruned: self.blocks_pruned.load(Ordering::Relaxed),
             blocks_scanned: self.blocks_scanned.load(Ordering::Relaxed),
+            sort_rows_pruned: self.sort_rows_pruned.load(Ordering::Relaxed),
+            sort_merge_tasks: self.sort_merge_tasks.load(Ordering::Relaxed),
+            sort_max_run_rows: self.sort_max_run_rows.load(Ordering::Relaxed),
         }
     }
 }
@@ -290,6 +312,9 @@ pub struct MetricsSummary {
     pub agg_generic_chunks: u64,
     pub blocks_pruned: u64,
     pub blocks_scanned: u64,
+    pub sort_rows_pruned: u64,
+    pub sort_merge_tasks: u64,
+    pub sort_max_run_rows: u64,
 }
 
 impl MetricsSummary {

@@ -42,8 +42,8 @@ pub use expr::{prunable_conjuncts, AggExpr, AggFunc, ArithOp, CmpOp, Expr};
 pub use global::{run_physical_global, GlobalStats};
 pub use hash_table::{BuildRef, JoinHashTable, PartitionedHashTable};
 pub use operators::{
-    expand_partition_grains, ChunkList, Operator, PartitionMerger, ResourceId, Resources,
-    ScanPrune, Sink, SinkFactory, Source,
+    cmp_scalar_rows, expand_partition_grains, ChunkList, Operator, PartitionMerger, ResourceId,
+    Resources, ScanPrune, Sink, SinkFactory, SortKey, SortSink, SortSinkFactory, Source,
 };
 pub use pipeline::{
     BloomSink, Executor, OpSpec, PhysicalPipeline, PipelinePlan, SinkSpec, SourceSpec,

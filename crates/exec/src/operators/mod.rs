@@ -26,6 +26,7 @@ pub mod probe_bloom;
 pub mod project;
 pub mod scan;
 pub mod semi_probe;
+pub mod sort;
 
 pub use aggregate::{AggregateFactory, AggregateSink};
 pub use buffer::BufferSink;
@@ -37,6 +38,7 @@ pub use probe_bloom::ProbeBloom;
 pub use project::Project;
 pub use scan::{BufferScan, ScanPrune, TableScan};
 pub use semi_probe::SemiProbe;
+pub use sort::{cmp_scalar_rows, SortKey, SortSink, SortSinkFactory};
 
 use crate::context::ExecContext;
 use crate::hash_table::PartitionedHashTable;

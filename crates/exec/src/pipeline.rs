@@ -139,6 +139,16 @@ pub enum SinkSpec {
         /// pack its codes into the fixed-width fast path. Empty = none.
         key_dicts: Vec<Option<Arc<rpt_common::Utf8Dict>>>,
     },
+    /// Partitioned sort / TopK over the incoming stream (`ORDER BY`
+    /// [`LIMIT n [OFFSET k]`]); the globally ordered result goes to buffer
+    /// `buf_id`. `keys` index the sink-input columns; a present `limit`
+    /// bounds every partition run at `limit + offset` rows (TopK).
+    Sort {
+        buf_id: usize,
+        keys: Vec<crate::operators::SortKey>,
+        limit: Option<usize>,
+        offset: usize,
+    },
 }
 
 impl SinkSpec {
@@ -175,6 +185,18 @@ impl SinkSpec {
                 input_types.clone(),
                 output_schema.clone(),
                 key_dicts.clone(),
+            )),
+            SinkSpec::Sort {
+                buf_id,
+                keys,
+                limit,
+                offset,
+            } => Box::new(crate::operators::SortSinkFactory::new(
+                *buf_id,
+                keys.clone(),
+                *limit,
+                *offset,
+                sink_schema.clone(),
             )),
         }
     }

@@ -1,0 +1,174 @@
+//! Property tests for the partitioned sort/TopK sink: random typed rows
+//! (with NULLs) × random key directions × random partition and worker
+//! counts must produce exactly the rows `sort_unstable_by` yields under
+//! the engine's published total order (`cmp_scalar_rows`) on the gathered
+//! input, sliced by OFFSET/LIMIT — and a TopK whose limit covers every
+//! row must equal the full sort.
+
+use proptest::prelude::*;
+use rpt_common::{DataChunk, DataType, Field, ScalarValue, Schema, Vector};
+use rpt_exec::{cmp_scalar_rows, ExecContext, Resources, SinkFactory, SortKey, SortSinkFactory};
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("x", DataType::Float64),
+        Field::new("s", DataType::Utf8),
+    ])
+}
+
+/// One generated row: `(key, null_roll, tag)` — `null_roll == 0` makes the
+/// key NULL; `tag` derives the float and string columns.
+type Row = (i64, u32, i64);
+
+fn chunk_of(rows: &[Row]) -> DataChunk {
+    let mut key = Vector::from_i64(rows.iter().map(|&(k, _, _)| k).collect());
+    if rows.iter().any(|&(_, n, _)| n == 0) {
+        key.validity = Some(rows.iter().map(|&(_, n, _)| n != 0).collect());
+    }
+    DataChunk::new(vec![
+        key,
+        Vector::from_f64(rows.iter().map(|&(_, _, t)| t as f64 / 7.0).collect()),
+        Vector::from_utf8(
+            rows.iter()
+                .map(|&(_, _, t)| format!("s{:03}", t.rem_euclid(40)))
+                .collect(),
+        ),
+    ])
+}
+
+/// Split into `chunk_size` chunks dealt round-robin across `workers`.
+fn worker_chunks(rows: &[Row], chunk_size: usize, workers: usize) -> Vec<Vec<DataChunk>> {
+    let mut per_worker: Vec<Vec<DataChunk>> = vec![Vec::new(); workers];
+    for (i, ck) in rows.chunks(chunk_size.max(1)).enumerate() {
+        per_worker[i % workers].push(chunk_of(ck));
+    }
+    per_worker
+}
+
+/// Drive the sink exactly as the pipeline driver does and return the
+/// published output rows in order.
+fn run_engine(
+    factory: &SortSinkFactory,
+    ctx: &ExecContext,
+    per_worker: Vec<Vec<DataChunk>>,
+) -> Vec<Vec<ScalarValue>> {
+    let res = Resources::new(1, 0, 0);
+    let mut states = Vec::new();
+    for chunks in per_worker {
+        let mut s = factory.make(ctx).expect("make");
+        for c in chunks {
+            s.sink(c, ctx).expect("sink");
+        }
+        states.push(s);
+    }
+    if factory.partitioned_merge(ctx) {
+        factory
+            .merge_partitioned("sort", states, ctx, &res)
+            .expect("merge");
+    } else {
+        let mut it = states.into_iter();
+        let mut merged = it.next().expect("at least one worker");
+        for s in it {
+            merged.combine(s).expect("combine");
+        }
+        merged.finalize(&res).expect("finalize");
+    }
+    res.buffer(0)
+        .expect("buffer")
+        .iter()
+        .flat_map(|c| c.rows())
+        .collect()
+}
+
+fn reference(
+    rows: &[Row],
+    keys: &[SortKey],
+    limit: Option<usize>,
+    offset: usize,
+) -> Vec<Vec<ScalarValue>> {
+    let mut all: Vec<Vec<ScalarValue>> = chunk_of(rows).rows();
+    all.sort_unstable_by(|a, b| cmp_scalar_rows(keys, a, b));
+    let lo = offset.min(all.len());
+    let hi = limit
+        .map(|l| lo.saturating_add(l).min(all.len()))
+        .unwrap_or(all.len());
+    all[lo..hi].to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The engine's output is byte-identical to `sort_unstable_by` under
+    /// the same total order, regardless of partitioning, worker count, or
+    /// chunking — including NULL keys in either declared placement.
+    #[test]
+    fn sort_sink_matches_sort_unstable_by(
+        rows in proptest::collection::vec((-25i64..25, 0u32..5, -100i64..100), 1..180),
+        chunk_size in 1usize..40,
+        pc_exp in 0u32..4,
+        workers in 1usize..4,
+        desc0 in proptest::bool::ANY,
+        nf0 in proptest::bool::ANY,
+        desc1 in proptest::bool::ANY,
+        nf1 in proptest::bool::ANY,
+        limit_roll in 0usize..80,
+        offset in 0usize..6,
+    ) {
+        let partitions = 1usize << pc_exp;
+        let keys = vec![
+            SortKey { col: 0, desc: desc0, nulls_first: nf0 },
+            SortKey { col: 2, desc: desc1, nulls_first: nf1 },
+        ];
+        // ~1/3 full sorts, the rest TopK with a small bound.
+        let limit = if limit_roll < 27 { None } else { Some(limit_roll - 27) };
+        let expected = reference(&rows, &keys, limit, offset);
+
+        let factory = SortSinkFactory::new(0, keys.clone(), limit, offset, schema());
+        let ctx = ExecContext::new()
+            .with_threads(workers)
+            .with_partitions(partitions);
+        let got = run_engine(&factory, &ctx, worker_chunks(&rows, chunk_size, workers));
+        prop_assert_eq!(&expected, &got,
+            "partitions={} workers={} chunk={} keys={:?} limit={:?} offset={}",
+            partitions, workers, chunk_size, keys, limit, offset);
+
+        // The TopK bound held on every run the sink kept.
+        if let Some(l) = limit {
+            let m = ctx.metrics.summary();
+            prop_assert!(
+                m.sort_max_run_rows <= (l + offset) as u64,
+                "run of {} rows exceeds bound {}", m.sort_max_run_rows, l + offset
+            );
+        }
+    }
+
+    /// A TopK whose limit covers the whole input is exactly the full sort.
+    #[test]
+    fn topk_with_covering_limit_is_full_sort(
+        rows in proptest::collection::vec((-25i64..25, 0u32..5, -100i64..100), 1..120),
+        chunk_size in 1usize..40,
+        pc_exp in 0u32..4,
+        workers in 1usize..4,
+        desc in proptest::bool::ANY,
+        nf in proptest::bool::ANY,
+        slack in 0usize..10,
+    ) {
+        let partitions = 1usize << pc_exp;
+        let keys = vec![SortKey { col: 0, desc, nulls_first: nf }];
+
+        let full = SortSinkFactory::new(0, keys.clone(), None, 0, schema());
+        let ctx = ExecContext::new()
+            .with_threads(workers)
+            .with_partitions(partitions);
+        let full_rows = run_engine(&full, &ctx, worker_chunks(&rows, chunk_size, workers));
+
+        let topk = SortSinkFactory::new(0, keys, Some(rows.len() + slack), 0, schema());
+        let ctx = ExecContext::new()
+            .with_threads(workers)
+            .with_partitions(partitions);
+        let topk_rows = run_engine(&topk, &ctx, worker_chunks(&rows, chunk_size, workers));
+
+        prop_assert_eq!(full_rows, topk_rows);
+    }
+}

@@ -126,6 +126,24 @@ impl TableRef {
     }
 }
 
+/// What an ORDER BY key refers to: an output column by name/alias, or a
+/// 1-based ordinal into the SELECT list (`ORDER BY 2`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderByTarget {
+    Column(ColumnRef),
+    Ordinal(usize),
+}
+
+/// One `ORDER BY` key with its direction and NULL placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderByItem {
+    pub target: OrderByTarget,
+    pub desc: bool,
+    /// `Some(true)` = NULLS FIRST, `Some(false)` = NULLS LAST, `None` =
+    /// dialect default (NULLS LAST for ASC, NULLS FIRST for DESC).
+    pub nulls_first: Option<bool>,
+}
+
 /// A parsed SELECT statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectStmt {
@@ -133,6 +151,9 @@ pub struct SelectStmt {
     pub from: Vec<TableRef>,
     pub where_clause: Option<AstExpr>,
     pub group_by: Vec<ColumnRef>,
+    pub order_by: Vec<OrderByItem>,
+    pub limit: Option<u64>,
+    pub offset: Option<u64>,
 }
 
 impl SelectStmt {
@@ -197,6 +218,9 @@ mod tests {
             from: vec![],
             where_clause: None,
             group_by: vec![],
+            order_by: vec![],
+            limit: None,
+            offset: None,
         };
         assert!(stmt.has_aggregates());
         let plain = SelectStmt {
@@ -204,6 +228,9 @@ mod tests {
             from: vec![],
             where_clause: None,
             group_by: vec![],
+            order_by: vec![],
+            limit: None,
+            offset: None,
         };
         assert!(!plain.has_aggregates());
     }

@@ -61,7 +61,7 @@ impl fmt::Display for Token {
 const KEYWORDS: &[&str] = &[
     "SELECT", "FROM", "WHERE", "GROUP", "BY", "AS", "AND", "OR", "NOT", "IN", "LIKE", "BETWEEN",
     "IS", "NULL", "TRUE", "FALSE", "COUNT", "SUM", "MIN", "MAX", "AVG", "HAVING", "ORDER", "LIMIT",
-    "DISTINCT",
+    "DISTINCT", "OFFSET", "ASC", "DESC", "NULLS", "FIRST", "LAST",
 ];
 
 /// Tokenize SQL text.

@@ -4,7 +4,8 @@
 //! paper's workloads need: `SELECT` lists with aggregates, comma-separated
 //! `FROM` with aliases (joins are expressed as WHERE equality predicates, as
 //! in TPC-H/JOB source queries), `WHERE` with AND/OR/NOT, comparisons,
-//! `IN`, `LIKE`, `BETWEEN`, `IS [NOT] NULL`, and `GROUP BY`.
+//! `IN`, `LIKE`, `BETWEEN`, `IS [NOT] NULL`, `GROUP BY`, and
+//! `ORDER BY col [ASC|DESC] [NULLS FIRST|LAST], ... LIMIT n [OFFSET k]`.
 //!
 //! The parser produces a provider-agnostic AST; name resolution against a
 //! catalog happens in `rpt-core`'s binder.
@@ -13,5 +14,8 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{AstExpr, BinOp, ColumnRef, Literal, SelectItem, SelectStmt, TableRef};
+pub use ast::{
+    AstExpr, BinOp, ColumnRef, Literal, OrderByItem, OrderByTarget, SelectItem, SelectStmt,
+    TableRef,
+};
 pub use parser::parse_select;

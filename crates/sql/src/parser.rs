@@ -104,12 +104,82 @@ impl Parser {
                 group_by.push(self.column_ref()?);
             }
         }
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            order_by.push(self.order_by_item()?);
+            while self.peek() == &Token::Comma {
+                self.advance();
+                order_by.push(self.order_by_item()?);
+            }
+        }
+        let limit = if self.eat_keyword("LIMIT") {
+            Some(self.bound("LIMIT")?)
+        } else {
+            None
+        };
+        let offset = if self.eat_keyword("OFFSET") {
+            Some(self.bound("OFFSET")?)
+        } else {
+            None
+        };
         Ok(SelectStmt {
             items,
             from,
             where_clause,
             group_by,
+            order_by,
+            limit,
+            offset,
         })
+    }
+
+    fn order_by_item(&mut self) -> Result<OrderByItem, String> {
+        let target = match self.peek().clone() {
+            Token::Int(n) => {
+                self.advance();
+                if n < 1 {
+                    return Err(format!("ORDER BY ordinal must be >= 1, found `{n}`"));
+                }
+                OrderByTarget::Ordinal(n as usize)
+            }
+            Token::Ident(_) => OrderByTarget::Column(self.column_ref()?),
+            other => return Err(format!("expected ORDER BY key, found `{other}`")),
+        };
+        let desc = if self.eat_keyword("DESC") {
+            true
+        } else {
+            self.eat_keyword("ASC");
+            false
+        };
+        let nulls_first = if self.eat_keyword("NULLS") {
+            if self.eat_keyword("FIRST") {
+                Some(true)
+            } else if self.eat_keyword("LAST") {
+                Some(false)
+            } else {
+                return Err(format!(
+                    "expected FIRST or LAST after NULLS, found `{}`",
+                    self.peek()
+                ));
+            }
+        } else {
+            None
+        };
+        Ok(OrderByItem {
+            target,
+            desc,
+            nulls_first,
+        })
+    }
+
+    /// A non-negative integer bound for LIMIT / OFFSET.
+    fn bound(&mut self, clause: &str) -> Result<u64, String> {
+        match self.advance() {
+            Token::Int(n) if n >= 0 => Ok(n as u64),
+            Token::Int(n) => Err(format!("{clause} must be non-negative, found `{n}`")),
+            other => Err(format!("{clause} expects an integer, found `{other}`")),
+        }
     }
 
     fn select_item(&mut self) -> Result<SelectItem, String> {
@@ -546,5 +616,82 @@ mod tests {
     #[test]
     fn trailing_semicolon_ok() {
         assert!(parse_select("SELECT * FROM t;").is_ok());
+    }
+
+    #[test]
+    fn order_by_columns_and_ordinals() {
+        let s =
+            parse_select("SELECT a, b FROM t ORDER BY t.a DESC NULLS LAST, 2 ASC NULLS FIRST, b")
+                .unwrap();
+        assert_eq!(s.order_by.len(), 3);
+        assert_eq!(
+            s.order_by[0],
+            OrderByItem {
+                target: OrderByTarget::Column(ColumnRef::new(Some("t"), "a")),
+                desc: true,
+                nulls_first: Some(false),
+            }
+        );
+        assert_eq!(
+            s.order_by[1],
+            OrderByItem {
+                target: OrderByTarget::Ordinal(2),
+                desc: false,
+                nulls_first: Some(true),
+            }
+        );
+        assert_eq!(
+            s.order_by[2],
+            OrderByItem {
+                target: OrderByTarget::Column(ColumnRef::new(None, "b")),
+                desc: false,
+                nulls_first: None,
+            }
+        );
+        assert!(s.limit.is_none());
+        assert!(s.offset.is_none());
+    }
+
+    #[test]
+    fn limit_and_offset() {
+        let s = parse_select("SELECT a FROM t ORDER BY a LIMIT 10 OFFSET 3").unwrap();
+        assert_eq!(s.limit, Some(10));
+        assert_eq!(s.offset, Some(3));
+        // LIMIT without ORDER BY is legal (arbitrary-prefix semantics).
+        let s = parse_select("SELECT a FROM t LIMIT 5").unwrap();
+        assert!(s.order_by.is_empty());
+        assert_eq!(s.limit, Some(5));
+        assert_eq!(s.offset, None);
+        // LIMIT 0 is legal.
+        assert_eq!(
+            parse_select("SELECT a FROM t LIMIT 0").unwrap().limit,
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn order_by_limit_errors() {
+        // trailing comma in the key list
+        assert!(parse_select("SELECT a FROM t ORDER BY a, LIMIT 3").is_err());
+        assert!(parse_select("SELECT a FROM t ORDER BY a,").is_err());
+        // non-integer / negative bounds
+        let e = parse_select("SELECT a FROM t ORDER BY a LIMIT x").unwrap_err();
+        assert!(e.contains("LIMIT expects an integer"), "{e}");
+        let e = parse_select("SELECT a FROM t LIMIT 2.5").unwrap_err();
+        assert!(e.contains("LIMIT expects an integer"), "{e}");
+        let e = parse_select("SELECT a FROM t LIMIT -1").unwrap_err();
+        assert!(e.contains("integer"), "{e}");
+        let e = parse_select("SELECT a FROM t ORDER BY a LIMIT 5 OFFSET 'x'").unwrap_err();
+        assert!(e.contains("OFFSET expects an integer"), "{e}");
+        // zero / negative ordinals
+        let e = parse_select("SELECT a FROM t ORDER BY 0").unwrap_err();
+        assert!(e.contains("ordinal"), "{e}");
+        // NULLS without FIRST/LAST
+        let e = parse_select("SELECT a FROM t ORDER BY a NULLS").unwrap_err();
+        assert!(e.contains("FIRST or LAST"), "{e}");
+        // ORDER without BY
+        assert!(parse_select("SELECT a FROM t ORDER a").is_err());
+        // clauses in the wrong order: LIMIT before ORDER BY leaves trailing tokens
+        assert!(parse_select("SELECT a FROM t LIMIT 3 ORDER BY a").is_err());
     }
 }

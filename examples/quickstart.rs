@@ -69,5 +69,17 @@ fn main() -> rpt_common::Result<()> {
     }
     println!("\nAll modes return identical results; RPT pre-filters the fact table");
     println!("with a Bloom filter built from the 1% of matching customers.");
+
+    // Ordered output: the engine's partitioned TopK sink keeps only the
+    // top rows per partition run, so no full sort ever materializes.
+    let top = "SELECT c.id, SUM(o.total) AS revenue \
+               FROM orders o, customers c \
+               WHERE o.customer = c.id AND c.country = 'IS' \
+               GROUP BY c.id ORDER BY revenue DESC LIMIT 3";
+    let result = db.query(top, &QueryOptions::new(Mode::RobustPredicateTransfer))?;
+    println!("\ntop customers by revenue ({top}):");
+    for row in &result.rows {
+        println!("  {row:?}");
+    }
     Ok(())
 }

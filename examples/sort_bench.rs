@@ -1,0 +1,99 @@
+//! Sort-sink trajectory harness: times full ORDER BY materialization
+//! against the bounded TopK path (same query + LIMIT) and writes the
+//! comparison to `BENCH_sort.json` — the checked-in benchmark artifact the
+//! roadmap tracks across PRs.
+//!
+//! Run from the repo root (release, or the numbers are meaningless):
+//!
+//! ```text
+//! cargo run --release --example sort_bench
+//! ```
+
+use rpt::{Database, Mode, QueryOptions};
+use std::time::Instant;
+
+/// Median-of-runs wall time for one query, in microseconds.
+fn time_us(db: &Database, sql: &str, opts: &QueryOptions, runs: usize) -> u64 {
+    let mut samples: Vec<u64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(db.query(sql, opts).expect("query"));
+            t0.elapsed().as_micros() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let w = rpt_workloads::tpch(1.0, 7);
+    let mut db = Database::new();
+    for t in &w.tables {
+        db.register_table(t.clone());
+    }
+
+    // Two sort shapes: a wide raw scan (60k lineitems) and an aggregate
+    // ranking over a join — each timed as a full sort and as TopK 10.
+    let queries: Vec<(&str, String)> = vec![
+        (
+            "lineitem_scan",
+            "SELECT l.l_orderkey, l.l_extendedprice FROM lineitem l \
+             ORDER BY 2 DESC, 1"
+                .to_string(),
+        ),
+        (
+            "custkey_revenue",
+            "SELECT o.o_custkey, SUM(l.l_extendedprice) AS rev \
+             FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey \
+             GROUP BY o.o_custkey ORDER BY 2 DESC, 1"
+                .to_string(),
+        ),
+    ];
+    let limit = 10usize;
+    let opts = QueryOptions::new(Mode::RobustPredicateTransfer).with_partition_count(8);
+
+    let runs = 15;
+    let mut entries = Vec::new();
+    for (id, full_sql) in &queries {
+        let topk_sql = format!("{full_sql} LIMIT {limit}");
+
+        // Parity + path engagement before timing anything: the TopK leg is
+        // the full sort's prefix, prunes rows before the merge, and never
+        // keeps a run past the limit + offset bound.
+        let full = db.query(full_sql, &opts).expect("full sort");
+        let topk = db.query(&topk_sql, &opts).expect("topk");
+        assert_eq!(&full.rows[..limit], &topk.rows[..], "{id}: paths disagree");
+        assert_eq!(full.metrics.sort_rows_pruned, 0, "{id}: full sort pruned");
+        assert!(topk.metrics.sort_rows_pruned > 0, "{id}: TopK never pruned");
+        assert!(
+            topk.metrics.sort_max_run_rows <= limit as u64,
+            "{id}: run exceeded the TopK bound"
+        );
+
+        // Warm up, then interleave the legs so drift hits both equally.
+        time_us(&db, full_sql, &opts, 3);
+        let full_us = time_us(&db, full_sql, &opts, runs);
+        let topk_us = time_us(&db, &topk_sql, &opts, runs);
+        let speedup = full_us as f64 / topk_us.max(1) as f64;
+        println!(
+            "[sort_bench] {id}: rows={} full={full_us}us topk={topk_us}us \
+             speedup={speedup:.2}x",
+            full.rows.len()
+        );
+        entries.push(format!(
+            "    {{\n      \"query\": \"{id}\",\n      \"rows\": {},\n      \
+             \"full_us\": {full_us},\n      \"topk_us\": {topk_us},\n      \
+             \"speedup\": {speedup:.3}\n    }}",
+            full.rows.len()
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"sort_topk\",\n  \"workload\": \"tpch sf=1 seed=7\",\n  \
+         \"config\": \"partition_count=8 limit={limit}, median of {runs} runs\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_sort.json", &json).expect("write BENCH_sort.json");
+    println!("[sort_bench] wrote BENCH_sort.json");
+}

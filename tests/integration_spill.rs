@@ -220,6 +220,130 @@ fn spilling_one_partition_keeps_others_resident() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Drive the full-sort sink (no LIMIT → spill-capped runs) directly with
+/// skewed chunk sizes so exactly one partition overflows its share of the
+/// cap: that partition spills to disk, the merge still yields exactly
+/// ordered output, and no `rpt_spill_*` file survives the query.
+#[test]
+fn sort_spills_one_partition_and_merges_in_order() {
+    use rpt_exec::{cmp_scalar_rows, SortKey, SortSinkFactory};
+
+    let dir = std::env::temp_dir().join(format!("rpt_it_sortspill_{}", std::process::id()));
+    let partitions = 4usize;
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("v", DataType::Int64),
+    ]);
+    // 32 KiB cap / 1 thread / 4 partitions = 8 KiB per partition run.
+    let ctx = ExecContext::new()
+        .with_partitions(partitions)
+        .with_spill(32 * 1024, &dir);
+    let keys = vec![SortKey {
+        col: 0,
+        desc: true,
+        nulls_first: true,
+    }];
+    let factory = SortSinkFactory::new(0, keys.clone(), None, 0, schema);
+    let mut sink = factory.make(&ctx).unwrap();
+
+    // Chunks are routed round-robin, so every 4th chunk lands in the same
+    // partition. Make those 500 rows (~8 KiB each, overflowing the 8 KiB
+    // share) and the rest 8 rows (resident everywhere else).
+    let mut expected: Vec<Vec<ScalarValue>> = Vec::new();
+    let mut next = 0i64;
+    for i in 0..16 {
+        let n = if i % partitions == 0 { 500 } else { 8 };
+        let ks: Vec<i64> = (0..n).map(|j| (next + j) * 7919 % 10007).collect();
+        let vs: Vec<i64> = (next..next + n).collect();
+        next += n;
+        for (k, v) in ks.iter().zip(&vs) {
+            expected.push(vec![ScalarValue::Int64(*k), ScalarValue::Int64(*v)]);
+        }
+        sink.sink(
+            DataChunk::new(vec![Vector::from_i64(ks), Vector::from_i64(vs)]),
+            &ctx,
+        )
+        .unwrap();
+    }
+
+    // Each SpillBuffer opens its own rpt_spill_* file on first overflow:
+    // exactly one partition's run must have spilled by now.
+    let spill_files = |d: &std::path::Path| -> usize {
+        std::fs::read_dir(d)
+            .map(|it| {
+                it.filter(|e| {
+                    e.as_ref()
+                        .map(|e| e.file_name().to_string_lossy().starts_with("rpt_spill_"))
+                        .unwrap_or(false)
+                })
+                .count()
+            })
+            .unwrap_or(0)
+    };
+    assert_eq!(spill_files(&dir), 1, "exactly one partition should spill");
+
+    let res = Resources::new(1, 0, 0);
+    factory
+        .merge_partitioned("sort", vec![sink], &ctx, &res)
+        .unwrap();
+    let rows: Vec<Vec<ScalarValue>> = res
+        .buffer(0)
+        .unwrap()
+        .iter()
+        .flat_map(|c| c.rows())
+        .collect();
+    expected.sort_unstable_by(|a, b| cmp_scalar_rows(&keys, a, b));
+    assert_eq!(expected, rows, "merged output out of order or incomplete");
+    assert_eq!(spill_files(&dir), 0, "spill files leaked past the merge");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// End-to-end: a full ORDER BY (no LIMIT) under a tiny spill cap returns
+/// exactly the unbounded run's ordered rows, and leaves no spill files.
+#[test]
+fn sort_under_spill_pressure_end_to_end() {
+    let w = tpch(0.05, 55);
+    let db = database_for(&w);
+    let dir = std::env::temp_dir().join(format!("rpt_it_sortspill_e2e_{}", std::process::id()));
+    let sql = "SELECT l.l_orderkey, l.l_quantity, l.l_extendedprice FROM lineitem l \
+               WHERE l.l_quantity > 5 ORDER BY 3 DESC, 1";
+    let unbounded = db
+        .query(
+            sql,
+            &QueryOptions::new(Mode::RobustPredicateTransfer).with_partition_count(4),
+        )
+        .unwrap();
+    let spilled = db
+        .query(
+            sql,
+            &QueryOptions::new(Mode::RobustPredicateTransfer)
+                .with_partition_count(4)
+                .with_spill(8 * 1024, &dir),
+        )
+        .unwrap();
+    // Raw columns, no aggregation: the ordered rows must match exactly.
+    assert_eq!(
+        unbounded.rows, spilled.rows,
+        "spill changed the sorted output"
+    );
+    assert!(
+        unbounded.rows.len() > 1000,
+        "query too small to pressure the cap"
+    );
+    let leftovers = std::fs::read_dir(&dir)
+        .map(|it| {
+            it.filter(|e| {
+                e.as_ref()
+                    .map(|e| e.file_name().to_string_lossy().starts_with("rpt_spill_"))
+                    .unwrap_or(false)
+            })
+            .count()
+        })
+        .unwrap_or(0);
+    assert_eq!(leftovers, 0, "rpt_spill_* files left behind");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn spill_works_multithreaded() {
     let w = tpch(0.05, 53);

@@ -55,10 +55,12 @@ fn db() -> Database {
     db
 }
 
+/// Run under RPT and return the rows exactly as the engine ordered them —
+/// queries that need a defined order say so with ORDER BY.
 fn q(db: &Database, sql: &str) -> Vec<Vec<ScalarValue>> {
     db.query(sql, &QueryOptions::new(Mode::RobustPredicateTransfer))
         .unwrap_or_else(|e| panic!("query failed: {e}\n{sql}"))
-        .sorted_rows()
+        .rows
 }
 
 #[test]
@@ -93,12 +95,65 @@ fn aggregates_global_and_grouped() {
     let grouped = q(
         &db,
         "SELECT d.name, COUNT(*) AS c FROM emp e, dept d \
-         WHERE e.dept_id = d.id GROUP BY d.name",
+         WHERE e.dept_id = d.id GROUP BY d.name ORDER BY d.name",
     );
-    assert_eq!(grouped.len(), 3);
-    for row in &grouped {
-        assert_eq!(row[1], ScalarValue::Int64(4));
-    }
+    assert_eq!(
+        grouped,
+        vec![
+            vec![ScalarValue::Utf8("eng".into()), ScalarValue::Int64(4)],
+            vec![ScalarValue::Utf8("hr".into()), ScalarValue::Int64(4)],
+            vec![ScalarValue::Utf8("ops".into()), ScalarValue::Int64(4)],
+        ]
+    );
+}
+
+#[test]
+fn order_by_limit_offset() {
+    let db = db();
+    // Plain scan: top salaries descending, skipping the single highest.
+    let rows = q(
+        &db,
+        "SELECT e.id, e.salary FROM emp e ORDER BY e.salary DESC LIMIT 3 OFFSET 1",
+    );
+    assert_eq!(
+        rows.iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
+        vec![
+            ScalarValue::Int64(10),
+            ScalarValue::Int64(9),
+            ScalarValue::Int64(8)
+        ]
+    );
+    // Ordinal key, ascending default.
+    let rows = q(&db, "SELECT e.name, e.id FROM emp e ORDER BY 2 LIMIT 2");
+    assert_eq!(rows[0][1], ScalarValue::Int64(0));
+    assert_eq!(rows[1][1], ScalarValue::Int64(1));
+    // Joins + GROUP BY + ORDER BY an aggregate alias + LIMIT, end to end.
+    let rows = q(
+        &db,
+        "SELECT d.name, SUM(e.salary) AS s FROM emp e, dept d \
+         WHERE e.dept_id = d.id GROUP BY d.name ORDER BY s DESC LIMIT 2",
+    );
+    assert_eq!(
+        rows,
+        vec![
+            vec![ScalarValue::Utf8("hr".into()), ScalarValue::Float64(6600.0)],
+            vec![
+                ScalarValue::Utf8("ops".into()),
+                ScalarValue::Float64(6200.0)
+            ],
+        ]
+    );
+    // LIMIT without ORDER BY: any 5 rows, deterministically chosen.
+    let rows = q(&db, "SELECT e.id FROM emp e LIMIT 5");
+    assert_eq!(rows.len(), 5);
+    // The TopK bound kept every sort run at limit + offset rows or fewer.
+    let r = db
+        .query(
+            "SELECT e.id FROM emp e ORDER BY e.id LIMIT 3 OFFSET 1",
+            &QueryOptions::new(Mode::RobustPredicateTransfer),
+        )
+        .expect("topk query");
+    assert!(r.metrics.sort_max_run_rows <= 4, "{:?}", r.metrics);
 }
 
 #[test]
