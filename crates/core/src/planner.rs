@@ -13,8 +13,8 @@ use crate::optimizer::PlanNode;
 use crate::query::JoinQuery;
 use rpt_common::{DataType, Error, Field, Result, Schema};
 use rpt_exec::{
-    prunable_conjuncts, AggExpr, BloomSink, Expr, NodeDeps, OpSpec, PipelinePlan, ScanPrune,
-    SinkSpec, SortKey, SourceSpec,
+    prunable_conjuncts, prunable_utf8_conjuncts, AggExpr, BloomSink, Expr, NodeDeps, OpSpec,
+    PipelinePlan, RouteMode, ScanPrune, SinkSpec, SortKey, SourceSpec,
 };
 use rpt_graph::{
     largest_root, largest_root_randomized, small2large, JoinTree, SemiJoin, TransferSchedule,
@@ -52,16 +52,21 @@ pub struct PhysicalPlan {
 
 impl PhysicalPlan {
     /// Assemble the IR, recording each pipeline's resource dependencies.
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
-        pipelines: Vec<PipelinePlan>,
+        mut pipelines: Vec<PipelinePlan>,
         num_buffers: usize,
         num_filters: usize,
         num_tables: usize,
         partition_count: usize,
         output_buffer: usize,
         output_schema: Schema,
+        repartition_elide: bool,
     ) -> PhysicalPlan {
         let partition_count = rpt_common::normalize_partition_count(partition_count);
+        if repartition_elide {
+            apply_repartition_elision(&mut pipelines, partition_count);
+        }
         let deps = record_deps(&pipelines, partition_count);
         PhysicalPlan {
             pipelines,
@@ -78,6 +83,100 @@ impl PhysicalPlan {
     /// `(buffers, filters, hash tables)` slot counts for the executor.
     pub fn resource_counts(&self) -> (usize, usize, usize) {
         (self.num_buffers, self.num_filters, self.num_tables)
+    }
+}
+
+/// Map a sink-input column position back to its source-buffer position
+/// through the pipeline's streaming operators. `None` = the position's
+/// provenance (or its row distribution) is not preserved, so elision must
+/// not apply. Filters and probes only *drop* rows — surviving rows keep
+/// their values, hence their hash partition; a projection preserves a
+/// position only when it is a plain column reference. `JoinProbe` bails:
+/// its output mixes build-side columns and duplicates rows.
+fn map_to_source(ops: &[OpSpec], mut pos: usize) -> Option<usize> {
+    for op in ops.iter().rev() {
+        pos = match op {
+            OpSpec::Filter(_) | OpSpec::ProbeBloom { .. } | OpSpec::SemiProbe { .. } => pos,
+            OpSpec::Project(exprs) => match exprs.get(pos)? {
+                Expr::Column(c) => *c,
+                _ => return None,
+            },
+            OpSpec::JoinProbe { .. } => return None,
+        };
+    }
+    Some(pos)
+}
+
+/// Do the consumer sink's key positions, mapped back to the source buffer,
+/// equal the producer's distribution key positions — in order? (The hash
+/// is computed over the key columns in key order, so ordered equality is
+/// what guarantees identical partition assignment.)
+fn keys_match(ops: &[OpSpec], keys: &[usize], dist: Option<&Vec<usize>>) -> bool {
+    let Some(dist) = dist else { return false };
+    keys.len() == dist.len()
+        && keys
+            .iter()
+            .zip(dist)
+            .all(|(&k, &d)| map_to_source(ops, k) == Some(d))
+}
+
+/// Repartition elision: track each buffer's output *distribution* (the
+/// hash-key positions its producer radix-routed on) and lower any consumer
+/// sink whose required distribution matches its source buffer's with
+/// `route = Preserve` — workers then feed whole partition-`p` chunks
+/// straight into partition-`p` sink state, skipping the hash + scatter.
+///
+/// Eligibility:
+/// - `HashBuild` / keyed `Buffer` (CreateBF) / grouped `Aggregate` sinks:
+///   key positions must map through the ops onto the producer's
+///   distribution keys, ordered-exactly (same hash ⇒ same partition).
+///   The aggregate's bucket hash *is* the routing hash, so group placement
+///   is unchanged.
+/// - `Sort` sinks: always eligible over a buffer source — sort runs carry
+///   no hash distribution (the radix route round-robins whole chunks), and
+///   the loser-tree merge rebuilds the total order from any assignment.
+/// - Keyless collect `Buffer` sinks: excluded — their radix route splits
+///   the first chunk to guarantee balanced, multi-partition output.
+fn apply_repartition_elision(pipelines: &mut [PipelinePlan], partition_count: usize) {
+    if partition_count <= 1 {
+        return;
+    }
+    let mut dist: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    for p in pipelines.iter() {
+        match &p.sink {
+            SinkSpec::Buffer { buf_id, blooms } => {
+                if let Some(b) = blooms.first() {
+                    dist.insert(*buf_id, b.key_cols.clone());
+                }
+            }
+            // Aggregate output columns are `[group keys..., aggs...]`,
+            // partition-assigned by the group-key hash in group-col order.
+            SinkSpec::Aggregate {
+                buf_id, group_cols, ..
+            } if !group_cols.is_empty() => {
+                dist.insert(*buf_id, (0..group_cols.len()).collect());
+            }
+            _ => {}
+        }
+    }
+    for p in pipelines.iter_mut() {
+        let SourceSpec::Buffer(src) = &p.source else {
+            continue;
+        };
+        let eligible = match &p.sink {
+            SinkSpec::Sort { .. } => true,
+            SinkSpec::HashBuild { key_cols, .. } => keys_match(&p.ops, key_cols, dist.get(src)),
+            SinkSpec::Aggregate { group_cols, .. } if !group_cols.is_empty() => {
+                keys_match(&p.ops, group_cols, dist.get(src))
+            }
+            SinkSpec::Buffer { blooms, .. } => blooms
+                .first()
+                .is_some_and(|b| keys_match(&p.ops, &b.key_cols, dist.get(src))),
+            _ => false,
+        };
+        if eligible {
+            p.route = RouteMode::Preserve;
+        }
     }
 }
 
@@ -238,9 +337,10 @@ impl<'q> Planner<'q> {
     ///
     /// Base scans are emitted as [`SourceSpec::Scan`] so the storage layer
     /// can prune whole blocks with zone maps before decoding: any
-    /// `Int64 col CMP literal` conjuncts of the pushed-down filter are
-    /// mirrored into the scan's prune spec (the filter runs against the
-    /// full base schema, so its column indices *are* base-table columns),
+    /// `Int64 col CMP literal` and `Utf8 col CMP 'literal'` conjuncts of
+    /// the pushed-down filter are mirrored into the scan's prune spec
+    /// (the filter runs against the full base schema, so its column
+    /// indices *are* base-table columns),
     /// and later transfer steps may add Bloom key ranges (see
     /// [`Planner::transfer_step`]). Pruning is conservative — the filter
     /// and probe operators still run on every surviving block.
@@ -253,6 +353,7 @@ impl<'q> Planner<'q> {
             // Filter runs against the full base schema.
             let expr = f.to_exec(&|fr, fc| if fr == r { Some(fc) } else { None })?;
             prune.predicates = prunable_conjuncts(&expr);
+            prune.utf8_predicates = prunable_utf8_conjuncts(&expr);
             ops.push(OpSpec::Filter(expr));
             reduced = true;
         }
@@ -310,6 +411,7 @@ impl<'q> Planner<'q> {
                 blooms,
             },
             intermediate: true,
+            route: RouteMode::Radix,
             sink_schema: schema,
         });
         Ok(Stream {
@@ -411,6 +513,7 @@ impl<'q> Planner<'q> {
                     blooms: vec![],
                 },
                 intermediate: true,
+                route: RouteMode::Radix,
                 sink_schema: schema,
             });
             states[*target].stream.ops.push(OpSpec::SemiProbe {
@@ -568,6 +671,7 @@ impl<'q> Planner<'q> {
                         blooms,
                     },
                     intermediate: true,
+                    route: RouteMode::Radix,
                     sink_schema: schema,
                 });
 
@@ -620,6 +724,7 @@ impl<'q> Planner<'q> {
                 offset: self.q.offset.unwrap_or(0),
             },
             intermediate: false,
+            route: RouteMode::Radix,
             sink_schema: out_schema.clone(),
         });
         sort_buf
@@ -705,6 +810,7 @@ impl<'q> Planner<'q> {
                     key_dicts,
                 },
                 intermediate: false,
+                route: RouteMode::Radix,
                 sink_schema,
             });
 
@@ -762,6 +868,7 @@ impl<'q> Planner<'q> {
                     self.opts.partition_count,
                     final_buf,
                     agg_schema,
+                    self.opts.repartition_elide,
                 ));
             }
             let out_buf = self.new_buffer();
@@ -777,6 +884,7 @@ impl<'q> Planner<'q> {
                     blooms: vec![],
                 },
                 intermediate: false,
+                route: RouteMode::Radix,
                 sink_schema: out_schema.clone(),
             });
             let final_buf = self.finish_order_by(out_buf, &out_schema);
@@ -788,6 +896,7 @@ impl<'q> Planner<'q> {
                 self.opts.partition_count,
                 final_buf,
                 out_schema,
+                self.opts.repartition_elide,
             ))
         } else {
             // Plain projection.
@@ -819,6 +928,7 @@ impl<'q> Planner<'q> {
                     blooms: vec![],
                 },
                 intermediate: false,
+                route: RouteMode::Radix,
                 sink_schema: out_schema.clone(),
             });
             let final_buf = self.finish_order_by(out_buf, &out_schema);
@@ -830,6 +940,7 @@ impl<'q> Planner<'q> {
                 self.opts.partition_count,
                 final_buf,
                 out_schema,
+                self.opts.repartition_elide,
             ))
         }
     }
@@ -893,6 +1004,9 @@ impl<'q> Planner<'q> {
             }
         }
         let partition_count = rpt_common::normalize_partition_count(self.opts.partition_count);
+        if self.opts.repartition_elide {
+            apply_repartition_elision(&mut self.pipelines, partition_count);
+        }
         let deps = record_deps(&self.pipelines, partition_count);
         Ok(HybridPrelude {
             pipelines: self.pipelines,

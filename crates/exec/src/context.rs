@@ -17,20 +17,31 @@ use rpt_common::{Error, Result};
 /// `p`. `Scoped` is the legacy two-level model (a DAG worker pool that
 /// spawns a fresh morsel thread-scope per running pipeline); it is kept for
 /// parity testing and can be forced with `RPT_SCHEDULER=scoped`.
+/// `Stealing` keeps the global pool's readiness machinery but replaces its
+/// shared FIFO with per-worker deques plus an injector: workers push
+/// locally, pop LIFO, and steal FIFO from victims, with merge/finish tasks
+/// that unblock registered waiters promoted to a high-priority band.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchedulerKind {
     /// One global morsel-driven worker pool with a unified task queue.
     Global,
     /// Legacy: DAG worker pool × per-pipeline morsel thread scopes.
     Scoped,
+    /// Global pool with per-worker deques, work stealing, and two-level
+    /// priorities (`RPT_SCHEDULER=steal`).
+    Stealing,
 }
 
 impl SchedulerKind {
-    /// Process default: `RPT_SCHEDULER` (`global` / `scoped`), else Global.
+    /// Process default: `RPT_SCHEDULER` (`global` / `scoped` / `steal`),
+    /// else Global.
     pub fn from_env() -> SchedulerKind {
         match std::env::var("RPT_SCHEDULER") {
             Ok(v) if v.eq_ignore_ascii_case("scoped") || v.eq_ignore_ascii_case("legacy") => {
                 SchedulerKind::Scoped
+            }
+            Ok(v) if v.eq_ignore_ascii_case("steal") || v.eq_ignore_ascii_case("stealing") => {
+                SchedulerKind::Stealing
             }
             _ => SchedulerKind::Global,
         }
@@ -52,6 +63,14 @@ pub fn agg_fast_from_env() -> bool {
 /// raw flat layout — the CI parity leg).
 pub fn storage_encoding_from_env() -> bool {
     !std::env::var("RPT_STORAGE_ENCODING")
+        .is_ok_and(|v| v.eq_ignore_ascii_case("off") || v == "0" || v.eq_ignore_ascii_case("false"))
+}
+
+/// Process default for repartition elision (partition-preserving sink
+/// routes): enabled unless `RPT_REPARTITION_ELIDE` is set to
+/// `off`/`0`/`false` (every sink then radix-routes — the CI parity leg).
+pub fn repartition_elide_from_env() -> bool {
+    !std::env::var("RPT_REPARTITION_ELIDE")
         .is_ok_and(|v| v.eq_ignore_ascii_case("off") || v == "0" || v.eq_ignore_ascii_case("false"))
 }
 
@@ -119,11 +138,23 @@ pub struct Metrics {
     pub sched_max_queue_depth: AtomicU64,
     /// Nanoseconds workers spent executing tasks (Σ over workers).
     pub sched_busy_nanos: AtomicU64,
-    /// Wall nanoseconds the global scheduler ran; utilization is
-    /// `busy / (wall × workers)`.
+    /// Thread-lifetime wall nanoseconds, summed per worker (each worker
+    /// contributes its own spawn-to-exit span); utilization is
+    /// `busy / wall` — meaningful even when some workers only steal or
+    /// idle.
     pub sched_wall_nanos: AtomicU64,
     /// Worker-pool size of the last global run.
     pub sched_workers: AtomicU64,
+    /// Tasks a worker popped from its own deque (stealing scheduler).
+    pub sched_local_hits: AtomicU64,
+    /// Tasks taken from another worker's deque (stealing scheduler).
+    pub sched_steals: AtomicU64,
+    /// Merge/finish tasks promoted to the high-priority band because a
+    /// registered waiter blocks on the grains they seal.
+    pub sched_priority_promotions: AtomicU64,
+    /// Chunks that skipped the hash+scatter radix route because the
+    /// producer's partitioning already matched the sink's (Preserve route).
+    pub repartition_elided_chunks: AtomicU64,
     /// Chunks consumed by aggregate sinks on the fixed-width packed-key
     /// fast path (type-specialized group tables).
     pub agg_fast_path_chunks: AtomicU64,
@@ -276,6 +307,10 @@ impl Metrics {
             sched_busy_nanos: self.sched_busy_nanos.load(Ordering::Relaxed),
             sched_wall_nanos: self.sched_wall_nanos.load(Ordering::Relaxed),
             sched_workers: self.sched_workers.load(Ordering::Relaxed),
+            sched_local_hits: self.sched_local_hits.load(Ordering::Relaxed),
+            sched_steals: self.sched_steals.load(Ordering::Relaxed),
+            sched_priority_promotions: self.sched_priority_promotions.load(Ordering::Relaxed),
+            repartition_elided_chunks: self.repartition_elided_chunks.load(Ordering::Relaxed),
             agg_fast_path_chunks: self.agg_fast_path_chunks.load(Ordering::Relaxed),
             agg_generic_chunks: self.agg_generic_chunks.load(Ordering::Relaxed),
             blocks_pruned: self.blocks_pruned.load(Ordering::Relaxed),
@@ -308,6 +343,10 @@ pub struct MetricsSummary {
     pub sched_busy_nanos: u64,
     pub sched_wall_nanos: u64,
     pub sched_workers: u64,
+    pub sched_local_hits: u64,
+    pub sched_steals: u64,
+    pub sched_priority_promotions: u64,
+    pub repartition_elided_chunks: u64,
     pub agg_fast_path_chunks: u64,
     pub agg_generic_chunks: u64,
     pub blocks_pruned: u64,
@@ -318,14 +357,13 @@ pub struct MetricsSummary {
 }
 
 impl MetricsSummary {
-    /// Worker utilization of the last global-scheduler run, in percent
-    /// (busy nanos over wall nanos × pool size); 0 when unavailable.
+    /// Worker utilization of the last global-scheduler run, in percent.
+    /// `sched_wall_nanos` is already summed over each worker's own
+    /// thread-lifetime span, so the ratio is simply `busy / wall` — an
+    /// idle stealer drags it down instead of being hidden behind a single
+    /// shared clock.
     pub fn scheduler_utilization_pct(&self) -> u64 {
-        utilization_pct(
-            self.sched_busy_nanos,
-            self.sched_wall_nanos,
-            self.sched_workers,
-        )
+        utilization_pct(self.sched_busy_nanos, self.sched_wall_nanos, 1)
     }
     /// The robustness work metric: tuples processed through stateful
     /// operators. Deterministic, hardware-independent.

@@ -277,6 +277,35 @@ pub fn prunable_conjuncts(expr: &Expr) -> Vec<(usize, CmpOp, i64)> {
     out
 }
 
+/// The `Utf8 column CMP string-literal` conjuncts of a predicate,
+/// normalized to `(column, op, literal)` with the column on the left —
+/// the string analog of [`prunable_conjuncts`]. A scan can check these
+/// against per-block `Utf8` zone maps when the column carries a sorted
+/// shared dictionary (dict codes are assigned in lexicographic order, so
+/// comparing the literal against the zone's string bounds is exactly the
+/// dict-code comparison). Walks `And` trees; `Or`/`Not` subtrees
+/// contribute nothing.
+pub fn prunable_utf8_conjuncts(expr: &Expr) -> Vec<(usize, CmpOp, String)> {
+    fn walk(e: &Expr, out: &mut Vec<(usize, CmpOp, String)>) {
+        match e {
+            Expr::And(parts) => parts.iter().for_each(|p| walk(p, out)),
+            Expr::Cmp { op, left, right } => match (&**left, &**right) {
+                (Expr::Column(c), Expr::Literal(ScalarValue::Utf8(s))) => {
+                    out.push((*c, *op, s.clone()))
+                }
+                (Expr::Literal(ScalarValue::Utf8(s)), Expr::Column(c)) => {
+                    out.push((*c, op.flip(), s.clone()))
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    walk(expr, &mut out);
+    out
+}
+
 /// Selection fast path for `Int64 column CMP i64 literal`: compare the
 /// typed payload directly and push passing logical row indices. Returns
 /// `Ok(None)` when the column is not `Int64` (the caller falls back to the

@@ -28,10 +28,10 @@
 //! `ctx.threads > 1` morsels fan out and only multiset/ulp-level
 //! determinism is guaranteed, as in the scoped scheduler.
 
-use crate::context::ExecContext;
+use crate::context::{ExecContext, SchedulerKind};
 use crate::operators::{PartitionMerger, ResourceId, Resources, Sink};
 use crate::pipeline::{
-    combine_finalize, push_through, record_pipeline_rows, PhysicalPipeline, PipelinePlan,
+    combine_finalize, push_through, record_pipeline_rows, PhysicalPipeline, PipelinePlan, RouteMode,
 };
 use crate::scheduler::{build_dag, check_acyclic, NodeDeps, SchedulerStats};
 use rpt_common::{Error, Result};
@@ -62,10 +62,21 @@ pub struct GlobalStats {
     pub max_queue_depth: usize,
     /// Σ nanoseconds workers spent inside tasks.
     pub busy_nanos: u64,
-    /// Wall nanoseconds of the whole run.
+    /// Wall nanoseconds of the whole run (one shared clock).
     pub wall_nanos: u64,
+    /// Thread-lifetime wall nanoseconds summed over the workers — the
+    /// denominator of `busy / wall` utilization, honest even when some
+    /// workers only steal or idle.
+    pub worker_wall_nanos: u64,
     /// Worker-pool size used.
     pub workers: usize,
+    /// Tasks a worker popped from its own deque (stealing mode).
+    pub local_hits: u64,
+    /// Tasks taken from another worker's deque (stealing mode).
+    pub steals: u64,
+    /// Tasks enqueued into the high-priority band because the grains they
+    /// seal have registered waiters (stealing mode).
+    pub priority_promotions: u64,
 }
 
 /// One schedulable unit on the global queue.
@@ -144,9 +155,61 @@ struct GroupRun {
     next: AtomicUsize,
 }
 
+/// A two-band task deque: the `high` band holds merge/finish tasks whose
+/// sealed grains have registered waiters (they unblock other pipelines),
+/// and drains before `low` everywhere it is consulted.
+#[derive(Default)]
+struct BandedDeque {
+    high: VecDeque<Task>,
+    low: VecDeque<Task>,
+}
+
+impl BandedDeque {
+    fn len(&self) -> usize {
+        self.high.len() + self.low.len()
+    }
+
+    fn push(&mut self, task: Task, high: bool) {
+        if high {
+            self.high.push_back(task);
+        } else {
+            self.low.push_back(task);
+        }
+    }
+}
+
+/// The pending-task store: one shared FIFO (`Global`), or per-worker
+/// deques plus an injector (`Stealing`). All operations happen under the
+/// scheduler mutex either way — on this engine the *policy* (what runs
+/// next, and from whose queue) is the experiment, not lock-freedom.
+enum TaskQueues {
+    Fifo(VecDeque<Task>),
+    Steal {
+        /// One deque per worker: owners push and pop at the back (LIFO,
+        /// cache-warm), thieves take from the front (FIFO, oldest work).
+        locals: Vec<BandedDeque>,
+        /// Overflow for tasks enqueued outside any worker (initial seeds).
+        injector: BandedDeque,
+    },
+}
+
+impl TaskQueues {
+    fn len(&self) -> usize {
+        match self {
+            TaskQueues::Fifo(q) => q.len(),
+            TaskQueues::Steal { locals, injector } => {
+                injector.len() + locals.iter().map(BandedDeque::len).sum::<usize>()
+            }
+        }
+    }
+}
+
 /// Everything guarded by the single scheduler mutex.
 struct Sched {
-    queue: VecDeque<Task>,
+    queue: TaskQueues,
+    /// The worker currently applying task effects; its enqueues go to its
+    /// own deque in stealing mode (`None` during seeding → injector).
+    current_worker: Option<usize>,
     pipes: Vec<PipeState>,
     completed: usize,
     busy: usize,
@@ -156,9 +219,14 @@ struct Sched {
     morsel_tasks: u64,
     merge_tasks: u64,
     overlap_tasks: u64,
+    local_hits: u64,
+    steals: u64,
+    priority_promotions: u64,
     /// This run's Σ task nanoseconds (the metrics counter is cumulative
     /// across runs on a shared context).
     busy_nanos: u64,
+    /// Σ thread-lifetime wall nanoseconds, one contribution per worker.
+    worker_wall_nanos: u64,
     error: Option<Error>,
     /// Monotonic sequence for lifecycle trace entries.
     seq: u64,
@@ -209,10 +277,85 @@ impl Engine<'_> {
         self.ctx.metrics.trace_entry(label, s.seq);
     }
 
+    /// Is this a task whose completion seals grains that registered
+    /// waiters block on? Those are the merge/finish tasks downstream
+    /// partition-granular consumers are stalled behind, and the stealing
+    /// scheduler runs them ahead of ordinary morsel work.
+    fn is_priority(&self, task: &Task) -> bool {
+        let waited = |g: ResourceId| {
+            self.grains
+                .get(&g)
+                .is_some_and(|&gi| !self.waiters[gi].is_empty())
+        };
+        match *task {
+            Task::Merge { pipe, part } => self.info[pipe]
+                .buffers_written
+                .iter()
+                .any(|&b| part < self.partitions && waited(ResourceId::BufferPart(b, part))),
+            Task::Finish { pipe } => self.info[pipe]
+                .other_write_grains
+                .iter()
+                .copied()
+                .any(waited),
+            _ => false,
+        }
+    }
+
     fn enqueue(&self, s: &mut Sched, task: Task) {
         self.trace(s, "enqueue", &task);
-        s.queue.push_back(task);
+        match &mut s.queue {
+            TaskQueues::Fifo(q) => q.push_back(task),
+            TaskQueues::Steal { locals, injector } => {
+                let high = self.is_priority(&task);
+                if high {
+                    s.priority_promotions += 1;
+                }
+                match s.current_worker {
+                    Some(w) => locals[w].push(task, high),
+                    None => injector.push(task, high),
+                }
+            }
+        }
         s.max_queue_depth = s.max_queue_depth.max(s.queue.len());
+    }
+
+    /// Next task for worker `w`: under FIFO, the queue head; under
+    /// stealing, own high band LIFO → injector high → stolen high →
+    /// own low LIFO → injector low → stolen low, so the high band drains
+    /// globally before any low task runs.
+    fn pop_task(&self, s: &mut Sched, w: usize) -> Option<Task> {
+        match &mut s.queue {
+            TaskQueues::Fifo(q) => q.pop_front(),
+            TaskQueues::Steal { locals, injector } => {
+                let n = locals.len();
+                let victims = |from: usize| (1..n).map(move |d| (from + d) % n);
+                for high in [true, false] {
+                    let own = &mut locals[w];
+                    let band = if high { &mut own.high } else { &mut own.low };
+                    if let Some(t) = band.pop_back() {
+                        s.local_hits += 1;
+                        return Some(t);
+                    }
+                    let inj = if high {
+                        &mut injector.high
+                    } else {
+                        &mut injector.low
+                    };
+                    if let Some(t) = inj.pop_front() {
+                        return Some(t);
+                    }
+                    for v in victims(w) {
+                        let vic = &mut locals[v];
+                        let band = if high { &mut vic.high } else { &mut vic.low };
+                        if let Some(t) = band.pop_front() {
+                            s.steals += 1;
+                            return Some(t);
+                        }
+                    }
+                }
+                None
+            }
+        }
     }
 
     /// Start every group that is sealed, unstarted, and admissible under
@@ -343,6 +486,12 @@ impl Engine<'_> {
                         None => p.sink.make(self.ctx)?,
                     }
                 };
+                // A Preserve-route pipeline's source is partitioned and
+                // its partitioning already matches the sink's, so this
+                // group's rows feed partition `group` directly — no
+                // hash + scatter.
+                let preserve = p.route == RouteMode::Preserve;
+                debug_assert!(!preserve || p.source.partitioned_input().is_some());
                 loop {
                     let i = run.next.fetch_add(1, Ordering::Relaxed);
                     if i >= run.chunks.len() {
@@ -352,7 +501,11 @@ impl Engine<'_> {
                     if let Some(out) =
                         push_through(&p.ops, run.chunks[i].as_ref().clone(), self.ctx, self.res)?
                     {
-                        state.sink(out, self.ctx)?;
+                        if preserve {
+                            state.sink_part(out, group, self.ctx)?;
+                        } else {
+                            state.sink(out, self.ctx)?;
+                        }
                     }
                 }
                 self.runtimes[pipe]
@@ -476,7 +629,18 @@ impl Engine<'_> {
         }
     }
 
-    fn worker(&self, n: usize) {
+    fn worker(&self, id: usize, n: usize) {
+        // Each worker contributes its own thread-lifetime span to the
+        // summed wall clock, so `busy / wall` utilization stays meaningful
+        // when some workers spend the run stealing-or-idle.
+        let t0 = Instant::now();
+        self.worker_loop(id, n);
+        let wall = t0.elapsed().as_nanos() as u64;
+        let mut s = self.state.lock().expect("scheduler state poisoned");
+        s.worker_wall_nanos += wall;
+    }
+
+    fn worker_loop(&self, id: usize, n: usize) {
         loop {
             let task = {
                 let mut s = self.state.lock().expect("scheduler state poisoned");
@@ -486,7 +650,7 @@ impl Engine<'_> {
                         self.cvar.notify_all();
                         return;
                     }
-                    if let Some(task) = s.queue.pop_front() {
+                    if let Some(task) = self.pop_task(&mut s, id) {
                         s.busy += 1;
                         s.max_parallel = s.max_parallel.max(s.busy);
                         s.tasks += 1;
@@ -513,7 +677,11 @@ impl Engine<'_> {
                 .metrics
                 .add(&self.ctx.metrics.sched_busy_nanos, busy);
             match outcome {
-                Ok(done) => self.apply(&mut s, task, done),
+                Ok(done) => {
+                    s.current_worker = Some(id);
+                    self.apply(&mut s, task, done);
+                    s.current_worker = None;
+                }
                 Err(e) => {
                     if s.error.is_none() {
                         s.error = Some(e);
@@ -649,6 +817,15 @@ pub fn run_physical_global(
     }
 
     let workers = workers.max(1);
+    let stealing = ctx.scheduler == SchedulerKind::Stealing;
+    let queue = if stealing {
+        TaskQueues::Steal {
+            locals: (0..workers).map(|_| BandedDeque::default()).collect(),
+            injector: BandedDeque::default(),
+        }
+    } else {
+        TaskQueues::Fifo(VecDeque::new())
+    };
     let engine = Engine {
         phys,
         info,
@@ -661,7 +838,8 @@ pub fn run_physical_global(
         ctx,
         res,
         state: Mutex::new(Sched {
-            queue: VecDeque::new(),
+            queue,
+            current_worker: None,
             pipes,
             completed: 0,
             busy: 0,
@@ -671,7 +849,11 @@ pub fn run_physical_global(
             morsel_tasks: 0,
             merge_tasks: 0,
             overlap_tasks: 0,
+            local_hits: 0,
+            steals: 0,
+            priority_promotions: 0,
             busy_nanos: 0,
+            worker_wall_nanos: 0,
             error: None,
             seq: 0,
         }),
@@ -691,8 +873,9 @@ pub fn run_physical_global(
 
     let t0 = Instant::now();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| engine.worker(n));
+        for id in 0..workers {
+            let engine = &engine;
+            scope.spawn(move || engine.worker(id, n));
         }
     });
     let wall = t0.elapsed().as_nanos() as u64;
@@ -713,7 +896,11 @@ pub fn run_physical_global(
         max_queue_depth: s.max_queue_depth,
         busy_nanos: s.busy_nanos,
         wall_nanos: wall,
+        worker_wall_nanos: s.worker_wall_nanos,
         workers,
+        local_hits: s.local_hits,
+        steals: s.steals,
+        priority_promotions: s.priority_promotions,
     })
 }
 
@@ -746,8 +933,13 @@ pub fn record_global_stats(ctx: &ExecContext, g: &GlobalStats) {
     m.add(&m.sched_tasks, g.tasks);
     m.add(&m.sched_overlap_tasks, g.overlap_tasks);
     m.max_update(&m.sched_max_queue_depth, g.max_queue_depth as u64);
-    m.add(&m.sched_wall_nanos, g.wall_nanos);
+    // Per-worker-summed wall: each worker's own thread-lifetime span, so
+    // utilization (`busy / wall`) counts idle stealers against the pool.
+    m.add(&m.sched_wall_nanos, g.worker_wall_nanos);
     m.max_update(&m.sched_workers, g.workers as u64);
+    m.add(&m.sched_local_hits, g.local_hits);
+    m.add(&m.sched_steals, g.steals);
+    m.add(&m.sched_priority_promotions, g.priority_promotions);
     m.record_scheduler(&SchedulerStats {
         pipelines: g.pipelines,
         initially_ready: g.initially_ready,
@@ -759,8 +951,11 @@ pub fn record_global_stats(ctx: &ExecContext, g: &GlobalStats) {
     m.trace_entry("[scheduler] merge-task-count", g.merge_tasks);
     m.trace_entry("[scheduler] overlap-tasks", g.overlap_tasks);
     m.trace_entry("[scheduler] max-queue-depth", g.max_queue_depth as u64);
+    m.trace_entry("[scheduler] local-hits", g.local_hits);
+    m.trace_entry("[scheduler] steals", g.steals);
+    m.trace_entry("[scheduler] priority-promotions", g.priority_promotions);
     m.trace_entry(
         "[scheduler] utilization-pct",
-        crate::context::utilization_pct(g.busy_nanos, g.wall_nanos, g.workers as u64),
+        crate::context::utilization_pct(g.busy_nanos, g.worker_wall_nanos, 1),
     );
 }

@@ -35,10 +35,12 @@ pub mod wcoj;
 
 pub use aggregate::{AggState, AggUpdateStats, AggregateState, ChunkKeys, KeyLayout};
 pub use context::{
-    agg_fast_from_env, default_worker_count, storage_encoding_from_env, ExecContext, Metrics,
-    SchedulerKind,
+    agg_fast_from_env, default_worker_count, repartition_elide_from_env, storage_encoding_from_env,
+    ExecContext, Metrics, SchedulerKind,
 };
-pub use expr::{prunable_conjuncts, AggExpr, AggFunc, ArithOp, CmpOp, Expr};
+pub use expr::{
+    prunable_conjuncts, prunable_utf8_conjuncts, AggExpr, AggFunc, ArithOp, CmpOp, Expr,
+};
 pub use global::{run_physical_global, GlobalStats};
 pub use hash_table::{BuildRef, JoinHashTable, PartitionedHashTable};
 pub use operators::{
@@ -46,7 +48,7 @@ pub use operators::{
     Resources, ScanPrune, Sink, SinkFactory, SortKey, SortSink, SortSinkFactory, Source,
 };
 pub use pipeline::{
-    BloomSink, Executor, OpSpec, PhysicalPipeline, PipelinePlan, SinkSpec, SourceSpec,
+    BloomSink, Executor, OpSpec, PhysicalPipeline, PipelinePlan, RouteMode, SinkSpec, SourceSpec,
 };
 pub use scheduler::{run_dag, NodeDeps, SchedulerStats};
 pub use wcoj::{generic_join, WcojRelation};

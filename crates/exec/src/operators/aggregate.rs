@@ -83,6 +83,41 @@ impl Sink for AggregateSink {
         Ok(())
     }
 
+    fn sink_part(&mut self, chunk: DataChunk, part: usize, ctx: &ExecContext) -> Result<()> {
+        if self.partitioner.is_single() {
+            return self.sink(chunk, ctx);
+        }
+        let n = chunk.num_rows();
+        if n == 0 {
+            return Ok(());
+        }
+        self.rows += n as u64;
+        // The group-key hash is still needed — it doubles as the group
+        // table's bucket hash (and `prepare_keys` *is* `key_hashes`, the
+        // same hash the producer distributed on) — but the per-row scatter
+        // is skipped: every row goes to partition `part` with an identity
+        // selection.
+        let inputs = self.parts[part].eval_inputs(&chunk)?;
+        let keys = self.parts[part].prepare_keys(&chunk);
+        debug_assert!(
+            keys.hashes
+                .iter()
+                .all(|&h| self.partitioner.of_hash(h) == part),
+            "Preserve-routed chunk has rows outside partition {part}"
+        );
+        let m = &ctx.metrics;
+        if self.parts[part].is_fast() {
+            m.add(&m.agg_fast_path_chunks, 1);
+        } else {
+            m.add(&m.agg_generic_chunks, 1);
+        }
+        m.add(&m.repartition_elided_chunks, 1);
+        self.ident.clear();
+        self.ident.extend(0..n as u32);
+        let (state, ident) = (&mut self.parts[part], &self.ident);
+        state.update_rows(&chunk, &inputs, ident, &keys)
+    }
+
     fn combine(&mut self, other: Box<dyn Sink>) -> Result<()> {
         let other = downcast_sink::<AggregateSink>(other)?;
         self.rows += other.rows;

@@ -102,6 +102,25 @@ impl Sink for BufferSink {
         }
     }
 
+    fn sink_part(&mut self, chunk: DataChunk, part: usize, ctx: &ExecContext) -> Result<()> {
+        if self.partitioner.is_single() {
+            return self.sink(chunk, ctx);
+        }
+        #[cfg(debug_assertions)]
+        if let Some(keys) = &self.partition_keys {
+            debug_assert!(
+                super::key_hashes(&chunk, keys)
+                    .iter()
+                    .all(|&h| self.partitioner.of_hash(h) == part),
+                "Preserve-routed chunk has rows outside partition {part}"
+            );
+        }
+        self.rows += chunk.num_rows() as u64;
+        insert_into_blooms(&chunk, &mut self.blooms, ctx);
+        ctx.metrics.add(&ctx.metrics.repartition_elided_chunks, 1);
+        self.parts[part].push(chunk)
+    }
+
     fn combine(&mut self, other: Box<dyn Sink>) -> Result<()> {
         let other = downcast_sink::<BufferSink>(other)?;
         for (mine, theirs) in self.parts.iter_mut().zip(other.parts) {

@@ -70,6 +70,25 @@ impl Sink for HashBuildSink {
         Ok(())
     }
 
+    fn sink_part(&mut self, chunk: DataChunk, part: usize, ctx: &ExecContext) -> Result<()> {
+        if self.partitioner.is_single() {
+            return self.sink(chunk, ctx);
+        }
+        debug_assert!(
+            super::key_hashes(&chunk, &self.key_cols)
+                .iter()
+                .all(|&h| self.partitioner.of_hash(h) == part),
+            "Preserve-routed chunk has rows outside partition {part}"
+        );
+        let n = chunk.num_rows() as u64;
+        insert_into_blooms(&chunk, &mut self.blooms, ctx);
+        ctx.metrics.add(&ctx.metrics.hash_build_rows, n);
+        ctx.metrics.add(&ctx.metrics.repartition_elided_chunks, 1);
+        self.parts[part].push(chunk.flattened());
+        self.rows += n;
+        Ok(())
+    }
+
     fn combine(&mut self, other: Box<dyn Sink>) -> Result<()> {
         let other = downcast_sink::<HashBuildSink>(other)?;
         for (mine, theirs) in self.parts.iter_mut().zip(other.parts) {

@@ -328,6 +328,17 @@ pub trait Sink: Send + Any {
     /// Consume one chunk on a worker thread.
     fn sink(&mut self, chunk: DataChunk, ctx: &ExecContext) -> Result<()>;
 
+    /// Consume one chunk already known to belong wholly to hash partition
+    /// `part` (the `Preserve` route: the producer's distribution matches
+    /// this sink's, so the driver hands over whole partition-`p` chunks and
+    /// the sink may skip its `key_hashes` + scatter step). The default
+    /// falls back to the radix [`Sink::sink`] path, which is always
+    /// correct; partitioned sinks override it to route directly.
+    fn sink_part(&mut self, chunk: DataChunk, part: usize, ctx: &ExecContext) -> Result<()> {
+        let _ = part;
+        self.sink(chunk, ctx)
+    }
+
     /// Merge another worker's state (same concrete type) into this one.
     fn combine(&mut self, other: Box<dyn Sink>) -> Result<()>;
 

@@ -17,6 +17,13 @@ pub struct ScanPrune {
     /// surviving blocks, so pruning only removes rows the filter would
     /// drop anyway.
     pub predicates: Vec<(usize, CmpOp, i64)>,
+    /// `Utf8 col CMP string-literal` conjuncts of the pushed-down filter.
+    /// Only consulted for columns the block encoding gave a sorted shared
+    /// dictionary: dict codes are assigned in lexicographic order, so the
+    /// zone's string bounds order exactly like the stored codes, and an
+    /// `=` literal absent from the dictionary can never match any row of
+    /// the column.
+    pub utf8_predicates: Vec<(usize, CmpOp, String)>,
     /// `(filter_id, col)` pairs: transferred Bloom filters probed on base
     /// column `col` downstream of this scan. When the published filter
     /// tracked a raw key range, blocks of all-valid rows disjoint from it
@@ -26,7 +33,7 @@ pub struct ScanPrune {
 
 impl ScanPrune {
     pub fn is_empty(&self) -> bool {
-        self.predicates.is_empty() && self.bloom.is_empty()
+        self.predicates.is_empty() && self.utf8_predicates.is_empty() && self.bloom.is_empty()
     }
 }
 
@@ -74,9 +81,45 @@ impl TableScan {
         }
     }
 
+    /// Can any row of a block with zone map `zone` satisfy
+    /// `col CMP 'lit'`? The string analog of [`Self::literal_may_match`];
+    /// only called for dictionary-encoded columns, whose code order is the
+    /// lexicographic order these bound comparisons use.
+    fn utf8_literal_may_match(zone: &ZoneMap, op: CmpOp, lit: &str) -> bool {
+        if zone.all_null() {
+            return false;
+        }
+        let Some((mn, mx)) = zone.utf8_bounds() else {
+            return true; // non-Utf8 zone: never prune
+        };
+        match op {
+            CmpOp::Eq => lit >= mn && lit <= mx,
+            CmpOp::NotEq => !(mn == mx && mn == lit),
+            CmpOp::Lt => mn < lit,
+            CmpOp::LtEq => mn <= lit,
+            CmpOp::Gt => mx > lit,
+            CmpOp::GtEq => mx >= lit,
+        }
+    }
+
     fn block_pruned(&self, enc: &BlockTable, b: usize, bloom_ranges: &[(usize, i64, i64)]) -> bool {
         for &(col, op, lit) in &self.prune.predicates {
             if !Self::literal_may_match(enc.zone(col, b), op, lit) {
+                return true;
+            }
+        }
+        for (col, op, lit) in &self.prune.utf8_predicates {
+            // Dictionary gate: without the sorted shared dict the column's
+            // stored form carries no code order to prune against.
+            let Some(dict) = &enc.columns[*col].dict else {
+                continue;
+            };
+            // `col = 'lit'` with a literal outside the dictionary can
+            // never hold for any row of the column, whatever the block.
+            if *op == CmpOp::Eq && dict.code_of(lit).is_none() {
+                return true;
+            }
+            if !Self::utf8_literal_may_match(enc.zone(*col, b), *op, lit) {
                 return true;
             }
         }

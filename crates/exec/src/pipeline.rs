@@ -202,6 +202,24 @@ impl SinkSpec {
     }
 }
 
+/// How a pipeline's sink routes incoming rows onto its hash partitions.
+///
+/// `Radix` is the general case: the sink hashes its key columns and
+/// radix-scatters every chunk across `partition_count` runs. `Preserve` is
+/// the *repartition elision* fast path the planner selects when the source
+/// buffer is already distributed on the sink's key layout: the driver reads
+/// the source partition-by-partition and hands whole partition-`p` chunks
+/// to [`crate::operators::Sink::sink_part`], skipping the hash + scatter
+/// entirely (counted in `Metrics::repartition_elided_chunks`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouteMode {
+    /// Hash the sink keys and radix-scatter rows (always correct).
+    #[default]
+    Radix,
+    /// Feed whole partition-`p` chunks straight into partition-`p` state.
+    Preserve,
+}
+
 /// One pipeline: source → ops → sink.
 #[derive(Clone)]
 pub struct PipelinePlan {
@@ -215,6 +233,9 @@ pub struct PipelinePlan {
     pub intermediate: bool,
     /// Schema of chunks entering the sink (needed for buffer spill files).
     pub sink_schema: Schema,
+    /// Sink routing mode; `Preserve` only when the planner proved the
+    /// source distribution matches the sink's required distribution.
+    pub route: RouteMode,
 }
 
 impl PipelinePlan {
@@ -226,6 +247,7 @@ impl PipelinePlan {
             ops: self.ops.iter().map(OpSpec::lower).collect(),
             sink: self.sink.lower(&self.sink_schema),
             intermediate: self.intermediate,
+            route: self.route,
         }
     }
 
@@ -248,6 +270,7 @@ pub struct PhysicalPipeline {
     pub ops: Vec<Box<dyn Operator>>,
     pub sink: Box<dyn SinkFactory>,
     pub intermediate: bool,
+    pub route: RouteMode,
 }
 
 impl PhysicalPipeline {
@@ -360,7 +383,31 @@ impl PipelineShared {
 /// per-partition tasks claimed by the *same* workers for partitioned
 /// sinks, serial Combine + Finalize otherwise.
 pub fn run_physical(p: &PhysicalPipeline, ctx: &ExecContext, res: &Resources) -> Result<()> {
-    let chunks = p.source.chunks(ctx, res)?;
+    // `Preserve` route (repartition elision): read the source partition by
+    // partition so whole partition-`p` chunks can be fed straight into the
+    // sink's partition-`p` state. `chunk_parts[i]` is chunk `i`'s hash
+    // partition; partitions concatenate in order, so the flat list equals
+    // `source.chunks()` row-for-row and the serial path stays
+    // bit-deterministic.
+    let preserve = p.route == RouteMode::Preserve;
+    debug_assert!(
+        !preserve || p.source.partitioned_input().is_some(),
+        "Preserve route requires a partitioned source"
+    );
+    let (chunks, chunk_parts): (Arc<crate::operators::ChunkList>, Option<Vec<usize>>) = if preserve
+    {
+        let mut flat = Vec::new();
+        let mut parts = Vec::new();
+        for part in 0..ctx.partition_count.max(1) {
+            for c in p.source.partition_chunks(ctx, res, part)?.iter() {
+                flat.push(c.clone());
+                parts.push(part);
+            }
+        }
+        (Arc::new(flat), Some(parts))
+    } else {
+        (p.source.chunks(ctx, res)?, None)
+    };
     // The same workers later claim the per-partition merge tasks, so a
     // partitioned sink sizes the scope for whichever phase is wider — a
     // one-chunk source must not serialize an 8-partition merge.
@@ -374,10 +421,13 @@ pub fn run_physical(p: &PhysicalPipeline, ctx: &ExecContext, res: &Resources) ->
 
     if threads == 1 {
         let mut state = p.sink.make(ctx)?;
-        for c in chunks.iter() {
+        for (i, c) in chunks.iter().enumerate() {
             ctx.charge(c.num_rows() as u64)?;
             if let Some(out) = push_through(&p.ops, c.as_ref().clone(), ctx, res)? {
-                state.sink(out, ctx)?;
+                match &chunk_parts {
+                    Some(parts) => state.sink_part(out, parts[i], ctx)?,
+                    None => state.sink(out, ctx)?,
+                }
             }
         }
         let states = vec![state];
@@ -418,7 +468,10 @@ pub fn run_physical(p: &PhysicalPipeline, ctx: &ExecContext, res: &Resources) ->
                             if let Some(out) =
                                 push_through(&p.ops, chunks[i].as_ref().clone(), ctx, res)?
                             {
-                                state.sink(out, ctx)?;
+                                match &chunk_parts {
+                                    Some(parts) => state.sink_part(out, parts[i], ctx)?,
+                                    None => state.sink(out, ctx)?,
+                                }
                             }
                         }
                         shared
@@ -595,13 +648,18 @@ impl Executor {
         max_concurrent: usize,
     ) -> Result<crate::scheduler::SchedulerStats> {
         match self.ctx.scheduler {
-            crate::context::SchedulerKind::Global => crate::global::run_pipelines_global(
-                pipelines,
-                deps,
-                &self.ctx,
-                &self.res,
-                self.ctx.workers,
-            ),
+            // `Stealing` shares the global engine; the engine swaps its
+            // shared FIFO for per-worker deques + an injector when it sees
+            // `ctx.scheduler == Stealing`.
+            crate::context::SchedulerKind::Global | crate::context::SchedulerKind::Stealing => {
+                crate::global::run_pipelines_global(
+                    pipelines,
+                    deps,
+                    &self.ctx,
+                    &self.res,
+                    self.ctx.workers,
+                )
+            }
             crate::context::SchedulerKind::Scoped => crate::scheduler::run_pipelines_dag_with_deps(
                 pipelines,
                 deps,
@@ -673,6 +731,7 @@ mod tests {
                 blooms: vec![],
             },
             intermediate: false,
+            route: RouteMode::Radix,
             sink_schema: schema,
         }
     }
@@ -719,6 +778,7 @@ mod tests {
                 blooms: vec![],
             },
             intermediate: true,
+            route: RouteMode::Radix,
             sink_schema: two_col_schema(),
         };
         let p2 = collect_pipeline(
@@ -776,6 +836,7 @@ mod tests {
                 }],
             },
             intermediate: true,
+            route: RouteMode::Radix,
             sink_schema: two_col_schema(),
         };
         // Pipeline 2: scan big, ProbeBF, collect.
@@ -823,6 +884,7 @@ mod tests {
                 key_dicts: vec![],
             },
             intermediate: false,
+            route: RouteMode::Radix,
             sink_schema: two_col_schema(),
         };
         exec.run(&[p]).unwrap();
@@ -880,6 +942,7 @@ mod tests {
                     key_dicts: vec![],
                 },
                 intermediate: false,
+                route: RouteMode::Radix,
                 sink_schema: two_col_schema(),
             };
             exec.run(&[p]).unwrap();
@@ -958,6 +1021,7 @@ mod tests {
                     key_dicts: vec![],
                 },
                 intermediate: false,
+                route: RouteMode::Radix,
                 sink_schema: two_col_schema(),
             };
             exec.run(&[p]).unwrap();
@@ -989,6 +1053,7 @@ mod tests {
                     blooms: vec![],
                 },
                 intermediate: true,
+                route: RouteMode::Radix,
                 sink_schema: two_col_schema(),
             };
             let p2 = collect_pipeline(
@@ -1048,6 +1113,7 @@ mod tests {
                 blooms: vec![],
             },
             intermediate: true,
+            route: RouteMode::Radix,
             sink_schema: two_col_schema(),
         };
         let p2 = collect_pipeline(
@@ -1083,6 +1149,7 @@ mod tests {
                 blooms: vec![],
             },
             intermediate: true,
+            route: RouteMode::Radix,
             sink_schema: two_col_schema(),
         };
         let p2 = collect_pipeline(

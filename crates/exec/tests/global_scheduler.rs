@@ -15,8 +15,8 @@ use rpt_exec::operators::{AggregateFactory, BufferScan};
 use rpt_exec::pipeline::run_physical;
 use rpt_exec::{
     run_physical_global, ExecContext, Executor, NodeDeps, OpSpec, Operator, PartitionMerger,
-    PhysicalPipeline, PipelinePlan, ResourceId, Resources, SchedulerKind, Sink, SinkFactory,
-    SinkSpec, SourceSpec,
+    PhysicalPipeline, PipelinePlan, ResourceId, Resources, RouteMode, SchedulerKind, Sink,
+    SinkFactory, SinkSpec, SourceSpec,
 };
 use rpt_storage::Table;
 use std::any::Any;
@@ -54,6 +54,7 @@ fn collect_pipeline(src: SourceSpec, ops: Vec<OpSpec>, buf_id: usize) -> Pipelin
             blooms: vec![],
         },
         intermediate: false,
+        route: RouteMode::Radix,
         sink_schema: two_col_schema(),
     }
 }
@@ -108,6 +109,7 @@ fn probe_waits_for_hash_table_readiness() {
             blooms: vec![],
         },
         intermediate: true,
+        route: RouteMode::Radix,
         sink_schema: two_col_schema(),
     };
     // List the probe pipeline FIRST: only dependency readiness (not plan
@@ -313,6 +315,7 @@ fn consumer_partition_task_overlaps_producer_merge() {
             gate: gate.clone(),
         }),
         intermediate: true,
+        route: RouteMode::Radix,
     };
     let consumer = PhysicalPipeline {
         label: "consumer".into(),
@@ -320,6 +323,7 @@ fn consumer_partition_task_overlaps_producer_merge() {
         ops: vec![Box::new(SignalStarted { gate: gate.clone() })],
         sink: Box::new(BufferSinkFactory::new(1, two_col_schema(), vec![])),
         intermediate: false,
+        route: RouteMode::Radix,
     };
     let deps = vec![
         NodeDeps {
@@ -467,6 +471,7 @@ fn aggregate_consumer_overlaps_group_merge() {
             gate: gate.clone(),
         }),
         intermediate: true,
+        route: RouteMode::Radix,
     };
     let consumer = PhysicalPipeline {
         label: "consume-groups".into(),
@@ -474,6 +479,7 @@ fn aggregate_consumer_overlaps_group_merge() {
         ops: vec![Box::new(SignalStarted { gate: gate.clone() })],
         sink: Box::new(BufferSinkFactory::new(1, out_schema, vec![])),
         intermediate: false,
+        route: RouteMode::Radix,
     };
     let deps = vec![
         NodeDeps {
@@ -513,6 +519,7 @@ fn join_pipelines() -> Vec<PipelinePlan> {
             blooms: vec![],
         },
         intermediate: true,
+        route: RouteMode::Radix,
         sink_schema: two_col_schema(),
     };
     let p2 = PipelinePlan {
@@ -528,6 +535,7 @@ fn join_pipelines() -> Vec<PipelinePlan> {
             blooms: vec![],
         },
         intermediate: false,
+        route: RouteMode::Radix,
         sink_schema: Schema::new(vec![
             Field::new("id", DataType::Int64),
             Field::new("v", DataType::Int64),

@@ -100,6 +100,16 @@ impl ZoneMap {
         }
     }
 
+    /// `Some((min, max))` when the block has at least one valid `Utf8` row.
+    /// Dictionary codes are assigned in lexicographic order, so these
+    /// string bounds order identically to the column's dict-code bounds.
+    pub fn utf8_bounds(&self) -> Option<(&str, &str)> {
+        match (&self.min, &self.max) {
+            (ScalarValue::Utf8(a), ScalarValue::Utf8(b)) => Some((a, b)),
+            _ => None,
+        }
+    }
+
     /// True when the block contains no valid rows at all.
     pub fn all_null(&self) -> bool {
         self.min.is_null()

@@ -116,6 +116,67 @@ fn transferred_bloom_range_prunes_fact_blocks() {
     assert_eq!(off.scalar_i64(), Some(50));
 }
 
+/// Utf8 zone-map pruning through the sorted shared dictionary: `cat.grp`
+/// is clustered (block `b` holds only the string `s{b}`), so a string
+/// literal comparison rules out every non-intersecting block — dict codes
+/// are assigned in lexicographic order, making the zone's string bounds
+/// exactly the stored code bounds. A `=` literal absent from the
+/// dictionary prunes *every* block, and the raw layout agrees on rows
+/// throughout.
+#[test]
+fn utf8_dict_literal_scan_prunes_blocks() {
+    let blocks = 4usize;
+    let mut db = Database::new();
+    db.register_table(table(
+        "cat",
+        vec![
+            (
+                "grp",
+                Vector::from_utf8(
+                    (0..blocks * VECTOR_SIZE)
+                        .map(|i| format!("s{}", i / VECTOR_SIZE))
+                        .collect(),
+                ),
+            ),
+            (
+                "v",
+                Vector::from_i64((0..(blocks * VECTOR_SIZE) as i64).collect()),
+            ),
+        ],
+    ));
+
+    // Equality on one block's string: the other three blocks prune.
+    let eq = "SELECT COUNT(*) FROM cat WHERE cat.grp = 's2'";
+    let on = db.query(eq, &opts(Mode::Baseline, true)).unwrap();
+    assert_eq!(on.scalar_i64(), Some(VECTOR_SIZE as i64));
+    assert_eq!(on.metrics.blocks_scanned, 1, "trace: {:?}", on.trace);
+    assert_eq!(on.metrics.blocks_pruned, blocks as u64 - 1);
+
+    // Range below 's1': only block 0 ("s0") can hold a match.
+    let lt = "SELECT COUNT(*) FROM cat WHERE cat.grp < 's1'";
+    let on = db.query(lt, &opts(Mode::Baseline, true)).unwrap();
+    assert_eq!(on.scalar_i64(), Some(VECTOR_SIZE as i64));
+    assert_eq!(on.metrics.blocks_scanned, 1, "trace: {:?}", on.trace);
+    assert_eq!(on.metrics.blocks_pruned, blocks as u64 - 1);
+
+    // A literal outside the dictionary can match no row anywhere: every
+    // block prunes without decoding a thing.
+    let absent = "SELECT COUNT(*) FROM cat WHERE cat.grp = 'zzz'";
+    let on = db.query(absent, &opts(Mode::Baseline, true)).unwrap();
+    assert_eq!(on.scalar_i64(), Some(0));
+    assert_eq!(on.metrics.blocks_scanned, 0, "trace: {:?}", on.trace);
+    assert_eq!(on.metrics.blocks_pruned, blocks as u64);
+
+    // The raw layout agrees on rows and records no block metrics.
+    for sql in [eq, lt, absent] {
+        let off = db.query(sql, &opts(Mode::Baseline, false)).unwrap();
+        let on = db.query(sql, &opts(Mode::Baseline, true)).unwrap();
+        assert_eq!(on.rows, off.rows, "{sql}");
+        assert_eq!(off.metrics.blocks_scanned, 0);
+        assert_eq!(off.metrics.blocks_pruned, 0);
+    }
+}
+
 /// NULL join keys must survive pruning decisions: a block containing NULL
 /// keys can never be Bloom-range-pruned (the probe keeps NULL rows only as
 /// hash false positives, but literal semantics must not change), and
