@@ -132,6 +132,12 @@ pub struct QueryOptions {
     /// `RPT_REPARTITION_ELIDE` (`off` disables — the CI parity leg);
     /// results are identical either way.
     pub repartition_elide: bool,
+    /// Static plan verification mode (see `rpt_analyze`): every compiled
+    /// plan is re-checked between planning and execution, and in verify
+    /// mode the executor keeps an observed-access shadow log reconciled
+    /// against the declared dependencies after the run. Defaults to
+    /// `RPT_PLAN_VERIFY` (`strict` in debug builds, `off` in release).
+    pub plan_verify: rpt_exec::VerifyMode,
 }
 
 impl QueryOptions {
@@ -157,7 +163,15 @@ impl QueryOptions {
             agg_fast: rpt_exec::agg_fast_from_env(),
             storage_encoding: rpt_exec::storage_encoding_from_env(),
             repartition_elide: rpt_exec::repartition_elide_from_env(),
+            plan_verify: rpt_exec::plan_verify_from_env(),
         }
+    }
+
+    /// Set the static plan-verification mode (`Strict` fails the query on
+    /// any violated invariant; `Warn` logs and continues; `Off` skips).
+    pub fn with_plan_verify(mut self, mode: rpt_exec::VerifyMode) -> Self {
+        self.plan_verify = mode;
+        self
     }
 
     /// Enable or disable the block-encoded storage scan path (zone-map
@@ -303,6 +317,58 @@ fn bushy_is_safe(graph: &rpt_graph::QueryGraph, plan: &PlanNode) -> bool {
     walk(graph, plan)
 }
 
+/// Enforce a static-verification report per the context's verify mode:
+/// `Strict` fails the query with every violated rule id, `Warn` logs the
+/// findings and continues. Checks executed are charged to the
+/// `verify_checks_run` metric either way.
+fn enforce_verify(ctx: &ExecContext, report: rpt_analyze::VerifyReport, what: &str) -> Result<()> {
+    ctx.metrics
+        .add(&ctx.metrics.verify_checks_run, report.checks_run);
+    if report.is_clean() {
+        return Ok(());
+    }
+    let details: Vec<String> = report.errors.iter().map(|e| e.to_string()).collect();
+    let msg = format!("{what} failed static verification: {}", details.join("; "));
+    if ctx.verify.strict() {
+        return Err(Error::Plan(msg));
+    }
+    eprintln!("[rpt-verify] {msg}");
+    ctx.metrics
+        .trace_entry(format!("[verify] {what}"), report.errors.len() as u64);
+    Ok(())
+}
+
+/// Reconcile the executor's observed-access shadow log (present only in
+/// verify mode) against the plan's declared dependencies, *before* the
+/// driver fetches the output buffer — an undeclared access means the
+/// scheduler ran on a wrong partial order and the result can't be trusted.
+fn reconcile_run(exec: &Executor, deps: &[rpt_exec::NodeDeps]) -> Result<()> {
+    let Some(log) = exec.resources().access_log() else {
+        return Ok(());
+    };
+    let (observed_reads, observed_writes) = log.observed();
+    let (errors, checks) = rpt_analyze::reconcile_accesses(deps, &observed_reads, &observed_writes);
+    let ctx = &exec.ctx;
+    ctx.metrics.add(&ctx.metrics.verify_checks_run, checks);
+    if errors.is_empty() {
+        return Ok(());
+    }
+    let details: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+    let msg = format!(
+        "execution diverged from declared deps: {}",
+        details.join("; ")
+    );
+    if ctx.verify.strict() {
+        return Err(Error::Exec(msg));
+    }
+    eprintln!("[rpt-verify] {msg}");
+    ctx.metrics.trace_entry(
+        "[verify] access reconciliation".to_string(),
+        errors.len() as u64,
+    );
+    Ok(())
+}
+
 /// An in-process analytical database with pluggable join execution modes.
 #[derive(Default, Clone)]
 pub struct Database {
@@ -421,7 +487,8 @@ impl Database {
             .with_scheduler(opts.scheduler)
             .with_workers(workers)
             .with_agg_fast(opts.agg_fast)
-            .with_storage_encoding(opts.storage_encoding);
+            .with_storage_encoding(opts.storage_encoding)
+            .with_verify(opts.plan_verify);
         if let Some(b) = opts.work_budget {
             ctx = ctx.with_budget(b);
         }
@@ -443,8 +510,12 @@ impl Database {
     ) -> Result<Executor> {
         let (nb, nf, nt) = plan.resource_counts();
         let ctx = ctx.with_partitions(plan.partition_count);
+        if ctx.verify.enabled() {
+            enforce_verify(&ctx, plan.verify(), "physical plan")?;
+        }
         let mut exec = Executor::new(ctx, nb, nf, nt);
         exec.run_dag_with_deps(&plan.pipelines, &plan.deps, opts.pipeline_parallelism)?;
+        reconcile_run(&exec, &plan.deps)?;
         Ok(exec)
     }
 
@@ -491,6 +562,9 @@ impl Database {
         let ctx = self
             .make_context(opts)
             .with_partitions(prelude.partition_count);
+        if ctx.verify.enabled() {
+            enforce_verify(&ctx, prelude.verify(), "hybrid prelude")?;
+        }
         let metrics = ctx.metrics.clone();
         let mut exec = Executor::new(
             ctx.clone(),
@@ -499,6 +573,7 @@ impl Database {
             prelude.num_tables,
         );
         exec.run_dag_with_deps(&prelude.pipelines, &prelude.deps, opts.pipeline_parallelism)?;
+        reconcile_run(&exec, &prelude.deps)?;
 
         // Assemble the reduced relations for the generic join.
         let mut relations = Vec::with_capacity(q.num_relations());

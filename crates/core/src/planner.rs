@@ -48,6 +48,14 @@ pub struct PhysicalPlan {
     pub output_buffer: usize,
     /// Result schema (aliases + types).
     pub output_schema: Schema,
+    /// The planner's hash-distribution claim per buffer id: `Some(keys)` =
+    /// the producer radix-routes on these column positions. The static
+    /// verifier re-derives these independently and rejects divergence
+    /// (rule P2).
+    pub distributions: Vec<Option<Vec<usize>>>,
+    /// Was repartition elision enabled when this plan was compiled? Gates
+    /// the verifier's bidirectional elision check (rule P3).
+    pub repartition_elide: bool,
 }
 
 impl PhysicalPlan {
@@ -64,8 +72,9 @@ impl PhysicalPlan {
         repartition_elide: bool,
     ) -> PhysicalPlan {
         let partition_count = rpt_common::normalize_partition_count(partition_count);
+        let distributions = buffer_distributions(&pipelines, num_buffers);
         if repartition_elide {
-            apply_repartition_elision(&mut pipelines, partition_count);
+            apply_repartition_elision(&mut pipelines, &distributions, partition_count);
         }
         let deps = record_deps(&pipelines, partition_count);
         PhysicalPlan {
@@ -77,12 +86,31 @@ impl PhysicalPlan {
             partition_count,
             output_buffer,
             output_schema,
+            distributions,
+            repartition_elide,
         }
     }
 
     /// `(buffers, filters, hash tables)` slot counts for the executor.
     pub fn resource_counts(&self) -> (usize, usize, usize) {
         (self.num_buffers, self.num_filters, self.num_tables)
+    }
+
+    /// Statically verify this plan (see `rpt_analyze`): dependency-graph
+    /// soundness, sink contracts, and distribution proofs, all re-derived
+    /// independently of what the planner recorded.
+    pub fn verify(&self) -> rpt_analyze::VerifyReport {
+        rpt_analyze::verify_plan(&rpt_analyze::PlanFacts {
+            pipelines: &self.pipelines,
+            deps: &self.deps,
+            num_buffers: self.num_buffers,
+            num_filters: self.num_filters,
+            num_tables: self.num_tables,
+            partition_count: self.partition_count,
+            required_buffers: std::slice::from_ref(&self.output_buffer),
+            distributions: &self.distributions,
+            repartition_elide: self.repartition_elide,
+        })
     }
 }
 
@@ -137,47 +165,61 @@ fn keys_match(ops: &[OpSpec], keys: &[usize], dist: Option<&Vec<usize>>) -> bool
 ///   the loser-tree merge rebuilds the total order from any assignment.
 /// - Keyless collect `Buffer` sinks: excluded — their radix route splits
 ///   the first chunk to guarantee balanced, multi-partition output.
-fn apply_repartition_elision(pipelines: &mut [PipelinePlan], partition_count: usize) {
+fn apply_repartition_elision(
+    pipelines: &mut [PipelinePlan],
+    dist: &[Option<Vec<usize>>],
+    partition_count: usize,
+) {
     if partition_count <= 1 {
         return;
     }
-    let mut dist: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
-    for p in pipelines.iter() {
-        match &p.sink {
-            SinkSpec::Buffer { buf_id, blooms } => {
-                if let Some(b) = blooms.first() {
-                    dist.insert(*buf_id, b.key_cols.clone());
-                }
-            }
-            // Aggregate output columns are `[group keys..., aggs...]`,
-            // partition-assigned by the group-key hash in group-col order.
-            SinkSpec::Aggregate {
-                buf_id, group_cols, ..
-            } if !group_cols.is_empty() => {
-                dist.insert(*buf_id, (0..group_cols.len()).collect());
-            }
-            _ => {}
-        }
-    }
+    let dist_of = |src: &usize| dist.get(*src).and_then(|d| d.as_ref());
     for p in pipelines.iter_mut() {
         let SourceSpec::Buffer(src) = &p.source else {
             continue;
         };
         let eligible = match &p.sink {
             SinkSpec::Sort { .. } => true,
-            SinkSpec::HashBuild { key_cols, .. } => keys_match(&p.ops, key_cols, dist.get(src)),
+            SinkSpec::HashBuild { key_cols, .. } => keys_match(&p.ops, key_cols, dist_of(src)),
             SinkSpec::Aggregate { group_cols, .. } if !group_cols.is_empty() => {
-                keys_match(&p.ops, group_cols, dist.get(src))
+                keys_match(&p.ops, group_cols, dist_of(src))
             }
             SinkSpec::Buffer { blooms, .. } => blooms
                 .first()
-                .is_some_and(|b| keys_match(&p.ops, &b.key_cols, dist.get(src))),
+                .is_some_and(|b| keys_match(&p.ops, &b.key_cols, dist_of(src))),
             _ => false,
         };
         if eligible {
             p.route = RouteMode::Preserve;
         }
     }
+}
+
+/// Each buffer's output hash distribution, derived from its producer sink:
+/// a keyed CreateBF buffer is partitioned on its first Bloom's key
+/// positions; a grouped aggregate's output (`[group keys…, aggs…]`) on the
+/// group-key prefix. The same facts drive elision and are recorded on the
+/// plan as the planner's claim for the verifier to re-check.
+fn buffer_distributions(pipelines: &[PipelinePlan], num_buffers: usize) -> Vec<Option<Vec<usize>>> {
+    let mut dist: Vec<Option<Vec<usize>>> = vec![None; num_buffers];
+    for p in pipelines {
+        match &p.sink {
+            SinkSpec::Buffer { buf_id, blooms } => {
+                if let (Some(b), Some(slot)) = (blooms.first(), dist.get_mut(*buf_id)) {
+                    *slot = Some(b.key_cols.clone());
+                }
+            }
+            SinkSpec::Aggregate {
+                buf_id, group_cols, ..
+            } if !group_cols.is_empty() => {
+                if let Some(slot) = dist.get_mut(*buf_id) {
+                    *slot = Some((0..group_cols.len()).collect());
+                }
+            }
+            _ => {}
+        }
+    }
+    dist
 }
 
 /// Per-pipeline read/write sets, derived from one lowering of the
@@ -967,6 +1009,31 @@ pub struct HybridPrelude {
     pub layout: Vec<(usize, usize)>,
     /// Schema matching `layout` (binding-qualified names).
     pub schema: Schema,
+    /// Planner distribution claims per buffer (see
+    /// [`PhysicalPlan::distributions`]).
+    pub distributions: Vec<Option<Vec<usize>>>,
+    /// Elision setting at compile time (see
+    /// [`PhysicalPlan::repartition_elide`]).
+    pub repartition_elide: bool,
+}
+
+impl HybridPrelude {
+    /// Statically verify the prelude: same rule families as
+    /// [`PhysicalPlan::verify`], with every per-relation buffer treated as
+    /// a required output (the WCOJ phase reads them all).
+    pub fn verify(&self) -> rpt_analyze::VerifyReport {
+        rpt_analyze::verify_plan(&rpt_analyze::PlanFacts {
+            pipelines: &self.pipelines,
+            deps: &self.deps,
+            num_buffers: self.num_buffers,
+            num_filters: self.num_filters,
+            num_tables: self.num_tables,
+            partition_count: self.partition_count,
+            required_buffers: &self.rel_buffers,
+            distributions: &self.distributions,
+            repartition_elide: self.repartition_elide,
+        })
+    }
 }
 
 impl<'q> Planner<'q> {
@@ -1004,8 +1071,9 @@ impl<'q> Planner<'q> {
             }
         }
         let partition_count = rpt_common::normalize_partition_count(self.opts.partition_count);
+        let distributions = buffer_distributions(&self.pipelines, self.num_buffers);
         if self.opts.repartition_elide {
-            apply_repartition_elision(&mut self.pipelines, partition_count);
+            apply_repartition_elision(&mut self.pipelines, &distributions, partition_count);
         }
         let deps = record_deps(&self.pipelines, partition_count);
         Ok(HybridPrelude {
@@ -1018,6 +1086,8 @@ impl<'q> Planner<'q> {
             partition_count,
             layout,
             schema: Schema::new(fields),
+            distributions,
+            repartition_elide: self.opts.repartition_elide,
         })
     }
 

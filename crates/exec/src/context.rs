@@ -74,13 +74,78 @@ pub fn repartition_elide_from_env() -> bool {
         .is_ok_and(|v| v.eq_ignore_ascii_case("off") || v == "0" || v.eq_ignore_ascii_case("false"))
 }
 
+/// How thoroughly plans and Preserve-routed chunks are verified.
+///
+/// `Strict` runs the static plan verifier before execution, the per-chunk
+/// partition-membership checks on elided routes, and the observed-access
+/// reconciliation after execution, failing the query on any violation.
+/// `Warn` runs the same checks but only reports (stderr + pipeline trace).
+/// `Off` skips everything. Debug builds default to `Strict` (the checks
+/// subsume the old `debug_assert!`s); release builds default to `Off`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VerifyMode {
+    Off,
+    Warn,
+    Strict,
+}
+
+impl VerifyMode {
+    /// Process default: `RPT_PLAN_VERIFY` (`off` / `warn` / `strict`),
+    /// else `Strict` in debug builds and `Off` in release. An explicit
+    /// `off` is honored even in debug builds.
+    pub fn from_env() -> VerifyMode {
+        match std::env::var("RPT_PLAN_VERIFY") {
+            Ok(v)
+                if v.eq_ignore_ascii_case("off") || v == "0" || v.eq_ignore_ascii_case("false") =>
+            {
+                VerifyMode::Off
+            }
+            Ok(v) if v.eq_ignore_ascii_case("warn") => VerifyMode::Warn,
+            Ok(v)
+                if v.eq_ignore_ascii_case("strict") || v == "1" || v.eq_ignore_ascii_case("on") =>
+            {
+                VerifyMode::Strict
+            }
+            _ => {
+                if cfg!(debug_assertions) {
+                    VerifyMode::Strict
+                } else {
+                    VerifyMode::Off
+                }
+            }
+        }
+    }
+
+    /// Should the verifier / checks run at all?
+    pub fn enabled(self) -> bool {
+        !matches!(self, VerifyMode::Off)
+    }
+
+    /// Should a violation fail the query (vs. only being reported)?
+    pub fn strict(self) -> bool {
+        matches!(self, VerifyMode::Strict)
+    }
+}
+
+/// Process default for plan verification, see [`VerifyMode::from_env`].
+pub fn plan_verify_from_env() -> VerifyMode {
+    VerifyMode::from_env()
+}
+
 /// Worker utilization as a percentage: busy nanoseconds over wall
-/// nanoseconds × pool size, clamped to `[0, 100]`; 0 when unknown.
+/// nanoseconds × pool size, clamped to `[0, 100]`. Division-by-zero safe:
+/// a sub-microsecond query whose wall span rounds to zero reports 100 when
+/// any busy time was recorded (the pool was never observed idle) and 0
+/// otherwise.
 pub fn utilization_pct(busy_nanos: u64, wall_nanos: u64, workers: u64) -> u64 {
+    let denom = wall_nanos.saturating_mul(workers);
+    if denom == 0 {
+        return if busy_nanos > 0 { 100 } else { 0 };
+    }
     busy_nanos
         .saturating_mul(100)
-        .checked_div(wall_nanos.saturating_mul(workers))
-        .unwrap_or(0)
+        .checked_div(denom)
+        .unwrap_or(100)
         .min(100)
 }
 
@@ -171,6 +236,10 @@ pub struct Metrics {
     /// Rows in the largest per-partition sorted run a sort sink kept —
     /// with a TopK bound this must stay at `limit + offset` or below.
     pub sort_max_run_rows: AtomicU64,
+    /// Verifier-mode checks executed this query: static plan-verifier
+    /// rules, per-chunk Preserve-route partition checks, and access-log
+    /// reconciliations (only counted when `VerifyMode` is on).
+    pub verify_checks_run: AtomicU64,
     /// Per-pipeline (label, rows-into-sink) trace, for case studies.
     pub pipeline_trace: Mutex<Vec<(String, u64)>>,
 }
@@ -318,6 +387,7 @@ impl Metrics {
             sort_rows_pruned: self.sort_rows_pruned.load(Ordering::Relaxed),
             sort_merge_tasks: self.sort_merge_tasks.load(Ordering::Relaxed),
             sort_max_run_rows: self.sort_max_run_rows.load(Ordering::Relaxed),
+            verify_checks_run: self.verify_checks_run.load(Ordering::Relaxed),
         }
     }
 }
@@ -354,6 +424,7 @@ pub struct MetricsSummary {
     pub sort_rows_pruned: u64,
     pub sort_merge_tasks: u64,
     pub sort_max_run_rows: u64,
+    pub verify_checks_run: u64,
 }
 
 impl MetricsSummary {
@@ -366,10 +437,12 @@ impl MetricsSummary {
         utilization_pct(self.sched_busy_nanos, self.sched_wall_nanos, 1)
     }
     /// The robustness work metric: tuples processed through stateful
-    /// operators. Deterministic, hardware-independent.
+    /// operators. Deterministic, hardware-independent. `scan_rows` is
+    /// deliberately excluded: scans are stateless and join-order-invariant,
+    /// so counting them would only compress the relative work ratios the
+    /// robustness experiments measure.
     pub fn total_work(&self) -> u64 {
-        self.scan_rows
-            + self.bloom_probe_in
+        self.bloom_probe_in
             + self.bloom_build_rows
             + self.hash_build_rows
             + self.join_probe_in
@@ -381,8 +454,7 @@ impl MetricsSummary {
     /// so speedup comparisons weight them at 0.2. This is the deterministic
     /// analogue of the paper's wall-time speedups.
     pub fn weighted_work(&self) -> f64 {
-        self.scan_rows as f64
-            + 0.2 * self.bloom_probe_in as f64
+        0.2 * self.bloom_probe_in as f64
             + 0.2 * self.bloom_build_rows as f64
             + self.hash_build_rows as f64
             + self.join_probe_in as f64
@@ -428,6 +500,10 @@ pub struct ExecContext {
     /// dictionary-backed string vectors). Defaults from
     /// `RPT_STORAGE_ENCODING`; `off` scans the raw flat layout.
     pub storage_encoding: bool,
+    /// Plan-verification mode (defaults from `RPT_PLAN_VERIFY`; debug
+    /// builds default to `Strict`). Gates the runtime Preserve-route
+    /// checks and the observed-access shadow log.
+    pub verify: VerifyMode,
 }
 
 impl Default for ExecContext {
@@ -451,7 +527,14 @@ impl ExecContext {
             sched_trace: std::env::var("RPT_SCHED_TRACE").is_ok_and(|v| v == "1"),
             agg_fast: agg_fast_from_env(),
             storage_encoding: storage_encoding_from_env(),
+            verify: VerifyMode::from_env(),
         }
+    }
+
+    /// Set the plan-verification mode.
+    pub fn with_verify(mut self, verify: VerifyMode) -> Self {
+        self.verify = verify;
+        self
     }
 
     /// Enable or disable the fixed-width aggregation fast path.
@@ -556,6 +639,35 @@ mod tests {
         assert_eq!(s.join_output_rows, 10);
         assert_eq!(m.trace(), vec![("join a⋈b".to_string(), 10)]);
         assert_eq!(s.total_work(), 10);
+    }
+
+    #[test]
+    fn utilization_zero_wall_is_safe() {
+        // Sub-microsecond query: wall span rounds to zero but workers did
+        // record busy time — never divide by zero, report saturated.
+        assert_eq!(utilization_pct(1, 0, 4), 100);
+        assert_eq!(utilization_pct(0, 0, 4), 0);
+        // Zero workers behaves like zero wall.
+        assert_eq!(utilization_pct(5, 100, 0), 100);
+        // Overflowing numerator saturates instead of wrapping.
+        assert_eq!(utilization_pct(u64::MAX, 1, 1), 100);
+        // Normal case still exact.
+        assert_eq!(utilization_pct(50, 100, 1), 50);
+        assert_eq!(utilization_pct(50, 100, 2), 25);
+    }
+
+    #[test]
+    fn verify_mode_gates() {
+        assert!(VerifyMode::Strict.enabled() && VerifyMode::Strict.strict());
+        assert!(VerifyMode::Warn.enabled() && !VerifyMode::Warn.strict());
+        assert!(!VerifyMode::Off.enabled() && !VerifyMode::Off.strict());
+    }
+
+    #[test]
+    fn verify_checks_metric_roundtrip() {
+        let m = Metrics::new();
+        m.add(&m.verify_checks_run, 3);
+        assert_eq!(m.summary().verify_checks_run, 3);
     }
 
     #[test]

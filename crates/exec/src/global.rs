@@ -491,7 +491,11 @@ impl Engine<'_> {
                 // group's rows feed partition `group` directly — no
                 // hash + scatter.
                 let preserve = p.route == RouteMode::Preserve;
-                debug_assert!(!preserve || p.source.partitioned_input().is_some());
+                if preserve && p.source.partitioned_input().is_none() {
+                    return Err(Error::Exec(
+                        "Preserve route requires a partitioned source".into(),
+                    ));
+                }
                 loop {
                     let i = run.next.fetch_add(1, Ordering::Relaxed);
                     if i >= run.chunks.len() {
@@ -637,7 +641,7 @@ impl Engine<'_> {
         self.worker_loop(id, n);
         let wall = t0.elapsed().as_nanos() as u64;
         let mut s = self.state.lock().expect("scheduler state poisoned");
-        s.worker_wall_nanos += wall;
+        s.worker_wall_nanos = s.worker_wall_nanos.saturating_add(wall);
     }
 
     fn worker_loop(&self, id: usize, n: usize) {
@@ -672,7 +676,7 @@ impl Engine<'_> {
 
             let mut s = self.state.lock().expect("scheduler state poisoned");
             s.busy -= 1;
-            s.busy_nanos += busy;
+            s.busy_nanos = s.busy_nanos.saturating_add(busy);
             self.ctx
                 .metrics
                 .add(&self.ctx.metrics.sched_busy_nanos, busy);

@@ -35,8 +35,9 @@ pub mod wcoj;
 
 pub use aggregate::{AggState, AggUpdateStats, AggregateState, ChunkKeys, KeyLayout};
 pub use context::{
-    agg_fast_from_env, default_worker_count, repartition_elide_from_env, storage_encoding_from_env,
-    ExecContext, Metrics, SchedulerKind,
+    agg_fast_from_env, default_worker_count, plan_verify_from_env, repartition_elide_from_env,
+    storage_encoding_from_env, utilization_pct, ExecContext, Metrics, MetricsSummary,
+    SchedulerKind, VerifyMode,
 };
 pub use expr::{
     prunable_conjuncts, prunable_utf8_conjuncts, AggExpr, AggFunc, ArithOp, CmpOp, Expr,
@@ -44,8 +45,9 @@ pub use expr::{
 pub use global::{run_physical_global, GlobalStats};
 pub use hash_table::{BuildRef, JoinHashTable, PartitionedHashTable};
 pub use operators::{
-    cmp_scalar_rows, expand_partition_grains, ChunkList, Operator, PartitionMerger, ResourceId,
-    Resources, ScanPrune, Sink, SinkFactory, SortKey, SortSink, SortSinkFactory, Source,
+    cmp_scalar_rows, expand_partition_grains, AccessLog, ChunkList, Operator, PartitionMerger,
+    ResourceId, Resources, ScanPrune, Sink, SinkFactory, SortKey, SortSink, SortSinkFactory,
+    Source,
 };
 pub use pipeline::{
     BloomSink, Executor, OpSpec, PhysicalPipeline, PipelinePlan, RouteMode, SinkSpec, SourceSpec,

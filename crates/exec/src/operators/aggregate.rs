@@ -16,7 +16,8 @@
 //! single finalize point.
 
 use super::{
-    downcast_sink, PartitionMerger, PartitionSlots, ResourceId, Resources, Sink, SinkFactory,
+    check_partition_hashes, downcast_sink, PartitionMerger, PartitionSlots, ResourceId, Resources,
+    Sink, SinkFactory,
 };
 use crate::aggregate::AggregateState;
 use crate::context::ExecContext;
@@ -52,7 +53,7 @@ impl Sink for AggregateSink {
         if n == 0 {
             return Ok(());
         }
-        self.rows += n as u64;
+        self.rows = self.rows.saturating_add(n as u64);
         // Aggregate inputs and group-key material are evaluated once per
         // chunk: the vectorized hash doubles as the radix routing key and
         // the group table's bucket hash, and on the fast path the packed
@@ -91,7 +92,7 @@ impl Sink for AggregateSink {
         if n == 0 {
             return Ok(());
         }
-        self.rows += n as u64;
+        self.rows = self.rows.saturating_add(n as u64);
         // The group-key hash is still needed — it doubles as the group
         // table's bucket hash (and `prepare_keys` *is* `key_hashes`, the
         // same hash the producer distributed on) — but the per-row scatter
@@ -99,12 +100,11 @@ impl Sink for AggregateSink {
         // selection.
         let inputs = self.parts[part].eval_inputs(&chunk)?;
         let keys = self.parts[part].prepare_keys(&chunk);
-        debug_assert!(
-            keys.hashes
-                .iter()
-                .all(|&h| self.partitioner.of_hash(h) == part),
-            "Preserve-routed chunk has rows outside partition {part}"
-        );
+        // The hashes are already computed, so the membership check costs
+        // only the comparison; it still counts toward `verify_checks_run`.
+        if ctx.verify.enabled() {
+            check_partition_hashes(&keys.hashes, &self.partitioner, part, ctx)?;
+        }
         let m = &ctx.metrics;
         if self.parts[part].is_fast() {
             m.add(&m.agg_fast_path_chunks, 1);
@@ -120,7 +120,7 @@ impl Sink for AggregateSink {
 
     fn combine(&mut self, other: Box<dyn Sink>) -> Result<()> {
         let other = downcast_sink::<AggregateSink>(other)?;
-        self.rows += other.rows;
+        self.rows = self.rows.saturating_add(other.rows);
         for (mine, theirs) in self.parts.iter_mut().zip(other.parts) {
             mine.merge(theirs)?;
         }
@@ -278,7 +278,7 @@ impl PartitionMerger for AggregateMerger {
     }
 
     fn merge_partition(&self, part: usize, _ctx: &ExecContext, res: &Resources) -> Result<()> {
-        let mut states = self.slots.take(part).into_iter();
+        let mut states = self.slots.take(part)?.into_iter();
         let mut merged = states
             .next()
             .ok_or_else(|| Error::Exec("aggregate merge without worker states".into()))?;

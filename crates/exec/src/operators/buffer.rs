@@ -14,7 +14,8 @@ use super::create_bf::{
     combine_blooms, insert_into_blooms, merge_publish_blooms, BloomBuild, BloomSink,
 };
 use super::{
-    downcast_sink, PartitionMerger, PartitionSlots, ResourceId, Resources, Sink, SinkFactory,
+    check_partition_route, downcast_sink, lock_or_err, PartitionMerger, PartitionSlots, ResourceId,
+    Resources, Sink, SinkFactory,
 };
 use crate::context::ExecContext;
 use rpt_common::{DataChunk, Error, Partitioner, Result, Schema};
@@ -48,7 +49,7 @@ impl BufferSink {
 
 impl Sink for BufferSink {
     fn sink(&mut self, chunk: DataChunk, ctx: &ExecContext) -> Result<()> {
-        self.rows += chunk.num_rows() as u64;
+        self.rows = self.rows.saturating_add(chunk.num_rows() as u64);
         insert_into_blooms(&chunk, &mut self.blooms, ctx);
         if self.partitioner.is_single() {
             return self.parts[0].push(chunk);
@@ -93,7 +94,7 @@ impl Sink for BufferSink {
                         .collect();
                     let sub = DataChunk::new(chunk.columns.iter().map(|c| c.take(&idx)).collect());
                     self.parts[p % count].push(sub)?;
-                    p += 1;
+                    p = p.saturating_add(1);
                     start = end;
                 }
                 self.next_round_robin = p % count;
@@ -106,16 +107,10 @@ impl Sink for BufferSink {
         if self.partitioner.is_single() {
             return self.sink(chunk, ctx);
         }
-        #[cfg(debug_assertions)]
         if let Some(keys) = &self.partition_keys {
-            debug_assert!(
-                super::key_hashes(&chunk, keys)
-                    .iter()
-                    .all(|&h| self.partitioner.of_hash(h) == part),
-                "Preserve-routed chunk has rows outside partition {part}"
-            );
+            check_partition_route(&chunk, keys, &self.partitioner, part, ctx)?;
         }
-        self.rows += chunk.num_rows() as u64;
+        self.rows = self.rows.saturating_add(chunk.num_rows() as u64);
         insert_into_blooms(&chunk, &mut self.blooms, ctx);
         ctx.metrics.add(&ctx.metrics.repartition_elided_chunks, 1);
         self.parts[part].push(chunk)
@@ -129,7 +124,7 @@ impl Sink for BufferSink {
             }
         }
         combine_blooms(&mut self.blooms, &other.blooms)?;
-        self.rows += other.rows;
+        self.rows = self.rows.saturating_add(other.rows);
         Ok(())
     }
 
@@ -257,9 +252,9 @@ impl PartitionMerger for BufferMerger {
     fn merge_partition(&self, part: usize, _ctx: &ExecContext, res: &Resources) -> Result<()> {
         let mut chunks = Vec::new();
         let mut rows = 0u64;
-        for buf in self.slots.take(part) {
+        for buf in self.slots.take(part)? {
             for c in buf.into_chunks()? {
-                rows += c.num_rows() as u64;
+                rows = rows.saturating_add(c.num_rows() as u64);
                 chunks.push(c);
             }
         }
@@ -268,10 +263,7 @@ impl PartitionMerger for BufferMerger {
     }
 
     fn finish(&self, ctx: &ExecContext, res: &Resources) -> Result<()> {
-        let blooms = self
-            .blooms
-            .lock()
-            .expect("bloom slot lock poisoned")
+        let blooms = lock_or_err(&self.blooms, "bloom slot")?
             .take()
             .ok_or_else(|| Error::Exec("buffer merge finished twice".into()))?;
         merge_publish_blooms(blooms, ctx.threads, res)

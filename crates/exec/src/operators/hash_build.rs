@@ -12,7 +12,8 @@ use super::create_bf::{
     combine_blooms, insert_into_blooms, merge_publish_blooms, BloomBuild, BloomSink,
 };
 use super::{
-    downcast_sink, PartitionMerger, PartitionSlots, ResourceId, Resources, Sink, SinkFactory,
+    check_partition_route, downcast_sink, lock_or_err, PartitionMerger, PartitionSlots, ResourceId,
+    Resources, Sink, SinkFactory,
 };
 use crate::context::ExecContext;
 use crate::hash_table::{JoinHashTable, PartitionedHashTable};
@@ -66,7 +67,7 @@ impl Sink for HashBuildSink {
                 }
             }
         }
-        self.rows += n;
+        self.rows = self.rows.saturating_add(n);
         Ok(())
     }
 
@@ -74,18 +75,13 @@ impl Sink for HashBuildSink {
         if self.partitioner.is_single() {
             return self.sink(chunk, ctx);
         }
-        debug_assert!(
-            super::key_hashes(&chunk, &self.key_cols)
-                .iter()
-                .all(|&h| self.partitioner.of_hash(h) == part),
-            "Preserve-routed chunk has rows outside partition {part}"
-        );
+        check_partition_route(&chunk, &self.key_cols, &self.partitioner, part, ctx)?;
         let n = chunk.num_rows() as u64;
         insert_into_blooms(&chunk, &mut self.blooms, ctx);
         ctx.metrics.add(&ctx.metrics.hash_build_rows, n);
         ctx.metrics.add(&ctx.metrics.repartition_elided_chunks, 1);
         self.parts[part].push(chunk.flattened());
-        self.rows += n;
+        self.rows = self.rows.saturating_add(n);
         Ok(())
     }
 
@@ -95,7 +91,7 @@ impl Sink for HashBuildSink {
             mine.extend(theirs);
         }
         combine_blooms(&mut self.blooms, &other.blooms)?;
-        self.rows += other.rows;
+        self.rows = self.rows.saturating_add(other.rows);
         Ok(())
     }
 
@@ -233,11 +229,11 @@ impl PartitionMerger for HashBuildMerger {
     }
 
     fn merge_partition(&self, part: usize, _ctx: &ExecContext, _res: &Resources) -> Result<()> {
-        let chunks: Vec<DataChunk> = self.slots.take(part).into_iter().flatten().collect();
+        let chunks: Vec<DataChunk> = self.slots.take(part)?.into_iter().flatten().collect();
         let rows: u64 = chunks.iter().map(|c| c.num_rows() as u64).sum();
         self.max_task_rows.fetch_max(rows, Ordering::Relaxed);
         let table = build_partition(&chunks, self.key_cols.clone(), &self.schema)?;
-        *self.tables[part].lock().expect("table slot lock poisoned") = Some(table);
+        *lock_or_err(&self.tables[part], "table slot")? = Some(table);
         Ok(())
     }
 
@@ -246,17 +242,13 @@ impl PartitionMerger for HashBuildMerger {
             .tables
             .iter()
             .map(|t| {
-                t.lock()
-                    .expect("table slot lock poisoned")
+                lock_or_err(t, "table slot")?
                     .take()
                     .ok_or_else(|| Error::Exec("partition table missing at finish".into()))
             })
             .collect::<Result<_>>()?;
         res.publish_table(self.ht_id, PartitionedHashTable::from_parts(parts))?;
-        let blooms = self
-            .blooms
-            .lock()
-            .expect("bloom slot lock poisoned")
+        let blooms = lock_or_err(&self.blooms, "bloom slot")?
             .take()
             .ok_or_else(|| Error::Exec("hash-build merge finished twice".into()))?;
         merge_publish_blooms(blooms, ctx.threads, res)

@@ -43,8 +43,9 @@ pub use sort::{cmp_scalar_rows, SortKey, SortSink, SortSinkFactory};
 use crate::context::ExecContext;
 use crate::hash_table::PartitionedHashTable;
 use rpt_bloom::BloomFilter;
-use rpt_common::{DataChunk, Error, Result, Vector};
+use rpt_common::{DataChunk, Error, Partitioner, Result, Vector};
 use std::any::Any;
+use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Identifier of a cross-pipeline resource: what a pipeline reads or
@@ -114,6 +115,41 @@ impl BufferSlot {
     }
 }
 
+/// Shadow log of resource accesses actually performed during execution,
+/// kept at partition grain (whole-buffer reads expand to every partition
+/// grain). Enabled only in verify mode; after the run the observed sets
+/// are reconciled against the plan's *declared* `NodeDeps` — any observed
+/// access missing from the declaration means the scheduler could have
+/// raced it.
+#[derive(Debug, Default)]
+pub struct AccessLog {
+    reads: Mutex<BTreeSet<ResourceId>>,
+    writes: Mutex<BTreeSet<ResourceId>>,
+}
+
+impl AccessLog {
+    fn record(set: &Mutex<BTreeSet<ResourceId>>, id: ResourceId) {
+        if let Ok(mut s) = set.lock() {
+            s.insert(id);
+        }
+    }
+
+    /// Snapshot of the observed (reads, writes), sorted.
+    pub fn observed(&self) -> (Vec<ResourceId>, Vec<ResourceId>) {
+        let reads = self
+            .reads
+            .lock()
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        let writes = self
+            .writes
+            .lock()
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        (reads, writes)
+    }
+}
+
 /// Write-once shared state produced and consumed by pipelines.
 ///
 /// Every slot is an [`OnceLock`]: producers publish exactly once in their
@@ -126,6 +162,7 @@ pub struct Resources {
     buffers: Vec<BufferSlot>,
     filters: Vec<OnceLock<Arc<BloomFilter>>>,
     tables: Vec<OnceLock<Arc<PartitionedHashTable>>>,
+    access_log: Option<AccessLog>,
 }
 
 impl Resources {
@@ -150,6 +187,45 @@ impl Resources {
                 .collect(),
             filters: (0..num_filters).map(|_| OnceLock::new()).collect(),
             tables: (0..num_tables).map(|_| OnceLock::new()).collect(),
+            access_log: None,
+        }
+    }
+
+    /// Start recording every resource access into a shadow [`AccessLog`]
+    /// (verify mode). Must be called before the resources are shared.
+    pub fn with_access_log(mut self) -> Resources {
+        self.access_log = Some(AccessLog::default());
+        self
+    }
+
+    /// The shadow access log, when verify mode enabled it.
+    pub fn access_log(&self) -> Option<&AccessLog> {
+        self.access_log.as_ref()
+    }
+
+    fn log_read(&self, id: ResourceId) {
+        if let Some(log) = &self.access_log {
+            AccessLog::record(&log.reads, id);
+        }
+    }
+
+    fn log_write(&self, id: ResourceId) {
+        if let Some(log) = &self.access_log {
+            AccessLog::record(&log.writes, id);
+        }
+    }
+
+    /// Log a whole-buffer access as every partition grain of `id`.
+    fn log_buffer(&self, set_writes: bool, id: usize) {
+        if self.access_log.is_some() {
+            for p in 0..self.partitions {
+                let grain = ResourceId::BufferPart(id, p);
+                if set_writes {
+                    self.log_write(grain);
+                } else {
+                    self.log_read(grain);
+                }
+            }
         }
     }
 
@@ -161,6 +237,7 @@ impl Resources {
     /// The whole buffer: its partitions concatenated in partition order
     /// (chunk `Arc`s cloned, payloads shared with the partition slots).
     pub fn buffer(&self, id: usize) -> Result<Arc<ChunkList>> {
+        self.log_buffer(false, id);
         let slot = self
             .buffers
             .get(id)
@@ -182,13 +259,13 @@ impl Resources {
             all.extend(chunks.iter().cloned());
         }
         // A racing consumer may have assembled concurrently; both built the
-        // same value, so losing the `set` race is fine.
-        let _ = slot.assembled.set(Arc::new(all));
-        Ok(slot.assembled.get().expect("assembled just set").clone())
+        // same value, so whichever `set` wins serves everyone.
+        Ok(slot.assembled.get_or_init(|| Arc::new(all)).clone())
     }
 
     /// One sealed partition of a buffer.
     pub fn buffer_partition(&self, id: usize, part: usize) -> Result<Arc<ChunkList>> {
+        self.log_read(ResourceId::BufferPart(id, part));
         self.buffers
             .get(id)
             .and_then(|b| b.parts.get(part))
@@ -208,6 +285,7 @@ impl Resources {
     }
 
     pub fn filter(&self, id: usize) -> Result<Arc<BloomFilter>> {
+        self.log_read(ResourceId::Filter(id));
         self.filters
             .get(id)
             .and_then(|f| f.get().cloned())
@@ -215,6 +293,7 @@ impl Resources {
     }
 
     pub fn hash_table(&self, id: usize) -> Result<Arc<PartitionedHashTable>> {
+        self.log_read(ResourceId::HashTable(id));
         self.tables
             .get(id)
             .and_then(|t| t.get().cloned())
@@ -225,6 +304,7 @@ impl Resources {
     /// one partition slot the chunks land in partition 0 and the remaining
     /// partitions are sealed empty).
     pub fn publish_buffer(&self, id: usize, chunks: Vec<DataChunk>) -> Result<()> {
+        self.log_buffer(true, id);
         let slot = self
             .buffers
             .get(id)
@@ -246,6 +326,7 @@ impl Resources {
         part: usize,
         chunks: Vec<DataChunk>,
     ) -> Result<()> {
+        self.log_write(ResourceId::BufferPart(id, part));
         self.buffers
             .get(id)
             .ok_or_else(|| Error::Exec(format!("buffer slot {id} out of range")))?
@@ -257,6 +338,7 @@ impl Resources {
     }
 
     pub fn publish_filter(&self, id: usize, filter: BloomFilter) -> Result<()> {
+        self.log_write(ResourceId::Filter(id));
         self.filters
             .get(id)
             .ok_or_else(|| Error::Exec(format!("filter slot {id} out of range")))?
@@ -265,6 +347,7 @@ impl Resources {
     }
 
     pub fn publish_table(&self, id: usize, table: PartitionedHashTable) -> Result<()> {
+        self.log_write(ResourceId::HashTable(id));
         self.tables
             .get(id)
             .ok_or_else(|| Error::Exec(format!("hash table slot {id} out of range")))?
@@ -451,14 +534,62 @@ impl<T> PartitionSlots<T> {
         PartitionSlots(per_part.into_iter().map(|v| Mutex::new(Some(v))).collect())
     }
 
-    /// Take partition `p`'s payloads (panics if taken twice).
-    pub(crate) fn take(&self, p: usize) -> Vec<T> {
-        self.0[p]
-            .lock()
-            .expect("partition slot lock poisoned")
+    /// Take partition `p`'s payloads (errors if taken twice — the merge
+    /// contract calls each partition exactly once).
+    pub(crate) fn take(&self, p: usize) -> Result<Vec<T>> {
+        lock_or_err(&self.0[p], "partition slot")?
             .take()
-            .expect("partition payload taken twice")
+            .ok_or_else(|| Error::Exec(format!("partition {p} payload taken twice")))
     }
+}
+
+/// Lock a mutex, surfacing poisoning as an execution error instead of a
+/// panic — operator code must stay panic-free (`cargo xtask lint` rule A).
+pub(crate) fn lock_or_err<'a, T>(
+    m: &'a Mutex<T>,
+    what: &str,
+) -> Result<std::sync::MutexGuard<'a, T>> {
+    m.lock()
+        .map_err(|_| Error::Exec(format!("{what} lock poisoned")))
+}
+
+/// Verifier-mode check that every row of a Preserve-routed chunk really
+/// hashes into partition `part` — the runtime half of the repartition
+/// elision proof. No-op when verification is off; in `Warn` mode a
+/// violation is reported (stderr + pipeline trace) and execution
+/// continues; in `Strict` mode it fails the query.
+pub(crate) fn check_partition_hashes(
+    hashes: &[u64],
+    partitioner: &Partitioner,
+    part: usize,
+    ctx: &ExecContext,
+) -> Result<()> {
+    ctx.metrics.add(&ctx.metrics.verify_checks_run, 1);
+    if hashes.iter().all(|&h| partitioner.of_hash(h) == part) {
+        return Ok(());
+    }
+    let msg = format!("Preserve-routed chunk has rows outside partition {part}");
+    if ctx.verify.strict() {
+        return Err(Error::Exec(msg));
+    }
+    eprintln!("[rpt-verify] {msg}");
+    ctx.metrics.trace_entry(format!("[verify] {msg}"), 1);
+    Ok(())
+}
+
+/// [`check_partition_hashes`] from key columns, skipping the hash
+/// computation entirely when verification is off.
+pub(crate) fn check_partition_route(
+    chunk: &DataChunk,
+    key_cols: &[usize],
+    partitioner: &Partitioner,
+    part: usize,
+    ctx: &ExecContext,
+) -> Result<()> {
+    if !ctx.verify.enabled() {
+        return Ok(());
+    }
+    check_partition_hashes(&key_hashes(chunk, key_cols), partitioner, part, ctx)
 }
 
 /// Downcast `other` to `S` for a `combine`, with a uniform error.

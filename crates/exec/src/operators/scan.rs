@@ -143,13 +143,15 @@ impl TableScan {
 impl Source for TableScan {
     fn chunks(&self, ctx: &ExecContext, res: &Resources) -> Result<Arc<ChunkList>> {
         if !ctx.storage_encoding {
-            return Ok(Arc::new(
-                self.table
-                    .default_chunks()
-                    .into_iter()
-                    .map(Arc::new)
-                    .collect(),
-            ));
+            let out: ChunkList = self
+                .table
+                .default_chunks()
+                .into_iter()
+                .map(Arc::new)
+                .collect();
+            let rows: u64 = out.iter().map(|c| c.num_rows() as u64).sum();
+            ctx.metrics.add(&ctx.metrics.scan_rows, rows);
+            return Ok(Arc::new(out));
         }
         let enc = self.table.encoded();
         // Resolve transferred key ranges once per scan; filters named here
@@ -164,7 +166,7 @@ impl Source for TableScan {
         let mut pruned = 0u64;
         for b in 0..enc.num_blocks() {
             if self.block_pruned(&enc, b, &bloom_ranges) {
-                pruned += 1;
+                pruned = pruned.saturating_add(1);
             } else {
                 out.push(Arc::new(enc.decode_block(b)));
             }
@@ -172,6 +174,8 @@ impl Source for TableScan {
         let m = &ctx.metrics;
         m.add(&m.blocks_pruned, pruned);
         m.add(&m.blocks_scanned, out.len() as u64);
+        let rows: u64 = out.iter().map(|c| c.num_rows() as u64).sum();
+        m.add(&m.scan_rows, rows);
         if pruned > 0 {
             m.trace_entry(
                 format!("[storage] scan {} blocks-pruned", self.table.name),

@@ -274,11 +274,13 @@ impl SortSink {
         chunk: &DataChunk,
         metrics: &Metrics,
     ) -> Result<()> {
-        match run {
-            None => *run = Some(chunk.flattened()),
-            Some(data) => data.append(chunk)?,
-        }
-        let data = run.as_mut().expect("run just filled");
+        let data = match run.as_mut() {
+            Some(data) => {
+                data.append(chunk)?;
+                data
+            }
+            None => run.insert(chunk.flattened()),
+        };
         if data.num_rows() > bound.saturating_mul(2) {
             let (kept, pruned) = sort_run(keys, data, Some(bound));
             *data = kept;
@@ -290,16 +292,17 @@ impl SortSink {
 
 impl Sink for SortSink {
     fn sink(&mut self, chunk: DataChunk, _ctx: &ExecContext) -> Result<()> {
-        self.rows += chunk.num_rows() as u64;
+        self.rows = self.rows.saturating_add(chunk.num_rows() as u64);
         if chunk.is_logically_empty() {
             return Ok(());
         }
         let p = self.next_round_robin;
         self.next_round_robin = (p + 1) % self.parts.len();
+        let bound = self.bound;
         match &mut self.parts[p] {
             Run::TopK(run) => Self::push_topk(
                 &self.keys,
-                self.bound.expect("TopK run without bound"),
+                bound.ok_or_else(|| Error::Exec("TopK run without bound".into()))?,
                 run,
                 &chunk,
                 &self.metrics,
@@ -316,15 +319,16 @@ impl Sink for SortSink {
         if self.parts.len() == 1 {
             return self.sink(chunk, ctx);
         }
-        self.rows += chunk.num_rows() as u64;
+        self.rows = self.rows.saturating_add(chunk.num_rows() as u64);
         if chunk.is_logically_empty() {
             return Ok(());
         }
         ctx.metrics.add(&ctx.metrics.repartition_elided_chunks, 1);
+        let bound = self.bound;
         match &mut self.parts[part] {
             Run::TopK(run) => Self::push_topk(
                 &self.keys,
-                self.bound.expect("TopK run without bound"),
+                bound.ok_or_else(|| Error::Exec("TopK run without bound".into()))?,
                 run,
                 &chunk,
                 &self.metrics,
@@ -335,14 +339,15 @@ impl Sink for SortSink {
 
     fn combine(&mut self, other: Box<dyn Sink>) -> Result<()> {
         let other = downcast_sink::<SortSink>(other)?;
-        self.rows += other.rows;
+        self.rows = self.rows.saturating_add(other.rows);
+        let bound = self.bound;
         for (mine, theirs) in self.parts.iter_mut().zip(other.parts) {
             match (mine, theirs) {
                 (Run::TopK(run), theirs @ Run::TopK(_)) => {
                     for c in theirs.into_chunks()? {
                         Self::push_topk(
                             &self.keys,
-                            self.bound.expect("TopK run without bound"),
+                            bound.ok_or_else(|| Error::Exec("TopK run without bound".into()))?,
                             run,
                             &c,
                             &self.metrics,
@@ -372,7 +377,7 @@ impl Sink for SortSink {
         for run in self.parts {
             let gathered = concat(&self.schema, run.into_chunks()?)?;
             let (chunk, pruned) = sort_run(&self.keys, &gathered, self.bound);
-            total_pruned += pruned;
+            total_pruned = total_pruned.saturating_add(pruned);
             self.metrics
                 .max_update(&self.metrics.sort_max_run_rows, chunk.num_rows() as u64);
             sorted.push(chunk);
@@ -517,7 +522,7 @@ impl PartitionMerger for SortMerger {
 
     fn merge_partition(&self, part: usize, ctx: &ExecContext, _res: &Resources) -> Result<()> {
         let mut chunks = Vec::new();
-        for run in self.slots.take(part) {
+        for run in self.slots.take(part)? {
             chunks.extend(run.into_chunks()?);
         }
         let gathered = concat(&self.schema, chunks)?;
@@ -623,7 +628,7 @@ impl<'a> LoserTree<'a> {
             return None;
         }
         let row = self.cursors[w];
-        self.cursors[w] += 1;
+        self.cursors[w] = self.cursors[w].saturating_add(1);
         // Replay the path from w's leaf to the root.
         let mut cur = w;
         let mut node = (self.k + w) / 2;

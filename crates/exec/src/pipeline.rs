@@ -25,7 +25,7 @@ use crate::operators::{
     SemiProbe, SinkFactory, Source, TableScan,
 };
 use rpt_bloom::BloomFilter;
-use rpt_common::{DataChunk, DataType, Result, Schema};
+use rpt_common::{DataChunk, DataType, Error, Result, Schema};
 use rpt_storage::Table;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -390,10 +390,11 @@ pub fn run_physical(p: &PhysicalPipeline, ctx: &ExecContext, res: &Resources) ->
     // `source.chunks()` row-for-row and the serial path stays
     // bit-deterministic.
     let preserve = p.route == RouteMode::Preserve;
-    debug_assert!(
-        !preserve || p.source.partitioned_input().is_some(),
-        "Preserve route requires a partitioned source"
-    );
+    if preserve && p.source.partitioned_input().is_none() {
+        return Err(Error::Exec(
+            "Preserve route requires a partitioned source".into(),
+        ));
+    }
     let (chunks, chunk_parts): (Arc<crate::operators::ChunkList>, Option<Vec<usize>>) = if preserve
     {
         let mut flat = Vec::new();
@@ -591,13 +592,17 @@ impl Executor {
         num_filters: usize,
         num_tables: usize,
     ) -> Self {
-        let res = Arc::new(Resources::with_partitions(
-            num_buffers,
-            num_filters,
-            num_tables,
-            ctx.partition_count,
-        ));
-        Executor { ctx, res }
+        let mut res =
+            Resources::with_partitions(num_buffers, num_filters, num_tables, ctx.partition_count);
+        if ctx.verify.enabled() {
+            // Verify mode: shadow-log every resource access so the driver
+            // can reconcile observed accesses against the declared deps.
+            res = res.with_access_log();
+        }
+        Executor {
+            ctx,
+            res: Arc::new(res),
+        }
     }
 
     /// The shared resource slots.

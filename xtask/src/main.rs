@@ -1,0 +1,545 @@
+//! `cargo xtask lint` — std-only workspace lint (no external deps).
+//!
+//! Three token-scan rules, all scoped to hot execution paths where a panic
+//! or a silent counter wrap would take down or corrupt a query:
+//!
+//! * **A (no-panic operators):** no `.unwrap()` / `.expect(` in
+//!   `crates/exec/src/operators/` outside `#[cfg(test)]` modules. Operator
+//!   code returns `Result`; lock poisoning and absent slots are runtime
+//!   errors, not panics.
+//! * **B (checked counters):** no bare `+=` in `crates/exec/src/aggregate.rs`,
+//!   `crates/exec/src/context.rs`, or `crates/exec/src/operators/` outside
+//!   tests. A line is exempt when it visibly routes through a checked/
+//!   saturating/wrapping helper or is floating-point (`f64`) arithmetic,
+//!   where wrap-around is not the failure mode.
+//! * **C (no dead metrics):** every `AtomicU64` field of `Metrics`
+//!   (`crates/exec/src/context.rs`) must be referenced in non-test source
+//!   outside its declaring file (someone increments it) and referenced in
+//!   test code (a `tests/` directory or a `#[cfg(test)]` region) so a
+//!   regression to zero is caught.
+//!
+//! Findings can be suppressed via `xtask/lint-allow.txt` (`RULE path[:line]`
+//! entries); the file starts — and should stay — empty.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(repo_root()),
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`; available: lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // xtask lives at <root>/xtask.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask crate has a parent directory")
+        .to_path_buf()
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Finding {
+    rule: char,
+    /// Repo-relative path, `/`-separated.
+    path: String,
+    /// 1-based; 0 when the finding is file- or workspace-level.
+    line: usize,
+    message: String,
+}
+
+fn lint(root: PathBuf) -> ExitCode {
+    let allow = load_allowlist(&root.join("xtask/lint-allow.txt"));
+    let mut findings = Vec::new();
+    findings.extend(rule_a(&root));
+    findings.extend(rule_b(&root));
+    findings.extend(rule_c(&root));
+
+    let mut failed = 0usize;
+    for f in &findings {
+        if allowed(&allow, f) {
+            println!("allow [{}] {}:{} {}", f.rule, f.path, f.line, f.message);
+        } else {
+            eprintln!("lint [{}] {}:{} {}", f.rule, f.path, f.line, f.message);
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        eprintln!("cargo xtask lint: {failed} finding(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("cargo xtask lint: clean");
+        ExitCode::SUCCESS
+    }
+}
+
+fn load_allowlist(path: &Path) -> Vec<(char, String, Option<usize>)> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule), Some(target)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        let rule = rule.chars().next().unwrap_or('?');
+        match target.rsplit_once(':') {
+            Some((p, l)) if l.chars().all(|c| c.is_ascii_digit()) => {
+                entries.push((rule, p.to_string(), l.parse().ok()));
+            }
+            _ => entries.push((rule, target.to_string(), None)),
+        }
+    }
+    entries
+}
+
+fn allowed(allow: &[(char, String, Option<usize>)], f: &Finding) -> bool {
+    allow
+        .iter()
+        .any(|(r, p, l)| *r == f.rule && *p == f.path && l.is_none_or(|l| l == f.line))
+}
+
+/// Per-line classification of a source file: which lines are executable
+/// (non-test, comments stripped) vs inside a `#[cfg(test)]` item.
+struct Classified {
+    /// Comment-stripped text per line (empty for comment-only lines).
+    code: Vec<String>,
+    /// Line is inside a `#[cfg(test)]`-gated item.
+    test: Vec<bool>,
+}
+
+fn classify(text: &str) -> Classified {
+    let stripped = strip_comments(text);
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mut test = vec![false; lines.len()];
+    let mut depth = 0i64; // brace depth inside the current test item; 0 = outside
+    let mut armed = false; // saw #[cfg(test)], waiting for the opening brace
+    for (i, line) in lines.iter().enumerate() {
+        if depth == 0 && !armed && line.contains("#[cfg(test)]") {
+            armed = true;
+        }
+        let opens = line.matches('{').count() as i64;
+        let closes = line.matches('}').count() as i64;
+        if armed || depth > 0 {
+            test[i] = true;
+            depth += opens - closes;
+            if armed && opens > 0 {
+                armed = false;
+            }
+            if !armed && depth <= 0 {
+                depth = 0;
+            }
+        }
+    }
+    Classified {
+        code: lines.iter().map(|s| s.to_string()).collect(),
+        test,
+    }
+}
+
+/// Remove `//` line comments, `/* */` block comments, and the *contents*
+/// of string literals (so a `+=` inside a message string never trips a
+/// rule). Char literals like `'"'` are handled enough to not derail the
+/// string tracker.
+fn strip_comments(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars().peekable();
+    let mut in_block = 0usize;
+    let mut in_line = false;
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if c == '\n' {
+            in_line = false;
+            in_str = false; // plain strings don't span lines un-escaped; good enough
+            out.push('\n');
+            continue;
+        }
+        if in_line {
+            continue;
+        }
+        if in_block > 0 {
+            if c == '*' && chars.peek() == Some(&'/') {
+                chars.next();
+                in_block -= 1;
+            } else if c == '/' && chars.peek() == Some(&'*') {
+                chars.next();
+                in_block += 1;
+            }
+            continue;
+        }
+        if in_str {
+            if c == '\\' {
+                chars.next();
+            } else if c == '"' {
+                in_str = false;
+                out.push('"');
+            }
+            continue;
+        }
+        match c {
+            '/' if chars.peek() == Some(&'/') => {
+                chars.next();
+                in_line = true;
+            }
+            '/' if chars.peek() == Some(&'*') => {
+                chars.next();
+                in_block += 1;
+            }
+            '"' => {
+                in_str = true;
+                out.push('"');
+            }
+            '\'' => {
+                // Consume a char literal ('x', '\n', '"') so its quote
+                // doesn't open a phantom string. Lifetimes ('a) have no
+                // closing quote within a few chars; probe without
+                // consuming in that case.
+                let probe: Vec<char> = chars.clone().take(3).collect();
+                let lit_len = match probe.as_slice() {
+                    ['\\', _, '\''] => Some(3),
+                    [_, '\'', ..] => Some(2),
+                    _ => None,
+                };
+                if let Some(len) = lit_len {
+                    for _ in 0..len {
+                        chars.next();
+                    }
+                }
+                out.push('\'');
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            walk(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+// ---- Rule A: no panicking calls in operator code ----
+
+fn rule_a(root: &Path) -> Vec<Finding> {
+    let mut files = Vec::new();
+    walk(&root.join("crates/exec/src/operators"), &mut files);
+    let mut findings = Vec::new();
+    for path in files {
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        findings.extend(scan_a(&rel(root, &path), &text));
+    }
+    findings
+}
+
+fn scan_a(path: &str, text: &str) -> Vec<Finding> {
+    let c = classify(text);
+    let mut findings = Vec::new();
+    for (i, line) in c.code.iter().enumerate() {
+        if c.test[i] {
+            continue;
+        }
+        for needle in [".unwrap()", ".expect("] {
+            if line.contains(needle) {
+                findings.push(Finding {
+                    rule: 'A',
+                    path: path.to_string(),
+                    line: i + 1,
+                    message: format!("`{needle}` in operator code; return a Result instead"),
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ---- Rule B: no unchecked += in accumulator/metrics paths ----
+
+const RULE_B_FILES: &[&str] = &["crates/exec/src/aggregate.rs", "crates/exec/src/context.rs"];
+
+fn rule_b(root: &Path) -> Vec<Finding> {
+    let mut files: Vec<PathBuf> = RULE_B_FILES.iter().map(|f| root.join(f)).collect();
+    walk(&root.join("crates/exec/src/operators"), &mut files);
+    let mut findings = Vec::new();
+    for path in files {
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        findings.extend(scan_b(&rel(root, &path), &text));
+    }
+    findings
+}
+
+fn scan_b(path: &str, text: &str) -> Vec<Finding> {
+    let c = classify(text);
+    let mut findings = Vec::new();
+    for (i, line) in c.code.iter().enumerate() {
+        if c.test[i] || !line.contains("+=") {
+            continue;
+        }
+        let exempt = ["saturating_", "checked_", "wrapping_", "f64", "f32"]
+            .iter()
+            .any(|t| line.contains(t));
+        if !exempt {
+            findings.push(Finding {
+                rule: 'B',
+                path: path.to_string(),
+                line: i + 1,
+                message: "unchecked `+=` in counter path; use a saturating/checked helper".into(),
+            });
+        }
+    }
+    findings
+}
+
+// ---- Rule C: no dead metrics ----
+
+fn rule_c(root: &Path) -> Vec<Finding> {
+    let decl_path = root.join("crates/exec/src/context.rs");
+    let Ok(decl_text) = fs::read_to_string(&decl_path) else {
+        return vec![Finding {
+            rule: 'C',
+            path: "crates/exec/src/context.rs".into(),
+            line: 0,
+            message: "cannot read Metrics declaration file".into(),
+        }];
+    };
+    let metrics = metric_fields(&decl_text);
+
+    let mut files = Vec::new();
+    walk(&root.join("crates"), &mut files);
+    walk(&root.join("tests"), &mut files);
+    walk(&root.join("examples"), &mut files);
+
+    let mut incremented: BTreeSet<&str> = BTreeSet::new();
+    let mut tested: BTreeSet<&str> = BTreeSet::new();
+    for path in &files {
+        let relp = rel(root, path);
+        let Ok(text) = fs::read_to_string(path) else {
+            continue;
+        };
+        let is_test_dir = relp.starts_with("tests/") || relp.contains("/tests/");
+        let c = classify(&text);
+        for (i, line) in c.code.iter().enumerate() {
+            for m in &metrics {
+                if !line.contains(m.as_str()) {
+                    continue;
+                }
+                if is_test_dir || c.test[i] {
+                    tested.insert(m);
+                } else {
+                    // A mutating call, not a mere mention (declaration,
+                    // `load`, or summary copy). rustfmt may break the
+                    // call over two lines, so look one line back too.
+                    let window = |l: &str| {
+                        ["add(", "fetch_add", "max_update", "store("]
+                            .iter()
+                            .any(|t| l.contains(t))
+                    };
+                    if window(line) || (i > 0 && window(&c.code[i - 1])) {
+                        incremented.insert(m);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    for m in &metrics {
+        if !incremented.contains(m.as_str()) {
+            findings.push(Finding {
+                rule: 'C',
+                path: "crates/exec/src/context.rs".into(),
+                line: 0,
+                message: format!("metric `{m}` is never incremented outside its declaration"),
+            });
+        }
+        if !tested.contains(m.as_str()) {
+            findings.push(Finding {
+                rule: 'C',
+                path: "crates/exec/src/context.rs".into(),
+                line: 0,
+                message: format!("metric `{m}` is never asserted in tests"),
+            });
+        }
+    }
+    findings
+}
+
+/// Field names of `pub struct Metrics` with type `AtomicU64`.
+fn metric_fields(context_rs: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut in_struct = false;
+    for line in context_rs.lines() {
+        let t = line.trim();
+        if t.starts_with("pub struct Metrics") {
+            in_struct = true;
+            continue;
+        }
+        if in_struct {
+            if t == "}" {
+                break;
+            }
+            if let Some(rest) = t.strip_prefix("pub ") {
+                if let Some((name, ty)) = rest.split_once(':') {
+                    if ty.trim().trim_end_matches(',') == "AtomicU64" {
+                        fields.push(name.trim().to_string());
+                    }
+                }
+            }
+        }
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Seeded-violation self-test: the scanners must catch planted bugs.
+
+    #[test]
+    fn rule_a_catches_seeded_unwrap() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+        let f = scan_a("x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].rule, f[0].line), ('A', 2));
+    }
+
+    #[test]
+    fn rule_a_skips_tests_and_comments() {
+        let src = "\
+fn f() {} // .unwrap() in a comment is fine
+/* .expect( in a block comment too */
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); }
+}
+";
+        assert!(scan_a("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rule_b_catches_seeded_bare_add() {
+        let src = "fn f(mut a: u64) {\n    a += 1;\n    a = a.saturating_add(2);\n}\n";
+        let f = scan_b("x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].rule, f[0].line), ('B', 2));
+    }
+
+    #[test]
+    fn rule_b_exempts_checked_and_float_lines() {
+        let src = "\
+fn f(mut a: u64, mut x: f64) {
+    a = a.checked_add(1).unwrap_or(u64::MAX); // not +=
+    add_f64(&mut x, 1.0); // helper takes f64
+}
+fn add_f64(a: &mut f64, b: f64) { *a += b }
+";
+        assert!(scan_b("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rule_b_ignores_strings() {
+        let src = "fn f() -> &'static str {\n    \"a += b\"\n}\n";
+        assert!(scan_b("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn metric_fields_parsed() {
+        let src = "\
+pub struct Metrics {
+    pub scan_rows: AtomicU64,
+    /// doc
+    pub other: usize,
+    pub verify_checks_run: AtomicU64,
+}
+";
+        assert_eq!(metric_fields(src), vec!["scan_rows", "verify_checks_run"]);
+    }
+
+    #[test]
+    fn allowlist_matches_by_rule_path_and_line() {
+        let allow = vec![
+            ('A', "x.rs".to_string(), Some(2)),
+            ('B', "y.rs".to_string(), None),
+        ];
+        let hit = Finding {
+            rule: 'A',
+            path: "x.rs".into(),
+            line: 2,
+            message: String::new(),
+        };
+        let miss = Finding {
+            line: 3,
+            ..Finding {
+                rule: 'A',
+                path: "x.rs".into(),
+                line: 0,
+                message: String::new(),
+            }
+        };
+        assert!(allowed(&allow, &hit));
+        assert!(!allowed(&allow, &miss));
+        let any_line = Finding {
+            rule: 'B',
+            path: "y.rs".into(),
+            line: 99,
+            message: String::new(),
+        };
+        assert!(allowed(&allow, &any_line));
+    }
+
+    #[test]
+    fn workspace_is_lint_clean() {
+        // The real scan over the real tree: keeps the repo honest without
+        // waiting for CI.
+        let root = repo_root();
+        let findings: Vec<Finding> = rule_a(&root)
+            .into_iter()
+            .chain(rule_b(&root))
+            .chain(rule_c(&root))
+            .collect();
+        let allow = load_allowlist(&root.join("xtask/lint-allow.txt"));
+        let active: Vec<&Finding> = findings.iter().filter(|f| !allowed(&allow, f)).collect();
+        assert!(active.is_empty(), "lint findings: {active:#?}");
+    }
+}
