@@ -200,7 +200,7 @@ fn spec_reads(p: &PipelinePlan, partition_count: usize) -> Vec<ResourceId> {
     match &p.source {
         SourceSpec::Table(_) => {}
         SourceSpec::Scan { prune, .. } => {
-            r.extend(prune.bloom.iter().map(|&(f, _)| ResourceId::Filter(f)));
+            r.extend(prune.bloom.iter().map(|&(f, _, _)| ResourceId::Filter(f)));
         }
         SourceSpec::Buffer(b) => r.push(ResourceId::Buffer(*b)),
     }

@@ -30,12 +30,14 @@ pub struct BloomFilter {
     block_shift: u32,
     num_blocks: u64,
     inserted: u64,
-    /// Inclusive `[min, max]` over the *raw* `Int64` key values inserted,
-    /// tracked only when the builder observes them (single-column `Int64`
-    /// keys). Scans compare it against block zone maps: a storage block
-    /// whose key range is disjoint from this range cannot contain a true
-    /// semi-join match, so it can be skipped before decode.
-    key_range: Option<(i64, i64)>,
+    /// Per key-attribute position: inclusive `[min, max]` over the *raw*
+    /// `Int64` values inserted at that position of the (possibly composite)
+    /// key, tracked only when the builder observes them. Scans compare
+    /// these against block zone maps: a storage block whose column range is
+    /// disjoint from *any* key position's range cannot contain a true
+    /// semi-join match, so it can be skipped before decode. Index 0 is the
+    /// single-column range that landed in PR 6.
+    key_ranges: Vec<Option<(i64, i64)>>,
 }
 
 impl BloomFilter {
@@ -56,7 +58,7 @@ impl BloomFilter {
             block_shift: if num_blocks == 1 { 64 } else { block_shift },
             num_blocks,
             inserted: 0,
-            key_range: None,
+            key_ranges: Vec::new(),
         }
     }
 
@@ -151,8 +153,10 @@ impl BloomFilter {
             *a |= *b;
         }
         self.inserted += other.inserted;
-        if let Some((lo, hi)) = other.key_range {
-            self.observe_key_range(lo, hi);
+        for (pos, r) in other.key_ranges.iter().enumerate() {
+            if let Some((lo, hi)) = r {
+                self.observe_key_range_at(pos, *lo, *hi);
+            }
         }
         Ok(())
     }
@@ -204,8 +208,10 @@ impl BloomFilter {
         }
         self.inserted += others.iter().map(|o| o.inserted).sum::<u64>();
         for o in others {
-            if let Some((lo, hi)) = o.key_range {
-                self.observe_key_range(lo, hi);
+            for (pos, r) in o.key_ranges.iter().enumerate() {
+                if let Some((lo, hi)) = r {
+                    self.observe_key_range_at(pos, *lo, *hi);
+                }
             }
         }
         Ok(())
@@ -216,18 +222,34 @@ impl BloomFilter {
         self.inserted
     }
 
-    /// Widen the tracked key range to cover `[min, max]`.
+    /// Widen the tracked key range at position 0 to cover `[min, max]`
+    /// (the single-column form; composite keys use
+    /// [`Self::observe_key_range_at`]).
     pub fn observe_key_range(&mut self, min: i64, max: i64) {
-        self.key_range = Some(match self.key_range {
+        self.observe_key_range_at(0, min, max);
+    }
+
+    /// Widen the tracked range of key-attribute position `pos` to cover
+    /// `[min, max]`.
+    pub fn observe_key_range_at(&mut self, pos: usize, min: i64, max: i64) {
+        if self.key_ranges.len() <= pos {
+            self.key_ranges.resize(pos + 1, None);
+        }
+        self.key_ranges[pos] = Some(match self.key_ranges[pos] {
             Some((lo, hi)) => (lo.min(min), hi.max(max)),
             None => (min, max),
         });
     }
 
-    /// The inclusive `[min, max]` over inserted raw `Int64` keys, when the
-    /// builder tracked it.
+    /// The inclusive `[min, max]` over inserted raw `Int64` keys at
+    /// position 0, when the builder tracked it.
     pub fn key_range(&self) -> Option<(i64, i64)> {
-        self.key_range
+        self.key_range_at(0)
+    }
+
+    /// The tracked key range of key-attribute position `pos`.
+    pub fn key_range_at(&self, pos: usize) -> Option<(i64, i64)> {
+        self.key_ranges.get(pos).copied().flatten()
     }
 
     /// Raw filter words (bit-pattern comparisons in tests and diagnostics).
@@ -258,7 +280,7 @@ impl BloomFilter {
             block_shift: self.block_shift,
             num_blocks: self.num_blocks,
             inserted: 0,
-            key_range: None,
+            key_ranges: Vec::new(),
         }
     }
 }
@@ -398,6 +420,30 @@ mod tests {
         let mut c = BloomFilter::with_capacity(100, 0.02);
         c.merge_parallel(&[&a, &b], 2).unwrap();
         assert_eq!(c.key_range(), Some((-3, 200)));
+    }
+
+    /// Composite keys track one range per key-attribute position and merge
+    /// them elementwise; position 0 stays the legacy single-column API.
+    #[test]
+    fn multi_position_key_ranges_track_and_merge() {
+        let mut a = BloomFilter::with_capacity(100, 0.02);
+        a.observe_key_range_at(0, 10, 20);
+        a.observe_key_range_at(1, -5, 5);
+        assert_eq!(a.key_range(), Some((10, 20)), "pos 0 == key_range()");
+        assert_eq!(a.key_range_at(1), Some((-5, 5)));
+        assert_eq!(a.key_range_at(2), None, "untracked position");
+        let mut b = a.empty_clone();
+        assert_eq!(b.key_range_at(1), None, "empty_clone resets all ranges");
+        b.observe_key_range_at(1, 100, 110);
+        b.observe_key_range_at(2, 7, 7);
+        a.merge(&b).unwrap();
+        assert_eq!(a.key_range_at(0), Some((10, 20)));
+        assert_eq!(a.key_range_at(1), Some((-5, 110)), "elementwise widen");
+        assert_eq!(a.key_range_at(2), Some((7, 7)), "longer vec extends");
+        let mut c = BloomFilter::with_capacity(100, 0.02);
+        c.merge_parallel(&[&a, &b], 2).unwrap();
+        assert_eq!(c.key_range_at(1), Some((-5, 110)));
+        assert_eq!(c.key_range_at(2), Some((7, 7)));
     }
 
     #[test]

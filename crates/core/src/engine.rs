@@ -99,6 +99,21 @@ pub struct QueryOptions {
     /// Memory cap for transfer-phase materialization (the "+spill" setup).
     pub spill_limit_bytes: Option<usize>,
     pub spill_dir: PathBuf,
+    /// Global memory budget shared by *all* materializing sinks of a query
+    /// through one `MemoryGovernor`: when the summed resident bytes cross
+    /// it, the largest evictable sink is told to push its chunks to disk.
+    /// Independent of the per-buffer `spill_limit_bytes` cap. Defaults to
+    /// `RPT_MEMORY_BUDGET` when set, else unlimited.
+    pub memory_budget_bytes: Option<usize>,
+    /// Write spill runs block-encoded (RLE / frame-of-reference Int64,
+    /// dictionary-coded Utf8) instead of the decoded raw layout. Defaults
+    /// to `RPT_SPILL_ENCODING` (`off` disables — the parity leg); restored
+    /// chunks are identical either way.
+    pub spill_encoding: bool,
+    /// Let the global scheduler prefetch spilled partitions with low-band
+    /// `SpillIo` tasks so restore I/O overlaps upstream execution.
+    /// Defaults to `RPT_SPILL_PREFETCH` (`off` disables).
+    pub spill_prefetch: bool,
     /// §4.3: skip trivial PK-side semi-joins.
     pub prune_trivial: bool,
     /// §4.3: skip the backward pass when the join order is aligned with the
@@ -154,6 +169,9 @@ impl QueryOptions {
             work_budget: None,
             spill_limit_bytes: None,
             spill_dir: std::env::temp_dir(),
+            memory_budget_bytes: rpt_exec::memory_budget_from_env(),
+            spill_encoding: rpt_exec::spill_encoding_from_env(),
+            spill_prefetch: rpt_exec::spill_prefetch_from_env(),
             prune_trivial: true,
             prune_backward: true,
             bloom_fpr: 0.02,
@@ -246,6 +264,26 @@ impl QueryOptions {
     pub fn with_spill(mut self, limit: usize, dir: impl Into<PathBuf>) -> Self {
         self.spill_limit_bytes = Some(limit);
         self.spill_dir = dir.into();
+        self
+    }
+
+    /// Set (or clear) the query-wide memory budget enforced by the shared
+    /// [`rpt_storage::MemoryGovernor`].
+    pub fn with_memory_budget(mut self, budget: Option<usize>) -> Self {
+        self.memory_budget_bytes = budget;
+        self
+    }
+
+    /// Enable or disable block-encoded spill runs (`false` writes the
+    /// decoded raw layout — the parity path).
+    pub fn with_spill_encoding(mut self, spill_encoding: bool) -> Self {
+        self.spill_encoding = spill_encoding;
+        self
+    }
+
+    /// Enable or disable scheduler-overlapped spill prefetch.
+    pub fn with_spill_prefetch(mut self, spill_prefetch: bool) -> Self {
+        self.spill_prefetch = spill_prefetch;
         self
     }
 
@@ -377,6 +415,10 @@ pub struct Database {
 
 impl Database {
     pub fn new() -> Self {
+        // Spill files are tagged with the writing process id; sweep runs
+        // left behind by dead processes (crashes, kills) from the default
+        // spill directory once per database startup.
+        rpt_storage::sweep_orphan_spill_files(&std::env::temp_dir());
         Database {
             catalog: Catalog::new(),
         }
@@ -488,6 +530,9 @@ impl Database {
             .with_workers(workers)
             .with_agg_fast(opts.agg_fast)
             .with_storage_encoding(opts.storage_encoding)
+            .with_spill_encoding(opts.spill_encoding)
+            .with_spill_prefetch(opts.spill_prefetch)
+            .with_memory_budget(opts.memory_budget_bytes)
             .with_verify(opts.plan_verify);
         if let Some(b) = opts.work_budget {
             ctx = ctx.with_budget(b);

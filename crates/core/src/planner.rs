@@ -584,25 +584,26 @@ impl<'q> Planner<'q> {
                 format!("{dir} createbf {src_name}"),
             )?;
             states[*source].stream = materialized;
-            let single_key = (tgt_keys.len() == 1).then(|| tgt_keys[0]);
+            let probe_keys = tgt_keys.clone();
             states[*target].stream.ops.push(OpSpec::ProbeBloom {
                 filter_id,
                 key_cols: tgt_keys,
             });
             // Zone-map push-down of the transferred predicate: when the
-            // target is still a base scan and the (single) probe key is an
-            // `Int64` base column, record the `(filter, column)` pair so
-            // the scan can skip blocks whose key range is disjoint from
-            // the Bloom filter's observed build-key range. The ProbeBF op
-            // above remains in the pipeline — pruning only removes blocks
-            // it would have fully rejected anyway.
-            if let Some(pos) = single_key {
+            // target is still a base scan, record a `(filter, key
+            // position, column)` triple for every probe key that is an
+            // `Int64` base column, so the scan can skip blocks whose key
+            // range is disjoint from the Bloom filter's observed build-key
+            // range at the same position. The ProbeBF op above remains in
+            // the pipeline — pruning only removes blocks it would have
+            // fully rejected anyway.
+            for (key_pos, pos) in probe_keys.into_iter().enumerate() {
                 let (kr, kc) = states[*target].stream.layout[pos];
                 debug_assert_eq!(kr, *target);
                 let key_type = self.q.relations[kr].table.schema.field(kc).data_type;
                 if key_type == DataType::Int64 {
                     if let SourceSpec::Scan { prune, .. } = &mut states[*target].stream.source {
-                        prune.bloom.push((filter_id, kc));
+                        prune.bloom.push((filter_id, key_pos, kc));
                     }
                 }
             }

@@ -74,6 +74,30 @@ pub fn repartition_elide_from_env() -> bool {
         .is_ok_and(|v| v.eq_ignore_ascii_case("off") || v == "0" || v.eq_ignore_ascii_case("false"))
 }
 
+/// Process default for the query-wide memory budget: `RPT_MEMORY_BUDGET`
+/// in bytes (`None` when unset/unparsable — no governor, only the legacy
+/// per-buffer spill caps apply). The forced-spill CI leg sets a tiny value
+/// so every materializing sink spills.
+pub fn memory_budget_from_env() -> Option<usize> {
+    std::env::var("RPT_MEMORY_BUDGET").ok()?.parse().ok()
+}
+
+/// Process default for the block-encoded spill format: enabled unless
+/// `RPT_SPILL_ENCODING` is set to `off`/`0`/`false` (spill files then use
+/// the legacy decoded chunk format — the CI parity leg).
+pub fn spill_encoding_from_env() -> bool {
+    !std::env::var("RPT_SPILL_ENCODING")
+        .is_ok_and(|v| v.eq_ignore_ascii_case("off") || v == "0" || v.eq_ignore_ascii_case("false"))
+}
+
+/// Process default for overlapped spill restore I/O (SpillIo pool tasks
+/// that prefetch+decode spilled runs while upstream pipelines execute):
+/// enabled unless `RPT_SPILL_PREFETCH` is set to `off`/`0`/`false`.
+pub fn spill_prefetch_from_env() -> bool {
+    !std::env::var("RPT_SPILL_PREFETCH")
+        .is_ok_and(|v| v.eq_ignore_ascii_case("off") || v == "0" || v.eq_ignore_ascii_case("false"))
+}
+
 /// How thoroughly plans and Preserve-routed chunks are verified.
 ///
 /// `Strict` runs the static plan verifier before execution, the per-chunk
@@ -240,6 +264,23 @@ pub struct Metrics {
     /// rules, per-chunk Preserve-route partition checks, and access-log
     /// reconciliations (only counted when `VerifyMode` is on).
     pub verify_checks_run: AtomicU64,
+    /// Bytes written to spill files (encoded, on-disk form).
+    pub spill_bytes_written: AtomicU64,
+    /// Bytes read back from spill files on restore.
+    pub spill_bytes_read: AtomicU64,
+    /// Running-maximum gauge: decoded (logical) spill bytes × 100 over
+    /// encoded spill bytes — 200 means the block codecs halved the spill.
+    pub spill_compression_ratio_pct: AtomicU64,
+    /// Spilled-run restores served from a completed SpillIo prefetch.
+    pub spill_prefetch_hits: AtomicU64,
+    /// Spilled-run restores that read the file synchronously.
+    pub spill_prefetch_misses: AtomicU64,
+    /// Whole-buffer evictions requested by the memory governor.
+    pub spill_victim_evictions: AtomicU64,
+    /// Nanoseconds of SpillIo prefetch work that ran while at least one
+    /// other worker was busy — the overlapped-I/O win, the way
+    /// `sched_overlap_tasks` proves partition overlap.
+    pub spill_io_overlap_nanos: AtomicU64,
     /// Per-pipeline (label, rows-into-sink) trace, for case studies.
     pub pipeline_trace: Mutex<Vec<(String, u64)>>,
 }
@@ -388,6 +429,13 @@ impl Metrics {
             sort_merge_tasks: self.sort_merge_tasks.load(Ordering::Relaxed),
             sort_max_run_rows: self.sort_max_run_rows.load(Ordering::Relaxed),
             verify_checks_run: self.verify_checks_run.load(Ordering::Relaxed),
+            spill_bytes_written: self.spill_bytes_written.load(Ordering::Relaxed),
+            spill_bytes_read: self.spill_bytes_read.load(Ordering::Relaxed),
+            spill_compression_ratio_pct: self.spill_compression_ratio_pct.load(Ordering::Relaxed),
+            spill_prefetch_hits: self.spill_prefetch_hits.load(Ordering::Relaxed),
+            spill_prefetch_misses: self.spill_prefetch_misses.load(Ordering::Relaxed),
+            spill_victim_evictions: self.spill_victim_evictions.load(Ordering::Relaxed),
+            spill_io_overlap_nanos: self.spill_io_overlap_nanos.load(Ordering::Relaxed),
         }
     }
 }
@@ -425,6 +473,13 @@ pub struct MetricsSummary {
     pub sort_merge_tasks: u64,
     pub sort_max_run_rows: u64,
     pub verify_checks_run: u64,
+    pub spill_bytes_written: u64,
+    pub spill_bytes_read: u64,
+    pub spill_compression_ratio_pct: u64,
+    pub spill_prefetch_hits: u64,
+    pub spill_prefetch_misses: u64,
+    pub spill_victim_evictions: u64,
+    pub spill_io_overlap_nanos: u64,
 }
 
 impl MetricsSummary {
@@ -504,7 +559,23 @@ pub struct ExecContext {
     /// builds default to `Strict`). Gates the runtime Preserve-route
     /// checks and the observed-access shadow log.
     pub verify: VerifyMode,
+    /// Query-wide memory governor all materializing sinks register with
+    /// (`None` = no global budget, only per-buffer caps apply). Built from
+    /// `QueryOptions::memory_budget_bytes` / `RPT_MEMORY_BUDGET`.
+    pub governor: Option<Arc<rpt_storage::MemoryGovernor>>,
+    /// Write spill runs in the block-encoded format (defaults from
+    /// `RPT_SPILL_ENCODING`; `off` uses the legacy decoded chunk format).
+    pub spill_encoding: bool,
+    /// Prefetch+decode spilled runs on SpillIo pool tasks ahead of the
+    /// merge (defaults from `RPT_SPILL_PREFETCH`).
+    pub spill_prefetch: bool,
+    /// Process-unique query id baked into spill file names (orphan-sweep
+    /// forensics and lifecycle tests).
+    pub query_id: u64,
 }
+
+/// Process-wide query-id allocator for [`ExecContext::query_id`].
+static QUERY_ID: AtomicU64 = AtomicU64::new(0);
 
 impl Default for ExecContext {
     fn default() -> Self {
@@ -528,6 +599,11 @@ impl ExecContext {
             agg_fast: agg_fast_from_env(),
             storage_encoding: storage_encoding_from_env(),
             verify: VerifyMode::from_env(),
+            governor: memory_budget_from_env()
+                .map(|b| Arc::new(rpt_storage::MemoryGovernor::new(b))),
+            spill_encoding: spill_encoding_from_env(),
+            spill_prefetch: spill_prefetch_from_env(),
+            query_id: QUERY_ID.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -586,6 +662,25 @@ impl ExecContext {
     /// Set the sink partition count (normalized to a power of two).
     pub fn with_partitions(mut self, partitions: usize) -> Self {
         self.partition_count = rpt_common::normalize_partition_count(partitions);
+        self
+    }
+
+    /// Install a query-wide memory governor with the given byte budget
+    /// (`None` removes it).
+    pub fn with_memory_budget(mut self, budget_bytes: Option<usize>) -> Self {
+        self.governor = budget_bytes.map(|b| Arc::new(rpt_storage::MemoryGovernor::new(b)));
+        self
+    }
+
+    /// Choose the spill format: block-encoded (default) or legacy decoded.
+    pub fn with_spill_encoding(mut self, on: bool) -> Self {
+        self.spill_encoding = on;
+        self
+    }
+
+    /// Enable or disable SpillIo restore prefetch tasks.
+    pub fn with_spill_prefetch(mut self, on: bool) -> Self {
+        self.spill_prefetch = on;
         self
     }
 

@@ -92,6 +92,11 @@ enum Task {
     MergeSetup { pipe: usize },
     /// Merge and seal one sink partition (fires that partition's grains).
     Merge { pipe: usize, part: usize },
+    /// Prefetch one partition's spilled runs from disk into memory so the
+    /// later `Merge` task restores from cache. Always low-band: it is pure
+    /// I/O overlap, never on the critical path, and touches no resource
+    /// grains (the slot mutex serializes it against the merge).
+    SpillIo { pipe: usize, part: usize },
     /// Publish whole-resource results after all partition merges.
     Finish { pipe: usize },
 }
@@ -234,11 +239,21 @@ struct Sched {
 
 /// Result of executing one task outside the lock.
 enum Done {
-    Opened { chunks: usize },
+    Opened {
+        chunks: usize,
+    },
     Sunk,
-    SetupPartitioned { parts: usize },
+    SetupPartitioned {
+        parts: usize,
+        /// Partitions with spilled runs worth a `SpillIo` prefetch task.
+        prefetch: Vec<usize>,
+    },
     SetupSerial,
     MergedPart,
+    /// A `SpillIo` task finished after `nanos` of I/O + decode.
+    Prefetched {
+        nanos: u64,
+    },
     Finished,
 }
 
@@ -272,6 +287,9 @@ impl Engine<'_> {
             }
             Task::MergeSetup { pipe } => format!("[scheduler] {what} merge-setup p{pipe}"),
             Task::Merge { pipe, part } => format!("[scheduler] {what} merge p{pipe}/part{part}"),
+            Task::SpillIo { pipe, part } => {
+                format!("[scheduler] {what} spill-io p{pipe}/part{part}")
+            }
             Task::Finish { pipe } => format!("[scheduler] {what} finish p{pipe}"),
         };
         self.ctx.metrics.trace_entry(label, s.seq);
@@ -531,11 +549,16 @@ impl Engine<'_> {
                 if self.info[pipe].partitioned {
                     let merger = Arc::new(p.sink.make_merger(states, self.ctx)?);
                     let parts = merger.partitions();
+                    let prefetch = if self.ctx.spill_prefetch {
+                        merger.prefetch_parts()
+                    } else {
+                        Vec::new()
+                    };
                     self.runtimes[pipe]
                         .merger
                         .set(merger)
                         .map_err(|_| Error::Exec("pipeline merger set twice".into()))?;
-                    Ok(Done::SetupPartitioned { parts })
+                    Ok(Done::SetupPartitioned { parts, prefetch })
                 } else {
                     combine_finalize(states, self.res)?;
                     Ok(Done::SetupSerial)
@@ -548,6 +571,18 @@ impl Engine<'_> {
                     .expect("merge task before setup")
                     .merge_partition(part, self.ctx, self.res)?;
                 Ok(Done::MergedPart)
+            }
+            Task::SpillIo { pipe, part } => {
+                let t0 = Instant::now();
+                // The merger always exists here (SpillIo tasks are enqueued
+                // after it is set); the prefetch itself is a no-op if the
+                // merge already took the slot.
+                if let Some(merger) = self.runtimes[pipe].merger.get() {
+                    merger.prefetch_partition(part, self.ctx)?;
+                }
+                Ok(Done::Prefetched {
+                    nanos: t0.elapsed().as_nanos() as u64,
+                })
             }
             Task::Finish { pipe } => {
                 let merger = self.runtimes[pipe]
@@ -601,9 +636,16 @@ impl Engine<'_> {
                     self.try_start_groups(s, pipe);
                 }
             }
-            (Task::MergeSetup { pipe }, Done::SetupPartitioned { parts }) => {
+            (Task::MergeSetup { pipe }, Done::SetupPartitioned { parts, prefetch }) => {
                 s.pipes[pipe].merge_left = parts;
                 s.merge_tasks += parts as u64;
+                // Prefetch tasks are enqueued first so FIFO workers start
+                // the spill reads before the merges that consume them; they
+                // never gate completion (a prefetch racing its merge
+                // degrades to a no-op on the taken slot).
+                for part in prefetch {
+                    self.enqueue(s, Task::SpillIo { pipe, part });
+                }
                 for part in 0..parts {
                     self.enqueue(s, Task::Merge { pipe, part });
                 }
@@ -624,6 +666,16 @@ impl Engine<'_> {
                 }
                 if s.pipes[pipe].merge_left == 0 {
                     self.enqueue(s, Task::Finish { pipe });
+                }
+            }
+            (Task::SpillIo { .. }, Done::Prefetched { nanos }) => {
+                // The worker decremented its own busy count before apply,
+                // so `busy >= 1` means at least one *other* worker executed
+                // a task while this prefetch ran — genuinely overlapped
+                // spill I/O.
+                if s.busy >= 1 {
+                    let m = &self.ctx.metrics;
+                    m.add(&m.spill_io_overlap_nanos, nanos);
                 }
             }
             (Task::Finish { pipe }, Done::Finished) => {

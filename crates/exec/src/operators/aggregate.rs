@@ -23,6 +23,7 @@ use crate::aggregate::AggregateState;
 use crate::context::ExecContext;
 use crate::expr::AggExpr;
 use rpt_common::{DataChunk, DataType, Error, Partitioner, Result, Schema, Utf8Dict};
+use rpt_storage::GovernedHandle;
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -38,12 +39,27 @@ pub struct AggregateSink {
     /// Reusable identity row-index buffer for the single-partition path
     /// (no per-chunk `Vec` allocation).
     ident: Vec<u32>,
+    /// Unevictable governor registration (group tables must stay
+    /// addressable); residency is a documented estimate, see
+    /// [`AggregateSink::report_residency`].
+    governed: Option<GovernedHandle>,
 }
 
 impl AggregateSink {
     /// Number of distinct groups across this worker's partitions.
     pub fn num_groups(&self) -> usize {
         self.parts.iter().map(AggregateState::num_groups).sum()
+    }
+
+    /// Report an *estimate* of the group tables' footprint to the
+    /// governor: distinct groups × 16 bytes per output column (key codes +
+    /// accumulators). Group tables cannot spill, so precision only affects
+    /// how early the evictable buffers get pushed out.
+    fn report_residency(&self) {
+        if let Some(h) = &self.governed {
+            let per_group = self.output_schema.len().max(1).saturating_mul(16);
+            h.update(self.num_groups().saturating_mul(per_group));
+        }
     }
 }
 
@@ -70,7 +86,9 @@ impl Sink for AggregateSink {
             self.ident.clear();
             self.ident.extend(0..n as u32);
             let (part, ident) = (&mut self.parts[0], &self.ident);
-            return part.update_rows(&chunk, &inputs, ident, &keys);
+            part.update_rows(&chunk, &inputs, ident, &keys)?;
+            self.report_residency();
+            return Ok(());
         }
         let mut rows_by_part: Vec<Vec<u32>> = vec![Vec::new(); self.partitioner.count()];
         for (row, &h) in keys.hashes.iter().enumerate() {
@@ -81,6 +99,7 @@ impl Sink for AggregateSink {
                 self.parts[p].update_rows(&chunk, &inputs, &rows, &keys)?;
             }
         }
+        self.report_residency();
         Ok(())
     }
 
@@ -115,7 +134,9 @@ impl Sink for AggregateSink {
         self.ident.clear();
         self.ident.extend(0..n as u32);
         let (state, ident) = (&mut self.parts[part], &self.ident);
-        state.update_rows(&chunk, &inputs, ident, &keys)
+        state.update_rows(&chunk, &inputs, ident, &keys)?;
+        self.report_residency();
+        Ok(())
     }
 
     fn combine(&mut self, other: Box<dyn Sink>) -> Result<()> {
@@ -124,6 +145,7 @@ impl Sink for AggregateSink {
         for (mine, theirs) in self.parts.iter_mut().zip(other.parts) {
             mine.merge(theirs)?;
         }
+        self.report_residency();
         Ok(())
     }
 
@@ -221,6 +243,7 @@ impl SinkFactory for AggregateFactory {
             output_schema: self.output_schema.clone(),
             rows: 0,
             ident: Vec::new(),
+            governed: ctx.governor.as_ref().map(|g| g.register(false)),
         }))
     }
 

@@ -14,15 +14,15 @@ use super::create_bf::{
     combine_blooms, insert_into_blooms, merge_publish_blooms, BloomBuild, BloomSink,
 };
 use super::{
-    check_partition_route, downcast_sink, lock_or_err, PartitionMerger, PartitionSlots, ResourceId,
-    Resources, Sink, SinkFactory,
+    check_partition_route, downcast_sink, lock_or_err, record_spill_stats, PartitionMerger,
+    PartitionSlots, ResourceId, Resources, Sink, SinkFactory,
 };
-use crate::context::ExecContext;
+use crate::context::{ExecContext, Metrics};
 use rpt_common::{DataChunk, Error, Partitioner, Result, Schema};
 use rpt_storage::{SpillBuffer, SpillStats};
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 pub struct BufferSink {
     buf_id: usize,
@@ -38,6 +38,8 @@ pub struct BufferSink {
     keyless_seeded: bool,
     blooms: Vec<BloomBuild>,
     rows: u64,
+    /// Metrics sink for spill accounting on the ctx-less `finalize` path.
+    metrics: Arc<Metrics>,
 }
 
 impl BufferSink {
@@ -118,8 +120,10 @@ impl Sink for BufferSink {
 
     fn combine(&mut self, other: Box<dyn Sink>) -> Result<()> {
         let other = downcast_sink::<BufferSink>(other)?;
-        for (mine, theirs) in self.parts.iter_mut().zip(other.parts) {
-            for c in theirs.into_chunks()? {
+        for (mine, mut theirs) in self.parts.iter_mut().zip(other.parts) {
+            let chunks = theirs.take_chunks()?;
+            record_spill_stats(&self.metrics, theirs.stats());
+            for c in chunks {
                 mine.push(c)?;
             }
         }
@@ -133,15 +137,21 @@ impl Sink for BufferSink {
     }
 
     fn finalize(self: Box<Self>, res: &Resources) -> Result<()> {
-        if self.parts.len() == 1 {
-            let mut parts = self.parts;
-            res.publish_buffer(self.buf_id, parts.remove(0).into_chunks()?)?;
+        let this = *self;
+        if this.parts.len() == 1 {
+            let mut parts = this.parts;
+            let mut buf = parts.remove(0);
+            let chunks = buf.take_chunks()?;
+            record_spill_stats(&this.metrics, buf.stats());
+            res.publish_buffer(this.buf_id, chunks)?;
         } else {
-            for (p, buf) in self.parts.into_iter().enumerate() {
-                res.publish_buffer_partition(self.buf_id, p, buf.into_chunks()?)?;
+            for (p, mut buf) in this.parts.into_iter().enumerate() {
+                let chunks = buf.take_chunks()?;
+                record_spill_stats(&this.metrics, buf.stats());
+                res.publish_buffer_partition(this.buf_id, p, chunks)?;
             }
         }
-        for b in self.blooms {
+        for b in this.blooms {
             b.publish(res)?;
         }
         Ok(())
@@ -178,7 +188,16 @@ impl SinkFactory for BufferSinkFactory {
             .map(|l| (l / ctx.threads / partitioner.count()).max(1))
             .unwrap_or(usize::MAX);
         let parts = (0..partitioner.count())
-            .map(|_| SpillBuffer::new(self.schema.clone(), per_buffer_limit, ctx.spill_dir.clone()))
+            .map(|_| {
+                let mut buf =
+                    SpillBuffer::new(self.schema.clone(), per_buffer_limit, ctx.spill_dir.clone())
+                        .with_encoding(ctx.spill_encoding)
+                        .with_file_tag(ctx.query_id);
+                if let Some(gov) = &ctx.governor {
+                    buf = buf.with_governor(gov.register(true));
+                }
+                buf
+            })
             .collect();
         Ok(Box::new(BufferSink {
             buf_id: self.buf_id,
@@ -189,6 +208,7 @@ impl SinkFactory for BufferSinkFactory {
             keyless_seeded: false,
             blooms: BloomBuild::from_specs(&self.blooms),
             rows: 0,
+            metrics: ctx.metrics.clone(),
         }))
     }
 
@@ -249,11 +269,13 @@ impl PartitionMerger for BufferMerger {
         self.partitions
     }
 
-    fn merge_partition(&self, part: usize, _ctx: &ExecContext, res: &Resources) -> Result<()> {
+    fn merge_partition(&self, part: usize, ctx: &ExecContext, res: &Resources) -> Result<()> {
         let mut chunks = Vec::new();
         let mut rows = 0u64;
-        for buf in self.slots.take(part)? {
-            for c in buf.into_chunks()? {
+        for mut buf in self.slots.take(part)? {
+            let restored = buf.take_chunks()?;
+            record_spill_stats(&ctx.metrics, buf.stats());
+            for c in restored {
                 rows = rows.saturating_add(c.num_rows() as u64);
                 chunks.push(c);
             }
@@ -271,5 +293,27 @@ impl PartitionMerger for BufferMerger {
 
     fn max_task_rows(&self) -> u64 {
         self.max_task_rows.load(Ordering::Relaxed)
+    }
+
+    fn prefetch_parts(&self) -> Vec<usize> {
+        (0..self.partitions)
+            .filter(|&p| {
+                let mut any = false;
+                let _ = self.slots.with_slot(p, |bufs| {
+                    any = bufs.iter().any(SpillBuffer::has_spilled);
+                    Ok(())
+                });
+                any
+            })
+            .collect()
+    }
+
+    fn prefetch_partition(&self, part: usize, _ctx: &ExecContext) -> Result<()> {
+        self.slots.with_slot(part, |bufs| {
+            for b in bufs.iter_mut() {
+                b.prefetch()?;
+            }
+            Ok(())
+        })
     }
 }

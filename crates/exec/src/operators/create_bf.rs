@@ -71,7 +71,7 @@ pub fn insert_into_blooms(chunk: &DataChunk, blooms: &mut [BloomBuild], ctx: &Ex
                 build.filter.insert_hash(h);
             }
         }
-        observe_i64_key_range(chunk, build);
+        observe_i64_key_ranges(chunk, build);
     }
     m.add(&m.bloom_nanos, t0.elapsed().as_nanos() as u64);
     m.add(
@@ -80,31 +80,32 @@ pub fn insert_into_blooms(chunk: &DataChunk, blooms: &mut [BloomBuild], ctx: &Ex
     );
 }
 
-/// Track the raw value range of single-column flat `Int64` keys on the
-/// partial filter, so scans can prune storage blocks whose zone maps are
-/// disjoint from the transferred filter's key range. Dictionary-backed
-/// vectors are skipped: their `Int64` payload holds codes, not values.
-fn observe_i64_key_range(chunk: &DataChunk, build: &mut BloomBuild) {
-    let [col] = build.spec.key_cols[..] else {
-        return;
-    };
-    let v = &chunk.columns[col];
-    if v.is_dict() {
-        return;
-    }
-    let ColumnData::Int64(vals) = &v.data else {
-        return;
-    };
-    let mut bounds: Option<(i64, i64)> = None;
-    for i in 0..chunk.num_rows() {
-        let p = chunk.physical_index(i);
-        if v.is_valid(p) {
-            let x = vals[p];
-            bounds = Some(bounds.map_or((x, x), |(a, b)| (a.min(x), b.max(x))));
+/// Track the raw value range of every flat `Int64` key column on the
+/// partial filter (one tracked range per key position), so scans can prune
+/// storage blocks whose zone maps are disjoint from the transferred
+/// filter's key range on *any* key column — multi-column joins prune too.
+/// Dictionary-backed vectors are skipped: their `Int64` payload holds
+/// codes, not values.
+fn observe_i64_key_ranges(chunk: &DataChunk, build: &mut BloomBuild) {
+    for (pos, &col) in build.spec.key_cols.clone().iter().enumerate() {
+        let v = &chunk.columns[col];
+        if v.is_dict() {
+            continue;
         }
-    }
-    if let Some((lo, hi)) = bounds {
-        build.filter.observe_key_range(lo, hi);
+        let ColumnData::Int64(vals) = &v.data else {
+            continue;
+        };
+        let mut bounds: Option<(i64, i64)> = None;
+        for i in 0..chunk.num_rows() {
+            let p = chunk.physical_index(i);
+            if v.is_valid(p) {
+                let x = vals[p];
+                bounds = Some(bounds.map_or((x, x), |(a, b)| (a.min(x), b.max(x))));
+            }
+        }
+        if let Some((lo, hi)) = bounds {
+            build.filter.observe_key_range_at(pos, lo, hi);
+        }
     }
 }
 

@@ -18,6 +18,7 @@ use super::{
 use crate::context::ExecContext;
 use crate::hash_table::{JoinHashTable, PartitionedHashTable};
 use rpt_common::{DataChunk, Error, Partitioner, Result, Schema};
+use rpt_storage::{chunk_size_bytes, GovernedHandle};
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -31,6 +32,20 @@ pub struct HashBuildSink {
     partitioner: Partitioner,
     schema: Schema,
     rows: u64,
+    /// Unevictable governor registration: build rows must stay addressable
+    /// in memory, so this only contributes pressure that pushes evictable
+    /// buffers to spill earlier.
+    governed: Option<GovernedHandle>,
+    resident_bytes: usize,
+}
+
+impl HashBuildSink {
+    fn report_residency(&mut self, added_bytes: usize) {
+        if let Some(h) = &self.governed {
+            self.resident_bytes = self.resident_bytes.saturating_add(added_bytes);
+            h.update(self.resident_bytes);
+        }
+    }
 }
 
 /// Build one partition's table; an empty partition still carries the
@@ -52,6 +67,7 @@ impl Sink for HashBuildSink {
         let n = chunk.num_rows() as u64;
         insert_into_blooms(&chunk, &mut self.blooms, ctx);
         ctx.metrics.add(&ctx.metrics.hash_build_rows, n);
+        self.report_residency(chunk_size_bytes(&chunk));
         if self.partitioner.is_single() {
             self.parts[0].push(chunk.flattened());
         } else {
@@ -79,6 +95,7 @@ impl Sink for HashBuildSink {
         let n = chunk.num_rows() as u64;
         insert_into_blooms(&chunk, &mut self.blooms, ctx);
         ctx.metrics.add(&ctx.metrics.hash_build_rows, n);
+        self.report_residency(chunk_size_bytes(&chunk));
         ctx.metrics.add(&ctx.metrics.repartition_elided_chunks, 1);
         self.parts[part].push(chunk.flattened());
         self.rows = self.rows.saturating_add(n);
@@ -87,11 +104,14 @@ impl Sink for HashBuildSink {
 
     fn combine(&mut self, other: Box<dyn Sink>) -> Result<()> {
         let other = downcast_sink::<HashBuildSink>(other)?;
+        let taken = other.resident_bytes;
         for (mine, theirs) in self.parts.iter_mut().zip(other.parts) {
             mine.extend(theirs);
         }
         combine_blooms(&mut self.blooms, &other.blooms)?;
         self.rows = self.rows.saturating_add(other.rows);
+        // The other sink's registration released on drop; adopt its bytes.
+        self.report_residency(taken);
         Ok(())
     }
 
@@ -160,6 +180,8 @@ impl SinkFactory for HashBuildFactory {
             partitioner,
             schema: self.schema.clone(),
             rows: 0,
+            governed: ctx.governor.as_ref().map(|g| g.register(false)),
+            resident_bytes: 0,
         }))
     }
 

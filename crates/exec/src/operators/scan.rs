@@ -24,11 +24,13 @@ pub struct ScanPrune {
     /// `=` literal absent from the dictionary can never match any row of
     /// the column.
     pub utf8_predicates: Vec<(usize, CmpOp, String)>,
-    /// `(filter_id, col)` pairs: transferred Bloom filters probed on base
-    /// column `col` downstream of this scan. When the published filter
-    /// tracked a raw key range, blocks of all-valid rows disjoint from it
-    /// cannot contain a true semi-join match and are skipped.
-    pub bloom: Vec<(usize, usize)>,
+    /// `(filter_id, key_pos, col)` triples: transferred Bloom filters
+    /// probed on base column `col` (the `key_pos`-th probe key) downstream
+    /// of this scan. When the published filter tracked a raw key range at
+    /// that position, blocks of all-valid rows disjoint from it cannot
+    /// contain a true semi-join match and are skipped — multi-column join
+    /// keys contribute one independent range per position.
+    pub bloom: Vec<(usize, usize, usize)>,
 }
 
 impl ScanPrune {
@@ -157,8 +159,8 @@ impl Source for TableScan {
         // Resolve transferred key ranges once per scan; filters named here
         // are in `reads()`, so they are published before the scan opens.
         let mut bloom_ranges = Vec::with_capacity(self.prune.bloom.len());
-        for &(filter_id, col) in &self.prune.bloom {
-            if let Some((lo, hi)) = res.filter(filter_id)?.key_range() {
+        for &(filter_id, key_pos, col) in &self.prune.bloom {
+            if let Some((lo, hi)) = res.filter(filter_id)?.key_range_at(key_pos) {
                 bloom_ranges.push((col, lo, hi));
             }
         }
@@ -190,7 +192,7 @@ impl Source for TableScan {
             .prune
             .bloom
             .iter()
-            .map(|&(filter_id, _)| ResourceId::Filter(filter_id))
+            .map(|&(filter_id, _, _)| ResourceId::Filter(filter_id))
             .collect();
         ids.sort();
         ids.dedup();

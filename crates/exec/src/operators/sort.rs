@@ -28,7 +28,8 @@
 //! order), decoding nothing.
 
 use super::{
-    downcast_sink, PartitionMerger, PartitionSlots, ResourceId, Resources, Sink, SinkFactory,
+    downcast_sink, record_spill_stats, PartitionMerger, PartitionSlots, ResourceId, Resources,
+    Sink, SinkFactory,
 };
 use crate::context::{ExecContext, Metrics};
 use rpt_common::chunk::chunk_ranges;
@@ -236,15 +237,20 @@ enum Run {
     /// TopK mode: resident rows, pruned back to `bound` whenever the run
     /// passes `2 × bound`.
     TopK(Option<DataChunk>),
-    /// Full-sort mode: raw chunks behind the spill cap.
-    Full(SpillBuffer),
+    /// Full-sort mode: raw chunks behind the spill cap (boxed — the
+    /// buffer dwarfs the TopK variant).
+    Full(Box<SpillBuffer>),
 }
 
 impl Run {
-    fn into_chunks(self) -> Result<Vec<DataChunk>> {
+    fn into_chunks(self, metrics: &Metrics) -> Result<Vec<DataChunk>> {
         match self {
             Run::TopK(data) => Ok(data.into_iter().collect()),
-            Run::Full(buf) => buf.into_chunks(),
+            Run::Full(mut buf) => {
+                let chunks = buf.take_chunks()?;
+                record_spill_stats(metrics, buf.stats());
+                Ok(chunks)
+            }
         }
     }
 }
@@ -344,7 +350,7 @@ impl Sink for SortSink {
         for (mine, theirs) in self.parts.iter_mut().zip(other.parts) {
             match (mine, theirs) {
                 (Run::TopK(run), theirs @ Run::TopK(_)) => {
-                    for c in theirs.into_chunks()? {
+                    for c in theirs.into_chunks(&self.metrics)? {
                         Self::push_topk(
                             &self.keys,
                             bound.ok_or_else(|| Error::Exec("TopK run without bound".into()))?,
@@ -355,7 +361,7 @@ impl Sink for SortSink {
                     }
                 }
                 (Run::Full(buf), theirs) => {
-                    for c in theirs.into_chunks()? {
+                    for c in theirs.into_chunks(&self.metrics)? {
                         buf.push(c)?;
                     }
                 }
@@ -375,7 +381,7 @@ impl Sink for SortSink {
         let mut sorted = Vec::with_capacity(self.parts.len());
         let mut total_pruned = 0u64;
         for run in self.parts {
-            let gathered = concat(&self.schema, run.into_chunks()?)?;
+            let gathered = concat(&self.schema, run.into_chunks(&self.metrics)?)?;
             let (chunk, pruned) = sort_run(&self.keys, &gathered, self.bound);
             total_pruned = total_pruned.saturating_add(pruned);
             self.metrics
@@ -435,11 +441,19 @@ impl SinkFactory for SortSinkFactory {
         let runs = (0..parts)
             .map(|_| match bound {
                 Some(_) => Run::TopK(None),
-                None => Run::Full(SpillBuffer::new(
-                    self.schema.clone(),
-                    per_buffer_limit,
-                    ctx.spill_dir.clone(),
-                )),
+                None => {
+                    let mut buf = SpillBuffer::new(
+                        self.schema.clone(),
+                        per_buffer_limit,
+                        ctx.spill_dir.clone(),
+                    )
+                    .with_encoding(ctx.spill_encoding)
+                    .with_file_tag(ctx.query_id);
+                    if let Some(gov) = &ctx.governor {
+                        buf = buf.with_governor(gov.register(true));
+                    }
+                    Run::Full(Box::new(buf))
+                }
             })
             .collect();
         Ok(Box::new(SortSink {
@@ -523,7 +537,7 @@ impl PartitionMerger for SortMerger {
     fn merge_partition(&self, part: usize, ctx: &ExecContext, _res: &Resources) -> Result<()> {
         let mut chunks = Vec::new();
         for run in self.slots.take(part)? {
-            chunks.extend(run.into_chunks()?);
+            chunks.extend(run.into_chunks(&ctx.metrics)?);
         }
         let gathered = concat(&self.schema, chunks)?;
         self.max_task_rows
@@ -555,6 +569,32 @@ impl PartitionMerger for SortMerger {
 
     fn max_task_rows(&self) -> u64 {
         self.max_task_rows.load(Ordering::Relaxed)
+    }
+
+    fn prefetch_parts(&self) -> Vec<usize> {
+        (0..self.partitions)
+            .filter(|&p| {
+                let mut any = false;
+                let _ = self.slots.with_slot(p, |runs| {
+                    any = runs
+                        .iter()
+                        .any(|r| matches!(r, Run::Full(b) if b.has_spilled()));
+                    Ok(())
+                });
+                any
+            })
+            .collect()
+    }
+
+    fn prefetch_partition(&self, part: usize, _ctx: &ExecContext) -> Result<()> {
+        self.slots.with_slot(part, |runs| {
+            for r in runs.iter_mut() {
+                if let Run::Full(b) = r {
+                    b.prefetch()?;
+                }
+            }
+            Ok(())
+        })
     }
 }
 

@@ -14,19 +14,25 @@
 //!   `Int64`, dictionary-coded `Utf8`, raw fallbacks;
 //! * [`disk`] — a simple chunk-streamed on-disk columnar format for the
 //!   §5.4 "on-disk" experiments;
-//! * [`spill`] — a memory-capped chunk buffer that spills to disk, used to
-//!   reproduce the "+spill" configuration where the materialized
-//!   intermediate results of the transfer phase do not fit in memory.
+//! * [`spill`] — a memory-capped chunk buffer that spills to disk in the
+//!   block-encoded spill format, used to reproduce the "+spill"
+//!   configuration where the materialized intermediate results of the
+//!   transfer phase do not fit in memory;
+//! * [`govern`] — the query-wide [`govern::MemoryGovernor`] that picks
+//!   spill victims across all materializing sinks instead of enforcing
+//!   isolated per-buffer caps.
 
 pub mod block;
 pub mod disk;
 pub mod encode;
+pub mod govern;
 pub mod spill;
 pub mod stats;
 pub mod table;
 
 pub use block::{Block, BlockColumn, BlockTable, ZoneMap};
 pub use encode::EncodedBlock;
+pub use govern::{sweep_orphan_spill_files, GovernedHandle, MemoryGovernor};
 pub use spill::{SpillBuffer, SpillStats};
 pub use stats::{ColumnStats, TableStats};
-pub use table::Table;
+pub use table::{chunk_size_bytes, Table};

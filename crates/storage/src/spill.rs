@@ -1,31 +1,85 @@
-//! Memory-capped chunk buffers that spill to disk.
+//! Memory-capped chunk buffers that spill to disk — in the *block-encoded*
+//! spill format by default.
 //!
 //! The "+spill" configuration of §5.4 limits available memory to ≈50% of
 //! RPT's peak usage so that the data chunks materialized after the forward
 //! pass (inside `CreateBF` operators) overflow to disk. [`SpillBuffer`]
-//! reproduces this: chunks are kept in memory until the cap is hit, then
-//! appended to a spill file; reading them back is a sequential scan —
-//! matching the paper's observation that backward-pass re-reads are cheap
-//! because they are sequential.
+//! reproduces this; since PR 10 the spilled runs are written through the
+//! PR-6 block codecs instead of as decoded vectors:
+//!
+//! ```text
+//! file   = frame*                          (one frame per spilled chunk)
+//! frame  = u32 byte_len | chunk
+//! chunk  = u64 nrows | column*             (selection is flattened away)
+//! column = u8 tag | u8 has_validity | [validity bytes] | payload
+//! tag    = 0 RawI64   payload: nrows × i64 LE
+//!          1 RawF64   payload: nrows × f64 LE
+//!          2 RawUtf8  payload: (u32 len | bytes)*
+//!          3 RawBool  payload: nrows bytes
+//!          4 RleI64   payload: u32 nruns | nruns × i64 | nruns × u32
+//!          5 ForI64   payload: i64 base | u8 width | u32 nwords | words
+//!          6 DictUtf8 payload: nrows × u32 codes (shared per-file dict)
+//! ```
+//!
+//! `Int64` columns run through [`encode_i64`] (RLE or frame-of-reference
+//! bit-packing, NULL slots pinned to the block minimum so they cost no
+//! width); dictionary-backed `Utf8` columns spill their 32-bit codes and
+//! the buffer keeps **one** dictionary reference per column for the whole
+//! file — a chunk arriving with a *different* dictionary falls back to raw
+//! strings for that chunk. Each spilled chunk also records its row count
+//! and per-column [`ZoneMap`]s ([`SpillBuffer::spilled_zones`]). Restores
+//! are insertion-ordered: forced-spill output is chunk-for-chunk identical
+//! to the resident path. The legacy decoded format remains available as
+//! the parity leg (`with_encoding(false)` / `RPT_SPILL_ENCODING=off`).
+//!
+//! Residency is governed two ways: the per-buffer `mem_limit_bytes` cap
+//! (the pre-PR-10 behaviour) and, when a [`MemoryGovernor`] handle is
+//! attached, query-wide victim selection — the governor may flag this
+//! buffer as the spill victim after any push, which evicts *all* resident
+//! chunks to the spill file (order preserved).
 
 use crate::disk::{read_chunk, write_chunk};
+use crate::encode::{decode_i64, encode_i64, EncodedBlock};
+use crate::govern::GovernedHandle;
 use crate::table::chunk_size_bytes;
-use rpt_common::{DataChunk, Result, Schema};
+use crate::ZoneMap;
+use rpt_common::{ColumnData, DataChunk, Error, Result, Schema, Utf8Dict, Vector};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Seek, SeekFrom, Write};
+use std::io::{BufWriter, Read, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// Statistics about a buffer's spill behaviour (reported by Figure 15's
-/// harness).
+/// harness and aggregated into the engine's `spill_*` metrics family).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SpillStats {
     pub chunks_in_memory: usize,
     pub chunks_spilled: usize,
     pub bytes_in_memory: usize,
+    /// Decoded (logical) bytes of the spilled chunks.
     pub bytes_spilled: usize,
+    /// Bytes actually written to the spill file (encoded form).
+    pub encoded_bytes_spilled: usize,
+    /// Bytes read back from the spill file.
+    pub bytes_read: usize,
+    /// Restores served from a completed prefetch (once per file restore).
+    pub prefetch_hits: usize,
+    /// Restores that had to read the file synchronously.
+    pub prefetch_misses: usize,
+    /// Governor-requested whole-buffer evictions serviced.
+    pub victim_evictions: usize,
+}
+
+/// Where chunk `i` (in insertion order) currently lives.
+#[derive(Debug, Clone, Copy)]
+enum ChunkSlot {
+    /// Index into `in_memory`.
+    Mem(usize),
+    /// Sequence number in the spill file.
+    Spill(usize),
 }
 
 /// A buffer of data chunks with a memory cap; overflow goes to a temp file.
@@ -34,31 +88,75 @@ pub struct SpillBuffer {
     mem_limit_bytes: usize,
     in_memory: Vec<DataChunk>,
     mem_bytes: usize,
+    /// Insertion-order map of every pushed chunk to its current home.
+    order: Vec<ChunkSlot>,
+    /// Once-per-file dictionary reference per column (set by the first
+    /// dict-backed chunk spilled for that column).
+    dicts: Vec<Option<Arc<Utf8Dict>>>,
+    /// Per spilled chunk: one zone map per column.
+    zones: Vec<Vec<ZoneMap>>,
+    /// Per spilled chunk: encoded frame size in bytes.
+    frame_sizes: Vec<usize>,
+    /// Decoded chunks read ahead of the merge by a SpillIo pool task.
+    prefetched: Option<Vec<DataChunk>>,
     spill_path: Option<PathBuf>,
     spill_writer: Option<BufWriter<File>>,
     stats: SpillStats,
     spill_dir: PathBuf,
+    /// Block-encoded spill format (default); `false` = legacy decoded.
+    encoded: bool,
+    /// Query id baked into the spill file name (orphan-sweep forensics).
+    file_tag: u64,
+    governor: Option<GovernedHandle>,
 }
 
 impl SpillBuffer {
     /// `mem_limit_bytes = usize::MAX` disables spilling (pure in-memory
     /// buffering, the default configuration).
     pub fn new(schema: Schema, mem_limit_bytes: usize, spill_dir: impl Into<PathBuf>) -> Self {
+        let ncols = schema.len();
         SpillBuffer {
             schema,
             mem_limit_bytes,
             in_memory: Vec::new(),
             mem_bytes: 0,
+            order: Vec::new(),
+            dicts: vec![None; ncols],
+            zones: Vec::new(),
+            frame_sizes: Vec::new(),
+            prefetched: None,
             spill_path: None,
             spill_writer: None,
             stats: SpillStats::default(),
             spill_dir: spill_dir.into(),
+            encoded: true,
+            file_tag: 0,
+            governor: None,
         }
     }
 
     /// Unbounded in-memory buffer.
     pub fn unbounded(schema: Schema) -> Self {
         SpillBuffer::new(schema, usize::MAX, std::env::temp_dir())
+    }
+
+    /// Choose the spill format: block-encoded (default) or legacy decoded.
+    pub fn with_encoding(mut self, encoded: bool) -> Self {
+        self.encoded = encoded;
+        self
+    }
+
+    /// Tag spill file names with the owning query id.
+    pub fn with_file_tag(mut self, query_id: u64) -> Self {
+        self.file_tag = query_id;
+        self
+    }
+
+    /// Attach a global memory-governor registration: every push reports
+    /// residency, and a victim flag evicts all resident chunks.
+    pub fn with_governor(mut self, handle: GovernedHandle) -> Self {
+        self.governor = Some(handle);
+        self
     }
 
     /// Append a chunk (flattens it first so spilled bytes are exact).
@@ -69,25 +167,68 @@ impl SpillBuffer {
         }
         let sz = chunk_size_bytes(&flat);
         if self.mem_bytes + sz > self.mem_limit_bytes {
-            self.spill_chunk(&flat, sz)?;
+            let seq = self.spill_chunk(&flat, sz)?;
+            self.order.push(ChunkSlot::Spill(seq));
         } else {
             self.mem_bytes += sz;
             self.stats.chunks_in_memory += 1;
             self.stats.bytes_in_memory += sz;
+            self.order.push(ChunkSlot::Mem(self.in_memory.len()));
             self.in_memory.push(flat);
+        }
+        let flagged = match &self.governor {
+            Some(h) => h.update(self.mem_bytes),
+            None => false,
+        };
+        if flagged {
+            self.evict_resident()?;
+            if let Some(h) = &self.governor {
+                h.update(self.mem_bytes);
+            }
         }
         Ok(())
     }
 
-    fn spill_chunk(&mut self, chunk: &DataChunk, sz: usize) -> Result<()> {
-        if self.spill_writer.is_none() {
+    /// Service a governor victim flag: move every resident chunk to the
+    /// spill file, preserving insertion order.
+    fn evict_resident(&mut self) -> Result<()> {
+        if self.in_memory.is_empty() {
+            return Ok(());
+        }
+        let mut resident: Vec<Option<DataChunk>> = std::mem::take(&mut self.in_memory)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let mut order = std::mem::take(&mut self.order);
+        for slot in order.iter_mut() {
+            if let ChunkSlot::Mem(i) = *slot {
+                let chunk = resident[i]
+                    .take()
+                    .ok_or_else(|| Error::Exec("resident chunk evicted twice".into()))?;
+                let sz = chunk_size_bytes(&chunk);
+                let seq = self.spill_chunk(&chunk, sz)?;
+                *slot = ChunkSlot::Spill(seq);
+            }
+        }
+        self.order = order;
+        self.mem_bytes = 0;
+        self.stats.chunks_in_memory = 0;
+        self.stats.bytes_in_memory = 0;
+        self.stats.victim_evictions += 1;
+        Ok(())
+    }
+
+    /// Write one chunk to the spill file; returns its sequence number.
+    fn spill_chunk(&mut self, chunk: &DataChunk, sz: usize) -> Result<usize> {
+        if self.spill_path.is_none() {
             std::fs::create_dir_all(&self.spill_dir)?;
             let id = SPILL_COUNTER.fetch_add(1, Ordering::Relaxed);
-            let path = self
-                .spill_dir
-                .join(format!("rpt_spill_{}_{id}.bin", std::process::id()));
+            let path = self.spill_dir.join(format!(
+                "rpt_spill_{}_q{}_{id}.bin",
+                std::process::id(),
+                self.file_tag
+            ));
             let file = std::fs::OpenOptions::new()
-                .read(true)
                 .write(true)
                 .create(true)
                 .truncate(true)
@@ -95,11 +236,42 @@ impl SpillBuffer {
             self.spill_path = Some(path);
             self.spill_writer = Some(BufWriter::new(file));
         }
-        let w = self.spill_writer.as_mut().expect("writer just created");
-        write_chunk(w, chunk)?;
+        if self.spill_writer.is_none() {
+            // Writer was closed by a prefetch; reopen for appending.
+            let path = self
+                .spill_path
+                .as_ref()
+                .ok_or_else(|| Error::Exec("spill path missing".into()))?;
+            let file = std::fs::OpenOptions::new().append(true).open(path)?;
+            self.spill_writer = Some(BufWriter::new(file));
+        }
+        let frame = if self.encoded {
+            self.encode_chunk(chunk)?
+        } else {
+            let mut buf = Vec::new();
+            write_chunk(&mut buf, chunk)?;
+            buf
+        };
+        let w = self
+            .spill_writer
+            .as_mut()
+            .ok_or_else(|| Error::Exec("spill writer missing".into()))?;
+        w.write_all(&(frame.len() as u32).to_le_bytes())?;
+        w.write_all(&frame)?;
+        let nrows = chunk.num_rows();
+        self.zones.push(
+            chunk
+                .columns
+                .iter()
+                .map(|c| ZoneMap::compute(c, 0, nrows))
+                .collect(),
+        );
+        self.frame_sizes.push(frame.len() + 4);
+        let seq = self.stats.chunks_spilled;
         self.stats.chunks_spilled += 1;
         self.stats.bytes_spilled += sz;
-        Ok(())
+        self.stats.encoded_bytes_spilled += frame.len() + 4;
+        Ok(seq)
     }
 
     pub fn stats(&self) -> SpillStats {
@@ -110,27 +282,391 @@ impl SpillBuffer {
         self.stats.chunks_in_memory + self.stats.chunks_spilled
     }
 
-    /// Finish writing and return all chunks in insertion-group order
-    /// (spilled chunks first, then in-memory ones). The backward pass and
-    /// join phase re-scan through this.
-    pub fn into_chunks(mut self) -> Result<Vec<DataChunk>> {
-        let mut out = Vec::with_capacity(self.total_chunks());
+    /// Has any chunk gone to disk (i.e. would a restore touch the file)?
+    pub fn has_spilled(&self) -> bool {
+        self.stats.chunks_spilled > 0
+    }
+
+    /// Per spilled chunk (sequence order): one zone map per column.
+    pub fn spilled_zones(&self) -> &[Vec<ZoneMap>] {
+        &self.zones
+    }
+
+    /// Read and decode the spilled run ahead of the restore (the SpillIo
+    /// pool-task body). Idempotent; a later [`Self::take_chunks`] consumes
+    /// the cache and counts a prefetch hit. Safe to race with the merge
+    /// task: whoever takes the buffer first wins, the other no-ops.
+    pub fn prefetch(&mut self) -> Result<()> {
+        if self.stats.chunks_spilled == 0 || self.prefetched.is_some() {
+            return Ok(());
+        }
+        self.flush_writer()?;
+        let chunks = self.read_spilled()?;
+        self.prefetched = Some(chunks);
+        Ok(())
+    }
+
+    fn flush_writer(&mut self) -> Result<()> {
         if let Some(mut w) = self.spill_writer.take() {
             w.flush()?;
-            let mut file = w
-                .into_inner()
-                .map_err(|e| rpt_common::Error::Exec(format!("spill flush failed: {e}")))?;
-            file.seek(SeekFrom::Start(0))?;
-            let mut r = BufReader::new(file);
-            for _ in 0..self.stats.chunks_spilled {
-                out.push(read_chunk(&mut r, &self.schema)?);
-            }
         }
-        out.append(&mut self.in_memory);
+        Ok(())
+    }
+
+    /// Sequentially read every spilled frame back (decoding per the file's
+    /// format) and account the bytes read.
+    fn read_spilled(&mut self) -> Result<Vec<DataChunk>> {
+        let path = self
+            .spill_path
+            .as_ref()
+            .ok_or_else(|| Error::Exec("spilled chunks without a spill file".into()))?;
+        let mut r = std::io::BufReader::new(File::open(path)?);
+        let mut out = Vec::with_capacity(self.stats.chunks_spilled);
+        for _ in 0..self.stats.chunks_spilled {
+            let mut len = [0u8; 4];
+            r.read_exact(&mut len)?;
+            let len = u32::from_le_bytes(len) as usize;
+            let mut frame = vec![0u8; len];
+            r.read_exact(&mut frame)?;
+            self.stats.bytes_read += len + 4;
+            let chunk = if self.encoded {
+                self.decode_chunk(&frame)?
+            } else {
+                read_chunk(&mut frame.as_slice(), &self.schema)?
+            };
+            out.push(chunk);
+        }
+        Ok(out)
+    }
+
+    /// Finish writing and return all chunks in **insertion order**: the
+    /// restore interleaves spilled and resident chunks exactly as pushed,
+    /// so a forced-spill run is chunk-identical to a resident one. Consumes
+    /// the prefetch cache when one covers the whole file (a prefetch hit);
+    /// otherwise reads the file synchronously (a miss). Removes the spill
+    /// file. The backward pass and join phase re-scan through this.
+    pub fn take_chunks(&mut self) -> Result<Vec<DataChunk>> {
+        let spilled: Vec<DataChunk> = if self.stats.chunks_spilled > 0 {
+            match self.prefetched.take() {
+                Some(cache) if cache.len() == self.stats.chunks_spilled => {
+                    self.stats.prefetch_hits += 1;
+                    cache
+                }
+                _ => {
+                    // No prefetch, or the cache went stale (more chunks
+                    // spilled after it was built): synchronous re-read.
+                    self.stats.prefetch_misses += 1;
+                    self.flush_writer()?;
+                    self.read_spilled()?
+                }
+            }
+        } else {
+            Vec::new()
+        };
+        let mut spilled: Vec<Option<DataChunk>> = spilled.into_iter().map(Some).collect();
+        let mut resident: Vec<Option<DataChunk>> = std::mem::take(&mut self.in_memory)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let mut out = Vec::with_capacity(self.order.len());
+        for slot in std::mem::take(&mut self.order) {
+            let chunk = match slot {
+                ChunkSlot::Mem(i) => resident.get_mut(i).and_then(Option::take),
+                ChunkSlot::Spill(s) => spilled.get_mut(s).and_then(Option::take),
+            };
+            out.push(chunk.ok_or_else(|| Error::Exec("spill restore slot consumed twice".into()))?);
+        }
+        drop(self.spill_writer.take());
         if let Some(p) = self.spill_path.take() {
             std::fs::remove_file(p).ok();
         }
         Ok(out)
+    }
+
+    /// Consuming wrapper around [`Self::take_chunks`] (callers that do not
+    /// need the post-restore stats).
+    pub fn into_chunks(mut self) -> Result<Vec<DataChunk>> {
+        self.take_chunks()
+    }
+
+    // ---- block-encoded chunk (de)serialization ----
+
+    fn encode_chunk(&mut self, chunk: &DataChunk) -> Result<Vec<u8>> {
+        let nrows = chunk.num_rows();
+        let mut buf = Vec::with_capacity(64 + nrows);
+        buf.extend_from_slice(&(nrows as u64).to_le_bytes());
+        for (ci, col) in chunk.columns.iter().enumerate() {
+            self.encode_column(&mut buf, ci, col, nrows)?;
+        }
+        Ok(buf)
+    }
+
+    fn encode_column(
+        &mut self,
+        buf: &mut Vec<u8>,
+        ci: usize,
+        col: &Vector,
+        nrows: usize,
+    ) -> Result<()> {
+        // Dict-backed Utf8: spill 32-bit codes against the once-per-file
+        // dictionary reference; a chunk carrying a different dictionary
+        // falls back to raw strings for that chunk.
+        if let (Some(dict), ColumnData::Int64(codes)) = (&col.dict, &col.data) {
+            let same = match &self.dicts[ci] {
+                None => {
+                    self.dicts[ci] = Some(dict.clone());
+                    true
+                }
+                Some(d) => Arc::ptr_eq(d, dict),
+            };
+            if same {
+                buf.push(6);
+                write_validity(buf, col, nrows);
+                for (i, &code) in codes.iter().enumerate().take(nrows) {
+                    let code = if col.is_valid(i) { code as u32 } else { 0 };
+                    buf.extend_from_slice(&code.to_le_bytes());
+                }
+            } else {
+                let flat = col.decode_dict();
+                encode_raw_utf8(buf, &flat, nrows)?;
+            }
+            return Ok(());
+        }
+        match &col.data {
+            ColumnData::Int64(vals) => {
+                let enc = encode_i64(vals, col.validity.as_deref());
+                match enc {
+                    EncodedBlock::RleI64 { values, lengths } => {
+                        buf.push(4);
+                        write_validity(buf, col, nrows);
+                        buf.extend_from_slice(&(values.len() as u32).to_le_bytes());
+                        for v in &values {
+                            buf.extend_from_slice(&v.to_le_bytes());
+                        }
+                        for l in &lengths {
+                            buf.extend_from_slice(&l.to_le_bytes());
+                        }
+                    }
+                    EncodedBlock::ForI64 {
+                        base, width, words, ..
+                    } => {
+                        buf.push(5);
+                        write_validity(buf, col, nrows);
+                        buf.extend_from_slice(&base.to_le_bytes());
+                        buf.push(width);
+                        buf.extend_from_slice(&(words.len() as u32).to_le_bytes());
+                        for w in &words {
+                            buf.extend_from_slice(&w.to_le_bytes());
+                        }
+                    }
+                    _ => {
+                        buf.push(0);
+                        write_validity(buf, col, nrows);
+                        for v in vals {
+                            buf.extend_from_slice(&v.to_le_bytes());
+                        }
+                    }
+                }
+            }
+            ColumnData::Float64(vals) => {
+                buf.push(1);
+                write_validity(buf, col, nrows);
+                for v in vals {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            ColumnData::Utf8(_) => encode_raw_utf8(buf, col, nrows)?,
+            ColumnData::Bool(vals) => {
+                buf.push(3);
+                write_validity(buf, col, nrows);
+                buf.extend(vals.iter().map(|&b| b as u8));
+            }
+        }
+        Ok(())
+    }
+
+    fn decode_chunk(&self, frame: &[u8]) -> Result<DataChunk> {
+        let mut r = Cursor { buf: frame, pos: 0 };
+        let nrows = r.u64()? as usize;
+        let mut columns = Vec::with_capacity(self.schema.len());
+        for ci in 0..self.schema.len() {
+            columns.push(self.decode_column(&mut r, ci, nrows)?);
+        }
+        Ok(DataChunk::new(columns))
+    }
+
+    fn decode_column(&self, r: &mut Cursor<'_>, ci: usize, nrows: usize) -> Result<Vector> {
+        let tag = r.u8()?;
+        let validity = if r.u8()? == 1 {
+            Some(
+                r.bytes(nrows)?
+                    .iter()
+                    .map(|&b| b != 0)
+                    .collect::<Vec<bool>>(),
+            )
+        } else {
+            None
+        };
+        let col = match tag {
+            0 => {
+                let mut v = Vec::with_capacity(nrows);
+                for _ in 0..nrows {
+                    v.push(r.i64()?);
+                }
+                Vector {
+                    data: ColumnData::Int64(v),
+                    validity,
+                    dict: None,
+                }
+            }
+            1 => {
+                let mut v = Vec::with_capacity(nrows);
+                for _ in 0..nrows {
+                    v.push(f64::from_le_bytes(r.array::<8>()?));
+                }
+                Vector {
+                    data: ColumnData::Float64(v),
+                    validity,
+                    dict: None,
+                }
+            }
+            2 => {
+                let mut v = Vec::with_capacity(nrows);
+                for _ in 0..nrows {
+                    let len = r.u32()? as usize;
+                    let bytes = r.bytes(len)?;
+                    v.push(
+                        String::from_utf8(bytes.to_vec())
+                            .map_err(|e| Error::Exec(format!("invalid utf8 in spill file: {e}")))?,
+                    );
+                }
+                Vector {
+                    data: ColumnData::Utf8(v),
+                    validity,
+                    dict: None,
+                }
+            }
+            3 => {
+                let bytes = r.bytes(nrows)?;
+                Vector {
+                    data: ColumnData::Bool(bytes.iter().map(|&b| b != 0).collect()),
+                    validity,
+                    dict: None,
+                }
+            }
+            4 => {
+                let nruns = r.u32()? as usize;
+                let mut values = Vec::with_capacity(nruns);
+                for _ in 0..nruns {
+                    values.push(r.i64()?);
+                }
+                let mut lengths = Vec::with_capacity(nruns);
+                for _ in 0..nruns {
+                    lengths.push(r.u32()?);
+                }
+                Vector {
+                    data: ColumnData::Int64(decode_i64(&EncodedBlock::RleI64 { values, lengths })),
+                    validity,
+                    dict: None,
+                }
+            }
+            5 => {
+                let base = r.i64()?;
+                let width = r.u8()?;
+                let nwords = r.u32()? as usize;
+                let mut words = Vec::with_capacity(nwords);
+                for _ in 0..nwords {
+                    words.push(u64::from_le_bytes(r.array::<8>()?));
+                }
+                Vector {
+                    data: ColumnData::Int64(decode_i64(&EncodedBlock::ForI64 {
+                        len: nrows as u32,
+                        base,
+                        width,
+                        words,
+                    })),
+                    validity,
+                    dict: None,
+                }
+            }
+            6 => {
+                let dict = self.dicts[ci].clone().ok_or_else(|| {
+                    Error::Exec("dict-coded spill column without dictionary".into())
+                })?;
+                let mut codes = Vec::with_capacity(nrows);
+                for _ in 0..nrows {
+                    codes.push(r.u32()? as i64);
+                }
+                Vector::from_dict_codes(codes, validity, dict)
+            }
+            other => return Err(Error::Exec(format!("bad spill column tag {other}"))),
+        };
+        Ok(col)
+    }
+}
+
+fn write_validity(buf: &mut Vec<u8>, col: &Vector, nrows: usize) {
+    match &col.validity {
+        Some(m) => {
+            buf.push(1);
+            buf.extend(m.iter().take(nrows).map(|&b| b as u8));
+        }
+        None => buf.push(0),
+    }
+}
+
+fn encode_raw_utf8(buf: &mut Vec<u8>, col: &Vector, nrows: usize) -> Result<()> {
+    let ColumnData::Utf8(vals) = &col.data else {
+        return Err(Error::Exec("raw utf8 encode on non-utf8 column".into()));
+    };
+    buf.push(2);
+    write_validity(buf, col, nrows);
+    for s in vals.iter().take(nrows) {
+        buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        buf.extend_from_slice(s.as_bytes());
+    }
+    Ok(())
+}
+
+/// Bounds-checked little-endian slice reader for spill frames.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| Error::Exec("truncated spill frame".into()))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let b = self.bytes(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(b);
+        Ok(a)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.array::<1>()?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.array::<4>()?))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.array::<8>()?))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.array::<8>()?))
     }
 }
 
@@ -159,7 +695,8 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rpt_common::{DataType, Field, ScalarValue, Vector};
+    use crate::govern::MemoryGovernor;
+    use rpt_common::{DataType, Field, ScalarValue};
 
     fn schema() -> Schema {
         Schema::new(vec![Field::new("x", DataType::Int64)])
@@ -192,15 +729,12 @@ mod tests {
         assert_eq!(st.chunks_spilled, 2);
         assert!(st.bytes_spilled >= 24);
         let chunks = b.into_chunks().unwrap();
-        // Spilled first, then in-memory.
+        // Insertion order: [1,2] resident, then the two spilled chunks.
         let all: Vec<i64> = chunks
             .iter()
             .flat_map(|c| c.rows().into_iter().map(|r| r[0].as_i64().unwrap()))
             .collect();
-        assert_eq!(all.len(), 5);
-        let mut sorted = all.clone();
-        sorted.sort_unstable();
-        assert_eq!(sorted, vec![1, 2, 3, 4, 5]);
+        assert_eq!(all, vec![1, 2, 3, 4, 5], "restore preserves push order");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -263,6 +797,215 @@ mod tests {
         let chunks = b.into_chunks().unwrap();
         assert_eq!(chunks[0].num_rows(), 2);
         assert_eq!(chunks[0].value(0, 0), ScalarValue::Int64(30));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn mixed_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("i", DataType::Int64),
+            Field::new("f", DataType::Float64),
+            Field::new("s", DataType::Utf8),
+            Field::new("b", DataType::Bool),
+        ])
+    }
+
+    fn mixed_chunk(n: usize, offset: i64) -> DataChunk {
+        let mut i = Vector::new_empty(DataType::Int64);
+        for k in 0..n {
+            if k % 7 == 3 {
+                i.push(&ScalarValue::Null).unwrap();
+            } else {
+                i.push(&ScalarValue::Int64(offset + (k as i64 % 40)))
+                    .unwrap();
+            }
+        }
+        DataChunk::new(vec![
+            i,
+            Vector::from_f64((0..n).map(|k| k as f64 / 3.0).collect()),
+            Vector::from_utf8((0..n).map(|k| format!("s{}", k % 5)).collect()),
+            Vector::from_bool((0..n).map(|k| k % 2 == 0).collect()),
+        ])
+    }
+
+    #[test]
+    fn encoded_spill_roundtrips_all_types() {
+        for encoded in [true, false] {
+            let dir = std::env::temp_dir().join(format!("rpt_spill_rt_{encoded}"));
+            let mut b = SpillBuffer::new(mixed_schema(), 0, &dir).with_encoding(encoded);
+            let c1 = mixed_chunk(200, 1_000_000);
+            let c2 = mixed_chunk(64, -50);
+            b.push(c1.clone()).unwrap();
+            b.push(c2.clone()).unwrap();
+            let restored = b.into_chunks().unwrap();
+            assert_eq!(restored.len(), 2);
+            for (orig, got) in [(&c1, &restored[0]), (&c2, &restored[1])] {
+                assert_eq!(orig.num_rows(), got.num_rows());
+                for (ri, row) in orig.rows().into_iter().enumerate() {
+                    assert_eq!(row, got.rows()[ri], "encoded={encoded} row {ri}");
+                }
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    /// The Int64/dict-Utf8 shape the bench corpus uses: small-range keys
+    /// bit-pack, dictionary columns spill 32-bit codes instead of strings.
+    #[test]
+    fn encoded_spill_is_smaller_than_decoded() {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("s", DataType::Utf8),
+        ]);
+        let dict = Utf8Dict::from_values(vec!["alpha-category", "beta-category", "gamma-category"]);
+        let make = || {
+            DataChunk::new(vec![
+                Vector::from_i64((0..512).map(|k| 100 + k % 40).collect()),
+                Vector::from_dict_codes((0..512).map(|k| k % 3).collect(), None, dict.clone()),
+            ])
+        };
+        let run = |encoded: bool| -> (usize, usize) {
+            let dir = std::env::temp_dir().join(format!("rpt_spill_sz_{encoded}"));
+            let mut b = SpillBuffer::new(schema.clone(), 0, &dir).with_encoding(encoded);
+            for _ in 0..4 {
+                b.push(make()).unwrap();
+            }
+            let st = b.stats();
+            let _ = b.into_chunks().unwrap();
+            std::fs::remove_dir_all(&dir).ok();
+            (st.encoded_bytes_spilled, st.bytes_spilled)
+        };
+        let (enc, dec_logical) = run(true);
+        let (raw, _) = run(false);
+        assert!(
+            enc * 2 <= raw,
+            "block-encoded spill ({enc}B) not ≥2× smaller than decoded ({raw}B)"
+        );
+        assert!(dec_logical > 0);
+    }
+
+    #[test]
+    fn dict_backed_columns_spill_codes_with_shared_dict() {
+        let schema = Schema::new(vec![Field::new("s", DataType::Utf8)]);
+        let dict = Utf8Dict::from_values(vec!["a", "b", "c"]);
+        let codes =
+            |v: Vec<i64>| DataChunk::new(vec![Vector::from_dict_codes(v, None, dict.clone())]);
+        let dir = std::env::temp_dir().join("rpt_spill_dict");
+        let mut b = SpillBuffer::new(schema.clone(), 0, &dir);
+        b.push(codes(vec![0, 2, 1, 2])).unwrap();
+        b.push(codes(vec![2, 2, 2])).unwrap();
+        // A chunk with a *different* dictionary must fall back to strings.
+        let other_dict = Utf8Dict::from_values(vec!["x", "y"]);
+        b.push(DataChunk::new(vec![Vector::from_dict_codes(
+            vec![1, 0],
+            None,
+            other_dict,
+        )]))
+        .unwrap();
+        let restored = b.into_chunks().unwrap();
+        assert!(
+            restored[0].columns[0].is_dict(),
+            "codes restore dict-backed"
+        );
+        assert!(
+            Arc::ptr_eq(restored[0].columns[0].dict.as_ref().unwrap(), &dict),
+            "restored dict is the shared per-file reference"
+        );
+        assert_eq!(restored[0].columns[0].utf8_at(1), "c");
+        assert!(!restored[2].columns[0].is_dict(), "foreign dict falls back");
+        assert_eq!(restored[2].columns[0].utf8_at(0), "y");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spilled_chunks_carry_zone_maps() {
+        let dir = std::env::temp_dir().join("rpt_spill_zones");
+        let mut b = SpillBuffer::new(schema(), 0, &dir);
+        b.push(chunk(vec![5, 9, 7])).unwrap();
+        b.push(chunk(vec![-2, 0])).unwrap();
+        assert_eq!(b.spilled_zones().len(), 2);
+        assert_eq!(b.spilled_zones()[0][0].i64_bounds(), Some((5, 9)));
+        assert_eq!(b.spilled_zones()[1][0].i64_bounds(), Some((-2, 0)));
+        let _ = b.into_chunks().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prefetch_hit_and_miss_accounting() {
+        let dir = std::env::temp_dir().join("rpt_spill_prefetch");
+        // Miss: restore without a prefetch.
+        let mut b = SpillBuffer::new(schema(), 0, &dir);
+        b.push(chunk(vec![1, 2])).unwrap();
+        let _ = b.take_chunks().unwrap();
+        assert_eq!(b.stats().prefetch_misses, 1);
+        assert_eq!(b.stats().prefetch_hits, 0);
+        assert!(b.stats().bytes_read > 0);
+        // Hit: prefetch, then restore from the cache.
+        let mut b = SpillBuffer::new(schema(), 0, &dir);
+        b.push(chunk(vec![3, 4])).unwrap();
+        b.prefetch().unwrap();
+        b.prefetch().unwrap(); // idempotent
+        let chunks = b.take_chunks().unwrap();
+        assert_eq!(chunks[0].value(0, 1), ScalarValue::Int64(4));
+        assert_eq!(b.stats().prefetch_hits, 1);
+        assert_eq!(b.stats().prefetch_misses, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_prefetch_cache_is_discarded() {
+        let dir = std::env::temp_dir().join("rpt_spill_stale");
+        let mut b = SpillBuffer::new(schema(), 0, &dir);
+        b.push(chunk(vec![1])).unwrap();
+        b.prefetch().unwrap();
+        b.push(chunk(vec![2])).unwrap(); // spills after the prefetch
+        let chunks = b.take_chunks().unwrap();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[1].value(0, 0), ScalarValue::Int64(2));
+        assert_eq!(b.stats().prefetch_misses, 1, "stale cache re-read");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn governor_victim_eviction_moves_resident_chunks_to_disk() {
+        let dir = std::env::temp_dir().join("rpt_spill_gov");
+        let gov = Arc::new(MemoryGovernor::new(64));
+        let mut b = SpillBuffer::new(schema(), usize::MAX, &dir).with_governor(gov.register(true));
+        b.push(chunk(vec![1, 2, 3])).unwrap(); // 24B resident, under budget
+        assert_eq!(b.stats().chunks_spilled, 0);
+        b.push(chunk(vec![4, 5, 6, 7, 8, 9])).unwrap(); // 72B total: evict
+        let st = b.stats();
+        assert_eq!(st.chunks_in_memory, 0, "eviction cleared residency");
+        assert_eq!(st.chunks_spilled, 2);
+        assert_eq!(st.victim_evictions, 1);
+        assert_eq!(gov.evictions(), 1);
+        let all: Vec<i64> = b
+            .into_chunks()
+            .unwrap()
+            .iter()
+            .flat_map(|c| c.rows().into_iter().map(|r| r[0].as_i64().unwrap()))
+            .collect();
+        assert_eq!(all, vec![1, 2, 3, 4, 5, 6, 7, 8, 9], "order preserved");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_name_carries_pid_and_query_id() {
+        let dir = std::env::temp_dir().join("rpt_spill_name");
+        let mut b = SpillBuffer::new(schema(), 0, &dir).with_file_tag(42);
+        b.push(chunk(vec![1])).unwrap();
+        let name = b
+            .spill_path
+            .as_ref()
+            .unwrap()
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .into_owned();
+        assert!(
+            name.starts_with(&format!("rpt_spill_{}_q42_", std::process::id())),
+            "{name}"
+        );
+        let _ = b.into_chunks().unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 }

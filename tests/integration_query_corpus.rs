@@ -460,3 +460,48 @@ fn single_thread_single_partition_is_bit_deterministic() {
         assert_eq!(a.rows, b.rows, "{}: nondeterministic output", q.id);
     }
 }
+
+/// The forced-spill leg of the corpus: every TPC-H corpus query under a
+/// 1 KiB query-wide memory budget (the governor pushes every materializing
+/// sink to disk) across partition counts and the global/stealing
+/// schedulers, still matching the naive reference row-for-row — and no
+/// spill file survives any query.
+#[test]
+fn tpch_corpus_under_tiny_memory_budget() {
+    let w = tpch(0.05, 42);
+    let db = database_for(&w);
+    let dir = std::env::temp_dir().join(format!("rpt_corpus_budget_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for q in TPCH_QUERIES {
+        let expected = reference_rows(&db, q);
+        let sql = q.sql();
+        for parts in [1usize, 8] {
+            for sched in [SchedulerKind::Global, SchedulerKind::Stealing] {
+                let mut opts = QueryOptions::new(Mode::RobustPredicateTransfer)
+                    .with_partition_count(parts)
+                    .with_scheduler(sched)
+                    .with_threads(2)
+                    .with_workers(4)
+                    .with_memory_budget(Some(1024));
+                opts.spill_dir = dir.clone();
+                let leg = format!("{} [budget parts={parts} sched={sched:?}]", q.id);
+                let r = db
+                    .query(&sql, &opts)
+                    .unwrap_or_else(|e| panic!("{leg}: query failed: {e}"));
+                assert_rows_match(&expected, &r.rows, &leg);
+            }
+        }
+    }
+    let leftovers = std::fs::read_dir(&dir)
+        .map(|it| {
+            it.filter(|e| {
+                e.as_ref()
+                    .map(|e| e.file_name().to_string_lossy().starts_with("rpt_spill_"))
+                    .unwrap_or(false)
+            })
+            .count()
+        })
+        .unwrap_or(0);
+    assert_eq!(leftovers, 0, "budgeted corpus leaked spill files");
+    std::fs::remove_dir_all(&dir).ok();
+}

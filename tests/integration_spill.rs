@@ -3,12 +3,16 @@
 //! including when the buffers are hash-partitioned and only some
 //! partitions overflow their share of the cap.
 
+use proptest::prelude::*;
 use rpt_common::hash::hash_i64;
 use rpt_common::{DataChunk, DataType, Field, Partitioner, ScalarValue, Schema, Vector};
 use rpt_core::{Database, Mode, QueryOptions};
 use rpt_exec::operators::buffer::{BufferSink, BufferSinkFactory};
-use rpt_exec::{BloomSink, ExecContext, JoinHashTable, Resources, Sink, SinkFactory};
+use rpt_exec::{
+    BloomSink, ExecContext, JoinHashTable, Resources, SchedulerKind, Sink, SinkFactory,
+};
 use rpt_storage::disk::{write_table, DiskTable};
+use rpt_storage::Table;
 use rpt_workloads::{tpch, Workload};
 
 fn database_for(w: &Workload) -> Database {
@@ -365,4 +369,280 @@ fn spill_works_multithreaded() {
     // SUM, so compare with the same ulp tolerance as the partitioned runs.
     assert_rows_approx_eq(&reference.sorted_rows(), &spilled_mt.sorted_rows(), "q3-mt");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+// --------------------------------------------- compressed spill + governor
+
+fn count_spill_files(d: &std::path::Path) -> usize {
+    std::fs::read_dir(d)
+        .map(|it| {
+            it.filter(|e| {
+                e.as_ref()
+                    .map(|e| e.file_name().to_string_lossy().starts_with("rpt_spill_"))
+                    .unwrap_or(false)
+            })
+            .count()
+        })
+        .unwrap_or(0)
+}
+
+/// The block-encoded spill format must at least halve the bytes written
+/// for compressible Int64 runs versus the decoded raw format, restore the
+/// exact same rows, and record the compression-ratio gauge — the PR's
+/// headline byte-reduction claim, asserted at the sink level where the
+/// input is controlled.
+#[test]
+fn encoded_spill_at_least_halves_written_bytes() {
+    let dir = std::env::temp_dir().join(format!("rpt_it_encspill_{}", std::process::id()));
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("v", DataType::Int64),
+    ]);
+    let mut legs = Vec::new();
+    for encoded in [true, false] {
+        // Pin to one partition: the `Resources` below declares a
+        // single-partition layout whatever RPT_PARTITION_COUNT says.
+        let ctx = ExecContext::new()
+            .with_partitions(1)
+            .with_spill(4 * 1024, &dir)
+            .with_spill_encoding(encoded);
+        let factory = BufferSinkFactory::new(0, schema.clone(), vec![]);
+        let mut sink = factory.make(&ctx).unwrap();
+        for c in 0..8i64 {
+            // Narrow-range keys (RLE/FOR-friendly) + a slowly growing value
+            // column: both land far under their 8-byte raw width.
+            let ks: Vec<i64> = (0..512).map(|j| 100 + (j % 40)).collect();
+            let vs: Vec<i64> = (0..512).map(|j| c * 512 + j).collect();
+            sink.sink(
+                DataChunk::new(vec![Vector::from_i64(ks), Vector::from_i64(vs)]),
+                &ctx,
+            )
+            .unwrap();
+        }
+        let res = Resources::new(1, 0, 0);
+        sink.finalize(&res).unwrap();
+        let rows: Vec<Vec<ScalarValue>> = res
+            .buffer(0)
+            .unwrap()
+            .iter()
+            .flat_map(|c| c.rows())
+            .collect();
+        let m = ctx.metrics.summary();
+        assert!(
+            m.spill_bytes_written > 0,
+            "encoded={encoded}: never spilled"
+        );
+        assert!(
+            m.spill_bytes_read >= m.spill_bytes_written,
+            "encoded={encoded}: restore read {} < wrote {}",
+            m.spill_bytes_read,
+            m.spill_bytes_written
+        );
+        legs.push((rows, m));
+    }
+    let (enc_rows, enc) = &legs[0];
+    let (raw_rows, raw) = &legs[1];
+    assert_eq!(enc_rows, raw_rows, "spill format changed restored rows");
+    assert!(
+        enc.spill_bytes_written * 2 <= raw.spill_bytes_written,
+        "encoded spill {}B not >=2x smaller than decoded {}B",
+        enc.spill_bytes_written,
+        raw.spill_bytes_written
+    );
+    assert!(
+        enc.spill_compression_ratio_pct >= 200,
+        "compression gauge {} below 200 (2x)",
+        enc.spill_compression_ratio_pct
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A sink dropped mid-query — spilled runs on disk, never finalized —
+/// must unlink its spill files on drop (the file-lifecycle guarantee the
+/// startup orphan sweep only backstops for killed processes).
+#[test]
+fn dropped_sink_mid_query_leaves_no_spill_files() {
+    let dir = std::env::temp_dir().join(format!("rpt_it_dropspill_{}", std::process::id()));
+    let schema = Schema::new(vec![Field::new("k", DataType::Int64)]);
+    let ctx = ExecContext::new().with_spill(1024, &dir);
+    let factory = BufferSinkFactory::new(0, schema, vec![]);
+    let mut sink = factory.make(&ctx).unwrap();
+    for _ in 0..4 {
+        sink.sink(
+            DataChunk::new(vec![Vector::from_i64((0..512).collect())]),
+            &ctx,
+        )
+        .unwrap();
+    }
+    assert!(count_spill_files(&dir) >= 1, "sink never spilled");
+    drop(sink);
+    assert_eq!(
+        count_spill_files(&dir),
+        0,
+        "dropped sink leaked spill files"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The query-wide memory governor: a tiny `memory_budget_bytes` makes the
+/// largest resident sink spill even though no per-buffer cap is set, the
+/// query result is unchanged, the eviction counter records it, and no
+/// spill file survives the query.
+#[test]
+fn memory_governor_evicts_across_sinks_without_changing_results() {
+    let w = tpch(0.05, 56);
+    let db = database_for(&w);
+    let dir = std::env::temp_dir().join(format!("rpt_it_govspill_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let qd = w.query("q3").unwrap();
+    let reference = db
+        .query(&qd.sql, &QueryOptions::new(Mode::RobustPredicateTransfer))
+        .unwrap();
+    let mut opts = QueryOptions::new(Mode::RobustPredicateTransfer)
+        .with_partition_count(4)
+        .with_memory_budget(Some(1024));
+    opts.spill_dir = dir.clone();
+    let governed = db.query(&qd.sql, &opts).unwrap();
+    assert_rows_approx_eq(
+        &reference.sorted_rows(),
+        &governed.sorted_rows(),
+        "q3-governed",
+    );
+    assert!(
+        governed.metrics.spill_victim_evictions >= 1,
+        "governor never evicted under a 1 KiB budget: {:?}",
+        governed.metrics
+    );
+    assert!(
+        governed.metrics.spill_bytes_written > 0,
+        "eviction wrote no spill bytes"
+    );
+    assert_eq!(count_spill_files(&dir), 0, "governed run leaked files");
+    // An unconstrained budget keeps everything resident: no evictions.
+    let roomy = db
+        .query(
+            &qd.sql,
+            &QueryOptions::new(Mode::RobustPredicateTransfer).with_memory_budget(Some(1 << 30)),
+        )
+        .unwrap();
+    assert_eq!(roomy.metrics.spill_victim_evictions, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Overlapped spill restore on the global scheduler: with one worker the
+/// FIFO queue runs every `SpillIo` prefetch before the merge that consumes
+/// it, so every spilled partition restores from cache (`prefetch_hits`);
+/// disabling prefetch forces the synchronous re-read path
+/// (`prefetch_misses`) — and with a single worker no overlap nanoseconds
+/// can ever be attributed. Both legs return identical rows.
+#[test]
+fn spill_prefetch_hits_cache_under_global_scheduler() {
+    let w = tpch(0.05, 57);
+    let db = database_for(&w);
+    let dir = std::env::temp_dir().join(format!("rpt_it_prefspill_{}", std::process::id()));
+    let qd = w.query("q3").unwrap();
+    let base = QueryOptions::new(Mode::RobustPredicateTransfer)
+        .with_partition_count(4)
+        .with_scheduler(SchedulerKind::Global)
+        .with_workers(1)
+        .with_threads(1)
+        .with_spill(1, &dir);
+    let on = db.query(&qd.sql, &base).unwrap();
+    assert!(
+        on.metrics.spill_prefetch_hits >= 1,
+        "prefetch never hit: {:?}",
+        on.metrics
+    );
+    // One worker: a prefetch can never run while another task executes.
+    assert_eq!(on.metrics.spill_io_overlap_nanos, 0);
+    let off = db
+        .query(&qd.sql, &base.clone().with_spill_prefetch(false))
+        .unwrap();
+    assert_eq!(
+        off.metrics.spill_prefetch_hits, 0,
+        "prefetch ran while disabled"
+    );
+    assert!(
+        off.metrics.spill_prefetch_misses >= 1,
+        "no synchronous restore recorded: {:?}",
+        off.metrics
+    );
+    assert_eq!(off.metrics.spill_io_overlap_nanos, 0);
+    // threads == 1 on the global scheduler is bit-deterministic, so the
+    // two legs must agree exactly — prefetch only changes *where* restore
+    // bytes come from, never their content or order.
+    assert_eq!(on.rows, off.rows, "prefetch changed the result");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ------------------------------------------------ spill-leg property test
+
+fn spill_prop_db(keys_a: &[i64], keys_b: &[i64]) -> Database {
+    let mk = |name: &str, cols: Vec<(&str, Vector)>| {
+        let schema = Schema::new(
+            cols.iter()
+                .map(|(n, v)| Field::new(*n, v.data_type()))
+                .collect(),
+        );
+        Table::new(name, schema, cols.into_iter().map(|(_, v)| v).collect()).expect("valid table")
+    };
+    let mut db = Database::new();
+    db.register_table(mk("pa", vec![("k", Vector::from_i64(keys_a.to_vec()))]));
+    db.register_table(mk(
+        "pb",
+        vec![
+            ("k", Vector::from_i64(keys_b.to_vec())),
+            (
+                "j",
+                Vector::from_i64(keys_b.iter().map(|k| k % 5).collect()),
+            ),
+        ],
+    ));
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random join+GROUP BY instances: resident, forced decoded spill, and
+    /// forced compressed spill return identical rows across partition
+    /// counts and all three schedulers (integer aggregates, so equality is
+    /// exact even on the multithreaded legs).
+    #[test]
+    fn spill_legs_agree_with_resident(
+        keys_a in proptest::collection::vec(0i64..12, 1..60),
+        keys_b in proptest::collection::vec(0i64..12, 1..60),
+    ) {
+        let db = spill_prop_db(&keys_a, &keys_b);
+        let dir = std::env::temp_dir().join(format!("rpt_it_propspill_{}", std::process::id()));
+        let sql = "SELECT pb.j, COUNT(*) AS c, SUM(pa.k) AS s FROM pa, pb \
+                   WHERE pa.k = pb.k GROUP BY pb.j";
+        for parts in [1usize, 8] {
+            for sched in [
+                SchedulerKind::Global,
+                SchedulerKind::Scoped,
+                SchedulerKind::Stealing,
+            ] {
+                let base = QueryOptions::new(Mode::RobustPredicateTransfer)
+                    .with_partition_count(parts)
+                    .with_scheduler(sched)
+                    .with_threads(2)
+                    .with_workers(4);
+                let resident = db.query(sql, &base).unwrap().sorted_rows();
+                // A 1-byte cap forces every chunk of every buffer to spill.
+                let decoded = db
+                    .query(sql, &base.clone().with_spill(1, &dir).with_spill_encoding(false))
+                    .unwrap()
+                    .sorted_rows();
+                let compressed = db
+                    .query(sql, &base.clone().with_spill(1, &dir).with_spill_encoding(true))
+                    .unwrap()
+                    .sorted_rows();
+                prop_assert_eq!(&resident, &decoded, "decoded parts={} {:?}", parts, sched);
+                prop_assert_eq!(&resident, &compressed, "compressed parts={} {:?}", parts, sched);
+            }
+        }
+        prop_assert_eq!(count_spill_files(&dir), 0, "spill files leaked");
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }
